@@ -1,0 +1,149 @@
+// E18 — Ablations of the design choices DESIGN.md calls out:
+//   (a) stochastic cracking's min-piece-size threshold
+//   (b) explore-by-example's exploit/explore mix
+//   (c) SeeDB's pruning-phase count
+//   (d) session cache capacity under a revisiting workload
+// Each section sweeps one knob with everything else fixed.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "cracking/stochastic.h"
+#include "engine/database.h"
+#include "engine/session.h"
+#include "explore/explore_by_example.h"
+#include "explore/seedb.h"
+
+namespace exploredb {
+namespace {
+
+void AblateMinPieceSize() {
+  using bench::Row;
+  bench::Banner("E18a", "stochastic cracking: min piece size (DDC)");
+  std::vector<int64_t> data = bench::RandomInts(1'000'000, 10'000'000, 7);
+  Row("min_piece_size", "total_ms", "melements_touched", "pieces");
+  for (size_t piece : {64u, 1024u, 16384u, 262144u}) {
+    StochasticCrackerColumn col(data, CrackPolicy::kDDC, 9, piece);
+    Stopwatch timer;
+    Random rng(11);
+    volatile uint64_t sink = 0;
+    for (int q = 0; q < 300; ++q) {
+      int64_t lo = static_cast<int64_t>(q) * 30'000;  // sequential: hard case
+      sink += col.RangeSelect(lo, lo + 10'000).count();
+    }
+    Row(piece, timer.ElapsedSeconds() * 1e3,
+        static_cast<double>(col.column().stats().elements_touched) / 1e6,
+        col.column().index().num_pieces());
+  }
+}
+
+void AblateExploitFraction() {
+  using bench::Row;
+  bench::Banner("E18b", "explore-by-example: exploit/explore mix");
+  Schema schema({{"x", DataType::kDouble}, {"y", DataType::kDouble}});
+  Table t(schema);
+  Random rng(13);
+  t.Reserve(30'000);
+  for (int i = 0; i < 30'000; ++i) {
+    t.mutable_column(0)->AppendDouble(rng.NextDouble() * 100);
+    t.mutable_column(1)->AppendDouble(rng.NextDouble() * 100);
+  }
+  auto oracle = [&](uint32_t row) {
+    double x = t.column(0).GetDouble(row);
+    double y = t.column(1).GetDouble(row);
+    return x >= 35 && x < 55 && y >= 35 && y < 55;
+  };
+  Row("exploit_fraction", "f1_after_200", "f1_after_400", "positives_found");
+  for (double exploit : {0.0, 0.25, 0.5, 0.75, 0.9}) {
+    ExploreByExampleOptions options;
+    options.exploit_fraction = exploit;
+    options.samples_per_iteration = 25;
+    auto session = ExploreByExample::Create(&t, {0, 1}, options);
+    if (!session.ok()) return;
+    ExploreByExample ebe = std::move(session).ValueOrDie();
+    double f1_200 = 0, f1_400 = 0;
+    for (int iter = 1; iter <= 16; ++iter) {
+      if (!ebe.RunIteration(oracle).ok()) return;
+      if (iter == 8) f1_200 = ebe.Evaluate(oracle).f1;
+      if (iter == 16) f1_400 = ebe.Evaluate(oracle).f1;
+    }
+    Row(exploit, f1_200, f1_400, ebe.positive_count());
+  }
+}
+
+void AblateSeedbPhases() {
+  using bench::Row;
+  bench::Banner("E18c", "SeeDB: pruning phase count");
+  Table t = bench::SalesTable(200'000, 17, 8);
+  std::vector<ViewSpec> views;
+  for (size_t d = 0; d < 8; ++d) {
+    views.push_back({d, 8, AggKind::kAvg});
+    views.push_back({d, 8, AggKind::kSum});
+    views.push_back({d, 9, AggKind::kAvg});
+    views.push_back({d, 9, AggKind::kSum});
+  }
+  Predicate target({{10, CompareOp::kEq, Value(int64_t{1})}});
+  SeeDbRecommender recommender(&t, target);
+  auto reference = recommender.Recommend(views, 3, SeeDbMode::kSharedScan);
+  if (!reference.ok()) return;
+  Row("phases", "wall_ms", "cell_updates", "views_pruned", "top1_match");
+  for (size_t phases : {2u, 5u, 10u, 25u, 50u}) {
+    Stopwatch timer;
+    auto r = recommender.Recommend(views, 3, SeeDbMode::kSharedPruned, phases);
+    double ms = timer.ElapsedSeconds() * 1e3;
+    if (!r.ok()) return;
+    bool top1 = r.ValueOrDie().top[0].spec.dimension_col ==
+                reference.ValueOrDie().top[0].spec.dimension_col;
+    Row(phases, ms, r.ValueOrDie().cell_updates,
+        r.ValueOrDie().views_pruned, top1);
+  }
+}
+
+void AblateCacheCapacity() {
+  using bench::Row;
+  bench::Banner("E18d", "session cache capacity (revisiting workload)");
+  Schema schema({{"ts", DataType::kInt64}, {"v", DataType::kDouble}});
+  Table t(schema);
+  Random rng(19);
+  t.Reserve(500'000);
+  for (int i = 0; i < 500'000; ++i) {
+    t.mutable_column(0)->AppendInt64(rng.UniformInt(0, 99'999));
+    t.mutable_column(1)->AppendDouble(rng.NextDouble());
+  }
+  Row("cache_capacity", "hit_rate", "wall_ms");
+  for (size_t capacity : {2u, 8u, 32u, 128u}) {
+    Database db;
+    Table copy = t;
+    if (!db.CreateTable("data", std::move(copy)).ok()) return;
+    SessionOptions options;
+    options.cache_capacity = capacity;
+    options.speculate = false;
+    Session session(&db, options);
+    // Revisiting workload over 64 windows, Zipf-favoring a hot subset.
+    Stopwatch timer;
+    Random wrng(23);
+    for (int q = 0; q < 400; ++q) {
+      int64_t w = static_cast<int64_t>(wrng.Zipf(64, 1.2));
+      Query query = Query::On("data").Where(
+          Predicate({{0, CompareOp::kGe, Value(w * 1500)},
+                     {0, CompareOp::kLt, Value((w + 1) * 1500)}}));
+      if (!session.Execute(query).ok()) return;
+    }
+    Row(capacity, session.cache_stats().HitRate(),
+        timer.ElapsedSeconds() * 1e3);
+  }
+}
+
+}  // namespace
+}  // namespace exploredb
+
+int main() {
+  exploredb::AblateMinPieceSize();
+  exploredb::AblateExploitFraction();
+  exploredb::AblateSeedbPhases();
+  exploredb::AblateCacheCapacity();
+  return 0;
+}

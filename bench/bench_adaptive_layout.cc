@@ -1,0 +1,92 @@
+// E14 — Adaptive storage (H2O) [tutorial refs 9, 19]. A workload that
+// shifts between scan-heavy (OLAP-ish), fetch-heavy (OLTP-ish) and mixed
+// phases, executed against static row, static column, and the adaptive
+// store. The shape: each static layout wins one phase and loses the other;
+// the adaptive store tracks the winner within a window or two.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "layout/adaptive_store.h"
+
+namespace exploredb {
+namespace {
+
+constexpr size_t kRowCount = 50'000;
+constexpr size_t kColCount = 64;
+constexpr int kOpsPerPhase = 8'000;
+
+std::vector<AccessOp> MakePhase(const std::string& kind, uint64_t seed) {
+  Random rng(seed);
+  std::vector<AccessOp> ops;
+  // A column scan touches ~10^4x more data than a row fetch; phases are
+  // pure op streams (with scans thinned in the mixed phase) so each layout's
+  // weakness is actually exercised rather than drowned by the other op.
+  for (int i = 0; i < kOpsPerPhase; ++i) {
+    bool fetch;
+    if (kind == "scan-heavy") {
+      fetch = false;
+    } else if (kind == "fetch-heavy") {
+      fetch = true;
+    } else {
+      fetch = rng.Uniform(100) < 99;  // mixed: mostly fetches, some scans
+    }
+    if (fetch) {
+      ops.push_back({AccessOp::Kind::kRowFetch, rng.Uniform(kRowCount)});
+    } else {
+      ops.push_back({AccessOp::Kind::kColumnScan, rng.Uniform(kColCount)});
+    }
+  }
+  return ops;
+}
+
+void Run() {
+  using bench::Row;
+  bench::Banner("E14", "adaptive storage under workload shift (50k x 64)");
+
+  std::vector<std::vector<double>> columns(
+      kColCount, std::vector<double>(kRowCount));
+  Random rng(67);
+  for (auto& col : columns) {
+    for (double& v : col) v = rng.NextDouble();
+  }
+
+  auto row_store = MakeRowStore(columns);
+  auto col_store = MakeColumnStore(columns);
+  AdaptiveStore adaptive(columns, /*window=*/1000, /*amortization=*/50);
+
+  // Two shifts: OLAP-ish -> OLTP-ish -> OLAP-ish, with a repeat of each
+  // phase to show the store settles instead of thrashing.
+  const char* phases[] = {"scan-heavy", "fetch-heavy", "fetch-heavy",
+                          "scan-heavy", "scan-heavy"};
+  Row("phase", "row_ms", "column_ms", "adaptive_ms", "adaptive_layout");
+  uint64_t seed = 71;
+  volatile double sink = 0;
+  for (const char* phase : phases) {
+    auto ops = MakePhase(phase, seed++);
+    Stopwatch timer;
+    for (const AccessOp& op : ops) sink += row_store->Execute(op);
+    double row_ms = timer.ElapsedSeconds() * 1e3;
+    timer.Restart();
+    for (const AccessOp& op : ops) sink += col_store->Execute(op);
+    double col_ms = timer.ElapsedSeconds() * 1e3;
+    timer.Restart();
+    for (const AccessOp& op : ops) sink += adaptive.Execute(op);
+    double adaptive_ms = timer.ElapsedSeconds() * 1e3;
+    Row(phase, row_ms, col_ms, adaptive_ms,
+        LayoutKindName(adaptive.active_layout()));
+  }
+  std::printf("adaptive reorganizations: %zu\n", adaptive.reorganizations());
+}
+
+}  // namespace
+}  // namespace exploredb
+
+int main() {
+  exploredb::Run();
+  return 0;
+}

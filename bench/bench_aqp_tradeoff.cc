@@ -1,0 +1,104 @@
+// E6 — BlinkDB-shaped error/latency trade-off [tutorial refs 7, 6].
+// AVG with a predicate over 4M rows at sample fractions from 0.05% to 100%:
+// latency falls roughly linearly with the fraction while the realized error
+// and the reported CI shrink as ~1/sqrt(fraction).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "engine/database.h"
+#include "engine/executor.h"
+#include "sampling/outlier_index.h"
+
+namespace exploredb {
+namespace {
+
+constexpr size_t kRows = 4'000'000;
+
+void Run() {
+  using bench::Row;
+  bench::Banner("E6", "AQP error vs latency (AVG over 4M rows)");
+
+  Schema schema({{"key", DataType::kInt64}, {"value", DataType::kDouble}});
+  Table t(schema);
+  t.Reserve(kRows);
+  Random rng(23);
+  for (size_t i = 0; i < kRows; ++i) {
+    t.mutable_column(0)->AppendInt64(rng.UniformInt(0, 999));
+    t.mutable_column(1)->AppendDouble(100 + rng.NextGaussian() * 25);
+  }
+  Database db;
+  if (!db.CreateTable("data", std::move(t)).ok()) return;
+  Executor exec(&db);
+
+  Query q = Query::On("data")
+                .Where(Predicate({{0, CompareOp::kLt, Value(int64_t{500})}}))
+                .Aggregate(AggKind::kAvg, "value");
+
+  // Exact reference.
+  Stopwatch timer;
+  auto exact = exec.Execute(q);
+  if (!exact.ok()) return;
+  double exact_ms = timer.ElapsedSeconds() * 1e3;
+  double truth = exact.ValueOrDie().scalar->value;
+
+  Row("sample_fraction", "latency_ms", "abs_error", "ci_half_width",
+      "rows_touched");
+  for (double fraction : {0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5}) {
+    QueryOptions options;
+    options.mode = ExecutionMode::kSampled;
+    options.sample_fraction = fraction;
+    timer.Restart();
+    auto r = exec.Execute(q, options);
+    double ms = timer.ElapsedSeconds() * 1e3;
+    if (!r.ok()) return;
+    Row(fraction, ms, std::abs(r.ValueOrDie().scalar->value - truth),
+        r.ValueOrDie().scalar->ci_half_width, r.ValueOrDie().rows_scanned);
+  }
+  Row(1.0, exact_ms, 0.0, 0.0, static_cast<uint64_t>(kRows));
+}
+
+void RunOutlier() {
+  using bench::Row;
+  bench::Banner("E6b",
+                "outlier-indexed vs uniform sampling (heavy-tailed SUM)");
+  Random rng(31);
+  std::vector<double> values(2'000'000);
+  double true_sum = 0;
+  for (double& v : values) {
+    v = rng.NextDouble() * 10;
+    if (rng.Uniform(2000) == 0) v += 50'000;  // rare massive transactions
+    true_sum += v;
+  }
+  Row("total_budget_rows", "uniform_rel_err_pct", "outlier_rel_err_pct",
+      "uniform_ci_pct", "outlier_ci_pct");
+  for (size_t budget : {1000u, 5000u, 20000u}) {
+    double uniform_err = 0, outlier_err = 0, uniform_ci = 0, outlier_ci = 0;
+    const int reps = 10;
+    for (int rep = 0; rep < reps; ++rep) {
+      Estimate uni = OutlierIndexedSample::UniformSumEstimate(
+          values, budget, 100 + rep);
+      auto s = OutlierIndexedSample::Build(values, budget / 5,
+                                           budget - budget / 5, 100 + rep);
+      if (!s.ok()) return;
+      Estimate idx = s.ValueOrDie().EstimateSum();
+      uniform_err += std::abs(uni.value - true_sum) / true_sum;
+      outlier_err += std::abs(idx.value - true_sum) / true_sum;
+      uniform_ci += uni.ci_half_width / true_sum;
+      outlier_ci += idx.ci_half_width / true_sum;
+    }
+    Row(budget, 100 * uniform_err / reps, 100 * outlier_err / reps,
+        100 * uniform_ci / reps, 100 * outlier_ci / reps);
+  }
+}
+
+}  // namespace
+}  // namespace exploredb
+
+int main() {
+  exploredb::Run();
+  exploredb::RunOutlier();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// E1 — Database cracking per-query convergence [tutorial refs 29, 26].
+// Reproduces the canonical cracking figure: per-query response time over a
+// random range-query sequence. Cracking's first query costs about a scan,
+// then converges toward full-index speed; the full index pays a large
+// initialization spike; the scan stays flat.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "cracking/baselines.h"
+#include "cracking/cracker_column.h"
+
+namespace exploredb {
+namespace {
+
+constexpr size_t kRows = 4'000'000;
+constexpr int64_t kDomain = 100'000'000;
+constexpr int kQueries = 1000;
+constexpr int64_t kWidth = kDomain / 1000;  // ~0.1% selectivity
+
+void Run() {
+  using bench::Row;
+  bench::Banner("E1", "cracking per-query convergence (4M rows, 1k queries)");
+
+  std::vector<int64_t> data = bench::RandomInts(kRows, kDomain, 1);
+  std::vector<std::pair<int64_t, int64_t>> queries;
+  Random rng(2);
+  for (int q = 0; q < kQueries; ++q) {
+    int64_t lo = rng.UniformInt(0, kDomain - kWidth - 1);
+    queries.push_back({lo, lo + kWidth});
+  }
+
+  CrackerColumn cracker(data);
+  ScanSelector scan(data);
+  Stopwatch timer;
+  SortedIndex index(data);
+  double index_build_ms = timer.ElapsedSeconds() * 1e3;
+
+  // Which query indexes to report (log-spaced).
+  std::vector<int> report{1, 2, 3, 5, 10, 20, 50, 100, 200, 500, 1000};
+  Row("query#", "scan_ms", "crack_ms", "fullindex_ms");
+  size_t next_report = 0;
+  volatile uint64_t sink = 0;
+  for (int q = 0; q < kQueries; ++q) {
+    auto [lo, hi] = queries[q];
+    timer.Restart();
+    CrackRange r = cracker.RangeSelect(lo, hi);
+    double crack_ms = timer.ElapsedSeconds() * 1e3;
+    sink += r.count();
+
+    if (next_report < report.size() && q + 1 == report[next_report]) {
+      timer.Restart();
+      sink += scan.RangeCount(lo, hi);
+      double scan_ms = timer.ElapsedSeconds() * 1e3;
+      timer.Restart();
+      sink += index.RangeCount(lo, hi);
+      double index_ms = timer.ElapsedSeconds() * 1e3;
+      Row(q + 1, scan_ms, crack_ms, index_ms);
+      ++next_report;
+    }
+  }
+  std::printf("full index one-time build: %.1f ms\n", index_build_ms);
+  std::printf("cracker pieces after %d queries: %zu, cracks: %llu\n",
+              kQueries, cracker.index().num_pieces(),
+              static_cast<unsigned long long>(cracker.stats().cracks));
+}
+
+}  // namespace
+}  // namespace exploredb
+
+int main() {
+  exploredb::Run();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// E2 — Cumulative cost crossover: scan vs cracking vs full index
+// [tutorial refs 33, 56]. Reproduces the "pay-as-you-go wins early, index
+// wins late" figure: cumulative time after N queries for the three
+// strategies, including each strategy's initialization.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "cracking/baselines.h"
+#include "cracking/cracker_column.h"
+
+namespace exploredb {
+namespace {
+
+constexpr size_t kRows = 2'000'000;
+constexpr int64_t kDomain = 50'000'000;
+constexpr int kQueries = 1000;
+
+void Run() {
+  using bench::Row;
+  bench::Banner("E2", "cumulative cost crossover (2M rows)");
+
+  std::vector<int64_t> data = bench::RandomInts(kRows, kDomain, 3);
+  std::vector<std::pair<int64_t, int64_t>> queries;
+  Random rng(4);
+  for (int q = 0; q < kQueries; ++q) {
+    int64_t lo = rng.UniformInt(0, kDomain - kDomain / 1000);
+    queries.push_back({lo, lo + kDomain / 1000});
+  }
+
+  // Cracking (init = copy, done in ctor).
+  Stopwatch timer;
+  CrackerColumn cracker(data);
+  std::vector<double> crack_cum;
+  volatile uint64_t sink = 0;
+  for (const auto& [lo, hi] : queries) {
+    sink += cracker.RangeSelect(lo, hi).count();
+    crack_cum.push_back(timer.ElapsedSeconds() * 1e3);
+  }
+
+  // Full scan.
+  timer.Restart();
+  ScanSelector scan(data);
+  std::vector<double> scan_cum;
+  for (const auto& [lo, hi] : queries) {
+    sink += scan.RangeCount(lo, hi);
+    scan_cum.push_back(timer.ElapsedSeconds() * 1e3);
+  }
+
+  // Full sort-based index (init = sort).
+  timer.Restart();
+  SortedIndex index(data);
+  std::vector<double> index_cum;
+  for (const auto& [lo, hi] : queries) {
+    sink += index.RangeCount(lo, hi);
+    index_cum.push_back(timer.ElapsedSeconds() * 1e3);
+  }
+
+  Row("after_n_queries", "scan_cum_ms", "crack_cum_ms", "index_cum_ms");
+  for (int n : {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000}) {
+    Row(n, scan_cum[n - 1], crack_cum[n - 1], index_cum[n - 1]);
+  }
+
+  // Crossover points (first query where one strategy's cumulative cost
+  // undercuts another's).
+  auto crossover = [&](const std::vector<double>& a,
+                       const std::vector<double>& b) -> int {
+    for (int i = 0; i < kQueries; ++i) {
+      if (a[i] < b[i]) return i + 1;
+    }
+    return -1;
+  };
+  std::printf("crack beats scan from query:  %d\n",
+              crossover(crack_cum, scan_cum));
+  std::printf("index beats scan from query:  %d\n",
+              crossover(index_cum, scan_cum));
+  std::printf("index beats crack from query: %d (-1 = never in horizon)\n",
+              crossover(index_cum, crack_cum));
+}
+
+}  // namespace
+}  // namespace exploredb
+
+int main() {
+  exploredb::Run();
+  return 0;
+}

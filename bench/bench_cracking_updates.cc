@@ -1,0 +1,70 @@
+// E4 — Updating a cracked database [tutorial ref 30]. Interleaves range
+// queries with inserts at varying query:insert ratios and reports per-op
+// costs for the ripple-merging cracker vs. the rebuild-from-scratch sorted
+// index baseline.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "cracking/baselines.h"
+#include "cracking/updates.h"
+
+namespace exploredb {
+namespace {
+
+constexpr size_t kRows = 1'000'000;
+constexpr int64_t kDomain = 10'000'000;
+constexpr int kOps = 2000;
+
+void Run() {
+  using bench::Row;
+  bench::Banner("E4", "cracking under updates (1M rows, 2k mixed ops)");
+  std::vector<int64_t> base = bench::RandomInts(kRows, kDomain, 13);
+
+  Row("queries_per_insert", "crk_query_us", "crk_insert_us",
+      "sortrebuild_insert_ms");
+  for (int ratio : {1, 10, 100}) {
+    UpdatableCrackerColumn col(base, /*merge_threshold=*/128);
+    Random rng(17);
+    Stopwatch timer;
+    double query_us = 0, insert_us = 0;
+    int queries = 0, inserts = 0;
+    volatile uint64_t sink = 0;
+    for (int op = 0; op < kOps; ++op) {
+      if (op % (ratio + 1) == ratio) {
+        timer.Restart();
+        col.Insert(rng.UniformInt(0, kDomain - 1));
+        insert_us += timer.ElapsedMicros();
+        ++inserts;
+      } else {
+        int64_t lo = rng.UniformInt(0, kDomain - kDomain / 1000);
+        timer.Restart();
+        sink += col.RangeCount(lo, lo + kDomain / 1000);
+        query_us += timer.ElapsedMicros();
+        ++queries;
+      }
+    }
+
+    // Baseline: a sorted index must re-sort on (batched) inserts. Measure
+    // one rebuild and charge it per insert batch of the same merge size.
+    Stopwatch rebuild;
+    SortedIndex index(base);
+    double rebuild_ms = rebuild.ElapsedSeconds() * 1e3;
+
+    Row(ratio, queries ? query_us / queries : 0.0,
+        inserts ? insert_us / inserts : 0.0, rebuild_ms);
+  }
+  std::printf(
+      "(sortrebuild_insert_ms = full re-sort cost a static index pays to "
+      "absorb a batch)\n");
+}
+
+}  // namespace
+}  // namespace exploredb
+
+int main() {
+  exploredb::Run();
+  return 0;
+}

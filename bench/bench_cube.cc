@@ -1,0 +1,85 @@
+// E16 — Discovery-driven cube exploration [tutorial refs 54, 55, 37].
+// Cube materialization cost vs dimensionality, and precision/recall of
+// additive-model surprise detection against planted anomalies.
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "explore/cube.h"
+
+namespace exploredb {
+namespace {
+
+void RunScaling() {
+  using bench::Row;
+  bench::Banner("E16a", "cube materialization scaling (100k rows)");
+  Row("dims", "cuboids", "total_cells", "build_ms");
+  for (size_t dims : {2u, 3u, 4u, 5u}) {
+    Table t = bench::SalesTable(100'000, 89, dims);
+    std::vector<size_t> dim_cols;
+    for (size_t d = 0; d < dims; ++d) dim_cols.push_back(d);
+    Stopwatch timer;
+    auto cube = DataCube::Build(t, dim_cols, dims, AggKind::kSum);
+    double ms = timer.ElapsedSeconds() * 1e3;
+    if (!cube.ok()) return;
+    Row(dims, static_cast<uint64_t>(1) << dims,
+        cube.ValueOrDie().TotalCells(), ms);
+  }
+}
+
+void RunSurprise() {
+  using bench::Row;
+  bench::Banner("E16b", "surprise detection precision/recall");
+  // Build a controlled 2-D cube with additive structure + planted anomalies.
+  Schema schema({{"a", DataType::kString},
+                 {"b", DataType::kString},
+                 {"m", DataType::kDouble}});
+  Random rng(97);
+  const int ka = 12, kb = 12;
+  std::set<std::pair<int, int>> planted{{2, 7}, {9, 1}, {5, 5}};
+  Table t(schema);
+  for (int i = 0; i < ka; ++i) {
+    for (int j = 0; j < kb; ++j) {
+      for (int rep = 0; rep < 20; ++rep) {
+        double value = 10.0 * i + 5.0 * j + rng.NextGaussian();
+        if (planted.count({i, j})) value += 60;
+        if (!t.AppendRow({Value("a" + std::to_string(i)),
+                          Value("b" + std::to_string(j)), Value(value)})
+                 .ok()) {
+          return;
+        }
+      }
+    }
+  }
+  auto cube = DataCube::Build(t, {0, 1}, 2, AggKind::kAvg);
+  if (!cube.ok()) return;
+  Row("z_threshold", "flagged", "true_positives", "precision", "recall");
+  for (double z : {1.0, 2.0, 3.0, 4.0}) {
+    auto cells = cube.ValueOrDie().SurpriseCells(0, 1, z);
+    if (!cells.ok()) return;
+    size_t tp = 0;
+    for (const SurpriseCell& c : cells.ValueOrDie()) {
+      int i = std::stoi(c.coord_a.substr(1));
+      int j = std::stoi(c.coord_b.substr(1));
+      tp += planted.count({i, j});
+    }
+    size_t flagged = cells.ValueOrDie().size();
+    Row(z, flagged, tp,
+        flagged ? static_cast<double>(tp) / flagged : 0.0,
+        static_cast<double>(tp) / planted.size());
+  }
+}
+
+}  // namespace
+}  // namespace exploredb
+
+int main() {
+  exploredb::RunScaling();
+  exploredb::RunSurprise();
+  return 0;
+}

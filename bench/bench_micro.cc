@@ -1,0 +1,109 @@
+// Google-benchmark microbenchmarks of the core primitives that the
+// experiment binaries build on: cracking a piece, sorted-index probes, full
+// scans, reservoir sampling, Count-Min updates, HLL updates, online-agg
+// steps. These quantify the per-operation costs the analytic arguments in
+// DESIGN.md assume.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "cracking/baselines.h"
+#include "cracking/cracker_column.h"
+#include "sampling/online_agg.h"
+#include "sampling/sampler.h"
+#include "synopsis/count_min.h"
+#include "synopsis/hyperloglog.h"
+
+namespace exploredb {
+namespace {
+
+void BM_ScanRangeCount(benchmark::State& state) {
+  auto data = bench::RandomInts(static_cast<size_t>(state.range(0)),
+                                1'000'000, 1);
+  ScanSelector scan(data);
+  Random rng(2);
+  for (auto _ : state) {
+    int64_t lo = rng.UniformInt(0, 900'000);
+    benchmark::DoNotOptimize(scan.RangeCount(lo, lo + 10'000));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ScanRangeCount)->Arg(1 << 20)->Arg(1 << 22);
+
+void BM_CrackingQuery(benchmark::State& state) {
+  auto data = bench::RandomInts(static_cast<size_t>(state.range(0)),
+                                1'000'000, 3);
+  CrackerColumn col(data);
+  Random rng(4);
+  for (auto _ : state) {
+    int64_t lo = rng.UniformInt(0, 900'000);
+    benchmark::DoNotOptimize(col.RangeSelect(lo, lo + 10'000).count());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CrackingQuery)->Arg(1 << 20)->Arg(1 << 22);
+
+void BM_SortedIndexProbe(benchmark::State& state) {
+  auto data = bench::RandomInts(1 << 22, 1'000'000, 5);
+  SortedIndex index(data);
+  Random rng(6);
+  for (auto _ : state) {
+    int64_t lo = rng.UniformInt(0, 900'000);
+    benchmark::DoNotOptimize(index.RangeCount(lo, lo + 10'000));
+  }
+}
+BENCHMARK(BM_SortedIndexProbe);
+
+void BM_ReservoirAdd(benchmark::State& state) {
+  ReservoirSampler sampler(1024);
+  uint32_t i = 0;
+  for (auto _ : state) {
+    sampler.Add(i++);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReservoirAdd);
+
+void BM_CountMinAdd(benchmark::State& state) {
+  CountMinSketch cms(static_cast<size_t>(state.range(0)), 4);
+  Random rng(7);
+  for (auto _ : state) {
+    cms.Add(static_cast<int64_t>(rng.Next() % 100000));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountMinAdd)->Arg(256)->Arg(4096);
+
+void BM_HllAdd(benchmark::State& state) {
+  auto hll = HyperLogLog::Create(static_cast<int>(state.range(0)))
+                 .ValueOrDie();
+  Random rng(8);
+  for (auto _ : state) {
+    hll.Add(static_cast<int64_t>(rng.Next()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HllAdd)->Arg(10)->Arg(14);
+
+void BM_OnlineAggBatch(benchmark::State& state) {
+  Random rng(9);
+  std::vector<double> values(1 << 20);
+  for (double& v : values) v = rng.NextDouble();
+  for (auto _ : state) {
+    state.PauseTiming();
+    OnlineAggregator agg(values, {}, AggKind::kAvg);
+    state.ResumeTiming();
+    agg.ProcessNext(1 << 16);
+    benchmark::DoNotOptimize(agg.Current().value);
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 16));
+}
+BENCHMARK(BM_OnlineAggBatch);
+
+}  // namespace
+}  // namespace exploredb
+
+BENCHMARK_MAIN();

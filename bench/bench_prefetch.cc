@@ -1,0 +1,189 @@
+// E9 — Semantic-window prefetching [tutorial refs 36, 63, 37]. A scripted
+// zoom/pan exploration session over a 2-D tile grid; with prefetching the
+// predicted neighbor tiles are materialized during think-time, so the next
+// viewport hits the cache. Reports hit rate and average perceived latency
+// with and without prefetching, plus Markov trajectory-prediction accuracy.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "cracking/zorder.h"
+#include "prefetch/markov.h"
+#include "prefetch/query_cache.h"
+#include "prefetch/semantic_window.h"
+#include "prefetch/speculator.h"
+
+namespace exploredb {
+namespace {
+
+constexpr size_t kPoints = 2'000'000;
+constexpr int kGrid = 64;
+constexpr int kSteps = 300;
+
+struct TiledData {
+  std::vector<double> x, y;
+};
+
+// Materializing a tile = selecting its points (the expensive operation the
+// cache avoids).
+std::vector<uint32_t> MaterializeTile(const TiledData& data, const Tile& t) {
+  std::vector<uint32_t> out;
+  double x0 = t.x * (1.0 / kGrid), x1 = (t.x + 1) * (1.0 / kGrid);
+  double y0 = t.y * (1.0 / kGrid), y1 = (t.y + 1) * (1.0 / kGrid);
+  for (size_t i = 0; i < data.x.size(); ++i) {
+    if (data.x[i] >= x0 && data.x[i] < x1 && data.y[i] >= y0 &&
+        data.y[i] < y1) {
+      out.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return out;
+}
+
+std::vector<TileViewport> ScriptedSession(uint64_t seed) {
+  // A plausible trajectory: long pans with occasional direction changes.
+  Random rng(seed);
+  std::vector<TileViewport> session;
+  int x = 10, y = 10, dx = 1, dy = 0;
+  for (int s = 0; s < kSteps; ++s) {
+    if (rng.Uniform(10) == 0) {  // 10% chance to turn
+      dx = static_cast<int>(rng.Uniform(3)) - 1;
+      dy = static_cast<int>(rng.Uniform(3)) - 1;
+      if (dx == 0 && dy == 0) dx = 1;
+    }
+    x = std::clamp(x + dx, 0, kGrid - 3);
+    y = std::clamp(y + dy, 0, kGrid - 3);
+    session.push_back({x, y, x + 2, y + 2});
+  }
+  return session;
+}
+
+void Run() {
+  using bench::Row;
+  bench::Banner("E9", "semantic-window prefetching (64x64 grid, 300 steps)");
+
+  Random rng(37);
+  TiledData data;
+  data.x.resize(kPoints);
+  data.y.resize(kPoints);
+  for (size_t i = 0; i < kPoints; ++i) {
+    data.x[i] = rng.NextDouble();
+    data.y[i] = rng.NextDouble();
+  }
+  auto session = ScriptedSession(41);
+
+  Row("config", "tile_requests", "cache_hit_rate", "avg_step_ms",
+      "speculative_tiles");
+  for (bool prefetch : {false, true}) {
+    QueryResultCache cache(512);
+    SemanticWindowPrefetcher prefetcher(kGrid, kGrid);
+    Speculator speculator;
+    uint64_t requests = 0;
+    double total_ms = 0;
+    Stopwatch timer;
+    for (const TileViewport& vp : session) {
+      timer.Restart();
+      for (const Tile& t : vp.Tiles()) {
+        ++requests;
+        if (!cache.Get(t.Key()).has_value()) {
+          cache.Put(t.Key(), MaterializeTile(data, t));
+        }
+      }
+      total_ms += timer.ElapsedSeconds() * 1e3;  // user-perceived latency
+      prefetcher.Observe(vp);
+      if (prefetch) {
+        // Think-time work: materialize up to 6 predicted tiles.
+        for (const Tile& t : prefetcher.PredictNext(6)) {
+          if (cache.Contains(t.Key())) continue;
+          speculator.Enqueue(t.Key(), 1.0, [&cache, &data, t]() {
+            cache.Put(t.Key(), MaterializeTile(data, t));
+          });
+        }
+        speculator.RunIdle(6);
+      }
+    }
+    Row(prefetch ? "prefetch" : "no-prefetch", requests,
+        cache.stats().HitRate(), total_ms / kSteps, speculator.executed());
+  }
+
+  // Trajectory prediction accuracy: train a Markov model on one session,
+  // test on another drawn from the same behavior.
+  MarkovPredictor model;
+  for (uint64_t seed : {43u, 44u, 45u}) {
+    std::vector<std::string> states;
+    for (const TileViewport& vp : ScriptedSession(seed)) {
+      states.push_back(Tile{vp.x0, vp.y0}.Key());
+    }
+    model.ObserveTrajectory(states);
+  }
+  auto test = ScriptedSession(46);
+  size_t correct1 = 0, correct3 = 0, total = 0;
+  for (size_t i = 1; i < test.size(); ++i) {
+    std::string prev = Tile{test[i - 1].x0, test[i - 1].y0}.Key();
+    std::string actual = Tile{test[i].x0, test[i].y0}.Key();
+    auto top = model.PredictNext(prev, 3);
+    if (top.empty()) continue;
+    ++total;
+    correct1 += (top[0] == actual);
+    for (const std::string& p : top) correct3 += (p == actual);
+  }
+  std::printf("markov top-1 accuracy: %.3f, top-3: %.3f (on %zu steps)\n",
+              total ? static_cast<double>(correct1) / total : 0.0,
+              total ? static_cast<double>(correct3) / total : 0.0, total);
+}
+
+void RunZOrder() {
+  using bench::Row;
+  bench::Banner("E9b",
+                "2-D window queries: Z-order cracking vs scan (2M points)");
+  Random rng(53);
+  std::vector<uint32_t> x(2'000'000), y(2'000'000);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<uint32_t>(rng.Uniform(1 << 20));
+    y[i] = static_cast<uint32_t>(rng.Uniform(1 << 20));
+  }
+  auto built = ZOrderCrackerIndex::Build(x, y);
+  if (!built.ok()) return;
+  ZOrderCrackerIndex index = std::move(built).ValueOrDie();
+
+  // A panning session of 200 windows drifting across the plane.
+  Row("query#", "zorder_ms", "scan_ms", "candidates_vs_result");
+  Stopwatch timer;
+  uint32_t wx = 1000, wy = 1000;
+  const uint32_t kSide = 1 << 14;
+  for (int q = 0; q < 200; ++q) {
+    wx = (wx + kSide / 2) % ((1 << 20) - kSide);
+    wy = (wy + kSide / 3) % ((1 << 20) - kSide);
+    timer.Restart();
+    auto fast = index.WindowQuery(wx, wy, wx + kSide, wy + kSide);
+    double fast_ms = timer.ElapsedSeconds() * 1e3;
+    if (q == 0 || q == 9 || q == 49 || q == 199) {
+      timer.Restart();
+      auto slow = index.WindowQueryScan(wx, wy, wx + kSide, wy + kSide);
+      double slow_ms = timer.ElapsedSeconds() * 1e3;
+      double ratio = slow.empty()
+                         ? 0.0
+                         : static_cast<double>(index.last_candidates()) /
+                               static_cast<double>(slow.size());
+      Row(q + 1, fast_ms, slow_ms, ratio);
+      if (fast.size() != slow.size()) {
+        std::printf("MISMATCH at query %d\n", q);
+        return;
+      }
+    }
+  }
+  std::printf("cracks performed across the session: %llu\n",
+              static_cast<unsigned long long>(index.stats().cracks));
+}
+
+}  // namespace
+}  // namespace exploredb
+
+int main() {
+  exploredb::Run();
+  exploredb::RunZOrder();
+  return 0;
+}

@@ -1,0 +1,126 @@
+// E17 — Adaptive data-series indexing [tutorial ref 68, Zoumpatianos et
+// al.]. The headline ADS result: a full series index pays a huge build cost
+// before the first query, while the adaptive index starts answering almost
+// immediately and converges as queries materialize exactly the leaves the
+// workload touches. Query-locality makes later queries cheaper.
+
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "tsindex/adaptive_series_index.h"
+
+namespace exploredb {
+namespace {
+
+constexpr size_t kNumSeries = 8'000;
+constexpr size_t kLen = 256;
+constexpr int kQueries = 100;
+
+std::vector<double> RandomWalk(size_t len, Random* rng) {
+  std::vector<double> s(len);
+  double v = 0;
+  for (double& x : s) {
+    v += rng->NextGaussian();
+    x = v;
+  }
+  return s;
+}
+
+std::string Serialize(const std::vector<double>& s) {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (i) os << ",";
+    os << s[i];
+  }
+  return os.str();
+}
+
+void Run() {
+  using bench::Row;
+  bench::Banner("E17", "adaptive series index (8k series x 256, 100 1-NN)");
+
+  Random rng(101);
+  std::vector<std::vector<double>> data;
+  std::vector<std::string> payloads;
+  data.reserve(kNumSeries);
+  for (size_t i = 0; i < kNumSeries; ++i) {
+    data.push_back(RandomWalk(kLen, &rng));
+    payloads.push_back(Serialize(data.back()));
+  }
+  // Workload with locality: queries are perturbations of members from one
+  // "region" of ids (exploration concentrates somewhere).
+  std::vector<std::vector<double>> queries;
+  for (int q = 0; q < kQueries; ++q) {
+    std::vector<double> query = data[rng.Uniform(kNumSeries / 8)];
+    for (double& v : query) v += rng.NextGaussian() * 0.5;
+    queries.push_back(std::move(query));
+  }
+
+  // --- adaptive: skeleton build, then query-driven materialization --------
+  Stopwatch timer;
+  auto adaptive_build = AdaptiveSeriesIndex::Build(payloads, kLen, 16, 64);
+  if (!adaptive_build.ok()) return;
+  AdaptiveSeriesIndex adaptive = std::move(adaptive_build).ValueOrDie();
+  double skeleton_ms = timer.ElapsedSeconds() * 1e3;
+
+  // --- full: same structure but everything materialized up front ----------
+  timer.Restart();
+  auto full_build = AdaptiveSeriesIndex::Build(payloads, kLen, 16, 64);
+  if (!full_build.ok()) return;
+  AdaptiveSeriesIndex full = std::move(full_build).ValueOrDie();
+  if (!full.MaterializeAll().ok()) return;
+  double full_build_ms = timer.ElapsedSeconds() * 1e3;
+
+  // --- scan baseline (parse everything on first query) --------------------
+  auto scan_build = AdaptiveSeriesIndex::Build(payloads, kLen, 16, 64);
+  if (!scan_build.ok()) return;
+  AdaptiveSeriesIndex scan = std::move(scan_build).ValueOrDie();
+
+  std::printf("init cost: adaptive skeleton %.1f ms, full index %.1f ms\n",
+              skeleton_ms, full_build_ms);
+
+  Row("query#", "adaptive_ms", "full_ms", "scan_ms", "leaves_materialized");
+  double adaptive_cum = 0, full_cum = 0, scan_cum = 0;
+  double adaptive_first = 0;
+  for (int q = 0; q < kQueries; ++q) {
+    timer.Restart();
+    auto a = adaptive.NearestNeighbor(queries[q]);
+    adaptive_cum += timer.ElapsedSeconds() * 1e3;
+    timer.Restart();
+    auto f = full.NearestNeighbor(queries[q]);
+    full_cum += timer.ElapsedSeconds() * 1e3;
+    timer.Restart();
+    auto s = scan.NearestNeighborScan(queries[q]);
+    scan_cum += timer.ElapsedSeconds() * 1e3;
+    if (!a.ok() || !f.ok() || !s.ok()) return;
+    if (a.ValueOrDie().series_id != s.ValueOrDie().series_id) {
+      std::printf("MISMATCH at query %d\n", q);
+      return;
+    }
+    if (q == 0) adaptive_first = adaptive_cum;
+    if (q == 0 || q == 4 || q == 19 || q == 49 || q == 99) {
+      Row(q + 1, adaptive_cum, full_cum, scan_cum,
+          adaptive.materialized_leaves());
+    }
+  }
+  std::printf(
+      "time to first answer (incl. init): adaptive %.1f ms vs full-index "
+      "%.1f ms\n",
+      skeleton_ms + adaptive_first, full_build_ms);
+  std::printf("adaptive materialized %zu / %zu leaves for this workload\n",
+              adaptive.materialized_leaves(), adaptive.num_leaves());
+}
+
+}  // namespace
+}  // namespace exploredb
+
+int main() {
+  exploredb::Run();
+  return 0;
+}

@@ -1,0 +1,137 @@
+// E15 — Synopses accuracy vs space [tutorial ref 16]. Count-Min frequency
+// error and HyperLogLog cardinality error as functions of their space
+// budgets, plus histogram selectivity-estimation error (equi-width vs
+// equi-depth) on skewed data.
+
+#include <cmath>
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_util.h"
+#include "synopsis/count_min.h"
+#include "synopsis/histogram.h"
+#include "synopsis/hyperloglog.h"
+#include "synopsis/wavelet.h"
+
+namespace exploredb {
+namespace {
+
+void RunCms() {
+  using bench::Row;
+  bench::Banner("E15a", "Count-Min error vs space (1M Zipf updates)");
+  Random rng(73);
+  std::vector<int64_t> stream(1'000'000);
+  std::unordered_map<int64_t, uint64_t> truth;
+  for (int64_t& item : stream) {
+    item = static_cast<int64_t>(rng.Zipf(100'000, 1.2));
+    ++truth[item];
+  }
+  Row("width", "space_kb", "avg_overcount", "max_overcount");
+  for (size_t width : {64u, 256u, 1024u, 4096u, 16384u}) {
+    CountMinSketch cms(width, 4);
+    for (int64_t item : stream) cms.Add(item);
+    double sum_err = 0, max_err = 0;
+    for (const auto& [item, count] : truth) {
+      double err =
+          static_cast<double>(cms.EstimateCount(item) - count);
+      sum_err += err;
+      max_err = std::max(max_err, err);
+    }
+    Row(width, cms.SpaceBytes() / 1024.0, sum_err / truth.size(), max_err);
+  }
+}
+
+void RunHll() {
+  using bench::Row;
+  bench::Banner("E15b", "HyperLogLog error vs precision (1M distinct)");
+  Row("precision", "space_bytes", "estimate", "rel_error_pct",
+      "theory_rse_pct");
+  const int64_t truth = 1'000'000;
+  for (int precision : {6, 8, 10, 12, 14, 16}) {
+    auto hll = HyperLogLog::Create(precision).ValueOrDie();
+    for (int64_t i = 0; i < truth; ++i) hll.Add(i);
+    double est = hll.EstimateCardinality();
+    Row(precision, hll.SpaceBytes(), est,
+        100.0 * std::abs(est - truth) / truth,
+        100.0 * 1.04 / std::sqrt(std::ldexp(1.0, precision)));
+  }
+}
+
+void RunHistograms() {
+  using bench::Row;
+  bench::Banner("E15c", "histogram selectivity error on skewed data");
+  Random rng(79);
+  std::vector<double> data(500'000);
+  for (double& v : data) {
+    // Log-normal-ish skew.
+    v = std::exp(rng.NextGaussian() * 1.5 + 3.0);
+  }
+  Row("buckets", "equiwidth_avg_err_pct", "equidepth_avg_err_pct");
+  for (size_t buckets : {8u, 32u, 128u}) {
+    auto ew = EquiWidthHistogram::Build(data, buckets).ValueOrDie();
+    auto ed = EquiDepthHistogram::Build(data, buckets).ValueOrDie();
+    double ew_err = 0, ed_err = 0;
+    int queries = 0;
+    Random qrng(83);
+    for (int q = 0; q < 200; ++q) {
+      double lo = std::exp(qrng.NextGaussian() * 1.5 + 3.0);
+      double hi = lo * (1.0 + qrng.NextDouble());
+      double truth = 0;
+      for (double v : data) truth += (v >= lo && v < hi);
+      if (truth < 100) continue;  // skip near-empty ranges
+      ew_err += std::abs(ew.EstimateRangeCount(lo, hi) - truth) / truth;
+      ed_err += std::abs(ed.EstimateRangeCount(lo, hi) - truth) / truth;
+      ++queries;
+    }
+    Row(buckets, 100.0 * ew_err / queries, 100.0 * ed_err / queries);
+  }
+}
+
+void RunWavelet() {
+  using bench::Row;
+  bench::Banner("E15d", "Haar wavelet synopsis: range-sum error vs space");
+  Random rng(89);
+  // Piecewise trend + noise: the regime wavelets compress well.
+  std::vector<double> data(65'536);
+  double level = 100;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (i % 4096 == 0) level = 50 + rng.NextDouble() * 100;
+    data[i] = level + rng.NextGaussian() * 3;
+  }
+  Row("coefficients", "space_pct", "range_sum_err_pct", "point_err_abs",
+      "l2_error");
+  for (size_t k : {16u, 64u, 256u, 1024u, 4096u}) {
+    auto syn = WaveletSynopsis::Build(data, k);
+    if (!syn.ok()) return;
+    Random qrng(91);
+    double range_err = 0, point_err = 0;
+    const int queries = 200;
+    for (int q = 0; q < queries; ++q) {
+      size_t lo = qrng.Uniform(data.size() - 1000);
+      size_t hi = lo + 100 + qrng.Uniform(900);
+      double truth = 0;
+      for (size_t i = lo; i < hi; ++i) truth += data[i];
+      range_err +=
+          std::abs(syn.ValueOrDie().EstimateRangeSum(lo, hi) - truth) /
+          std::abs(truth);
+      point_err += std::abs(syn.ValueOrDie().EstimatePoint(lo) - data[lo]);
+    }
+    // Range sums integrate the per-point noise away, so their error is low
+    // and flat; point estimates expose the fidelity k actually buys.
+    Row(k, 100.0 * static_cast<double>(k) / data.size(),
+        100.0 * range_err / queries, point_err / queries,
+        syn.ValueOrDie().DroppedEnergy());
+  }
+}
+
+}  // namespace
+}  // namespace exploredb
+
+int main() {
+  exploredb::RunCms();
+  exploredb::RunHll();
+  exploredb::RunHistograms();
+  exploredb::RunWavelet();
+  return 0;
+}

@@ -1,0 +1,98 @@
+#ifndef EXPLOREDB_BENCH_BENCH_UTIL_H_
+#define EXPLOREDB_BENCH_BENCH_UTIL_H_
+
+// Shared workload generators and a small fixed-width report printer used by
+// every experiment binary. Each binary regenerates one experiment from
+// DESIGN.md's per-experiment index and prints the series a figure would plot.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/table.h"
+
+namespace exploredb::bench {
+
+/// Uniform random int64 column in [0, domain).
+inline std::vector<int64_t> RandomInts(size_t n, int64_t domain,
+                                       uint64_t seed) {
+  Random rng(seed);
+  std::vector<int64_t> v(n);
+  for (auto& x : v) x = rng.UniformInt(0, domain - 1);
+  return v;
+}
+
+/// Sales-style table: categorical dims + numeric measures, with graded
+/// revenue deviations planted on the flag=1 subset: strong on dim0, medium
+/// on dim1, weak on dim2. The SeeDB experiments must rank the views in that
+/// order, and the graded spread is what gives pruning something to cut.
+inline Table SalesTable(size_t n, uint64_t seed, size_t num_dims = 4) {
+  std::vector<Field> fields;
+  for (size_t d = 0; d < num_dims; ++d) {
+    fields.push_back({"dim" + std::to_string(d), DataType::kString});
+  }
+  fields.push_back({"revenue", DataType::kDouble});
+  fields.push_back({"quantity", DataType::kDouble});
+  fields.push_back({"flag", DataType::kInt64});
+  Table t((Schema(fields)));
+  Random rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<Value> row;
+    std::vector<bool> hit(num_dims, false);
+    for (size_t d = 0; d < num_dims; ++d) {
+      size_t cardinality = 4 + d * 3;
+      size_t value = rng.Uniform(cardinality);
+      hit[d] = (value == 0);
+      row.push_back(Value("v" + std::to_string(value)));
+    }
+    int64_t flag = static_cast<int64_t>(rng.Uniform(2));
+    double revenue = 100 + rng.NextGaussian() * 15;
+    if (flag == 1) {
+      if (hit[0]) revenue += 70;                      // strong deviation
+      if (num_dims > 1 && hit[1]) revenue += 30;      // medium
+      if (num_dims > 2 && hit[2]) revenue += 10;      // weak
+    }
+    row.push_back(Value(revenue));
+    row.push_back(Value(1.0 + rng.NextDouble() * 9));
+    row.push_back(Value(flag));
+    if (!t.AppendRow(row).ok()) break;
+  }
+  return t;
+}
+
+/// Prints "== <experiment id>: <title> ==".
+inline void Banner(const std::string& id, const std::string& title) {
+  std::printf("\n== %s: %s ==\n", id.c_str(), title.c_str());
+}
+
+/// Fixed-width row printer: Row("a", 1.5, 2) etc.
+inline void PrintCell(const char* v) { std::printf("%-22s", v); }
+inline void PrintCell(const std::string& v) { std::printf("%-22s", v.c_str()); }
+inline void PrintCell(double v) { std::printf("%-22.4f", v); }
+
+template <typename T>
+  requires std::is_integral_v<T>
+void PrintCell(T v) {
+  if constexpr (std::is_same_v<T, bool>) {
+    std::printf("%-22s", v ? "yes" : "no");
+  } else if constexpr (std::is_signed_v<T>) {
+    std::printf("%-22lld", static_cast<long long>(v));
+  } else {
+    std::printf("%-22llu", static_cast<unsigned long long>(v));
+  }
+}
+
+inline void Row() { std::printf("\n"); }
+
+template <typename T, typename... Rest>
+void Row(const T& first, const Rest&... rest) {
+  PrintCell(first);
+  Row(rest...);
+}
+
+}  // namespace exploredb::bench
+
+#endif  // EXPLOREDB_BENCH_BENCH_UTIL_H_

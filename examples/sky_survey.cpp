@@ -1,0 +1,131 @@
+// Sky-survey exploration — the tutorial's motivating scenario: "an
+// astronomer looking for interesting parts in a continuous stream of data;
+// they will know that something is interesting only after they find it."
+//
+// The session shows the full exploration stack working together:
+//   1. adaptive loading: query the raw survey CSV without a load phase
+//   2. cracking: window queries incrementally index right ascension
+//   3. session middleware: the next window is prefetched during think-time
+//   4. online aggregation: a quick approximate brightness profile
+//   5. explore-by-example: the astronomer labels a few objects and the
+//      system learns a query that captures the anomalous cluster
+
+#include <cstdio>
+#include <string>
+
+#include "common/random.h"
+#include "engine/session.h"
+#include "explore/explore_by_example.h"
+#include "storage/csv.h"
+
+using namespace exploredb;
+
+namespace {
+
+Schema SkySchema() {
+  return Schema({{"ra", DataType::kInt64},
+                 {"dec", DataType::kInt64},
+                 {"brightness", DataType::kDouble},
+                 {"survey", DataType::kString}});
+}
+
+// Simulated nightly telescope dump with a bright transient cluster planted
+// at ra in [3000, 5000), dec in [5000, 7000).
+std::string WriteSurveyCsv() {
+  Table t(SkySchema());
+  Random rng(2026);
+  const char* surveys[] = {"sdss", "gaia"};
+  for (int i = 0; i < 100'000; ++i) {
+    int64_t ra = rng.UniformInt(0, 9'999);
+    int64_t dec = rng.UniformInt(0, 9'999);
+    double brightness = rng.NextDouble() * 10;
+    if (ra >= 3'000 && ra < 5'000 && dec >= 5'000 && dec < 7'000) {
+      brightness += 45;
+    }
+    (void)t.AppendRow({Value(ra), Value(dec), Value(brightness),
+                       Value(surveys[rng.Uniform(2)])});
+  }
+  std::string path = "/tmp/exploredb_example_sky.csv";
+  (void)WriteCsv(t, path);
+  return path;
+}
+
+}  // namespace
+
+int main() {
+  std::string path = WriteSurveyCsv();
+  Database db;
+  if (auto st = db.RegisterCsv("sky", path, SkySchema()); !st.ok()) {
+    std::printf("%s\n", st.ToString().c_str());
+    return 1;
+  }
+  Session session(&db);
+
+  // -- Sweep right-ascension windows under cracking -------------------------
+  std::printf("sweeping ra windows (cracking + speculation)...\n");
+  QueryOptions crack;
+  crack.mode = ExecutionMode::kCracking;
+  for (int step = 0; step < 10; ++step) {
+    int64_t lo = step * 1'000;
+    Query window = Query::On("sky").Where(
+        Predicate({{0, CompareOp::kGe, Value(lo)},
+                   {0, CompareOp::kLt, Value(lo + 1'000)}}));
+    auto r = session.Execute(window, crack);
+    if (!r.ok()) return 1;
+    std::printf("  ra [%5lld, %5lld): %6zu objects, %8llu rows touched%s\n",
+                static_cast<long long>(lo), static_cast<long long>(lo + 1000),
+                r.ValueOrDie().positions.size(),
+                static_cast<unsigned long long>(r.ValueOrDie().rows_scanned),
+                r.ValueOrDie().from_cache ? "  [cache hit]" : "");
+  }
+  std::printf("cache hit rate: %.2f, speculative queries run: %llu\n\n",
+              session.cache_stats().HitRate(),
+              static_cast<unsigned long long>(
+                  session.stats().speculative_queries));
+
+  // -- Quick approximate brightness profile ----------------------------------
+  QueryOptions online;
+  online.mode = ExecutionMode::kOnline;
+  online.error_budget = 0.3;
+  auto avg = session.Execute(
+      Query::On("sky").Aggregate(AggKind::kAvg, "brightness"), online);
+  if (avg.ok()) {
+    std::printf("sky-wide AVG(brightness) = %.2f ± %.2f after %llu rows\n\n",
+                avg.ValueOrDie().scalar->value,
+                avg.ValueOrDie().scalar->ci_half_width,
+                static_cast<unsigned long long>(
+                    avg.ValueOrDie().rows_scanned));
+  }
+
+  // -- Explore-by-example: find the transient cluster ------------------------
+  auto entry = db.GetTable("sky");
+  if (!entry.ok()) return 1;
+  auto table = entry.ValueOrDie()->Materialized();
+  if (!table.ok()) return 1;
+  ExploreByExampleOptions options;
+  options.samples_per_iteration = 30;
+  auto ebe_result =
+      ExploreByExample::Create(table.ValueOrDie(), {0, 1}, options);
+  if (!ebe_result.ok()) return 1;
+  ExploreByExample ebe = std::move(ebe_result).ValueOrDie();
+  // The astronomer's eye: anything brighter than 35 is interesting.
+  auto oracle = [&](uint32_t row) {
+    return table.ValueOrDie()->column(2).GetDouble(row) > 35.0;
+  };
+  std::printf("explore-by-example (labeling bright objects):\n");
+  for (int iter = 1; iter <= 16; ++iter) {
+    if (!ebe.RunIteration(oracle).ok()) return 1;
+    if (iter % 4 == 0) {
+      F1Score score = ebe.Evaluate(oracle);
+      std::printf("  after %3zu labels: F1 = %.3f\n", ebe.labeled_count(),
+                  score.f1);
+    }
+  }
+  std::printf("learned region (as SQL-able predicates):\n");
+  for (const Predicate& p : ebe.CurrentQueries()) {
+    std::printf("  SELECT * FROM sky WHERE %s\n",
+                p.ToString(table.ValueOrDie()->schema()).c_str());
+  }
+  std::remove(path.c_str());
+  return 0;
+}

@@ -1,0 +1,86 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace exploredb {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97f4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Random::Random(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& lane : s_) lane = SplitMix64(&sm);
+}
+
+uint64_t Random::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Random::Uniform(uint64_t bound) {
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  while (true) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Random::UniformInt(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Random::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Random::NextGaussian() {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  while (u1 <= 1e-300) u1 = NextDouble();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  spare_gaussian_ = mag * std::sin(2.0 * M_PI * u2);
+  has_spare_gaussian_ = true;
+  return mag * std::cos(2.0 * M_PI * u2);
+}
+
+uint64_t Random::Zipf(uint64_t n, double s) {
+  if (n <= 1) return 0;
+  if (s <= 0.0) return Uniform(n);
+  // Rejection-inversion sampling (Hormann & Derflinger).
+  const double b = std::pow(2.0, s - 1.0);
+  while (true) {
+    const double u = NextDouble();
+    const double v = NextDouble();
+    const double x = std::floor(std::pow(u, -1.0 / (s - 1.0 + 1e-12)));
+    if (x < 1.0 || x > static_cast<double>(n)) continue;
+    const double t = std::pow(1.0 + 1.0 / x, s - 1.0);
+    if (v * x * (t - 1.0) / (b - 1.0) <= t / b) {
+      return static_cast<uint64_t>(x) - 1;
+    }
+  }
+}
+
+}  // namespace exploredb

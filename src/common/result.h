@@ -1,0 +1,76 @@
+#ifndef EXPLOREDB_COMMON_RESULT_H_
+#define EXPLOREDB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace exploredb {
+
+/// Either a value of type T or a non-OK Status explaining why the value could
+/// not be produced. The error-handling counterpart of Status for functions
+/// that return data (mirrors arrow::Result).
+///
+/// Usage:
+///   Result<Table> r = LoadCsv(path);
+///   if (!r.ok()) return r.status();
+///   Table t = std::move(r).ValueOrDie();
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  /// Constructs a failed result from a non-OK status. It is a programming
+  /// error to construct a Result from an OK status.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns OK if a value is held, otherwise the stored error.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Returns the held value; must only be called when ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// Returns the held value or `fallback` when in the error state.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// Propagates the error of a Result expression, otherwise binds its value.
+#define EXPLOREDB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                    \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define EXPLOREDB_ASSIGN_OR_RETURN(lhs, expr)                               \
+  EXPLOREDB_ASSIGN_OR_RETURN_IMPL(                                          \
+      EXPLOREDB_CONCAT_NAME(_result_, __COUNTER__), lhs, expr)
+
+#define EXPLOREDB_CONCAT_NAME_INNER(a, b) a##b
+#define EXPLOREDB_CONCAT_NAME(a, b) EXPLOREDB_CONCAT_NAME_INNER(a, b)
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_COMMON_RESULT_H_

@@ -1,0 +1,28 @@
+#ifndef EXPLOREDB_COMMON_STOPWATCH_H_
+#define EXPLOREDB_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace exploredb {
+
+/// Wall-clock stopwatch used by the benchmark harnesses and adaptive
+/// components (e.g. the speculative-execution budgeter).
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  /// Resets the epoch to now.
+  void Restart();
+
+  /// Elapsed time since construction or the last Restart().
+  double ElapsedSeconds() const;
+  int64_t ElapsedMicros() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_COMMON_STOPWATCH_H_

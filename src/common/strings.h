@@ -1,0 +1,29 @@
+#ifndef EXPLOREDB_COMMON_STRINGS_H_
+#define EXPLOREDB_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace exploredb {
+
+/// Splits `line` on `delim`, preserving empty fields.
+std::vector<std::string_view> SplitFields(std::string_view line, char delim);
+
+/// Strict integer / double parsing: the whole field must be consumed.
+Result<int64_t> ParseInt64(std::string_view field);
+Result<double> ParseDouble(std::string_view field);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_COMMON_STRINGS_H_

@@ -1,0 +1,52 @@
+#ifndef EXPLOREDB_CRACKING_BASELINES_H_
+#define EXPLOREDB_CRACKING_BASELINES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace exploredb {
+
+/// Full-scan baseline: answers every range query by scanning the column.
+/// Zero initialization cost, O(n) per query — the "no index" end of the
+/// adaptive-indexing trade-off space.
+class ScanSelector {
+ public:
+  explicit ScanSelector(std::vector<int64_t> values)
+      : values_(std::move(values)) {}
+
+  /// Row ids (original positions) of values in [lo, hi).
+  std::vector<uint32_t> RangeSelect(int64_t lo, int64_t hi) const;
+
+  /// Count of values in [lo, hi) without materializing positions.
+  size_t RangeCount(int64_t lo, int64_t hi) const;
+
+  const std::vector<int64_t>& values() const { return values_; }
+
+ private:
+  std::vector<int64_t> values_;
+};
+
+/// Fully sorted index baseline: pays the complete sort up front, then
+/// answers queries with two binary searches — the "perfect index" end of the
+/// trade-off space (what an offline tuning tool would build).
+class SortedIndex {
+ public:
+  /// Sorts (value, row id) pairs; O(n log n) once.
+  explicit SortedIndex(const std::vector<int64_t>& values);
+
+  /// Row ids of values in [lo, hi).
+  std::vector<uint32_t> RangeSelect(int64_t lo, int64_t hi) const;
+
+  size_t RangeCount(int64_t lo, int64_t hi) const;
+
+  const std::vector<int64_t>& sorted_values() const { return sorted_values_; }
+
+ private:
+  std::vector<int64_t> sorted_values_;
+  std::vector<uint32_t> sorted_row_ids_;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_CRACKING_BASELINES_H_

@@ -1,0 +1,48 @@
+#include "cracking/cracker_column.h"
+
+#include <numeric>
+#include <utility>
+
+namespace exploredb {
+
+CrackerColumn::CrackerColumn(std::vector<int64_t> values)
+    : values_(std::move(values)),
+      row_ids_(values_.size()),
+      index_(values_.size()) {
+  std::iota(row_ids_.begin(), row_ids_.end(), 0);
+}
+
+size_t CrackerColumn::CrackPiece(const CrackerIndex::Piece& piece,
+                                 int64_t pivot) {
+  // Hoare-style partition: values < pivot to the front, >= pivot to the back.
+  size_t lo = piece.begin;
+  size_t hi = piece.end;
+  while (lo < hi) {
+    if (values_[lo] < pivot) {
+      ++lo;
+    } else {
+      --hi;
+      std::swap(values_[lo], values_[hi]);
+      std::swap(row_ids_[lo], row_ids_[hi]);
+    }
+    ++stats_.elements_touched;
+  }
+  ++stats_.cracks;
+  index_.AddPivot(pivot, lo);
+  return lo;
+}
+
+size_t CrackerColumn::CrackAt(int64_t pivot) {
+  if (auto pos = index_.LowerBoundPosition(pivot)) return *pos;
+  CrackerIndex::Piece piece = index_.FindPiece(pivot);
+  return CrackPiece(piece, pivot);
+}
+
+CrackRange CrackerColumn::RangeSelect(int64_t lo, int64_t hi) {
+  if (lo >= hi) return {0, 0};
+  size_t begin = CrackAt(lo);
+  size_t end = CrackAt(hi);
+  return {begin, end};
+}
+
+}  // namespace exploredb

@@ -1,0 +1,81 @@
+#ifndef EXPLOREDB_CRACKING_CRACKER_COLUMN_H_
+#define EXPLOREDB_CRACKING_CRACKER_COLUMN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "cracking/cracker_index.h"
+
+namespace exploredb {
+
+/// Contiguous range of positions in the cracked array answering a range
+/// query; values()/row_ids() in [begin, end) are exactly the matches.
+struct CrackRange {
+  size_t begin = 0;
+  size_t end = 0;
+
+  size_t count() const { return end - begin; }
+};
+
+/// Counters exposed for the adaptive-indexing experiments.
+struct CrackingStats {
+  uint64_t cracks = 0;          ///< crack-in-two operations performed
+  uint64_t elements_touched = 0;  ///< elements moved/compared while cracking
+};
+
+/// A cracked copy of an int64 column: each range query physically reorganizes
+/// the copy around its bounds so the index is built incrementally as a side
+/// effect of query processing ("Database Cracking", Idreos/Kersten/Manegold).
+///
+/// The column keeps row identifiers aligned with values, so query answers can
+/// be mapped back to the base table for late tuple reconstruction.
+class CrackerColumn {
+ public:
+  /// Copies `values`; row id i refers to values[i] in the original order.
+  explicit CrackerColumn(std::vector<int64_t> values);
+
+  /// Selects lo <= v < hi, cracking the column on both bounds.
+  /// The returned range indexes into values()/row_ids().
+  CrackRange RangeSelect(int64_t lo, int64_t hi);
+
+  /// Cracks at `pivot` and returns the position of the first value >= pivot.
+  /// This is the primitive both RangeSelect and the stochastic variants use.
+  size_t CrackAt(int64_t pivot);
+
+  /// Cracks the piece containing `pivot` at the value of one of its own
+  /// elements chosen by the caller (used by stochastic cracking). Returns the
+  /// pivot position. No-op when the piece is empty.
+  size_t CrackAtElementValue(int64_t element_value) {
+    return CrackAt(element_value);
+  }
+
+  const std::vector<int64_t>& values() const { return values_; }
+  const std::vector<uint32_t>& row_ids() const { return row_ids_; }
+  const CrackerIndex& index() const { return index_; }
+  const CrackingStats& stats() const { return stats_; }
+  size_t size() const { return values_.size(); }
+
+  /// True when both bounds are existing pivots, i.e. the query can be
+  /// answered read-only. Used by the concurrency wrapper.
+  bool CanAnswerWithoutCracking(int64_t lo, int64_t hi) const {
+    return index_.HasPivot(lo) && index_.HasPivot(hi);
+  }
+
+ protected:
+  friend class UpdatableCrackerColumn;
+
+  /// Partitions [piece.begin, piece.end) around `pivot` (values < pivot to
+  /// the front, >= pivot to the back), registers the pivot, and returns the
+  /// split position.
+  size_t CrackPiece(const CrackerIndex::Piece& piece, int64_t pivot);
+
+  std::vector<int64_t> values_;
+  std::vector<uint32_t> row_ids_;
+  CrackerIndex index_;
+  CrackingStats stats_;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_CRACKING_CRACKER_COLUMN_H_

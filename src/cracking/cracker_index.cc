@@ -1,0 +1,33 @@
+#include "cracking/cracker_index.h"
+
+namespace exploredb {
+
+CrackerIndex::Piece CrackerIndex::FindPiece(int64_t value) const {
+  // upper_bound: first pivot > value. The piece containing `value` starts at
+  // the position of the greatest pivot <= value and ends at the position of
+  // the first pivot > value.
+  size_t begin = 0;
+  size_t end = size_;
+  auto it = pivots_.upper_bound(value);
+  if (it != pivots_.end()) end = it->second;
+  if (it != pivots_.begin()) {
+    --it;
+    begin = it->second;
+  }
+  return {begin, end};
+}
+
+std::optional<size_t> CrackerIndex::LowerBoundPosition(int64_t value) const {
+  auto it = pivots_.find(value);
+  if (it == pivots_.end()) return std::nullopt;
+  return it->second;
+}
+
+void CrackerIndex::ShiftAfter(int64_t pivot) {
+  for (auto it = pivots_.upper_bound(pivot); it != pivots_.end(); ++it) {
+    ++it->second;
+  }
+  ++size_;
+}
+
+}  // namespace exploredb

@@ -1,0 +1,61 @@
+#ifndef EXPLOREDB_CRACKING_CRACKER_INDEX_H_
+#define EXPLOREDB_CRACKING_CRACKER_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+
+namespace exploredb {
+
+/// The cracker index: an ordered map from pivot value to the first array
+/// position holding values >= that pivot. Between two adjacent pivots lies a
+/// "piece" — an unordered run whose values all fall in the pivot interval.
+/// This is the tree the database-cracking papers maintain over the cracked
+/// copy of a column [Idreos et al., CIDR'07].
+class CrackerIndex {
+ public:
+  /// Half-open piece [begin, end) whose values v satisfy lo <= v < hi where
+  /// lo/hi are the surrounding pivots (or the column extremes).
+  struct Piece {
+    size_t begin;
+    size_t end;
+  };
+
+  /// Creates an index over an uncracked array of `size` elements (one piece).
+  explicit CrackerIndex(size_t size) : size_(size) {}
+
+  /// Records that positions [0, pos) hold values < pivot and [pos, size)
+  /// hold values >= pivot within the piece the pivot splits.
+  void AddPivot(int64_t pivot, size_t pos) { pivots_[pivot] = pos; }
+
+  /// True when `pivot` is already registered (query bound needs no crack).
+  bool HasPivot(int64_t pivot) const { return pivots_.count(pivot) > 0; }
+
+  /// Position of the first element >= pivot; only valid if HasPivot().
+  size_t PivotPosition(int64_t pivot) const { return pivots_.at(pivot); }
+
+  /// The piece that would contain `value`.
+  Piece FindPiece(int64_t value) const;
+
+  /// Position of the first element >= `value` if derivable from pivots
+  /// without cracking (i.e. value is a pivot), else nullopt.
+  std::optional<size_t> LowerBoundPosition(int64_t value) const;
+
+  size_t num_pieces() const { return pivots_.size() + 1; }
+  size_t size() const { return size_; }
+
+  /// Shifts by +1 the position of every pivot strictly greater than `pivot`
+  /// (used by ripple insertion) and grows the logical size by one.
+  void ShiftAfter(int64_t pivot);
+
+  const std::map<int64_t, size_t>& pivots() const { return pivots_; }
+
+ private:
+  size_t size_;
+  std::map<int64_t, size_t> pivots_;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_CRACKING_CRACKER_INDEX_H_

@@ -1,0 +1,64 @@
+#include "cracking/stochastic.h"
+
+#include <algorithm>
+
+namespace exploredb {
+
+const char* CrackPolicyName(CrackPolicy policy) {
+  switch (policy) {
+    case CrackPolicy::kBasic:
+      return "basic";
+    case CrackPolicy::kDD1R:
+      return "DD1R";
+    case CrackPolicy::kDDC:
+      return "DDC";
+  }
+  return "?";
+}
+
+StochasticCrackerColumn::StochasticCrackerColumn(std::vector<int64_t> values,
+                                                 CrackPolicy policy,
+                                                 uint64_t seed,
+                                                 size_t min_piece_size)
+    : column_(std::move(values)),
+      policy_(policy),
+      rng_(seed),
+      min_piece_size_(min_piece_size) {}
+
+void StochasticCrackerColumn::ShrinkPieceAround(int64_t bound) {
+  if (policy_ == CrackPolicy::kBasic) return;
+  // Repeatedly split the piece containing `bound` until it is small. DD1R
+  // performs one random cut per call; DDC recurses on value midpoints.
+  int max_rounds = (policy_ == CrackPolicy::kDD1R) ? 1 : 64;
+  for (int round = 0; round < max_rounds; ++round) {
+    CrackerIndex::Piece piece = column_.index().FindPiece(bound);
+    size_t len = piece.end - piece.begin;
+    if (len <= min_piece_size_) return;
+    int64_t pivot;
+    if (policy_ == CrackPolicy::kDD1R) {
+      // Pivot on the value of a random element of the piece, which is
+      // guaranteed to split off at least one element.
+      size_t pos = piece.begin + rng_.Uniform(len);
+      pivot = column_.values()[pos];
+    } else {
+      // DDC: midpoint of the piece's value range.
+      auto [mn_it, mx_it] =
+          std::minmax_element(column_.values().begin() + piece.begin,
+                              column_.values().begin() + piece.end);
+      if (*mn_it == *mx_it) return;  // constant piece, nothing to split
+      pivot = *mn_it + (*mx_it - *mn_it) / 2;
+      if (pivot == *mn_it) pivot = *mx_it;  // guarantee progress
+    }
+    if (pivot == bound) return;  // the bound crack will handle it
+    column_.CrackAt(pivot);
+  }
+}
+
+CrackRange StochasticCrackerColumn::RangeSelect(int64_t lo, int64_t hi) {
+  if (lo >= hi) return {0, 0};
+  ShrinkPieceAround(lo);
+  ShrinkPieceAround(hi);
+  return column_.RangeSelect(lo, hi);
+}
+
+}  // namespace exploredb

@@ -1,0 +1,51 @@
+#ifndef EXPLOREDB_CRACKING_STOCHASTIC_H_
+#define EXPLOREDB_CRACKING_STOCHASTIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "cracking/cracker_column.h"
+
+namespace exploredb {
+
+/// Auxiliary cracking policies from "Stochastic Database Cracking" [Halim et
+/// al., PVLDB'12]. Basic cracking degenerates to quadratic behaviour under
+/// sequential workloads because every query shaves a sliver off one huge
+/// unsorted piece; the stochastic variants invest extra random or centered
+/// cracks so piece sizes shrink geometrically regardless of the workload.
+enum class CrackPolicy {
+  kBasic,  ///< crack only at the query bounds (original cracking)
+  kDD1R,   ///< one random-element crack in the touched piece per bound
+  kDDC,    ///< recursively crack at the piece's value midpoint until small
+};
+
+const char* CrackPolicyName(CrackPolicy policy);
+
+/// CrackerColumn with a pluggable auxiliary-crack policy.
+class StochasticCrackerColumn {
+ public:
+  StochasticCrackerColumn(std::vector<int64_t> values, CrackPolicy policy,
+                          uint64_t seed = 42,
+                          size_t min_piece_size = 1 << 10);
+
+  /// Selects lo <= v < hi, applying the policy's auxiliary cracks before
+  /// cracking at the bounds.
+  CrackRange RangeSelect(int64_t lo, int64_t hi);
+
+  const CrackerColumn& column() const { return column_; }
+  CrackPolicy policy() const { return policy_; }
+
+ private:
+  /// Shrinks the piece that contains `bound` according to the policy.
+  void ShrinkPieceAround(int64_t bound);
+
+  CrackerColumn column_;
+  CrackPolicy policy_;
+  Random rng_;
+  size_t min_piece_size_;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_CRACKING_STOCHASTIC_H_

@@ -1,0 +1,87 @@
+#include "cracking/updates.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace exploredb {
+
+UpdatableCrackerColumn::UpdatableCrackerColumn(std::vector<int64_t> values,
+                                               size_t merge_threshold)
+    : column_(std::move(values)),
+      next_row_id_(static_cast<uint32_t>(column_.size())),
+      merge_threshold_(merge_threshold) {}
+
+void UpdatableCrackerColumn::Insert(int64_t value) {
+  pending_values_.push_back(value);
+  pending_row_ids_.push_back(next_row_id_++);
+  if (pending_values_.size() >= merge_threshold_) MergePending();
+}
+
+void UpdatableCrackerColumn::RippleInsert(int64_t value, uint32_t row_id) {
+  // Grow the array by one slot at the end.
+  column_.values_.push_back(0);
+  column_.row_ids_.push_back(0);
+  size_t hole = column_.values_.size() - 1;
+
+  // Walk pieces from the back toward the target: every piece whose pivot is
+  // strictly greater than `value` starts after the insertion point, so move
+  // its first element into the hole (order within a piece is arbitrary),
+  // which slides the hole to that piece's start. This mirrors exactly the
+  // set of pivots ShiftAfter() will advance.
+  const auto& pivots = column_.index_.pivots();
+  for (auto it = pivots.rbegin(); it != pivots.rend() && it->first > value;
+       ++it) {
+    size_t piece_begin = it->second;
+    column_.values_[hole] = column_.values_[piece_begin];
+    column_.row_ids_[hole] = column_.row_ids_[piece_begin];
+    hole = piece_begin;
+  }
+
+  column_.values_[hole] = value;
+  column_.row_ids_[hole] = row_id;
+
+  // Every pivot above the target piece now starts one position later.
+  // FindPiece gave begin = position of greatest pivot <= value, so shift all
+  // pivots strictly greater than `value`.
+  column_.index_.ShiftAfter(value);
+}
+
+void UpdatableCrackerColumn::MergePending() {
+  for (size_t i = 0; i < pending_values_.size(); ++i) {
+    RippleInsert(pending_values_[i], pending_row_ids_[i]);
+  }
+  pending_values_.clear();
+  pending_row_ids_.clear();
+}
+
+CrackRange UpdatableCrackerColumn::RangeSelect(
+    int64_t lo, int64_t hi, std::vector<uint32_t>* extra_row_ids) {
+  for (size_t i = 0; i < pending_values_.size(); ++i) {
+    if (pending_values_[i] >= lo && pending_values_[i] < hi) {
+      extra_row_ids->push_back(pending_row_ids_[i]);
+    }
+  }
+  return column_.RangeSelect(lo, hi);
+}
+
+size_t UpdatableCrackerColumn::RangeCount(int64_t lo, int64_t hi) {
+  std::vector<uint32_t> extra;
+  CrackRange range = RangeSelect(lo, hi, &extra);
+  return range.count() + extra.size();
+}
+
+size_t ConcurrentCrackerColumn::RangeCount(int64_t lo, int64_t hi) {
+  {
+    std::shared_lock lock(mutex_);
+    if (column_.CanAnswerWithoutCracking(lo, hi)) {
+      read_only_queries_.fetch_add(1, std::memory_order_relaxed);
+      CrackRange r = column_.RangeSelect(lo, hi);  // no cracking: pure lookup
+      return r.count();
+    }
+  }
+  std::unique_lock lock(mutex_);
+  CrackRange r = column_.RangeSelect(lo, hi);
+  return r.count();
+}
+
+}  // namespace exploredb

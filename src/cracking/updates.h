@@ -1,0 +1,77 @@
+#ifndef EXPLOREDB_CRACKING_UPDATES_H_
+#define EXPLOREDB_CRACKING_UPDATES_H_
+
+#include <atomic>
+#include <cstdint>
+#include <shared_mutex>
+#include <vector>
+
+#include "cracking/cracker_column.h"
+
+namespace exploredb {
+
+/// Cracked column that absorbs insertions, after "Updating a Cracked
+/// Database" [Idreos et al., SIGMOD'07]. New values first land in a pending
+/// buffer (queries merge it on the fly); once the buffer exceeds a threshold
+/// the values are folded into the cracked array with *ripple insertion*:
+/// grow the array by one, then shift one boundary element per piece so a slot
+/// opens inside the target piece — O(#pieces) moves per insert instead of
+/// O(n), exploiting the fact that order inside a piece is free.
+class UpdatableCrackerColumn {
+ public:
+  explicit UpdatableCrackerColumn(std::vector<int64_t> values,
+                                  size_t merge_threshold = 64);
+
+  /// Queues `value` for insertion (assigned the next row id).
+  void Insert(int64_t value);
+
+  /// Selects lo <= v < hi. Matches from the pending buffer are appended to
+  /// `extra_row_ids` (the cracked range covers only merged values).
+  CrackRange RangeSelect(int64_t lo, int64_t hi,
+                         std::vector<uint32_t>* extra_row_ids);
+
+  /// Total values in [lo, hi) including pending ones.
+  size_t RangeCount(int64_t lo, int64_t hi);
+
+  /// Forces the pending buffer into the cracked array.
+  void MergePending();
+
+  size_t pending_size() const { return pending_values_.size(); }
+  const CrackerColumn& column() const { return column_; }
+  size_t size() const { return column_.size() + pending_values_.size(); }
+
+ private:
+  void RippleInsert(int64_t value, uint32_t row_id);
+
+  CrackerColumn column_;
+  std::vector<int64_t> pending_values_;
+  std::vector<uint32_t> pending_row_ids_;
+  uint32_t next_row_id_;
+  size_t merge_threshold_;
+};
+
+/// Thread-safe wrapper exposing the read/write asymmetry of adaptive
+/// indexing ("Concurrency Control for Adaptive Indexing" [Graefe et al.,
+/// PVLDB'12]): a query whose bounds are already pivots is a pure read and
+/// runs under a shared lock; a query that needs to crack mutates the array
+/// and must serialize.
+class ConcurrentCrackerColumn {
+ public:
+  explicit ConcurrentCrackerColumn(std::vector<int64_t> values)
+      : column_(std::move(values)) {}
+
+  /// Thread-safe range count of values in [lo, hi).
+  size_t RangeCount(int64_t lo, int64_t hi);
+
+  /// Number of queries that were answered read-only (shared lock).
+  uint64_t read_only_queries() const { return read_only_queries_; }
+
+ private:
+  std::shared_mutex mutex_;
+  CrackerColumn column_;
+  std::atomic<uint64_t> read_only_queries_{0};
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_CRACKING_UPDATES_H_

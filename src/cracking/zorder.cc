@@ -1,0 +1,162 @@
+#include "cracking/zorder.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace exploredb {
+
+namespace {
+
+/// Spreads the low 31 bits of v to the even bit positions.
+uint64_t Part1By1(uint32_t v) {
+  uint64_t x = v & 0x7fffffffULL;
+  x = (x | (x << 16)) & 0x0000FFFF0000FFFFULL;
+  x = (x | (x << 8)) & 0x00FF00FF00FF00FFULL;
+  x = (x | (x << 4)) & 0x0F0F0F0F0F0F0F0FULL;
+  x = (x | (x << 2)) & 0x3333333333333333ULL;
+  x = (x | (x << 1)) & 0x5555555555555555ULL;
+  return x;
+}
+
+uint32_t Compact1By1(uint64_t x) {
+  x &= 0x5555555555555555ULL;
+  x = (x | (x >> 1)) & 0x3333333333333333ULL;
+  x = (x | (x >> 2)) & 0x0F0F0F0F0F0F0F0FULL;
+  x = (x | (x >> 4)) & 0x00FF00FF00FF00FFULL;
+  x = (x | (x >> 8)) & 0x0000FFFF0000FFFFULL;
+  x = (x | (x >> 16)) & 0x00000000FFFFFFFFULL;
+  return static_cast<uint32_t>(x);
+}
+
+struct Rect {
+  uint32_t x0, y0, x1, y1;  // half-open
+};
+
+/// Recursive quadrant cover: emits z-ranges of Morton-aligned squares. A
+/// square either fully inside the rectangle or at the resolution floor is
+/// emitted whole (the latter conservatively, post-filtered later).
+void Cover(uint32_t x, uint32_t y, uint64_t size, const Rect& r,
+           uint64_t min_size,
+           std::vector<std::pair<int64_t, int64_t>>* out) {
+  // Disjoint?
+  if (x >= r.x1 || y >= r.y1 || x + size <= r.x0 || y + size <= r.y0) {
+    return;
+  }
+  bool fully_inside = x >= r.x0 && y >= r.y0 && x + size <= r.x1 &&
+                      y + size <= r.y1;
+  if (fully_inside || size <= min_size) {
+    int64_t z0 = MortonEncode(x, y);
+    out->push_back({z0, z0 + static_cast<int64_t>(size * size)});
+    return;
+  }
+  uint64_t h = size / 2;
+  // Children in Z order (y owns the more significant interleaved bit).
+  Cover(x, y, h, r, min_size, out);
+  Cover(x + static_cast<uint32_t>(h), y, h, r, min_size, out);
+  Cover(x, y + static_cast<uint32_t>(h), h, r, min_size, out);
+  Cover(x + static_cast<uint32_t>(h), y + static_cast<uint32_t>(h), h, r,
+        min_size, out);
+}
+
+}  // namespace
+
+int64_t MortonEncode(uint32_t x, uint32_t y) {
+  return static_cast<int64_t>(Part1By1(x) | (Part1By1(y) << 1));
+}
+
+void MortonDecode(int64_t z, uint32_t* x, uint32_t* y) {
+  uint64_t u = static_cast<uint64_t>(z);
+  *x = Compact1By1(u);
+  *y = Compact1By1(u >> 1);
+}
+
+std::vector<std::pair<int64_t, int64_t>> MortonRanges(uint32_t x0, uint32_t y0,
+                                                      uint32_t x1, uint32_t y1,
+                                                      size_t max_ranges) {
+  std::vector<std::pair<int64_t, int64_t>> out;
+  if (x1 <= x0 || y1 <= y0 || max_ranges == 0) return out;
+  Rect r{x0, y0, x1, y1};
+  // Resolution floor sized so the boundary-node count respects the budget
+  // (boundary cells ~ 4 * extent / min_size).
+  uint64_t extent = std::max(x1 - x0, y1 - y0);
+  uint64_t min_size = 1;
+  while (min_size * max_ranges < extent * 4) min_size <<= 1;
+  Cover(0, 0, uint64_t{1} << 31, r, min_size, &out);
+  std::sort(out.begin(), out.end());
+  // Merge adjacent/overlapping ranges.
+  std::vector<std::pair<int64_t, int64_t>> merged;
+  for (const auto& range : out) {
+    if (!merged.empty() && range.first <= merged.back().second) {
+      merged.back().second = std::max(merged.back().second, range.second);
+    } else {
+      merged.push_back(range);
+    }
+  }
+  // Enforce the budget by closing the smallest gaps (adds false positives,
+  // never misses).
+  while (merged.size() > max_ranges) {
+    size_t best = 1;
+    int64_t best_gap = merged[1].first - merged[0].second;
+    for (size_t i = 2; i < merged.size(); ++i) {
+      int64_t gap = merged[i].first - merged[i - 1].second;
+      if (gap < best_gap) {
+        best_gap = gap;
+        best = i;
+      }
+    }
+    merged[best - 1].second = merged[best].second;
+    merged.erase(merged.begin() + best);
+  }
+  return merged;
+}
+
+Result<ZOrderCrackerIndex> ZOrderCrackerIndex::Build(
+    const std::vector<uint32_t>& x, const std::vector<uint32_t>& y) {
+  if (x.empty() || x.size() != y.size()) {
+    return Status::InvalidArgument("x/y must be equal-length and non-empty");
+  }
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (x[i] > 0x7fffffffu || y[i] > 0x7fffffffu) {
+      return Status::OutOfRange("coordinates must be < 2^31");
+    }
+  }
+  ZOrderCrackerIndex index;
+  index.xs_ = x;
+  index.ys_ = y;
+  std::vector<int64_t> keys(x.size());
+  for (size_t i = 0; i < x.size(); ++i) keys[i] = MortonEncode(x[i], y[i]);
+  index.cracker_ = std::make_unique<CrackerColumn>(std::move(keys));
+  return index;
+}
+
+std::vector<uint32_t> ZOrderCrackerIndex::WindowQuery(uint32_t x0, uint32_t y0,
+                                                      uint32_t x1, uint32_t y1,
+                                                      size_t max_ranges) {
+  std::vector<uint32_t> out;
+  last_candidates_ = 0;
+  for (const auto& [lo, hi] : MortonRanges(x0, y0, x1, y1, max_ranges)) {
+    CrackRange range = cracker_->RangeSelect(lo, hi);
+    last_candidates_ += range.count();
+    for (size_t i = range.begin; i < range.end; ++i) {
+      uint32_t id = cracker_->row_ids()[i];
+      if (xs_[id] >= x0 && xs_[id] < x1 && ys_[id] >= y0 && ys_[id] < y1) {
+        out.push_back(id);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<uint32_t> ZOrderCrackerIndex::WindowQueryScan(
+    uint32_t x0, uint32_t y0, uint32_t x1, uint32_t y1) const {
+  std::vector<uint32_t> out;
+  for (uint32_t i = 0; i < xs_.size(); ++i) {
+    if (xs_[i] >= x0 && xs_[i] < x1 && ys_[i] >= y0 && ys_[i] < y1) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace exploredb

@@ -1,0 +1,92 @@
+#include "engine/database.h"
+
+namespace exploredb {
+
+Result<size_t> TableEntry::NumRows() {
+  if (raw_.has_value()) return raw_->NumRows();
+  return table_.num_rows();
+}
+
+Result<const ColumnVector*> TableEntry::GetColumn(size_t idx) {
+  if (idx >= schema().num_fields()) {
+    return Status::OutOfRange("column " + std::to_string(idx));
+  }
+  if (raw_.has_value()) return raw_->GetColumn(idx);
+  return &table_.column(idx);
+}
+
+Result<CrackerColumn*> TableEntry::GetCracker(size_t idx) {
+  auto it = crackers_.find(idx);
+  if (it != crackers_.end()) return it->second.get();
+  EXPLOREDB_ASSIGN_OR_RETURN(const ColumnVector* col, GetColumn(idx));
+  if (col->type() != DataType::kInt64) {
+    return Status::InvalidArgument(
+        "cracking requires an int64 column, '" + schema().field(idx).name +
+        "' is " + DataTypeName(col->type()));
+  }
+  auto cracker = std::make_unique<CrackerColumn>(col->int64_data());
+  CrackerColumn* ptr = cracker.get();
+  crackers_.emplace(idx, std::move(cracker));
+  return ptr;
+}
+
+Result<const SortedIndex*> TableEntry::GetSortedIndex(size_t idx) {
+  auto it = indexes_.find(idx);
+  if (it != indexes_.end()) return it->second.get();
+  EXPLOREDB_ASSIGN_OR_RETURN(const ColumnVector* col, GetColumn(idx));
+  if (col->type() != DataType::kInt64) {
+    return Status::InvalidArgument(
+        "sorted index requires an int64 column, '" +
+        schema().field(idx).name + "' is " + DataTypeName(col->type()));
+  }
+  auto index = std::make_unique<SortedIndex>(col->int64_data());
+  const SortedIndex* ptr = index.get();
+  indexes_.emplace(idx, std::move(index));
+  return ptr;
+}
+
+Result<const Table*> TableEntry::Materialized() {
+  if (!raw_.has_value()) return &table_;
+  // Pull every column through the adaptive loader, then assemble a Table.
+  Table full(schema());
+  for (size_t c = 0; c < schema().num_fields(); ++c) {
+    EXPLOREDB_ASSIGN_OR_RETURN(const ColumnVector* col, raw_->GetColumn(c));
+    *full.mutable_column(c) = *col;
+  }
+  table_ = std::move(full);
+  raw_.reset();
+  return &table_;
+}
+
+Status Database::CreateTable(const std::string& name, Table table) {
+  if (tables_.count(name)) {
+    return Status::AlreadyExists("table '" + name + "'");
+  }
+  tables_.emplace(name, TableEntry(std::move(table)));
+  return Status::OK();
+}
+
+Status Database::RegisterCsv(const std::string& name, const std::string& path,
+                             Schema schema, CsvOptions options) {
+  if (tables_.count(name)) {
+    return Status::AlreadyExists("table '" + name + "'");
+  }
+  EXPLOREDB_ASSIGN_OR_RETURN(RawTable raw,
+                             RawTable::Open(path, schema, options));
+  tables_.emplace(name, TableEntry(std::move(schema), std::move(raw)));
+  return Status::OK();
+}
+
+Result<TableEntry*> Database::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table '" + name + "'");
+  return &it->second;
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, entry] : tables_) out.push_back(name);
+  return out;
+}
+
+}  // namespace exploredb

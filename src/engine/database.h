@@ -1,0 +1,79 @@
+#ifndef EXPLOREDB_ENGINE_DATABASE_H_
+#define EXPLOREDB_ENGINE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "cracking/baselines.h"
+#include "cracking/cracker_column.h"
+#include "loading/raw_table.h"
+#include "storage/table.h"
+
+namespace exploredb {
+
+/// A named table plus the adaptive infrastructure the engine grows around it
+/// while queries run: per-column crackers and sorted indexes, created lazily
+/// on first use (the "index as a side effect of querying" principle).
+class TableEntry {
+ public:
+  explicit TableEntry(Table table) : table_(std::move(table)) {}
+  TableEntry(Schema schema, RawTable raw)
+      : table_(Table(std::move(schema))), raw_(std::move(raw)) {}
+
+  const Schema& schema() const { return table_.schema(); }
+
+  /// Row count (tokenizes a raw-backed table on first call).
+  Result<size_t> NumRows();
+
+  /// The column, adaptively loading it from the raw file when raw-backed.
+  Result<const ColumnVector*> GetColumn(size_t idx);
+
+  /// Lazily created cracker over an int64 column.
+  Result<CrackerColumn*> GetCracker(size_t idx);
+
+  /// Lazily created fully sorted index over an int64 column.
+  Result<const SortedIndex*> GetSortedIndex(size_t idx);
+
+  /// Fully materialized Table view (loads every raw column).
+  Result<const Table*> Materialized();
+
+  bool raw_backed() const { return raw_.has_value(); }
+
+ private:
+  Table table_;
+  std::optional<RawTable> raw_;
+  std::map<size_t, std::unique_ptr<CrackerColumn>> crackers_;
+  std::map<size_t, std::unique_ptr<SortedIndex>> indexes_;
+};
+
+/// The engine's catalog: named tables, eager or adaptively loaded.
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  /// Registers an in-memory table.
+  Status CreateTable(const std::string& name, Table table);
+
+  /// Registers a CSV file for NoDB-style adaptive loading: the file is not
+  /// parsed until queries touch its columns.
+  Status RegisterCsv(const std::string& name, const std::string& path,
+                     Schema schema, CsvOptions options = {});
+
+  Result<TableEntry*> GetTable(const std::string& name);
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, TableEntry> tables_;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_ENGINE_DATABASE_H_

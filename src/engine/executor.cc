@@ -1,0 +1,384 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "sampling/sampler.h"
+
+namespace exploredb {
+
+namespace {
+
+/// Evaluates `conditions` on one row, columns supplied in parallel order.
+bool MatchesAll(const std::vector<Condition>& conditions,
+                const std::vector<const ColumnVector*>& cols, size_t row) {
+  for (size_t i = 0; i < conditions.size(); ++i) {
+    if (!conditions[i].MatchesColumn(*cols[i], row)) return false;
+  }
+  return true;
+}
+
+/// Fetches the column each condition references.
+Result<std::vector<const ColumnVector*>> FetchConditionColumns(
+    TableEntry* entry, const std::vector<Condition>& conditions) {
+  std::vector<const ColumnVector*> cols;
+  cols.reserve(conditions.size());
+  for (const Condition& c : conditions) {
+    EXPLOREDB_ASSIGN_OR_RETURN(const ColumnVector* col,
+                               entry->GetColumn(c.column));
+    cols.push_back(col);
+  }
+  return cols;
+}
+
+}  // namespace
+
+std::optional<Executor::RangePlan> Executor::ExtractRange(
+    const Predicate& pred, const Schema& schema, TableEntry* entry) {
+  // Find a column with both a lower and an upper int64 bound (Eq counts as
+  // both). All other conjuncts become the residual.
+  std::unordered_map<size_t, std::pair<std::optional<int64_t>,
+                                       std::optional<int64_t>>>
+      bounds;  // column -> (lo, hi) as half-open [lo, hi)
+  for (const Condition& c : pred.conjuncts()) {
+    if (c.column >= schema.num_fields()) return std::nullopt;
+    if (schema.field(c.column).type != DataType::kInt64) continue;
+    if (!c.constant.is_int64()) continue;
+    int64_t v = c.constant.int64();
+    auto& [lo, hi] = bounds[c.column];
+    switch (c.op) {
+      case CompareOp::kGe:
+        lo = lo ? std::max(*lo, v) : v;
+        break;
+      case CompareOp::kGt:
+        lo = lo ? std::max(*lo, v + 1) : v + 1;
+        break;
+      case CompareOp::kLt:
+        hi = hi ? std::min(*hi, v) : v;
+        break;
+      case CompareOp::kLe:
+        hi = hi ? std::min(*hi, v + 1) : v + 1;
+        break;
+      case CompareOp::kEq:
+        lo = lo ? std::max(*lo, v) : v;
+        hi = hi ? std::min(*hi, v + 1) : v + 1;
+        break;
+      case CompareOp::kNe:
+        break;  // not index-serviceable
+    }
+  }
+  for (const auto& [col, range] : bounds) {
+    if (!range.first.has_value() || !range.second.has_value()) continue;
+    RangePlan plan;
+    plan.column = col;
+    plan.lo = *range.first;
+    plan.hi = *range.second;
+    for (const Condition& c : pred.conjuncts()) {
+      bool consumed = c.column == col && c.constant.is_int64() &&
+                      c.op != CompareOp::kNe;
+      if (!consumed) plan.residual.push_back(c);
+    }
+    (void)entry;
+    return plan;
+  }
+  return std::nullopt;
+}
+
+Result<std::vector<uint32_t>> Executor::SelectPositions(
+    TableEntry* entry, const Predicate& pred, ExecutionMode mode,
+    uint64_t* rows_scanned) {
+  EXPLOREDB_ASSIGN_OR_RETURN(size_t n, entry->NumRows());
+
+  if (mode == ExecutionMode::kCracking || mode == ExecutionMode::kFullIndex) {
+    std::optional<RangePlan> plan =
+        ExtractRange(pred, entry->schema(), entry);
+    if (plan.has_value()) {
+      std::vector<uint32_t> candidates;
+      if (mode == ExecutionMode::kCracking) {
+        EXPLOREDB_ASSIGN_OR_RETURN(CrackerColumn * cracker,
+                                   entry->GetCracker(plan->column));
+        uint64_t touched_before = cracker->stats().elements_touched;
+        CrackRange range = cracker->RangeSelect(plan->lo, plan->hi);
+        *rows_scanned +=
+            cracker->stats().elements_touched - touched_before + range.count();
+        candidates.assign(cracker->row_ids().begin() + range.begin,
+                          cracker->row_ids().begin() + range.end);
+      } else {
+        EXPLOREDB_ASSIGN_OR_RETURN(const SortedIndex* index,
+                                   entry->GetSortedIndex(plan->column));
+        candidates = index->RangeSelect(plan->lo, plan->hi);
+        *rows_scanned += candidates.size();
+      }
+      std::sort(candidates.begin(), candidates.end());
+      if (plan->residual.empty()) return candidates;
+      EXPLOREDB_ASSIGN_OR_RETURN(
+          std::vector<const ColumnVector*> cols,
+          FetchConditionColumns(entry, plan->residual));
+      std::vector<uint32_t> out;
+      for (uint32_t row : candidates) {
+        ++*rows_scanned;
+        if (MatchesAll(plan->residual, cols, row)) out.push_back(row);
+      }
+      return out;
+    }
+    // No indexable range: fall through to a scan.
+  }
+
+  const std::vector<Condition>& conds = pred.conjuncts();
+  EXPLOREDB_ASSIGN_OR_RETURN(std::vector<const ColumnVector*> cols,
+                             FetchConditionColumns(entry, conds));
+  std::vector<uint32_t> out;
+  for (size_t row = 0; row < n; ++row) {
+    ++*rows_scanned;
+    if (MatchesAll(conds, cols, row)) {
+      out.push_back(static_cast<uint32_t>(row));
+    }
+  }
+  return out;
+}
+
+Result<QueryResult> Executor::Execute(const Query& query,
+                                      const QueryOptions& options_in) {
+  Stopwatch timer;
+  EXPLOREDB_ASSIGN_OR_RETURN(TableEntry * entry, db_->GetTable(query.table()));
+  QueryOptions options = options_in;
+  if (options.mode == ExecutionMode::kAuto) {
+    // Self-organizing default: let adaptive indexing grow under predicates
+    // it can serve; everything else scans. (Cracking silently falls back to
+    // a scan for non-indexable predicates, so kCracking is the safe pick
+    // whenever a predicate exists.)
+    options.mode = query.where().empty() ? ExecutionMode::kScan
+                                         : ExecutionMode::kCracking;
+  }
+  if (query.aggregate().has_value() || query.group_by().has_value()) {
+    EXPLOREDB_ASSIGN_OR_RETURN(QueryResult result,
+                               ExecuteAggregate(entry, query, options));
+    result.exec_micros = timer.ElapsedMicros();
+    return result;
+  }
+
+  // Selection / projection.
+  QueryResult result;
+  EXPLOREDB_ASSIGN_OR_RETURN(
+      result.positions,
+      SelectPositions(entry, query.where(), options.mode,
+                      &result.rows_scanned));
+
+  // Project requested columns (all columns if unspecified).
+  std::vector<size_t> col_indexes;
+  if (query.select().empty()) {
+    for (size_t c = 0; c < entry->schema().num_fields(); ++c) {
+      col_indexes.push_back(c);
+    }
+  } else {
+    for (const std::string& name : query.select()) {
+      EXPLOREDB_ASSIGN_OR_RETURN(size_t idx,
+                                 entry->schema().FieldIndex(name));
+      col_indexes.push_back(idx);
+    }
+  }
+  Table projected(entry->schema().Select(col_indexes));
+  for (size_t i = 0; i < col_indexes.size(); ++i) {
+    EXPLOREDB_ASSIGN_OR_RETURN(const ColumnVector* col,
+                               entry->GetColumn(col_indexes[i]));
+    *projected.mutable_column(i) = col->Gather(result.positions);
+  }
+  result.rows = std::move(projected);
+  result.exec_micros = timer.ElapsedMicros();
+  return result;
+}
+
+Result<QueryResult> Executor::ExecuteAggregate(TableEntry* entry,
+                                               const Query& query,
+                                               const QueryOptions& options) {
+  if (!query.aggregate().has_value()) {
+    return Status::InvalidArgument("GROUP BY requires an aggregate");
+  }
+  const AggregateExpr& agg = *query.aggregate();
+  EXPLOREDB_ASSIGN_OR_RETURN(size_t n, entry->NumRows());
+
+  // Resolve the measure column (COUNT may omit it).
+  const ColumnVector* measure = nullptr;
+  if (!agg.column.empty()) {
+    EXPLOREDB_ASSIGN_OR_RETURN(size_t idx,
+                               entry->schema().FieldIndex(agg.column));
+    EXPLOREDB_ASSIGN_OR_RETURN(measure, entry->GetColumn(idx));
+    if (measure->type() == DataType::kString) {
+      return Status::InvalidArgument("aggregate over string column '" +
+                                     agg.column + "'");
+    }
+  } else if (agg.kind != AggKind::kCount) {
+    return Status::InvalidArgument("only COUNT may omit the column");
+  }
+
+  QueryResult result;
+
+  // ---- Grouped aggregates -------------------------------------------------
+  if (query.group_by().has_value()) {
+    EXPLOREDB_ASSIGN_OR_RETURN(size_t gidx,
+                               entry->schema().FieldIndex(*query.group_by()));
+    EXPLOREDB_ASSIGN_OR_RETURN(const ColumnVector* gcol,
+                               entry->GetColumn(gidx));
+    // Which rows participate?
+    std::vector<uint32_t> positions;
+    if (options.mode == ExecutionMode::kSampled) {
+      Random rng(42);
+      std::vector<uint32_t> sample = BernoulliSample(
+          n, options.sample_fraction, &rng);
+      EXPLOREDB_ASSIGN_OR_RETURN(
+          std::vector<const ColumnVector*> cols,
+          FetchConditionColumns(entry, query.where().conjuncts()));
+      for (uint32_t row : sample) {
+        ++result.rows_scanned;
+        if (MatchesAll(query.where().conjuncts(), cols, row)) {
+          positions.push_back(row);
+        }
+      }
+      result.approximate = true;
+    } else {
+      EXPLOREDB_ASSIGN_OR_RETURN(
+          positions, SelectPositions(entry, query.where(), options.mode,
+                                     &result.rows_scanned));
+    }
+    struct Acc {
+      std::vector<double> values;
+      uint64_t count = 0;
+    };
+    std::map<std::string, Acc> groups;
+    for (uint32_t row : positions) {
+      Acc& acc = groups[gcol->GetValue(row).ToString()];
+      ++acc.count;
+      if (measure != nullptr) acc.values.push_back(measure->GetDouble(row));
+    }
+    for (auto& [key, acc] : groups) {
+      Estimate e;
+      e.confidence = options.confidence;
+      e.sample_size = acc.count;
+      switch (agg.kind) {
+        case AggKind::kCount:
+          e.value = static_cast<double>(acc.count);
+          if (result.approximate && options.sample_fraction > 0) {
+            e.value /= options.sample_fraction;
+          }
+          break;
+        case AggKind::kSum: {
+          double s = 0;
+          for (double v : acc.values) s += v;
+          e.value = s;
+          if (result.approximate && options.sample_fraction > 0) {
+            e.value /= options.sample_fraction;
+          }
+          break;
+        }
+        case AggKind::kAvg:
+          e = EstimateMean(acc.values, options.confidence);
+          if (!result.approximate) e.ci_half_width = 0.0;
+          break;
+      }
+      result.groups.push_back({key, e});
+    }
+    return result;
+  }
+
+  // ---- Scalar aggregates --------------------------------------------------
+  switch (options.mode) {
+    case ExecutionMode::kSampled: {
+      Random rng(42);
+      std::vector<uint32_t> sample =
+          BernoulliSample(n, options.sample_fraction, &rng);
+      EXPLOREDB_ASSIGN_OR_RETURN(
+          std::vector<const ColumnVector*> cols,
+          FetchConditionColumns(entry, query.where().conjuncts()));
+      std::vector<double> matched;
+      std::vector<double> contributions;  // 0 for non-matching rows
+      size_t matches = 0;
+      for (uint32_t row : sample) {
+        ++result.rows_scanned;
+        bool hit = MatchesAll(query.where().conjuncts(), cols, row);
+        matches += hit;
+        double v = (measure != nullptr && hit) ? measure->GetDouble(row) : 0.0;
+        contributions.push_back(hit ? v : 0.0);
+        if (hit && measure != nullptr) matched.push_back(v);
+      }
+      result.approximate = true;
+      switch (agg.kind) {
+        case AggKind::kCount:
+          result.scalar = EstimateCount(matches, sample.size(), n,
+                                        options.confidence);
+          break;
+        case AggKind::kSum:
+          result.scalar =
+              EstimateSum(contributions, n, options.confidence);
+          break;
+        case AggKind::kAvg:
+          result.scalar = EstimateMean(matched, options.confidence);
+          break;
+      }
+      return result;
+    }
+    case ExecutionMode::kOnline: {
+      // Materialize predicate mask + values, then consume in random order
+      // until the error budget is met.
+      EXPLOREDB_ASSIGN_OR_RETURN(
+          std::vector<const ColumnVector*> cols,
+          FetchConditionColumns(entry, query.where().conjuncts()));
+      std::vector<double> values(n, 0.0);
+      std::vector<bool> mask(n, false);
+      for (size_t row = 0; row < n; ++row) {
+        mask[row] = MatchesAll(query.where().conjuncts(), cols, row);
+        if (measure != nullptr) values[row] = measure->GetDouble(row);
+      }
+      OnlineAggregator agg_runner(std::move(values), std::move(mask),
+                                  agg.kind);
+      const size_t batch = std::max<size_t>(n / 100, 64);
+      Estimate current = agg_runner.Current(options.confidence);
+      while (!agg_runner.done()) {
+        agg_runner.ProcessNext(batch);
+        result.rows_scanned += batch;
+        current = agg_runner.Current(options.confidence);
+        if (options.error_budget > 0 &&
+            current.ci_half_width <= options.error_budget) {
+          break;
+        }
+      }
+      result.scalar = current;
+      result.approximate = !agg_runner.done();
+      return result;
+    }
+    default: {
+      std::vector<uint32_t> positions;
+      EXPLOREDB_ASSIGN_OR_RETURN(
+          positions, SelectPositions(entry, query.where(), options.mode,
+                                     &result.rows_scanned));
+      Estimate e;
+      e.confidence = options.confidence;
+      e.sample_size = positions.size();
+      switch (agg.kind) {
+        case AggKind::kCount:
+          e.value = static_cast<double>(positions.size());
+          break;
+        case AggKind::kSum: {
+          double s = 0;
+          for (uint32_t row : positions) s += measure->GetDouble(row);
+          e.value = s;
+          break;
+        }
+        case AggKind::kAvg: {
+          double s = 0;
+          for (uint32_t row : positions) s += measure->GetDouble(row);
+          e.value = positions.empty()
+                        ? 0.0
+                        : s / static_cast<double>(positions.size());
+          break;
+        }
+      }
+      result.scalar = e;
+      return result;
+    }
+  }
+}
+
+}  // namespace exploredb

@@ -1,0 +1,57 @@
+#ifndef EXPLOREDB_ENGINE_EXECUTOR_H_
+#define EXPLOREDB_ENGINE_EXECUTOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/database.h"
+#include "engine/query.h"
+
+namespace exploredb {
+
+/// Executes declarative queries against a Database under a chosen execution
+/// mode. The executor is where the tutorial's layers meet: selection paths
+/// route through adaptive indexes (cracking), columns stream in through
+/// adaptive loading, and approximate modes answer from samples or online
+/// aggregation.
+class Executor {
+ public:
+  explicit Executor(Database* db) : db_(db) {}
+
+  /// Runs `query` under `options`. Selections yield positions + projected
+  /// rows; aggregates yield an Estimate (exact modes have zero CI width).
+  Result<QueryResult> Execute(const Query& query,
+                              const QueryOptions& options = {});
+
+ private:
+  /// An int64 range [lo, hi) extracted from a predicate, plus the conjuncts
+  /// the index cannot serve.
+  struct RangePlan {
+    size_t column;
+    int64_t lo;
+    int64_t hi;
+    std::vector<Condition> residual;
+  };
+
+  /// Tries to turn the predicate into a single-column int64 range (the shape
+  /// cracking and sorted indexes accelerate).
+  static std::optional<RangePlan> ExtractRange(const Predicate& pred,
+                                               const Schema& schema,
+                                               TableEntry* entry);
+
+  Result<std::vector<uint32_t>> SelectPositions(TableEntry* entry,
+                                                const Predicate& pred,
+                                                ExecutionMode mode,
+                                                uint64_t* rows_scanned);
+
+  Result<QueryResult> ExecuteAggregate(TableEntry* entry, const Query& query,
+                                       const QueryOptions& options);
+
+  Database* db_;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_ENGINE_EXECUTOR_H_

@@ -1,0 +1,46 @@
+#include "engine/query.h"
+
+namespace exploredb {
+
+const char* ExecutionModeName(ExecutionMode mode) {
+  switch (mode) {
+    case ExecutionMode::kScan:
+      return "scan";
+    case ExecutionMode::kCracking:
+      return "cracking";
+    case ExecutionMode::kFullIndex:
+      return "full-index";
+    case ExecutionMode::kSampled:
+      return "sampled";
+    case ExecutionMode::kOnline:
+      return "online";
+    case ExecutionMode::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+std::string Query::CacheKey() const {
+  std::string key = table_;
+  key += "|";
+  key += where_.CacheKey();
+  key += "|sel:";
+  for (const std::string& c : select_) {
+    key += c;
+    key += ",";
+  }
+  if (aggregate_.has_value()) {
+    key += "|agg:";
+    key += AggKindName(aggregate_->kind);
+    key += "(";
+    key += aggregate_->column;
+    key += ")";
+  }
+  if (group_by_.has_value()) {
+    key += "|by:";
+    key += *group_by_;
+  }
+  return key;
+}
+
+}  // namespace exploredb

@@ -1,0 +1,119 @@
+#ifndef EXPLOREDB_ENGINE_QUERY_H_
+#define EXPLOREDB_ENGINE_QUERY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sampling/estimators.h"
+#include "sampling/online_agg.h"
+#include "storage/predicate.h"
+#include "storage/table.h"
+
+namespace exploredb {
+
+/// How the engine should execute a query — the knob that trades freshness of
+/// infrastructure (indexes, samples) against latency, mirroring the
+/// tutorial's Database Layer options.
+enum class ExecutionMode {
+  kScan,       ///< full scan, no auxiliary structures
+  kCracking,   ///< adaptive indexing: crack the touched column as we go
+  kFullIndex,  ///< build/use a fully sorted index (pay upfront)
+  kSampled,    ///< approximate answer from a uniform sample
+  kOnline,     ///< online aggregation until the error budget is met
+  kAuto,       ///< engine picks: cracking for index-serviceable predicates,
+               ///< scan otherwise ("organic" self-organizing default)
+};
+
+const char* ExecutionModeName(ExecutionMode mode);
+
+/// Per-query execution options.
+struct QueryOptions {
+  ExecutionMode mode = ExecutionMode::kScan;
+  /// kSampled: fraction of rows to sample.
+  double sample_fraction = 0.01;
+  /// kOnline: stop when the CI half-width drops below this (absolute).
+  double error_budget = 0.0;
+  double confidence = 0.95;
+};
+
+/// An aggregate expression `agg(column)`.
+struct AggregateExpr {
+  AggKind kind = AggKind::kCount;
+  std::string column;  ///< ignored for COUNT(*) — leave empty
+};
+
+/// A declarative exploration query over one table: selection + either a
+/// projection or an (optionally grouped) aggregate. Built fluently:
+///
+///   Query q = Query::On("stars")
+///                 .Where(Predicate::Range(0, 10.0, 20.0))
+///                 .Aggregate(AggKind::kAvg, "brightness")
+///                 .GroupBy("region");
+class Query {
+ public:
+  static Query On(std::string table) {
+    Query q;
+    q.table_ = std::move(table);
+    return q;
+  }
+
+  Query& Where(Predicate pred) {
+    where_ = std::move(pred);
+    return *this;
+  }
+  Query& Select(std::vector<std::string> columns) {
+    select_ = std::move(columns);
+    return *this;
+  }
+  Query& Aggregate(AggKind kind, std::string column = "") {
+    aggregate_ = AggregateExpr{kind, std::move(column)};
+    return *this;
+  }
+  Query& GroupBy(std::string column) {
+    group_by_ = std::move(column);
+    return *this;
+  }
+
+  const std::string& table() const { return table_; }
+  const Predicate& where() const { return where_; }
+  const std::vector<std::string>& select() const { return select_; }
+  const std::optional<AggregateExpr>& aggregate() const { return aggregate_; }
+  const std::optional<std::string>& group_by() const { return group_by_; }
+
+  /// Stable key for result caching and trajectory modeling.
+  std::string CacheKey() const;
+
+ private:
+  std::string table_;
+  Predicate where_;
+  std::vector<std::string> select_;
+  std::optional<AggregateExpr> aggregate_;
+  std::optional<std::string> group_by_;
+};
+
+/// One group of a grouped-aggregate result.
+struct GroupValue {
+  std::string key;
+  Estimate value;
+};
+
+/// Result of a query: positions + projected rows for selections, an Estimate
+/// for aggregates (exact answers have zero CI width), groups for group-bys.
+struct QueryResult {
+  std::vector<uint32_t> positions;       ///< matching rows (selections)
+  std::optional<Table> rows;             ///< projected rows (selections)
+  std::optional<Estimate> scalar;        ///< aggregate result
+  std::vector<GroupValue> groups;        ///< grouped aggregate result
+
+  // Provenance / cost accounting.
+  uint64_t rows_scanned = 0;
+  bool from_cache = false;
+  bool approximate = false;
+  int64_t exec_micros = 0;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_ENGINE_QUERY_H_

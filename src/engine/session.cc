@@ -1,0 +1,136 @@
+#include "engine/session.h"
+
+#include <cmath>
+
+namespace exploredb {
+
+Session::Session(Database* db, SessionOptions options)
+    : db_(db),
+      options_(options),
+      executor_(db),
+      cache_(options.cache_capacity) {}
+
+Result<QueryResult> Session::Execute(const Query& query,
+                                     const QueryOptions& options) {
+  ++stats_.queries;
+  const std::string key = query.CacheKey();
+
+  // Trajectory model learns every issued query (cached or not).
+  if (!history_.empty()) trajectory_.Observe(history_.back(), key);
+  history_.push_back(key);
+
+  // Only position results of exact selections are cacheable.
+  const bool cacheable =
+      !query.aggregate().has_value() && !query.group_by().has_value() &&
+      options.mode != ExecutionMode::kSampled &&
+      options.mode != ExecutionMode::kOnline;
+
+  if (cacheable) {
+    if (auto cached = cache_.Get(key)) {
+      ++stats_.cache_hits;
+      QueryResult result;
+      result.positions = std::move(*cached);
+      result.from_cache = true;
+      // Re-project rows from the cached positions (cheap gather).
+      EXPLOREDB_ASSIGN_OR_RETURN(TableEntry * entry,
+                                 db_->GetTable(query.table()));
+      std::vector<size_t> cols;
+      if (query.select().empty()) {
+        for (size_t c = 0; c < entry->schema().num_fields(); ++c) {
+          cols.push_back(c);
+        }
+      } else {
+        for (const std::string& name : query.select()) {
+          EXPLOREDB_ASSIGN_OR_RETURN(size_t idx,
+                                     entry->schema().FieldIndex(name));
+          cols.push_back(idx);
+        }
+      }
+      Table projected(entry->schema().Select(cols));
+      for (size_t i = 0; i < cols.size(); ++i) {
+        EXPLOREDB_ASSIGN_OR_RETURN(const ColumnVector* col,
+                                   entry->GetColumn(cols[i]));
+        *projected.mutable_column(i) = col->Gather(result.positions);
+      }
+      result.rows = std::move(projected);
+      if (options_.speculate) {
+        SpeculateAround(query, options);
+        stats_.speculative_queries += speculator_.RunIdle(options_.idle_budget);
+      }
+      last_table_ = query.table();
+      last_predicate_ = query.where();
+      return result;
+    }
+  }
+
+  EXPLOREDB_ASSIGN_OR_RETURN(QueryResult result,
+                             executor_.Execute(query, options));
+  if (cacheable) cache_.Put(key, result.positions);
+  last_table_ = query.table();
+  last_predicate_ = query.where();
+
+  if (options_.speculate) {
+    SpeculateAround(query, options);
+    stats_.speculative_queries += speculator_.RunIdle(options_.idle_budget);
+  }
+  return result;
+}
+
+void Session::SpeculateAround(const Query& query,
+                              const QueryOptions& options) {
+  // Momentum speculation on single-column int64 windows: the exploratory
+  // idiom "slide the window" makes the adjacent windows the best candidates.
+  const auto& conjuncts = query.where().conjuncts();
+  if (conjuncts.size() != 2) return;
+  const Condition& a = conjuncts[0];
+  const Condition& b = conjuncts[1];
+  if (a.column != b.column) return;
+  if (!(a.op == CompareOp::kGe && b.op == CompareOp::kLt)) return;
+  if (!a.constant.is_int64() || !b.constant.is_int64()) return;
+  int64_t lo = a.constant.int64();
+  int64_t hi = b.constant.int64();
+  int64_t width = hi - lo;
+  if (width <= 0) return;
+
+  for (int dir : {+1, -1}) {
+    Query shifted = Query::On(query.table())
+                        .Where(Predicate(
+                            {{a.column, CompareOp::kGe,
+                              Value(lo + dir * width)},
+                             {a.column, CompareOp::kLt,
+                              Value(hi + dir * width)}}))
+                        .Select(query.select());
+    std::string key = shifted.CacheKey();
+    if (cache_.Contains(key)) continue;
+    // Prefer the direction the trajectory model has seen before.
+    double utility = 0.5 + static_cast<double>(dir) * 0.01;
+    if (!history_.empty()) {
+      utility = trajectory_.TransitionProbability(history_.back(), key);
+    }
+    QueryOptions spec_options = options;
+    speculator_.Enqueue(key, utility, [this, shifted, spec_options, key]() {
+      auto result = executor_.Execute(shifted, spec_options);
+      if (result.ok()) {
+        cache_.Put(key, std::move(result).ValueOrDie().positions);
+      }
+    });
+  }
+}
+
+Result<SeeDbReport> Session::RecommendViews(const std::vector<ViewSpec>& views,
+                                            size_t k, SeeDbMode mode) {
+  if (last_table_.empty()) {
+    return Status::FailedPrecondition("no query executed yet");
+  }
+  EXPLOREDB_ASSIGN_OR_RETURN(TableEntry * entry, db_->GetTable(last_table_));
+  EXPLOREDB_ASSIGN_OR_RETURN(const Table* table, entry->Materialized());
+  SeeDbRecommender recommender(table, last_predicate_);
+  return recommender.Recommend(views, k, mode);
+}
+
+std::vector<std::string> Session::PredictNextQueries(size_t k) const {
+  if (history_.empty()) return {};
+  return trajectory_.PredictNext(history_.back(), k);
+}
+
+}  // namespace exploredb

@@ -1,0 +1,82 @@
+#ifndef EXPLOREDB_ENGINE_SESSION_H_
+#define EXPLOREDB_ENGINE_SESSION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/database.h"
+#include "engine/executor.h"
+#include "engine/query.h"
+#include "explore/seedb.h"
+#include "prefetch/markov.h"
+#include "prefetch/query_cache.h"
+#include "prefetch/speculator.h"
+
+namespace exploredb {
+
+/// Session configuration.
+struct SessionOptions {
+  size_t cache_capacity = 256;
+  /// Speculative tasks drained after each user query ("think time" budget).
+  size_t idle_budget = 2;
+  /// Enable momentum-based speculation of shifted range windows.
+  bool speculate = true;
+};
+
+/// Aggregated statistics of a session.
+struct SessionStats {
+  uint64_t queries = 0;
+  uint64_t cache_hits = 0;
+  uint64_t speculative_queries = 0;
+};
+
+/// An interactive exploration session: the integration point of the
+/// tutorial's three layers. Every query flows through
+///   result cache (middleware) -> executor (engine; cracking / AQP modes)
+/// and feeds the trajectory model that drives speculative prefetching of the
+/// user's likely next window. Recommendation entry points (SeeDB views)
+/// consume the session's current focus.
+class Session {
+ public:
+  Session(Database* db, SessionOptions options = {});
+
+  /// Executes a query with caching + speculation around it.
+  Result<QueryResult> Execute(const Query& query,
+                              const QueryOptions& options = {});
+
+  /// SeeDB view recommendations where the target subset is the latest
+  /// query's predicate.
+  Result<SeeDbReport> RecommendViews(const std::vector<ViewSpec>& views,
+                                     size_t k,
+                                     SeeDbMode mode = SeeDbMode::kSharedScan);
+
+  /// Most likely next query keys given the trajectory so far.
+  std::vector<std::string> PredictNextQueries(size_t k) const;
+
+  const SessionStats& stats() const { return stats_; }
+  const CacheStats& cache_stats() const { return cache_.stats(); }
+  const std::vector<std::string>& history() const { return history_; }
+  Database* db() const { return db_; }
+
+ private:
+  /// Enqueues shifted copies of a single-column range query (pan left/right)
+  /// into the speculator.
+  void SpeculateAround(const Query& query, const QueryOptions& options);
+
+  Database* db_;
+  SessionOptions options_;
+  Executor executor_;
+  QueryResultCache cache_;
+  Speculator speculator_;
+  MarkovPredictor trajectory_;
+  std::vector<std::string> history_;
+  std::string last_table_;
+  Predicate last_predicate_;
+  SessionStats stats_;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_ENGINE_SESSION_H_

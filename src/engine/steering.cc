@@ -1,0 +1,238 @@
+#include "engine/steering.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace exploredb {
+
+namespace {
+
+std::string Lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::vector<std::string> Words(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream in(line);
+  std::string word;
+  while (in >> word) out.push_back(word);
+  return out;
+}
+
+Result<CompareOp> ParseOp(const std::string& op) {
+  if (op == "<") return CompareOp::kLt;
+  if (op == "<=") return CompareOp::kLe;
+  if (op == ">") return CompareOp::kGt;
+  if (op == ">=") return CompareOp::kGe;
+  if (op == "=") return CompareOp::kEq;
+  if (op == "!=") return CompareOp::kNe;
+  return Status::ParseError("unknown operator '" + op + "'");
+}
+
+/// Typed literal for `field`: int64/double parsed, anything else a string.
+Result<Value> ParseLiteral(const std::string& text, DataType type) {
+  switch (type) {
+    case DataType::kInt64: {
+      EXPLOREDB_ASSIGN_OR_RETURN(int64_t v, ParseInt64(text));
+      return Value(v);
+    }
+    case DataType::kDouble: {
+      EXPLOREDB_ASSIGN_OR_RETURN(double v, ParseDouble(text));
+      return Value(v);
+    }
+    case DataType::kString:
+      return Value(text);
+  }
+  return Status::Internal("unhandled type");
+}
+
+}  // namespace
+
+Result<Schema> SteeringInterpreter::TableSchema(
+    const std::string& table) const {
+  EXPLOREDB_ASSIGN_OR_RETURN(TableEntry * entry,
+                             session_->db()->GetTable(table));
+  return entry->schema();
+}
+
+Result<Query> SteeringInterpreter::BuildQuery(const State& state) const {
+  if (state.table.empty()) {
+    return Status::FailedPrecondition("RUN before USE <table>");
+  }
+  Predicate where;
+  if (state.has_window) {
+    where.And({state.window_col, CompareOp::kGe, Value(state.lo)});
+    where.And({state.window_col, CompareOp::kLt, Value(state.hi)});
+  }
+  for (const Condition& c : state.filters) where.And(c);
+  Query q = Query::On(state.table).Where(std::move(where));
+  if (state.agg.has_value()) {
+    q.Aggregate(state.agg->kind, state.agg->column);
+  } else if (!state.projection.empty()) {
+    q.Select(state.projection);
+  }
+  return q;
+}
+
+Result<SteeringTrace> SteeringInterpreter::Run(const std::string& program) {
+  SteeringTrace trace;
+  State state;
+  size_t line_no = 0;
+  std::istringstream in(program);
+  std::string line;
+  auto fail = [&](const std::string& msg) {
+    return Status::ParseError("line " + std::to_string(line_no) + ": " + msg);
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (auto hash = line.find('#'); hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    std::vector<std::string> words = Words(line);
+    if (words.empty()) continue;
+    std::string cmd = Lower(words[0]);
+
+    if (cmd == "use") {
+      if (words.size() != 2) return fail("USE <table>");
+      EXPLOREDB_RETURN_NOT_OK(TableSchema(words[1]).status());
+      state.table = words[1];
+    } else if (cmd == "window") {
+      if (words.size() != 4) return fail("WINDOW <column> <lo> <hi>");
+      if (state.table.empty()) return fail("WINDOW before USE");
+      EXPLOREDB_ASSIGN_OR_RETURN(Schema schema, TableSchema(state.table));
+      auto col = schema.FieldIndex(words[1]);
+      if (!col.ok()) return fail(col.status().message());
+      if (schema.field(col.ValueOrDie()).type != DataType::kInt64) {
+        return fail("WINDOW column must be int64");
+      }
+      auto lo = ParseInt64(words[2]);
+      auto hi = ParseInt64(words[3]);
+      if (!lo.ok() || !hi.ok()) return fail("WINDOW bounds must be integers");
+      state.has_window = true;
+      state.window_col = col.ValueOrDie();
+      state.lo = lo.ValueOrDie();
+      state.hi = hi.ValueOrDie();
+    } else if (cmd == "pan") {
+      if (!state.has_window) return fail("PAN before WINDOW");
+      if (words.size() != 2) return fail("PAN <delta>");
+      auto delta = ParseInt64(words[1]);
+      if (!delta.ok()) return fail("PAN delta must be an integer");
+      state.lo += delta.ValueOrDie();
+      state.hi += delta.ValueOrDie();
+    } else if (cmd == "zoom") {
+      if (!state.has_window) return fail("ZOOM before WINDOW");
+      if (words.size() != 2) return fail("ZOOM <factor>");
+      auto factor = ParseDouble(words[1]);
+      if (!factor.ok() || factor.ValueOrDie() <= 0) {
+        return fail("ZOOM factor must be positive");
+      }
+      double center = (static_cast<double>(state.lo) +
+                       static_cast<double>(state.hi)) /
+                      2.0;
+      double half = (static_cast<double>(state.hi) -
+                     static_cast<double>(state.lo)) /
+                    2.0 * factor.ValueOrDie();
+      half = std::max(half, 0.5);  // never collapse below one unit
+      state.lo = static_cast<int64_t>(std::floor(center - half));
+      state.hi = static_cast<int64_t>(std::ceil(center + half));
+    } else if (cmd == "filter") {
+      if (words.size() != 4) return fail("FILTER <column> <op> <value>");
+      if (state.table.empty()) return fail("FILTER before USE");
+      EXPLOREDB_ASSIGN_OR_RETURN(Schema schema, TableSchema(state.table));
+      auto col = schema.FieldIndex(words[1]);
+      if (!col.ok()) return fail(col.status().message());
+      auto op = ParseOp(words[2]);
+      if (!op.ok()) return fail(op.status().message());
+      auto value =
+          ParseLiteral(words[3], schema.field(col.ValueOrDie()).type);
+      if (!value.ok()) return fail(value.status().message());
+      state.filters.push_back(
+          {col.ValueOrDie(), op.ValueOrDie(), value.ValueOrDie()});
+    } else if (cmd == "clear") {
+      state.filters.clear();
+    } else if (cmd == "mode") {
+      if (words.size() != 2) return fail("MODE <mode>");
+      std::string mode = Lower(words[1]);
+      if (mode == "scan") {
+        state.options.mode = ExecutionMode::kScan;
+      } else if (mode == "cracking") {
+        state.options.mode = ExecutionMode::kCracking;
+      } else if (mode == "full-index") {
+        state.options.mode = ExecutionMode::kFullIndex;
+      } else if (mode == "sampled") {
+        state.options.mode = ExecutionMode::kSampled;
+      } else if (mode == "online") {
+        state.options.mode = ExecutionMode::kOnline;
+      } else if (mode == "auto") {
+        state.options.mode = ExecutionMode::kAuto;
+      } else {
+        return fail("unknown mode '" + words[1] + "'");
+      }
+    } else if (cmd == "sample") {
+      if (words.size() != 2) return fail("SAMPLE <fraction>");
+      auto fraction = ParseDouble(words[1]);
+      if (!fraction.ok() || fraction.ValueOrDie() <= 0 ||
+          fraction.ValueOrDie() > 1) {
+        return fail("SAMPLE fraction must be in (0, 1]");
+      }
+      state.options.sample_fraction = fraction.ValueOrDie();
+    } else if (cmd == "error") {
+      if (words.size() != 2) return fail("ERROR <budget>");
+      auto budget = ParseDouble(words[1]);
+      if (!budget.ok() || budget.ValueOrDie() < 0) {
+        return fail("ERROR budget must be >= 0");
+      }
+      state.options.error_budget = budget.ValueOrDie();
+    } else if (cmd == "agg") {
+      if (words.size() < 2 || words.size() > 3) {
+        return fail("AGG <avg|sum|count> [column]");
+      }
+      std::string kind = Lower(words[1]);
+      AggregateExpr agg;
+      if (kind == "avg") {
+        agg.kind = AggKind::kAvg;
+      } else if (kind == "sum") {
+        agg.kind = AggKind::kSum;
+      } else if (kind == "count") {
+        agg.kind = AggKind::kCount;
+      } else {
+        return fail("unknown aggregate '" + words[1] + "'");
+      }
+      if (words.size() == 3) agg.column = words[2];
+      if (agg.kind != AggKind::kCount && agg.column.empty()) {
+        return fail("AVG/SUM need a column");
+      }
+      state.agg = agg;
+    } else if (cmd == "select") {
+      if (words.size() < 2) return fail("SELECT <col> [col ...]");
+      state.projection.assign(words.begin() + 1, words.end());
+      state.agg.reset();
+    } else if (cmd == "run") {
+      EXPLOREDB_ASSIGN_OR_RETURN(Query q, BuildQuery(state));
+      EXPLOREDB_ASSIGN_OR_RETURN(Schema schema, TableSchema(state.table));
+      trace.executed_sql.push_back(
+          (state.agg.has_value()
+               ? std::string(AggKindName(state.agg->kind)) + "(" +
+                     state.agg->column + ") "
+               : std::string("SELECT ")) +
+          "FROM " + state.table + " WHERE " + q.where().ToString(schema) +
+          " [" + ExecutionModeName(state.options.mode) + "]");
+      EXPLOREDB_ASSIGN_OR_RETURN(QueryResult result,
+                                 session_->Execute(q, state.options));
+      trace.results.push_back(std::move(result));
+    } else {
+      return fail("unknown statement '" + words[0] + "'");
+    }
+  }
+  return trace;
+}
+
+}  // namespace exploredb

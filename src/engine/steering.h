@@ -1,0 +1,73 @@
+#ifndef EXPLOREDB_ENGINE_STEERING_H_
+#define EXPLOREDB_ENGINE_STEERING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/query.h"
+#include "engine/session.h"
+
+namespace exploredb {
+
+/// Execution trace of a steering program: one entry per RUN statement.
+struct SteeringTrace {
+  std::vector<QueryResult> results;
+  std::vector<std::string> executed_sql;  ///< human-readable query forms
+};
+
+/// A tiny declarative exploration-steering language — the tutorial's §2.4
+/// closes by noting that "at the user interaction layer we still lack
+/// declarative exploration languages to present and reason about popular
+/// navigational idioms"; this module implements one for the idioms the
+/// survey names (window sliding, zooming, filtering, approximate preview).
+///
+/// Programs are newline-separated statements ('#' starts a comment):
+///
+///   USE <table>
+///   WINDOW <column> <lo> <hi>      -- set the exploration window [lo, hi)
+///   PAN <delta>                    -- slide the window by delta
+///   ZOOM <factor>                  -- rescale width around the center
+///                                     (< 1 zooms in, > 1 zooms out)
+///   FILTER <column> <op> <value>   -- add a conjunct (op: < <= > >= = !=)
+///   CLEAR                          -- drop all FILTER conjuncts
+///   MODE <scan|cracking|full-index|sampled|online>
+///   SAMPLE <fraction>              -- sample fraction for MODE sampled
+///   ERROR <budget>                 -- CI budget for MODE online
+///   AGG <avg|sum|count> [column]   -- aggregate instead of row selection
+///   SELECT <col> [col ...]         -- projection for row selections
+///   RUN                            -- execute the current exploration state
+///
+/// Each RUN goes through the Session, so steering programs benefit from the
+/// middleware (caching, speculation) like interactive users do.
+class SteeringInterpreter {
+ public:
+  explicit SteeringInterpreter(Session* session) : session_(session) {}
+
+  /// Parses and executes `program`. Fails with the 1-based line number on
+  /// the first invalid statement; queries that fail abort execution.
+  Result<SteeringTrace> Run(const std::string& program);
+
+ private:
+  struct State {
+    std::string table;
+    bool has_window = false;
+    size_t window_col = 0;
+    int64_t lo = 0;
+    int64_t hi = 0;
+    std::vector<Condition> filters;
+    QueryOptions options;
+    std::optional<AggregateExpr> agg;
+    std::vector<std::string> projection;
+  };
+
+  Result<Query> BuildQuery(const State& state) const;
+  Result<Schema> TableSchema(const std::string& table) const;
+
+  Session* session_;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_ENGINE_STEERING_H_

@@ -1,0 +1,179 @@
+#include "explore/cube.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace exploredb {
+
+namespace {
+constexpr char kSep = '\x1f';
+}  // namespace
+
+Result<DataCube> DataCube::Build(const Table& table,
+                                 std::vector<size_t> dimension_cols,
+                                 size_t measure_col, AggKind agg) {
+  if (dimension_cols.empty() || dimension_cols.size() > 12) {
+    return Status::InvalidArgument("need 1..12 dimensions");
+  }
+  for (size_t c : dimension_cols) {
+    if (c >= table.num_columns()) {
+      return Status::OutOfRange("dimension column " + std::to_string(c));
+    }
+    if (table.column(c).type() != DataType::kString) {
+      return Status::InvalidArgument("dimensions must be string columns");
+    }
+  }
+  if (measure_col >= table.num_columns()) {
+    return Status::OutOfRange("measure column");
+  }
+  if (table.column(measure_col).type() == DataType::kString &&
+      agg != AggKind::kCount) {
+    return Status::InvalidArgument("non-COUNT aggregate over string measure");
+  }
+
+  DataCube cube;
+  cube.agg_ = agg;
+  for (size_t c : dimension_cols) {
+    cube.dim_names_.push_back(table.schema().field(c).name);
+  }
+  const size_t d = dimension_cols.size();
+  const size_t num_cuboids = static_cast<size_t>(1) << d;
+  cube.cuboids_.resize(num_cuboids);
+
+  const size_t n = table.num_rows();
+  const bool numeric_measure =
+      table.column(measure_col).type() != DataType::kString;
+  std::vector<std::string> coords(d);
+  for (size_t row = 0; row < n; ++row) {
+    for (size_t i = 0; i < d; ++i) {
+      coords[i] = table.column(dimension_cols[i]).string_data()[row];
+    }
+    double value =
+        numeric_measure ? table.column(measure_col).GetDouble(row) : 0.0;
+    for (size_t mask = 0; mask < num_cuboids; ++mask) {
+      std::string key;
+      for (size_t i = 0; i < d; ++i) {
+        if (mask & (static_cast<size_t>(1) << i)) {
+          key += coords[i];
+        }
+        key += kSep;
+      }
+      GroupAgg& cell = cube.cuboids_[mask][key];
+      cell.sum += value;
+      ++cell.count;
+    }
+  }
+  return cube;
+}
+
+double DataCube::CellValue(const GroupAgg& g) const {
+  switch (agg_) {
+    case AggKind::kAvg:
+      return g.count ? g.sum / static_cast<double>(g.count) : 0.0;
+    case AggKind::kSum:
+      return g.sum;
+    case AggKind::kCount:
+      return static_cast<double>(g.count);
+  }
+  return 0.0;
+}
+
+Result<std::vector<CubeCell>> DataCube::Cuboid(
+    const std::vector<size_t>& dims) const {
+  size_t mask = 0;
+  for (size_t i : dims) {
+    if (i >= dim_names_.size()) {
+      return Status::OutOfRange("dimension index " + std::to_string(i));
+    }
+    mask |= static_cast<size_t>(1) << i;
+  }
+  std::vector<CubeCell> out;
+  for (const auto& [key, agg] : cuboids_[mask]) {
+    CubeCell cell;
+    // Unpack the kSep-joined key, keeping only grouped dimensions in the
+    // order the caller listed them.
+    std::vector<std::string> parts;
+    std::string cur;
+    for (char ch : key) {
+      if (ch == kSep) {
+        parts.push_back(cur);
+        cur.clear();
+      } else {
+        cur += ch;
+      }
+    }
+    for (size_t i : dims) cell.coords.push_back(parts[i]);
+    cell.value = CellValue(agg);
+    cell.count = agg.count;
+    out.push_back(std::move(cell));
+  }
+  std::sort(out.begin(), out.end(), [](const CubeCell& a, const CubeCell& b) {
+    return a.coords < b.coords;
+  });
+  return out;
+}
+
+size_t DataCube::TotalCells() const {
+  size_t total = 0;
+  for (const auto& cuboid : cuboids_) total += cuboid.size();
+  return total;
+}
+
+Result<std::vector<SurpriseCell>> DataCube::SurpriseCells(
+    size_t dim_a, size_t dim_b, double z_threshold) const {
+  if (dim_a == dim_b) return Status::InvalidArgument("dim_a == dim_b");
+  EXPLOREDB_ASSIGN_OR_RETURN(std::vector<CubeCell> cells,
+                             Cuboid({dim_a, dim_b}));
+  if (cells.empty()) return std::vector<SurpriseCell>{};
+
+  // Additive ANOVA-style model on cell values.
+  std::unordered_map<std::string, std::pair<double, size_t>> row_sums;
+  std::unordered_map<std::string, std::pair<double, size_t>> col_sums;
+  double grand = 0.0;
+  for (const CubeCell& c : cells) {
+    row_sums[c.coords[0]].first += c.value;
+    ++row_sums[c.coords[0]].second;
+    col_sums[c.coords[1]].first += c.value;
+    ++col_sums[c.coords[1]].second;
+    grand += c.value;
+  }
+  double grand_mean = grand / static_cast<double>(cells.size());
+
+  // Residual standard deviation.
+  double ss = 0.0;
+  std::vector<double> residuals;
+  residuals.reserve(cells.size());
+  for (const CubeCell& c : cells) {
+    auto& rs = row_sums[c.coords[0]];
+    auto& cs = col_sums[c.coords[1]];
+    double expected = rs.first / static_cast<double>(rs.second) +
+                      cs.first / static_cast<double>(cs.second) - grand_mean;
+    double r = c.value - expected;
+    residuals.push_back(r);
+    ss += r * r;
+  }
+  double sd = std::sqrt(ss / static_cast<double>(cells.size()));
+  if (sd <= 0) return std::vector<SurpriseCell>{};
+
+  std::vector<SurpriseCell> out;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    double z = residuals[i] / sd;
+    if (std::abs(z) >= z_threshold) {
+      auto& rs = row_sums[cells[i].coords[0]];
+      auto& cs = col_sums[cells[i].coords[1]];
+      double expected = rs.first / static_cast<double>(rs.second) +
+                        cs.first / static_cast<double>(cs.second) -
+                        grand_mean;
+      out.push_back({cells[i].coords[0], cells[i].coords[1], cells[i].value,
+                     expected, z});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SurpriseCell& a, const SurpriseCell& b) {
+              return std::abs(a.zscore) > std::abs(b.zscore);
+            });
+  return out;
+}
+
+}  // namespace exploredb

@@ -1,0 +1,85 @@
+#ifndef EXPLOREDB_EXPLORE_CUBE_H_
+#define EXPLOREDB_EXPLORE_CUBE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sampling/online_agg.h"
+#include "storage/table.h"
+
+namespace exploredb {
+
+/// One cell of a cuboid: coordinates along the grouped dimensions plus the
+/// aggregate over the cell's rows.
+struct CubeCell {
+  std::vector<std::string> coords;
+  double value = 0.0;
+  uint64_t count = 0;
+};
+
+/// A cell flagged by discovery-driven exploration: its value deviates from
+/// what an additive (row + column effect) model predicts.
+struct SurpriseCell {
+  std::string coord_a;
+  std::string coord_b;
+  double actual = 0.0;
+  double expected = 0.0;
+  double zscore = 0.0;  ///< standardized residual
+};
+
+/// Fully materialized data cube over categorical dimensions: every subset of
+/// dimensions (cuboid) is precomputed so interactive roll-up/drill-down is a
+/// map lookup — the substrate of the cube-exploration systems the tutorial
+/// surveys (DICE-style cube navigation [Kamat et al., ICDE'14], i3 and
+/// discovery-driven OLAP [Sarawagi et al.]).
+class DataCube {
+ public:
+  /// Materializes all 2^d cuboids of agg(measure) grouped by the string
+  /// columns `dimension_cols` (d <= 12). COUNT permits a string measure.
+  static Result<DataCube> Build(const Table& table,
+                                std::vector<size_t> dimension_cols,
+                                size_t measure_col, AggKind agg);
+
+  size_t num_dimensions() const { return dim_names_.size(); }
+  const std::vector<std::string>& dimension_names() const {
+    return dim_names_;
+  }
+
+  /// Cells of the cuboid grouping by `dims` (indices into the cube's
+  /// dimension list, e.g. {0, 2}), sorted by coordinates.
+  Result<std::vector<CubeCell>> Cuboid(const std::vector<size_t>& dims) const;
+
+  /// Total number of materialized cells across all cuboids.
+  size_t TotalCells() const;
+
+  /// Discovery-driven exploration [Sarawagi/Agrawal/Megiddo, EDBT'98]: on
+  /// the 2-D cuboid (dim_a, dim_b), fit the additive model
+  ///   expected(a,b) = row_mean(a) + col_mean(b) - grand_mean
+  /// and return cells whose standardized residual exceeds `z_threshold`,
+  /// most surprising first.
+  Result<std::vector<SurpriseCell>> SurpriseCells(size_t dim_a, size_t dim_b,
+                                                  double z_threshold) const;
+
+ private:
+  struct GroupAgg {
+    double sum = 0.0;
+    uint64_t count = 0;
+  };
+
+  DataCube() = default;
+
+  double CellValue(const GroupAgg& g) const;
+
+  AggKind agg_ = AggKind::kSum;
+  std::vector<std::string> dim_names_;
+  // cuboid mask (bit i set = dimension i grouped) -> joined-coords -> agg.
+  // Coordinates are joined with '\x1f' in dimension order.
+  std::vector<std::map<std::string, GroupAgg>> cuboids_;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_EXPLORE_CUBE_H_

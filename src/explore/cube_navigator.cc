@@ -1,0 +1,178 @@
+#include "explore/cube_navigator.h"
+
+#include <algorithm>
+
+namespace exploredb {
+
+namespace {
+constexpr char kSep = '\x1f';
+}  // namespace
+
+Result<LazyCube> LazyCube::Create(const Table* table,
+                                  std::vector<size_t> dimension_cols,
+                                  size_t measure_col, AggKind agg) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  if (dimension_cols.empty() || dimension_cols.size() > 20) {
+    return Status::InvalidArgument("need 1..20 dimensions");
+  }
+  for (size_t c : dimension_cols) {
+    if (c >= table->num_columns()) {
+      return Status::OutOfRange("dimension column " + std::to_string(c));
+    }
+    if (table->column(c).type() != DataType::kString) {
+      return Status::InvalidArgument("dimensions must be string columns");
+    }
+  }
+  if (measure_col >= table->num_columns()) {
+    return Status::OutOfRange("measure column");
+  }
+  if (table->column(measure_col).type() == DataType::kString &&
+      agg != AggKind::kCount) {
+    return Status::InvalidArgument("non-COUNT aggregate over string measure");
+  }
+  LazyCube cube;
+  cube.table_ = table;
+  cube.dimension_cols_ = std::move(dimension_cols);
+  cube.measure_col_ = measure_col;
+  cube.agg_ = agg;
+  return cube;
+}
+
+size_t LazyCube::MaskOf(const std::vector<size_t>& dims) const {
+  size_t mask = 0;
+  for (size_t d : dims) mask |= static_cast<size_t>(1) << d;
+  return mask;
+}
+
+Status LazyCube::Materialize(size_t mask) {
+  if (cuboids_.count(mask)) return Status::OK();
+  std::map<std::string, GroupAgg>& cells = cuboids_[mask];
+  const size_t n = table_->num_rows();
+  const size_t d = dimension_cols_.size();
+  const bool numeric =
+      table_->column(measure_col_).type() != DataType::kString;
+  for (size_t row = 0; row < n; ++row) {
+    ++rows_scanned_;
+    std::string key;
+    for (size_t i = 0; i < d; ++i) {
+      if (mask & (static_cast<size_t>(1) << i)) {
+        key += table_->column(dimension_cols_[i]).string_data()[row];
+      }
+      key += kSep;
+    }
+    GroupAgg& cell = cells[key];
+    if (numeric) cell.sum += table_->column(measure_col_).GetDouble(row);
+    ++cell.count;
+  }
+  return Status::OK();
+}
+
+bool LazyCube::IsMaterialized(const std::vector<size_t>& dims) const {
+  return cuboids_.count(MaskOf(dims)) > 0;
+}
+
+Result<std::vector<CubeCell>> LazyCube::Cuboid(
+    const std::vector<size_t>& dims) {
+  for (size_t d : dims) {
+    if (d >= dimension_cols_.size()) {
+      return Status::OutOfRange("dimension index " + std::to_string(d));
+    }
+  }
+  size_t mask = MaskOf(dims);
+  EXPLOREDB_RETURN_NOT_OK(Materialize(mask));
+  std::vector<CubeCell> out;
+  for (const auto& [key, agg] : cuboids_[mask]) {
+    CubeCell cell;
+    std::vector<std::string> parts;
+    std::string cur;
+    for (char ch : key) {
+      if (ch == kSep) {
+        parts.push_back(cur);
+        cur.clear();
+      } else {
+        cur += ch;
+      }
+    }
+    for (size_t d : dims) cell.coords.push_back(parts[d]);
+    switch (agg_) {
+      case AggKind::kAvg:
+        cell.value = agg.count ? agg.sum / static_cast<double>(agg.count) : 0;
+        break;
+      case AggKind::kSum:
+        cell.value = agg.sum;
+        break;
+      case AggKind::kCount:
+        cell.value = static_cast<double>(agg.count);
+        break;
+    }
+    cell.count = agg.count;
+    out.push_back(std::move(cell));
+  }
+  std::sort(out.begin(), out.end(), [](const CubeCell& a, const CubeCell& b) {
+    return a.coords < b.coords;
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+
+Result<CubeNavigationStep> CubeNavigator::Visit() {
+  ++moves_;
+  std::vector<size_t> dims(grouping_.begin(), grouping_.end());
+  bool resident = cube_->IsMaterialized(dims);
+  hits_ += resident;
+  EXPLOREDB_ASSIGN_OR_RETURN(std::vector<CubeCell> cells,
+                             cube_->Cuboid(dims));
+  CubeNavigationStep step;
+  step.cells = std::move(cells);
+  step.was_materialized = resident;
+  return step;
+}
+
+void CubeNavigator::ThinkTime() { SpeculateNeighbors(); }
+
+void CubeNavigator::SpeculateNeighbors() {
+  // Lattice neighbors: one drill-down or roll-up away.
+  for (size_t d = 0; d < cube_->num_dimensions(); ++d) {
+    std::set<size_t> neighbor = grouping_;
+    if (neighbor.count(d)) {
+      neighbor.erase(d);
+    } else {
+      neighbor.insert(d);
+    }
+    std::vector<size_t> dims(neighbor.begin(), neighbor.end());
+    if (cube_->IsMaterialized(dims)) continue;
+    std::string key;
+    for (size_t x : dims) key += std::to_string(x) + ",";
+    LazyCube* cube = cube_;
+    // Closer-to-current groupings first (prefer drill-downs of depth+1).
+    double utility = 1.0 / (1.0 + static_cast<double>(dims.size()));
+    speculator_.Enqueue(key, utility, [cube, dims]() {
+      (void)cube->Cuboid(dims);  // materialize; result discarded
+    });
+  }
+  speculated_ += speculator_.RunIdle(budget_);
+}
+
+Result<CubeNavigationStep> CubeNavigator::DrillDown(size_t dim) {
+  if (dim >= cube_->num_dimensions()) {
+    return Status::OutOfRange("dimension " + std::to_string(dim));
+  }
+  if (grouping_.count(dim)) {
+    return Status::InvalidArgument("dimension already in grouping");
+  }
+  grouping_.insert(dim);
+  return Visit();
+}
+
+Result<CubeNavigationStep> CubeNavigator::RollUp(size_t dim) {
+  if (!grouping_.count(dim)) {
+    return Status::InvalidArgument("dimension not in grouping");
+  }
+  grouping_.erase(dim);
+  return Visit();
+}
+
+Result<CubeNavigationStep> CubeNavigator::Current() { return Visit(); }
+
+}  // namespace exploredb

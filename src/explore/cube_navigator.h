@@ -1,0 +1,106 @@
+#ifndef EXPLOREDB_EXPLORE_CUBE_NAVIGATOR_H_
+#define EXPLOREDB_EXPLORE_CUBE_NAVIGATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "explore/cube.h"
+#include "prefetch/speculator.h"
+
+namespace exploredb {
+
+/// A data cube whose cuboids materialize lazily, one scan each, on first
+/// access — the regime of interactive cube exploration over data too large
+/// to precompute (DICE [Kamat et al., ICDE'14 / Jayachandran et al.,
+/// PVLDB'14] materializes speculatively what full materialization cannot
+/// afford).
+class LazyCube {
+ public:
+  /// Same argument contract as DataCube::Build, but nothing is computed yet.
+  static Result<LazyCube> Create(const Table* table,
+                                 std::vector<size_t> dimension_cols,
+                                 size_t measure_col, AggKind agg);
+
+  /// Cells of the cuboid grouping by `dims` (indices into the cube's
+  /// dimension list), materializing it with one table scan if absent.
+  Result<std::vector<CubeCell>> Cuboid(const std::vector<size_t>& dims);
+
+  bool IsMaterialized(const std::vector<size_t>& dims) const;
+  size_t num_dimensions() const { return dimension_cols_.size(); }
+  size_t materialized_cuboids() const { return cuboids_.size(); }
+  uint64_t rows_scanned() const { return rows_scanned_; }
+
+ private:
+  LazyCube() = default;
+
+  size_t MaskOf(const std::vector<size_t>& dims) const;
+  Status Materialize(size_t mask);
+
+  struct GroupAgg {
+    double sum = 0.0;
+    uint64_t count = 0;
+  };
+
+  const Table* table_ = nullptr;
+  std::vector<size_t> dimension_cols_;
+  size_t measure_col_ = 0;
+  AggKind agg_ = AggKind::kSum;
+  std::map<size_t, std::map<std::string, GroupAgg>> cuboids_;
+  uint64_t rows_scanned_ = 0;
+};
+
+/// Per-step outcome of a navigation move.
+struct CubeNavigationStep {
+  std::vector<CubeCell> cells;
+  bool was_materialized = false;  ///< the cuboid was already resident
+};
+
+/// Interactive cube navigation with DICE-style speculation: between user
+/// moves, ThinkTime() materializes the cuboids one lattice move away
+/// (drill-downs and roll-ups of the current grouping), so the likely next
+/// move is already resident when the user makes it. Navigation calls are
+/// pure user-visible work; call ThinkTime() to model the idle gap.
+class CubeNavigator {
+ public:
+  /// `speculation_budget` = neighbor cuboids materialized per ThinkTime().
+  CubeNavigator(LazyCube* cube, size_t speculation_budget)
+      : cube_(cube), budget_(speculation_budget) {}
+
+  /// Adds `dim` to the grouping (error if already grouped / out of range).
+  Result<CubeNavigationStep> DrillDown(size_t dim);
+
+  /// Removes `dim` from the grouping (error if not grouped).
+  Result<CubeNavigationStep> RollUp(size_t dim);
+
+  /// Cells of the current grouping (the apex at start).
+  Result<CubeNavigationStep> Current();
+
+  /// Runs up to the speculation budget of neighbor materializations — call
+  /// during user think-time.
+  void ThinkTime();
+
+  const std::set<size_t>& grouping() const { return grouping_; }
+  uint64_t moves() const { return moves_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t speculative_materializations() const { return speculated_; }
+
+ private:
+  Result<CubeNavigationStep> Visit();
+  void SpeculateNeighbors();
+
+  LazyCube* cube_;
+  size_t budget_;
+  std::set<size_t> grouping_;
+  Speculator speculator_;
+  uint64_t moves_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t speculated_ = 0;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_EXPLORE_CUBE_NAVIGATOR_H_

@@ -1,0 +1,161 @@
+#include "explore/decision_tree.h"
+
+#include <algorithm>
+
+namespace exploredb {
+
+bool Box::Contains(const std::vector<double>& point) const {
+  for (size_t d = 0; d < lo.size(); ++d) {
+    if (point[d] < lo[d] || point[d] >= hi[d]) return false;
+  }
+  return true;
+}
+
+namespace {
+
+double Gini(size_t positives, size_t total) {
+  if (total == 0) return 0.0;
+  double p = static_cast<double>(positives) / static_cast<double>(total);
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+Result<DecisionTree> DecisionTree::Train(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<bool>& labels, const DecisionTreeOptions& options) {
+  if (features.empty()) return Status::InvalidArgument("no training examples");
+  if (features.size() != labels.size()) {
+    return Status::InvalidArgument("features/labels size mismatch");
+  }
+  const size_t dims = features[0].size();
+  if (dims == 0) return Status::InvalidArgument("zero-dimensional features");
+  for (const auto& f : features) {
+    if (f.size() != dims) {
+      return Status::InvalidArgument("ragged feature vectors");
+    }
+  }
+  DecisionTree tree;
+  tree.num_features_ = dims;
+  std::vector<uint32_t> rows(features.size());
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = static_cast<uint32_t>(i);
+  tree.root_ =
+      tree.BuildNode(features, labels, std::move(rows), 0, options);
+  return tree;
+}
+
+int DecisionTree::BuildNode(const std::vector<std::vector<double>>& features,
+                            const std::vector<bool>& labels,
+                            std::vector<uint32_t> rows, size_t depth,
+                            const DecisionTreeOptions& options) {
+  size_t positives = 0;
+  for (uint32_t r : rows) positives += labels[r];
+  const size_t total = rows.size();
+
+  auto make_leaf = [&]() {
+    Node leaf;
+    leaf.is_leaf = true;
+    leaf.label = positives * 2 > total ||
+                 (positives * 2 == total && positives > 0);
+    nodes_.push_back(leaf);
+    return static_cast<int>(nodes_.size() - 1);
+  };
+
+  if (positives == 0 || positives == total || depth >= options.max_depth ||
+      total < 2 * options.min_leaf_size) {
+    return make_leaf();
+  }
+
+  // Greedy best split: for each feature, sort rows by value and sweep.
+  double base_impurity = Gini(positives, total);
+  double best_gain = 1e-12;
+  size_t best_feature = 0;
+  double best_threshold = 0.0;
+  std::vector<uint32_t> order(rows);
+  for (size_t f = 0; f < num_features_; ++f) {
+    std::sort(order.begin(), order.end(),
+              [&](uint32_t a, uint32_t b) {
+                return features[a][f] < features[b][f];
+              });
+    size_t left_pos = 0;
+    for (size_t i = 1; i < total; ++i) {
+      left_pos += labels[order[i - 1]];
+      double prev = features[order[i - 1]][f];
+      double cur = features[order[i]][f];
+      if (cur == prev) continue;  // can't split between equal values
+      size_t left_n = i;
+      size_t right_n = total - i;
+      if (left_n < options.min_leaf_size || right_n < options.min_leaf_size) {
+        continue;
+      }
+      double impurity =
+          (static_cast<double>(left_n) * Gini(left_pos, left_n) +
+           static_cast<double>(right_n) * Gini(positives - left_pos, right_n)) /
+          static_cast<double>(total);
+      double gain = base_impurity - impurity;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = prev + (cur - prev) / 2.0;
+      }
+    }
+  }
+  if (best_gain <= 1e-12) return make_leaf();
+
+  std::vector<uint32_t> left_rows, right_rows;
+  for (uint32_t r : rows) {
+    if (features[r][best_feature] < best_threshold) {
+      left_rows.push_back(r);
+    } else {
+      right_rows.push_back(r);
+    }
+  }
+  rows.clear();
+  rows.shrink_to_fit();
+
+  int left = BuildNode(features, labels, std::move(left_rows), depth + 1,
+                       options);
+  int right = BuildNode(features, labels, std::move(right_rows), depth + 1,
+                        options);
+  Node node;
+  node.is_leaf = false;
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left;
+  node.right = right;
+  nodes_.push_back(node);
+  return static_cast<int>(nodes_.size() - 1);
+}
+
+bool DecisionTree::Predict(const std::vector<double>& point) const {
+  int n = root_;
+  while (n >= 0 && !nodes_[n].is_leaf) {
+    const Node& node = nodes_[n];
+    n = (point[node.feature] < node.threshold) ? node.left : node.right;
+  }
+  return n >= 0 && nodes_[n].label;
+}
+
+void DecisionTree::CollectPositive(int node, Box box,
+                                   std::vector<Box>* out) const {
+  if (node < 0) return;
+  const Node& n = nodes_[node];
+  if (n.is_leaf) {
+    if (n.label) out->push_back(std::move(box));
+    return;
+  }
+  Box left = box;
+  left.hi[n.feature] = std::min(left.hi[n.feature], n.threshold);
+  CollectPositive(n.left, std::move(left), out);
+  Box right = std::move(box);
+  right.lo[n.feature] = std::max(right.lo[n.feature], n.threshold);
+  CollectPositive(n.right, std::move(right), out);
+}
+
+std::vector<Box> DecisionTree::PositiveRegions() const {
+  std::vector<Box> out;
+  CollectPositive(root_, Box(num_features_), &out);
+  return out;
+}
+
+}  // namespace exploredb

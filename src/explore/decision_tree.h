@@ -1,0 +1,84 @@
+#ifndef EXPLOREDB_EXPLORE_DECISION_TREE_H_
+#define EXPLOREDB_EXPLORE_DECISION_TREE_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+
+namespace exploredb {
+
+/// Axis-aligned hyper-rectangle over a feature space; bounds are half-open
+/// [lo, hi) with +/-infinity for unconstrained sides. Decision-tree leaves
+/// decompose the space into such boxes, which translate directly into
+/// conjunctive range predicates — the bridge from "learned user interest"
+/// back to SQL in explore-by-example systems.
+struct Box {
+  std::vector<double> lo;
+  std::vector<double> hi;
+
+  explicit Box(size_t dims = 0)
+      : lo(dims, -std::numeric_limits<double>::infinity()),
+        hi(dims, std::numeric_limits<double>::infinity()) {}
+
+  bool Contains(const std::vector<double>& point) const;
+};
+
+/// Training options for DecisionTree.
+struct DecisionTreeOptions {
+  size_t max_depth = 8;
+  size_t min_leaf_size = 2;
+};
+
+/// Binary CART-style classifier over dense numeric features, trained by
+/// greedy Gini-impurity splitting. Small and dependency-free: exactly the
+/// model family explore-by-example frameworks use to learn the user's
+/// relevance region [Dimitriadou et al., SIGMOD'14].
+class DecisionTree {
+ public:
+  /// Trains on rows `features[i]` with labels `labels[i]` (false/true).
+  /// All feature vectors must share the same arity (>= 1), and at least one
+  /// example is required.
+  static Result<DecisionTree> Train(
+      const std::vector<std::vector<double>>& features,
+      const std::vector<bool>& labels, const DecisionTreeOptions& options = {});
+
+  /// Predicted label for `point`.
+  bool Predict(const std::vector<double>& point) const;
+
+  /// The positive-leaf boxes: the learned interest region as a union of
+  /// axis-aligned rectangles.
+  std::vector<Box> PositiveRegions() const;
+
+  size_t num_features() const { return num_features_; }
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    bool label = false;        // leaf prediction
+    size_t feature = 0;        // split feature
+    double threshold = 0.0;    // go left if x[feature] < threshold
+    int left = -1;
+    int right = -1;
+  };
+
+  DecisionTree() = default;
+
+  int BuildNode(const std::vector<std::vector<double>>& features,
+                const std::vector<bool>& labels,
+                std::vector<uint32_t> rows, size_t depth,
+                const DecisionTreeOptions& options);
+
+  void CollectPositive(int node, Box box, std::vector<Box>* out) const;
+
+  std::vector<Node> nodes_;
+  size_t num_features_ = 0;
+  int root_ = -1;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_EXPLORE_DECISION_TREE_H_

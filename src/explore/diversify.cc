@@ -1,0 +1,172 @@
+#include "explore/diversify.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/random.h"
+
+namespace exploredb {
+
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+Result<std::vector<size_t>> DiversifyMmr(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<double>& relevance, size_t k, double lambda) {
+  if (features.size() != relevance.size()) {
+    return Status::InvalidArgument("features/relevance size mismatch");
+  }
+  if (lambda < 0.0 || lambda > 1.0) {
+    return Status::InvalidArgument("lambda must be in [0, 1]");
+  }
+  const size_t n = features.size();
+  k = std::min(k, n);
+  std::vector<size_t> picked;
+  if (k == 0) return picked;
+
+  std::vector<bool> used(n, false);
+  // min distance to the picked set, maintained incrementally: O(nk) total.
+  std::vector<double> min_dist(n, std::numeric_limits<double>::infinity());
+
+  // Seed with the most relevant item.
+  size_t first = 0;
+  for (size_t i = 1; i < n; ++i) {
+    if (relevance[i] > relevance[first]) first = i;
+  }
+  picked.push_back(first);
+  used[first] = true;
+
+  while (picked.size() < k) {
+    size_t last = picked.back();
+    double best_score = -std::numeric_limits<double>::infinity();
+    size_t best = n;
+    for (size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      min_dist[i] =
+          std::min(min_dist[i], EuclideanDistance(features[i],
+                                                  features[last]));
+      double score = lambda * relevance[i] + (1.0 - lambda) * min_dist[i];
+      if (score > best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    if (best == n) break;
+    picked.push_back(best);
+    used[best] = true;
+  }
+  return picked;
+}
+
+std::vector<size_t> DiversifyRandom(size_t n, size_t k, uint64_t seed) {
+  Random rng(seed);
+  std::vector<size_t> all(n);
+  std::iota(all.begin(), all.end(), 0);
+  rng.Shuffle(&all);
+  all.resize(std::min(k, n));
+  return all;
+}
+
+std::vector<size_t> TopKRelevance(const std::vector<double>& relevance,
+                                  size_t k) {
+  std::vector<size_t> order(relevance.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return relevance[a] > relevance[b];
+  });
+  order.resize(std::min(k, order.size()));
+  return order;
+}
+
+double DiversityObjective(const std::vector<std::vector<double>>& features,
+                          const std::vector<double>& relevance,
+                          const std::vector<size_t>& selection,
+                          double lambda) {
+  if (selection.empty()) return 0.0;
+  double rel = 0.0;
+  for (size_t i : selection) rel += relevance[i];
+  rel /= static_cast<double>(selection.size());
+  double min_dist = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < selection.size(); ++i) {
+    for (size_t j = i + 1; j < selection.size(); ++j) {
+      min_dist = std::min(min_dist, EuclideanDistance(features[selection[i]],
+                                                      features[selection[j]]));
+    }
+  }
+  if (!std::isfinite(min_dist)) min_dist = 0.0;  // singleton selection
+  return lambda * rel + (1.0 - lambda) * min_dist;
+}
+
+std::vector<size_t> ImproveBySwap(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<double>& relevance, std::vector<size_t> selection,
+    double lambda, size_t max_passes) {
+  if (selection.empty()) return selection;
+  std::vector<bool> in_selection(features.size(), false);
+  for (size_t i : selection) in_selection[i] = true;
+  double current = DiversityObjective(features, relevance, selection, lambda);
+  for (size_t pass = 0; pass < max_passes; ++pass) {
+    bool improved = false;
+    for (size_t slot = 0; slot < selection.size(); ++slot) {
+      size_t original = selection[slot];
+      size_t best_candidate = original;
+      double best_objective = current;
+      for (size_t cand = 0; cand < features.size(); ++cand) {
+        if (in_selection[cand]) continue;
+        selection[slot] = cand;
+        double objective =
+            DiversityObjective(features, relevance, selection, lambda);
+        if (objective > best_objective + 1e-12) {
+          best_objective = objective;
+          best_candidate = cand;
+        }
+      }
+      selection[slot] = best_candidate;
+      if (best_candidate != original) {
+        in_selection[original] = false;
+        in_selection[best_candidate] = true;
+        current = best_objective;
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+  return selection;
+}
+
+DiversityMetrics EvaluateSelection(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<double>& relevance,
+    const std::vector<size_t>& selection) {
+  DiversityMetrics m;
+  if (selection.empty()) return m;
+  for (size_t i : selection) m.avg_relevance += relevance[i];
+  m.avg_relevance /= static_cast<double>(selection.size());
+  if (selection.size() < 2) return m;
+  double min_d = std::numeric_limits<double>::infinity();
+  double sum_d = 0.0;
+  size_t pairs = 0;
+  for (size_t i = 0; i < selection.size(); ++i) {
+    for (size_t j = i + 1; j < selection.size(); ++j) {
+      double d =
+          EuclideanDistance(features[selection[i]], features[selection[j]]);
+      min_d = std::min(min_d, d);
+      sum_d += d;
+      ++pairs;
+    }
+  }
+  m.min_pairwise_dist = min_d;
+  m.avg_pairwise_dist = sum_d / static_cast<double>(pairs);
+  return m;
+}
+
+}  // namespace exploredb

@@ -1,0 +1,63 @@
+#ifndef EXPLOREDB_EXPLORE_DIVERSIFY_H_
+#define EXPLOREDB_EXPLORE_DIVERSIFY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace exploredb {
+
+/// Result-diversification quality measures used in E11.
+struct DiversityMetrics {
+  double avg_relevance = 0.0;      ///< mean relevance of the selected set
+  double min_pairwise_dist = 0.0;  ///< worst-case similarity (higher=better)
+  double avg_pairwise_dist = 0.0;
+};
+
+/// Euclidean distance between equal-length feature vectors.
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+/// Greedy Maximal Marginal Relevance selection [Vieira et al., ICDE'11;
+/// Khan et al., SSDBM'13 use the same objective]: picks `k` items maximizing
+///   lambda * relevance(i) + (1 - lambda) * min distance to already picked.
+/// lambda = 1 is pure top-k relevance; lambda = 0 is pure dispersion.
+/// Returns indices into `features`/`relevance`, in pick order.
+Result<std::vector<size_t>> DiversifyMmr(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<double>& relevance, size_t k, double lambda);
+
+/// Random-selection baseline (seeded), for the E11 comparison.
+std::vector<size_t> DiversifyRandom(size_t n, size_t k, uint64_t seed);
+
+/// Pure top-k by relevance baseline.
+std::vector<size_t> TopKRelevance(const std::vector<double>& relevance,
+                                  size_t k);
+
+/// Evaluates a selection against the candidate pool.
+DiversityMetrics EvaluateSelection(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<double>& relevance,
+    const std::vector<size_t>& selection);
+
+/// The scalar objective the swap optimizer maximizes:
+///   lambda * avg_relevance + (1 - lambda) * min_pairwise_distance.
+double DiversityObjective(const std::vector<std::vector<double>>& features,
+                          const std::vector<double>& relevance,
+                          const std::vector<size_t>& selection,
+                          double lambda);
+
+/// Swap-based local search (the SWAP/GMC family of Vieira et al.):
+/// starting from `selection`, repeatedly exchanges one selected item for
+/// one outside candidate while the objective improves, up to `max_passes`
+/// full sweeps. Returns the improved selection (never worse than the
+/// input). Complements the greedy MMR construction with refinement.
+std::vector<size_t> ImproveBySwap(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<double>& relevance, std::vector<size_t> selection,
+    double lambda, size_t max_passes = 3);
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_EXPLORE_DIVERSIFY_H_

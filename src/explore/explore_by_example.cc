@@ -1,0 +1,165 @@
+#include "explore/explore_by_example.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace exploredb {
+
+Result<ExploreByExample> ExploreByExample::Create(
+    const Table* table, std::vector<size_t> feature_cols,
+    ExploreByExampleOptions options) {
+  if (table == nullptr || table->num_rows() == 0) {
+    return Status::InvalidArgument("empty table");
+  }
+  if (feature_cols.empty()) {
+    return Status::InvalidArgument("no feature columns");
+  }
+  for (size_t c : feature_cols) {
+    if (c >= table->num_columns()) {
+      return Status::OutOfRange("feature column " + std::to_string(c));
+    }
+    if (table->column(c).type() == DataType::kString) {
+      return Status::InvalidArgument(
+          "feature columns must be numeric, '" +
+          table->schema().field(c).name + "' is a string column");
+    }
+  }
+  return ExploreByExample(table, std::move(feature_cols), options);
+}
+
+ExploreByExample::ExploreByExample(const Table* table,
+                                   std::vector<size_t> feature_cols,
+                                   ExploreByExampleOptions options)
+    : table_(table),
+      feature_cols_(std::move(feature_cols)),
+      options_(options),
+      rng_(options.seed),
+      already_labeled_(table->num_rows(), false) {}
+
+std::vector<double> ExploreByExample::FeatureVector(uint32_t row) const {
+  std::vector<double> f;
+  f.reserve(feature_cols_.size());
+  for (size_t c : feature_cols_) f.push_back(table_->column(c).GetDouble(row));
+  return f;
+}
+
+void ExploreByExample::PickSamples(std::vector<uint32_t>* out) {
+  const size_t n = table_->num_rows();
+  const size_t want = std::min(options_.samples_per_iteration,
+                               n - labeled_rows_.size());
+  size_t exploit_want = 0;
+  std::vector<Box> regions;
+  if (model_.has_value() && positive_count_ > 0) {
+    regions = model_->PositiveRegions();
+    exploit_want = static_cast<size_t>(
+        static_cast<double>(want) * options_.exploit_fraction);
+  }
+
+  // Exploitation: rejection-sample unlabeled rows inside (expanded) positive
+  // regions — refining the decision boundary where it matters.
+  size_t attempts = 0;
+  const size_t max_attempts = 50 * want + 100;
+  while (out->size() < exploit_want && attempts++ < max_attempts) {
+    uint32_t row = static_cast<uint32_t>(rng_.Uniform(n));
+    if (already_labeled_[row]) continue;
+    std::vector<double> f = FeatureVector(row);
+    bool near = false;
+    for (const Box& b : regions) {
+      Box expanded = b;
+      for (size_t d = 0; d < expanded.lo.size(); ++d) {
+        if (std::isfinite(expanded.lo[d]) && std::isfinite(expanded.hi[d])) {
+          double pad = 0.15 * (expanded.hi[d] - expanded.lo[d]);
+          expanded.lo[d] -= pad;
+          expanded.hi[d] += pad;
+        }
+      }
+      if (expanded.Contains(f)) {
+        near = true;
+        break;
+      }
+    }
+    if (near) {
+      out->push_back(row);
+      already_labeled_[row] = true;  // reserve to avoid duplicates this round
+    }
+  }
+
+  // Exploration: uniform random unlabeled rows for the remainder.
+  attempts = 0;
+  while (out->size() < want && attempts++ < max_attempts) {
+    uint32_t row = static_cast<uint32_t>(rng_.Uniform(n));
+    if (already_labeled_[row]) continue;
+    out->push_back(row);
+    already_labeled_[row] = true;
+  }
+}
+
+Result<size_t> ExploreByExample::RunIteration(const Oracle& oracle) {
+  std::vector<uint32_t> batch;
+  PickSamples(&batch);
+  for (uint32_t row : batch) {
+    bool label = oracle(row);
+    labeled_rows_.push_back(row);
+    labeled_features_.push_back(FeatureVector(row));
+    labels_.push_back(label);
+    positive_count_ += label;
+  }
+  if (!labeled_features_.empty()) {
+    DecisionTreeOptions tree_options;
+    tree_options.max_depth = options_.max_tree_depth;
+    tree_options.min_leaf_size = 1;
+    EXPLOREDB_ASSIGN_OR_RETURN(
+        DecisionTree tree,
+        DecisionTree::Train(labeled_features_, labels_, tree_options));
+    model_ = std::move(tree);
+  }
+  return batch.size();
+}
+
+bool ExploreByExample::PredictRow(uint32_t row) const {
+  if (!model_.has_value()) return false;
+  return model_->Predict(FeatureVector(row));
+}
+
+std::vector<Predicate> ExploreByExample::CurrentQueries() const {
+  std::vector<Predicate> out;
+  if (!model_.has_value()) return out;
+  for (const Box& box : model_->PositiveRegions()) {
+    Predicate p;
+    for (size_t d = 0; d < feature_cols_.size(); ++d) {
+      if (std::isfinite(box.lo[d])) {
+        p.And({feature_cols_[d], CompareOp::kGe, Value(box.lo[d])});
+      }
+      if (std::isfinite(box.hi[d])) {
+        p.And({feature_cols_[d], CompareOp::kLt, Value(box.hi[d])});
+      }
+    }
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+F1Score ExploreByExample::Evaluate(const Oracle& truth) const {
+  size_t tp = 0, fp = 0, fn = 0;
+  const size_t n = table_->num_rows();
+  for (uint32_t row = 0; row < n; ++row) {
+    bool predicted = PredictRow(row);
+    bool actual = truth(row);
+    tp += (predicted && actual);
+    fp += (predicted && !actual);
+    fn += (!predicted && actual);
+  }
+  F1Score s;
+  if (tp + fp > 0) {
+    s.precision = static_cast<double>(tp) / static_cast<double>(tp + fp);
+  }
+  if (tp + fn > 0) {
+    s.recall = static_cast<double>(tp) / static_cast<double>(tp + fn);
+  }
+  if (s.precision + s.recall > 0) {
+    s.f1 = 2 * s.precision * s.recall / (s.precision + s.recall);
+  }
+  return s;
+}
+
+}  // namespace exploredb

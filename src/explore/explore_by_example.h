@@ -1,0 +1,92 @@
+#ifndef EXPLOREDB_EXPLORE_EXPLORE_BY_EXAMPLE_H_
+#define EXPLOREDB_EXPLORE_EXPLORE_BY_EXAMPLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "explore/decision_tree.h"
+#include "storage/predicate.h"
+#include "storage/table.h"
+
+namespace exploredb {
+
+/// Tuning knobs for an explore-by-example session.
+struct ExploreByExampleOptions {
+  size_t samples_per_iteration = 20;
+  size_t max_tree_depth = 8;
+  /// Fraction of each iteration's samples drawn near the current positive
+  /// regions (boundary exploitation); the rest are uniform exploration.
+  double exploit_fraction = 0.5;
+  uint64_t seed = 42;
+};
+
+/// Classification quality of the learned region against a ground truth.
+struct F1Score {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// AIDE-style automatic query steering [Dimitriadou/Papaemmanouil/Diao,
+/// SIGMOD'14]: the system shows the user sample tuples, the user labels them
+/// relevant or not, and a decision-tree classifier iteratively learns the
+/// relevance region — converging to the selection query the user could not
+/// formulate themselves. The "user" here is an oracle callback (our
+/// substitute for interactive subjects; see DESIGN.md).
+class ExploreByExample {
+ public:
+  /// The oracle returns true when the row at the given table position is
+  /// relevant to the (simulated) user.
+  using Oracle = std::function<bool(uint32_t row)>;
+
+  /// Explores `table` over numeric feature columns `feature_cols`.
+  static Result<ExploreByExample> Create(
+      const Table* table, std::vector<size_t> feature_cols,
+      ExploreByExampleOptions options = {});
+
+  /// Runs one label-train iteration: picks samples (boundary-exploiting
+  /// once positives exist), queries the oracle, retrains. Returns how many
+  /// new rows were labeled.
+  Result<size_t> RunIteration(const Oracle& oracle);
+
+  /// Predicted relevance of an arbitrary table row under the current model.
+  bool PredictRow(uint32_t row) const;
+
+  /// The learned region as a disjunction of conjunctive range predicates
+  /// (one per positive tree leaf). Empty if no model yet.
+  std::vector<Predicate> CurrentQueries() const;
+
+  /// Precision/recall/F1 of the current model against `truth` evaluated on
+  /// every table row.
+  F1Score Evaluate(const Oracle& truth) const;
+
+  size_t labeled_count() const { return labeled_rows_.size(); }
+  size_t positive_count() const { return positive_count_; }
+
+ private:
+  ExploreByExample(const Table* table, std::vector<size_t> feature_cols,
+                   ExploreByExampleOptions options);
+
+  std::vector<double> FeatureVector(uint32_t row) const;
+  void PickSamples(std::vector<uint32_t>* out);
+
+  const Table* table_;
+  std::vector<size_t> feature_cols_;
+  ExploreByExampleOptions options_;
+  Random rng_;
+
+  std::vector<uint32_t> labeled_rows_;
+  std::vector<std::vector<double>> labeled_features_;
+  std::vector<bool> labels_;
+  std::vector<bool> already_labeled_;  // one flag per table row
+  size_t positive_count_ = 0;
+  std::optional<DecisionTree> model_;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_EXPLORE_EXPLORE_BY_EXAMPLE_H_

@@ -1,0 +1,79 @@
+#include "explore/facets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace exploredb {
+
+Result<FacetNavigator> FacetNavigator::Create(const Table* table,
+                                              std::vector<size_t> facet_cols) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  for (size_t c : facet_cols) {
+    if (c >= table->num_columns()) {
+      return Status::OutOfRange("facet column " + std::to_string(c));
+    }
+    if (table->column(c).type() != DataType::kString) {
+      return Status::InvalidArgument(
+          "facet column '" + table->schema().field(c).name +
+          "' must be a string column");
+    }
+  }
+  return FacetNavigator(table, std::move(facet_cols));
+}
+
+std::vector<uint32_t> FacetNavigator::CurrentRows() const {
+  return selection_.SelectPositions(*table_);
+}
+
+std::vector<FacetSummary> FacetNavigator::RankedFacets() const {
+  std::vector<uint32_t> rows = CurrentRows();
+  std::vector<FacetSummary> out;
+  for (size_t c : facet_cols_) {
+    std::unordered_map<std::string, uint64_t> counts;
+    const auto& data = table_->column(c).string_data();
+    for (uint32_t row : rows) ++counts[data[row]];
+    FacetSummary summary;
+    summary.column = c;
+    double total = static_cast<double>(rows.size());
+    for (const auto& [value, count] : counts) {
+      summary.values.push_back({value, count});
+      if (total > 0) {
+        double p = static_cast<double>(count) / total;
+        summary.entropy -= p * std::log2(p);
+      }
+    }
+    std::sort(summary.values.begin(), summary.values.end(),
+              [](const FacetValue& a, const FacetValue& b) {
+                if (a.count != b.count) return a.count > b.count;
+                return a.value < b.value;
+              });
+    out.push_back(std::move(summary));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FacetSummary& a, const FacetSummary& b) {
+              if (a.entropy != b.entropy) return a.entropy > b.entropy;
+              return a.column < b.column;
+            });
+  return out;
+}
+
+Status FacetNavigator::DrillDown(size_t facet_col, const std::string& value) {
+  bool known = false;
+  for (size_t c : facet_cols_) known |= (c == facet_col);
+  if (!known) {
+    return Status::InvalidArgument("column " + std::to_string(facet_col) +
+                                   " is not a registered facet");
+  }
+  selection_.And({facet_col, CompareOp::kEq, Value(value)});
+  return Status::OK();
+}
+
+void FacetNavigator::RollUp() {
+  auto conjuncts = selection_.conjuncts();
+  if (conjuncts.empty()) return;
+  conjuncts.pop_back();
+  selection_ = Predicate(std::move(conjuncts));
+}
+
+}  // namespace exploredb

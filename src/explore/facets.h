@@ -1,0 +1,66 @@
+#ifndef EXPLOREDB_EXPLORE_FACETS_H_
+#define EXPLOREDB_EXPLORE_FACETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/predicate.h"
+#include "storage/table.h"
+
+namespace exploredb {
+
+/// One value of a facet with its count under the current selection.
+struct FacetValue {
+  std::string value;
+  uint64_t count = 0;
+};
+
+/// A ranked facet: a categorical column with its value distribution and an
+/// entropy score (high entropy = the facet splits the current selection
+/// most evenly = the most informative next drill-down).
+struct FacetSummary {
+  size_t column = 0;
+  double entropy = 0.0;
+  std::vector<FacetValue> values;  ///< descending by count
+};
+
+/// Faceted navigation over categorical columns — the interaction model of
+/// result-driven exploration frontends (YmalDB-style drill-downs [Drosou &
+/// Pitoura, VLDBJ'13]). The navigator keeps a conjunctive selection state;
+/// each drill-down refines it.
+class FacetNavigator {
+ public:
+  /// `facet_cols` must reference string columns of `table`.
+  static Result<FacetNavigator> Create(const Table* table,
+                                       std::vector<size_t> facet_cols);
+
+  /// All facets summarized under the current selection, most informative
+  /// (highest entropy) first.
+  std::vector<FacetSummary> RankedFacets() const;
+
+  /// Refines the selection with facet_col = value.
+  Status DrillDown(size_t facet_col, const std::string& value);
+
+  /// Removes the most recent drill-down; no-op when at the root.
+  void RollUp();
+
+  /// Rows matching the current selection.
+  std::vector<uint32_t> CurrentRows() const;
+
+  const Predicate& selection() const { return selection_; }
+  size_t depth() const { return selection_.conjuncts().size(); }
+
+ private:
+  FacetNavigator(const Table* table, std::vector<size_t> facet_cols)
+      : table_(table), facet_cols_(std::move(facet_cols)) {}
+
+  const Table* table_;
+  std::vector<size_t> facet_cols_;
+  Predicate selection_;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_EXPLORE_FACETS_H_

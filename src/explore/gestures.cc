@@ -1,0 +1,102 @@
+#include "explore/gestures.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace exploredb {
+
+Result<TouchCanvas> TouchCanvas::Create(const Table* table, size_t column,
+                                        size_t slices) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  if (column >= table->num_columns()) {
+    return Status::OutOfRange("column " + std::to_string(column));
+  }
+  if (table->column(column).type() == DataType::kString) {
+    return Status::InvalidArgument("canvas needs a numeric column");
+  }
+  if (slices == 0) return Status::InvalidArgument("zero slices");
+  if (table->num_rows() == 0) return Status::InvalidArgument("empty table");
+  return TouchCanvas(table, column, slices);
+}
+
+size_t TouchCanvas::SliceOf(double x) const {
+  x = std::clamp(x, 0.0, 1.0);
+  return std::min(slices_ - 1,
+                  static_cast<size_t>(x * static_cast<double>(slices_)));
+}
+
+std::pair<size_t, size_t> TouchCanvas::SliceRows(size_t slice) const {
+  size_t span = view_end_ - view_begin_;
+  size_t begin = view_begin_ + slice * span / slices_;
+  size_t end = view_begin_ + (slice + 1) * span / slices_;
+  return {begin, end};
+}
+
+SliceSummary TouchCanvas::Summarize(size_t slice) {
+  auto [begin, end] = SliceRows(slice);
+  SliceSummary s;
+  s.slice = slice;
+  s.first_row = begin;
+  s.end_row = end;
+  s.rows = end - begin;
+  if (s.rows == 0) return s;
+  const ColumnVector& col = table_->column(column_);
+  double sum = 0;
+  s.min = col.GetDouble(begin);
+  s.max = s.min;
+  for (size_t r = begin; r < end; ++r) {
+    double v = col.GetDouble(r);
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.avg = sum / static_cast<double>(s.rows);
+  rows_touched_ += s.rows;  // the only rows this gesture ever reads
+  return s;
+}
+
+Result<SliceSummary> TouchCanvas::Tap(double x) {
+  if (!std::isfinite(x)) return Status::InvalidArgument("non-finite tap");
+  return Summarize(SliceOf(x));
+}
+
+Result<std::vector<SliceSummary>> TouchCanvas::Swipe(double x0, double x1) {
+  if (!std::isfinite(x0) || !std::isfinite(x1)) {
+    return Status::InvalidArgument("non-finite swipe");
+  }
+  size_t a = SliceOf(x0);
+  size_t b = SliceOf(x1);
+  std::vector<SliceSummary> out;
+  // Touch order follows the finger: left-to-right or right-to-left.
+  if (a <= b) {
+    for (size_t s = a; s <= b; ++s) out.push_back(Summarize(s));
+  } else {
+    for (size_t s = a + 1; s-- > b;) out.push_back(Summarize(s));
+  }
+  return out;
+}
+
+Status TouchCanvas::Pinch(double x0, double x1) {
+  if (!std::isfinite(x0) || !std::isfinite(x1) || x0 == x1) {
+    return Status::InvalidArgument("degenerate pinch");
+  }
+  if (x0 > x1) std::swap(x0, x1);
+  x0 = std::clamp(x0, 0.0, 1.0);
+  x1 = std::clamp(x1, 0.0, 1.0);
+  // Zoom maps the touched coordinate range directly onto rows of the
+  // current view.
+  size_t span = view_end_ - view_begin_;
+  size_t begin = view_begin_ + static_cast<size_t>(x0 * span);
+  size_t end = view_begin_ + static_cast<size_t>(x1 * span);
+  if (end <= begin) return Status::InvalidArgument("empty pinch region");
+  view_begin_ = begin;
+  view_end_ = end;
+  return Status::OK();
+}
+
+void TouchCanvas::Spread() {
+  view_begin_ = 0;
+  view_end_ = table_->num_rows();
+}
+
+}  // namespace exploredb

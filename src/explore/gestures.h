@@ -1,0 +1,77 @@
+#ifndef EXPLOREDB_EXPLORE_GESTURES_H_
+#define EXPLOREDB_EXPLORE_GESTURES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace exploredb {
+
+/// Summary of one canvas slice (the data under one touched "pixel").
+struct SliceSummary {
+  size_t slice = 0;       ///< slice index on the canvas
+  size_t first_row = 0;   ///< table row range [first_row, end_row)
+  size_t end_row = 0;
+  size_t rows = 0;
+  double avg = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// dbTouch-style gestural interface [Idreos & Liarou, CIDR'13; Liarou &
+/// Idreos, ICDE'14 — tutorial refs 32, 44]: a column is laid out on a
+/// touch canvas of `slices` cells, and gestures are the queries. The
+/// defining systems property reproduced here is *touch-driven partial
+/// processing*: only the slices a gesture covers are ever computed, so
+/// exploration cost tracks finger movement, not data size.
+///
+///   Tap(x)        -> summary of the slice under the finger
+///   Swipe(x0, x1) -> per-slice summaries along the path, in touch order
+///                    (a progressive result the UI can render as it goes)
+///   Pinch(x0, x1) -> zooms the canvas into that sub-range (drill-down);
+///   Spread()      -> zooms back out to the full column.
+class TouchCanvas {
+ public:
+  /// Lays out numeric `column` of `table` (row order) on `slices` cells.
+  static Result<TouchCanvas> Create(const Table* table, size_t column,
+                                    size_t slices);
+
+  /// Gestures take canvas coordinates in [0, 1].
+  Result<SliceSummary> Tap(double x);
+  Result<std::vector<SliceSummary>> Swipe(double x0, double x1);
+  Status Pinch(double x0, double x1);
+  void Spread();
+
+  /// Total rows processed by all gestures so far — the dbTouch cost metric.
+  uint64_t rows_touched() const { return rows_touched_; }
+  size_t slices() const { return slices_; }
+  /// Currently visible row range (after pinches).
+  size_t view_begin() const { return view_begin_; }
+  size_t view_end() const { return view_end_; }
+
+ private:
+  TouchCanvas(const Table* table, size_t column, size_t slices)
+      : table_(table),
+        column_(column),
+        slices_(slices),
+        view_end_(table->num_rows()) {}
+
+  /// Slice index for canvas coordinate x (clamped).
+  size_t SliceOf(double x) const;
+  /// Row range [begin, end) of a slice in the current view.
+  std::pair<size_t, size_t> SliceRows(size_t slice) const;
+  SliceSummary Summarize(size_t slice);
+
+  const Table* table_;
+  size_t column_;
+  size_t slices_;
+  size_t view_begin_ = 0;
+  size_t view_end_;
+  uint64_t rows_touched_ = 0;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_EXPLORE_GESTURES_H_

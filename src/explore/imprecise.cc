@@ -1,0 +1,136 @@
+#include "explore/imprecise.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace exploredb {
+
+Result<ImpreciseQuery> ImpreciseQuery::Create(const Table* table,
+                                              std::vector<SoftRange> ranges) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  if (ranges.empty()) return Status::InvalidArgument("no ranges");
+  for (const SoftRange& r : ranges) {
+    if (r.column >= table->num_columns()) {
+      return Status::OutOfRange("column " + std::to_string(r.column));
+    }
+    if (table->column(r.column).type() == DataType::kString) {
+      return Status::InvalidArgument("soft ranges need numeric columns");
+    }
+    if (r.lo > r.hi) return Status::InvalidArgument("lo > hi");
+  }
+  return ImpreciseQuery(table, std::move(ranges));
+}
+
+Predicate ImpreciseQuery::CurrentPredicate() const {
+  Predicate p;
+  for (const SoftRange& r : ranges_) {
+    p.And({r.column, CompareOp::kGe, Value(r.lo)});
+    p.And({r.column, CompareOp::kLe, Value(r.hi)});
+  }
+  return p;
+}
+
+bool ImpreciseQuery::InAllRanges(uint32_t row) const {
+  for (const SoftRange& r : ranges_) {
+    double v = table_->column(r.column).GetDouble(row);
+    if (v < r.lo || v > r.hi) return false;
+  }
+  return true;
+}
+
+std::vector<uint32_t> ImpreciseQuery::ProposeTuples(size_t k, double corona,
+                                                    uint64_t seed) const {
+  // Candidate pools: core tuples and single-range near-misses.
+  std::vector<uint32_t> core, near_miss;
+  const size_t n = table_->num_rows();
+  for (uint32_t row = 0; row < n; ++row) {
+    size_t violations = 0;
+    bool within_corona = true;
+    for (const SoftRange& r : ranges_) {
+      double v = table_->column(r.column).GetDouble(row);
+      if (v >= r.lo && v <= r.hi) continue;
+      ++violations;
+      double width = std::max(r.hi - r.lo, 1e-9);
+      double overshoot =
+          (v < r.lo) ? (r.lo - v) / width : (v - r.hi) / width;
+      within_corona &= (overshoot <= corona);
+    }
+    if (violations == 0) {
+      core.push_back(row);
+    } else if (violations == 1 && within_corona) {
+      near_miss.push_back(row);
+    }
+  }
+  // Half the budget to near-misses (the refining signal), rest to core.
+  Random rng(seed);
+  rng.Shuffle(&near_miss);
+  rng.Shuffle(&core);
+  std::vector<uint32_t> out;
+  size_t miss_take = std::min(near_miss.size(), k / 2);
+  out.insert(out.end(), near_miss.begin(), near_miss.begin() + miss_take);
+  size_t core_take = std::min(core.size(), k - out.size());
+  out.insert(out.end(), core.begin(), core.begin() + core_take);
+  // Top up with more near-misses when core is scarce.
+  while (out.size() < k && miss_take < near_miss.size()) {
+    out.push_back(near_miss[miss_take++]);
+  }
+  return out;
+}
+
+size_t ImpreciseQuery::ApplyFeedback(
+    const std::vector<TupleFeedback>& feedback) {
+  ++rounds_;
+  size_t moved = 0;
+  for (const TupleFeedback& fb : feedback) {
+    if (fb.relevant) {
+      // Stretch any violated endpoint to include the tuple.
+      for (SoftRange& r : ranges_) {
+        double v = table_->column(r.column).GetDouble(fb.row);
+        if (v < r.lo) {
+          r.lo = v;
+          ++moved;
+        } else if (v > r.hi) {
+          r.hi = v;
+          ++moved;
+        }
+      }
+    } else if (InAllRanges(fb.row)) {
+      // Shrink the endpoint nearest to the offending value, on the range
+      // where the tuple sits closest to a boundary (least informative loss).
+      SoftRange* best = nullptr;
+      double best_margin = 0.0;
+      bool shrink_lo = false;
+      for (SoftRange& r : ranges_) {
+        double v = table_->column(r.column).GetDouble(fb.row);
+        double margin_lo = v - r.lo;
+        double margin_hi = r.hi - v;
+        double margin = std::min(margin_lo, margin_hi);
+        if (best == nullptr || margin < best_margin) {
+          best = &r;
+          best_margin = margin;
+          shrink_lo = margin_lo <= margin_hi;
+        }
+      }
+      if (best != nullptr) {
+        double v = table_->column(best->column).GetDouble(fb.row);
+        const double epsilon =
+            std::max(1e-9, std::abs(v) * 1e-12) + 1e-9;
+        if (shrink_lo) {
+          best->lo = v + epsilon;
+        } else {
+          best->hi = v - epsilon;
+        }
+        if (best->lo > best->hi) {  // keep the range non-degenerate
+          double mid = (best->lo + best->hi) / 2;
+          best->lo = best->hi = mid;
+        }
+        ++moved;
+      }
+    }
+  }
+  return moved;
+}
+
+}  // namespace exploredb

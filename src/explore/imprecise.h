@@ -1,0 +1,69 @@
+#ifndef EXPLOREDB_EXPLORE_IMPRECISE_H_
+#define EXPLOREDB_EXPLORE_IMPRECISE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/predicate.h"
+#include "storage/table.h"
+
+namespace exploredb {
+
+/// One uncertain range condition: the user believes the interesting values
+/// of `column` lie "around [lo, hi]" but is not sure about the endpoints.
+struct SoftRange {
+  size_t column = 0;
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// User feedback on one result tuple.
+struct TupleFeedback {
+  uint32_t row = 0;
+  bool relevant = false;
+};
+
+/// Interactive refinement of imprecise queries [Qarabaqi & Riedewald,
+/// ICDE'14 — tutorial ref 52]: the user states approximate ranges, inspects
+/// sample results (including a corona of near-miss tuples just outside the
+/// current ranges), and marks tuples relevant/irrelevant; the system adjusts
+/// the range endpoints — expanding to capture relevant near-misses and
+/// contracting to exclude irrelevant core tuples.
+class ImpreciseQuery {
+ public:
+  /// `ranges` must reference numeric columns of `table`.
+  static Result<ImpreciseQuery> Create(const Table* table,
+                                       std::vector<SoftRange> ranges);
+
+  /// The current crisp interpretation of the imprecise query.
+  Predicate CurrentPredicate() const;
+  const std::vector<SoftRange>& ranges() const { return ranges_; }
+
+  /// Up to `k` tuples to show the user: a mix of core results (inside all
+  /// ranges) and near-miss tuples within `corona` fraction outside a single
+  /// range — the informative ones for boundary refinement.
+  std::vector<uint32_t> ProposeTuples(size_t k, double corona = 0.2,
+                                      uint64_t seed = 42) const;
+
+  /// Applies feedback: each relevant out-of-range tuple stretches the
+  /// violated endpoints to include it; irrelevant in-range tuples shrink the
+  /// nearest endpoint to exclude them. Returns how many endpoints moved.
+  size_t ApplyFeedback(const std::vector<TupleFeedback>& feedback);
+
+  uint64_t refinement_rounds() const { return rounds_; }
+
+ private:
+  ImpreciseQuery(const Table* table, std::vector<SoftRange> ranges)
+      : table_(table), ranges_(std::move(ranges)) {}
+
+  bool InAllRanges(uint32_t row) const;
+
+  const Table* table_;
+  std::vector<SoftRange> ranges_;
+  uint64_t rounds_ = 0;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_EXPLORE_IMPRECISE_H_

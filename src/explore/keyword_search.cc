@@ -1,0 +1,100 @@
+#include "explore/keyword_search.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <map>
+
+namespace exploredb {
+
+std::vector<std::string> KeywordIndex::Tokenize(const std::string& text) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char ch : text) {
+    if (std::isalnum(static_cast<unsigned char>(ch))) {
+      cur += static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+    } else if (!cur.empty()) {
+      out.push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+Result<KeywordIndex> KeywordIndex::Build(const Table* table) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  KeywordIndex index(table);
+  index.num_rows_ = table->num_rows();
+  for (size_t c = 0; c < table->num_columns(); ++c) {
+    if (table->column(c).type() != DataType::kString) continue;
+    const auto& data = table->column(c).string_data();
+    for (uint32_t row = 0; row < data.size(); ++row) {
+      for (const std::string& token : Tokenize(data[row])) {
+        auto& posting = index.postings_[token];
+        if (posting.empty() || posting.back() != row) {
+          posting.push_back(row);
+        }
+      }
+    }
+  }
+  return index;
+}
+
+double KeywordIndex::Idf(const std::string& token) const {
+  auto it = postings_.find(token);
+  if (it == postings_.end() || num_rows_ == 0) return 0.0;
+  // Smoothed IDF; always positive for indexed tokens.
+  return std::log(1.0 + static_cast<double>(num_rows_) /
+                            static_cast<double>(it->second.size()));
+}
+
+std::vector<KeywordMatch> KeywordIndex::SearchImpl(const std::string& query,
+                                                   bool require_all,
+                                                   size_t limit) const {
+  std::vector<std::string> keywords = Tokenize(query);
+  // Deduplicate query terms so a repeated keyword doesn't double-score.
+  std::sort(keywords.begin(), keywords.end());
+  keywords.erase(std::unique(keywords.begin(), keywords.end()),
+                 keywords.end());
+
+  struct Accum {
+    double score = 0.0;
+    std::vector<std::string> matched;
+  };
+  std::map<uint32_t, Accum> by_row;
+  for (const std::string& kw : keywords) {
+    auto it = postings_.find(kw);
+    if (it == postings_.end()) continue;
+    double idf = Idf(kw);
+    for (uint32_t row : it->second) {
+      Accum& acc = by_row[row];
+      acc.score += idf;
+      acc.matched.push_back(kw);
+    }
+  }
+  std::vector<KeywordMatch> out;
+  for (auto& [row, acc] : by_row) {
+    if (require_all && acc.matched.size() != keywords.size()) continue;
+    out.push_back({row, acc.score, std::move(acc.matched)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const KeywordMatch& a, const KeywordMatch& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.row < b.row;
+            });
+  if (out.size() > limit) out.resize(limit);
+  return out;
+}
+
+std::vector<KeywordMatch> KeywordIndex::Search(const std::string& query,
+                                               size_t limit) const {
+  return SearchImpl(query, /*require_all=*/false, limit);
+}
+
+std::vector<KeywordMatch> KeywordIndex::SearchAll(const std::string& query,
+                                                  size_t limit) const {
+  return SearchImpl(query, /*require_all=*/true, limit);
+}
+
+}  // namespace exploredb

@@ -1,0 +1,65 @@
+#ifndef EXPLOREDB_EXPLORE_KEYWORD_SEARCH_H_
+#define EXPLOREDB_EXPLORE_KEYWORD_SEARCH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace exploredb {
+
+/// A row matching a keyword query, with its relevance score.
+struct KeywordMatch {
+  uint32_t row = 0;
+  double score = 0.0;               ///< sum of matched-keyword IDF weights
+  std::vector<std::string> matched;  ///< which query keywords hit this row
+};
+
+/// Keyword search over relational data [Yu/Qin/Chang, IEEE DEB'10 —
+/// tutorial ref 67]: lets users who know *words* but not the schema find
+/// their way into the data. An inverted index maps each token appearing in
+/// any string column to its (row, column) postings; queries are bags of
+/// keywords ranked by summed IDF (rare terms weigh more), with AND
+/// semantics available for precision.
+class KeywordIndex {
+ public:
+  /// Indexes every string column of `table` (tokens split on
+  /// non-alphanumeric characters, lowercased). The table must outlive the
+  /// index.
+  static Result<KeywordIndex> Build(const Table* table);
+
+  /// Rows matching at least one keyword, ranked by summed IDF of distinct
+  /// matched keywords; at most `limit` results.
+  std::vector<KeywordMatch> Search(const std::string& query,
+                                   size_t limit = 10) const;
+
+  /// Rows matching *all* keywords (conjunctive semantics), same ranking.
+  std::vector<KeywordMatch> SearchAll(const std::string& query,
+                                      size_t limit = 10) const;
+
+  /// Inverse document frequency of `token` (0 for unknown tokens).
+  double Idf(const std::string& token) const;
+
+  size_t num_tokens() const { return postings_.size(); }
+
+  /// Tokenization used by the index (exposed for tests/tools).
+  static std::vector<std::string> Tokenize(const std::string& text);
+
+ private:
+  explicit KeywordIndex(const Table* table) : table_(table) {}
+
+  std::vector<KeywordMatch> SearchImpl(const std::string& query,
+                                       bool require_all, size_t limit) const;
+
+  const Table* table_;
+  size_t num_rows_ = 0;
+  // token -> sorted distinct row ids containing it.
+  std::unordered_map<std::string, std::vector<uint32_t>> postings_;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_EXPLORE_KEYWORD_SEARCH_H_

@@ -1,0 +1,110 @@
+#include "explore/query_by_output.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace exploredb {
+
+QueryByOutput::QueryByOutput(const Table* table,
+                             std::vector<uint32_t> example_rows,
+                             std::vector<size_t> feature_cols)
+    : table_(table),
+      example_rows_(std::move(example_rows)),
+      feature_cols_(std::move(feature_cols)) {}
+
+QboQuality QueryByOutput::Score(
+    const std::vector<Predicate>& disjuncts) const {
+  std::unordered_set<uint32_t> examples(example_rows_.begin(),
+                                        example_rows_.end());
+  size_t selected = 0, hit = 0;
+  const size_t n = table_->num_rows();
+  for (uint32_t row = 0; row < n; ++row) {
+    bool match = false;
+    for (const Predicate& p : disjuncts) {
+      if (p.Matches(*table_, row)) {
+        match = true;
+        break;
+      }
+    }
+    if (!match) continue;
+    ++selected;
+    hit += examples.count(row);
+  }
+  QboQuality q;
+  q.selected = selected;
+  if (selected > 0) {
+    q.precision = static_cast<double>(hit) / static_cast<double>(selected);
+  }
+  if (!examples.empty()) {
+    q.recall = static_cast<double>(hit) / static_cast<double>(examples.size());
+  }
+  return q;
+}
+
+Result<DiscoveredQuery> QueryByOutput::BoundingBoxQuery() const {
+  if (example_rows_.empty()) {
+    return Status::InvalidArgument("no example rows");
+  }
+  Predicate p;
+  for (size_t c : feature_cols_) {
+    const ColumnVector& col = table_->column(c);
+    if (col.type() == DataType::kString) {
+      return Status::InvalidArgument("string feature column");
+    }
+    double lo = INFINITY, hi = -INFINITY;
+    for (uint32_t row : example_rows_) {
+      double v = col.GetDouble(row);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    p.And({c, CompareOp::kGe, Value(lo)});
+    p.And({c, CompareOp::kLe, Value(hi)});
+  }
+  DiscoveredQuery out;
+  out.disjuncts = {std::move(p)};
+  out.quality = Score(out.disjuncts);
+  return out;
+}
+
+Result<DiscoveredQuery> QueryByOutput::TreeQuery(size_t max_depth) const {
+  if (example_rows_.empty()) {
+    return Status::InvalidArgument("no example rows");
+  }
+  const size_t n = table_->num_rows();
+  std::unordered_set<uint32_t> examples(example_rows_.begin(),
+                                        example_rows_.end());
+  std::vector<std::vector<double>> features;
+  std::vector<bool> labels;
+  features.reserve(n);
+  labels.reserve(n);
+  for (uint32_t row = 0; row < n; ++row) {
+    std::vector<double> f;
+    f.reserve(feature_cols_.size());
+    for (size_t c : feature_cols_) f.push_back(table_->column(c).GetDouble(row));
+    features.push_back(std::move(f));
+    labels.push_back(examples.count(row) > 0);
+  }
+  DecisionTreeOptions options;
+  options.max_depth = max_depth;
+  options.min_leaf_size = 1;
+  EXPLOREDB_ASSIGN_OR_RETURN(DecisionTree tree,
+                             DecisionTree::Train(features, labels, options));
+  DiscoveredQuery out;
+  for (const Box& box : tree.PositiveRegions()) {
+    Predicate p;
+    for (size_t d = 0; d < feature_cols_.size(); ++d) {
+      if (std::isfinite(box.lo[d])) {
+        p.And({feature_cols_[d], CompareOp::kGe, Value(box.lo[d])});
+      }
+      if (std::isfinite(box.hi[d])) {
+        p.And({feature_cols_[d], CompareOp::kLt, Value(box.hi[d])});
+      }
+    }
+    out.disjuncts.push_back(std::move(p));
+  }
+  out.quality = Score(out.disjuncts);
+  return out;
+}
+
+}  // namespace exploredb

@@ -1,0 +1,57 @@
+#ifndef EXPLOREDB_EXPLORE_QUERY_BY_OUTPUT_H_
+#define EXPLOREDB_EXPLORE_QUERY_BY_OUTPUT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "explore/decision_tree.h"
+#include "storage/predicate.h"
+#include "storage/table.h"
+
+namespace exploredb {
+
+/// How well a reverse-engineered predicate reproduces the example output.
+struct QboQuality {
+  double precision = 0.0;  ///< |selected ∩ examples| / |selected|
+  double recall = 0.0;     ///< |selected ∩ examples| / |examples|
+  size_t selected = 0;
+};
+
+/// A discovered query with its quality against the example set.
+struct DiscoveredQuery {
+  std::vector<Predicate> disjuncts;  ///< union of conjunctive ranges
+  QboQuality quality;
+};
+
+/// Query-by-output / query reverse engineering [Tran et al., SIGMOD'09; Shen
+/// et al., SIGMOD'14]: the user supplies example tuples they want in the
+/// result; the system discovers a selection query producing (a superset of)
+/// them. Two strategies, in increasing fidelity:
+class QueryByOutput {
+ public:
+  /// `example_rows`: positions the user marked as desired output.
+  /// `feature_cols`: numeric columns the predicate may mention.
+  QueryByOutput(const Table* table, std::vector<uint32_t> example_rows,
+                std::vector<size_t> feature_cols);
+
+  /// Tightest bounding box of the examples on each feature column — a single
+  /// conjunctive query; maximal recall, possibly poor precision.
+  Result<DiscoveredQuery> BoundingBoxQuery() const;
+
+  /// Decision-tree query: treats examples as positives and every other row
+  /// as negative, extracts the positive leaves as a disjunction of range
+  /// predicates — tighter than the bounding box on non-convex outputs.
+  Result<DiscoveredQuery> TreeQuery(size_t max_depth = 10) const;
+
+ private:
+  QboQuality Score(const std::vector<Predicate>& disjuncts) const;
+
+  const Table* table_;
+  std::vector<uint32_t> example_rows_;
+  std::vector<size_t> feature_cols_;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_EXPLORE_QUERY_BY_OUTPUT_H_

@@ -1,0 +1,96 @@
+#include "explore/query_recommender.h"
+
+#include <algorithm>
+
+namespace exploredb {
+
+namespace {
+
+std::vector<std::string> Normalize(std::vector<std::string> fragments) {
+  std::sort(fragments.begin(), fragments.end());
+  fragments.erase(std::unique(fragments.begin(), fragments.end()),
+                  fragments.end());
+  return fragments;
+}
+
+bool ContainsAll(const std::vector<std::string>& sorted_query,
+                 const std::vector<std::string>& sorted_subset) {
+  return std::includes(sorted_query.begin(), sorted_query.end(),
+                       sorted_subset.begin(), sorted_subset.end());
+}
+
+}  // namespace
+
+void QueryRecommender::AddQueryLog(
+    const std::vector<std::string>& fragments) {
+  std::vector<std::string> normalized = Normalize(fragments);
+  if (normalized.empty()) return;
+  for (const std::string& f : normalized) ++fragment_counts_[f];
+  logs_.push_back(std::move(normalized));
+}
+
+std::vector<FragmentSuggestion> QueryRecommender::PopularFragments(
+    size_t k) const {
+  std::vector<FragmentSuggestion> out;
+  const double total = static_cast<double>(logs_.size());
+  for (const auto& [fragment, count] : fragment_counts_) {
+    out.push_back({fragment, total ? static_cast<double>(count) / total : 0});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FragmentSuggestion& a, const FragmentSuggestion& b) {
+              if (a.confidence != b.confidence) {
+                return a.confidence > b.confidence;
+              }
+              return a.fragment < b.fragment;
+            });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+std::vector<FragmentSuggestion> QueryRecommender::Suggest(
+    const std::vector<std::string>& partial, size_t k) const {
+  std::vector<std::string> prefix = Normalize(partial);
+  if (prefix.empty()) return PopularFragments(k);
+
+  // Count queries containing the prefix, and candidate co-occurrences.
+  uint64_t supporting = 0;
+  std::unordered_map<std::string, uint64_t> cooccur;
+  for (const auto& log : logs_) {
+    if (!ContainsAll(log, prefix)) continue;
+    ++supporting;
+    for (const std::string& f : log) {
+      if (!std::binary_search(prefix.begin(), prefix.end(), f)) {
+        ++cooccur[f];
+      }
+    }
+  }
+  if (supporting == 0) {
+    // Back off to marginal popularity, excluding chosen fragments.
+    std::vector<FragmentSuggestion> popular = PopularFragments(
+        k + prefix.size());
+    std::vector<FragmentSuggestion> out;
+    for (auto& s : popular) {
+      if (!std::binary_search(prefix.begin(), prefix.end(), s.fragment)) {
+        out.push_back(std::move(s));
+      }
+      if (out.size() == k) break;
+    }
+    return out;
+  }
+  std::vector<FragmentSuggestion> out;
+  for (const auto& [fragment, count] : cooccur) {
+    out.push_back({fragment, static_cast<double>(count) /
+                                 static_cast<double>(supporting)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FragmentSuggestion& a, const FragmentSuggestion& b) {
+              if (a.confidence != b.confidence) {
+                return a.confidence > b.confidence;
+              }
+              return a.fragment < b.fragment;
+            });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace exploredb

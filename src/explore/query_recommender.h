@@ -1,0 +1,52 @@
+#ifndef EXPLOREDB_EXPLORE_QUERY_RECOMMENDER_H_
+#define EXPLOREDB_EXPLORE_QUERY_RECOMMENDER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace exploredb {
+
+/// A recommended query fragment with its confidence.
+struct FragmentSuggestion {
+  std::string fragment;
+  double confidence = 0.0;  ///< P(fragment | current partial query)
+};
+
+/// Log-driven query autocompletion, after SnipSuggest / "Interactive SQL
+/// Query Suggestion" [Fan/Li/Zhou, ICDE'11 — tutorial ref 21]: past users'
+/// queries are decomposed into fragments (predicates, aggregates, group-bys
+/// — any string tokens the caller chooses); given the fragments a new user
+/// has typed so far, the recommender suggests the fragments that most often
+/// co-occurred with them in the log.
+///
+/// Confidence for candidate f given partial query P is the smoothed
+/// conditional co-occurrence  |queries ⊇ P ∪ {f}| / |queries ⊇ P|,
+/// backing off to marginal popularity when P never appeared.
+class QueryRecommender {
+ public:
+  /// Adds one logged query as its set of fragments (duplicates ignored).
+  void AddQueryLog(const std::vector<std::string>& fragments);
+
+  /// Top-`k` fragment suggestions given the fragments already chosen.
+  /// Fragments already in `partial` are never suggested.
+  std::vector<FragmentSuggestion> Suggest(
+      const std::vector<std::string>& partial, size_t k) const;
+
+  /// Popularity-ranked fragments (the empty-prefix suggestion).
+  std::vector<FragmentSuggestion> PopularFragments(size_t k) const;
+
+  size_t num_logged_queries() const { return logs_.size(); }
+  size_t num_fragments() const { return fragment_counts_.size(); }
+
+ private:
+  std::vector<std::vector<std::string>> logs_;  // each sorted + deduped
+  std::unordered_map<std::string, uint64_t> fragment_counts_;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_EXPLORE_QUERY_RECOMMENDER_H_

@@ -1,0 +1,92 @@
+#ifndef EXPLOREDB_EXPLORE_SEEDB_H_
+#define EXPLOREDB_EXPLORE_SEEDB_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "sampling/online_agg.h"
+#include "storage/predicate.h"
+#include "storage/table.h"
+
+namespace exploredb {
+
+/// One candidate visualization: aggregate `agg(measure)` grouped by
+/// `dimension`, rendered for the user's target subset vs. the reference
+/// (rest of the data). SeeDB's search space is the cross product of
+/// dimensions x measures x aggregates [Parameswaran et al., PVLDB'14].
+struct ViewSpec {
+  size_t dimension_col = 0;
+  size_t measure_col = 0;
+  AggKind agg = AggKind::kAvg;
+
+  std::string Name(const Schema& schema) const;
+};
+
+/// A scored view; higher utility = more "interesting" (larger deviation
+/// between target and reference distributions).
+struct ViewScore {
+  ViewSpec spec;
+  double utility = 0.0;
+};
+
+/// Execution strategies, in increasing sophistication. These mirror the
+/// SeeDB paper's optimization ladder whose speedups E10 reproduces.
+enum class SeeDbMode {
+  kNaive,        ///< one scan per view per subset
+  kSharedScan,   ///< all views updated in a single scan
+  kSharedPruned, ///< shared scan + phased confidence-based pruning
+};
+
+const char* SeeDbModeName(SeeDbMode mode);
+
+/// Work counters + results of one recommendation run.
+struct SeeDbReport {
+  std::vector<ViewScore> top;   ///< best views, descending utility
+  uint64_t rows_scanned = 0;    ///< row visits (naive re-scans per view)
+  uint64_t cell_updates = 0;    ///< aggregate-cell updates performed
+  size_t views_pruned = 0;      ///< views eliminated before the final phase
+};
+
+/// Deviation-based view recommender. Utility is the earth-mover's distance
+/// between the normalized target and reference distributions of a view,
+/// normalized by group count to lie in [0, 1].
+class SeeDbRecommender {
+ public:
+  /// `target` selects the user's subset; its complement is the reference.
+  SeeDbRecommender(const Table* table, Predicate target)
+      : table_(table), target_(std::move(target)) {}
+
+  /// Scores `views` and returns the top `k` under the chosen mode.
+  /// `phases` controls pruning granularity for kSharedPruned.
+  Result<SeeDbReport> Recommend(const std::vector<ViewSpec>& views, size_t k,
+                                SeeDbMode mode, size_t phases = 10) const;
+
+ private:
+  struct GroupAgg {
+    double sum = 0.0;
+    uint64_t count = 0;
+  };
+  /// Running aggregates of one view over both subsets.
+  struct ViewState {
+    std::unordered_map<std::string, GroupAgg> target;
+    std::unordered_map<std::string, GroupAgg> reference;
+    bool active = true;
+  };
+
+  static double Utility(const ViewSpec& spec, const ViewState& state);
+
+  Result<SeeDbReport> RunNaive(const std::vector<ViewSpec>& views,
+                               size_t k) const;
+  Result<SeeDbReport> RunShared(const std::vector<ViewSpec>& views, size_t k,
+                                bool prune, size_t phases) const;
+
+  const Table* table_;
+  Predicate target_;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_EXPLORE_SEEDB_H_

@@ -1,0 +1,115 @@
+#include "layout/adaptive_store.h"
+
+#include <algorithm>
+
+namespace exploredb {
+
+AdaptiveStore::AdaptiveStore(std::vector<std::vector<double>> columns,
+                             size_t window, size_t amortization_windows)
+    : master_(std::move(columns)),
+      model_(master_.empty() ? 0 : master_[0].size(), master_.size()),
+      window_(std::max<size_t>(window, 1)),
+      amortization_windows_(std::max<size_t>(amortization_windows, 1)),
+      active_(MakeColumnStore(master_)),
+      active_scan_columns_(master_.size(), true) {
+  profile_.column_scans.assign(master_.size(), 0);
+}
+
+double AdaptiveStore::Execute(const AccessOp& op) {
+  if (op.kind == AccessOp::Kind::kRowFetch) {
+    ++profile_.row_fetches;
+  } else {
+    ++profile_.column_scans[op.index];
+  }
+  double result = active_->Execute(op);
+  if (++ops_in_window_ >= window_) MaybeAdapt();
+  return result;
+}
+
+std::vector<bool> AdaptiveStore::HotScanColumns() const {
+  // A column goes columnar when it is scanned more often than the average
+  // column; everything else stays in the row group for cheap row fetches.
+  std::vector<bool> hot(master_.size(), false);
+  uint64_t total = profile_.TotalScans();
+  if (total == 0) return hot;
+  double avg = static_cast<double>(total) /
+               static_cast<double>(master_.size());
+  for (size_t c = 0; c < master_.size(); ++c) {
+    hot[c] = static_cast<double>(profile_.column_scans[c]) >= avg;
+  }
+  return hot;
+}
+
+void AdaptiveStore::MaybeAdapt() {
+  ops_in_window_ = 0;
+  std::vector<bool> hybrid_cols = HotScanColumns();
+
+  struct Candidate {
+    LayoutKind kind;
+    const std::vector<bool>* scan_cols;
+  };
+  std::vector<bool> all_columnar(master_.size(), true);
+  const Candidate candidates[] = {
+      {LayoutKind::kRow, &all_columnar},      // scan set unused for row
+      {LayoutKind::kColumn, &all_columnar},
+      {LayoutKind::kHybrid, &hybrid_cols},
+  };
+
+  double current_cost =
+      model_.WorkloadCost(active_->kind(), profile_, active_scan_columns_);
+  LayoutKind best_kind = active_->kind();
+  const std::vector<bool>* best_cols = &active_scan_columns_;
+  double best_cost = current_cost;
+  for (const Candidate& cand : candidates) {
+    double cost = model_.WorkloadCost(cand.kind, profile_, *cand.scan_cols);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_kind = cand.kind;
+      best_cols = cand.scan_cols;
+    }
+  }
+
+  // Projected savings assuming the observed mix persists.
+  double projected_savings = (current_cost - best_cost) *
+                             static_cast<double>(amortization_windows_);
+  bool layout_changed = best_kind != active_->kind();
+  if (!layout_changed && best_kind == LayoutKind::kHybrid) {
+    // Hybrid-to-hybrid regrouping: only when the hot set drifted
+    // substantially (> 25% of columns), otherwise small workload noise
+    // would trigger a full rewrite every window.
+    size_t diff = 0;
+    for (size_t c = 0; c < master_.size(); ++c) {
+      diff += ((*best_cols)[c] != active_scan_columns_[c]);
+    }
+    layout_changed = diff * 4 > master_.size();
+  }
+  bool worth_it =
+      layout_changed && projected_savings > model_.ReorganizationCost();
+  // Hysteresis: only switch when the previous window reached the same
+  // conclusion.
+  bool should_switch =
+      worth_it && has_pending_ && pending_kind_ == best_kind;
+  has_pending_ = worth_it;
+  pending_kind_ = best_kind;
+
+  if (should_switch) {
+    std::vector<bool> cols = *best_cols;
+    switch (best_kind) {
+      case LayoutKind::kRow:
+        active_ = MakeRowStore(master_);
+        break;
+      case LayoutKind::kColumn:
+        active_ = MakeColumnStore(master_);
+        break;
+      case LayoutKind::kHybrid:
+        active_ = MakeHybridStore(master_, cols);
+        break;
+    }
+    active_scan_columns_ = std::move(cols);
+    ++reorganizations_;
+  }
+  history_.push_back({active_->kind(), best_cost, should_switch});
+  profile_.Clear();
+}
+
+}  // namespace exploredb

@@ -1,0 +1,68 @@
+#ifndef EXPLOREDB_LAYOUT_ADAPTIVE_STORE_H_
+#define EXPLOREDB_LAYOUT_ADAPTIVE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "layout/cost_model.h"
+#include "layout/layouts.h"
+
+namespace exploredb {
+
+/// Decision trace entry: one adaptation window.
+struct AdaptationEvent {
+  LayoutKind chosen;
+  double predicted_cost;
+  bool reorganized;
+};
+
+/// H2O-style adaptive store [Alagiannis/Idreos/Ailamaki, SIGMOD'14]: serves
+/// the workload from whichever physical layout the recent operation mix
+/// favors. Every `window` operations it re-evaluates the cost model over the
+/// observed profile and reorganizes when the predicted savings exceed the
+/// reorganization cost (amortized over a window).
+class AdaptiveStore {
+ public:
+  /// Starts in column layout (the exploration-friendly default).
+  /// `amortization_windows` is the number of future windows the current
+  /// workload mix is assumed to persist for when weighing a reorganization
+  /// (H2O's "the workload you see is the workload you get" assumption).
+  AdaptiveStore(std::vector<std::vector<double>> columns, size_t window,
+                size_t amortization_windows = 20);
+
+  /// Executes `op` on the active layout, recording it in the profile.
+  /// Returns the op's checksum.
+  double Execute(const AccessOp& op);
+
+  LayoutKind active_layout() const { return active_->kind(); }
+  const std::vector<AdaptationEvent>& history() const { return history_; }
+  size_t reorganizations() const { return reorganizations_; }
+
+  /// The store's cost model (exposed so experiments can compare predictions
+  /// with static layouts).
+  const LayoutCostModel& cost_model() const { return model_; }
+
+ private:
+  void MaybeAdapt();
+  std::vector<bool> HotScanColumns() const;
+
+  std::vector<std::vector<double>> master_;  // source of truth, columnar
+  LayoutCostModel model_;
+  size_t window_;
+  size_t amortization_windows_;
+  size_t ops_in_window_ = 0;
+  WorkloadProfile profile_;
+  std::unique_ptr<MatrixStore> active_;
+  std::vector<bool> active_scan_columns_;
+  // Hysteresis: a switch fires only when two consecutive windows agree on
+  // the same better layout, which prevents thrashing on noisy mixes.
+  LayoutKind pending_kind_ = LayoutKind::kColumn;
+  bool has_pending_ = false;
+  std::vector<AdaptationEvent> history_;
+  size_t reorganizations_ = 0;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_LAYOUT_ADAPTIVE_STORE_H_

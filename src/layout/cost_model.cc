@@ -1,0 +1,78 @@
+#include "layout/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace exploredb {
+
+uint64_t WorkloadProfile::TotalScans() const {
+  uint64_t total = 0;
+  for (uint64_t c : column_scans) total += c;
+  return total;
+}
+
+void WorkloadProfile::Clear() {
+  row_fetches = 0;
+  std::fill(column_scans.begin(), column_scans.end(), 0);
+}
+
+double LayoutCostModel::RowFetchCost(
+    LayoutKind kind, const std::vector<bool>& scan_columns) const {
+  const double m = static_cast<double>(num_cols_);
+  switch (kind) {
+    case LayoutKind::kRow:
+      // Contiguous row: ceil(m / 8) lines.
+      return std::ceil(m / kDoublesPerLine);
+    case LayoutKind::kColumn:
+      // One scattered access per column.
+      return m;
+    case LayoutKind::kHybrid: {
+      double columnar = 0;
+      for (bool s : scan_columns) columnar += s;
+      double grouped = m - columnar;
+      return std::ceil(std::max(grouped, 0.0) / kDoublesPerLine) + columnar;
+    }
+  }
+  return 0;
+}
+
+double LayoutCostModel::ColumnScanCost(
+    LayoutKind kind, size_t col, const std::vector<bool>& scan_columns) const {
+  const double n = static_cast<double>(num_rows_);
+  const double m = static_cast<double>(num_cols_);
+  switch (kind) {
+    case LayoutKind::kRow:
+      // One value per row; a new line every max(1, 8/m) rows.
+      return n / std::max(1.0, kDoublesPerLine / m);
+    case LayoutKind::kColumn:
+      return std::ceil(n / kDoublesPerLine);
+    case LayoutKind::kHybrid: {
+      bool columnar = col < scan_columns.size() && scan_columns[col];
+      if (columnar) return std::ceil(n / kDoublesPerLine);
+      double grouped = 0;
+      for (bool s : scan_columns) grouped += !s;
+      return n / std::max(1.0, kDoublesPerLine / std::max(grouped, 1.0));
+    }
+  }
+  return 0;
+}
+
+double LayoutCostModel::WorkloadCost(
+    LayoutKind kind, const WorkloadProfile& profile,
+    const std::vector<bool>& scan_columns) const {
+  double total = static_cast<double>(profile.row_fetches) *
+                 RowFetchCost(kind, scan_columns);
+  for (size_t c = 0; c < profile.column_scans.size(); ++c) {
+    total += static_cast<double>(profile.column_scans[c]) *
+             ColumnScanCost(kind, c, scan_columns);
+  }
+  return total;
+}
+
+double LayoutCostModel::ReorganizationCost() const {
+  // Read + write of the full matrix.
+  return 2.0 * std::ceil(static_cast<double>(num_rows_ * num_cols_) /
+                         kDoublesPerLine);
+}
+
+}  // namespace exploredb

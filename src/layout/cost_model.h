@@ -1,0 +1,53 @@
+#ifndef EXPLOREDB_LAYOUT_COST_MODEL_H_
+#define EXPLOREDB_LAYOUT_COST_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/layouts.h"
+
+namespace exploredb {
+
+/// Observed mix of access operations over a window.
+struct WorkloadProfile {
+  uint64_t row_fetches = 0;
+  std::vector<uint64_t> column_scans;  ///< per-column scan counts
+
+  uint64_t TotalScans() const;
+  uint64_t TotalOps() const { return row_fetches + TotalScans(); }
+  void Clear();
+};
+
+/// Analytic cache-line cost model for the three layouts. Costs are in
+/// cache-line touches (64-byte lines over 8-byte doubles); relative ordering
+/// is what matters — it drives the adaptive store's layout decisions, and
+/// E14 validates it against measured time.
+class LayoutCostModel {
+ public:
+  LayoutCostModel(size_t num_rows, size_t num_cols)
+      : num_rows_(num_rows), num_cols_(num_cols) {}
+
+  /// Predicted line touches of one row fetch / one column scan.
+  double RowFetchCost(LayoutKind kind,
+                      const std::vector<bool>& scan_columns) const;
+  double ColumnScanCost(LayoutKind kind, size_t col,
+                        const std::vector<bool>& scan_columns) const;
+
+  /// Predicted total cost of `profile` under `kind` (hybrid uses
+  /// `scan_columns` as its columnar set).
+  double WorkloadCost(LayoutKind kind, const WorkloadProfile& profile,
+                      const std::vector<bool>& scan_columns) const;
+
+  /// One-time cost of rewriting the whole matrix into a new layout.
+  double ReorganizationCost() const;
+
+ private:
+  static constexpr double kDoublesPerLine = 8.0;  // 64B line / 8B double
+
+  size_t num_rows_;
+  size_t num_cols_;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_LAYOUT_COST_MODEL_H_

@@ -1,0 +1,155 @@
+#include "layout/layouts.h"
+
+namespace exploredb {
+
+const char* LayoutKindName(LayoutKind kind) {
+  switch (kind) {
+    case LayoutKind::kRow:
+      return "row";
+    case LayoutKind::kColumn:
+      return "column";
+    case LayoutKind::kHybrid:
+      return "hybrid";
+  }
+  return "?";
+}
+
+namespace {
+
+class RowStore final : public MatrixStore {
+ public:
+  explicit RowStore(const std::vector<std::vector<double>>& columns)
+      : cols_(columns.size()), rows_(columns.empty() ? 0 : columns[0].size()) {
+    data_.resize(rows_ * cols_);
+    for (size_t c = 0; c < cols_; ++c) {
+      for (size_t r = 0; r < rows_; ++r) data_[r * cols_ + c] = columns[c][r];
+    }
+  }
+
+  LayoutKind kind() const override { return LayoutKind::kRow; }
+  size_t num_rows() const override { return rows_; }
+  size_t num_cols() const override { return cols_; }
+
+  double FetchRow(size_t row) const override {
+    double s = 0.0;
+    const double* p = &data_[row * cols_];
+    for (size_t c = 0; c < cols_; ++c) s += p[c];
+    return s;
+  }
+
+  double ScanColumn(size_t col) const override {
+    double s = 0.0;
+    for (size_t r = 0; r < rows_; ++r) s += data_[r * cols_ + col];
+    return s;
+  }
+
+ private:
+  size_t cols_;
+  size_t rows_;
+  std::vector<double> data_;
+};
+
+class ColumnStore final : public MatrixStore {
+ public:
+  explicit ColumnStore(const std::vector<std::vector<double>>& columns)
+      : cols_(columns) {}
+
+  LayoutKind kind() const override { return LayoutKind::kColumn; }
+  size_t num_rows() const override {
+    return cols_.empty() ? 0 : cols_[0].size();
+  }
+  size_t num_cols() const override { return cols_.size(); }
+
+  double FetchRow(size_t row) const override {
+    double s = 0.0;
+    for (const auto& col : cols_) s += col[row];
+    return s;
+  }
+
+  double ScanColumn(size_t col) const override {
+    double s = 0.0;
+    for (double v : cols_[col]) s += v;
+    return s;
+  }
+
+ private:
+  std::vector<std::vector<double>> cols_;
+};
+
+class HybridStore final : public MatrixStore {
+ public:
+  HybridStore(const std::vector<std::vector<double>>& columns,
+              const std::vector<bool>& scan_columns)
+      : rows_(columns.empty() ? 0 : columns[0].size()),
+        total_cols_(columns.size()) {
+    // slot_[c]: (true, i) -> columnar_[i];  (false, offset) -> row group.
+    for (size_t c = 0; c < columns.size(); ++c) {
+      if (c < scan_columns.size() && scan_columns[c]) {
+        slot_.push_back({true, columnar_.size()});
+        columnar_.push_back(columns[c]);
+      } else {
+        slot_.push_back({false, group_width_});
+        ++group_width_;
+      }
+    }
+    group_.resize(rows_ * group_width_);
+    for (size_t c = 0; c < columns.size(); ++c) {
+      if (slot_[c].first) continue;
+      size_t off = slot_[c].second;
+      for (size_t r = 0; r < rows_; ++r) {
+        group_[r * group_width_ + off] = columns[c][r];
+      }
+    }
+  }
+
+  LayoutKind kind() const override { return LayoutKind::kHybrid; }
+  size_t num_rows() const override { return rows_; }
+  size_t num_cols() const override { return total_cols_; }
+
+  double FetchRow(size_t row) const override {
+    double s = 0.0;
+    const double* p = group_width_ ? &group_[row * group_width_] : nullptr;
+    for (size_t i = 0; i < group_width_; ++i) s += p[i];
+    for (const auto& col : columnar_) s += col[row];
+    return s;
+  }
+
+  double ScanColumn(size_t col) const override {
+    double s = 0.0;
+    if (slot_[col].first) {
+      for (double v : columnar_[slot_[col].second]) s += v;
+    } else {
+      size_t off = slot_[col].second;
+      for (size_t r = 0; r < rows_; ++r) s += group_[r * group_width_ + off];
+    }
+    return s;
+  }
+
+ private:
+  size_t rows_;
+  size_t total_cols_;
+  size_t group_width_ = 0;
+  std::vector<std::pair<bool, size_t>> slot_;
+  std::vector<std::vector<double>> columnar_;
+  std::vector<double> group_;
+};
+
+}  // namespace
+
+std::unique_ptr<MatrixStore> MakeRowStore(
+    const std::vector<std::vector<double>>& columns) {
+  return std::make_unique<RowStore>(columns);
+}
+
+std::unique_ptr<MatrixStore> MakeColumnStore(
+    const std::vector<std::vector<double>>& columns) {
+  return std::make_unique<ColumnStore>(columns);
+}
+
+std::unique_ptr<MatrixStore> MakeHybridStore(
+    const std::vector<std::vector<double>>& columns,
+    const std::vector<bool>& scan_columns) {
+  return std::make_unique<HybridStore>(columns, scan_columns);
+}
+
+}  // namespace exploredb

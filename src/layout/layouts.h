@@ -1,0 +1,67 @@
+#ifndef EXPLOREDB_LAYOUT_LAYOUTS_H_
+#define EXPLOREDB_LAYOUT_LAYOUTS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+
+namespace exploredb {
+
+/// The two access patterns whose tension drives storage-layout choice:
+/// OLTP-style full-row fetches vs. OLAP-style single-column scans.
+struct AccessOp {
+  enum class Kind { kRowFetch, kColumnScan };
+  Kind kind = Kind::kColumnScan;
+  size_t index = 0;  ///< row id for kRowFetch, column id for kColumnScan
+};
+
+/// Physical layout of a numeric matrix. There is no universally best layout
+/// — the premise of adaptive storage (H2O [Alagiannis et al., SIGMOD'14],
+/// OctopusDB [Dittrich & Jindal, CIDR'11]).
+enum class LayoutKind { kRow, kColumn, kHybrid };
+
+const char* LayoutKindName(LayoutKind kind);
+
+/// A physical store over an n x m double matrix supporting both access ops.
+/// Implementations return a checksum so the work cannot be optimized away in
+/// benchmarks.
+class MatrixStore {
+ public:
+  virtual ~MatrixStore() = default;
+
+  virtual LayoutKind kind() const = 0;
+  virtual size_t num_rows() const = 0;
+  virtual size_t num_cols() const = 0;
+
+  /// Sum of the row's values.
+  virtual double FetchRow(size_t row) const = 0;
+  /// Sum of the column's values.
+  virtual double ScanColumn(size_t col) const = 0;
+
+  double Execute(const AccessOp& op) const {
+    return op.kind == AccessOp::Kind::kRowFetch ? FetchRow(op.index)
+                                                : ScanColumn(op.index);
+  }
+};
+
+/// Row-major (N-ary / NSM) layout: rows contiguous — fast row fetch, strided
+/// column scan.
+std::unique_ptr<MatrixStore> MakeRowStore(
+    const std::vector<std::vector<double>>& columns);
+
+/// Column-major (DSM) layout: columns contiguous — fast scans, scattered
+/// row reconstruction.
+std::unique_ptr<MatrixStore> MakeColumnStore(
+    const std::vector<std::vector<double>>& columns);
+
+/// Hybrid (column-group / PAX-flavored) layout: columns in `scan_columns`
+/// stored columnar, the remainder packed row-major.
+std::unique_ptr<MatrixStore> MakeHybridStore(
+    const std::vector<std::vector<double>>& columns,
+    const std::vector<bool>& scan_columns);
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_LAYOUT_LAYOUTS_H_

@@ -1,0 +1,16 @@
+#include "loading/eager_loader.h"
+
+#include "common/stopwatch.h"
+
+namespace exploredb {
+
+Result<EagerLoadReport> EagerLoad(const std::string& path,
+                                  const Schema& schema,
+                                  const CsvOptions& options) {
+  Stopwatch timer;
+  EXPLOREDB_ASSIGN_OR_RETURN(Table table, ReadCsv(path, schema, options));
+  EagerLoadReport report{std::move(table), timer.ElapsedMicros()};
+  return report;
+}
+
+}  // namespace exploredb

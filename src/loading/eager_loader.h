@@ -1,0 +1,27 @@
+#ifndef EXPLOREDB_LOADING_EAGER_LOADER_H_
+#define EXPLOREDB_LOADING_EAGER_LOADER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "storage/csv.h"
+#include "storage/table.h"
+
+namespace exploredb {
+
+/// Timing breakdown of a traditional up-front load.
+struct EagerLoadReport {
+  Table table;
+  int64_t load_micros = 0;  ///< full parse of every column before any query
+};
+
+/// Baseline for the adaptive-loading experiments: the traditional
+/// load-then-query pipeline, which pays the complete parsing cost before the
+/// first query can run.
+Result<EagerLoadReport> EagerLoad(const std::string& path,
+                                  const Schema& schema,
+                                  const CsvOptions& options = {});
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_LOADING_EAGER_LOADER_H_

@@ -1,0 +1,56 @@
+#include "loading/positional_map.h"
+
+namespace exploredb {
+
+Status PositionalMap::Build(std::string_view data, size_t num_columns,
+                            char delim, bool skip_header) {
+  offsets_.clear();
+  num_rows_ = 0;
+  num_columns_ = 0;
+
+  size_t pos = 0;
+  if (skip_header) {
+    size_t nl = data.find('\n');
+    pos = (nl == std::string_view::npos) ? data.size() : nl + 1;
+  }
+
+  while (pos < data.size()) {
+    size_t row_start = pos;
+    size_t fields_seen = 0;
+    offsets_.push_back(pos);
+    ++fields_seen;
+    while (pos < data.size() && data[pos] != '\n') {
+      if (data[pos] == delim) {
+        offsets_.push_back(pos + 1);
+        ++fields_seen;
+      }
+      ++pos;
+    }
+    size_t row_end = pos;
+    if (pos < data.size()) ++pos;  // consume '\n'
+    if (row_end == row_start && fields_seen == 1) {
+      offsets_.pop_back();  // blank line
+      continue;
+    }
+    if (fields_seen != num_columns) {
+      return Status::ParseError(
+          "row " + std::to_string(num_rows_ + 1) + ": expected " +
+          std::to_string(num_columns) + " fields, got " +
+          std::to_string(fields_seen));
+    }
+    offsets_.push_back(row_end + 1);  // sentinel: one past last field's end
+    ++num_rows_;
+  }
+  num_columns_ = num_columns;
+  return Status::OK();
+}
+
+std::string_view PositionalMap::Field(std::string_view data, size_t row,
+                                      size_t col) const {
+  const size_t stride = num_columns_ + 1;
+  uint64_t begin = offsets_[row * stride + col];
+  uint64_t end = offsets_[row * stride + col + 1] - 1;  // strip delim/newline
+  return data.substr(begin, end - begin);
+}
+
+}  // namespace exploredb

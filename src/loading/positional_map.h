@@ -1,0 +1,46 @@
+#ifndef EXPLOREDB_LOADING_POSITIONAL_MAP_H_
+#define EXPLOREDB_LOADING_POSITIONAL_MAP_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace exploredb {
+
+/// Byte-offset index over a delimited raw file, after NoDB's positional maps
+/// [Alagiannis et al., SIGMOD'12]. Built once during the first touch of the
+/// file, it lets later accesses jump directly to (row, column) cells without
+/// re-tokenizing, which is what turns repeated raw-file access from
+/// O(file size) per query into O(column size).
+class PositionalMap {
+ public:
+  PositionalMap() = default;
+
+  /// Tokenizes `data` (rows separated by '\n', fields by `delim`), recording
+  /// the start offset of every field. Rows must all have `num_columns`
+  /// fields; returns ParseError otherwise.
+  Status Build(std::string_view data, size_t num_columns, char delim,
+               bool skip_header);
+
+  bool built() const { return num_columns_ > 0; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return num_columns_; }
+
+  /// The raw bytes of cell (row, col), delimiter/newline excluded.
+  std::string_view Field(std::string_view data, size_t row,
+                         size_t col) const;
+
+ private:
+  // offsets_[row * (num_columns_ + 1) + col] is the byte offset where field
+  // `col` of `row` starts; the +1 slot holds the row-end offset so field
+  // lengths are derivable without re-scanning.
+  std::vector<uint64_t> offsets_;
+  size_t num_rows_ = 0;
+  size_t num_columns_ = 0;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_LOADING_POSITIONAL_MAP_H_

@@ -1,0 +1,69 @@
+#ifndef EXPLOREDB_LOADING_RAW_TABLE_H_
+#define EXPLOREDB_LOADING_RAW_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "loading/positional_map.h"
+#include "storage/csv.h"
+#include "storage/table.h"
+
+namespace exploredb {
+
+/// Per-query cost counters for the adaptive-loading experiments.
+struct RawTableStats {
+  int64_t tokenize_micros = 0;       ///< one-time positional-map build
+  int64_t parse_micros = 0;          ///< cumulative per-column parsing
+  size_t columns_loaded = 0;
+};
+
+/// A table served directly from a raw CSV file, loaded adaptively: nothing is
+/// parsed until a query touches a column, and each column is parsed exactly
+/// once and then cached ("NoDB" [Alagiannis et al., SIGMOD'12], invisible
+/// loading [Abouzied et al., EDBT'13]).
+///
+/// The first touch tokenizes the file into a PositionalMap (the expensive
+/// pass); each subsequent column load jumps straight to its cells.
+class RawTable {
+ public:
+  /// Opens `path` without reading past what's needed to hold the bytes.
+  static Result<RawTable> Open(const std::string& path, Schema schema,
+                               CsvOptions options = {});
+
+  const Schema& schema() const { return schema_; }
+
+  /// Number of data rows (forces tokenization on first call).
+  Result<size_t> NumRows();
+
+  /// The parsed column, loading it on first access.
+  Result<const ColumnVector*> GetColumn(size_t col);
+  Result<const ColumnVector*> GetColumnByName(const std::string& name);
+
+  /// Loads the cheapest not-yet-loaded column, if any; used by speculative
+  /// loading to exploit idle time between queries. Returns the column index
+  /// loaded, or NotFound when everything is resident.
+  Result<size_t> SpeculativelyLoadOne();
+
+  bool IsColumnLoaded(size_t col) const { return loaded_[col]; }
+  const RawTableStats& stats() const { return stats_; }
+
+ private:
+  RawTable(std::string data, Schema schema, CsvOptions options);
+
+  Status EnsureTokenized();
+  Status EnsureColumnLoaded(size_t col);
+
+  std::string data_;        // raw file bytes
+  Schema schema_;
+  CsvOptions options_;
+  PositionalMap map_;
+  std::vector<ColumnVector> columns_;
+  std::vector<bool> loaded_;
+  RawTableStats stats_;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_LOADING_RAW_TABLE_H_

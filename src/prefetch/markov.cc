@@ -1,0 +1,52 @@
+#include "prefetch/markov.h"
+
+#include <algorithm>
+
+namespace exploredb {
+
+void MarkovPredictor::Observe(const std::string& from, const std::string& to) {
+  ++transitions_[from][to];
+  ++outgoing_totals_[from];
+}
+
+void MarkovPredictor::ObserveTrajectory(
+    const std::vector<std::string>& states) {
+  for (size_t i = 1; i < states.size(); ++i) {
+    Observe(states[i - 1], states[i]);
+  }
+}
+
+std::vector<std::string> MarkovPredictor::PredictNext(
+    const std::string& state, size_t k) const {
+  auto it = transitions_.find(state);
+  if (it == transitions_.end()) return {};
+  std::vector<std::pair<std::string, uint64_t>> successors(
+      it->second.begin(), it->second.end());
+  std::sort(successors.begin(), successors.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;  // deterministic tie-break
+            });
+  std::vector<std::string> out;
+  for (size_t i = 0; i < successors.size() && i < k; ++i) {
+    out.push_back(successors[i].first);
+  }
+  return out;
+}
+
+double MarkovPredictor::TransitionProbability(const std::string& from,
+                                              const std::string& to) const {
+  auto it = transitions_.find(from);
+  if (it == transitions_.end()) return 0.0;
+  const auto& successors = it->second;
+  uint64_t count = 0;
+  auto jt = successors.find(to);
+  if (jt != successors.end()) count = jt->second;
+  uint64_t total = outgoing_totals_.at(from);
+  // Laplace smoothing over observed successors + 1 unseen pseudo-state.
+  return (static_cast<double>(count) + 1.0) /
+         (static_cast<double>(total) + static_cast<double>(successors.size()) +
+          1.0);
+}
+
+}  // namespace exploredb

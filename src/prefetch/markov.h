@@ -1,0 +1,43 @@
+#ifndef EXPLOREDB_PREFETCH_MARKOV_H_
+#define EXPLOREDB_PREFETCH_MARKOV_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace exploredb {
+
+/// First-order Markov model over discrete exploration states (tile ids,
+/// query templates, UI actions). Trained on past users' trajectories, it
+/// predicts where the current user is headed — the trajectory-indexing idea
+/// behind SCOUT [Tauheed et al., PVLDB'12] reduced to its transition core.
+class MarkovPredictor {
+ public:
+  /// Records one observed transition.
+  void Observe(const std::string& from, const std::string& to);
+
+  /// Feeds a whole trajectory (n-1 transitions).
+  void ObserveTrajectory(const std::vector<std::string>& states);
+
+  /// Top-`k` most likely successors of `state`, most likely first.
+  /// Unknown states yield an empty vector.
+  std::vector<std::string> PredictNext(const std::string& state,
+                                       size_t k) const;
+
+  /// P(to | from) with Laplace smoothing over the known successor set.
+  double TransitionProbability(const std::string& from,
+                               const std::string& to) const;
+
+  size_t num_states() const { return transitions_.size(); }
+
+ private:
+  // state -> (successor -> count)
+  std::unordered_map<std::string, std::unordered_map<std::string, uint64_t>>
+      transitions_;
+  std::unordered_map<std::string, uint64_t> outgoing_totals_;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_PREFETCH_MARKOV_H_

@@ -1,0 +1,39 @@
+#include "prefetch/query_cache.h"
+
+namespace exploredb {
+
+std::optional<std::vector<uint32_t>> QueryResultCache::Get(
+    const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.erase(it->second.lru_it);
+  lru_.push_front(key);
+  it->second.lru_it = lru_.begin();
+  return it->second.result;
+}
+
+void QueryResultCache::Put(const std::string& key,
+                           std::vector<uint32_t> result) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.result = std::move(result);
+    lru_.erase(it->second.lru_it);
+    lru_.push_front(key);
+    it->second.lru_it = lru_.begin();
+    return;
+  }
+  if (entries_.size() >= capacity_) {
+    const std::string& victim = lru_.back();
+    entries_.erase(victim);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(key);
+  entries_[key] = Entry{std::move(result), lru_.begin()};
+}
+
+}  // namespace exploredb

@@ -1,0 +1,65 @@
+#ifndef EXPLOREDB_PREFETCH_QUERY_CACHE_H_
+#define EXPLOREDB_PREFETCH_QUERY_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace exploredb {
+
+/// Hit/miss counters for the prefetching experiments.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+
+  double HitRate() const {
+    uint64_t total = hits + misses;
+    return total ? static_cast<double>(hits) / static_cast<double>(total)
+                 : 0.0;
+  }
+};
+
+/// LRU cache from query key (Predicate::CacheKey or a tile id) to the
+/// materialized result positions. The middleware substrate shared by the
+/// prefetching and speculative-execution components: prefetchers Put()
+/// results ahead of the user, the session Get()s on query arrival.
+class QueryResultCache {
+ public:
+  /// `capacity` is the maximum number of cached entries (>= 1).
+  explicit QueryResultCache(size_t capacity) : capacity_(capacity) {}
+
+  /// The cached result for `key`, refreshing its recency; nullopt on miss.
+  std::optional<std::vector<uint32_t>> Get(const std::string& key);
+
+  /// True without affecting recency or stats (used by prefetch planners to
+  /// avoid re-computing what is already resident).
+  bool Contains(const std::string& key) const {
+    return entries_.count(key) > 0;
+  }
+
+  /// Inserts or refreshes `key`, evicting the least recently used entry if
+  /// at capacity.
+  void Put(const std::string& key, std::vector<uint32_t> result);
+
+  size_t size() const { return entries_.size(); }
+  const CacheStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    std::vector<uint32_t> result;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  size_t capacity_;
+  std::list<std::string> lru_;  // front = most recent
+  std::unordered_map<std::string, Entry> entries_;
+  CacheStats stats_;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_PREFETCH_QUERY_CACHE_H_

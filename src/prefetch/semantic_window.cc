@@ -1,0 +1,66 @@
+#include "prefetch/semantic_window.h"
+
+#include <algorithm>
+#include <set>
+
+namespace exploredb {
+
+std::string Tile::Key() const {
+  return "tile:" + std::to_string(x) + ":" + std::to_string(y);
+}
+
+std::vector<Tile> TileViewport::Tiles() const {
+  std::vector<Tile> out;
+  out.reserve(static_cast<size_t>(width()) * height());
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) out.push_back({x, y});
+  }
+  return out;
+}
+
+void SemanticWindowPrefetcher::Observe(const TileViewport& viewport) {
+  history_.push_back(viewport);
+  if (history_.size() > 8) history_.erase(history_.begin());
+}
+
+std::vector<Tile> SemanticWindowPrefetcher::PredictNext(size_t budget) const {
+  std::vector<Tile> out;
+  if (history_.empty() || budget == 0) return out;
+  const TileViewport& cur = history_.back();
+  std::set<std::pair<int, int>> seen;
+  auto emit = [&](const Tile& t) {
+    if (out.size() >= budget) return;
+    if (!InGrid(t) || cur.Contains(t)) return;
+    if (!seen.insert({t.x, t.y}).second) return;
+    out.push_back(t);
+  };
+
+  // 1. Momentum: extrapolate the last pan and emit the uncovered band.
+  if (history_.size() >= 2) {
+    const TileViewport& prev = history_[history_.size() - 2];
+    int dx = cur.x0 - prev.x0;
+    int dy = cur.y0 - prev.y0;
+    if (dx != 0 || dy != 0) {
+      TileViewport next{cur.x0 + dx, cur.y0 + dy, cur.x1 + dx, cur.y1 + dy};
+      for (const Tile& t : next.Tiles()) emit(t);
+      // Second-step extrapolation at lower priority.
+      TileViewport next2{cur.x0 + 2 * dx, cur.y0 + 2 * dy, cur.x1 + 2 * dx,
+                         cur.y1 + 2 * dy};
+      for (const Tile& t : next2.Tiles()) emit(t);
+    }
+  }
+
+  // 2. Neighborhood ring: everything one tile around the current viewport
+  //    (covers direction changes and zoom-out).
+  for (int x = cur.x0 - 1; x <= cur.x1 + 1; ++x) {
+    emit({x, cur.y0 - 1});
+    emit({x, cur.y1 + 1});
+  }
+  for (int y = cur.y0; y <= cur.y1; ++y) {
+    emit({cur.x0 - 1, y});
+    emit({cur.x1 + 1, y});
+  }
+  return out;
+}
+
+}  // namespace exploredb

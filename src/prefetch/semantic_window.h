@@ -1,0 +1,68 @@
+#ifndef EXPLOREDB_PREFETCH_SEMANTIC_WINDOW_H_
+#define EXPLOREDB_PREFETCH_SEMANTIC_WINDOW_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace exploredb {
+
+/// A tile of a 2-D exploration grid (two numeric attributes bucketed into a
+/// tx x ty raster). Exploration frontends issue viewport queries over tile
+/// rectangles; prefetching operates at tile granularity, following the
+/// semantic-windows / ForeCache line of work [Kalinin et al., SIGMOD'14;
+/// Tauheed et al., PVLDB'12].
+struct Tile {
+  int x = 0;
+  int y = 0;
+
+  bool operator==(const Tile& other) const = default;
+
+  /// Stable cache key ("tile:x:y").
+  std::string Key() const;
+};
+
+/// Axis-aligned rectangle of tiles, inclusive on both corners.
+struct TileViewport {
+  int x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+
+  bool Contains(const Tile& t) const {
+    return t.x >= x0 && t.x <= x1 && t.y >= y0 && t.y <= y1;
+  }
+  int width() const { return x1 - x0 + 1; }
+  int height() const { return y1 - y0 + 1; }
+  std::vector<Tile> Tiles() const;
+
+  bool operator==(const TileViewport& other) const = default;
+};
+
+/// Momentum-based semantic-window prefetcher: watches the viewport stream,
+/// extrapolates the user's panning velocity, and proposes the tiles the next
+/// viewport is most likely to uncover (the extrapolated window first, then a
+/// ring around the current one).
+class SemanticWindowPrefetcher {
+ public:
+  /// Grid is `grid_x` x `grid_y` tiles.
+  SemanticWindowPrefetcher(int grid_x, int grid_y)
+      : grid_x_(grid_x), grid_y_(grid_y) {}
+
+  /// Feeds the viewport the user just requested.
+  void Observe(const TileViewport& viewport);
+
+  /// Up to `budget` distinct tiles to prefetch, most promising first; tiles
+  /// inside the current viewport are excluded (already materialized).
+  std::vector<Tile> PredictNext(size_t budget) const;
+
+ private:
+  bool InGrid(const Tile& t) const {
+    return t.x >= 0 && t.x < grid_x_ && t.y >= 0 && t.y < grid_y_;
+  }
+
+  int grid_x_;
+  int grid_y_;
+  std::vector<TileViewport> history_;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_PREFETCH_SEMANTIC_WINDOW_H_

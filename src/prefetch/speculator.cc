@@ -1,0 +1,34 @@
+#include "prefetch/speculator.h"
+
+#include <algorithm>
+
+namespace exploredb {
+
+void Speculator::Enqueue(const std::string& key, double utility, Task task) {
+  if (!known_keys_.insert(key).second) return;
+  queue_.push_back({key, utility, std::move(task)});
+}
+
+size_t Speculator::RunIdle(size_t budget) {
+  std::sort(queue_.begin(), queue_.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.utility != b.utility) return a.utility > b.utility;
+              return a.key < b.key;  // deterministic tie-break
+            });
+  size_t ran = 0;
+  while (ran < budget && !queue_.empty()) {
+    Candidate c = std::move(queue_.front());
+    queue_.erase(queue_.begin());
+    c.task();
+    ++ran;
+    ++executed_count_;
+  }
+  return ran;
+}
+
+void Speculator::Clear() {
+  for (const Candidate& c : queue_) known_keys_.erase(c.key);
+  queue_.clear();
+}
+
+}  // namespace exploredb

@@ -1,0 +1,50 @@
+#ifndef EXPLOREDB_PREFETCH_SPECULATOR_H_
+#define EXPLOREDB_PREFETCH_SPECULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace exploredb {
+
+/// Budgeted speculative-execution queue: components enqueue candidate
+/// queries (with a utility score) and the session drains the best ones
+/// during user think-time. This models the "background execution of likely
+/// follow-up queries" of semantic windows and DICE deterministically —
+/// idle time is an explicit task budget rather than a wall-clock race, so
+/// experiments are reproducible.
+class Speculator {
+ public:
+  using Task = std::function<void()>;
+
+  /// Enqueues `task` under `key` with `utility`; re-enqueueing an executed
+  /// or pending key is ignored (first writer wins).
+  void Enqueue(const std::string& key, double utility, Task task);
+
+  /// Runs up to `budget` pending tasks in descending utility; returns the
+  /// number executed.
+  size_t RunIdle(size_t budget);
+
+  /// Drops all pending tasks (e.g. the user moved somewhere unexpected).
+  void Clear();
+
+  size_t pending() const { return queue_.size(); }
+  uint64_t executed() const { return executed_count_; }
+
+ private:
+  struct Candidate {
+    std::string key;
+    double utility;
+    Task task;
+  };
+
+  std::vector<Candidate> queue_;
+  std::unordered_set<std::string> known_keys_;
+  uint64_t executed_count_ = 0;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_PREFETCH_SPECULATOR_H_

@@ -1,0 +1,50 @@
+#ifndef EXPLOREDB_SAMPLING_ESTIMATORS_H_
+#define EXPLOREDB_SAMPLING_ESTIMATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace exploredb {
+
+/// A point estimate with a symmetric confidence interval — the contract AQP
+/// systems expose to the user ("answer ± error at confidence c").
+struct Estimate {
+  double value = 0.0;
+  double ci_half_width = 0.0;  ///< half-width at the requested confidence
+  double confidence = 0.95;
+  size_t sample_size = 0;
+
+  double lo() const { return value - ci_half_width; }
+  double hi() const { return value + ci_half_width; }
+};
+
+/// Inverse standard-normal CDF (Acklam's rational approximation, |ε|<1.2e-9).
+double NormalQuantile(double p);
+
+/// z-score for a two-sided confidence level (e.g. 0.95 -> ~1.96).
+double ZScore(double confidence);
+
+/// CLT-based mean estimate from a uniform sample of the population.
+Estimate EstimateMean(const std::vector<double>& sample, double confidence);
+
+/// Sum over a population of size `population_size`, scaled from the sample
+/// mean (uniform sampling), with finite-population correction.
+Estimate EstimateSum(const std::vector<double>& sample,
+                     size_t population_size, double confidence);
+
+/// Count of predicate matches in a population of `population_size`, given
+/// `matches` hits in a uniform sample of `sample_size` (binomial CI).
+Estimate EstimateCount(size_t matches, size_t sample_size,
+                       size_t population_size, double confidence);
+
+/// Distribution-free alternative for bounded values in [lo, hi]: Hoeffding
+/// half-width for the mean at the given confidence. Wider but assumption-free
+/// — the bound the online-aggregation literature quotes for early results.
+double HoeffdingHalfWidth(size_t sample_size, double value_lo,
+                          double value_hi, double confidence);
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_SAMPLING_ESTIMATORS_H_

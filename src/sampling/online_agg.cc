@@ -1,0 +1,104 @@
+#include "sampling/online_agg.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace exploredb {
+
+const char* AggKindName(AggKind kind) {
+  switch (kind) {
+    case AggKind::kAvg:
+      return "AVG";
+    case AggKind::kSum:
+      return "SUM";
+    case AggKind::kCount:
+      return "COUNT";
+  }
+  return "?";
+}
+
+OnlineAggregator::OnlineAggregator(std::vector<double> values,
+                                   std::vector<bool> mask, AggKind kind,
+                                   uint64_t seed)
+    : values_(std::move(values)), mask_(std::move(mask)), kind_(kind) {
+  if (mask_.empty()) mask_.assign(values_.size(), true);
+  order_.resize(values_.size());
+  std::iota(order_.begin(), order_.end(), 0);
+  Random rng(seed);
+  rng.Shuffle(&order_);
+}
+
+size_t OnlineAggregator::ProcessNext(size_t batch) {
+  size_t consumed = 0;
+  while (consumed < batch && cursor_ < order_.size()) {
+    uint32_t row = order_[cursor_++];
+    ++consumed;
+    bool hit = mask_[row];
+    matches_ += hit;
+    double x;
+    size_t n;
+    switch (kind_) {
+      case AggKind::kAvg:
+        // Welford over matched values only.
+        if (!hit) continue;
+        x = values_[row];
+        n = matches_;
+        break;
+      case AggKind::kSum:
+        x = hit ? values_[row] : 0.0;
+        n = cursor_;
+        break;
+      case AggKind::kCount:
+        x = hit ? 1.0 : 0.0;
+        n = cursor_;
+        break;
+      default:
+        continue;
+    }
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n);
+    m2_ += delta * (x - mean_);
+  }
+  return consumed;
+}
+
+Estimate OnlineAggregator::Current(double confidence) const {
+  Estimate e;
+  e.confidence = confidence;
+  e.sample_size = cursor_;
+  const double N = static_cast<double>(order_.size());
+  const double processed = static_cast<double>(cursor_);
+  // Finite-population correction: the interval collapses as we approach a
+  // complete scan, which is the defining UX of online aggregation.
+  double fpc = (N > 1 && processed < N)
+                   ? std::sqrt((N - processed) / (N - 1))
+                   : 0.0;
+  const double z = ZScore(confidence);
+  switch (kind_) {
+    case AggKind::kAvg: {
+      e.value = mean_;
+      if (matches_ > 1) {
+        double sd = std::sqrt(m2_ / static_cast<double>(matches_ - 1));
+        e.ci_half_width =
+            z * sd / std::sqrt(static_cast<double>(matches_)) * fpc;
+      } else {
+        e.ci_half_width = INFINITY;
+      }
+      break;
+    }
+    case AggKind::kSum:
+    case AggKind::kCount: {
+      e.value = mean_ * N;
+      if (cursor_ > 1) {
+        double sd = std::sqrt(m2_ / (processed - 1));
+        e.ci_half_width = z * sd / std::sqrt(processed) * N * fpc;
+      } else {
+        e.ci_half_width = INFINITY;
+      }
+      break;
+    }
+  }
+  return e;
+}
+
+}  // namespace exploredb

@@ -1,0 +1,56 @@
+#ifndef EXPLOREDB_SAMPLING_ONLINE_AGG_H_
+#define EXPLOREDB_SAMPLING_ONLINE_AGG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "sampling/estimators.h"
+
+namespace exploredb {
+
+/// Aggregates computable online.
+enum class AggKind { kAvg, kSum, kCount };
+
+const char* AggKindName(AggKind kind);
+
+/// Online aggregation [Hellerstein/Haas/Wang, SIGMOD'97; CONTROL project]:
+/// processes the data in random order, maintaining a running estimate whose
+/// confidence interval shrinks as ~1/sqrt(tuples processed). The user can
+/// stop at any time — the core interaction pattern of exploratory AQP.
+class OnlineAggregator {
+ public:
+  /// `values` is the aggregated column; `mask` (optional, same length) marks
+  /// which rows satisfy the query predicate (COUNT counts mask hits; AVG/SUM
+  /// aggregate masked-in values only). Rows are visited in a random
+  /// permutation drawn from `seed`.
+  OnlineAggregator(std::vector<double> values, std::vector<bool> mask,
+                   AggKind kind, uint64_t seed = 42);
+
+  /// Processes up to `batch` more rows; returns rows actually consumed
+  /// (0 when exhausted).
+  size_t ProcessNext(size_t batch);
+
+  /// Current running estimate; exact (zero CI width) once all rows are seen.
+  Estimate Current(double confidence = 0.95) const;
+
+  bool done() const { return cursor_ >= order_.size(); }
+  size_t rows_processed() const { return cursor_; }
+  size_t population_size() const { return order_.size(); }
+
+ private:
+  std::vector<double> values_;
+  std::vector<bool> mask_;
+  AggKind kind_;
+  std::vector<uint32_t> order_;
+  size_t cursor_ = 0;
+
+  // Welford accumulators over the per-row contribution stream.
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  size_t matches_ = 0;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_SAMPLING_ONLINE_AGG_H_

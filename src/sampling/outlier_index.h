@@ -1,0 +1,60 @@
+#ifndef EXPLOREDB_SAMPLING_OUTLIER_INDEX_H_
+#define EXPLOREDB_SAMPLING_OUTLIER_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "sampling/estimators.h"
+
+namespace exploredb {
+
+/// Outlier-indexed sampling ["Overcoming Limitations of Sampling for
+/// Aggregation Queries", Chaudhuri/Das/Datar/Motwani/Narasayya, ICDE'01 —
+/// the approximate-processing lineage the tutorial's §2.2/§2.3 builds on].
+///
+/// Uniform samples estimate SUM/AVG poorly on heavy-tailed data because a
+/// few extreme tuples carry most of the mass and are usually missed. The
+/// fix: split the data into a small *outlier set* (largest |values|),
+/// aggregated exactly, and the well-behaved remainder, estimated from a
+/// uniform sample. Total estimate = exact outlier sum + scaled sample
+/// estimate; the CI covers only the sampled part.
+class OutlierIndexedSample {
+ public:
+  /// `outlier_budget` values are kept exactly, `sample_budget` rows are
+  /// sampled uniformly from the remainder. Requires non-empty values and
+  /// positive budgets.
+  static Result<OutlierIndexedSample> Build(const std::vector<double>& values,
+                                            size_t outlier_budget,
+                                            size_t sample_budget,
+                                            uint64_t seed = 42);
+
+  /// Estimated SUM over the full population with a CLT CI (outlier part is
+  /// exact and contributes no width).
+  Estimate EstimateSum(double confidence = 0.95) const;
+
+  /// Estimated AVG over the full population.
+  Estimate EstimateAvg(double confidence = 0.95) const;
+
+  /// Plain uniform-sampling estimate at the same *total* storage budget
+  /// (outlier_budget + sample_budget rows), for comparison.
+  static Estimate UniformSumEstimate(const std::vector<double>& values,
+                                     size_t budget, uint64_t seed = 42,
+                                     double confidence = 0.95);
+
+  size_t outliers_kept() const { return outlier_sum_count_; }
+  size_t sample_size() const { return sample_.size(); }
+
+ private:
+  OutlierIndexedSample() = default;
+
+  double outlier_sum_ = 0.0;
+  size_t outlier_sum_count_ = 0;
+  std::vector<double> sample_;      // sampled non-outlier values
+  size_t remainder_size_ = 0;       // population size of the non-outliers
+  size_t population_size_ = 0;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_SAMPLING_OUTLIER_INDEX_H_

@@ -1,0 +1,75 @@
+#include "sampling/sample_catalog.h"
+
+#include <algorithm>
+
+#include "sampling/sampler.h"
+
+namespace exploredb {
+
+SampleCatalog::SampleCatalog(const Table* table,
+                             std::vector<double> fractions, uint64_t seed)
+    : table_(table) {
+  std::sort(fractions.begin(), fractions.end());
+  Random rng(seed);
+  const size_t n = table_->num_rows();
+  for (double f : fractions) {
+    CatalogSample s;
+    s.fraction = f;
+    s.positions = SamplePositions(n, static_cast<size_t>(f * n + 0.5), &rng);
+    samples_.push_back(std::move(s));
+  }
+}
+
+Result<Estimate> SampleCatalog::AvgOnPositions(
+    const std::string& value_column, const Predicate& pred,
+    const std::vector<uint32_t>& positions, double confidence) const {
+  EXPLOREDB_ASSIGN_OR_RETURN(const ColumnVector* col,
+                             table_->ColumnByName(value_column));
+  if (col->type() == DataType::kString) {
+    return Status::InvalidArgument("AVG over string column");
+  }
+  std::vector<double> matched;
+  for (uint32_t pos : positions) {
+    if (pred.Matches(*table_, pos)) matched.push_back(col->GetDouble(pos));
+  }
+  return EstimateMean(matched, confidence);
+}
+
+Result<ApproxAnswer> SampleCatalog::AvgWithErrorBudget(
+    const std::string& value_column, const Predicate& pred,
+    double error_budget, double confidence) const {
+  for (const CatalogSample& s : samples_) {
+    EXPLOREDB_ASSIGN_OR_RETURN(
+        Estimate e,
+        AvgOnPositions(value_column, pred, s.positions, confidence));
+    if (e.sample_size > 1 && e.ci_half_width <= error_budget) {
+      return ApproxAnswer{e, s.fraction};
+    }
+  }
+  // Escalate to the exact answer on the full table.
+  std::vector<uint32_t> all(table_->num_rows());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<uint32_t>(i);
+  EXPLOREDB_ASSIGN_OR_RETURN(
+      Estimate e, AvgOnPositions(value_column, pred, all, confidence));
+  e.ci_half_width = 0.0;  // exact
+  return ApproxAnswer{e, 1.0};
+}
+
+Result<ApproxAnswer> SampleCatalog::AvgWithRowBudget(
+    const std::string& value_column, const Predicate& pred, size_t max_rows,
+    double confidence) const {
+  const CatalogSample* best = nullptr;
+  for (const CatalogSample& s : samples_) {
+    if (s.positions.size() <= max_rows) best = &s;
+  }
+  if (best == nullptr) {
+    return Status::InvalidArgument(
+        "row budget below the smallest catalog sample");
+  }
+  EXPLOREDB_ASSIGN_OR_RETURN(
+      Estimate e,
+      AvgOnPositions(value_column, pred, best->positions, confidence));
+  return ApproxAnswer{e, best->fraction};
+}
+
+}  // namespace exploredb

@@ -1,0 +1,70 @@
+#ifndef EXPLOREDB_SAMPLING_SAMPLE_CATALOG_H_
+#define EXPLOREDB_SAMPLING_SAMPLE_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "sampling/estimators.h"
+#include "storage/predicate.h"
+#include "storage/table.h"
+
+namespace exploredb {
+
+/// One pre-materialized uniform sample of the base table.
+struct CatalogSample {
+  double fraction;                  ///< sampling rate
+  std::vector<uint32_t> positions;  ///< sampled rows, ascending
+};
+
+/// Answer of a catalog-served approximate query.
+struct ApproxAnswer {
+  Estimate estimate;
+  double fraction_used = 1.0;  ///< 1.0 means it fell back to the full data
+};
+
+/// Pre-computed multi-resolution samples plus a BlinkDB-flavored selector:
+/// given an error or a latency budget, run the query on the smallest sample
+/// predicted to satisfy it, escalating to larger samples when the realized
+/// CI misses an error budget [Agarwal et al., EuroSys'13].
+class SampleCatalog {
+ public:
+  /// Builds uniform samples of the table at each fraction in `fractions`
+  /// (e.g. {0.001, 0.01, 0.1}).
+  SampleCatalog(const Table* table, std::vector<double> fractions,
+                uint64_t seed = 42);
+
+  /// AVG(`value_column`) over rows matching `pred`, using the smallest
+  /// sample whose realized CI half-width <= `error_budget` (absolute).
+  /// Escalates through samples and finally the full table if necessary.
+  Result<ApproxAnswer> AvgWithErrorBudget(const std::string& value_column,
+                                          const Predicate& pred,
+                                          double error_budget,
+                                          double confidence = 0.95) const;
+
+  /// AVG with a row budget: uses the largest sample that still touches at
+  /// most `max_rows` rows — a latency bound in the simulator's cost model
+  /// (rows touched is the latency proxy).
+  Result<ApproxAnswer> AvgWithRowBudget(const std::string& value_column,
+                                        const Predicate& pred,
+                                        size_t max_rows,
+                                        double confidence = 0.95) const;
+
+  const std::vector<CatalogSample>& samples() const { return samples_; }
+
+ private:
+  /// Evaluates AVG on the rows of `positions` that match `pred`.
+  Result<Estimate> AvgOnPositions(const std::string& value_column,
+                                  const Predicate& pred,
+                                  const std::vector<uint32_t>& positions,
+                                  double confidence) const;
+
+  const Table* table_;
+  std::vector<CatalogSample> samples_;  // ascending by fraction
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_SAMPLING_SAMPLE_CATALOG_H_

@@ -1,0 +1,62 @@
+#include "sampling/sampler.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace exploredb {
+
+void ReservoirSampler::Add(uint32_t row) {
+  ++items_seen_;
+  if (reservoir_.size() < capacity_) {
+    reservoir_.push_back(row);
+    return;
+  }
+  size_t j = rng_.Uniform(items_seen_);
+  if (j < capacity_) reservoir_[j] = row;
+}
+
+std::vector<uint32_t> SamplePositions(size_t n, size_t k, Random* rng) {
+  k = std::min(k, n);
+  std::vector<uint32_t> out;
+  out.reserve(k);
+  if (k * 4 < n) {
+    // Floyd's algorithm: k iterations, expected O(k) set operations.
+    std::unordered_set<uint32_t> chosen;
+    chosen.reserve(k * 2);
+    for (size_t j = n - k; j < n; ++j) {
+      uint32_t t = static_cast<uint32_t>(rng->Uniform(j + 1));
+      if (!chosen.insert(t).second) {
+        chosen.insert(static_cast<uint32_t>(j));
+      }
+    }
+    out.assign(chosen.begin(), chosen.end());
+  } else {
+    std::vector<uint32_t> all(n);
+    for (size_t i = 0; i < n; ++i) all[i] = static_cast<uint32_t>(i);
+    // Partial Fisher-Yates: first k slots become the sample.
+    for (size_t i = 0; i < k; ++i) {
+      size_t j = i + rng->Uniform(n - i);
+      std::swap(all[i], all[j]);
+    }
+    out.assign(all.begin(), all.begin() + k);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<uint32_t> BernoulliSample(size_t n, double fraction, Random* rng) {
+  std::vector<uint32_t> out;
+  if (fraction <= 0.0) return out;
+  if (fraction >= 1.0) {
+    out.resize(n);
+    for (size_t i = 0; i < n; ++i) out[i] = static_cast<uint32_t>(i);
+    return out;
+  }
+  out.reserve(static_cast<size_t>(n * fraction * 1.2) + 16);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng->NextDouble() < fraction) out.push_back(static_cast<uint32_t>(i));
+  }
+  return out;
+}
+
+}  // namespace exploredb

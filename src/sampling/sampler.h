@@ -1,0 +1,43 @@
+#ifndef EXPLOREDB_SAMPLING_SAMPLER_H_
+#define EXPLOREDB_SAMPLING_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace exploredb {
+
+/// Streaming uniform sampler (Vitter's Algorithm R): maintains a uniform
+/// k-subset of everything Add()ed so far without knowing the stream length.
+/// Used for building AQP samples in one pass and by the online aggregator.
+class ReservoirSampler {
+ public:
+  ReservoirSampler(size_t capacity, uint64_t seed = 42)
+      : capacity_(capacity), rng_(seed) {}
+
+  /// Offers stream element `row` to the reservoir.
+  void Add(uint32_t row);
+
+  /// The current uniform sample (size = min(capacity, items seen)).
+  const std::vector<uint32_t>& sample() const { return reservoir_; }
+  size_t items_seen() const { return items_seen_; }
+
+ private:
+  size_t capacity_;
+  Random rng_;
+  std::vector<uint32_t> reservoir_;
+  size_t items_seen_ = 0;
+};
+
+/// Uniform sample of `k` distinct positions from [0, n) (Floyd's algorithm
+/// when k << n, partial shuffle otherwise). Sorted ascending.
+std::vector<uint32_t> SamplePositions(size_t n, size_t k, Random* rng);
+
+/// Bernoulli sample: includes each position independently with probability
+/// `fraction`. Sorted ascending.
+std::vector<uint32_t> BernoulliSample(size_t n, double fraction, Random* rng);
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_SAMPLING_SAMPLER_H_

@@ -1,0 +1,72 @@
+#include "sampling/stratified.h"
+
+#include <algorithm>
+
+namespace exploredb {
+
+StratifiedSample::StratifiedSample(
+    const std::vector<std::string>& group_keys, size_t cap, uint64_t seed) {
+  Random rng(seed);
+  std::unordered_map<std::string, std::vector<uint32_t>> rows_by_group;
+  for (size_t i = 0; i < group_keys.size(); ++i) {
+    rows_by_group[group_keys[i]].push_back(static_cast<uint32_t>(i));
+  }
+  for (auto& [key, rows] : rows_by_group) {
+    group_sizes_[key] = rows.size();
+    size_t take = std::min(cap, rows.size());
+    // Partial Fisher-Yates inside the group.
+    for (size_t i = 0; i < take; ++i) {
+      size_t j = i + rng.Uniform(rows.size() - i);
+      std::swap(rows[i], rows[j]);
+    }
+    double w = static_cast<double>(rows.size()) / static_cast<double>(take);
+    for (size_t i = 0; i < take; ++i) {
+      positions_.push_back(rows[i]);
+      weights_.push_back(w);
+    }
+  }
+  // Keep (position, weight) pairs aligned while sorting by position.
+  std::vector<size_t> order(positions_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    return positions_[a] < positions_[b];
+  });
+  std::vector<uint32_t> pos2(positions_.size());
+  std::vector<double> w2(weights_.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    pos2[i] = positions_[order[i]];
+    w2[i] = weights_[order[i]];
+  }
+  positions_ = std::move(pos2);
+  weights_ = std::move(w2);
+}
+
+std::unordered_map<std::string, Estimate> StratifiedSample::GroupMeans(
+    const std::vector<double>& values,
+    const std::vector<std::string>& group_keys, double confidence) const {
+  std::unordered_map<std::string, std::vector<double>> sampled_by_group;
+  for (uint32_t pos : positions_) {
+    sampled_by_group[group_keys[pos]].push_back(values[pos]);
+  }
+  std::unordered_map<std::string, Estimate> out;
+  for (const auto& [key, sample] : sampled_by_group) {
+    Estimate e = EstimateMean(sample, confidence);
+    // Groups at or below the cap are fully sampled: the mean is exact.
+    auto it = group_sizes_.find(key);
+    if (it != group_sizes_.end() && sample.size() >= it->second) {
+      e.ci_half_width = 0.0;
+    }
+    out[key] = e;
+  }
+  return out;
+}
+
+double StratifiedSample::WeightedSum(const std::vector<double>& values) const {
+  double total = 0.0;
+  for (size_t i = 0; i < positions_.size(); ++i) {
+    total += values[positions_[i]] * weights_[i];
+  }
+  return total;
+}
+
+}  // namespace exploredb

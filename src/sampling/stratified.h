@@ -1,0 +1,53 @@
+#ifndef EXPLOREDB_SAMPLING_STRATIFIED_H_
+#define EXPLOREDB_SAMPLING_STRATIFIED_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "sampling/estimators.h"
+
+namespace exploredb {
+
+/// BlinkDB-style stratified sample over a categorical column [Agarwal et al.,
+/// EuroSys'13]: every group keeps at most `cap` rows, so rare groups — which
+/// a uniform sample misses entirely — are fully represented, at the cost of
+/// weighting frequent groups during estimation.
+class StratifiedSample {
+ public:
+  /// Builds the sample over `group_keys` (one key per row), capping each
+  /// group at `cap` sampled rows chosen uniformly within the group.
+  StratifiedSample(const std::vector<std::string>& group_keys, size_t cap,
+                   uint64_t seed = 42);
+
+  /// Sampled row positions, ascending.
+  const std::vector<uint32_t>& positions() const { return positions_; }
+
+  /// Inverse inclusion probability of the sampled row at positions()[i]
+  /// (group_size / group_sample_size); the Horvitz-Thompson weight.
+  double weight(size_t i) const { return weights_[i]; }
+
+  size_t num_groups() const { return group_sizes_.size(); }
+  size_t size() const { return positions_.size(); }
+
+  /// Per-group mean of `values` (indexed by row position) with CLT CIs.
+  /// Exact for groups at or below the cap.
+  std::unordered_map<std::string, Estimate> GroupMeans(
+      const std::vector<double>& values,
+      const std::vector<std::string>& group_keys,
+      double confidence = 0.95) const;
+
+  /// Weighted (Horvitz-Thompson) total of `values` over the population.
+  double WeightedSum(const std::vector<double>& values) const;
+
+ private:
+  std::vector<uint32_t> positions_;
+  std::vector<double> weights_;
+  std::unordered_map<std::string, size_t> group_sizes_;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_SAMPLING_STRATIFIED_H_

@@ -1,0 +1,90 @@
+#include "storage/column.h"
+
+namespace exploredb {
+
+size_t ColumnVector::size() const {
+  switch (type_) {
+    case DataType::kInt64:
+      return int64_data_.size();
+    case DataType::kDouble:
+      return double_data_.size();
+    case DataType::kString:
+      return string_data_.size();
+  }
+  return 0;
+}
+
+Status ColumnVector::Append(const Value& v) {
+  if (v.type() != type_) {
+    return Status::InvalidArgument(
+        std::string("appending ") + DataTypeName(v.type()) + " to " +
+        DataTypeName(type_) + " column");
+  }
+  switch (type_) {
+    case DataType::kInt64:
+      int64_data_.push_back(v.int64());
+      break;
+    case DataType::kDouble:
+      double_data_.push_back(v.dbl());
+      break;
+    case DataType::kString:
+      string_data_.push_back(v.str());
+      break;
+  }
+  return Status::OK();
+}
+
+Value ColumnVector::GetValue(size_t row) const {
+  switch (type_) {
+    case DataType::kInt64:
+      return Value(int64_data_[row]);
+    case DataType::kDouble:
+      return Value(double_data_[row]);
+    case DataType::kString:
+      return Value(string_data_[row]);
+  }
+  return Value();
+}
+
+double ColumnVector::GetDouble(size_t row) const {
+  if (type_ == DataType::kInt64) {
+    return static_cast<double>(int64_data_[row]);
+  }
+  return double_data_[row];
+}
+
+void ColumnVector::Reserve(size_t n) {
+  switch (type_) {
+    case DataType::kInt64:
+      int64_data_.reserve(n);
+      break;
+    case DataType::kDouble:
+      double_data_.reserve(n);
+      break;
+    case DataType::kString:
+      string_data_.reserve(n);
+      break;
+  }
+}
+
+ColumnVector ColumnVector::Gather(
+    const std::vector<uint32_t>& positions) const {
+  ColumnVector out(type_);
+  out.Reserve(positions.size());
+  switch (type_) {
+    case DataType::kInt64:
+      for (uint32_t p : positions) out.int64_data_.push_back(int64_data_[p]);
+      break;
+    case DataType::kDouble:
+      for (uint32_t p : positions) out.double_data_.push_back(double_data_[p]);
+      break;
+    case DataType::kString:
+      for (uint32_t p : positions) {
+        out.string_data_.push_back(string_data_[p]);
+      }
+      break;
+  }
+  return out;
+}
+
+}  // namespace exploredb

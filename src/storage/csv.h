@@ -1,0 +1,30 @@
+#ifndef EXPLOREDB_STORAGE_CSV_H_
+#define EXPLOREDB_STORAGE_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace exploredb {
+
+/// Options for the CSV codec. Deliberately minimal: the adaptive-loading
+/// experiments need a well-defined flat-file format, not a full dialect
+/// implementation (no quoting/escaping, as in the NoDB prototypes).
+struct CsvOptions {
+  char delimiter = ',';
+  bool has_header = true;
+};
+
+/// Parses `path` into a Table with the given schema. Fails with ParseError on
+/// the first malformed cell (error message carries the 1-based line number).
+Result<Table> ReadCsv(const std::string& path, const Schema& schema,
+                      const CsvOptions& options = {});
+
+/// Writes `table` to `path` (header row iff options.has_header).
+Status WriteCsv(const Table& table, const std::string& path,
+                const CsvOptions& options = {});
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_STORAGE_CSV_H_

@@ -1,0 +1,118 @@
+#include "storage/predicate.h"
+
+#include <sstream>
+
+namespace exploredb {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+  }
+  return "?";
+}
+
+namespace {
+
+template <typename T>
+bool Compare(const T& lhs, CompareOp op, const T& rhs) {
+  switch (op) {
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs <= rhs;
+    case CompareOp::kGt:
+      return lhs > rhs;
+    case CompareOp::kGe:
+      return lhs >= rhs;
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      return lhs != rhs;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Condition::Matches(const Table& table, size_t row) const {
+  return MatchesColumn(table.column(column), row);
+}
+
+bool Condition::MatchesColumn(const ColumnVector& col, size_t row) const {
+  switch (col.type()) {
+    case DataType::kInt64:
+      // Allow numeric constants of either flavor against int columns.
+      if (constant.is_int64()) {
+        return Compare(col.int64_data()[row], op, constant.int64());
+      }
+      return Compare(static_cast<double>(col.int64_data()[row]), op,
+                     constant.AsDouble());
+    case DataType::kDouble:
+      return Compare(col.double_data()[row], op, constant.AsDouble());
+    case DataType::kString:
+      return constant.is_string() &&
+             Compare(col.string_data()[row], op, constant.str());
+  }
+  return false;
+}
+
+std::string Condition::ToString(const Schema& schema) const {
+  std::ostringstream os;
+  os << schema.field(column).name << " " << CompareOpName(op) << " "
+     << constant.ToString();
+  return os.str();
+}
+
+Predicate Predicate::Range(size_t column, double lo, double hi) {
+  Predicate p;
+  p.And({column, CompareOp::kGe, Value(lo)});
+  p.And({column, CompareOp::kLt, Value(hi)});
+  return p;
+}
+
+bool Predicate::Matches(const Table& table, size_t row) const {
+  for (const Condition& c : conjuncts_) {
+    if (!c.Matches(table, row)) return false;
+  }
+  return true;
+}
+
+std::vector<uint32_t> Predicate::SelectPositions(const Table& table) const {
+  std::vector<uint32_t> out;
+  const size_t n = table.num_rows();
+  for (size_t r = 0; r < n; ++r) {
+    if (Matches(table, r)) out.push_back(static_cast<uint32_t>(r));
+  }
+  return out;
+}
+
+std::string Predicate::CacheKey() const {
+  std::ostringstream os;
+  for (const Condition& c : conjuncts_) {
+    os << c.column << CompareOpName(c.op) << c.constant.ToString() << ";";
+  }
+  return os.str();
+}
+
+std::string Predicate::ToString(const Schema& schema) const {
+  if (conjuncts_.empty()) return "true";
+  std::string out;
+  for (size_t i = 0; i < conjuncts_.size(); ++i) {
+    if (i) out += " AND ";
+    out += conjuncts_[i].ToString(schema);
+  }
+  return out;
+}
+
+}  // namespace exploredb

@@ -1,0 +1,70 @@
+#ifndef EXPLOREDB_STORAGE_PREDICATE_H_
+#define EXPLOREDB_STORAGE_PREDICATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace exploredb {
+
+/// Comparison operators for single-column conditions.
+enum class CompareOp { kLt, kLe, kGt, kGe, kEq, kNe };
+
+const char* CompareOpName(CompareOp op);
+
+/// `column <op> constant` — one conjunct of a selection predicate.
+struct Condition {
+  size_t column = 0;
+  CompareOp op = CompareOp::kEq;
+  Value constant;
+
+  /// True when the cell at (row, column) of `table` satisfies the condition.
+  bool Matches(const Table& table, size_t row) const;
+
+  /// Same check against a bare column (used by executors that fetch columns
+  /// lazily and by raw-backed tables).
+  bool MatchesColumn(const ColumnVector& col, size_t row) const;
+
+  std::string ToString(const Schema& schema) const;
+};
+
+/// Conjunction of conditions — the predicate language of exploratory range
+/// queries in the surveyed systems (multidimensional windows, cracking
+/// selections, explore-by-example regions).
+class Predicate {
+ public:
+  Predicate() = default;
+  explicit Predicate(std::vector<Condition> conjuncts)
+      : conjuncts_(std::move(conjuncts)) {}
+
+  /// Convenience: lo <= column < hi on a numeric column.
+  static Predicate Range(size_t column, double lo, double hi);
+
+  Predicate& And(Condition c) {
+    conjuncts_.push_back(std::move(c));
+    return *this;
+  }
+
+  const std::vector<Condition>& conjuncts() const { return conjuncts_; }
+  bool empty() const { return conjuncts_.empty(); }
+
+  bool Matches(const Table& table, size_t row) const;
+
+  /// Positions of all matching rows, in row order.
+  std::vector<uint32_t> SelectPositions(const Table& table) const;
+
+  /// Canonical key for caching (column/op/constant triples).
+  std::string CacheKey() const;
+
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  std::vector<Condition> conjuncts_;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_STORAGE_PREDICATE_H_

@@ -1,0 +1,31 @@
+#include "storage/schema.h"
+
+namespace exploredb {
+
+Result<size_t> Schema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return Status::NotFound("no field named '" + name + "'");
+}
+
+Schema Schema::Select(const std::vector<size_t>& indices) const {
+  std::vector<Field> out;
+  out.reserve(indices.size());
+  for (size_t i : indices) out.push_back(fields_[i]);
+  return Schema(std::move(out));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i) out += ", ";
+    out += fields_[i].name;
+    out += ":";
+    out += DataTypeName(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace exploredb

@@ -1,0 +1,46 @@
+#ifndef EXPLOREDB_STORAGE_SCHEMA_H_
+#define EXPLOREDB_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/value.h"
+
+namespace exploredb {
+
+/// A named, typed column slot.
+struct Field {
+  std::string name;
+  DataType type;
+
+  bool operator==(const Field& other) const = default;
+};
+
+/// Ordered collection of fields describing a Table's columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field named `name`, or NotFound.
+  Result<size_t> FieldIndex(const std::string& name) const;
+
+  /// Schema containing only `indices`, in the given order.
+  Schema Select(const std::vector<size_t>& indices) const;
+
+  bool operator==(const Schema& other) const = default;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_STORAGE_SCHEMA_H_

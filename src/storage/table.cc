@@ -1,0 +1,83 @@
+#include "storage/table.h"
+
+#include <sstream>
+
+namespace exploredb {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_fields());
+  for (const Field& f : schema_.fields()) {
+    columns_.emplace_back(f.type);
+  }
+}
+
+Result<const ColumnVector*> Table::ColumnByName(
+    const std::string& name) const {
+  EXPLOREDB_ASSIGN_OR_RETURN(size_t idx, schema_.FieldIndex(name));
+  return &columns_[idx];
+}
+
+Status Table::AppendRow(const std::vector<Value>& row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(columns_.size()));
+  }
+  // Validate first so a failed append leaves all columns equal length.
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].type() != columns_[i].type()) {
+      return Status::InvalidArgument(
+          "type mismatch in column '" + schema_.field(i).name + "': got " +
+          DataTypeName(row[i].type()) + ", want " +
+          DataTypeName(columns_[i].type()));
+    }
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    Status st = columns_[i].Append(row[i]);
+    (void)st;  // Cannot fail: types validated above.
+  }
+  return Status::OK();
+}
+
+Table Table::Take(const std::vector<uint32_t>& positions) const {
+  Table out(schema_);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    out.columns_[c] = columns_[c].Gather(positions);
+  }
+  return out;
+}
+
+Table Table::Project(const std::vector<size_t>& indices) const {
+  Table out(schema_.Select(indices));
+  for (size_t i = 0; i < indices.size(); ++i) {
+    out.columns_[i] = columns_[indices[i]];
+  }
+  return out;
+}
+
+void Table::Reserve(size_t n) {
+  for (auto& col : columns_) col.Reserve(n);
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  for (size_t c = 0; c < schema_.num_fields(); ++c) {
+    if (c) os << " | ";
+    os << schema_.field(c).name;
+  }
+  os << "\n";
+  size_t n = std::min(max_rows, num_rows());
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (c) os << " | ";
+      os << columns_[c].GetValue(r).ToString();
+    }
+    os << "\n";
+  }
+  if (n < num_rows()) {
+    os << "... (" << num_rows() - n << " more rows)\n";
+  }
+  return os.str();
+}
+
+}  // namespace exploredb

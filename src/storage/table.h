@@ -1,0 +1,58 @@
+#ifndef EXPLOREDB_STORAGE_TABLE_H_
+#define EXPLOREDB_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/column.h"
+#include "storage/schema.h"
+
+namespace exploredb {
+
+/// In-memory columnar table: the storage substrate shared by every subsystem.
+/// Plays the role MonetDB plays for the cracking papers and the warehouse
+/// tables play for the AQP papers — a contiguous, typed, scan-friendly store.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const { return columns_.empty() ? 0 : columns_[0].size(); }
+
+  const ColumnVector& column(size_t i) const { return columns_[i]; }
+  ColumnVector* mutable_column(size_t i) { return &columns_[i]; }
+
+  /// Column by name, or NotFound.
+  Result<const ColumnVector*> ColumnByName(const std::string& name) const;
+
+  /// Appends one row; `row` must match the schema's arity and types.
+  Status AppendRow(const std::vector<Value>& row);
+
+  /// Dynamically typed cell read.
+  Value GetValue(size_t row, size_t col) const {
+    return columns_[col].GetValue(row);
+  }
+
+  /// New table with only the rows at `positions` (in order).
+  Table Take(const std::vector<uint32_t>& positions) const;
+
+  /// New table with only the columns at `indices` (in order).
+  Table Project(const std::vector<size_t>& indices) const;
+
+  void Reserve(size_t n);
+
+  /// Renders up to `max_rows` rows as an aligned ASCII table (for examples).
+  std::string ToString(size_t max_rows = 10) const;
+
+ private:
+  Schema schema_;
+  std::vector<ColumnVector> columns_;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_STORAGE_TABLE_H_

@@ -1,0 +1,89 @@
+#include "synopsis/count_min.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace exploredb {
+
+namespace {
+
+// FNV-1a 64-bit.
+uint64_t HashBytes(const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+Result<CountMinSketch> CountMinSketch::Create(double eps, double delta,
+                                              uint64_t seed) {
+  if (eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1) {
+    return Status::InvalidArgument("eps and delta must be in (0, 1)");
+  }
+  size_t width = static_cast<size_t>(std::ceil(std::exp(1.0) / eps));
+  size_t depth = static_cast<size_t>(std::ceil(std::log(1.0 / delta)));
+  return CountMinSketch(width, std::max<size_t>(depth, 1), seed);
+}
+
+CountMinSketch::CountMinSketch(size_t width, size_t depth, uint64_t seed)
+    : width_(width), depth_(depth), counters_(width * depth, 0) {
+  Random rng(seed);
+  row_seeds_.reserve(depth);
+  for (size_t i = 0; i < depth; ++i) row_seeds_.push_back(rng.Next());
+}
+
+uint64_t CountMinSketch::HashRow(uint64_t item_hash, size_t row) const {
+  return Mix(item_hash ^ row_seeds_[row]) % width_;
+}
+
+void CountMinSketch::Add(std::string_view item, uint64_t count) {
+  uint64_t h = HashBytes(item.data(), item.size());
+  for (size_t r = 0; r < depth_; ++r) {
+    counters_[r * width_ + HashRow(h, r)] += count;
+  }
+  total_ += count;
+}
+
+void CountMinSketch::Add(int64_t item, uint64_t count) {
+  uint64_t h = HashBytes(&item, sizeof(item));
+  for (size_t r = 0; r < depth_; ++r) {
+    counters_[r * width_ + HashRow(h, r)] += count;
+  }
+  total_ += count;
+}
+
+uint64_t CountMinSketch::EstimateCount(std::string_view item) const {
+  uint64_t h = HashBytes(item.data(), item.size());
+  uint64_t best = UINT64_MAX;
+  for (size_t r = 0; r < depth_; ++r) {
+    best = std::min(best, counters_[r * width_ + HashRow(h, r)]);
+  }
+  return best;
+}
+
+uint64_t CountMinSketch::EstimateCount(int64_t item) const {
+  uint64_t h = HashBytes(&item, sizeof(item));
+  uint64_t best = UINT64_MAX;
+  for (size_t r = 0; r < depth_; ++r) {
+    best = std::min(best, counters_[r * width_ + HashRow(h, r)]);
+  }
+  return best;
+}
+
+}  // namespace exploredb

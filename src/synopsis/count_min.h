@@ -1,0 +1,51 @@
+#ifndef EXPLOREDB_SYNOPSIS_COUNT_MIN_H_
+#define EXPLOREDB_SYNOPSIS_COUNT_MIN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace exploredb {
+
+/// Count-Min sketch [Cormode & Muthukrishnan]: sublinear-space frequency
+/// estimation with one-sided error — estimates never undercount, and
+/// overcount by at most eps * N with probability 1 - delta. Listed in the
+/// tutorial's synopses toolbox [ref 16] for approximate exploration.
+class CountMinSketch {
+ public:
+  /// width = ceil(e / eps) counters per row, depth = ceil(ln(1/delta)) rows.
+  static Result<CountMinSketch> Create(double eps, double delta,
+                                       uint64_t seed = 42);
+
+  /// Explicit geometry (width counters x depth hash rows).
+  CountMinSketch(size_t width, size_t depth, uint64_t seed = 42);
+
+  void Add(std::string_view item, uint64_t count = 1);
+  void Add(int64_t item, uint64_t count = 1);
+
+  /// Estimated frequency (>= true frequency).
+  uint64_t EstimateCount(std::string_view item) const;
+  uint64_t EstimateCount(int64_t item) const;
+
+  uint64_t total_count() const { return total_; }
+  size_t width() const { return width_; }
+  size_t depth() const { return depth_; }
+  /// Counter memory in bytes.
+  size_t SpaceBytes() const { return width_ * depth_ * sizeof(uint64_t); }
+
+ private:
+  uint64_t HashRow(uint64_t item_hash, size_t row) const;
+
+  size_t width_;
+  size_t depth_;
+  std::vector<uint64_t> counters_;  // depth x width, row-major
+  std::vector<uint64_t> row_seeds_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_SYNOPSIS_COUNT_MIN_H_

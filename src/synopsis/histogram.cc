@@ -1,0 +1,125 @@
+#include "synopsis/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace exploredb {
+
+Result<EquiWidthHistogram> EquiWidthHistogram::Build(
+    const std::vector<double>& values, size_t num_buckets) {
+  if (values.empty()) return Status::InvalidArgument("empty input");
+  if (num_buckets == 0) return Status::InvalidArgument("zero buckets");
+  auto [mn_it, mx_it] = std::minmax_element(values.begin(), values.end());
+  double mn = *mn_it, mx = *mx_it;
+  std::vector<uint64_t> counts(num_buckets, 0);
+  double width = (mx - mn) / static_cast<double>(num_buckets);
+  for (double v : values) {
+    size_t b = (width > 0)
+                   ? std::min(num_buckets - 1,
+                              static_cast<size_t>((v - mn) / width))
+                   : 0;
+    ++counts[b];
+  }
+  return EquiWidthHistogram(mn, mx, std::move(counts), values.size());
+}
+
+double EquiWidthHistogram::bucket_lo(size_t b) const {
+  double width = (max_ - min_) / static_cast<double>(counts_.size());
+  return min_ + width * static_cast<double>(b);
+}
+
+double EquiWidthHistogram::bucket_hi(size_t b) const {
+  return (b + 1 == counts_.size()) ? max_ : bucket_lo(b + 1);
+}
+
+double EquiWidthHistogram::EstimateRangeCount(double lo, double hi) const {
+  if (hi <= lo) return 0.0;
+  double total = 0.0;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    double blo = bucket_lo(b);
+    double bhi = bucket_hi(b);
+    if (bhi <= blo) {
+      // Degenerate (constant) histogram: single point mass at min_.
+      if (lo <= blo && blo < hi) total += static_cast<double>(counts_[b]);
+      continue;
+    }
+    double overlap =
+        std::max(0.0, std::min(hi, bhi) - std::max(lo, blo));
+    total += static_cast<double>(counts_[b]) * (overlap / (bhi - blo));
+  }
+  return total;
+}
+
+std::vector<double> EquiWidthHistogram::Normalized() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ == 0) return out;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    out[b] = static_cast<double>(counts_[b]) / static_cast<double>(total_);
+  }
+  return out;
+}
+
+Result<EquiDepthHistogram> EquiDepthHistogram::Build(
+    std::vector<double> values, size_t num_buckets) {
+  if (values.empty()) return Status::InvalidArgument("empty input");
+  if (num_buckets == 0) return Status::InvalidArgument("zero buckets");
+  std::sort(values.begin(), values.end());
+  num_buckets = std::min(num_buckets, values.size());
+  std::vector<double> fences;
+  fences.reserve(num_buckets + 1);
+  fences.push_back(values.front());
+  for (size_t b = 1; b < num_buckets; ++b) {
+    size_t idx = b * values.size() / num_buckets;
+    fences.push_back(values[idx]);
+  }
+  fences.push_back(values.back());
+  return EquiDepthHistogram(std::move(fences), values.size());
+}
+
+double EquiDepthHistogram::EstimateRangeCount(double lo, double hi) const {
+  if (hi <= lo) return 0.0;
+  const size_t nb = num_buckets();
+  const double per_bucket =
+      static_cast<double>(total_) / static_cast<double>(nb);
+  double total = 0.0;
+  for (size_t b = 0; b < nb; ++b) {
+    double blo = fences_[b];
+    double bhi = fences_[b + 1];
+    if (bhi <= blo) {
+      // Zero-width bucket (heavy duplicate value): all-or-nothing.
+      if (lo <= blo && blo < hi) total += per_bucket;
+      continue;
+    }
+    double overlap = std::max(0.0, std::min(hi, bhi) - std::max(lo, blo));
+    total += per_bucket * (overlap / (bhi - blo));
+  }
+  return total;
+}
+
+double EarthMoversDistance(const std::vector<double>& p,
+                           const std::vector<double>& q) {
+  // 1-D EMD between aligned histograms = L1 of prefix-sum differences.
+  double carry = 0.0;
+  double dist = 0.0;
+  size_t n = std::min(p.size(), q.size());
+  for (size_t i = 0; i < n; ++i) {
+    carry += p[i] - q[i];
+    dist += std::abs(carry);
+  }
+  return dist;
+}
+
+double KlDivergence(const std::vector<double>& p,
+                    const std::vector<double>& q) {
+  // Smoothed KL(p||q); bins where p is zero contribute nothing.
+  const double eps = 1e-9;
+  double d = 0.0;
+  size_t n = std::min(p.size(), q.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (p[i] <= 0) continue;
+    d += p[i] * std::log((p[i] + eps) / (q[i] + eps));
+  }
+  return d;
+}
+
+}  // namespace exploredb

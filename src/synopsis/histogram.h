@@ -1,0 +1,80 @@
+#ifndef EXPLOREDB_SYNOPSIS_HISTOGRAM_H_
+#define EXPLOREDB_SYNOPSIS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace exploredb {
+
+/// Equi-width histogram over doubles: fixed-width buckets spanning
+/// [min, max]. The workhorse synopsis for selectivity estimation and for
+/// SeeDB-style distribution comparison.
+class EquiWidthHistogram {
+ public:
+  /// Builds `num_buckets` buckets over the range of `values`.
+  /// Requires non-empty values and num_buckets >= 1.
+  static Result<EquiWidthHistogram> Build(const std::vector<double>& values,
+                                          size_t num_buckets);
+
+  size_t num_buckets() const { return counts_.size(); }
+  uint64_t total_count() const { return total_; }
+  uint64_t bucket_count(size_t b) const { return counts_[b]; }
+  double bucket_lo(size_t b) const;
+  double bucket_hi(size_t b) const;
+
+  /// Estimated number of values in [lo, hi) assuming uniformity in buckets.
+  double EstimateRangeCount(double lo, double hi) const;
+
+  /// Normalized bucket probabilities (sums to 1; empty histogram -> zeros).
+  std::vector<double> Normalized() const;
+
+ private:
+  EquiWidthHistogram(double min, double max, std::vector<uint64_t> counts,
+                     uint64_t total)
+      : min_(min), max_(max), counts_(std::move(counts)), total_(total) {}
+
+  double min_;
+  double max_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_;
+};
+
+/// Equi-depth histogram: bucket boundaries chosen so each bucket holds
+/// (approximately) the same number of values — robust to skew where
+/// equi-width is not.
+class EquiDepthHistogram {
+ public:
+  /// Requires non-empty values and num_buckets >= 1.
+  static Result<EquiDepthHistogram> Build(std::vector<double> values,
+                                          size_t num_buckets);
+
+  size_t num_buckets() const { return fences_.size() - 1; }
+  uint64_t total_count() const { return total_; }
+
+  /// Estimated number of values in [lo, hi).
+  double EstimateRangeCount(double lo, double hi) const;
+
+  /// Bucket boundaries (num_buckets + 1 fences, ascending).
+  const std::vector<double>& fences() const { return fences_; }
+
+ private:
+  EquiDepthHistogram(std::vector<double> fences, uint64_t total)
+      : fences_(std::move(fences)), total_(total) {}
+
+  std::vector<double> fences_;
+  uint64_t total_;
+};
+
+/// Distance measures between two normalized histograms, used by the view
+/// recommender to score "interestingness" (deviation) of a visualization.
+double EarthMoversDistance(const std::vector<double>& p,
+                           const std::vector<double>& q);
+double KlDivergence(const std::vector<double>& p,
+                    const std::vector<double>& q);
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_SYNOPSIS_HISTOGRAM_H_

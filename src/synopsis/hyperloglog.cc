@@ -1,0 +1,91 @@
+#include "synopsis/hyperloglog.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace exploredb {
+
+namespace {
+
+uint64_t HashBytes(const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  // Finalize: FNV alone is weak in the high bits HLL uses.
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  h *= 0xC4CEB9FE1A85EC53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+Result<HyperLogLog> HyperLogLog::Create(int precision) {
+  if (precision < 4 || precision > 18) {
+    return Status::InvalidArgument("precision must be in [4, 18]");
+  }
+  return HyperLogLog(precision);
+}
+
+HyperLogLog::HyperLogLog(int precision)
+    : precision_(precision),
+      registers_(static_cast<size_t>(1) << precision, 0) {}
+
+void HyperLogLog::AddHash(uint64_t hash) {
+  const size_t idx = hash >> (64 - precision_);
+  const uint64_t rest = hash << precision_;
+  // Rank: position of the leftmost 1-bit in the remaining bits (1-based).
+  uint8_t rank = static_cast<uint8_t>(
+      rest == 0 ? (64 - precision_ + 1) : std::countl_zero(rest) + 1);
+  registers_[idx] = std::max(registers_[idx], rank);
+}
+
+void HyperLogLog::Add(std::string_view item) {
+  AddHash(HashBytes(item.data(), item.size()));
+}
+
+void HyperLogLog::Add(int64_t item) { AddHash(HashBytes(&item, sizeof(item))); }
+
+double HyperLogLog::EstimateCardinality() const {
+  const double m = static_cast<double>(registers_.size());
+  double alpha;
+  if (registers_.size() == 16) {
+    alpha = 0.673;
+  } else if (registers_.size() == 32) {
+    alpha = 0.697;
+  } else if (registers_.size() == 64) {
+    alpha = 0.709;
+  } else {
+    alpha = 0.7213 / (1.0 + 1.079 / m);
+  }
+  double sum = 0.0;
+  size_t zeros = 0;
+  for (uint8_t r : registers_) {
+    sum += std::ldexp(1.0, -r);
+    zeros += (r == 0);
+  }
+  double raw = alpha * m * m / sum;
+  // Small-range correction: linear counting while registers remain empty.
+  if (raw <= 2.5 * m && zeros > 0) {
+    return m * std::log(m / static_cast<double>(zeros));
+  }
+  return raw;
+}
+
+Status HyperLogLog::Merge(const HyperLogLog& other) {
+  if (other.precision_ != precision_) {
+    return Status::InvalidArgument("precision mismatch in HLL merge");
+  }
+  for (size_t i = 0; i < registers_.size(); ++i) {
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+  return Status::OK();
+}
+
+}  // namespace exploredb

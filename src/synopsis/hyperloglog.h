@@ -1,0 +1,45 @@
+#ifndef EXPLOREDB_SYNOPSIS_HYPERLOGLOG_H_
+#define EXPLOREDB_SYNOPSIS_HYPERLOGLOG_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace exploredb {
+
+/// HyperLogLog cardinality estimator (Flajolet et al.) with the standard
+/// small-range (linear counting) correction. Relative standard error is
+/// ~1.04 / sqrt(2^precision). Used for distinct-count previews during
+/// exploration (facet/group cardinalities) at negligible space.
+class HyperLogLog {
+ public:
+  /// `precision` in [4, 18]: 2^precision registers.
+  static Result<HyperLogLog> Create(int precision);
+
+  void Add(std::string_view item);
+  void Add(int64_t item);
+
+  /// Estimated number of distinct items added.
+  double EstimateCardinality() const;
+
+  /// Merges `other` (same precision) into this sketch: the estimate becomes
+  /// that of the union of both streams.
+  Status Merge(const HyperLogLog& other);
+
+  int precision() const { return precision_; }
+  size_t SpaceBytes() const { return registers_.size(); }
+
+ private:
+  explicit HyperLogLog(int precision);
+
+  void AddHash(uint64_t hash);
+
+  int precision_;
+  std::vector<uint8_t> registers_;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_SYNOPSIS_HYPERLOGLOG_H_

@@ -1,0 +1,140 @@
+#include "synopsis/wavelet.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace exploredb {
+
+namespace {
+
+constexpr double kSqrt2 = 1.41421356237309514547;
+
+/// In-place orthonormal Haar decomposition of `v` (power-of-two length).
+/// Output layout: index 0 holds the scaling coefficient; detail coefficient
+/// j >= 1 at level l = floor(log2 j) has support padded/2^l, covering block
+/// (j - 2^l) of that length, positive on its first half.
+std::vector<double> HaarForward(std::vector<double> v) {
+  size_t n = v.size();
+  std::vector<double> coeffs(n, 0.0);
+  std::vector<double> scratch(n, 0.0);
+  size_t len = n;
+  // Repeatedly split into (scaled) pairwise sums and differences.
+  while (len > 1) {
+    size_t half = len / 2;
+    for (size_t i = 0; i < half; ++i) {
+      scratch[i] = (v[2 * i] + v[2 * i + 1]) / kSqrt2;
+      // Detail coefficients of this level land at positions [half, len).
+      coeffs[half + i] = (v[2 * i] - v[2 * i + 1]) / kSqrt2;
+    }
+    std::copy(scratch.begin(), scratch.begin() + half, v.begin());
+    len = half;
+  }
+  coeffs[0] = v[0];
+  return coeffs;
+}
+
+}  // namespace
+
+Result<WaveletSynopsis> WaveletSynopsis::Build(const std::vector<double>& data,
+                                               size_t k) {
+  if (data.empty()) return Status::InvalidArgument("empty data");
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  WaveletSynopsis syn;
+  syn.n_ = data.size();
+  syn.padded_ = 1;
+  while (syn.padded_ < syn.n_) syn.padded_ <<= 1;
+
+  std::vector<double> padded(data);
+  padded.resize(syn.padded_, 0.0);
+  std::vector<double> coeffs = HaarForward(std::move(padded));
+
+  // Keep the k largest-magnitude coefficients (optimal for L2 under an
+  // orthonormal basis).
+  std::vector<size_t> order(coeffs.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  k = std::min(k, order.size());
+  std::nth_element(order.begin(), order.begin() + k, order.end(),
+                   [&](size_t a, size_t b) {
+                     return std::abs(coeffs[a]) > std::abs(coeffs[b]);
+                   });
+  double dropped_sq = 0.0;
+  for (size_t i = k; i < order.size(); ++i) {
+    dropped_sq += coeffs[order[i]] * coeffs[order[i]];
+  }
+  syn.dropped_energy_ = std::sqrt(dropped_sq);
+  order.resize(k);
+  std::sort(order.begin(), order.end());
+  for (size_t idx : order) {
+    syn.coeff_index_.push_back(idx);
+    syn.coeff_value_.push_back(coeffs[idx]);
+  }
+  return syn;
+}
+
+namespace {
+
+/// The value of the (orthonormal) Haar basis function with coefficient
+/// index `j` summed over positions [lo, hi) of a length-`padded` vector.
+double BasisRangeSum(size_t j, size_t lo, size_t hi, size_t padded) {
+  if (hi <= lo) return 0.0;
+  if (j == 0) {
+    // Scaling function: constant 1/sqrt(padded).
+    return static_cast<double>(hi - lo) / std::sqrt(
+               static_cast<double>(padded));
+  }
+  // Level l = floor(log2 j); 2^l coefficients at this level, each covering
+  // padded / 2^l positions.
+  size_t level_first = 1;
+  while (level_first * 2 <= j) level_first *= 2;
+  size_t support = padded / level_first;
+  size_t start = (j - level_first) * support;
+  size_t mid = start + support / 2;
+  size_t end = start + support;
+  auto overlap = [&](size_t a, size_t b) -> double {
+    size_t s = std::max(lo, a);
+    size_t e = std::min(hi, b);
+    return e > s ? static_cast<double>(e - s) : 0.0;
+  };
+  double amplitude = 1.0 / std::sqrt(static_cast<double>(support));
+  return amplitude * (overlap(start, mid) - overlap(mid, end));
+}
+
+}  // namespace
+
+double WaveletSynopsis::EstimatePoint(size_t i) const {
+  return EstimateRangeSum(i, i + 1);
+}
+
+double WaveletSynopsis::EstimateRangeSum(size_t lo, size_t hi) const {
+  hi = std::min(hi, n_);
+  if (hi <= lo) return 0.0;
+  double sum = 0.0;
+  for (size_t c = 0; c < coeff_index_.size(); ++c) {
+    sum += coeff_value_[c] * BasisRangeSum(coeff_index_[c], lo, hi, padded_);
+  }
+  return sum;
+}
+
+std::vector<double> WaveletSynopsis::Reconstruct() const {
+  // Dense inverse transform from the sparse coefficients.
+  std::vector<double> coeffs(padded_, 0.0);
+  for (size_t c = 0; c < coeff_index_.size(); ++c) {
+    coeffs[coeff_index_[c]] = coeff_value_[c];
+  }
+  std::vector<double> values(padded_, 0.0);
+  values[0] = coeffs[0];
+  std::vector<double> scratch(padded_, 0.0);
+  for (size_t half = 1; half < padded_; half *= 2) {
+    for (size_t i = 0; i < half; ++i) {
+      double s = values[i];
+      double d = coeffs[half + i];
+      scratch[2 * i] = (s + d) / kSqrt2;
+      scratch[2 * i + 1] = (s - d) / kSqrt2;
+    }
+    std::copy(scratch.begin(), scratch.begin() + 2 * half, values.begin());
+  }
+  values.resize(n_);
+  return values;
+}
+
+}  // namespace exploredb

@@ -1,0 +1,52 @@
+#ifndef EXPLOREDB_SYNOPSIS_WAVELET_H_
+#define EXPLOREDB_SYNOPSIS_WAVELET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace exploredb {
+
+/// Haar-wavelet synopsis of a numeric vector [Cormode et al., "Synopses for
+/// Massive Data" — tutorial ref 16]. The data is transformed into the
+/// (normalized) Haar basis and only the `k` largest-magnitude coefficients
+/// are retained; because the basis is orthonormal, keeping the largest
+/// coefficients minimizes the L2 reconstruction error for the given space.
+/// Supports approximate point and range-sum queries directly from the
+/// coefficients.
+class WaveletSynopsis {
+ public:
+  /// Builds a synopsis of `data` (padded internally to a power of two with
+  /// zeros) retaining `k` coefficients. Requires non-empty data, k >= 1.
+  static Result<WaveletSynopsis> Build(const std::vector<double>& data,
+                                       size_t k);
+
+  /// Approximate value of data[i].
+  double EstimatePoint(size_t i) const;
+
+  /// Approximate sum of data[lo..hi) (half-open).
+  double EstimateRangeSum(size_t lo, size_t hi) const;
+
+  /// Full reconstruction (length = original data length).
+  std::vector<double> Reconstruct() const;
+
+  size_t retained_coefficients() const { return coeff_index_.size(); }
+  size_t original_size() const { return n_; }
+  /// L2 norm of the dropped coefficients = exact L2 reconstruction error.
+  double DroppedEnergy() const { return dropped_energy_; }
+
+ private:
+  WaveletSynopsis() = default;
+
+  size_t n_ = 0;       // original length
+  size_t padded_ = 0;  // power-of-two transform length
+  // Sparse coefficient storage (index into the Haar coefficient array).
+  std::vector<size_t> coeff_index_;
+  std::vector<double> coeff_value_;
+  double dropped_energy_ = 0.0;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_SYNOPSIS_WAVELET_H_

@@ -1,0 +1,224 @@
+#include "tsindex/adaptive_series_index.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/strings.h"
+
+namespace exploredb {
+
+namespace {
+
+Result<std::vector<double>> ParsePayload(const std::string& payload,
+                                         size_t expected_len) {
+  std::vector<double> out;
+  out.reserve(expected_len);
+  for (std::string_view field : SplitFields(payload, ',')) {
+    EXPLOREDB_ASSIGN_OR_RETURN(double v, ParseDouble(field));
+    out.push_back(v);
+  }
+  if (out.size() != expected_len) {
+    return Status::ParseError("series has " + std::to_string(out.size()) +
+                              " points, expected " +
+                              std::to_string(expected_len));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<AdaptiveSeriesIndex> AdaptiveSeriesIndex::Build(
+    std::vector<std::string> raw_series, size_t series_len, size_t segments,
+    size_t leaf_size) {
+  if (raw_series.empty()) return Status::InvalidArgument("no series");
+  if (leaf_size == 0) return Status::InvalidArgument("zero leaf size");
+  AdaptiveSeriesIndex index;
+  index.raw_series_ = std::move(raw_series);
+  index.series_len_ = series_len;
+  index.segments_ = segments;
+  index.parsed_.resize(index.raw_series_.size());
+  index.is_parsed_.assign(index.raw_series_.size(), false);
+
+  // The cheap pass: one streaming parse per series to compute summaries.
+  // (ADS computes iSAX words during the initial data pass; we keep only the
+  // PAA summary and drop the points again.)
+  index.paa_.reserve(index.raw_series_.size());
+  for (const std::string& payload : index.raw_series_) {
+    EXPLOREDB_ASSIGN_OR_RETURN(std::vector<double> points,
+                               ParsePayload(payload, series_len));
+    EXPLOREDB_ASSIGN_OR_RETURN(std::vector<double> summary,
+                               Paa(points, segments));
+    index.paa_.push_back(std::move(summary));
+  }
+
+  std::vector<uint32_t> all(index.raw_series_.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<uint32_t>(i);
+  index.root_ = index.BuildNode(std::move(all), leaf_size);
+  return index;
+}
+
+int AdaptiveSeriesIndex::BuildNode(std::vector<uint32_t> ids,
+                                   size_t leaf_size) {
+  Node node;
+  node.lo.assign(segments_, std::numeric_limits<double>::infinity());
+  node.hi.assign(segments_, -std::numeric_limits<double>::infinity());
+  for (uint32_t id : ids) {
+    for (size_t d = 0; d < segments_; ++d) {
+      node.lo[d] = std::min(node.lo[d], paa_[id][d]);
+      node.hi[d] = std::max(node.hi[d], paa_[id][d]);
+    }
+  }
+  if (ids.size() <= leaf_size) {
+    node.is_leaf = true;
+    node.ids = std::move(ids);
+    nodes_.push_back(std::move(node));
+    return static_cast<int>(nodes_.size() - 1);
+  }
+  // Split on the widest PAA dimension at the median.
+  size_t best_dim = 0;
+  double best_width = -1;
+  for (size_t d = 0; d < segments_; ++d) {
+    double width = node.hi[d] - node.lo[d];
+    if (width > best_width) {
+      best_width = width;
+      best_dim = d;
+    }
+  }
+  std::nth_element(ids.begin(), ids.begin() + ids.size() / 2, ids.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     return paa_[a][best_dim] < paa_[b][best_dim];
+                   });
+  double threshold = paa_[ids[ids.size() / 2]][best_dim];
+  std::vector<uint32_t> left_ids, right_ids;
+  for (uint32_t id : ids) {
+    (paa_[id][best_dim] < threshold ? left_ids : right_ids).push_back(id);
+  }
+  if (left_ids.empty() || right_ids.empty()) {
+    // Degenerate split (duplicate summaries): make a leaf.
+    node.is_leaf = true;
+    node.ids = std::move(ids);
+    nodes_.push_back(std::move(node));
+    return static_cast<int>(nodes_.size() - 1);
+  }
+  ids.clear();
+  ids.shrink_to_fit();
+  int left = BuildNode(std::move(left_ids), leaf_size);
+  int right = BuildNode(std::move(right_ids), leaf_size);
+  node.left = left;
+  node.right = right;
+  node.dim = best_dim;
+  node.threshold = threshold;
+  nodes_.push_back(std::move(node));
+  return static_cast<int>(nodes_.size() - 1);
+}
+
+Result<const std::vector<double>*> AdaptiveSeriesIndex::ParsedSeries(
+    uint32_t id) {
+  if (!is_parsed_[id]) {
+    EXPLOREDB_ASSIGN_OR_RETURN(parsed_[id],
+                               ParsePayload(raw_series_[id], series_len_));
+    is_parsed_[id] = true;
+  }
+  return &parsed_[id];
+}
+
+Status AdaptiveSeriesIndex::MaterializeLeaf(Node* leaf) {
+  if (leaf->materialized) return Status::OK();
+  for (uint32_t id : leaf->ids) {
+    EXPLOREDB_ASSIGN_OR_RETURN(const std::vector<double>* unused,
+                               ParsedSeries(id));
+    (void)unused;
+  }
+  leaf->materialized = true;
+  ++stats_.leaves_materialized;
+  return Status::OK();
+}
+
+Result<SeriesMatch> AdaptiveSeriesIndex::NearestNeighbor(
+    const std::vector<double>& query) {
+  if (query.size() != series_len_) {
+    return Status::InvalidArgument("query length mismatch");
+  }
+  EXPLOREDB_ASSIGN_OR_RETURN(std::vector<double> query_paa,
+                             Paa(query, segments_));
+
+  SeriesMatch best{0, std::numeric_limits<double>::infinity()};
+  // Best-first search over (lower bound, node) pairs.
+  using Entry = std::pair<double, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> frontier;
+  frontier.push({PaaBoxLowerBound(query_paa, nodes_[root_].lo,
+                                  nodes_[root_].hi, series_len_),
+                 root_});
+  while (!frontier.empty()) {
+    auto [bound, node_id] = frontier.top();
+    frontier.pop();
+    if (bound >= best.distance) {
+      ++stats_.leaves_pruned;
+      continue;  // everything left in the queue is also >= bound
+    }
+    Node& node = nodes_[node_id];
+    if (!node.is_leaf) {
+      for (int child : {node.left, node.right}) {
+        double child_bound = PaaBoxLowerBound(query_paa, nodes_[child].lo,
+                                              nodes_[child].hi, series_len_);
+        if (child_bound < best.distance) {
+          frontier.push({child_bound, child});
+        } else {
+          ++stats_.leaves_pruned;
+        }
+      }
+      continue;
+    }
+    ++stats_.leaves_visited;
+    EXPLOREDB_RETURN_NOT_OK(MaterializeLeaf(&node));
+    for (uint32_t id : node.ids) {
+      // Per-series lower bound before the exact distance.
+      if (PaaLowerBound(query_paa, paa_[id], series_len_) >= best.distance) {
+        continue;
+      }
+      ++stats_.distance_computations;
+      double d = SeriesDistanceEarlyAbandon(query, parsed_[id],
+                                            best.distance);
+      if (d < best.distance) best = {id, d};
+    }
+  }
+  return best;
+}
+
+Result<SeriesMatch> AdaptiveSeriesIndex::NearestNeighborScan(
+    const std::vector<double>& query) {
+  if (query.size() != series_len_) {
+    return Status::InvalidArgument("query length mismatch");
+  }
+  SeriesMatch best{0, std::numeric_limits<double>::infinity()};
+  for (uint32_t id = 0; id < raw_series_.size(); ++id) {
+    EXPLOREDB_ASSIGN_OR_RETURN(const std::vector<double>* series,
+                               ParsedSeries(id));
+    ++stats_.distance_computations;
+    double d = SeriesDistanceEarlyAbandon(query, *series, best.distance);
+    if (d < best.distance) best = {id, d};
+  }
+  return best;
+}
+
+Status AdaptiveSeriesIndex::MaterializeAll() {
+  for (Node& node : nodes_) {
+    if (node.is_leaf) EXPLOREDB_RETURN_NOT_OK(MaterializeLeaf(&node));
+  }
+  return Status::OK();
+}
+
+size_t AdaptiveSeriesIndex::num_leaves() const {
+  size_t count = 0;
+  for (const Node& node : nodes_) count += node.is_leaf;
+  return count;
+}
+
+size_t AdaptiveSeriesIndex::materialized_leaves() const {
+  size_t count = 0;
+  for (const Node& node : nodes_) count += (node.is_leaf && node.materialized);
+  return count;
+}
+
+}  // namespace exploredb

@@ -1,0 +1,104 @@
+#ifndef EXPLOREDB_TSINDEX_ADAPTIVE_SERIES_INDEX_H_
+#define EXPLOREDB_TSINDEX_ADAPTIVE_SERIES_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "tsindex/paa.h"
+
+namespace exploredb {
+
+/// Result of a nearest-neighbor query.
+struct SeriesMatch {
+  size_t series_id = 0;
+  double distance = 0.0;
+};
+
+/// Work counters for the adaptive-series-index experiments.
+struct SeriesIndexStats {
+  uint64_t leaves_visited = 0;
+  uint64_t leaves_materialized = 0;   ///< raw-data parses performed
+  uint64_t distance_computations = 0;
+  uint64_t leaves_pruned = 0;
+};
+
+/// Adaptive data-series index, after ADS/"Indexing for interactive
+/// exploration of big data series" [Zoumpatianos/Idreos/Palpanas,
+/// SIGMOD'14 — tutorial ref 68, its own Table-1 cluster].
+///
+/// The insight reproduced here: building a *full* series index is a large
+/// up-front investment exploration cannot afford, but the index *skeleton*
+/// (a tree over cheap PAA summaries) costs one fast pass. Leaves hold only
+/// series ids at first; the expensive part — parsing the raw series payload
+/// — happens adaptively, the first time a query's search path reaches a
+/// leaf. Query sequences with locality therefore get faster as the index
+/// materializes exactly where the user explores.
+///
+/// Queries are exact 1-NN under Euclidean distance: best-first traversal
+/// with PAA MINDIST pruning and early-abandoning distance computation.
+class AdaptiveSeriesIndex {
+ public:
+  /// `raw_series[i]` is a comma-separated text payload of the i-th series
+  /// (simulating raw, unparsed on-disk data). All series must have
+  /// `series_len` points. `segments` is the PAA resolution; `leaf_size`
+  /// the maximum series per leaf. The constructor performs the cheap pass:
+  /// it parses each payload once to compute PAA summaries (streaming, no
+  /// retention) and builds the tree skeleton.
+  static Result<AdaptiveSeriesIndex> Build(std::vector<std::string> raw_series,
+                                           size_t series_len, size_t segments,
+                                           size_t leaf_size);
+
+  /// Exact nearest neighbor of `query` (length must equal series_len).
+  /// Materializes every leaf the search must inspect.
+  Result<SeriesMatch> NearestNeighbor(const std::vector<double>& query);
+
+  /// Brute-force baseline: parse-if-needed + scan everything.
+  Result<SeriesMatch> NearestNeighborScan(const std::vector<double>& query);
+
+  /// Forces materialization of every leaf (the "full index build" mode).
+  Status MaterializeAll();
+
+  const SeriesIndexStats& stats() const { return stats_; }
+  size_t num_series() const { return raw_series_.size(); }
+  size_t num_leaves() const;
+  size_t materialized_leaves() const;
+
+ private:
+  struct Node {
+    // Internal node: split on PAA dimension `dim` at `threshold`.
+    int left = -1;
+    int right = -1;
+    size_t dim = 0;
+    double threshold = 0.0;
+    // Bounding box of the subtree's PAA vectors.
+    std::vector<double> lo;
+    std::vector<double> hi;
+    // Leaf payload.
+    bool is_leaf = false;
+    std::vector<uint32_t> ids;
+    bool materialized = false;
+  };
+
+  AdaptiveSeriesIndex() = default;
+
+  int BuildNode(std::vector<uint32_t> ids, size_t leaf_size);
+  Status MaterializeLeaf(Node* leaf);
+  Result<const std::vector<double>*> ParsedSeries(uint32_t id);
+
+  std::vector<std::string> raw_series_;
+  size_t series_len_ = 0;
+  size_t segments_ = 0;
+  std::vector<std::vector<double>> paa_;      // one summary per series
+  std::vector<std::vector<double>> parsed_;   // filled on materialization
+  std::vector<bool> is_parsed_;
+  std::vector<Node> nodes_;
+  int root_ = -1;
+  SeriesIndexStats stats_;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_TSINDEX_ADAPTIVE_SERIES_INDEX_H_

@@ -1,0 +1,106 @@
+#include "tsindex/paa.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace exploredb {
+
+Result<std::vector<double>> Paa(const std::vector<double>& series,
+                                size_t segments) {
+  if (series.empty()) return Status::InvalidArgument("empty series");
+  if (segments == 0 || segments > series.size()) {
+    return Status::InvalidArgument("segments must be in [1, series length]");
+  }
+  std::vector<double> out(segments, 0.0);
+  // General (non-divisible) case: spread each point fractionally.
+  const double ratio = static_cast<double>(segments) /
+                       static_cast<double>(series.size());
+  std::vector<double> weight(segments, 0.0);
+  for (size_t i = 0; i < series.size(); ++i) {
+    double start = static_cast<double>(i) * ratio;
+    double end = static_cast<double>(i + 1) * ratio;
+    for (size_t s = static_cast<size_t>(start);
+         s < segments && static_cast<double>(s) < end; ++s) {
+      double overlap = std::min(end, static_cast<double>(s + 1)) -
+                       std::max(start, static_cast<double>(s));
+      out[s] += series[i] * overlap;
+      weight[s] += overlap;
+    }
+  }
+  for (size_t s = 0; s < segments; ++s) {
+    if (weight[s] > 0) out[s] /= weight[s];
+  }
+  return out;
+}
+
+double SeriesDistance(const std::vector<double>& a,
+                      const std::vector<double>& b) {
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+double SeriesDistanceEarlyAbandon(const std::vector<double>& a,
+                                  const std::vector<double>& b, double best) {
+  const double best_sq = best * best;
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    sum += d * d;
+    if (sum > best_sq) return std::numeric_limits<double>::infinity();
+  }
+  return std::sqrt(sum);
+}
+
+double PaaLowerBound(const std::vector<double>& paa_a,
+                     const std::vector<double>& paa_b, size_t series_len) {
+  double sum = 0.0;
+  for (size_t i = 0; i < paa_a.size(); ++i) {
+    double d = paa_a[i] - paa_b[i];
+    sum += d * d;
+  }
+  double seg_len = static_cast<double>(series_len) /
+                   static_cast<double>(paa_a.size());
+  return std::sqrt(seg_len * sum);
+}
+
+double PaaBoxLowerBound(const std::vector<double>& paa_query,
+                        const std::vector<double>& lo,
+                        const std::vector<double>& hi, size_t series_len) {
+  double sum = 0.0;
+  for (size_t i = 0; i < paa_query.size(); ++i) {
+    double q = paa_query[i];
+    double d = 0.0;
+    if (q < lo[i]) {
+      d = lo[i] - q;
+    } else if (q > hi[i]) {
+      d = q - hi[i];
+    }
+    sum += d * d;
+  }
+  double seg_len = static_cast<double>(series_len) /
+                   static_cast<double>(paa_query.size());
+  return std::sqrt(seg_len * sum);
+}
+
+void ZNormalize(std::vector<double>* series) {
+  if (series->empty()) return;
+  double mean = 0.0;
+  for (double v : *series) mean += v;
+  mean /= static_cast<double>(series->size());
+  double var = 0.0;
+  for (double v : *series) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(series->size());
+  double sd = std::sqrt(var);
+  if (sd < 1e-12) {
+    std::fill(series->begin(), series->end(), 0.0);
+    return;
+  }
+  for (double& v : *series) v = (v - mean) / sd;
+}
+
+}  // namespace exploredb

@@ -1,0 +1,47 @@
+#ifndef EXPLOREDB_TSINDEX_PAA_H_
+#define EXPLOREDB_TSINDEX_PAA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace exploredb {
+
+/// Piecewise Aggregate Approximation: the series is divided into `segments`
+/// equal chunks and each chunk is replaced by its mean. The workhorse
+/// summary of data-series indexing (iSAX/ADS family) because PAA distances
+/// lower-bound Euclidean distances, enabling exact pruning.
+Result<std::vector<double>> Paa(const std::vector<double>& series,
+                                size_t segments);
+
+/// Euclidean distance between equal-length series.
+double SeriesDistance(const std::vector<double>& a,
+                      const std::vector<double>& b);
+
+/// Early-abandoning Euclidean distance: returns an overestimate (infinity)
+/// as soon as the partial sum exceeds `best`, which is sound for
+/// nearest-neighbor search.
+double SeriesDistanceEarlyAbandon(const std::vector<double>& a,
+                                  const std::vector<double>& b, double best);
+
+/// Lower bound of the Euclidean distance between two series of length
+/// `series_len` given only their PAA summaries:
+///   dist >= sqrt(series_len / segments) * ||paa_a - paa_b||_2.
+double PaaLowerBound(const std::vector<double>& paa_a,
+                     const std::vector<double>& paa_b, size_t series_len);
+
+/// Lower bound of the distance from a query (via its PAA) to *any* series
+/// whose PAA lies inside the per-dimension box [lo, hi] — the MINDIST used
+/// to prune index subtrees.
+double PaaBoxLowerBound(const std::vector<double>& paa_query,
+                        const std::vector<double>& lo,
+                        const std::vector<double>& hi, size_t series_len);
+
+/// Z-normalizes in place (zero mean, unit variance; constant series become
+/// all zeros). Similarity search on shapes normalizes first.
+void ZNormalize(std::vector<double>* series);
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_TSINDEX_PAA_H_

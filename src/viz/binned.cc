@@ -1,0 +1,90 @@
+#include "viz/binned.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace exploredb {
+
+Result<Binned2D> Binned2D::Build(const std::vector<double>& x,
+                                 const std::vector<double>& y, size_t nx,
+                                 size_t ny) {
+  if (x.empty() || x.size() != y.size()) {
+    return Status::InvalidArgument("x/y must be equal-length and non-empty");
+  }
+  if (nx == 0 || ny == 0) return Status::InvalidArgument("zero grid size");
+  Binned2D b(nx, ny);
+  auto [xmin, xmax] = std::minmax_element(x.begin(), x.end());
+  auto [ymin, ymax] = std::minmax_element(y.begin(), y.end());
+  b.x0_ = *xmin;
+  b.x1_ = *xmax;
+  b.y0_ = *ymin;
+  b.y1_ = *ymax;
+  for (size_t i = 0; i < x.size(); ++i) {
+    auto [ix, iy] = b.CellOf(x[i], y[i]);
+    ++b.grid_[iy * nx + ix];
+    ++b.total_;
+  }
+  return b;
+}
+
+std::pair<size_t, size_t> Binned2D::CellOf(double px, double py) const {
+  auto bin = [](double v, double lo, double hi, size_t n) -> size_t {
+    if (hi <= lo) return 0;
+    double frac = (v - lo) / (hi - lo);
+    frac = std::clamp(frac, 0.0, 1.0);
+    return std::min(n - 1, static_cast<size_t>(frac * static_cast<double>(n)));
+  };
+  return {bin(px, x0_, x1_, nx_), bin(py, y0_, y1_, ny_)};
+}
+
+uint64_t Binned2D::max_count() const {
+  uint64_t best = 0;
+  for (uint64_t c : grid_) best = std::max(best, c);
+  return best;
+}
+
+std::string Binned2D::Render() const {
+  static const char kShades[] = " .:-=+*#%@";
+  const uint64_t peak = std::max<uint64_t>(1, max_count());
+  std::string out;
+  for (size_t iy = ny_; iy-- > 0;) {
+    for (size_t ix = 0; ix < nx_; ++ix) {
+      double frac = static_cast<double>(count(ix, iy)) /
+                    static_cast<double>(peak);
+      size_t shade = std::min<size_t>(
+          9, static_cast<size_t>(frac * 9.999));
+      out += kShades[shade];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<double> BinnedAverage1D(const std::vector<double>& positions,
+                                    const std::vector<double>& values,
+                                    size_t bins) {
+  std::vector<double> sums(bins, 0.0);
+  std::vector<uint64_t> counts(bins, 0);
+  if (positions.empty() || bins == 0) return {};
+  auto [mn, mx] = std::minmax_element(positions.begin(), positions.end());
+  double lo = *mn, hi = *mx;
+  for (size_t i = 0; i < positions.size(); ++i) {
+    size_t b = 0;
+    if (hi > lo) {
+      double frac = (positions[i] - lo) / (hi - lo);
+      b = std::min(bins - 1,
+                   static_cast<size_t>(frac * static_cast<double>(bins)));
+    }
+    sums[b] += values[i];
+    ++counts[b];
+  }
+  std::vector<double> out(bins);
+  for (size_t b = 0; b < bins; ++b) {
+    out[b] = counts[b] ? sums[b] / static_cast<double>(counts[b])
+                       : std::numeric_limits<double>::quiet_NaN();
+  }
+  return out;
+}
+
+}  // namespace exploredb

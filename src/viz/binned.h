@@ -1,0 +1,56 @@
+#ifndef EXPLOREDB_VIZ_BINNED_H_
+#define EXPLOREDB_VIZ_BINNED_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace exploredb {
+
+/// 2-D binned aggregation for density/heatmap views — the standard
+/// result-reduction for scatter plots too large to ship to the client
+/// [Battle et al., "Dynamic Reduction of Query Result Sets"]. The grid holds
+/// point counts; rendering needs only nx * ny integers regardless of the
+/// input cardinality.
+class Binned2D {
+ public:
+  /// Bins points (x[i], y[i]) into an nx x ny grid over the data's bounding
+  /// box. Requires equal-length non-empty inputs and nx, ny >= 1.
+  static Result<Binned2D> Build(const std::vector<double>& x,
+                                const std::vector<double>& y, size_t nx,
+                                size_t ny);
+
+  size_t nx() const { return nx_; }
+  size_t ny() const { return ny_; }
+  uint64_t count(size_t ix, size_t iy) const { return grid_[iy * nx_ + ix]; }
+  uint64_t max_count() const;
+  uint64_t total() const { return total_; }
+
+  /// Grid cell of a data point (clamped to range).
+  std::pair<size_t, size_t> CellOf(double px, double py) const;
+
+  /// ASCII intensity rendering (for examples): rows top to bottom.
+  std::string Render() const;
+
+ private:
+  Binned2D(size_t nx, size_t ny) : nx_(nx), ny_(ny), grid_(nx * ny, 0) {}
+
+  size_t nx_;
+  size_t ny_;
+  double x0_ = 0, x1_ = 1, y0_ = 0, y1_ = 1;
+  std::vector<uint64_t> grid_;
+  uint64_t total_ = 0;
+};
+
+/// 1-D reduction of a measure series into `bins` averaged buckets (bar-chart
+/// reduction); empty buckets yield NaN.
+std::vector<double> BinnedAverage1D(const std::vector<double>& positions,
+                                    const std::vector<double>& values,
+                                    size_t bins);
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_VIZ_BINNED_H_

@@ -1,0 +1,109 @@
+#include "viz/m4.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace exploredb {
+
+namespace {
+
+/// Pixel-column index of time `t` for a series spanning [t0, t1].
+size_t ColumnOf(double t, double t0, double t1, size_t width) {
+  if (t1 <= t0) return 0;
+  double frac = (t - t0) / (t1 - t0);
+  size_t col = static_cast<size_t>(frac * static_cast<double>(width));
+  return std::min(col, width - 1);
+}
+
+}  // namespace
+
+Result<std::vector<TimePoint>> M4Reduce(const std::vector<TimePoint>& series,
+                                        size_t width) {
+  if (width == 0) return Status::InvalidArgument("zero width");
+  std::vector<TimePoint> out;
+  if (series.empty()) return out;
+  for (size_t i = 1; i < series.size(); ++i) {
+    if (series[i].t < series[i - 1].t) {
+      return Status::InvalidArgument("series not sorted by t");
+    }
+  }
+  const double t0 = series.front().t;
+  const double t1 = series.back().t;
+
+  struct ColumnAgg {
+    size_t first = SIZE_MAX, last = 0, min = 0, max = 0;
+    bool seen = false;
+  };
+  std::vector<ColumnAgg> cols(width);
+  for (size_t i = 0; i < series.size(); ++i) {
+    size_t c = ColumnOf(series[i].t, t0, t1, width);
+    ColumnAgg& agg = cols[c];
+    if (!agg.seen) {
+      agg.first = agg.last = agg.min = agg.max = i;
+      agg.seen = true;
+      continue;
+    }
+    agg.last = i;
+    if (series[i].v < series[agg.min].v) agg.min = i;
+    if (series[i].v > series[agg.max].v) agg.max = i;
+  }
+
+  std::vector<size_t> keep;
+  for (const ColumnAgg& agg : cols) {
+    if (!agg.seen) continue;
+    keep.push_back(agg.first);
+    keep.push_back(agg.min);
+    keep.push_back(agg.max);
+    keep.push_back(agg.last);
+  }
+  std::sort(keep.begin(), keep.end());
+  keep.erase(std::unique(keep.begin(), keep.end()), keep.end());
+  out.reserve(keep.size());
+  for (size_t i : keep) out.push_back(series[i]);
+  return out;
+}
+
+double EnvelopeError(const std::vector<TimePoint>& full,
+                     const std::vector<TimePoint>& reduced, size_t width) {
+  if (full.empty() || width == 0) return 0.0;
+  const double t0 = full.front().t;
+  const double t1 = full.back().t;
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> full_min(width, inf), full_max(width, -inf);
+  std::vector<double> red_min(width, inf), red_max(width, -inf);
+  for (const TimePoint& p : full) {
+    size_t c = ColumnOf(p.t, t0, t1, width);
+    full_min[c] = std::min(full_min[c], p.v);
+    full_max[c] = std::max(full_max[c], p.v);
+  }
+  for (const TimePoint& p : reduced) {
+    size_t c = ColumnOf(p.t, t0, t1, width);
+    red_min[c] = std::min(red_min[c], p.v);
+    red_max[c] = std::max(red_max[c], p.v);
+  }
+  double err = 0.0;
+  for (size_t c = 0; c < width; ++c) {
+    if (!std::isfinite(full_min[c])) continue;  // empty column in full data
+    if (!std::isfinite(red_min[c])) {
+      // Column drawn by the full series but missed entirely by the sample.
+      err = std::max(err, full_max[c] - full_min[c]);
+      continue;
+    }
+    err = std::max(err, std::abs(full_min[c] - red_min[c]));
+    err = std::max(err, std::abs(full_max[c] - red_max[c]));
+  }
+  return err;
+}
+
+std::vector<TimePoint> StrideSample(const std::vector<TimePoint>& series,
+                                    size_t target) {
+  std::vector<TimePoint> out;
+  if (series.empty() || target == 0) return out;
+  size_t stride = std::max<size_t>(1, series.size() / target);
+  for (size_t i = 0; i < series.size(); i += stride) out.push_back(series[i]);
+  if (out.back() != series.back()) out.push_back(series.back());
+  return out;
+}
+
+}  // namespace exploredb

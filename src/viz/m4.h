@@ -1,0 +1,40 @@
+#ifndef EXPLOREDB_VIZ_M4_H_
+#define EXPLOREDB_VIZ_M4_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace exploredb {
+
+/// One point of a time series.
+struct TimePoint {
+  double t = 0.0;
+  double v = 0.0;
+
+  bool operator==(const TimePoint& other) const = default;
+};
+
+/// M4 time-series reduction for line visualizations: for each of `width`
+/// horizontal pixel columns keep only the first, last, minimum and maximum
+/// points — at most 4*width points that render pixel-identically to the full
+/// series. This is the canonical "query result reduction for interactive
+/// visualization" technique the tutorial covers via [Battle et al.; Jugel et
+/// al.]. Input must be sorted by t; output is sorted and deduplicated.
+Result<std::vector<TimePoint>> M4Reduce(const std::vector<TimePoint>& series,
+                                        size_t width);
+
+/// Max absolute difference of per-pixel-column [min, max] envelopes between
+/// `full` and `reduced` at `width` columns; 0 means the reduced series draws
+/// the same vertical extents (the M4 guarantee).
+double EnvelopeError(const std::vector<TimePoint>& full,
+                     const std::vector<TimePoint>& reduced, size_t width);
+
+/// Baseline: naive every-k-th-point downsampling to at most `target` points.
+std::vector<TimePoint> StrideSample(const std::vector<TimePoint>& series,
+                                    size_t target);
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_VIZ_M4_H_

@@ -1,0 +1,119 @@
+#include "viz/tile_pyramid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace exploredb {
+
+Result<TilePyramid> TilePyramid::Build(const std::vector<double>& x,
+                                       const std::vector<double>& y,
+                                       size_t max_level) {
+  if (x.empty() || x.size() != y.size()) {
+    return Status::InvalidArgument("x/y must be equal-length and non-empty");
+  }
+  if (max_level > 12) return Status::InvalidArgument("max_level > 12");
+  TilePyramid p;
+  p.max_level_ = max_level;
+  auto [xmin, xmax] = std::minmax_element(x.begin(), x.end());
+  auto [ymin, ymax] = std::minmax_element(y.begin(), y.end());
+  p.x0_ = *xmin;
+  p.x1_ = *xmax;
+  p.y0_ = *ymin;
+  p.y1_ = *ymax;
+
+  // Fill the finest level, then roll up parents as 2x2 sums.
+  p.levels_.resize(max_level + 1);
+  const size_t n_fine = static_cast<size_t>(1) << max_level;
+  p.levels_[max_level].assign(n_fine * n_fine, 0);
+  auto bin = [](double v, double lo, double hi, size_t n) -> size_t {
+    if (hi <= lo) return 0;
+    double frac = std::clamp((v - lo) / (hi - lo), 0.0, 1.0);
+    return std::min(n - 1, static_cast<size_t>(frac * static_cast<double>(n)));
+  };
+  for (size_t i = 0; i < x.size(); ++i) {
+    size_t tx = bin(x[i], p.x0_, p.x1_, n_fine);
+    size_t ty = bin(y[i], p.y0_, p.y1_, n_fine);
+    ++p.levels_[max_level][ty * n_fine + tx];
+    ++p.total_;
+  }
+  for (size_t level = max_level; level-- > 0;) {
+    const size_t n = static_cast<size_t>(1) << level;
+    const size_t child_n = n * 2;
+    const auto& child = p.levels_[level + 1];
+    auto& cur = p.levels_[level];
+    cur.assign(n * n, 0);
+    for (size_t ty = 0; ty < n; ++ty) {
+      for (size_t tx = 0; tx < n; ++tx) {
+        cur[ty * n + tx] = child[(2 * ty) * child_n + 2 * tx] +
+                           child[(2 * ty) * child_n + 2 * tx + 1] +
+                           child[(2 * ty + 1) * child_n + 2 * tx] +
+                           child[(2 * ty + 1) * child_n + 2 * tx + 1];
+      }
+    }
+  }
+  return p;
+}
+
+Result<uint64_t> TilePyramid::Count(size_t level, size_t tx,
+                                    size_t ty) const {
+  if (level > max_level_) return Status::OutOfRange("level");
+  const size_t n = static_cast<size_t>(1) << level;
+  if (tx >= n || ty >= n) return Status::OutOfRange("tile coordinate");
+  return levels_[level][ty * n + tx];
+}
+
+void TilePyramid::TileSpan(double lo, double hi, double min, double max,
+                           size_t level, size_t* t0, size_t* t1) const {
+  const size_t n = static_cast<size_t>(1) << level;
+  if (max <= min) {
+    *t0 = 0;
+    *t1 = 1;
+    return;
+  }
+  double f0 = std::clamp((lo - min) / (max - min), 0.0, 1.0);
+  double f1 = std::clamp((hi - min) / (max - min), 0.0, 1.0);
+  *t0 = std::min(n - 1, static_cast<size_t>(f0 * static_cast<double>(n)));
+  *t1 = std::min(
+      n, static_cast<size_t>(std::ceil(f1 * static_cast<double>(n))));
+  if (*t1 <= *t0) *t1 = *t0 + 1;
+}
+
+Result<TileGrid> TilePyramid::QueryViewport(double x0, double y0, double x1,
+                                            double y1,
+                                            size_t max_tiles) const {
+  if (!(x0 < x1) || !(y0 < y1)) {
+    return Status::InvalidArgument("empty viewport");
+  }
+  if (max_tiles == 0) return Status::InvalidArgument("zero tile budget");
+  // Deepest level whose covered span fits the budget.
+  size_t chosen = 0;
+  size_t tx0 = 0, tx1 = 1, ty0 = 0, ty1 = 1;
+  for (size_t level = 0; level <= max_level_; ++level) {
+    size_t a0, a1, b0, b1;
+    TileSpan(x0, x1, x0_, x1_, level, &a0, &a1);
+    TileSpan(y0, y1, y0_, y1_, level, &b0, &b1);
+    if ((a1 - a0) * (b1 - b0) > max_tiles && level > 0) break;
+    chosen = level;
+    tx0 = a0;
+    tx1 = a1;
+    ty0 = b0;
+    ty1 = b1;
+    if ((a1 - a0) * (b1 - b0) > max_tiles) break;  // level 0 over budget
+  }
+  TileGrid grid;
+  grid.level = chosen;
+  grid.tx0 = tx0;
+  grid.ty0 = ty0;
+  grid.width = tx1 - tx0;
+  grid.height = ty1 - ty0;
+  grid.counts.reserve(grid.width * grid.height);
+  const size_t n = static_cast<size_t>(1) << chosen;
+  for (size_t ty = ty0; ty < ty1; ++ty) {
+    for (size_t tx = tx0; tx < tx1; ++tx) {
+      grid.counts.push_back(levels_[chosen][ty * n + tx]);
+    }
+  }
+  return grid;
+}
+
+}  // namespace exploredb

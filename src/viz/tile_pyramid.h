@@ -1,0 +1,63 @@
+#ifndef EXPLOREDB_VIZ_TILE_PYRAMID_H_
+#define EXPLOREDB_VIZ_TILE_PYRAMID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace exploredb {
+
+/// A rectangular slice of one pyramid level, returned for rendering.
+struct TileGrid {
+  size_t level = 0;       ///< pyramid level the counts come from
+  size_t tx0 = 0, ty0 = 0;  ///< tile coordinates of the top-left cell
+  size_t width = 0, height = 0;
+  std::vector<uint64_t> counts;  ///< row-major, height x width
+
+  uint64_t at(size_t ix, size_t iy) const { return counts[iy * width + ix]; }
+};
+
+/// Multi-resolution count pyramid over 2-D points — the precomputed
+/// zoom/pan substrate of large-scale visual exploration systems (imMens-
+/// style binned aggregation serving the pan/zoom interactions that the
+/// tutorial's visualization and prefetching sections assume). Level l is a
+/// 2^l x 2^l grid; every parent cell is the sum of its four children, so
+/// any viewport at any zoom renders from at most `max_tiles` cells.
+class TilePyramid {
+ public:
+  /// Builds levels 0..max_level (max_level <= 12) over the bounding box of
+  /// the points. Requires equal-length non-empty x/y.
+  static Result<TilePyramid> Build(const std::vector<double>& x,
+                                   const std::vector<double>& y,
+                                   size_t max_level);
+
+  size_t max_level() const { return max_level_; }
+  uint64_t total_points() const { return total_; }
+
+  /// Count in tile (tx, ty) of `level`.
+  Result<uint64_t> Count(size_t level, size_t tx, size_t ty) const;
+
+  /// Renders the viewport [x0, x1) x [y0, y1) (data coordinates) using the
+  /// deepest level whose covered cell count does not exceed `max_tiles` —
+  /// the level-of-detail selection a zoomable frontend performs per frame.
+  Result<TileGrid> QueryViewport(double x0, double y0, double x1, double y1,
+                                 size_t max_tiles) const;
+
+ private:
+  TilePyramid() = default;
+
+  /// Tile index span [t0, t1) covered by [lo, hi) at `level`, clamped.
+  void TileSpan(double lo, double hi, double min, double max, size_t level,
+                size_t* t0, size_t* t1) const;
+
+  double x0_ = 0, x1_ = 1, y0_ = 0, y1_ = 1;
+  size_t max_level_ = 0;
+  uint64_t total_ = 0;
+  // levels_[l] is a (2^l)^2 row-major count grid.
+  std::vector<std::vector<uint64_t>> levels_;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_VIZ_TILE_PYRAMID_H_

@@ -1,0 +1,111 @@
+#include "viz/viz_sampling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sampling/estimators.h"
+
+namespace exploredb {
+
+OrderingSampler::OrderingSampler(std::vector<std::vector<double>> groups,
+                                 double delta, uint64_t seed)
+    : groups_(std::move(groups)), delta_(delta) {
+  Random rng(seed);
+  range_lo_ = std::numeric_limits<double>::infinity();
+  range_hi_ = -std::numeric_limits<double>::infinity();
+  for (auto& g : groups_) {
+    rng.Shuffle(&g);  // sampling = consuming a random permutation
+    for (double v : g) {
+      range_lo_ = std::min(range_lo_, v);
+      range_hi_ = std::max(range_hi_, v);
+    }
+  }
+  if (!std::isfinite(range_lo_)) {
+    range_lo_ = 0.0;
+    range_hi_ = 1.0;
+  }
+}
+
+std::vector<double> OrderingSampler::ExactMeans() const {
+  std::vector<double> out;
+  out.reserve(groups_.size());
+  for (const auto& g : groups_) {
+    double s = 0.0;
+    for (double v : g) s += v;
+    out.push_back(g.empty() ? 0.0 : s / static_cast<double>(g.size()));
+  }
+  return out;
+}
+
+OrderingReport OrderingSampler::Run(size_t max_total_samples) {
+  const size_t k = groups_.size();
+  OrderingReport report;
+  report.means.assign(k, 0.0);
+  report.samples_used.assign(k, 0);
+  if (k == 0) {
+    report.resolved = true;
+    return report;
+  }
+  std::vector<double> sums(k, 0.0);
+  // Per-group failure budget so the union bound over all intervals holds.
+  double per_group_delta = delta_ / static_cast<double>(k);
+  std::vector<bool> frozen(k, false);  // separated from all others
+
+  auto half_width = [&](size_t g) {
+    if (report.samples_used[g] == 0) {
+      return std::numeric_limits<double>::infinity();
+    }
+    if (report.samples_used[g] >= groups_[g].size()) return 0.0;  // exact
+    return HoeffdingHalfWidth(report.samples_used[g], range_lo_, range_hi_,
+                              1.0 - per_group_delta);
+  };
+
+  while (report.total_samples < max_total_samples) {
+    // Draw one more sample from every unfrozen, non-exhausted group.
+    bool drew = false;
+    for (size_t g = 0; g < k; ++g) {
+      if (frozen[g]) continue;
+      if (report.samples_used[g] >= groups_[g].size()) continue;
+      sums[g] += groups_[g][report.samples_used[g]];
+      ++report.samples_used[g];
+      ++report.total_samples;
+      drew = true;
+      if (report.total_samples >= max_total_samples) break;
+    }
+    for (size_t g = 0; g < k; ++g) {
+      if (report.samples_used[g] > 0) {
+        report.means[g] = sums[g] / static_cast<double>(report.samples_used[g]);
+      }
+    }
+    // Freeze groups whose interval is disjoint from every other group's.
+    for (size_t g = 0; g < k; ++g) {
+      if (frozen[g]) continue;
+      double glo = report.means[g] - half_width(g);
+      double ghi = report.means[g] + half_width(g);
+      bool separated = true;
+      for (size_t h = 0; h < k && separated; ++h) {
+        if (h == g) continue;
+        double hlo = report.means[h] - half_width(h);
+        double hhi = report.means[h] + half_width(h);
+        separated = (ghi < hlo) || (hhi < glo);
+      }
+      if (separated || report.samples_used[g] >= groups_[g].size()) {
+        frozen[g] = separated;
+      }
+    }
+    bool all_resolved = true;
+    for (size_t g = 0; g < k; ++g) {
+      bool exhausted = report.samples_used[g] >= groups_[g].size();
+      all_resolved &= (frozen[g] || exhausted);
+    }
+    if (all_resolved) {
+      report.resolved = true;
+      break;
+    }
+    if (!drew) break;  // everything exhausted without separation
+  }
+  return report;
+}
+
+}  // namespace exploredb

@@ -1,0 +1,50 @@
+#ifndef EXPLOREDB_VIZ_VIZ_SAMPLING_H_
+#define EXPLOREDB_VIZ_VIZ_SAMPLING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+
+namespace exploredb {
+
+/// Outcome of an ordering-guarantee sampling run.
+struct OrderingReport {
+  std::vector<double> means;          ///< estimated per-group means
+  std::vector<size_t> samples_used;   ///< per-group samples drawn
+  size_t total_samples = 0;
+  bool resolved = false;  ///< all pairwise orderings separated at 1 - delta
+};
+
+/// Visualization-oriented sampler with ordering guarantees, after IFOCUS
+/// [Blais/Kim/Parameswaran et al., PVLDB'14 — ref 12 of the tutorial]: a bar
+/// chart is perceptually correct as soon as the *ordering* of the bars is
+/// right, which needs far fewer samples than accurate values. The sampler
+/// draws rows round-robin from each group (without replacement), maintains
+/// Hoeffding intervals, stops sampling groups whose interval is disjoint
+/// from every other group's, and finishes when all orderings are resolved.
+class OrderingSampler {
+ public:
+  /// `groups[g]` holds the measure values of group g. `delta` is the allowed
+  /// failure probability; values may span any range (bounds are taken from
+  /// the data's global min/max, as the visualization knows its axis range).
+  OrderingSampler(std::vector<std::vector<double>> groups, double delta,
+                  uint64_t seed = 42);
+
+  /// Samples until resolved or `max_total_samples` is exhausted.
+  OrderingReport Run(size_t max_total_samples);
+
+  /// True ordering comparison helper: exact means of the input groups.
+  std::vector<double> ExactMeans() const;
+
+ private:
+  std::vector<std::vector<double>> groups_;  // shuffled per group
+  double delta_;
+  double range_lo_ = 0.0;
+  double range_hi_ = 1.0;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_VIZ_VIZ_SAMPLING_H_

@@ -1,0 +1,55 @@
+#ifndef EXPLOREDB_VIZ_VIZDECK_H_
+#define EXPLOREDB_VIZ_VIZDECK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace exploredb {
+
+/// Chart families VizDeck ranks.
+enum class ChartKind {
+  kHistogram,  ///< one numeric column
+  kBarChart,   ///< one categorical column (value counts)
+  kScatter,    ///< two numeric columns
+};
+
+const char* ChartKindName(ChartKind kind);
+
+/// One ranked card of the dashboard deck.
+struct VizCard {
+  ChartKind kind = ChartKind::kHistogram;
+  size_t column_a = 0;
+  size_t column_b = 0;  ///< only for kScatter
+  double score = 0.0;   ///< statistical interestingness, higher first
+
+  std::string Describe(const Schema& schema) const;
+};
+
+/// Self-organizing dashboard ranking, after VizDeck [Key/Howe/Perry/Aragon,
+/// SIGMOD'12 — tutorial ref 40]: given a table the user has never seen,
+/// propose the charts most likely to be informative, scored purely from
+/// column statistics:
+///   histograms  — skewness/outlier mass of a numeric column (uniform and
+///                 tightly concentrated columns are boring);
+///   bar charts  — normalized entropy of a categorical column, penalizing
+///                 degenerate (all-same or all-distinct) columns;
+///   scatters    — |Pearson correlation| between numeric column pairs.
+/// Returns the deck sorted by score.
+Result<std::vector<VizCard>> RankVizCards(const Table& table, size_t limit);
+
+/// Statistics helpers (exposed for tests).
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+/// Entropy of the value distribution normalized by log2(#distinct), scaled
+/// by a penalty for columns that are nearly keys (distinct ~ rows).
+double CategoricalInterest(const std::vector<std::string>& values);
+/// Interestingness of a numeric column: |skewness| mapped to [0, 1).
+double NumericInterest(const std::vector<double>& values);
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_VIZ_VIZDECK_H_

@@ -1,0 +1,431 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/random.h"
+#include "engine/database.h"
+#include "engine/executor.h"
+#include "engine/query.h"
+#include "engine/session.h"
+
+namespace exploredb {
+namespace {
+
+Schema EventsSchema() {
+  return Schema({{"ts", DataType::kInt64},
+                 {"value", DataType::kDouble},
+                 {"kind", DataType::kString}});
+}
+
+Table EventsTable(size_t n, uint64_t seed) {
+  Table t(EventsSchema());
+  Random rng(seed);
+  const char* kinds[] = {"alpha", "beta", "gamma"};
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(t.AppendRow({Value(rng.UniformInt(0, 99999)),
+                             Value(rng.NextDouble() * 100),
+                             Value(kinds[rng.Uniform(3)])})
+                    .ok());
+  }
+  return t;
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.CreateTable("events", EventsTable(20000, 42)).ok());
+  }
+  Database db_;
+};
+
+// ---------------------------------------------------------------- database
+
+TEST_F(EngineTest, DuplicateTableRejected) {
+  EXPECT_EQ(db_.CreateTable("events", Table(EventsSchema())).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(EngineTest, UnknownTableNotFound) {
+  Executor exec(&db_);
+  auto r = exec.Execute(Query::On("ghost"));
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(EngineTest, TableNamesListed) {
+  auto names = db_.TableNames();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "events");
+}
+
+TEST_F(EngineTest, CrackerRequiresInt64Column) {
+  auto entry = db_.GetTable("events");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_FALSE(entry.ValueOrDie()->GetCracker(1).ok());   // double col
+  EXPECT_TRUE(entry.ValueOrDie()->GetCracker(0).ok());    // int64 col
+  EXPECT_FALSE(entry.ValueOrDie()->GetSortedIndex(2).ok());
+}
+
+// ---------------------------------------------------------------- executor
+
+TEST_F(EngineTest, ScanSelectionReturnsMatchingRows) {
+  Executor exec(&db_);
+  Query q = Query::On("events").Where(
+      Predicate({{0, CompareOp::kGe, Value(int64_t{1000})},
+                 {0, CompareOp::kLt, Value(int64_t{2000})}}));
+  auto r = exec.Execute(q);
+  ASSERT_TRUE(r.ok());
+  const QueryResult& result = r.ValueOrDie();
+  ASSERT_TRUE(result.rows.has_value());
+  EXPECT_EQ(result.rows->num_rows(), result.positions.size());
+  for (size_t i = 0; i < result.rows->num_rows(); ++i) {
+    int64_t ts = result.rows->GetValue(i, 0).int64();
+    EXPECT_GE(ts, 1000);
+    EXPECT_LT(ts, 2000);
+  }
+}
+
+// Property: every execution mode that is exact must agree with the scan.
+class ModeEquivalence : public ::testing::TestWithParam<ExecutionMode> {};
+
+TEST_P(ModeEquivalence, AgreesWithScan) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("events", EventsTable(20000, 77)).ok());
+  Executor exec(&db);
+  Random rng(5);
+  for (int i = 0; i < 20; ++i) {
+    int64_t lo = rng.UniformInt(0, 90000);
+    int64_t hi = lo + rng.UniformInt(1, 9000);
+    Query q = Query::On("events").Where(
+        Predicate({{0, CompareOp::kGe, Value(lo)},
+                   {0, CompareOp::kLt, Value(hi)}}));
+    QueryOptions scan_opts;
+    QueryOptions mode_opts;
+    mode_opts.mode = GetParam();
+    auto want = exec.Execute(q, scan_opts);
+    auto got = exec.Execute(q, mode_opts);
+    ASSERT_TRUE(want.ok());
+    ASSERT_TRUE(got.ok());
+    auto w = want.ValueOrDie().positions;
+    auto g = got.ValueOrDie().positions;
+    std::sort(w.begin(), w.end());
+    std::sort(g.begin(), g.end());
+    ASSERT_EQ(w, g) << "mode=" << ExecutionModeName(GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ExactModes, ModeEquivalence,
+                         ::testing::Values(ExecutionMode::kCracking,
+                                           ExecutionMode::kFullIndex));
+
+TEST_F(EngineTest, CrackingWithResidualPredicate) {
+  Executor exec(&db_);
+  Query q = Query::On("events").Where(
+      Predicate({{0, CompareOp::kGe, Value(int64_t{0})},
+                 {0, CompareOp::kLt, Value(int64_t{50000})},
+                 {2, CompareOp::kEq, Value("alpha")}}));
+  QueryOptions crack;
+  crack.mode = ExecutionMode::kCracking;
+  auto got = exec.Execute(q, crack);
+  auto want = exec.Execute(q);
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(want.ok());
+  auto g = got.ValueOrDie().positions;
+  auto w = want.ValueOrDie().positions;
+  std::sort(g.begin(), g.end());
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(g, w);
+}
+
+TEST_F(EngineTest, CrackingScansLessOnRepeats) {
+  Executor exec(&db_);
+  Query q = Query::On("events").Where(
+      Predicate({{0, CompareOp::kGe, Value(int64_t{3000})},
+                 {0, CompareOp::kLt, Value(int64_t{4000})}}));
+  QueryOptions crack;
+  crack.mode = ExecutionMode::kCracking;
+  auto first = exec.Execute(q, crack);
+  auto second = exec.Execute(q, crack);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_LT(second.ValueOrDie().rows_scanned,
+            first.ValueOrDie().rows_scanned);
+}
+
+TEST_F(EngineTest, ProjectionSelectsColumns) {
+  Executor exec(&db_);
+  Query q = Query::On("events").Select({"kind", "ts"});
+  auto r = exec.Execute(q);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.ValueOrDie().rows.has_value());
+  EXPECT_EQ(r.ValueOrDie().rows->num_columns(), 2u);
+  EXPECT_EQ(r.ValueOrDie().rows->schema().field(0).name, "kind");
+  EXPECT_FALSE(
+      exec.Execute(Query::On("events").Select({"bogus"})).ok());
+}
+
+TEST_F(EngineTest, ExactAggregates) {
+  Executor exec(&db_);
+  auto count = exec.Execute(
+      Query::On("events").Aggregate(AggKind::kCount));
+  ASSERT_TRUE(count.ok());
+  EXPECT_DOUBLE_EQ(count.ValueOrDie().scalar->value, 20000.0);
+  EXPECT_DOUBLE_EQ(count.ValueOrDie().scalar->ci_half_width, 0.0);
+
+  auto avg = exec.Execute(
+      Query::On("events").Aggregate(AggKind::kAvg, "value"));
+  ASSERT_TRUE(avg.ok());
+  EXPECT_NEAR(avg.ValueOrDie().scalar->value, 50.0, 2.0);
+
+  auto sum = exec.Execute(
+      Query::On("events").Aggregate(AggKind::kSum, "value"));
+  ASSERT_TRUE(sum.ok());
+  EXPECT_NEAR(sum.ValueOrDie().scalar->value,
+              avg.ValueOrDie().scalar->value * 20000, 1.0);
+}
+
+TEST_F(EngineTest, AggregateValidation) {
+  Executor exec(&db_);
+  EXPECT_FALSE(
+      exec.Execute(Query::On("events").Aggregate(AggKind::kAvg)).ok());
+  EXPECT_FALSE(
+      exec.Execute(Query::On("events").Aggregate(AggKind::kAvg, "kind"))
+          .ok());
+  EXPECT_FALSE(
+      exec.Execute(Query::On("events").GroupBy("kind")).ok());  // no agg
+}
+
+TEST_F(EngineTest, SampledAggregateCloseToExact) {
+  Executor exec(&db_);
+  Query q = Query::On("events").Aggregate(AggKind::kAvg, "value");
+  QueryOptions sampled;
+  sampled.mode = ExecutionMode::kSampled;
+  sampled.sample_fraction = 0.1;
+  auto approx = exec.Execute(q, sampled);
+  auto exact = exec.Execute(q);
+  ASSERT_TRUE(approx.ok());
+  ASSERT_TRUE(exact.ok());
+  EXPECT_TRUE(approx.ValueOrDie().approximate);
+  EXPECT_GT(approx.ValueOrDie().scalar->ci_half_width, 0.0);
+  EXPECT_NEAR(approx.ValueOrDie().scalar->value,
+              exact.ValueOrDie().scalar->value,
+              3 * approx.ValueOrDie().scalar->ci_half_width);
+  EXPECT_LT(approx.ValueOrDie().rows_scanned,
+            exact.ValueOrDie().rows_scanned / 2);
+}
+
+TEST_F(EngineTest, SampledCountScalesUp) {
+  Executor exec(&db_);
+  Query q = Query::On("events")
+                .Where(Predicate({{2, CompareOp::kEq, Value("alpha")}}))
+                .Aggregate(AggKind::kCount);
+  QueryOptions sampled;
+  sampled.mode = ExecutionMode::kSampled;
+  sampled.sample_fraction = 0.2;
+  auto approx = exec.Execute(q, sampled);
+  auto exact = exec.Execute(q);
+  ASSERT_TRUE(approx.ok());
+  ASSERT_TRUE(exact.ok());
+  EXPECT_NEAR(approx.ValueOrDie().scalar->value,
+              exact.ValueOrDie().scalar->value,
+              exact.ValueOrDie().scalar->value * 0.15);
+}
+
+TEST_F(EngineTest, OnlineAggregateStopsAtBudget) {
+  Executor exec(&db_);
+  Query q = Query::On("events").Aggregate(AggKind::kAvg, "value");
+  QueryOptions online;
+  online.mode = ExecutionMode::kOnline;
+  online.error_budget = 1.0;
+  auto r = exec.Execute(q, online);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r.ValueOrDie().scalar->ci_half_width, 1.0);
+  EXPECT_LT(r.ValueOrDie().rows_scanned, 20000u);
+  EXPECT_TRUE(r.ValueOrDie().approximate);
+
+  QueryOptions exhaustive;
+  exhaustive.mode = ExecutionMode::kOnline;
+  exhaustive.error_budget = 0.0;  // run to completion
+  auto full = exec.Execute(q, exhaustive);
+  ASSERT_TRUE(full.ok());
+  EXPECT_FALSE(full.ValueOrDie().approximate);
+  EXPECT_NEAR(full.ValueOrDie().scalar->ci_half_width, 0.0, 1e-9);
+}
+
+TEST_F(EngineTest, GroupByAggregates) {
+  Executor exec(&db_);
+  Query q =
+      Query::On("events").Aggregate(AggKind::kCount).GroupBy("kind");
+  auto r = exec.Execute(q);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.ValueOrDie().groups.size(), 3u);
+  double total = 0;
+  for (const GroupValue& g : r.ValueOrDie().groups) total += g.value.value;
+  EXPECT_DOUBLE_EQ(total, 20000.0);
+}
+
+TEST_F(EngineTest, SampledGroupByScalesCounts) {
+  Executor exec(&db_);
+  Query q =
+      Query::On("events").Aggregate(AggKind::kCount).GroupBy("kind");
+  QueryOptions sampled;
+  sampled.mode = ExecutionMode::kSampled;
+  sampled.sample_fraction = 0.25;
+  auto approx = exec.Execute(q, sampled);
+  ASSERT_TRUE(approx.ok());
+  double total = 0;
+  for (const GroupValue& g : approx.ValueOrDie().groups) {
+    total += g.value.value;
+  }
+  EXPECT_NEAR(total, 20000.0, 2500.0);
+}
+
+// ---------------------------------------------------------------- raw-backed
+
+class RawBackedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/exploredb_engine_raw.csv";
+    Table t = EventsTable(5000, 99);
+    ASSERT_TRUE(WriteCsv(t, path_).ok());
+    ASSERT_TRUE(db_.RegisterCsv("raw_events", path_, EventsSchema()).ok());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  Database db_;
+  std::string path_;
+};
+
+TEST_F(RawBackedTest, QueriesRunDirectlyOnRawFile) {
+  Executor exec(&db_);
+  Query q = Query::On("raw_events")
+                .Where(Predicate({{0, CompareOp::kLt, Value(int64_t{50000})}}))
+                .Aggregate(AggKind::kCount);
+  auto r = exec.Execute(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.ValueOrDie().scalar->value, 0.0);
+}
+
+TEST_F(RawBackedTest, OnlyTouchedColumnsLoad) {
+  Executor exec(&db_);
+  // Touches only ts (predicate) — value and kind must stay unparsed.
+  Query q = Query::On("raw_events")
+                .Where(Predicate({{0, CompareOp::kLt, Value(int64_t{1000})}}))
+                .Select({"ts"});
+  ASSERT_TRUE(exec.Execute(q).ok());
+  auto entry = db_.GetTable("raw_events");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_TRUE(entry.ValueOrDie()->raw_backed());
+}
+
+TEST_F(RawBackedTest, CrackingWorksOverRawColumns) {
+  Executor exec(&db_);
+  QueryOptions crack;
+  crack.mode = ExecutionMode::kCracking;
+  Query q = Query::On("raw_events")
+                .Where(Predicate({{0, CompareOp::kGe, Value(int64_t{10000})},
+                                  {0, CompareOp::kLt, Value(int64_t{30000})}}));
+  auto cracked = exec.Execute(q, crack);
+  auto scanned = exec.Execute(q);
+  ASSERT_TRUE(cracked.ok());
+  ASSERT_TRUE(scanned.ok());
+  auto c = cracked.ValueOrDie().positions;
+  auto s = scanned.ValueOrDie().positions;
+  std::sort(c.begin(), c.end());
+  std::sort(s.begin(), s.end());
+  EXPECT_EQ(c, s);
+}
+
+// ---------------------------------------------------------------- session
+
+TEST_F(EngineTest, SessionCachesRepeatedQueries) {
+  SessionOptions opts;
+  opts.speculate = false;
+  Session session(&db_, opts);
+  Query q = Query::On("events").Where(
+      Predicate({{0, CompareOp::kGe, Value(int64_t{500})},
+                 {0, CompareOp::kLt, Value(int64_t{700})}}));
+  auto first = session.Execute(q);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first.ValueOrDie().from_cache);
+  auto second = session.Execute(q);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.ValueOrDie().from_cache);
+  EXPECT_EQ(second.ValueOrDie().positions, first.ValueOrDie().positions);
+  ASSERT_TRUE(second.ValueOrDie().rows.has_value());
+  EXPECT_EQ(second.ValueOrDie().rows->num_rows(),
+            first.ValueOrDie().rows->num_rows());
+  EXPECT_EQ(session.stats().cache_hits, 1u);
+}
+
+TEST_F(EngineTest, SessionSpeculationPrefetchesNextWindow) {
+  SessionOptions opts;
+  opts.idle_budget = 4;
+  Session session(&db_, opts);
+  auto window = [](int64_t lo, int64_t hi) {
+    return Query::On("events").Where(
+        Predicate({{0, CompareOp::kGe, Value(lo)},
+                   {0, CompareOp::kLt, Value(hi)}}));
+  };
+  // Pan right in fixed steps: after the first step the speculator should
+  // have the next window cached.
+  ASSERT_TRUE(session.Execute(window(0, 1000)).ok());
+  ASSERT_TRUE(session.Execute(window(1000, 2000)).ok());
+  auto third = session.Execute(window(2000, 3000));
+  ASSERT_TRUE(third.ok());
+  EXPECT_TRUE(third.ValueOrDie().from_cache);
+  EXPECT_GT(session.stats().speculative_queries, 0u);
+}
+
+TEST_F(EngineTest, SessionPredictsTrajectory) {
+  SessionOptions opts;
+  opts.speculate = false;
+  Session session(&db_, opts);
+  auto window = [](int64_t lo) {
+    return Query::On("events").Where(
+        Predicate({{0, CompareOp::kGe, Value(lo)},
+                   {0, CompareOp::kLt, Value(lo + 1000)}}));
+  };
+  // Repeat a loop a->b->a->b so the model learns b follows a.
+  Query a = window(0);
+  Query b = window(5000);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(session.Execute(a).ok());
+    ASSERT_TRUE(session.Execute(b).ok());
+  }
+  ASSERT_TRUE(session.Execute(a).ok());
+  auto next = session.PredictNextQueries(1);
+  ASSERT_EQ(next.size(), 1u);
+  EXPECT_EQ(next[0], b.CacheKey());
+}
+
+TEST_F(EngineTest, SessionRecommendViewsNeedsHistory) {
+  Session session(&db_);
+  EXPECT_EQ(session.RecommendViews({{2, 1, AggKind::kAvg}}, 1).status().code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(session
+                  .Execute(Query::On("events").Where(Predicate(
+                      {{0, CompareOp::kLt, Value(int64_t{50000})}})))
+                  .ok());
+  auto views = session.RecommendViews({{2, 1, AggKind::kAvg}}, 1);
+  ASSERT_TRUE(views.ok());
+  EXPECT_EQ(views.ValueOrDie().top.size(), 1u);
+}
+
+TEST_F(EngineTest, ModeNamesStable) {
+  EXPECT_STREQ(ExecutionModeName(ExecutionMode::kScan), "scan");
+  EXPECT_STREQ(ExecutionModeName(ExecutionMode::kCracking), "cracking");
+  EXPECT_STREQ(ExecutionModeName(ExecutionMode::kOnline), "online");
+}
+
+TEST_F(EngineTest, QueryCacheKeyDiscriminates) {
+  Query a = Query::On("events").Where(Predicate::Range(0, 1, 2));
+  Query b = Query::On("events").Where(Predicate::Range(0, 1, 3));
+  Query c = Query::On("events")
+                .Where(Predicate::Range(0, 1, 2))
+                .Aggregate(AggKind::kCount);
+  EXPECT_NE(a.CacheKey(), b.CacheKey());
+  EXPECT_NE(a.CacheKey(), c.CacheKey());
+}
+
+}  // namespace
+}  // namespace exploredb

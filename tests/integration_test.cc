@@ -1,0 +1,188 @@
+// End-to-end flows across the three tutorial layers: user interaction
+// (explore-by-example, recommendations), middleware (cache, speculation,
+// AQP), and the database layer (adaptive loading, cracking).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/random.h"
+#include "engine/session.h"
+#include "explore/explore_by_example.h"
+#include "explore/query_by_output.h"
+#include "viz/m4.h"
+
+namespace exploredb {
+namespace {
+
+Schema SkySchema() {
+  return Schema({{"ra", DataType::kInt64},      // right ascension (scaled)
+                 {"dec", DataType::kInt64},     // declination (scaled)
+                 {"brightness", DataType::kDouble},
+                 {"survey", DataType::kString}});
+}
+
+/// Synthetic sky-survey table with a bright cluster planted in a known
+/// region — the "interesting pattern" an astronomer would hunt for.
+Table SkyTable(size_t n, uint64_t seed) {
+  Table t(SkySchema());
+  Random rng(seed);
+  const char* surveys[] = {"sdss", "gaia"};
+  for (size_t i = 0; i < n; ++i) {
+    int64_t ra = rng.UniformInt(0, 9999);
+    int64_t dec = rng.UniformInt(0, 9999);
+    double brightness = rng.NextDouble() * 10;
+    if (ra >= 3000 && ra < 5000 && dec >= 5000 && dec < 7000) {
+      brightness += 50;  // the planted cluster
+    }
+    EXPECT_TRUE(t.AppendRow({Value(ra), Value(dec), Value(brightness),
+                             Value(surveys[rng.Uniform(2)])})
+                    .ok());
+  }
+  return t;
+}
+
+TEST(IntegrationTest, RawCsvToCrackedQueriesToRecommendation) {
+  // 1. Write a raw CSV; register it without loading (NoDB-style).
+  std::string path = ::testing::TempDir() + "/exploredb_integration_sky.csv";
+  ASSERT_TRUE(WriteCsv(SkyTable(20000, 31), path).ok());
+  Database db;
+  ASSERT_TRUE(db.RegisterCsv("sky", path, SkySchema()).ok());
+  Session session(&db);
+
+  // 2. Exploratory window queries under cracking: each query adaptively
+  //    indexes the ra column.
+  QueryOptions crack;
+  crack.mode = ExecutionMode::kCracking;
+  uint64_t scanned_first = 0, scanned_last = 0;
+  for (int step = 0; step < 10; ++step) {
+    int64_t lo = step * 1000;
+    Query q = Query::On("sky").Where(
+        Predicate({{0, CompareOp::kGe, Value(lo)},
+                   {0, CompareOp::kLt, Value(lo + 1000)}}));
+    auto r = session.Execute(q, crack);
+    ASSERT_TRUE(r.ok());
+    if (step == 0) scanned_first = r.ValueOrDie().rows_scanned;
+    if (step == 9) scanned_last = r.ValueOrDie().rows_scanned;
+  }
+  // Later windows benefit from earlier cracks (or the session cache).
+  EXPECT_LT(scanned_last, scanned_first);
+
+  // 3. Ask for interesting views of the last window vs the rest.
+  auto report =
+      session.RecommendViews({{3, 2, AggKind::kAvg}, {3, 0, AggKind::kCount}},
+                             1, SeeDbMode::kSharedScan);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.ValueOrDie().top.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(IntegrationTest, ExploreByExampleFindsPlantedCluster) {
+  Table sky = SkyTable(8000, 37);
+  ExploreByExampleOptions options;
+  options.samples_per_iteration = 40;
+  auto ebe_result = ExploreByExample::Create(&sky, {0, 1}, options);
+  ASSERT_TRUE(ebe_result.ok());
+  ExploreByExample ebe = std::move(ebe_result).ValueOrDie();
+  // The "astronomer" labels bright objects as interesting.
+  auto oracle = [&](uint32_t row) {
+    return sky.column(2).GetDouble(row) > 40.0;
+  };
+  double f1 = 0.0;
+  for (int iter = 0; iter < 30 && f1 < 0.85; ++iter) {
+    ASSERT_TRUE(ebe.RunIteration(oracle).ok());
+    f1 = ebe.Evaluate(oracle).f1;
+  }
+  EXPECT_GT(f1, 0.7);
+  // The learned query region must overlap the planted cluster.
+  auto queries = ebe.CurrentQueries();
+  ASSERT_FALSE(queries.empty());
+  bool covers_cluster_center = false;
+  for (uint32_t row = 0; row < sky.num_rows(); ++row) {
+    int64_t ra = sky.column(0).int64_data()[row];
+    int64_t dec = sky.column(1).int64_data()[row];
+    if (ra >= 3800 && ra < 4200 && dec >= 5800 && dec < 6200) {
+      covers_cluster_center |= ebe.PredictRow(row);
+    }
+  }
+  EXPECT_TRUE(covers_cluster_center);
+}
+
+TEST(IntegrationTest, QboRoundTripsAnExecutedQuery) {
+  // Run a real query, hand its output to QBO, and check the discovered
+  // predicate reselects (essentially) the same rows.
+  Database db;
+  ASSERT_TRUE(db.CreateTable("sky", SkyTable(5000, 41)).ok());
+  Executor exec(&db);
+  Query original = Query::On("sky").Where(
+      Predicate({{0, CompareOp::kGe, Value(int64_t{2000})},
+                 {0, CompareOp::kLt, Value(int64_t{4000})}}));
+  auto result = exec.Execute(original);
+  ASSERT_TRUE(result.ok());
+  const auto& positions = result.ValueOrDie().positions;
+  ASSERT_GT(positions.size(), 100u);
+
+  auto entry = db.GetTable("sky");
+  ASSERT_TRUE(entry.ok());
+  auto table = entry.ValueOrDie()->Materialized();
+  ASSERT_TRUE(table.ok());
+  QueryByOutput qbo(table.ValueOrDie(), positions, {0});
+  auto discovered = qbo.TreeQuery();
+  ASSERT_TRUE(discovered.ok());
+  EXPECT_GT(discovered.ValueOrDie().quality.precision, 0.98);
+  EXPECT_GT(discovered.ValueOrDie().quality.recall, 0.98);
+}
+
+TEST(IntegrationTest, AqpPipelineOverSessionData) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("sky", SkyTable(30000, 43)).ok());
+  Executor exec(&db);
+  Query q = Query::On("sky")
+                .Where(Predicate({{3, CompareOp::kEq, Value("sdss")}}))
+                .Aggregate(AggKind::kAvg, "brightness");
+  auto exact = exec.Execute(q);
+  ASSERT_TRUE(exact.ok());
+
+  QueryOptions sampled;
+  sampled.mode = ExecutionMode::kSampled;
+  sampled.sample_fraction = 0.05;
+  auto approx = exec.Execute(q, sampled);
+  ASSERT_TRUE(approx.ok());
+  EXPECT_NEAR(approx.ValueOrDie().scalar->value,
+              exact.ValueOrDie().scalar->value,
+              4 * approx.ValueOrDie().scalar->ci_half_width + 1e-9);
+
+  QueryOptions online;
+  online.mode = ExecutionMode::kOnline;
+  online.error_budget = 0.5;
+  auto streamed = exec.Execute(q, online);
+  ASSERT_TRUE(streamed.ok());
+  EXPECT_NEAR(streamed.ValueOrDie().scalar->value,
+              exact.ValueOrDie().scalar->value, 1.5);
+}
+
+TEST(IntegrationTest, TimeSeriesReductionOfQueryResult) {
+  // Query rows, render the brightness series at viz resolution.
+  Database db;
+  ASSERT_TRUE(db.CreateTable("sky", SkyTable(10000, 47)).ok());
+  Executor exec(&db);
+  auto r = exec.Execute(Query::On("sky").Select({"ra", "brightness"}));
+  ASSERT_TRUE(r.ok());
+  const Table& rows = *r.ValueOrDie().rows;
+  std::vector<TimePoint> series;
+  series.reserve(rows.num_rows());
+  for (size_t i = 0; i < rows.num_rows(); ++i) {
+    series.push_back({static_cast<double>(rows.GetValue(i, 0).int64()),
+                      rows.GetValue(i, 1).dbl()});
+  }
+  std::sort(series.begin(), series.end(),
+            [](const TimePoint& a, const TimePoint& b) { return a.t < b.t; });
+  auto reduced = M4Reduce(series, 256);
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_LE(reduced.ValueOrDie().size(), 4u * 256u);
+  EXPECT_DOUBLE_EQ(EnvelopeError(series, reduced.ValueOrDie(), 256), 0.0);
+}
+
+}  // namespace
+}  // namespace exploredb

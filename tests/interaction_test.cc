@@ -1,0 +1,286 @@
+// Tests for the interaction-layer extensions: query recommendation,
+// DICE-style lazy cube navigation, and the dbTouch gesture canvas.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "explore/cube_navigator.h"
+#include "explore/gestures.h"
+#include "explore/query_recommender.h"
+
+namespace exploredb {
+namespace {
+
+// ---------------------------------------------------------------- recommender
+
+TEST(QueryRecommenderTest, SuggestsCooccurringFragments) {
+  QueryRecommender rec;
+  // Users filtering by region usually also aggregate revenue.
+  for (int i = 0; i < 8; ++i) {
+    rec.AddQueryLog({"WHERE region", "AVG(revenue)"});
+  }
+  rec.AddQueryLog({"WHERE region", "COUNT(*)"});
+  rec.AddQueryLog({"WHERE product", "AVG(revenue)"});
+  auto suggestions = rec.Suggest({"WHERE region"}, 2);
+  ASSERT_EQ(suggestions.size(), 2u);
+  EXPECT_EQ(suggestions[0].fragment, "AVG(revenue)");
+  EXPECT_NEAR(suggestions[0].confidence, 8.0 / 9.0, 1e-9);
+  EXPECT_EQ(suggestions[1].fragment, "COUNT(*)");
+}
+
+TEST(QueryRecommenderTest, EmptyPrefixGivesPopularity) {
+  QueryRecommender rec;
+  rec.AddQueryLog({"a", "b"});
+  rec.AddQueryLog({"a"});
+  rec.AddQueryLog({"c"});
+  auto popular = rec.Suggest({}, 3);
+  ASSERT_EQ(popular.size(), 3u);
+  EXPECT_EQ(popular[0].fragment, "a");
+  EXPECT_NEAR(popular[0].confidence, 2.0 / 3.0, 1e-9);
+}
+
+TEST(QueryRecommenderTest, UnseenPrefixBacksOffToPopularity) {
+  QueryRecommender rec;
+  rec.AddQueryLog({"a", "b"});
+  rec.AddQueryLog({"a", "c"});
+  auto suggestions = rec.Suggest({"never_seen"}, 2);
+  ASSERT_EQ(suggestions.size(), 2u);
+  EXPECT_EQ(suggestions[0].fragment, "a");
+}
+
+TEST(QueryRecommenderTest, NeverSuggestsChosenFragments) {
+  QueryRecommender rec;
+  rec.AddQueryLog({"a", "b", "c"});
+  rec.AddQueryLog({"a", "b"});
+  for (const auto& s : rec.Suggest({"a"}, 10)) {
+    EXPECT_NE(s.fragment, "a");
+  }
+}
+
+TEST(QueryRecommenderTest, DuplicateFragmentsInLogCollapse) {
+  QueryRecommender rec;
+  rec.AddQueryLog({"x", "x", "y"});
+  EXPECT_EQ(rec.num_fragments(), 2u);
+  auto suggestions = rec.Suggest({"x"}, 5);
+  ASSERT_EQ(suggestions.size(), 1u);
+  EXPECT_DOUBLE_EQ(suggestions[0].confidence, 1.0);
+}
+
+TEST(QueryRecommenderTest, EmptyLogHandled) {
+  QueryRecommender rec;
+  EXPECT_TRUE(rec.Suggest({"a"}, 3).empty());
+  EXPECT_TRUE(rec.PopularFragments(3).empty());
+  rec.AddQueryLog({});
+  EXPECT_EQ(rec.num_logged_queries(), 0u);
+}
+
+// ---------------------------------------------------------------- lazy cube
+
+Table NavTable() {
+  Schema schema({{"region", DataType::kString},
+                 {"product", DataType::kString},
+                 {"channel", DataType::kString},
+                 {"sales", DataType::kDouble}});
+  Table t(schema);
+  Random rng(7);
+  const char* regions[] = {"n", "s"};
+  const char* products[] = {"a", "b", "c"};
+  const char* channels[] = {"web", "store"};
+  for (int i = 0; i < 1200; ++i) {
+    EXPECT_TRUE(t.AppendRow({Value(regions[rng.Uniform(2)]),
+                             Value(products[rng.Uniform(3)]),
+                             Value(channels[rng.Uniform(2)]),
+                             Value(rng.NextDouble() * 10)})
+                    .ok());
+  }
+  return t;
+}
+
+TEST(LazyCubeTest, MaterializesOnlyWhatIsTouched) {
+  Table t = NavTable();
+  auto cube = LazyCube::Create(&t, {0, 1, 2}, 3, AggKind::kSum);
+  ASSERT_TRUE(cube.ok());
+  LazyCube lazy = std::move(cube).ValueOrDie();
+  EXPECT_EQ(lazy.materialized_cuboids(), 0u);
+  ASSERT_TRUE(lazy.Cuboid({0}).ok());
+  EXPECT_EQ(lazy.materialized_cuboids(), 1u);
+  EXPECT_EQ(lazy.rows_scanned(), t.num_rows());
+  // Re-access is free.
+  ASSERT_TRUE(lazy.Cuboid({0}).ok());
+  EXPECT_EQ(lazy.rows_scanned(), t.num_rows());
+}
+
+TEST(LazyCubeTest, AgreesWithEagerDataCube) {
+  Table t = NavTable();
+  auto lazy_result = LazyCube::Create(&t, {0, 1}, 3, AggKind::kSum);
+  auto eager_result = DataCube::Build(t, {0, 1}, 3, AggKind::kSum);
+  ASSERT_TRUE(lazy_result.ok());
+  ASSERT_TRUE(eager_result.ok());
+  LazyCube lazy = std::move(lazy_result).ValueOrDie();
+  for (const std::vector<size_t>& dims :
+       std::vector<std::vector<size_t>>{{}, {0}, {1}, {0, 1}}) {
+    auto a = lazy.Cuboid(dims);
+    auto b = eager_result.ValueOrDie().Cuboid(dims);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a.ValueOrDie().size(), b.ValueOrDie().size());
+    for (size_t i = 0; i < a.ValueOrDie().size(); ++i) {
+      EXPECT_EQ(a.ValueOrDie()[i].coords, b.ValueOrDie()[i].coords);
+      EXPECT_NEAR(a.ValueOrDie()[i].value, b.ValueOrDie()[i].value, 1e-9);
+    }
+  }
+}
+
+TEST(LazyCubeTest, ValidatesInput) {
+  Table t = NavTable();
+  EXPECT_FALSE(LazyCube::Create(nullptr, {0}, 3, AggKind::kSum).ok());
+  EXPECT_FALSE(LazyCube::Create(&t, {}, 3, AggKind::kSum).ok());
+  EXPECT_FALSE(LazyCube::Create(&t, {3}, 3, AggKind::kSum).ok());  // numeric
+  EXPECT_FALSE(LazyCube::Create(&t, {0}, 0, AggKind::kAvg).ok());  // string
+  auto cube = LazyCube::Create(&t, {0}, 3, AggKind::kSum);
+  ASSERT_TRUE(cube.ok());
+  EXPECT_FALSE(cube.ValueOrDie().Cuboid({9}).ok());
+}
+
+TEST(CubeNavigatorTest, SpeculationMakesMovesHits) {
+  Table t = NavTable();
+  auto cube = LazyCube::Create(&t, {0, 1, 2}, 3, AggKind::kAvg);
+  ASSERT_TRUE(cube.ok());
+  LazyCube lazy = std::move(cube).ValueOrDie();
+  CubeNavigator nav(&lazy, /*speculation_budget=*/3);
+  // Start at the apex; think-time speculation preloads the 1-dim cuboids.
+  auto apex = nav.Current();
+  ASSERT_TRUE(apex.ok());
+  EXPECT_EQ(apex.ValueOrDie().cells.size(), 1u);
+  nav.ThinkTime();
+  auto drill = nav.DrillDown(1);
+  ASSERT_TRUE(drill.ok());
+  EXPECT_TRUE(drill.ValueOrDie().was_materialized)
+      << "the speculator should have preloaded this cuboid";
+  EXPECT_EQ(drill.ValueOrDie().cells.size(), 3u);  // products a, b, c
+  EXPECT_GT(nav.speculative_materializations(), 0u);
+}
+
+TEST(CubeNavigatorTest, DrillAndRollValidation) {
+  Table t = NavTable();
+  auto cube = LazyCube::Create(&t, {0, 1}, 3, AggKind::kSum);
+  ASSERT_TRUE(cube.ok());
+  LazyCube lazy = std::move(cube).ValueOrDie();
+  CubeNavigator nav(&lazy, 0);
+  EXPECT_FALSE(nav.RollUp(0).ok());          // not grouped yet
+  ASSERT_TRUE(nav.DrillDown(0).ok());
+  EXPECT_FALSE(nav.DrillDown(0).ok());       // already grouped
+  EXPECT_FALSE(nav.DrillDown(9).ok());       // out of range
+  ASSERT_TRUE(nav.RollUp(0).ok());
+  EXPECT_TRUE(nav.grouping().empty());
+}
+
+TEST(CubeNavigatorTest, WithoutSpeculationEveryFirstVisitMisses) {
+  Table t = NavTable();
+  auto cube = LazyCube::Create(&t, {0, 1}, 3, AggKind::kSum);
+  ASSERT_TRUE(cube.ok());
+  LazyCube lazy = std::move(cube).ValueOrDie();
+  CubeNavigator nav(&lazy, /*speculation_budget=*/0);
+  ASSERT_TRUE(nav.Current().ok());
+  ASSERT_TRUE(nav.DrillDown(0).ok());
+  ASSERT_TRUE(nav.DrillDown(1).ok());
+  EXPECT_EQ(nav.hits(), 0u);
+  EXPECT_EQ(nav.moves(), 3u);
+}
+
+// ---------------------------------------------------------------- gestures
+
+Table CanvasTable(size_t n) {
+  Schema schema({{"v", DataType::kDouble}});
+  Table t(schema);
+  t.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    t.mutable_column(0)->AppendDouble(static_cast<double>(i));
+  }
+  return t;
+}
+
+TEST(TouchCanvasTest, TapSummarizesOneSlice) {
+  Table t = CanvasTable(1000);
+  auto canvas = TouchCanvas::Create(&t, 0, 10);
+  ASSERT_TRUE(canvas.ok());
+  TouchCanvas c = std::move(canvas).ValueOrDie();
+  auto tap = c.Tap(0.05);  // first slice: rows [0, 100)
+  ASSERT_TRUE(tap.ok());
+  EXPECT_EQ(tap.ValueOrDie().rows, 100u);
+  EXPECT_DOUBLE_EQ(tap.ValueOrDie().min, 0.0);
+  EXPECT_DOUBLE_EQ(tap.ValueOrDie().max, 99.0);
+  EXPECT_DOUBLE_EQ(tap.ValueOrDie().avg, 49.5);
+  EXPECT_EQ(c.rows_touched(), 100u);
+}
+
+TEST(TouchCanvasTest, SwipeTouchesOnlyCoveredSlices) {
+  Table t = CanvasTable(1000);
+  auto canvas = TouchCanvas::Create(&t, 0, 10);
+  ASSERT_TRUE(canvas.ok());
+  TouchCanvas c = std::move(canvas).ValueOrDie();
+  auto swipe = c.Swipe(0.25, 0.55);  // slices 2, 3, 4, 5
+  ASSERT_TRUE(swipe.ok());
+  EXPECT_EQ(swipe.ValueOrDie().size(), 4u);
+  EXPECT_EQ(c.rows_touched(), 400u)
+      << "only the covered slices may be processed";
+}
+
+TEST(TouchCanvasTest, ReverseSwipeFollowsFinger) {
+  Table t = CanvasTable(100);
+  auto canvas = TouchCanvas::Create(&t, 0, 10);
+  ASSERT_TRUE(canvas.ok());
+  TouchCanvas c = std::move(canvas).ValueOrDie();
+  auto swipe = c.Swipe(0.95, 0.65);
+  ASSERT_TRUE(swipe.ok());
+  ASSERT_EQ(swipe.ValueOrDie().size(), 4u);
+  EXPECT_GT(swipe.ValueOrDie()[0].slice, swipe.ValueOrDie()[3].slice);
+}
+
+TEST(TouchCanvasTest, PinchZoomsAndSpreadRestores) {
+  Table t = CanvasTable(1000);
+  auto canvas = TouchCanvas::Create(&t, 0, 10);
+  ASSERT_TRUE(canvas.ok());
+  TouchCanvas c = std::move(canvas).ValueOrDie();
+  ASSERT_TRUE(c.Pinch(0.2, 0.4).ok());  // zoom into rows [200, 400)
+  EXPECT_EQ(c.view_begin(), 200u);
+  EXPECT_EQ(c.view_end(), 400u);
+  auto tap = c.Tap(0.0);  // first slice of the zoomed view: rows [200, 220)
+  ASSERT_TRUE(tap.ok());
+  EXPECT_DOUBLE_EQ(tap.ValueOrDie().min, 200.0);
+  EXPECT_EQ(tap.ValueOrDie().rows, 20u);
+  c.Spread();
+  EXPECT_EQ(c.view_begin(), 0u);
+  EXPECT_EQ(c.view_end(), 1000u);
+}
+
+TEST(TouchCanvasTest, CoordinatesClampedAndValidated) {
+  Table t = CanvasTable(100);
+  auto canvas = TouchCanvas::Create(&t, 0, 10);
+  ASSERT_TRUE(canvas.ok());
+  TouchCanvas c = std::move(canvas).ValueOrDie();
+  EXPECT_TRUE(c.Tap(-5.0).ok());   // clamps to slice 0
+  EXPECT_TRUE(c.Tap(99.0).ok());   // clamps to last slice
+  EXPECT_FALSE(c.Tap(std::nan("")).ok());
+  EXPECT_FALSE(c.Pinch(0.3, 0.3).ok());
+}
+
+TEST(TouchCanvasTest, CreateValidation) {
+  Table t = CanvasTable(10);
+  EXPECT_FALSE(TouchCanvas::Create(nullptr, 0, 4).ok());
+  EXPECT_FALSE(TouchCanvas::Create(&t, 7, 4).ok());
+  EXPECT_FALSE(TouchCanvas::Create(&t, 0, 0).ok());
+  Schema schema({{"s", DataType::kString}});
+  Table ts(schema);
+  ASSERT_TRUE(ts.AppendRow({Value("x")}).ok());
+  EXPECT_FALSE(TouchCanvas::Create(&ts, 0, 4).ok());
+  Table empty(Schema({{"v", DataType::kDouble}}));
+  EXPECT_FALSE(TouchCanvas::Create(&empty, 0, 4).ok());
+}
+
+}  // namespace
+}  // namespace exploredb

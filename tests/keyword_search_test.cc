@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "explore/keyword_search.h"
+
+namespace exploredb {
+namespace {
+
+Table Movies() {
+  Schema schema({{"title", DataType::kString},
+                 {"genre", DataType::kString},
+                 {"year", DataType::kInt64}});
+  Table t(schema);
+  auto add = [&](const char* title, const char* genre, int64_t year) {
+    ASSERT_TRUE(t.AppendRow({Value(title), Value(genre), Value(year)}).ok());
+  };
+  add("The Matrix", "science fiction", 1999);
+  add("Matrix Reloaded", "science fiction", 2003);
+  add("Blade Runner", "science fiction noir", 1982);
+  add("The Godfather", "crime drama", 1972);
+  add("Goodfellas", "crime drama", 1990);
+  add("Spirited Away", "animation fantasy", 2001);
+  return t;
+}
+
+TEST(TokenizeTest, LowercasesAndSplitsOnNonAlnum) {
+  auto tokens = KeywordIndex::Tokenize("The-Matrix (1999)!");
+  EXPECT_EQ(tokens,
+            (std::vector<std::string>{"the", "matrix", "1999"}));
+  EXPECT_TRUE(KeywordIndex::Tokenize("  ,,  ").empty());
+}
+
+TEST(KeywordSearchTest, FindsRowsByKeyword) {
+  Table t = Movies();
+  auto built = KeywordIndex::Build(&t);
+  ASSERT_TRUE(built.ok());
+  const KeywordIndex& index = built.ValueOrDie();
+  auto results = index.Search("matrix");
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].row, 0u);
+  EXPECT_EQ(results[1].row, 1u);
+}
+
+TEST(KeywordSearchTest, RanksRareTermsAboveCommonOnes) {
+  Table t = Movies();
+  auto index = KeywordIndex::Build(&t).ValueOrDie();
+  // "noir" appears once, "crime" twice: a row matching the rare term plus a
+  // common one outranks a row matching only common terms.
+  auto results = index.Search("noir crime");
+  ASSERT_GE(results.size(), 3u);
+  EXPECT_EQ(results[0].row, 2u);  // Blade Runner (noir)
+}
+
+TEST(KeywordSearchTest, MultiKeywordAccumulatesScore) {
+  Table t = Movies();
+  auto index = KeywordIndex::Build(&t).ValueOrDie();
+  auto results = index.Search("science fiction");
+  ASSERT_EQ(results.size(), 3u);
+  // All three sci-fi rows match both words; equal scores, row-id order.
+  EXPECT_EQ(results[0].matched.size(), 2u);
+  EXPECT_DOUBLE_EQ(results[0].score, results[1].score);
+}
+
+TEST(KeywordSearchTest, SearchAllRequiresEveryKeyword) {
+  Table t = Movies();
+  auto index = KeywordIndex::Build(&t).ValueOrDie();
+  auto any = index.Search("matrix drama");
+  auto all = index.SearchAll("matrix drama");
+  EXPECT_EQ(any.size(), 4u);   // 2 matrix rows + 2 drama rows
+  EXPECT_TRUE(all.empty());    // nothing is both
+  auto both = index.SearchAll("crime drama");
+  EXPECT_EQ(both.size(), 2u);
+}
+
+TEST(KeywordSearchTest, UnknownKeywordsYieldNothing) {
+  Table t = Movies();
+  auto index = KeywordIndex::Build(&t).ValueOrDie();
+  EXPECT_TRUE(index.Search("zzzzz").empty());
+  EXPECT_DOUBLE_EQ(index.Idf("zzzzz"), 0.0);
+  EXPECT_GT(index.Idf("matrix"), 0.0);
+}
+
+TEST(KeywordSearchTest, LimitTruncates) {
+  Table t = Movies();
+  auto index = KeywordIndex::Build(&t).ValueOrDie();
+  EXPECT_EQ(index.Search("the matrix crime science", 2).size(), 2u);
+}
+
+TEST(KeywordSearchTest, DuplicateQueryTermsCountOnce) {
+  Table t = Movies();
+  auto index = KeywordIndex::Build(&t).ValueOrDie();
+  auto once = index.Search("matrix");
+  auto twice = index.Search("matrix matrix");
+  ASSERT_EQ(once.size(), twice.size());
+  EXPECT_DOUBLE_EQ(once[0].score, twice[0].score);
+}
+
+TEST(KeywordSearchTest, NumericColumnsAreIgnored) {
+  Table t = Movies();
+  auto index = KeywordIndex::Build(&t).ValueOrDie();
+  // 1999 appears in the int64 year column but not in any string cell of
+  // row 0's title... it does appear in no string column at all.
+  EXPECT_TRUE(index.Search("1972").empty());
+}
+
+TEST(KeywordSearchTest, NullTableRejected) {
+  EXPECT_FALSE(KeywordIndex::Build(nullptr).ok());
+}
+
+}  // namespace
+}  // namespace exploredb

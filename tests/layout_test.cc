@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "layout/adaptive_store.h"
+#include "layout/cost_model.h"
+#include "layout/layouts.h"
+
+namespace exploredb {
+namespace {
+
+std::vector<std::vector<double>> MakeColumns(size_t rows, size_t cols,
+                                             uint64_t seed) {
+  Random rng(seed);
+  std::vector<std::vector<double>> out(cols, std::vector<double>(rows));
+  for (auto& col : out) {
+    for (double& v : col) v = rng.NextDouble();
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- layouts
+
+TEST(LayoutsTest, AllLayoutsAgreeOnResults) {
+  auto cols = MakeColumns(500, 6, 3);
+  std::vector<bool> scan_cols{true, false, true, false, true, false};
+  auto row = MakeRowStore(cols);
+  auto col = MakeColumnStore(cols);
+  auto hybrid = MakeHybridStore(cols, scan_cols);
+  for (size_t r = 0; r < 500; r += 37) {
+    EXPECT_NEAR(row->FetchRow(r), col->FetchRow(r), 1e-9);
+    EXPECT_NEAR(row->FetchRow(r), hybrid->FetchRow(r), 1e-9);
+  }
+  for (size_t c = 0; c < 6; ++c) {
+    EXPECT_NEAR(row->ScanColumn(c), col->ScanColumn(c), 1e-9);
+    EXPECT_NEAR(row->ScanColumn(c), hybrid->ScanColumn(c), 1e-9);
+  }
+}
+
+TEST(LayoutsTest, KindsAndDims) {
+  auto cols = MakeColumns(10, 3, 5);
+  auto row = MakeRowStore(cols);
+  EXPECT_EQ(row->kind(), LayoutKind::kRow);
+  EXPECT_EQ(row->num_rows(), 10u);
+  EXPECT_EQ(row->num_cols(), 3u);
+  EXPECT_STREQ(LayoutKindName(LayoutKind::kHybrid), "hybrid");
+}
+
+TEST(LayoutsTest, ExecuteDispatches) {
+  auto cols = MakeColumns(100, 4, 7);
+  auto store = MakeColumnStore(cols);
+  AccessOp fetch{AccessOp::Kind::kRowFetch, 3};
+  AccessOp scan{AccessOp::Kind::kColumnScan, 2};
+  EXPECT_NEAR(store->Execute(fetch), store->FetchRow(3), 1e-12);
+  EXPECT_NEAR(store->Execute(scan), store->ScanColumn(2), 1e-12);
+}
+
+TEST(LayoutsTest, HybridAllColumnarEqualsColumnStore) {
+  auto cols = MakeColumns(200, 4, 9);
+  auto hybrid = MakeHybridStore(cols, {true, true, true, true});
+  auto col = MakeColumnStore(cols);
+  for (size_t c = 0; c < 4; ++c) {
+    EXPECT_NEAR(hybrid->ScanColumn(c), col->ScanColumn(c), 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------- cost model
+
+TEST(CostModelTest, RowLayoutWinsRowFetchColumnWinsScan) {
+  LayoutCostModel model(100000, 16);
+  std::vector<bool> none(16, false);
+  EXPECT_LT(model.RowFetchCost(LayoutKind::kRow, none),
+            model.RowFetchCost(LayoutKind::kColumn, none));
+  EXPECT_LT(model.ColumnScanCost(LayoutKind::kColumn, 0, none),
+            model.ColumnScanCost(LayoutKind::kRow, 0, none));
+}
+
+TEST(CostModelTest, HybridBetweenExtremes) {
+  LayoutCostModel model(100000, 16);
+  std::vector<bool> half(16, false);
+  for (size_t i = 0; i < 8; ++i) half[i] = true;
+  double h_fetch = model.RowFetchCost(LayoutKind::kHybrid, half);
+  EXPECT_GE(h_fetch, model.RowFetchCost(LayoutKind::kRow, half));
+  EXPECT_LE(h_fetch, model.RowFetchCost(LayoutKind::kColumn, half));
+  // Columnar member of the hybrid scans at column-store speed.
+  EXPECT_DOUBLE_EQ(model.ColumnScanCost(LayoutKind::kHybrid, 0, half),
+                   model.ColumnScanCost(LayoutKind::kColumn, 0, half));
+}
+
+TEST(CostModelTest, WorkloadCostWeighsMix) {
+  LayoutCostModel model(10000, 8);
+  WorkloadProfile scans;
+  scans.column_scans.assign(8, 0);
+  scans.column_scans[0] = 100;
+  std::vector<bool> none(8, false);
+  EXPECT_LT(model.WorkloadCost(LayoutKind::kColumn, scans, none),
+            model.WorkloadCost(LayoutKind::kRow, scans, none));
+
+  WorkloadProfile fetches;
+  fetches.column_scans.assign(8, 0);
+  fetches.row_fetches = 100;
+  EXPECT_LT(model.WorkloadCost(LayoutKind::kRow, fetches, none),
+            model.WorkloadCost(LayoutKind::kColumn, fetches, none));
+}
+
+TEST(CostModelTest, ReorganizationCostPositive) {
+  LayoutCostModel model(1000, 4);
+  EXPECT_GT(model.ReorganizationCost(), 0.0);
+}
+
+TEST(WorkloadProfileTest, TotalsAndClear) {
+  WorkloadProfile p;
+  p.column_scans = {1, 2, 3};
+  p.row_fetches = 4;
+  EXPECT_EQ(p.TotalScans(), 6u);
+  EXPECT_EQ(p.TotalOps(), 10u);
+  p.Clear();
+  EXPECT_EQ(p.TotalOps(), 0u);
+  EXPECT_EQ(p.column_scans.size(), 3u);
+}
+
+// ---------------------------------------------------------------- adaptive
+
+TEST(AdaptiveStoreTest, SwitchesToRowUnderFetchWorkload) {
+  AdaptiveStore store(MakeColumns(20000, 16, 11), /*window=*/500);
+  EXPECT_EQ(store.active_layout(), LayoutKind::kColumn);
+  Random rng(13);
+  for (int i = 0; i < 2000; ++i) {
+    store.Execute({AccessOp::Kind::kRowFetch, rng.Uniform(20000)});
+  }
+  EXPECT_EQ(store.active_layout(), LayoutKind::kRow);
+  EXPECT_GE(store.reorganizations(), 1u);
+}
+
+TEST(AdaptiveStoreTest, StaysColumnarUnderScans) {
+  AdaptiveStore store(MakeColumns(20000, 16, 15), /*window=*/500);
+  Random rng(17);
+  for (int i = 0; i < 2000; ++i) {
+    store.Execute({AccessOp::Kind::kColumnScan, rng.Uniform(16)});
+  }
+  EXPECT_EQ(store.active_layout(), LayoutKind::kColumn);
+  EXPECT_EQ(store.reorganizations(), 0u);
+}
+
+TEST(AdaptiveStoreTest, AdaptsBackAfterWorkloadShift) {
+  AdaptiveStore store(MakeColumns(20000, 16, 19), /*window=*/500);
+  Random rng(21);
+  for (int i = 0; i < 1500; ++i) {
+    store.Execute({AccessOp::Kind::kRowFetch, rng.Uniform(20000)});
+  }
+  ASSERT_EQ(store.active_layout(), LayoutKind::kRow);
+  for (int i = 0; i < 1500; ++i) {
+    store.Execute({AccessOp::Kind::kColumnScan, rng.Uniform(16)});
+  }
+  EXPECT_EQ(store.active_layout(), LayoutKind::kColumn);
+  EXPECT_GE(store.reorganizations(), 2u);
+}
+
+TEST(AdaptiveStoreTest, ResultsUnaffectedByAdaptation) {
+  auto cols = MakeColumns(5000, 8, 23);
+  AdaptiveStore store(cols, /*window=*/200);
+  auto reference = MakeColumnStore(cols);
+  Random rng(25);
+  for (int i = 0; i < 1200; ++i) {
+    if (rng.Uniform(2) == 0) {
+      size_t r = rng.Uniform(5000);
+      ASSERT_NEAR(store.Execute({AccessOp::Kind::kRowFetch, r}),
+                  reference->FetchRow(r), 1e-9);
+    } else {
+      size_t c = rng.Uniform(8);
+      ASSERT_NEAR(store.Execute({AccessOp::Kind::kColumnScan, c}),
+                  reference->ScanColumn(c), 1e-9);
+    }
+  }
+}
+
+TEST(AdaptiveStoreTest, HistoryRecordsDecisions) {
+  AdaptiveStore store(MakeColumns(1000, 4, 27), /*window=*/100);
+  for (int i = 0; i < 250; ++i) {
+    store.Execute({AccessOp::Kind::kColumnScan, 0});
+  }
+  EXPECT_EQ(store.history().size(), 2u);  // two full windows
+}
+
+}  // namespace
+}  // namespace exploredb

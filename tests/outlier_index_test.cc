@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "sampling/outlier_index.h"
+
+namespace exploredb {
+namespace {
+
+/// Heavy-tailed workload: mostly small values plus rare huge spikes — the
+/// regime where plain uniform sampling fails for SUM.
+std::vector<double> HeavyTailed(size_t n, uint64_t seed, double* true_sum) {
+  Random rng(seed);
+  std::vector<double> v(n);
+  *true_sum = 0;
+  for (double& x : v) {
+    x = rng.NextDouble();                      // base mass
+    if (rng.Uniform(1000) == 0) x += 10'000;   // rare spike
+    *true_sum += x;
+  }
+  return v;
+}
+
+TEST(OutlierIndexTest, BuildValidation) {
+  EXPECT_FALSE(OutlierIndexedSample::Build({}, 1, 1).ok());
+  EXPECT_FALSE(OutlierIndexedSample::Build({1.0}, 0, 1).ok());
+  EXPECT_FALSE(OutlierIndexedSample::Build({1.0}, 1, 0).ok());
+}
+
+TEST(OutlierIndexTest, ExactWhenBudgetsCoverEverything) {
+  std::vector<double> v{1, 2, 3, 4, 100};
+  auto s = OutlierIndexedSample::Build(v, 5, 5);
+  ASSERT_TRUE(s.ok());
+  Estimate e = s.ValueOrDie().EstimateSum();
+  EXPECT_DOUBLE_EQ(e.value, 110.0);
+  EXPECT_DOUBLE_EQ(e.ci_half_width, 0.0);  // everything exact or fully sampled
+  Estimate avg = s.ValueOrDie().EstimateAvg();
+  EXPECT_DOUBLE_EQ(avg.value, 22.0);
+}
+
+TEST(OutlierIndexTest, CapturesTheSpikes) {
+  double true_sum = 0;
+  auto v = HeavyTailed(100'000, 3, &true_sum);
+  auto s = OutlierIndexedSample::Build(v, /*outliers=*/200, /*sample=*/1000);
+  ASSERT_TRUE(s.ok());
+  // ~100 spikes expected; the 200-slot outlier set must hold all of them.
+  EXPECT_EQ(s.ValueOrDie().outliers_kept(), 200u);
+  Estimate e = s.ValueOrDie().EstimateSum();
+  EXPECT_NEAR(e.value, true_sum, true_sum * 0.02);
+}
+
+// Property: at equal storage budgets, the outlier-indexed estimate beats
+// plain uniform sampling on heavy-tailed sums, across seeds.
+class OutlierVsUniform : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OutlierVsUniform, LowerErrorOnHeavyTails) {
+  double true_sum = 0;
+  auto v = HeavyTailed(200'000, GetParam(), &true_sum);
+  const size_t outliers = 400, sample = 1600;
+  double outlier_err = 0, uniform_err = 0;
+  for (uint64_t rep = 0; rep < 5; ++rep) {
+    auto s = OutlierIndexedSample::Build(v, outliers, sample,
+                                         GetParam() * 100 + rep);
+    ASSERT_TRUE(s.ok());
+    outlier_err +=
+        std::abs(s.ValueOrDie().EstimateSum().value - true_sum);
+    uniform_err += std::abs(
+        OutlierIndexedSample::UniformSumEstimate(v, outliers + sample,
+                                                 GetParam() * 100 + rep)
+            .value -
+        true_sum);
+  }
+  EXPECT_LT(outlier_err * 3, uniform_err)
+      << "outlier indexing should cut heavy-tail SUM error by >3x";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OutlierVsUniform,
+                         ::testing::Values(11, 13, 17, 19));
+
+TEST(OutlierIndexTest, CiCoversSampledPartOnly) {
+  double true_sum = 0;
+  auto v = HeavyTailed(50'000, 23, &true_sum);
+  auto s = OutlierIndexedSample::Build(v, 100, 500);
+  ASSERT_TRUE(s.ok());
+  Estimate e = s.ValueOrDie().EstimateSum();
+  EXPECT_GT(e.ci_half_width, 0.0);
+  // Spikes are exact, so the CI should be small relative to the total.
+  EXPECT_LT(e.ci_half_width, true_sum * 0.05);
+}
+
+TEST(OutlierIndexTest, WellBehavedDataNoWorseThanUniform) {
+  // On Gaussian data the outlier set buys little, but must not hurt much.
+  Random rng(29);
+  std::vector<double> v(100'000);
+  double true_sum = 0;
+  for (double& x : v) {
+    x = 50 + rng.NextGaussian() * 10;
+    true_sum += x;
+  }
+  double outlier_err = 0, uniform_err = 0;
+  for (uint64_t rep = 0; rep < 10; ++rep) {
+    auto s = OutlierIndexedSample::Build(v, 200, 800, 1000 + rep);
+    ASSERT_TRUE(s.ok());
+    outlier_err += std::abs(s.ValueOrDie().EstimateSum().value - true_sum);
+    uniform_err += std::abs(
+        OutlierIndexedSample::UniformSumEstimate(v, 1000, 1000 + rep).value -
+        true_sum);
+  }
+  EXPECT_LT(outlier_err, uniform_err * 2.0);
+}
+
+}  // namespace
+}  // namespace exploredb

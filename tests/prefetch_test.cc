@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "prefetch/markov.h"
+#include "prefetch/query_cache.h"
+#include "prefetch/semantic_window.h"
+#include "prefetch/speculator.h"
+
+namespace exploredb {
+namespace {
+
+// ---------------------------------------------------------------- cache
+
+TEST(QueryCacheTest, MissThenHit) {
+  QueryResultCache cache(4);
+  EXPECT_FALSE(cache.Get("q1").has_value());
+  cache.Put("q1", {1, 2, 3});
+  auto hit = cache.Get("q1");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->size(), 3u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(QueryCacheTest, EvictsLeastRecentlyUsed) {
+  QueryResultCache cache(2);
+  cache.Put("a", {1});
+  cache.Put("b", {2});
+  cache.Get("a");      // refresh a; b becomes LRU
+  cache.Put("c", {3});  // evicts b
+  EXPECT_TRUE(cache.Get("a").has_value());
+  EXPECT_FALSE(cache.Get("b").has_value());
+  EXPECT_TRUE(cache.Get("c").has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(QueryCacheTest, PutRefreshesExisting) {
+  QueryResultCache cache(2);
+  cache.Put("a", {1});
+  cache.Put("b", {2});
+  cache.Put("a", {9});  // refresh, not insert
+  cache.Put("c", {3});  // should evict b, not a
+  auto a = cache.Get("a");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ((*a)[0], 9u);
+  EXPECT_FALSE(cache.Get("b").has_value());
+}
+
+TEST(QueryCacheTest, ContainsDoesNotTouchStats) {
+  QueryResultCache cache(2);
+  cache.Put("a", {1});
+  EXPECT_TRUE(cache.Contains("a"));
+  EXPECT_FALSE(cache.Contains("z"));
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(QueryCacheTest, HitRate) {
+  QueryResultCache cache(4);
+  cache.Put("a", {});
+  cache.Get("a");
+  cache.Get("b");
+  EXPECT_DOUBLE_EQ(cache.stats().HitRate(), 0.5);
+}
+
+// ---------------------------------------------------------------- tiles
+
+TEST(TileTest, KeyIsStable) {
+  EXPECT_EQ((Tile{3, -4}.Key()), "tile:3:-4");
+}
+
+TEST(TileViewportTest, TilesEnumerated) {
+  TileViewport vp{1, 1, 2, 3};
+  auto tiles = vp.Tiles();
+  EXPECT_EQ(tiles.size(), 6u);
+  EXPECT_TRUE(vp.Contains({2, 3}));
+  EXPECT_FALSE(vp.Contains({0, 1}));
+}
+
+TEST(SemanticWindowTest, MomentumPredictsPanDirection) {
+  SemanticWindowPrefetcher prefetcher(100, 100);
+  prefetcher.Observe({10, 10, 12, 12});
+  prefetcher.Observe({11, 10, 13, 12});  // panning +x
+  auto tiles = prefetcher.PredictNext(6);
+  ASSERT_FALSE(tiles.empty());
+  // The first predictions must be the uncovered band to the right (x == 14).
+  EXPECT_EQ(tiles[0].x, 14);
+}
+
+TEST(SemanticWindowTest, NoHistoryNoPrediction) {
+  SemanticWindowPrefetcher prefetcher(10, 10);
+  EXPECT_TRUE(prefetcher.PredictNext(4).empty());
+}
+
+TEST(SemanticWindowTest, StationaryViewportRingOnly) {
+  SemanticWindowPrefetcher prefetcher(100, 100);
+  prefetcher.Observe({5, 5, 6, 6});
+  prefetcher.Observe({5, 5, 6, 6});
+  auto tiles = prefetcher.PredictNext(100);
+  // Ring around a 2x2 viewport = 12 tiles.
+  EXPECT_EQ(tiles.size(), 12u);
+  for (const Tile& t : tiles) {
+    EXPECT_FALSE((TileViewport{5, 5, 6, 6}.Contains(t)));
+  }
+}
+
+TEST(SemanticWindowTest, RespectsGridBounds) {
+  SemanticWindowPrefetcher prefetcher(8, 8);
+  prefetcher.Observe({0, 0, 1, 1});
+  auto tiles = prefetcher.PredictNext(100);
+  for (const Tile& t : tiles) {
+    EXPECT_GE(t.x, 0);
+    EXPECT_GE(t.y, 0);
+    EXPECT_LT(t.x, 8);
+    EXPECT_LT(t.y, 8);
+  }
+}
+
+TEST(SemanticWindowTest, BudgetHonored) {
+  SemanticWindowPrefetcher prefetcher(100, 100);
+  prefetcher.Observe({50, 50, 52, 52});
+  EXPECT_LE(prefetcher.PredictNext(3).size(), 3u);
+}
+
+TEST(SemanticWindowTest, NoDuplicatePredictions) {
+  SemanticWindowPrefetcher prefetcher(100, 100);
+  prefetcher.Observe({10, 10, 12, 12});
+  prefetcher.Observe({12, 12, 14, 14});  // diagonal pan
+  auto tiles = prefetcher.PredictNext(50);
+  std::set<std::pair<int, int>> seen;
+  for (const Tile& t : tiles) {
+    EXPECT_TRUE(seen.insert({t.x, t.y}).second) << t.Key();
+  }
+}
+
+// ---------------------------------------------------------------- markov
+
+TEST(MarkovTest, PredictsMostFrequentSuccessor) {
+  MarkovPredictor model;
+  for (int i = 0; i < 5; ++i) model.Observe("a", "b");
+  model.Observe("a", "c");
+  auto next = model.PredictNext("a", 2);
+  ASSERT_EQ(next.size(), 2u);
+  EXPECT_EQ(next[0], "b");
+  EXPECT_EQ(next[1], "c");
+}
+
+TEST(MarkovTest, UnknownStateEmpty) {
+  MarkovPredictor model;
+  model.Observe("a", "b");
+  EXPECT_TRUE(model.PredictNext("zzz", 3).empty());
+}
+
+TEST(MarkovTest, TrajectoryTraining) {
+  MarkovPredictor model;
+  model.ObserveTrajectory({"t1", "t2", "t3", "t2", "t3"});
+  auto next = model.PredictNext("t2", 1);
+  ASSERT_EQ(next.size(), 1u);
+  EXPECT_EQ(next[0], "t3");
+  EXPECT_EQ(model.num_states(), 3u);  // t1, t2, t3 have outgoing edges
+}
+
+TEST(MarkovTest, ProbabilitiesSmoothedAndOrdered) {
+  MarkovPredictor model;
+  for (int i = 0; i < 9; ++i) model.Observe("s", "x");
+  model.Observe("s", "y");
+  double px = model.TransitionProbability("s", "x");
+  double py = model.TransitionProbability("s", "y");
+  double pz = model.TransitionProbability("s", "unseen");
+  EXPECT_GT(px, py);
+  EXPECT_GT(py, pz);
+  EXPECT_GT(pz, 0.0);  // Laplace smoothing
+  EXPECT_DOUBLE_EQ(model.TransitionProbability("nope", "x"), 0.0);
+}
+
+TEST(MarkovTest, DeterministicTieBreak) {
+  MarkovPredictor model;
+  model.Observe("a", "z");
+  model.Observe("a", "b");
+  auto next = model.PredictNext("a", 2);
+  ASSERT_EQ(next.size(), 2u);
+  EXPECT_EQ(next[0], "b");  // equal counts -> lexicographic
+}
+
+// ---------------------------------------------------------------- speculator
+
+TEST(SpeculatorTest, RunsHighestUtilityFirst) {
+  Speculator spec;
+  std::vector<std::string> ran;
+  spec.Enqueue("low", 0.1, [&] { ran.push_back("low"); });
+  spec.Enqueue("high", 0.9, [&] { ran.push_back("high"); });
+  spec.Enqueue("mid", 0.5, [&] { ran.push_back("mid"); });
+  EXPECT_EQ(spec.RunIdle(2), 2u);
+  ASSERT_EQ(ran.size(), 2u);
+  EXPECT_EQ(ran[0], "high");
+  EXPECT_EQ(ran[1], "mid");
+  EXPECT_EQ(spec.pending(), 1u);
+}
+
+TEST(SpeculatorTest, DeduplicatesKeys) {
+  Speculator spec;
+  int count = 0;
+  spec.Enqueue("k", 0.5, [&] { ++count; });
+  spec.Enqueue("k", 0.9, [&] { ++count; });  // ignored
+  spec.RunIdle(10);
+  EXPECT_EQ(count, 1);
+}
+
+TEST(SpeculatorTest, ExecutedKeysStayKnown) {
+  Speculator spec;
+  int count = 0;
+  spec.Enqueue("k", 0.5, [&] { ++count; });
+  spec.RunIdle(1);
+  spec.Enqueue("k", 0.5, [&] { ++count; });  // already executed: ignored
+  spec.RunIdle(1);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(spec.executed(), 1u);
+}
+
+TEST(SpeculatorTest, ClearDropsPendingButAllowsRequeue) {
+  Speculator spec;
+  int count = 0;
+  spec.Enqueue("k", 0.5, [&] { ++count; });
+  spec.Clear();
+  EXPECT_EQ(spec.pending(), 0u);
+  spec.Enqueue("k", 0.5, [&] { ++count; });
+  spec.RunIdle(1);
+  EXPECT_EQ(count, 1);
+}
+
+TEST(SpeculatorTest, BudgetZeroRunsNothing) {
+  Speculator spec;
+  int count = 0;
+  spec.Enqueue("k", 0.5, [&] { ++count; });
+  EXPECT_EQ(spec.RunIdle(0), 0u);
+  EXPECT_EQ(count, 0);
+}
+
+}  // namespace
+}  // namespace exploredb

@@ -1,0 +1,234 @@
+// Tests for imprecise-query refinement and VizDeck dashboard ranking.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "explore/imprecise.h"
+#include "viz/vizdeck.h"
+
+namespace exploredb {
+namespace {
+
+// ---------------------------------------------------------------- imprecise
+
+Table MeasurementTable(size_t n, uint64_t seed) {
+  Schema schema({{"x", DataType::kDouble}, {"y", DataType::kDouble}});
+  Table t(schema);
+  Random rng(seed);
+  t.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    t.mutable_column(0)->AppendDouble(rng.NextDouble() * 100);
+    t.mutable_column(1)->AppendDouble(rng.NextDouble() * 100);
+  }
+  return t;
+}
+
+TEST(ImpreciseQueryTest, CreateValidation) {
+  Table t = MeasurementTable(10, 1);
+  EXPECT_FALSE(ImpreciseQuery::Create(nullptr, {{0, 0, 1}}).ok());
+  EXPECT_FALSE(ImpreciseQuery::Create(&t, {}).ok());
+  EXPECT_FALSE(ImpreciseQuery::Create(&t, {{9, 0, 1}}).ok());
+  EXPECT_FALSE(ImpreciseQuery::Create(&t, {{0, 5, 1}}).ok());  // lo > hi
+  Schema schema({{"s", DataType::kString}});
+  Table ts(schema);
+  ASSERT_TRUE(ts.AppendRow({Value("a")}).ok());
+  EXPECT_FALSE(ImpreciseQuery::Create(&ts, {{0, 0, 1}}).ok());
+}
+
+TEST(ImpreciseQueryTest, PredicateReflectsRanges) {
+  Table t = MeasurementTable(100, 3);
+  auto q = ImpreciseQuery::Create(&t, {{0, 20, 40}});
+  ASSERT_TRUE(q.ok());
+  Predicate p = q.ValueOrDie().CurrentPredicate();
+  auto matches = p.SelectPositions(t);
+  for (uint32_t row : matches) {
+    double v = t.column(0).GetDouble(row);
+    EXPECT_GE(v, 20.0);
+    EXPECT_LE(v, 40.0);
+  }
+}
+
+TEST(ImpreciseQueryTest, ProposalsMixCoreAndNearMiss) {
+  Table t = MeasurementTable(2000, 5);
+  auto q = ImpreciseQuery::Create(&t, {{0, 40, 60}});
+  ASSERT_TRUE(q.ok());
+  auto proposed = q.ValueOrDie().ProposeTuples(20, 0.3);
+  ASSERT_EQ(proposed.size(), 20u);
+  size_t core = 0, miss = 0;
+  for (uint32_t row : proposed) {
+    double v = t.column(0).GetDouble(row);
+    if (v >= 40 && v <= 60) {
+      ++core;
+    } else {
+      ++miss;
+      EXPECT_GE(v, 40 - 0.3 * 20 - 1e-9);
+      EXPECT_LE(v, 60 + 0.3 * 20 + 1e-9);
+    }
+  }
+  EXPECT_GT(core, 0u);
+  EXPECT_GT(miss, 0u);
+}
+
+TEST(ImpreciseQueryTest, RelevantNearMissExpandsRange) {
+  Table t = MeasurementTable(100, 7);
+  auto q_result = ImpreciseQuery::Create(&t, {{0, 40, 60}});
+  ASSERT_TRUE(q_result.ok());
+  ImpreciseQuery q = std::move(q_result).ValueOrDie();
+  // Find a tuple just above 60 and mark it relevant.
+  uint32_t outside = 0;
+  for (uint32_t row = 0; row < t.num_rows(); ++row) {
+    double v = t.column(0).GetDouble(row);
+    if (v > 60 && v < 70) {
+      outside = row;
+      break;
+    }
+  }
+  double v = t.column(0).GetDouble(outside);
+  EXPECT_GT(q.ApplyFeedback({{outside, true}}), 0u);
+  EXPECT_GE(q.ranges()[0].hi, v);
+  EXPECT_DOUBLE_EQ(q.ranges()[0].lo, 40.0);  // untouched endpoint
+}
+
+TEST(ImpreciseQueryTest, IrrelevantCoreTupleShrinksNearestEndpoint) {
+  Table t = MeasurementTable(100, 9);
+  auto q_result = ImpreciseQuery::Create(&t, {{0, 40, 60}});
+  ASSERT_TRUE(q_result.ok());
+  ImpreciseQuery q = std::move(q_result).ValueOrDie();
+  uint32_t near_hi = 0;
+  double best = -1;
+  for (uint32_t row = 0; row < t.num_rows(); ++row) {
+    double v = t.column(0).GetDouble(row);
+    if (v >= 55 && v <= 60 && v > best) {
+      best = v;
+      near_hi = row;
+    }
+  }
+  ASSERT_GT(best, 0);
+  EXPECT_GT(q.ApplyFeedback({{near_hi, false}}), 0u);
+  EXPECT_LT(q.ranges()[0].hi, best);
+  EXPECT_DOUBLE_EQ(q.ranges()[0].lo, 40.0);
+}
+
+TEST(ImpreciseQueryTest, ConvergesTowardHiddenRange) {
+  // Oracle: true interest is x in [30, 70]; start way off at [45, 50].
+  Table t = MeasurementTable(3000, 11);
+  auto q_result = ImpreciseQuery::Create(&t, {{0, 45, 50}});
+  ASSERT_TRUE(q_result.ok());
+  ImpreciseQuery q = std::move(q_result).ValueOrDie();
+  auto oracle = [&](uint32_t row) {
+    double v = t.column(0).GetDouble(row);
+    return v >= 30 && v <= 70;
+  };
+  for (int round = 0; round < 25; ++round) {
+    auto proposed = q.ProposeTuples(30, 0.4, 100 + round);
+    std::vector<TupleFeedback> feedback;
+    for (uint32_t row : proposed) feedback.push_back({row, oracle(row)});
+    q.ApplyFeedback(feedback);
+  }
+  EXPECT_NEAR(q.ranges()[0].lo, 30.0, 3.0);
+  EXPECT_NEAR(q.ranges()[0].hi, 70.0, 3.0);
+}
+
+// ---------------------------------------------------------------- vizdeck
+
+TEST(VizDeckTest, StatisticsHelpers) {
+  // Perfect linear relation.
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  std::vector<double> anti{10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, anti), -1.0, 1e-12);
+  std::vector<double> constant{3, 3, 3, 3, 3};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, constant), 0.0);
+}
+
+TEST(VizDeckTest, CategoricalInterestBehaviour) {
+  std::vector<std::string> balanced{"a", "b", "a", "b", "a", "b"};
+  std::vector<std::string> constant(6, "same");
+  std::vector<std::string> keys{"k1", "k2", "k3", "k4", "k5", "k6"};
+  EXPECT_GT(CategoricalInterest(balanced), CategoricalInterest(constant));
+  EXPECT_GT(CategoricalInterest(balanced), CategoricalInterest(keys))
+      << "all-distinct (key) columns are poor bar charts";
+  EXPECT_DOUBLE_EQ(CategoricalInterest(constant), 0.0);
+  EXPECT_DOUBLE_EQ(CategoricalInterest(keys), 0.0);
+}
+
+TEST(VizDeckTest, NumericInterestPrefersSkew) {
+  Random rng(13);
+  std::vector<double> symmetric(5000), skewed(5000);
+  for (size_t i = 0; i < symmetric.size(); ++i) {
+    symmetric[i] = rng.NextGaussian();
+    skewed[i] = std::exp(rng.NextGaussian());  // log-normal
+  }
+  EXPECT_GT(NumericInterest(skewed), NumericInterest(symmetric) + 0.2);
+}
+
+TEST(VizDeckTest, RanksCorrelatedScatterFirst) {
+  Schema schema({{"a", DataType::kDouble},
+                 {"b", DataType::kDouble},
+                 {"noise", DataType::kDouble},
+                 {"cat", DataType::kString}});
+  Table t(schema);
+  Random rng(17);
+  const char* cats[] = {"x", "y", "z"};
+  for (int i = 0; i < 3000; ++i) {
+    double a = rng.NextGaussian();
+    ASSERT_TRUE(t.AppendRow({Value(a), Value(a * 2 + rng.NextGaussian() * 0.05),
+                             Value(rng.NextGaussian()),
+                             Value(cats[rng.Uniform(3)])})
+                    .ok());
+  }
+  auto deck = RankVizCards(t, 10);
+  ASSERT_TRUE(deck.ok());
+  ASSERT_FALSE(deck.ValueOrDie().empty());
+  const VizCard& top = deck.ValueOrDie()[0];
+  EXPECT_EQ(top.kind, ChartKind::kScatter);
+  EXPECT_EQ(top.column_a, 0u);
+  EXPECT_EQ(top.column_b, 1u);
+  EXPECT_GT(top.score, 0.95);
+  EXPECT_EQ(top.Describe(t.schema()), "scatter(a, b)");
+}
+
+TEST(VizDeckTest, LimitAndValidation) {
+  Schema schema({{"a", DataType::kDouble}});
+  Table empty(schema);
+  EXPECT_FALSE(RankVizCards(empty, 5).ok());
+  Table t(schema);
+  ASSERT_TRUE(t.AppendRow({Value(1.0)}).ok());
+  auto deck = RankVizCards(t, 0);
+  ASSERT_TRUE(deck.ok());
+  EXPECT_TRUE(deck.ValueOrDie().empty());
+}
+
+TEST(VizDeckTest, CoversAllChartKinds) {
+  Schema schema({{"num", DataType::kDouble},
+                 {"num2", DataType::kDouble},
+                 {"cat", DataType::kString}});
+  Table t(schema);
+  Random rng(19);
+  const char* cats[] = {"p", "q"};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value(std::exp(rng.NextGaussian())),
+                             Value(rng.NextGaussian()),
+                             Value(cats[rng.Uniform(2)])})
+                    .ok());
+  }
+  auto deck = RankVizCards(t, 100);
+  ASSERT_TRUE(deck.ok());
+  bool saw_hist = false, saw_bar = false, saw_scatter = false;
+  for (const VizCard& card : deck.ValueOrDie()) {
+    saw_hist |= card.kind == ChartKind::kHistogram;
+    saw_bar |= card.kind == ChartKind::kBarChart;
+    saw_scatter |= card.kind == ChartKind::kScatter;
+  }
+  EXPECT_TRUE(saw_hist);
+  EXPECT_TRUE(saw_bar);
+  EXPECT_TRUE(saw_scatter);
+}
+
+}  // namespace
+}  // namespace exploredb

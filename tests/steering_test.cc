@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+#include "engine/steering.h"
+#include "explore/diversify.h"
+
+namespace exploredb {
+namespace {
+
+class SteeringTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema schema({{"ts", DataType::kInt64},
+                   {"value", DataType::kDouble},
+                   {"kind", DataType::kString}});
+    Table t(schema);
+    Random rng(3);
+    const char* kinds[] = {"a", "b"};
+    for (int i = 0; i < 10'000; ++i) {
+      ASSERT_TRUE(t.AppendRow({Value(static_cast<int64_t>(i)),
+                               Value(rng.NextDouble() * 100),
+                               Value(kinds[rng.Uniform(2)])})
+                      .ok());
+    }
+    ASSERT_TRUE(db_.CreateTable("events", std::move(t)).ok());
+    session_ = std::make_unique<Session>(&db_);
+  }
+
+  Database db_;
+  std::unique_ptr<Session> session_;
+};
+
+TEST_F(SteeringTest, WindowPanZoomSequence) {
+  SteeringInterpreter interp(session_.get());
+  auto trace = interp.Run(R"(
+    USE events
+    WINDOW ts 1000 2000
+    RUN
+    PAN 1000          # slide right
+    RUN
+    ZOOM 0.5          # halve the window around its center
+    RUN
+  )");
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  const SteeringTrace& t = trace.ValueOrDie();
+  ASSERT_EQ(t.results.size(), 3u);
+  EXPECT_EQ(t.results[0].positions.size(), 1000u);  // [1000, 2000)
+  EXPECT_EQ(t.results[1].positions.size(), 1000u);  // [2000, 3000)
+  EXPECT_EQ(t.results[2].positions.size(), 500u);   // [2250, 2750)
+}
+
+TEST_F(SteeringTest, FiltersAndAggregates) {
+  SteeringInterpreter interp(session_.get());
+  auto trace = interp.Run(
+      "USE events\n"
+      "WINDOW ts 0 10000\n"
+      "FILTER kind = a\n"
+      "AGG count\n"
+      "RUN\n"
+      "CLEAR\n"
+      "AGG avg value\n"
+      "RUN\n");
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  const SteeringTrace& t = trace.ValueOrDie();
+  ASSERT_EQ(t.results.size(), 2u);
+  double kind_a = t.results[0].scalar->value;
+  EXPECT_GT(kind_a, 4000.0);
+  EXPECT_LT(kind_a, 6000.0);
+  EXPECT_NEAR(t.results[1].scalar->value, 50.0, 3.0);
+}
+
+TEST_F(SteeringTest, ApproximateModes) {
+  SteeringInterpreter interp(session_.get());
+  auto trace = interp.Run(
+      "USE events\n"
+      "MODE sampled\n"
+      "SAMPLE 0.2\n"
+      "AGG avg value\n"
+      "RUN\n"
+      "MODE online\n"
+      "ERROR 1.5\n"
+      "RUN\n");
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  const SteeringTrace& t = trace.ValueOrDie();
+  ASSERT_EQ(t.results.size(), 2u);
+  EXPECT_TRUE(t.results[0].approximate);
+  EXPECT_GT(t.results[0].scalar->ci_half_width, 0.0);
+  EXPECT_LE(t.results[1].scalar->ci_half_width, 1.5);
+}
+
+TEST_F(SteeringTest, ProjectionSelect) {
+  SteeringInterpreter interp(session_.get());
+  auto trace = interp.Run(
+      "USE events\nWINDOW ts 0 5\nSELECT kind value\nRUN\n");
+  ASSERT_TRUE(trace.ok());
+  ASSERT_TRUE(trace.ValueOrDie().results[0].rows.has_value());
+  EXPECT_EQ(trace.ValueOrDie().results[0].rows->num_columns(), 2u);
+  EXPECT_EQ(trace.ValueOrDie().results[0].rows->schema().field(0).name,
+            "kind");
+}
+
+TEST_F(SteeringTest, TraceRecordsReadableQueries) {
+  SteeringInterpreter interp(session_.get());
+  auto trace = interp.Run(
+      "USE events\nWINDOW ts 10 20\nMODE cracking\nRUN\n");
+  ASSERT_TRUE(trace.ok());
+  ASSERT_EQ(trace.ValueOrDie().executed_sql.size(), 1u);
+  const std::string& sql = trace.ValueOrDie().executed_sql[0];
+  EXPECT_NE(sql.find("FROM events"), std::string::npos);
+  EXPECT_NE(sql.find("ts >= 10"), std::string::npos);
+  EXPECT_NE(sql.find("[cracking]"), std::string::npos);
+}
+
+TEST_F(SteeringTest, ErrorsCarryLineNumbers) {
+  SteeringInterpreter interp(session_.get());
+  auto bad_stmt = interp.Run("USE events\nFLY ts\n");
+  ASSERT_FALSE(bad_stmt.ok());
+  EXPECT_NE(bad_stmt.status().message().find("line 2"), std::string::npos);
+
+  auto bad_window = interp.Run("USE events\nWINDOW value 0 1\n");
+  ASSERT_FALSE(bad_window.ok());
+  EXPECT_NE(bad_window.status().message().find("int64"), std::string::npos);
+
+  auto pan_first = interp.Run("USE events\nPAN 5\n");
+  ASSERT_FALSE(pan_first.ok());
+
+  auto run_first = interp.Run("RUN\n");
+  ASSERT_FALSE(run_first.ok());
+  EXPECT_EQ(run_first.status().code(), StatusCode::kFailedPrecondition);
+
+  auto bad_table = interp.Run("USE ghosts\n");
+  ASSERT_FALSE(bad_table.ok());
+}
+
+TEST_F(SteeringTest, CommentsAndBlankLinesIgnored) {
+  SteeringInterpreter interp(session_.get());
+  auto trace = interp.Run(
+      "# exploring events\n\nUSE events\n# set window\nWINDOW ts 0 10\n"
+      "RUN # execute\n");
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  EXPECT_EQ(trace.ValueOrDie().results.size(), 1u);
+}
+
+TEST_F(SteeringTest, SteeringGoesThroughSessionCache) {
+  SteeringInterpreter interp(session_.get());
+  auto trace = interp.Run(
+      "USE events\nWINDOW ts 100 200\nRUN\nRUN\n");
+  ASSERT_TRUE(trace.ok());
+  ASSERT_EQ(trace.ValueOrDie().results.size(), 2u);
+  EXPECT_FALSE(trace.ValueOrDie().results[0].from_cache);
+  EXPECT_TRUE(trace.ValueOrDie().results[1].from_cache);
+}
+
+// ---------------------------------------------------------------- swap div.
+
+TEST(DiversifySwapTest, NeverWorseThanGreedyStart) {
+  Random rng(17);
+  std::vector<std::vector<double>> features;
+  std::vector<double> relevance;
+  for (int i = 0; i < 300; ++i) {
+    features.push_back({rng.NextDouble() * 100, rng.NextDouble() * 100});
+    relevance.push_back(rng.NextDouble());
+  }
+  for (double lambda : {0.2, 0.5, 0.8}) {
+    auto greedy = DiversifyMmr(features, relevance, 8, lambda);
+    ASSERT_TRUE(greedy.ok());
+    double before =
+        DiversityObjective(features, relevance, greedy.ValueOrDie(), lambda);
+    auto improved =
+        ImproveBySwap(features, relevance, greedy.ValueOrDie(), lambda);
+    double after = DiversityObjective(features, relevance, improved, lambda);
+    EXPECT_GE(after, before - 1e-9) << "lambda=" << lambda;
+    EXPECT_EQ(improved.size(), greedy.ValueOrDie().size());
+  }
+}
+
+TEST(DiversifySwapTest, FixesDeliberatelyBadSelection) {
+  // Points on a line; a clumped selection should spread out at lambda=0.
+  std::vector<std::vector<double>> features;
+  std::vector<double> relevance;
+  for (int i = 0; i < 100; ++i) {
+    features.push_back({static_cast<double>(i)});
+    relevance.push_back(0.5);
+  }
+  std::vector<size_t> clumped{0, 1, 2};
+  double before = DiversityObjective(features, relevance, clumped, 0.0);
+  auto improved = ImproveBySwap(features, relevance, clumped, 0.0, 5);
+  double after = DiversityObjective(features, relevance, improved, 0.0);
+  EXPECT_GT(after, before * 10);  // min gap 1 -> ~49
+}
+
+TEST(DiversifySwapTest, HandlesEdgeCases) {
+  EXPECT_TRUE(ImproveBySwap({}, {}, {}, 0.5).empty());
+  std::vector<std::vector<double>> one{{1.0}};
+  auto same = ImproveBySwap(one, {0.5}, {0}, 0.5);
+  EXPECT_EQ(same, (std::vector<size_t>{0}));
+}
+
+}  // namespace
+}  // namespace exploredb

@@ -1,0 +1,248 @@
+// Randomized cross-module consistency sweeps: long mixed workloads where
+// the adaptive structures (crackers, caches, lazy cubes, updatable columns)
+// must agree with straightforward recomputation at every step.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "cracking/updates.h"
+#include "cracking/zorder.h"
+#include "engine/session.h"
+#include "engine/steering.h"
+#include "explore/cube_navigator.h"
+#include "synopsis/wavelet.h"
+
+namespace exploredb {
+namespace {
+
+// Property: a long interleaving of inserts + range queries on the
+// updatable cracker always matches a naive recomputation.
+class UpdatableCrackerStress : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UpdatableCrackerStress, LongMixedWorkloadStaysConsistent) {
+  Random rng(GetParam());
+  std::vector<int64_t> reference;
+  for (int i = 0; i < 500; ++i) reference.push_back(rng.UniformInt(0, 999));
+  UpdatableCrackerColumn col(reference,
+                             /*merge_threshold=*/1 + rng.Uniform(16));
+  for (int step = 0; step < 400; ++step) {
+    int action = static_cast<int>(rng.Uniform(3));
+    if (action == 0) {
+      int64_t v = rng.UniformInt(0, 999);
+      col.Insert(v);
+      reference.push_back(v);
+    } else {
+      int64_t lo = rng.UniformInt(-50, 1000);
+      int64_t hi = lo + rng.UniformInt(0, 300);
+      size_t want = 0;
+      for (int64_t v : reference) want += (v >= lo && v < hi);
+      ASSERT_EQ(col.RangeCount(lo, hi), want)
+          << "seed=" << GetParam() << " step=" << step;
+    }
+  }
+  EXPECT_EQ(col.size(), reference.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UpdatableCrackerStress,
+                         ::testing::Values(101, 102, 103, 104, 105, 106));
+
+// Property: Z-order window queries match scans across random geometries,
+// including tiny, thin, and full-extent windows.
+class ZOrderStress : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ZOrderStress, ArbitraryWindowGeometries) {
+  Random rng(GetParam());
+  std::vector<uint32_t> x, y;
+  for (int i = 0; i < 3000; ++i) {
+    // Clustered + uniform mix.
+    if (rng.Uniform(2) == 0) {
+      x.push_back(500 + static_cast<uint32_t>(rng.Uniform(50)));
+      y.push_back(700 + static_cast<uint32_t>(rng.Uniform(50)));
+    } else {
+      x.push_back(static_cast<uint32_t>(rng.Uniform(2000)));
+      y.push_back(static_cast<uint32_t>(rng.Uniform(2000)));
+    }
+  }
+  auto built = ZOrderCrackerIndex::Build(x, y);
+  ASSERT_TRUE(built.ok());
+  ZOrderCrackerIndex index = std::move(built).ValueOrDie();
+  const std::pair<std::pair<uint32_t, uint32_t>,
+                  std::pair<uint32_t, uint32_t>>
+      windows[] = {
+          {{0, 0}, {2000, 2000}},    // everything
+          {{500, 700}, {550, 750}},  // the cluster exactly
+          {{0, 0}, {1, 1}},          // single cell
+          {{100, 0}, {101, 2000}},   // thin vertical sliver
+          {{0, 900}, {2000, 901}},   // thin horizontal sliver
+          {{1999, 1999}, {2000, 2000}},
+      };
+  for (const auto& [a, b] : windows) {
+    auto got = index.WindowQuery(a.first, a.second, b.first, b.second);
+    auto want = index.WindowQueryScan(a.first, a.second, b.first, b.second);
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    ASSERT_EQ(got, want) << "window (" << a.first << "," << a.second << ")-("
+                         << b.first << "," << b.second << ")";
+  }
+  // Random windows too.
+  for (int q = 0; q < 40; ++q) {
+    uint32_t x0 = static_cast<uint32_t>(rng.Uniform(1900));
+    uint32_t y0 = static_cast<uint32_t>(rng.Uniform(1900));
+    uint32_t x1 = x0 + 1 + static_cast<uint32_t>(rng.Uniform(300));
+    uint32_t y1 = y0 + 1 + static_cast<uint32_t>(rng.Uniform(300));
+    auto got = index.WindowQuery(x0, y0, x1, y1,
+                                 /*max_ranges=*/1 + rng.Uniform(64));
+    auto want = index.WindowQueryScan(x0, y0, x1, y1);
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    ASSERT_EQ(got, want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZOrderStress,
+                         ::testing::Values(201, 202, 203, 204));
+
+// Property: wavelet range sums equal reconstruction sums for arbitrary k
+// and random data (orthonormal-transform invariant).
+class WaveletStress : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WaveletStress, RangeSumsConsistentWithReconstruction) {
+  Random rng(GetParam());
+  size_t n = 100 + rng.Uniform(400);
+  std::vector<double> data(n);
+  for (double& v : data) v = rng.NextGaussian() * 50;
+  for (size_t k : {size_t{1}, size_t{7}, size_t{33}, n}) {
+    auto syn = WaveletSynopsis::Build(data, k);
+    ASSERT_TRUE(syn.ok());
+    auto back = syn.ValueOrDie().Reconstruct();
+    for (int trial = 0; trial < 10; ++trial) {
+      size_t lo = rng.Uniform(n);
+      size_t hi = lo + rng.Uniform(n - lo) + 1;
+      double expected = 0;
+      for (size_t i = lo; i < hi; ++i) expected += back[i];
+      ASSERT_NEAR(syn.ValueOrDie().EstimateRangeSum(lo, hi), expected, 1e-5)
+          << "k=" << k << " [" << lo << "," << hi << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WaveletStress,
+                         ::testing::Values(301, 302, 303, 304));
+
+// End-to-end: a long steering session with repeats must agree with direct
+// executor answers and exercise the cache + trajectory model.
+TEST(SessionStress, LongSteeredSessionConsistent) {
+  Schema schema({{"ts", DataType::kInt64},
+                 {"value", DataType::kDouble},
+                 {"kind", DataType::kString}});
+  Random rng(401);
+  auto fill = [&](Database* db) {
+    Table t(schema);
+    Random data_rng(403);
+    const char* kinds[] = {"a", "b", "c"};
+    for (int i = 0; i < 30'000; ++i) {
+      EXPECT_TRUE(t.AppendRow({Value(data_rng.UniformInt(0, 9'999)),
+                               Value(data_rng.NextDouble() * 100),
+                               Value(kinds[data_rng.Uniform(3)])})
+                      .ok());
+    }
+    EXPECT_TRUE(db->CreateTable("events", std::move(t)).ok());
+  };
+  Database db_session, db_plain;
+  fill(&db_session);
+  fill(&db_plain);
+  Session session(&db_session);
+  Executor plain(&db_plain);
+
+  int64_t lo = 0;
+  const char* kinds[] = {"a", "b", "c"};
+  for (int step = 0; step < 120; ++step) {
+    // Drifting, frequently revisited windows with occasional kind filters.
+    if (rng.Uniform(3) == 0) lo = rng.UniformInt(0, 8'000) / 500 * 500;
+    Predicate where({{0, CompareOp::kGe, Value(lo)},
+                     {0, CompareOp::kLt, Value(lo + 1'000)}});
+    if (rng.Uniform(4) == 0) {
+      where.And({2, CompareOp::kEq, Value(kinds[rng.Uniform(3)])});
+    }
+    Query q = Query::On("events").Where(where);
+    QueryOptions options;
+    options.mode = (rng.Uniform(2) == 0) ? ExecutionMode::kAuto
+                                         : ExecutionMode::kCracking;
+    auto a = session.Execute(q, options);
+    auto b = plain.Execute(q);  // plain scan
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    auto pa = a.ValueOrDie().positions;
+    auto pb = b.ValueOrDie().positions;
+    std::sort(pa.begin(), pa.end());
+    std::sort(pb.begin(), pb.end());
+    ASSERT_EQ(pa, pb) << "step " << step;
+  }
+  EXPECT_GT(session.cache_stats().hits, 0u);
+  EXPECT_FALSE(session.PredictNextQueries(1).empty());
+}
+
+// Lazy cube: random walks over the lattice agree with eager cuboids even
+// under aggressive speculation.
+TEST(CubeNavigatorStress, RandomWalkMatchesEagerCube) {
+  Schema schema({{"d0", DataType::kString},
+                 {"d1", DataType::kString},
+                 {"d2", DataType::kString},
+                 {"m", DataType::kDouble}});
+  Table t(schema);
+  Random rng(501);
+  for (int i = 0; i < 2'000; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value("a" + std::to_string(rng.Uniform(3))),
+                             Value("b" + std::to_string(rng.Uniform(4))),
+                             Value("c" + std::to_string(rng.Uniform(2))),
+                             Value(rng.NextDouble() * 100)})
+                    .ok());
+  }
+  auto eager = DataCube::Build(t, {0, 1, 2}, 3, AggKind::kSum);
+  ASSERT_TRUE(eager.ok());
+  auto lazy_result = LazyCube::Create(&t, {0, 1, 2}, 3, AggKind::kSum);
+  ASSERT_TRUE(lazy_result.ok());
+  LazyCube lazy = std::move(lazy_result).ValueOrDie();
+  CubeNavigator nav(&lazy, /*speculation_budget=*/2);
+
+  std::set<size_t> grouped;
+  for (int move = 0; move < 30; ++move) {
+    bool drill =
+        grouped.empty() || (grouped.size() < 3 && rng.Uniform(2) == 0);
+    size_t dim;
+    if (drill) {
+      do {
+        dim = rng.Uniform(3);
+      } while (grouped.count(dim));
+    } else {
+      auto it = grouped.begin();
+      std::advance(it, rng.Uniform(grouped.size()));
+      dim = *it;
+    }
+    auto step = drill ? nav.DrillDown(dim) : nav.RollUp(dim);
+    if (drill) {
+      grouped.insert(dim);
+    } else {
+      grouped.erase(dim);
+    }
+    ASSERT_TRUE(step.ok());
+    nav.ThinkTime();
+    std::vector<size_t> dims(grouped.begin(), grouped.end());
+    auto expected = eager.ValueOrDie().Cuboid(dims);
+    ASSERT_TRUE(expected.ok());
+    ASSERT_EQ(step.ValueOrDie().cells.size(), expected.ValueOrDie().size());
+    for (size_t i = 0; i < expected.ValueOrDie().size(); ++i) {
+      ASSERT_EQ(step.ValueOrDie().cells[i].coords,
+                expected.ValueOrDie()[i].coords);
+      ASSERT_NEAR(step.ValueOrDie().cells[i].value,
+                  expected.ValueOrDie()[i].value, 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace exploredb

@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "synopsis/count_min.h"
+#include "synopsis/histogram.h"
+#include "synopsis/hyperloglog.h"
+
+namespace exploredb {
+namespace {
+
+// ---------------------------------------------------------------- equi-width
+
+TEST(EquiWidthTest, CountsPreserved) {
+  std::vector<double> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto h = EquiWidthHistogram::Build(v, 5);
+  ASSERT_TRUE(h.ok());
+  const auto& hist = h.ValueOrDie();
+  uint64_t total = 0;
+  for (size_t b = 0; b < hist.num_buckets(); ++b) {
+    total += hist.bucket_count(b);
+  }
+  EXPECT_EQ(total, v.size());
+  EXPECT_EQ(hist.total_count(), v.size());
+}
+
+TEST(EquiWidthTest, RangeEstimateExactOnBucketBoundaries) {
+  std::vector<double> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(i % 100);
+  auto h = EquiWidthHistogram::Build(v, 10);
+  ASSERT_TRUE(h.ok());
+  // [0, 99] split into 10 buckets of width 9.9; full range = all.
+  EXPECT_NEAR(h.ValueOrDie().EstimateRangeCount(0, 100), 1000.0, 1e-6);
+  EXPECT_NEAR(h.ValueOrDie().EstimateRangeCount(200, 300), 0.0, 1e-9);
+}
+
+TEST(EquiWidthTest, UniformDataInterpolatesWell) {
+  Random rng(3);
+  std::vector<double> v(100000);
+  for (double& x : v) x = rng.NextDouble() * 1000;
+  auto h = EquiWidthHistogram::Build(v, 100);
+  ASSERT_TRUE(h.ok());
+  double est = h.ValueOrDie().EstimateRangeCount(250, 500);
+  EXPECT_NEAR(est, 25000.0, 1000.0);
+}
+
+TEST(EquiWidthTest, EmptyInputRejected) {
+  EXPECT_FALSE(EquiWidthHistogram::Build({}, 4).ok());
+  EXPECT_FALSE(EquiWidthHistogram::Build({1.0}, 0).ok());
+}
+
+TEST(EquiWidthTest, ConstantDataSingleSpike) {
+  std::vector<double> v(50, 7.0);
+  auto h = EquiWidthHistogram::Build(v, 4);
+  ASSERT_TRUE(h.ok());
+  EXPECT_NEAR(h.ValueOrDie().EstimateRangeCount(7.0, 8.0), 50.0, 1e-9);
+  EXPECT_NEAR(h.ValueOrDie().EstimateRangeCount(8.0, 9.0), 0.0, 1e-9);
+}
+
+TEST(EquiWidthTest, NormalizedSumsToOne) {
+  std::vector<double> v{1, 2, 2, 3, 3, 3};
+  auto h = EquiWidthHistogram::Build(v, 3);
+  ASSERT_TRUE(h.ok());
+  auto p = h.ValueOrDie().Normalized();
+  double sum = 0;
+  for (double x : p) sum += x;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+// ---------------------------------------------------------------- equi-depth
+
+TEST(EquiDepthTest, SkewedDataBalancedBuckets) {
+  // Heavy skew: equi-depth fences should concentrate where the mass is.
+  Random rng(5);
+  std::vector<double> v;
+  for (int i = 0; i < 9000; ++i) v.push_back(rng.NextDouble());       // [0,1)
+  for (int i = 0; i < 1000; ++i) v.push_back(100 + rng.NextDouble());  // far
+  auto h = EquiDepthHistogram::Build(v, 10);
+  ASSERT_TRUE(h.ok());
+  // ~90% of fences should lie below 1.0.
+  size_t below = 0;
+  for (double f : h.ValueOrDie().fences()) below += (f < 1.0);
+  EXPECT_GE(below, 9u);
+}
+
+TEST(EquiDepthTest, RangeEstimateReasonable) {
+  Random rng(7);
+  std::vector<double> v(50000);
+  for (double& x : v) x = rng.NextDouble() * 100;
+  auto h = EquiDepthHistogram::Build(v, 64);
+  ASSERT_TRUE(h.ok());
+  EXPECT_NEAR(h.ValueOrDie().EstimateRangeCount(25, 75), 25000.0, 1500.0);
+}
+
+TEST(EquiDepthTest, HandlesMassiveDuplicates) {
+  std::vector<double> v(1000, 5.0);
+  v.push_back(1.0);
+  v.push_back(9.0);
+  auto h = EquiDepthHistogram::Build(v, 4);
+  ASSERT_TRUE(h.ok());
+  double est = h.ValueOrDie().EstimateRangeCount(4.9, 5.1);
+  EXPECT_GT(est, 500.0);  // most mass is the duplicate spike
+}
+
+// ---------------------------------------------------------------- distances
+
+TEST(DistanceTest, EmdZeroForIdentical) {
+  std::vector<double> p{0.25, 0.25, 0.5};
+  EXPECT_DOUBLE_EQ(EarthMoversDistance(p, p), 0.0);
+  EXPECT_NEAR(KlDivergence(p, p), 0.0, 1e-6);
+}
+
+TEST(DistanceTest, EmdGrowsWithShiftDistance) {
+  std::vector<double> a{1, 0, 0, 0};
+  std::vector<double> b{0, 1, 0, 0};
+  std::vector<double> c{0, 0, 0, 1};
+  EXPECT_LT(EarthMoversDistance(a, b), EarthMoversDistance(a, c));
+  EXPECT_DOUBLE_EQ(EarthMoversDistance(a, c), 3.0);  // move mass 3 bins
+}
+
+TEST(DistanceTest, KlNonNegative) {
+  std::vector<double> p{0.7, 0.2, 0.1};
+  std::vector<double> q{0.1, 0.2, 0.7};
+  EXPECT_GT(KlDivergence(p, q), 0.0);
+}
+
+// ---------------------------------------------------------------- count-min
+
+TEST(CountMinTest, NeverUndercounts) {
+  CountMinSketch cms(200, 4);
+  Random rng(9);
+  std::unordered_map<int64_t, uint64_t> truth;
+  for (int i = 0; i < 20000; ++i) {
+    int64_t item = static_cast<int64_t>(rng.Zipf(1000, 1.1));
+    cms.Add(item);
+    ++truth[item];
+  }
+  for (const auto& [item, count] : truth) {
+    EXPECT_GE(cms.EstimateCount(item), count);
+  }
+}
+
+TEST(CountMinTest, ErrorWithinEpsN) {
+  double eps = 0.01, delta = 0.01;
+  auto r = CountMinSketch::Create(eps, delta);
+  ASSERT_TRUE(r.ok());
+  CountMinSketch cms = std::move(r).ValueOrDie();
+  Random rng(11);
+  std::unordered_map<int64_t, uint64_t> truth;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    int64_t item = static_cast<int64_t>(rng.Zipf(5000, 1.2));
+    cms.Add(item);
+    ++truth[item];
+  }
+  size_t violations = 0;
+  for (const auto& [item, count] : truth) {
+    if (cms.EstimateCount(item) > count + static_cast<uint64_t>(eps * n)) {
+      ++violations;
+    }
+  }
+  // Allowed failure probability is delta per query; be generous.
+  EXPECT_LT(violations, truth.size() / 20);
+}
+
+TEST(CountMinTest, StringAndIntKeys) {
+  CountMinSketch cms(100, 3);
+  cms.Add("hello", 5);
+  cms.Add("world");
+  EXPECT_GE(cms.EstimateCount("hello"), 5u);
+  EXPECT_GE(cms.EstimateCount("world"), 1u);
+  EXPECT_EQ(cms.total_count(), 6u);
+}
+
+TEST(CountMinTest, CreateValidatesParams) {
+  EXPECT_FALSE(CountMinSketch::Create(0.0, 0.1).ok());
+  EXPECT_FALSE(CountMinSketch::Create(0.1, 1.5).ok());
+  auto ok = CountMinSketch::Create(0.01, 0.05);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_GE(ok.ValueOrDie().width(), 250u);
+}
+
+TEST(CountMinTest, SpaceBytesMatchesGeometry) {
+  CountMinSketch cms(128, 4);
+  EXPECT_EQ(cms.SpaceBytes(), 128u * 4u * 8u);
+}
+
+// ---------------------------------------------------------------- HLL
+
+class HllPrecision : public ::testing::TestWithParam<int> {};
+
+TEST_P(HllPrecision, ErrorWithinFourSigma) {
+  int precision = GetParam();
+  auto r = HyperLogLog::Create(precision);
+  ASSERT_TRUE(r.ok());
+  HyperLogLog hll = std::move(r).ValueOrDie();
+  const int64_t truth = 100000;
+  for (int64_t i = 0; i < truth; ++i) hll.Add(i * 7919 + 13);
+  double m = std::ldexp(1.0, precision);
+  double rse = 1.04 / std::sqrt(m);
+  EXPECT_NEAR(hll.EstimateCardinality(), static_cast<double>(truth),
+              4 * rse * truth);
+}
+
+INSTANTIATE_TEST_SUITE_P(Precisions, HllPrecision,
+                         ::testing::Values(8, 10, 12, 14));
+
+TEST(HllTest, SmallCardinalityLinearCounting) {
+  auto hll = HyperLogLog::Create(12).ValueOrDie();
+  for (int64_t i = 0; i < 50; ++i) hll.Add(i);
+  EXPECT_NEAR(hll.EstimateCardinality(), 50.0, 3.0);
+}
+
+TEST(HllTest, DuplicatesDoNotInflate) {
+  auto hll = HyperLogLog::Create(12).ValueOrDie();
+  for (int rep = 0; rep < 100; ++rep) {
+    for (int64_t i = 0; i < 100; ++i) hll.Add(i);
+  }
+  EXPECT_NEAR(hll.EstimateCardinality(), 100.0, 10.0);
+}
+
+TEST(HllTest, MergeEqualsUnion) {
+  auto a = HyperLogLog::Create(12).ValueOrDie();
+  auto b = HyperLogLog::Create(12).ValueOrDie();
+  for (int64_t i = 0; i < 5000; ++i) a.Add(i);
+  for (int64_t i = 2500; i < 7500; ++i) b.Add(i);
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_NEAR(a.EstimateCardinality(), 7500.0, 400.0);
+}
+
+TEST(HllTest, MergePrecisionMismatchFails) {
+  auto a = HyperLogLog::Create(10).ValueOrDie();
+  auto b = HyperLogLog::Create(12).ValueOrDie();
+  EXPECT_EQ(a.Merge(b).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HllTest, CreateValidatesPrecision) {
+  EXPECT_FALSE(HyperLogLog::Create(3).ok());
+  EXPECT_FALSE(HyperLogLog::Create(19).ok());
+  EXPECT_TRUE(HyperLogLog::Create(4).ok());
+}
+
+TEST(HllTest, StringItems) {
+  auto hll = HyperLogLog::Create(12).ValueOrDie();
+  for (int i = 0; i < 1000; ++i) hll.Add("user_" + std::to_string(i));
+  EXPECT_NEAR(hll.EstimateCardinality(), 1000.0, 60.0);
+}
+
+}  // namespace
+}  // namespace exploredb

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "engine/database.h"
+#include "engine/executor.h"
+#include "viz/tile_pyramid.h"
+
+namespace exploredb {
+namespace {
+
+// ---------------------------------------------------------------- pyramid
+
+TEST(TilePyramidTest, TotalPreservedAtEveryLevel) {
+  Random rng(3);
+  std::vector<double> x(20'000), y(20'000);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.NextDouble() * 100;
+    y[i] = rng.NextDouble() * 100;
+  }
+  auto p = TilePyramid::Build(x, y, 6);
+  ASSERT_TRUE(p.ok());
+  for (size_t level = 0; level <= 6; ++level) {
+    uint64_t total = 0;
+    size_t n = static_cast<size_t>(1) << level;
+    for (size_t ty = 0; ty < n; ++ty) {
+      for (size_t tx = 0; tx < n; ++tx) {
+        total += p.ValueOrDie().Count(level, tx, ty).ValueOrDie();
+      }
+    }
+    EXPECT_EQ(total, 20'000u) << "level " << level;
+  }
+}
+
+// Property: every parent cell equals the sum of its four children.
+class PyramidRollup : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PyramidRollup, ParentsEqualChildSums) {
+  Random rng(GetParam());
+  std::vector<double> x(5'000), y(5'000);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.NextGaussian() * 10;
+    y[i] = rng.NextGaussian() * 10;
+  }
+  auto built = TilePyramid::Build(x, y, 5);
+  ASSERT_TRUE(built.ok());
+  const TilePyramid& p = built.ValueOrDie();
+  for (size_t level = 0; level < 5; ++level) {
+    size_t n = static_cast<size_t>(1) << level;
+    for (size_t ty = 0; ty < n; ++ty) {
+      for (size_t tx = 0; tx < n; ++tx) {
+        uint64_t parent = p.Count(level, tx, ty).ValueOrDie();
+        uint64_t children =
+            p.Count(level + 1, 2 * tx, 2 * ty).ValueOrDie() +
+            p.Count(level + 1, 2 * tx + 1, 2 * ty).ValueOrDie() +
+            p.Count(level + 1, 2 * tx, 2 * ty + 1).ValueOrDie() +
+            p.Count(level + 1, 2 * tx + 1, 2 * ty + 1).ValueOrDie();
+        ASSERT_EQ(parent, children)
+            << "level " << level << " tile " << tx << "," << ty;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PyramidRollup, ::testing::Values(1, 2, 3));
+
+TEST(TilePyramidTest, ViewportLevelOfDetailRespectsBudget) {
+  Random rng(7);
+  std::vector<double> x(50'000), y(50'000);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.NextDouble();
+    y[i] = rng.NextDouble();
+  }
+  auto built = TilePyramid::Build(x, y, 8);
+  ASSERT_TRUE(built.ok());
+  const TilePyramid& p = built.ValueOrDie();
+  // Full view with a small budget: coarse level.
+  auto coarse = p.QueryViewport(0, 0, 1, 1, 64);
+  ASSERT_TRUE(coarse.ok());
+  EXPECT_LE(coarse.ValueOrDie().counts.size(), 64u);
+  // Tiny viewport with the same budget: much deeper level.
+  auto fine = p.QueryViewport(0.40, 0.40, 0.45, 0.45, 64);
+  ASSERT_TRUE(fine.ok());
+  EXPECT_GT(fine.ValueOrDie().level, coarse.ValueOrDie().level);
+  EXPECT_LE(fine.ValueOrDie().counts.size(), 64u);
+}
+
+TEST(TilePyramidTest, ViewportCountsMatchBruteForce) {
+  Random rng(9);
+  std::vector<double> x(10'000), y(10'000);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.NextDouble() * 10;
+    y[i] = rng.NextDouble() * 10;
+  }
+  auto built = TilePyramid::Build(x, y, 6);
+  ASSERT_TRUE(built.ok());
+  // Viewport exactly covering the left half: counts must sum to the number
+  // of points with x in the left half of the bounding box (up to boundary
+  // tiles, so use a tile-aligned viewport).
+  auto grid = built.ValueOrDie().QueryViewport(
+      *std::min_element(x.begin(), x.end()),
+      *std::min_element(y.begin(), y.end()),
+      (*std::min_element(x.begin(), x.end()) +
+       *std::max_element(x.begin(), x.end())) /
+          2,
+      *std::max_element(y.begin(), y.end()) + 1e-9, 1 << 12);
+  ASSERT_TRUE(grid.ok());
+  uint64_t covered = 0;
+  for (uint64_t c : grid.ValueOrDie().counts) covered += c;
+  // Roughly half the points (tile-boundary slack).
+  EXPECT_NEAR(static_cast<double>(covered), 5000.0, 300.0);
+}
+
+TEST(TilePyramidTest, Validation) {
+  EXPECT_FALSE(TilePyramid::Build({}, {}, 4).ok());
+  EXPECT_FALSE(TilePyramid::Build({1}, {1, 2}, 4).ok());
+  EXPECT_FALSE(TilePyramid::Build({1}, {1}, 13).ok());
+  auto p = TilePyramid::Build({1, 2}, {1, 2}, 3);
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(p.ValueOrDie().Count(9, 0, 0).ok());
+  EXPECT_FALSE(p.ValueOrDie().Count(1, 5, 0).ok());
+  EXPECT_FALSE(p.ValueOrDie().QueryViewport(1, 1, 1, 2, 8).ok());
+  EXPECT_FALSE(p.ValueOrDie().QueryViewport(1, 1, 2, 2, 0).ok());
+}
+
+// ---------------------------------------------------------------- kAuto
+
+TEST(AutoModeTest, MatchesScanAndUsesCracking) {
+  Schema schema({{"k", DataType::kInt64}, {"v", DataType::kDouble}});
+  Table t(schema);
+  Random rng(11);
+  t.Reserve(50'000);
+  for (int i = 0; i < 50'000; ++i) {
+    t.mutable_column(0)->AppendInt64(rng.UniformInt(0, 99'999));
+    t.mutable_column(1)->AppendDouble(rng.NextDouble());
+  }
+  Database db;
+  ASSERT_TRUE(db.CreateTable("data", std::move(t)).ok());
+  Executor exec(&db);
+  Query q = Query::On("data").Where(
+      Predicate({{0, CompareOp::kGe, Value(int64_t{5'000})},
+                 {0, CompareOp::kLt, Value(int64_t{6'000})}}));
+  QueryOptions autop;
+  autop.mode = ExecutionMode::kAuto;
+  auto first = exec.Execute(q, autop);
+  auto scan = exec.Execute(q);  // default scan
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(scan.ok());
+  auto a = first.ValueOrDie().positions;
+  auto b = scan.ValueOrDie().positions;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+  // Auto routed through cracking: the repeat is much cheaper.
+  auto second = exec.Execute(q, autop);
+  ASSERT_TRUE(second.ok());
+  EXPECT_LT(second.ValueOrDie().rows_scanned,
+            first.ValueOrDie().rows_scanned / 2);
+}
+
+TEST(AutoModeTest, NoPredicateFallsBackToScan) {
+  Schema schema({{"k", DataType::kInt64}});
+  Table t(schema);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value(static_cast<int64_t>(i))}).ok());
+  }
+  Database db;
+  ASSERT_TRUE(db.CreateTable("data", std::move(t)).ok());
+  Executor exec(&db);
+  QueryOptions autop;
+  autop.mode = ExecutionMode::kAuto;
+  auto r = exec.Execute(Query::On("data"), autop);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().positions.size(), 100u);
+  EXPECT_STREQ(ExecutionModeName(ExecutionMode::kAuto), "auto");
+}
+
+}  // namespace
+}  // namespace exploredb

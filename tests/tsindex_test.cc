@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "tsindex/adaptive_series_index.h"
+#include "tsindex/paa.h"
+
+namespace exploredb {
+namespace {
+
+std::vector<double> RandomWalk(size_t len, Random* rng) {
+  std::vector<double> s(len);
+  double v = 0;
+  for (double& x : s) {
+    v += rng->NextGaussian();
+    x = v;
+  }
+  return s;
+}
+
+std::string Serialize(const std::vector<double>& s) {
+  std::ostringstream os;
+  os << std::setprecision(17);  // lossless double round-trip
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (i) os << ",";
+    os << s[i];
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------- PAA
+
+TEST(PaaTest, DivisibleSegmentsAreChunkMeans) {
+  auto paa = Paa({1, 1, 3, 3, 5, 5, 7, 7}, 4);
+  ASSERT_TRUE(paa.ok());
+  EXPECT_EQ(paa.ValueOrDie(), (std::vector<double>{1, 3, 5, 7}));
+}
+
+TEST(PaaTest, NonDivisibleSegmentsWeighted) {
+  auto paa = Paa({0, 0, 0, 6, 6, 6}, 2);
+  ASSERT_TRUE(paa.ok());
+  EXPECT_DOUBLE_EQ(paa.ValueOrDie()[0], 0.0);
+  EXPECT_DOUBLE_EQ(paa.ValueOrDie()[1], 6.0);
+  auto odd = Paa({1, 2, 3}, 2);  // fractional split of the middle point
+  ASSERT_TRUE(odd.ok());
+  EXPECT_NEAR(odd.ValueOrDie()[0], (1.0 + 0.5 * 2.0) / 1.5, 1e-9);
+}
+
+TEST(PaaTest, ValidatesInput) {
+  EXPECT_FALSE(Paa({}, 2).ok());
+  EXPECT_FALSE(Paa({1, 2}, 0).ok());
+  EXPECT_FALSE(Paa({1, 2}, 3).ok());
+}
+
+TEST(PaaTest, SingleSegmentIsMean) {
+  auto paa = Paa({2, 4, 6}, 1);
+  ASSERT_TRUE(paa.ok());
+  EXPECT_DOUBLE_EQ(paa.ValueOrDie()[0], 4.0);
+}
+
+// Property: the PAA bound never exceeds the true Euclidean distance.
+class PaaLowerBoundProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PaaLowerBoundProperty, NeverExceedsTrueDistance) {
+  Random rng(GetParam());
+  const size_t len = 128;
+  for (int trial = 0; trial < 50; ++trial) {
+    auto a = RandomWalk(len, &rng);
+    auto b = RandomWalk(len, &rng);
+    for (size_t segments : {4u, 8u, 16u, 64u}) {
+      auto pa = Paa(a, segments).ValueOrDie();
+      auto pb = Paa(b, segments).ValueOrDie();
+      double lb = PaaLowerBound(pa, pb, len);
+      double d = SeriesDistance(a, b);
+      ASSERT_LE(lb, d + 1e-9) << "segments=" << segments;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PaaLowerBoundProperty,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(PaaTest, BoxLowerBoundNeverExceedsMemberBound) {
+  Random rng(7);
+  const size_t len = 64;
+  auto q = RandomWalk(len, &rng);
+  auto pq = Paa(q, 8).ValueOrDie();
+  // Box spanning two members: box bound <= each member bound.
+  auto a = Paa(RandomWalk(len, &rng), 8).ValueOrDie();
+  auto b = Paa(RandomWalk(len, &rng), 8).ValueOrDie();
+  std::vector<double> lo(8), hi(8);
+  for (size_t d = 0; d < 8; ++d) {
+    lo[d] = std::min(a[d], b[d]);
+    hi[d] = std::max(a[d], b[d]);
+  }
+  double box = PaaBoxLowerBound(pq, lo, hi, len);
+  EXPECT_LE(box, PaaLowerBound(pq, a, len) + 1e-9);
+  EXPECT_LE(box, PaaLowerBound(pq, b, len) + 1e-9);
+  // A box containing the query's own PAA has bound zero.
+  EXPECT_DOUBLE_EQ(PaaBoxLowerBound(pq, pq, pq, len), 0.0);
+}
+
+TEST(PaaTest, EarlyAbandonMatchesExactWhenUnderBound) {
+  Random rng(9);
+  auto a = RandomWalk(32, &rng);
+  auto b = RandomWalk(32, &rng);
+  double exact = SeriesDistance(a, b);
+  EXPECT_DOUBLE_EQ(SeriesDistanceEarlyAbandon(a, b, exact + 1), exact);
+  EXPECT_TRUE(std::isinf(SeriesDistanceEarlyAbandon(a, b, exact / 2)));
+}
+
+TEST(PaaTest, ZNormalizeProperties) {
+  std::vector<double> s{2, 4, 6, 8};
+  ZNormalize(&s);
+  double mean = 0, var = 0;
+  for (double v : s) mean += v;
+  mean /= s.size();
+  for (double v : s) var += (v - mean) * (v - mean);
+  var /= s.size();
+  EXPECT_NEAR(mean, 0.0, 1e-12);
+  EXPECT_NEAR(var, 1.0, 1e-12);
+  std::vector<double> constant{5, 5, 5};
+  ZNormalize(&constant);
+  EXPECT_EQ(constant, (std::vector<double>{0, 0, 0}));
+}
+
+// ---------------------------------------------------------------- index
+
+class SeriesIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Random rng(11);
+    for (int i = 0; i < 500; ++i) {
+      data_.push_back(RandomWalk(kLen, &rng));
+      payloads_.push_back(Serialize(data_.back()));
+    }
+  }
+
+  SeriesMatch BruteForce(const std::vector<double>& query) {
+    SeriesMatch best{0, 1e300};
+    for (size_t i = 0; i < data_.size(); ++i) {
+      double d = SeriesDistance(query, data_[i]);
+      if (d < best.distance) best = {i, d};
+    }
+    return best;
+  }
+
+  static constexpr size_t kLen = 64;
+  std::vector<std::vector<double>> data_;
+  std::vector<std::string> payloads_;
+};
+
+TEST_F(SeriesIndexTest, NearestNeighborIsExact) {
+  auto built = AdaptiveSeriesIndex::Build(payloads_, kLen, 8, 16);
+  ASSERT_TRUE(built.ok());
+  AdaptiveSeriesIndex index = std::move(built).ValueOrDie();
+  Random rng(13);
+  for (int q = 0; q < 25; ++q) {
+    // Query = perturbed dataset member, so the answer is non-trivial.
+    std::vector<double> query = data_[rng.Uniform(data_.size())];
+    for (double& v : query) v += rng.NextGaussian() * 0.1;
+    auto got = index.NearestNeighbor(query);
+    ASSERT_TRUE(got.ok());
+    SeriesMatch want = BruteForce(query);
+    EXPECT_EQ(got.ValueOrDie().series_id, want.series_id);
+    EXPECT_NEAR(got.ValueOrDie().distance, want.distance, 1e-9);
+  }
+}
+
+TEST_F(SeriesIndexTest, ScanBaselineIsExactToo) {
+  auto built = AdaptiveSeriesIndex::Build(payloads_, kLen, 8, 16);
+  ASSERT_TRUE(built.ok());
+  AdaptiveSeriesIndex index = std::move(built).ValueOrDie();
+  auto got = index.NearestNeighborScan(data_[42]);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.ValueOrDie().series_id, 42u);
+  EXPECT_NEAR(got.ValueOrDie().distance, 0.0, 1e-9);
+}
+
+TEST_F(SeriesIndexTest, MaterializationIsAdaptive) {
+  auto built = AdaptiveSeriesIndex::Build(payloads_, kLen, 8, 16);
+  ASSERT_TRUE(built.ok());
+  AdaptiveSeriesIndex index = std::move(built).ValueOrDie();
+  EXPECT_EQ(index.materialized_leaves(), 0u);
+  ASSERT_TRUE(index.NearestNeighbor(data_[0]).ok());
+  size_t after_one = index.materialized_leaves();
+  EXPECT_GT(after_one, 0u);
+  EXPECT_LT(after_one, index.num_leaves())
+      << "one query must not materialize the whole index";
+  // The same query again touches no new leaves.
+  ASSERT_TRUE(index.NearestNeighbor(data_[0]).ok());
+  EXPECT_EQ(index.materialized_leaves(), after_one);
+}
+
+TEST_F(SeriesIndexTest, PruningSkipsMostDistanceComputations) {
+  auto built = AdaptiveSeriesIndex::Build(payloads_, kLen, 8, 16);
+  ASSERT_TRUE(built.ok());
+  AdaptiveSeriesIndex index = std::move(built).ValueOrDie();
+  // Exact-member queries have distance 0 and prune aggressively.
+  for (int q = 0; q < 10; ++q) {
+    ASSERT_TRUE(index.NearestNeighbor(data_[q * 37]).ok());
+  }
+  EXPECT_LT(index.stats().distance_computations, 10u * data_.size() / 2);
+}
+
+TEST_F(SeriesIndexTest, MaterializeAllAndCounts) {
+  auto built = AdaptiveSeriesIndex::Build(payloads_, kLen, 8, 16);
+  ASSERT_TRUE(built.ok());
+  AdaptiveSeriesIndex index = std::move(built).ValueOrDie();
+  ASSERT_TRUE(index.MaterializeAll().ok());
+  EXPECT_EQ(index.materialized_leaves(), index.num_leaves());
+  EXPECT_EQ(index.num_series(), 500u);
+}
+
+TEST_F(SeriesIndexTest, ValidatesInput) {
+  EXPECT_FALSE(AdaptiveSeriesIndex::Build({}, 8, 4, 8).ok());
+  EXPECT_FALSE(AdaptiveSeriesIndex::Build({"1,2,3"}, 3, 2, 0).ok());
+  EXPECT_FALSE(AdaptiveSeriesIndex::Build({"1,2,oops"}, 3, 2, 8).ok());
+  EXPECT_FALSE(AdaptiveSeriesIndex::Build({"1,2"}, 3, 2, 8).ok());
+
+  auto index = AdaptiveSeriesIndex::Build({"1,2,3"}, 3, 2, 8);
+  ASSERT_TRUE(index.ok());
+  EXPECT_FALSE(
+      index.ValueOrDie().NearestNeighbor({1.0}).ok());  // length mismatch
+}
+
+TEST(SeriesIndexEdgeTest, DuplicateSeriesFormDegenerateLeaf) {
+  std::vector<std::string> payloads(50, "1,2,3,4");
+  payloads.push_back("9,9,9,9");
+  auto built = AdaptiveSeriesIndex::Build(payloads, 4, 2, 8);
+  ASSERT_TRUE(built.ok());
+  AdaptiveSeriesIndex index = std::move(built).ValueOrDie();
+  auto nn = index.NearestNeighbor({9, 9, 9, 9});
+  ASSERT_TRUE(nn.ok());
+  EXPECT_EQ(nn.ValueOrDie().series_id, 50u);
+  EXPECT_NEAR(nn.ValueOrDie().distance, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace exploredb

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "viz/binned.h"
+#include "viz/m4.h"
+#include "viz/viz_sampling.h"
+
+namespace exploredb {
+namespace {
+
+std::vector<TimePoint> NoisySeries(size_t n, uint64_t seed) {
+  Random rng(seed);
+  std::vector<TimePoint> s;
+  s.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double t = static_cast<double>(i);
+    double v = std::sin(t / 50.0) * 10 + rng.NextGaussian();
+    s.push_back({t, v});
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------- M4
+
+TEST(M4Test, OutputBoundedByFourPerColumn) {
+  auto series = NoisySeries(100000, 3);
+  auto reduced = M4Reduce(series, 200);
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_LE(reduced.ValueOrDie().size(), 4u * 200u);
+  EXPECT_LT(reduced.ValueOrDie().size(), series.size() / 10);
+}
+
+// Property: the M4 envelope (per-pixel min/max) is preserved exactly.
+class M4Envelope : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(M4Envelope, ZeroEnvelopeError) {
+  auto series = NoisySeries(20000, GetParam());
+  for (size_t width : {50u, 137u, 400u}) {
+    auto reduced = M4Reduce(series, width);
+    ASSERT_TRUE(reduced.ok());
+    EXPECT_DOUBLE_EQ(EnvelopeError(series, reduced.ValueOrDie(), width), 0.0)
+        << "width=" << width;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, M4Envelope, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(M4Test, StrideSamplingLosesExtremes) {
+  // Series with rare sharp spikes: stride sampling misses them, M4 cannot.
+  auto series = NoisySeries(50000, 7);
+  for (size_t i = 1000; i < series.size(); i += 9973) {
+    series[i].v = 1000.0;  // spike
+  }
+  const size_t width = 100;
+  auto m4 = M4Reduce(series, width);
+  ASSERT_TRUE(m4.ok());
+  auto stride = StrideSample(series, m4.ValueOrDie().size());
+  EXPECT_DOUBLE_EQ(EnvelopeError(series, m4.ValueOrDie(), width), 0.0);
+  EXPECT_GT(EnvelopeError(series, stride, width), 100.0);
+}
+
+TEST(M4Test, PreservesSortedOrderAndEndpoints) {
+  auto series = NoisySeries(5000, 9);
+  auto reduced = M4Reduce(series, 64).ValueOrDie();
+  for (size_t i = 1; i < reduced.size(); ++i) {
+    EXPECT_LE(reduced[i - 1].t, reduced[i].t);
+  }
+  EXPECT_EQ(reduced.front(), series.front());
+  EXPECT_EQ(reduced.back(), series.back());
+}
+
+TEST(M4Test, ValidatesInput) {
+  EXPECT_FALSE(M4Reduce({{0, 0}}, 0).ok());
+  EXPECT_FALSE(M4Reduce({{2, 0}, {1, 0}}, 10).ok());  // unsorted
+  auto empty = M4Reduce({}, 10);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.ValueOrDie().empty());
+}
+
+TEST(M4Test, TinySeriesPassesThrough) {
+  std::vector<TimePoint> s{{0, 1}, {1, 2}};
+  auto reduced = M4Reduce(s, 100).ValueOrDie();
+  EXPECT_EQ(reduced, s);
+}
+
+// ---------------------------------------------------------------- ordering
+
+TEST(OrderingSamplerTest, ResolvesWellSeparatedGroupsWithFewSamples) {
+  Random rng(11);
+  std::vector<std::vector<double>> groups;
+  for (int g = 0; g < 5; ++g) {
+    std::vector<double> values(20000);
+    for (double& v : values) v = g * 10.0 + rng.NextGaussian();
+    groups.push_back(std::move(values));
+  }
+  size_t total_population = 5 * 20000;
+  OrderingSampler sampler(groups, /*delta=*/0.05);
+  auto report = sampler.Run(total_population);
+  EXPECT_TRUE(report.resolved);
+  EXPECT_LT(report.total_samples, total_population / 3)
+      << "ordering should resolve long before a full scan";
+  // And the recovered ordering must be correct.
+  for (int g = 1; g < 5; ++g) {
+    EXPECT_LT(report.means[g - 1], report.means[g]);
+  }
+}
+
+TEST(OrderingSamplerTest, CloseGroupsNeedMoreSamples) {
+  Random rng(13);
+  auto make_groups = [&](double gap) {
+    std::vector<std::vector<double>> groups;
+    for (int g = 0; g < 3; ++g) {
+      std::vector<double> values(50000);
+      for (double& v : values) v = g * gap + rng.NextGaussian();
+      groups.push_back(std::move(values));
+    }
+    return groups;
+  };
+  OrderingSampler easy(make_groups(20.0), 0.05, 1);
+  OrderingSampler hard(make_groups(0.5), 0.05, 1);
+  auto easy_report = easy.Run(150000);
+  auto hard_report = hard.Run(150000);
+  EXPECT_LT(easy_report.total_samples, hard_report.total_samples);
+}
+
+TEST(OrderingSamplerTest, ExactMeansMatchDefinition) {
+  OrderingSampler sampler({{1, 2, 3}, {10, 20}}, 0.05);
+  auto means = sampler.ExactMeans();
+  ASSERT_EQ(means.size(), 2u);
+  EXPECT_DOUBLE_EQ(means[0], 2.0);
+  EXPECT_DOUBLE_EQ(means[1], 15.0);
+}
+
+TEST(OrderingSamplerTest, EmptyGroupsResolveTrivially) {
+  OrderingSampler sampler({}, 0.05);
+  auto report = sampler.Run(100);
+  EXPECT_TRUE(report.resolved);
+  EXPECT_EQ(report.total_samples, 0u);
+}
+
+TEST(OrderingSamplerTest, BudgetExhaustionReported) {
+  Random rng(17);
+  std::vector<std::vector<double>> groups;
+  for (int g = 0; g < 2; ++g) {
+    std::vector<double> values(10000);
+    for (double& v : values) v = rng.NextGaussian();  // identical means
+    groups.push_back(std::move(values));
+  }
+  OrderingSampler sampler(groups, 0.05);
+  auto report = sampler.Run(100);  // tiny budget
+  EXPECT_FALSE(report.resolved);
+  EXPECT_LE(report.total_samples, 100u);
+}
+
+// ---------------------------------------------------------------- binned
+
+TEST(Binned2DTest, TotalPreserved) {
+  Random rng(19);
+  std::vector<double> x(5000), y(5000);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.NextDouble() * 10;
+    y[i] = rng.NextDouble() * 10;
+  }
+  auto grid = Binned2D::Build(x, y, 16, 16);
+  ASSERT_TRUE(grid.ok());
+  uint64_t total = 0;
+  for (size_t ix = 0; ix < 16; ++ix) {
+    for (size_t iy = 0; iy < 16; ++iy) total += grid.ValueOrDie().count(ix, iy);
+  }
+  EXPECT_EQ(total, 5000u);
+  EXPECT_EQ(grid.ValueOrDie().total(), 5000u);
+}
+
+TEST(Binned2DTest, ClusterLandsInRightCell) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back(9.0);
+    y.push_back(1.0);
+  }
+  x.push_back(0.0);
+  y.push_back(9.99);
+  auto grid = Binned2D::Build(x, y, 10, 10).ValueOrDie();
+  auto [cx, cy] = grid.CellOf(9.0, 1.0);
+  EXPECT_EQ(grid.count(cx, cy), 100u);
+  EXPECT_EQ(grid.max_count(), 100u);
+}
+
+TEST(Binned2DTest, RenderHasExpectedShape) {
+  std::vector<double> x{0, 1}, y{0, 1};
+  auto grid = Binned2D::Build(x, y, 4, 3).ValueOrDie();
+  std::string img = grid.Render();
+  EXPECT_EQ(std::count(img.begin(), img.end(), '\n'), 3);
+}
+
+TEST(Binned2DTest, ValidatesInput) {
+  EXPECT_FALSE(Binned2D::Build({}, {}, 4, 4).ok());
+  EXPECT_FALSE(Binned2D::Build({1}, {1, 2}, 4, 4).ok());
+  EXPECT_FALSE(Binned2D::Build({1}, {1}, 0, 4).ok());
+}
+
+TEST(Binned1DTest, AveragesPerBucket) {
+  std::vector<double> pos{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<double> val{0, 0, 0, 0, 0, 10, 10, 10, 10, 10};
+  auto out = BinnedAverage1D(pos, val, 2);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 10.0);
+}
+
+TEST(Binned1DTest, EmptyBucketsAreNaN) {
+  std::vector<double> pos{0, 10};
+  std::vector<double> val{1, 2};
+  auto out = BinnedAverage1D(pos, val, 5);
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_FALSE(std::isnan(out[0]));
+  EXPECT_TRUE(std::isnan(out[2]));
+  EXPECT_FALSE(std::isnan(out[4]));
+}
+
+}  // namespace
+}  // namespace exploredb

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "synopsis/wavelet.h"
+
+namespace exploredb {
+namespace {
+
+std::vector<double> RandomData(size_t n, uint64_t seed) {
+  Random rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.NextGaussian() * 10 + 5;
+  return v;
+}
+
+TEST(WaveletTest, FullCoefficientsReconstructExactly) {
+  auto data = RandomData(64, 1);
+  auto syn = WaveletSynopsis::Build(data, 64);
+  ASSERT_TRUE(syn.ok());
+  auto back = syn.ValueOrDie().Reconstruct();
+  ASSERT_EQ(back.size(), data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(back[i], data[i], 1e-9);
+  }
+  EXPECT_NEAR(syn.ValueOrDie().DroppedEnergy(), 0.0, 1e-9);
+}
+
+TEST(WaveletTest, NonPowerOfTwoLengths) {
+  auto data = RandomData(100, 3);
+  auto syn = WaveletSynopsis::Build(data, 128);
+  ASSERT_TRUE(syn.ok());
+  auto back = syn.ValueOrDie().Reconstruct();
+  ASSERT_EQ(back.size(), 100u);
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(back[i], data[i], 1e-9);
+  }
+}
+
+TEST(WaveletTest, PointEstimateMatchesReconstruction) {
+  auto data = RandomData(128, 5);
+  auto syn = WaveletSynopsis::Build(data, 20);
+  ASSERT_TRUE(syn.ok());
+  auto back = syn.ValueOrDie().Reconstruct();
+  for (size_t i = 0; i < data.size(); i += 7) {
+    EXPECT_NEAR(syn.ValueOrDie().EstimatePoint(i), back[i], 1e-9);
+  }
+}
+
+TEST(WaveletTest, RangeSumMatchesReconstructionSum) {
+  auto data = RandomData(256, 7);
+  auto syn = WaveletSynopsis::Build(data, 30);
+  ASSERT_TRUE(syn.ok());
+  auto back = syn.ValueOrDie().Reconstruct();
+  for (auto [lo, hi] : {std::pair<size_t, size_t>{0, 256},
+                        {10, 57},
+                        {128, 129},
+                        {200, 256}}) {
+    double expected = 0;
+    for (size_t i = lo; i < hi; ++i) expected += back[i];
+    EXPECT_NEAR(syn.ValueOrDie().EstimateRangeSum(lo, hi), expected, 1e-6);
+  }
+}
+
+TEST(WaveletTest, MoreCoefficientsMeanLessError) {
+  auto data = RandomData(512, 9);
+  double prev_err = 1e300;
+  for (size_t k : {4u, 16u, 64u, 256u, 512u}) {
+    auto syn = WaveletSynopsis::Build(data, k);
+    ASSERT_TRUE(syn.ok());
+    auto back = syn.ValueOrDie().Reconstruct();
+    double err = 0;
+    for (size_t i = 0; i < data.size(); ++i) {
+      err += (back[i] - data[i]) * (back[i] - data[i]);
+    }
+    err = std::sqrt(err);
+    EXPECT_LE(err, prev_err + 1e-9) << "k=" << k;
+    // DroppedEnergy is exactly the L2 reconstruction error (orthonormality).
+    EXPECT_NEAR(err, syn.ValueOrDie().DroppedEnergy(), 1e-6);
+    prev_err = err;
+  }
+}
+
+TEST(WaveletTest, PiecewiseConstantDataCompressesPerfectly) {
+  // 4-level step function needs very few Haar coefficients.
+  std::vector<double> data;
+  for (int step = 0; step < 4; ++step) {
+    for (int i = 0; i < 64; ++i) data.push_back(step * 10.0);
+  }
+  auto syn = WaveletSynopsis::Build(data, 4);
+  ASSERT_TRUE(syn.ok());
+  auto back = syn.ValueOrDie().Reconstruct();
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(back[i], data[i], 1e-9) << i;
+  }
+}
+
+TEST(WaveletTest, RangeSumClampsAndRejectsEmpty) {
+  auto data = RandomData(32, 11);
+  auto syn = WaveletSynopsis::Build(data, 32);
+  ASSERT_TRUE(syn.ok());
+  EXPECT_DOUBLE_EQ(syn.ValueOrDie().EstimateRangeSum(5, 5), 0.0);
+  double total = 0;
+  for (double v : data) total += v;
+  EXPECT_NEAR(syn.ValueOrDie().EstimateRangeSum(0, 999), total, 1e-6);
+}
+
+TEST(WaveletTest, ValidatesInput) {
+  EXPECT_FALSE(WaveletSynopsis::Build({}, 4).ok());
+  EXPECT_FALSE(WaveletSynopsis::Build({1.0}, 0).ok());
+  auto tiny = WaveletSynopsis::Build({42.0}, 5);
+  ASSERT_TRUE(tiny.ok());
+  EXPECT_NEAR(tiny.ValueOrDie().EstimatePoint(0), 42.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace exploredb

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+#include "cracking/zorder.h"
+
+namespace exploredb {
+namespace {
+
+TEST(MortonTest, EncodeDecodeRoundTrip) {
+  Random rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    uint32_t x = static_cast<uint32_t>(rng.Uniform(0x80000000u));
+    uint32_t y = static_cast<uint32_t>(rng.Uniform(0x80000000u));
+    int64_t z = MortonEncode(x, y);
+    EXPECT_GE(z, 0);
+    uint32_t bx, by;
+    MortonDecode(z, &bx, &by);
+    ASSERT_EQ(bx, x);
+    ASSERT_EQ(by, y);
+  }
+}
+
+TEST(MortonTest, KnownSmallValues) {
+  EXPECT_EQ(MortonEncode(0, 0), 0);
+  EXPECT_EQ(MortonEncode(1, 0), 1);
+  EXPECT_EQ(MortonEncode(0, 1), 2);
+  EXPECT_EQ(MortonEncode(1, 1), 3);
+  EXPECT_EQ(MortonEncode(2, 0), 4);
+  EXPECT_EQ(MortonEncode(3, 3), 15);
+}
+
+TEST(MortonTest, AlignedSquareIsContiguous) {
+  // A Morton-aligned 4x4 square covers exactly 16 consecutive keys.
+  int64_t base = MortonEncode(4, 8);
+  std::vector<int64_t> keys;
+  for (uint32_t dy = 0; dy < 4; ++dy) {
+    for (uint32_t dx = 0; dx < 4; ++dx) {
+      keys.push_back(MortonEncode(4 + dx, 8 + dy));
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(keys[i], base + static_cast<int64_t>(i));
+  }
+}
+
+TEST(MortonRangesTest, CoversExactlyOnAlignedRect) {
+  auto ranges = MortonRanges(0, 0, 4, 4, 100);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].first, 0);
+  EXPECT_EQ(ranges[0].second, 16);
+}
+
+TEST(MortonRangesTest, UnionCoversAllRectCells) {
+  Random rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    uint32_t x0 = static_cast<uint32_t>(rng.Uniform(100));
+    uint32_t y0 = static_cast<uint32_t>(rng.Uniform(100));
+    uint32_t x1 = x0 + 1 + static_cast<uint32_t>(rng.Uniform(60));
+    uint32_t y1 = y0 + 1 + static_cast<uint32_t>(rng.Uniform(60));
+    auto ranges = MortonRanges(x0, y0, x1, y1, 64);
+    ASSERT_LE(ranges.size(), 64u);
+    for (uint32_t x = x0; x < x1; ++x) {
+      for (uint32_t y = y0; y < y1; ++y) {
+        int64_t z = MortonEncode(x, y);
+        bool covered = false;
+        for (const auto& [lo, hi] : ranges) covered |= (z >= lo && z < hi);
+        ASSERT_TRUE(covered) << "cell " << x << "," << y << " uncovered";
+      }
+    }
+  }
+}
+
+TEST(MortonRangesTest, BudgetRespected) {
+  for (size_t budget : {1u, 4u, 16u}) {
+    auto ranges = MortonRanges(3, 5, 1000, 777, budget);
+    EXPECT_LE(ranges.size(), budget);
+    EXPECT_FALSE(ranges.empty());
+    // Ranges stay sorted and disjoint.
+    for (size_t i = 1; i < ranges.size(); ++i) {
+      EXPECT_GT(ranges[i].first, ranges[i - 1].second);
+    }
+  }
+}
+
+TEST(MortonRangesTest, DegenerateInputs) {
+  EXPECT_TRUE(MortonRanges(5, 5, 5, 9, 8).empty());   // empty x span
+  EXPECT_TRUE(MortonRanges(5, 5, 9, 5, 8).empty());   // empty y span
+  EXPECT_TRUE(MortonRanges(0, 0, 4, 4, 0).empty());   // zero budget
+}
+
+class ZOrderIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Random rng(11);
+    for (int i = 0; i < 20'000; ++i) {
+      xs_.push_back(static_cast<uint32_t>(rng.Uniform(10'000)));
+      ys_.push_back(static_cast<uint32_t>(rng.Uniform(10'000)));
+    }
+  }
+  std::vector<uint32_t> xs_, ys_;
+};
+
+TEST_F(ZOrderIndexTest, WindowQueryMatchesScan) {
+  auto built = ZOrderCrackerIndex::Build(xs_, ys_);
+  ASSERT_TRUE(built.ok());
+  ZOrderCrackerIndex index = std::move(built).ValueOrDie();
+  Random rng(13);
+  for (int q = 0; q < 30; ++q) {
+    uint32_t x0 = static_cast<uint32_t>(rng.Uniform(9'000));
+    uint32_t y0 = static_cast<uint32_t>(rng.Uniform(9'000));
+    uint32_t x1 = x0 + 1 + static_cast<uint32_t>(rng.Uniform(1'000));
+    uint32_t y1 = y0 + 1 + static_cast<uint32_t>(rng.Uniform(1'000));
+    auto got = index.WindowQuery(x0, y0, x1, y1);
+    auto want = index.WindowQueryScan(x0, y0, x1, y1);
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    ASSERT_EQ(got, want) << "window " << x0 << "," << y0 << " " << x1 << ","
+                         << y1;
+  }
+}
+
+TEST_F(ZOrderIndexTest, CandidatesShrinkTowardExactWithBudget) {
+  auto built = ZOrderCrackerIndex::Build(xs_, ys_);
+  ASSERT_TRUE(built.ok());
+  ZOrderCrackerIndex index = std::move(built).ValueOrDie();
+  auto exact = index.WindowQueryScan(2000, 2000, 3000, 3000);
+  index.WindowQuery(2000, 2000, 3000, 3000, /*max_ranges=*/2);
+  uint64_t coarse = index.last_candidates();
+  index.WindowQuery(2000, 2000, 3000, 3000, /*max_ranges=*/128);
+  uint64_t fine = index.last_candidates();
+  EXPECT_LE(fine, coarse);
+  EXPECT_GE(fine, exact.size());
+  // With a generous budget the candidate set is close to the true result.
+  EXPECT_LT(static_cast<double>(fine),
+            static_cast<double>(exact.size()) * 2.0 + 50);
+}
+
+TEST_F(ZOrderIndexTest, RepeatedWindowsCrackLess) {
+  auto built = ZOrderCrackerIndex::Build(xs_, ys_);
+  ASSERT_TRUE(built.ok());
+  ZOrderCrackerIndex index = std::move(built).ValueOrDie();
+  index.WindowQuery(1000, 1000, 2000, 2000);
+  uint64_t cracks_after_first = index.stats().cracks;
+  index.WindowQuery(1000, 1000, 2000, 2000);
+  EXPECT_EQ(index.stats().cracks, cracks_after_first)
+      << "identical window must need no further cracking";
+}
+
+TEST(ZOrderIndexValidation, RejectsBadInput) {
+  EXPECT_FALSE(ZOrderCrackerIndex::Build({}, {}).ok());
+  EXPECT_FALSE(ZOrderCrackerIndex::Build({1}, {1, 2}).ok());
+  EXPECT_FALSE(ZOrderCrackerIndex::Build({0x80000000u}, {0}).ok());
+}
+
+}  // namespace
+}  // namespace exploredb
