@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adaptive_layout.dir/bench_adaptive_layout.cc.o"
+  "CMakeFiles/bench_adaptive_layout.dir/bench_adaptive_layout.cc.o.d"
+  "bench_adaptive_layout"
+  "bench_adaptive_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adaptive_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adaptive_loading.dir/bench_adaptive_loading.cc.o"
+  "CMakeFiles/bench_adaptive_loading.dir/bench_adaptive_loading.cc.o.d"
+  "bench_adaptive_loading"
+  "bench_adaptive_loading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adaptive_loading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_aqp_tradeoff.dir/bench_aqp_tradeoff.cc.o"
+  "CMakeFiles/bench_aqp_tradeoff.dir/bench_aqp_tradeoff.cc.o.d"
+  "bench_aqp_tradeoff"
+  "bench_aqp_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_aqp_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cracking_convergence.dir/bench_cracking_convergence.cc.o"
+  "CMakeFiles/bench_cracking_convergence.dir/bench_cracking_convergence.cc.o.d"
+  "bench_cracking_convergence"
+  "bench_cracking_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cracking_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cracking_cumulative.dir/bench_cracking_cumulative.cc.o"
+  "CMakeFiles/bench_cracking_cumulative.dir/bench_cracking_cumulative.cc.o.d"
+  "bench_cracking_cumulative"
+  "bench_cracking_cumulative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cracking_cumulative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cracking_updates.dir/bench_cracking_updates.cc.o"
+  "CMakeFiles/bench_cracking_updates.dir/bench_cracking_updates.cc.o.d"
+  "bench_cracking_updates"
+  "bench_cracking_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cracking_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

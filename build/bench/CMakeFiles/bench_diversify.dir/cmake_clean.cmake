@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_diversify.dir/bench_diversify.cc.o"
+  "CMakeFiles/bench_diversify.dir/bench_diversify.cc.o.d"
+  "bench_diversify"
+  "bench_diversify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_diversify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_explore_by_example.dir/bench_explore_by_example.cc.o"
+  "CMakeFiles/bench_explore_by_example.dir/bench_explore_by_example.cc.o.d"
+  "bench_explore_by_example"
+  "bench_explore_by_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_explore_by_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_series_index.dir/bench_series_index.cc.o"
+  "CMakeFiles/bench_series_index.dir/bench_series_index.cc.o.d"
+  "bench_series_index"
+  "bench_series_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_series_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

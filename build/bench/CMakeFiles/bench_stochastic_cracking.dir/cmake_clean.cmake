@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stochastic_cracking.dir/bench_stochastic_cracking.cc.o"
+  "CMakeFiles/bench_stochastic_cracking.dir/bench_stochastic_cracking.cc.o.d"
+  "bench_stochastic_cracking"
+  "bench_stochastic_cracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stochastic_cracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

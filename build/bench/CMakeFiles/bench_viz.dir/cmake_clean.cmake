@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_viz.dir/bench_viz.cc.o"
+  "CMakeFiles/bench_viz.dir/bench_viz.cc.o.d"
+  "bench_viz"
+  "bench_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sky_survey.dir/sky_survey.cpp.o"
+  "CMakeFiles/sky_survey.dir/sky_survey.cpp.o.d"
+  "sky_survey"
+  "sky_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sky_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

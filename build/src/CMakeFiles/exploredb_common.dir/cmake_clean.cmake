@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exploredb_common.dir/common/random.cc.o"
+  "CMakeFiles/exploredb_common.dir/common/random.cc.o.d"
+  "CMakeFiles/exploredb_common.dir/common/status.cc.o"
+  "CMakeFiles/exploredb_common.dir/common/status.cc.o.d"
+  "CMakeFiles/exploredb_common.dir/common/stopwatch.cc.o"
+  "CMakeFiles/exploredb_common.dir/common/stopwatch.cc.o.d"
+  "CMakeFiles/exploredb_common.dir/common/strings.cc.o"
+  "CMakeFiles/exploredb_common.dir/common/strings.cc.o.d"
+  "libexploredb_common.a"
+  "libexploredb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exploredb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

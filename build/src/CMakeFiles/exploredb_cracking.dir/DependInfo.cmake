@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cracking/baselines.cc" "src/CMakeFiles/exploredb_cracking.dir/cracking/baselines.cc.o" "gcc" "src/CMakeFiles/exploredb_cracking.dir/cracking/baselines.cc.o.d"
+  "/root/repo/src/cracking/cracker_column.cc" "src/CMakeFiles/exploredb_cracking.dir/cracking/cracker_column.cc.o" "gcc" "src/CMakeFiles/exploredb_cracking.dir/cracking/cracker_column.cc.o.d"
+  "/root/repo/src/cracking/cracker_index.cc" "src/CMakeFiles/exploredb_cracking.dir/cracking/cracker_index.cc.o" "gcc" "src/CMakeFiles/exploredb_cracking.dir/cracking/cracker_index.cc.o.d"
+  "/root/repo/src/cracking/stochastic.cc" "src/CMakeFiles/exploredb_cracking.dir/cracking/stochastic.cc.o" "gcc" "src/CMakeFiles/exploredb_cracking.dir/cracking/stochastic.cc.o.d"
+  "/root/repo/src/cracking/updates.cc" "src/CMakeFiles/exploredb_cracking.dir/cracking/updates.cc.o" "gcc" "src/CMakeFiles/exploredb_cracking.dir/cracking/updates.cc.o.d"
+  "/root/repo/src/cracking/zorder.cc" "src/CMakeFiles/exploredb_cracking.dir/cracking/zorder.cc.o" "gcc" "src/CMakeFiles/exploredb_cracking.dir/cracking/zorder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/exploredb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exploredb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exploredb_cracking.dir/cracking/baselines.cc.o"
+  "CMakeFiles/exploredb_cracking.dir/cracking/baselines.cc.o.d"
+  "CMakeFiles/exploredb_cracking.dir/cracking/cracker_column.cc.o"
+  "CMakeFiles/exploredb_cracking.dir/cracking/cracker_column.cc.o.d"
+  "CMakeFiles/exploredb_cracking.dir/cracking/cracker_index.cc.o"
+  "CMakeFiles/exploredb_cracking.dir/cracking/cracker_index.cc.o.d"
+  "CMakeFiles/exploredb_cracking.dir/cracking/stochastic.cc.o"
+  "CMakeFiles/exploredb_cracking.dir/cracking/stochastic.cc.o.d"
+  "CMakeFiles/exploredb_cracking.dir/cracking/updates.cc.o"
+  "CMakeFiles/exploredb_cracking.dir/cracking/updates.cc.o.d"
+  "CMakeFiles/exploredb_cracking.dir/cracking/zorder.cc.o"
+  "CMakeFiles/exploredb_cracking.dir/cracking/zorder.cc.o.d"
+  "libexploredb_cracking.a"
+  "libexploredb_cracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exploredb_cracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exploredb_engine.dir/engine/database.cc.o"
+  "CMakeFiles/exploredb_engine.dir/engine/database.cc.o.d"
+  "CMakeFiles/exploredb_engine.dir/engine/executor.cc.o"
+  "CMakeFiles/exploredb_engine.dir/engine/executor.cc.o.d"
+  "CMakeFiles/exploredb_engine.dir/engine/query.cc.o"
+  "CMakeFiles/exploredb_engine.dir/engine/query.cc.o.d"
+  "CMakeFiles/exploredb_engine.dir/engine/session.cc.o"
+  "CMakeFiles/exploredb_engine.dir/engine/session.cc.o.d"
+  "CMakeFiles/exploredb_engine.dir/engine/steering.cc.o"
+  "CMakeFiles/exploredb_engine.dir/engine/steering.cc.o.d"
+  "libexploredb_engine.a"
+  "libexploredb_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exploredb_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

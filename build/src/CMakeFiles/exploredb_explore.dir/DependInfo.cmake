@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/explore/cube.cc" "src/CMakeFiles/exploredb_explore.dir/explore/cube.cc.o" "gcc" "src/CMakeFiles/exploredb_explore.dir/explore/cube.cc.o.d"
+  "/root/repo/src/explore/cube_navigator.cc" "src/CMakeFiles/exploredb_explore.dir/explore/cube_navigator.cc.o" "gcc" "src/CMakeFiles/exploredb_explore.dir/explore/cube_navigator.cc.o.d"
+  "/root/repo/src/explore/decision_tree.cc" "src/CMakeFiles/exploredb_explore.dir/explore/decision_tree.cc.o" "gcc" "src/CMakeFiles/exploredb_explore.dir/explore/decision_tree.cc.o.d"
+  "/root/repo/src/explore/diversify.cc" "src/CMakeFiles/exploredb_explore.dir/explore/diversify.cc.o" "gcc" "src/CMakeFiles/exploredb_explore.dir/explore/diversify.cc.o.d"
+  "/root/repo/src/explore/explore_by_example.cc" "src/CMakeFiles/exploredb_explore.dir/explore/explore_by_example.cc.o" "gcc" "src/CMakeFiles/exploredb_explore.dir/explore/explore_by_example.cc.o.d"
+  "/root/repo/src/explore/facets.cc" "src/CMakeFiles/exploredb_explore.dir/explore/facets.cc.o" "gcc" "src/CMakeFiles/exploredb_explore.dir/explore/facets.cc.o.d"
+  "/root/repo/src/explore/gestures.cc" "src/CMakeFiles/exploredb_explore.dir/explore/gestures.cc.o" "gcc" "src/CMakeFiles/exploredb_explore.dir/explore/gestures.cc.o.d"
+  "/root/repo/src/explore/imprecise.cc" "src/CMakeFiles/exploredb_explore.dir/explore/imprecise.cc.o" "gcc" "src/CMakeFiles/exploredb_explore.dir/explore/imprecise.cc.o.d"
+  "/root/repo/src/explore/keyword_search.cc" "src/CMakeFiles/exploredb_explore.dir/explore/keyword_search.cc.o" "gcc" "src/CMakeFiles/exploredb_explore.dir/explore/keyword_search.cc.o.d"
+  "/root/repo/src/explore/query_by_output.cc" "src/CMakeFiles/exploredb_explore.dir/explore/query_by_output.cc.o" "gcc" "src/CMakeFiles/exploredb_explore.dir/explore/query_by_output.cc.o.d"
+  "/root/repo/src/explore/query_recommender.cc" "src/CMakeFiles/exploredb_explore.dir/explore/query_recommender.cc.o" "gcc" "src/CMakeFiles/exploredb_explore.dir/explore/query_recommender.cc.o.d"
+  "/root/repo/src/explore/seedb.cc" "src/CMakeFiles/exploredb_explore.dir/explore/seedb.cc.o" "gcc" "src/CMakeFiles/exploredb_explore.dir/explore/seedb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/exploredb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exploredb_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exploredb_synopsis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exploredb_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exploredb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

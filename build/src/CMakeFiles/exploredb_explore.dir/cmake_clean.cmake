@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exploredb_explore.dir/explore/cube.cc.o"
+  "CMakeFiles/exploredb_explore.dir/explore/cube.cc.o.d"
+  "CMakeFiles/exploredb_explore.dir/explore/cube_navigator.cc.o"
+  "CMakeFiles/exploredb_explore.dir/explore/cube_navigator.cc.o.d"
+  "CMakeFiles/exploredb_explore.dir/explore/decision_tree.cc.o"
+  "CMakeFiles/exploredb_explore.dir/explore/decision_tree.cc.o.d"
+  "CMakeFiles/exploredb_explore.dir/explore/diversify.cc.o"
+  "CMakeFiles/exploredb_explore.dir/explore/diversify.cc.o.d"
+  "CMakeFiles/exploredb_explore.dir/explore/explore_by_example.cc.o"
+  "CMakeFiles/exploredb_explore.dir/explore/explore_by_example.cc.o.d"
+  "CMakeFiles/exploredb_explore.dir/explore/facets.cc.o"
+  "CMakeFiles/exploredb_explore.dir/explore/facets.cc.o.d"
+  "CMakeFiles/exploredb_explore.dir/explore/gestures.cc.o"
+  "CMakeFiles/exploredb_explore.dir/explore/gestures.cc.o.d"
+  "CMakeFiles/exploredb_explore.dir/explore/imprecise.cc.o"
+  "CMakeFiles/exploredb_explore.dir/explore/imprecise.cc.o.d"
+  "CMakeFiles/exploredb_explore.dir/explore/keyword_search.cc.o"
+  "CMakeFiles/exploredb_explore.dir/explore/keyword_search.cc.o.d"
+  "CMakeFiles/exploredb_explore.dir/explore/query_by_output.cc.o"
+  "CMakeFiles/exploredb_explore.dir/explore/query_by_output.cc.o.d"
+  "CMakeFiles/exploredb_explore.dir/explore/query_recommender.cc.o"
+  "CMakeFiles/exploredb_explore.dir/explore/query_recommender.cc.o.d"
+  "CMakeFiles/exploredb_explore.dir/explore/seedb.cc.o"
+  "CMakeFiles/exploredb_explore.dir/explore/seedb.cc.o.d"
+  "libexploredb_explore.a"
+  "libexploredb_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exploredb_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/adaptive_store.cc" "src/CMakeFiles/exploredb_layout.dir/layout/adaptive_store.cc.o" "gcc" "src/CMakeFiles/exploredb_layout.dir/layout/adaptive_store.cc.o.d"
+  "/root/repo/src/layout/cost_model.cc" "src/CMakeFiles/exploredb_layout.dir/layout/cost_model.cc.o" "gcc" "src/CMakeFiles/exploredb_layout.dir/layout/cost_model.cc.o.d"
+  "/root/repo/src/layout/layouts.cc" "src/CMakeFiles/exploredb_layout.dir/layout/layouts.cc.o" "gcc" "src/CMakeFiles/exploredb_layout.dir/layout/layouts.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/exploredb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exploredb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

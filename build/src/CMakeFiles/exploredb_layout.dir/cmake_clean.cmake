@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exploredb_layout.dir/layout/adaptive_store.cc.o"
+  "CMakeFiles/exploredb_layout.dir/layout/adaptive_store.cc.o.d"
+  "CMakeFiles/exploredb_layout.dir/layout/cost_model.cc.o"
+  "CMakeFiles/exploredb_layout.dir/layout/cost_model.cc.o.d"
+  "CMakeFiles/exploredb_layout.dir/layout/layouts.cc.o"
+  "CMakeFiles/exploredb_layout.dir/layout/layouts.cc.o.d"
+  "libexploredb_layout.a"
+  "libexploredb_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exploredb_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/loading/eager_loader.cc" "src/CMakeFiles/exploredb_loading.dir/loading/eager_loader.cc.o" "gcc" "src/CMakeFiles/exploredb_loading.dir/loading/eager_loader.cc.o.d"
+  "/root/repo/src/loading/positional_map.cc" "src/CMakeFiles/exploredb_loading.dir/loading/positional_map.cc.o" "gcc" "src/CMakeFiles/exploredb_loading.dir/loading/positional_map.cc.o.d"
+  "/root/repo/src/loading/raw_table.cc" "src/CMakeFiles/exploredb_loading.dir/loading/raw_table.cc.o" "gcc" "src/CMakeFiles/exploredb_loading.dir/loading/raw_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/exploredb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exploredb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exploredb_loading.dir/loading/eager_loader.cc.o"
+  "CMakeFiles/exploredb_loading.dir/loading/eager_loader.cc.o.d"
+  "CMakeFiles/exploredb_loading.dir/loading/positional_map.cc.o"
+  "CMakeFiles/exploredb_loading.dir/loading/positional_map.cc.o.d"
+  "CMakeFiles/exploredb_loading.dir/loading/raw_table.cc.o"
+  "CMakeFiles/exploredb_loading.dir/loading/raw_table.cc.o.d"
+  "libexploredb_loading.a"
+  "libexploredb_loading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exploredb_loading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

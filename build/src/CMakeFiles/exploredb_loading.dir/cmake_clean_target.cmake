@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libexploredb_loading.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prefetch/markov.cc" "src/CMakeFiles/exploredb_prefetch.dir/prefetch/markov.cc.o" "gcc" "src/CMakeFiles/exploredb_prefetch.dir/prefetch/markov.cc.o.d"
+  "/root/repo/src/prefetch/query_cache.cc" "src/CMakeFiles/exploredb_prefetch.dir/prefetch/query_cache.cc.o" "gcc" "src/CMakeFiles/exploredb_prefetch.dir/prefetch/query_cache.cc.o.d"
+  "/root/repo/src/prefetch/semantic_window.cc" "src/CMakeFiles/exploredb_prefetch.dir/prefetch/semantic_window.cc.o" "gcc" "src/CMakeFiles/exploredb_prefetch.dir/prefetch/semantic_window.cc.o.d"
+  "/root/repo/src/prefetch/speculator.cc" "src/CMakeFiles/exploredb_prefetch.dir/prefetch/speculator.cc.o" "gcc" "src/CMakeFiles/exploredb_prefetch.dir/prefetch/speculator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/exploredb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exploredb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

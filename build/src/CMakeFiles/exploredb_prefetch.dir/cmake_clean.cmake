@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exploredb_prefetch.dir/prefetch/markov.cc.o"
+  "CMakeFiles/exploredb_prefetch.dir/prefetch/markov.cc.o.d"
+  "CMakeFiles/exploredb_prefetch.dir/prefetch/query_cache.cc.o"
+  "CMakeFiles/exploredb_prefetch.dir/prefetch/query_cache.cc.o.d"
+  "CMakeFiles/exploredb_prefetch.dir/prefetch/semantic_window.cc.o"
+  "CMakeFiles/exploredb_prefetch.dir/prefetch/semantic_window.cc.o.d"
+  "CMakeFiles/exploredb_prefetch.dir/prefetch/speculator.cc.o"
+  "CMakeFiles/exploredb_prefetch.dir/prefetch/speculator.cc.o.d"
+  "libexploredb_prefetch.a"
+  "libexploredb_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exploredb_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sampling/estimators.cc" "src/CMakeFiles/exploredb_sampling.dir/sampling/estimators.cc.o" "gcc" "src/CMakeFiles/exploredb_sampling.dir/sampling/estimators.cc.o.d"
+  "/root/repo/src/sampling/online_agg.cc" "src/CMakeFiles/exploredb_sampling.dir/sampling/online_agg.cc.o" "gcc" "src/CMakeFiles/exploredb_sampling.dir/sampling/online_agg.cc.o.d"
+  "/root/repo/src/sampling/outlier_index.cc" "src/CMakeFiles/exploredb_sampling.dir/sampling/outlier_index.cc.o" "gcc" "src/CMakeFiles/exploredb_sampling.dir/sampling/outlier_index.cc.o.d"
+  "/root/repo/src/sampling/sample_catalog.cc" "src/CMakeFiles/exploredb_sampling.dir/sampling/sample_catalog.cc.o" "gcc" "src/CMakeFiles/exploredb_sampling.dir/sampling/sample_catalog.cc.o.d"
+  "/root/repo/src/sampling/sampler.cc" "src/CMakeFiles/exploredb_sampling.dir/sampling/sampler.cc.o" "gcc" "src/CMakeFiles/exploredb_sampling.dir/sampling/sampler.cc.o.d"
+  "/root/repo/src/sampling/stratified.cc" "src/CMakeFiles/exploredb_sampling.dir/sampling/stratified.cc.o" "gcc" "src/CMakeFiles/exploredb_sampling.dir/sampling/stratified.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/exploredb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exploredb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

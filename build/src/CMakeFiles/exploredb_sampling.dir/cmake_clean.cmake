@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exploredb_sampling.dir/sampling/estimators.cc.o"
+  "CMakeFiles/exploredb_sampling.dir/sampling/estimators.cc.o.d"
+  "CMakeFiles/exploredb_sampling.dir/sampling/online_agg.cc.o"
+  "CMakeFiles/exploredb_sampling.dir/sampling/online_agg.cc.o.d"
+  "CMakeFiles/exploredb_sampling.dir/sampling/outlier_index.cc.o"
+  "CMakeFiles/exploredb_sampling.dir/sampling/outlier_index.cc.o.d"
+  "CMakeFiles/exploredb_sampling.dir/sampling/sample_catalog.cc.o"
+  "CMakeFiles/exploredb_sampling.dir/sampling/sample_catalog.cc.o.d"
+  "CMakeFiles/exploredb_sampling.dir/sampling/sampler.cc.o"
+  "CMakeFiles/exploredb_sampling.dir/sampling/sampler.cc.o.d"
+  "CMakeFiles/exploredb_sampling.dir/sampling/stratified.cc.o"
+  "CMakeFiles/exploredb_sampling.dir/sampling/stratified.cc.o.d"
+  "libexploredb_sampling.a"
+  "libexploredb_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exploredb_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

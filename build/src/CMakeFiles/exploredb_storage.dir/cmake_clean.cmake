@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exploredb_storage.dir/storage/column.cc.o"
+  "CMakeFiles/exploredb_storage.dir/storage/column.cc.o.d"
+  "CMakeFiles/exploredb_storage.dir/storage/csv.cc.o"
+  "CMakeFiles/exploredb_storage.dir/storage/csv.cc.o.d"
+  "CMakeFiles/exploredb_storage.dir/storage/predicate.cc.o"
+  "CMakeFiles/exploredb_storage.dir/storage/predicate.cc.o.d"
+  "CMakeFiles/exploredb_storage.dir/storage/schema.cc.o"
+  "CMakeFiles/exploredb_storage.dir/storage/schema.cc.o.d"
+  "CMakeFiles/exploredb_storage.dir/storage/table.cc.o"
+  "CMakeFiles/exploredb_storage.dir/storage/table.cc.o.d"
+  "CMakeFiles/exploredb_storage.dir/storage/value.cc.o"
+  "CMakeFiles/exploredb_storage.dir/storage/value.cc.o.d"
+  "libexploredb_storage.a"
+  "libexploredb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exploredb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synopsis/count_min.cc" "src/CMakeFiles/exploredb_synopsis.dir/synopsis/count_min.cc.o" "gcc" "src/CMakeFiles/exploredb_synopsis.dir/synopsis/count_min.cc.o.d"
+  "/root/repo/src/synopsis/histogram.cc" "src/CMakeFiles/exploredb_synopsis.dir/synopsis/histogram.cc.o" "gcc" "src/CMakeFiles/exploredb_synopsis.dir/synopsis/histogram.cc.o.d"
+  "/root/repo/src/synopsis/hyperloglog.cc" "src/CMakeFiles/exploredb_synopsis.dir/synopsis/hyperloglog.cc.o" "gcc" "src/CMakeFiles/exploredb_synopsis.dir/synopsis/hyperloglog.cc.o.d"
+  "/root/repo/src/synopsis/wavelet.cc" "src/CMakeFiles/exploredb_synopsis.dir/synopsis/wavelet.cc.o" "gcc" "src/CMakeFiles/exploredb_synopsis.dir/synopsis/wavelet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/exploredb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exploredb_synopsis.dir/synopsis/count_min.cc.o"
+  "CMakeFiles/exploredb_synopsis.dir/synopsis/count_min.cc.o.d"
+  "CMakeFiles/exploredb_synopsis.dir/synopsis/histogram.cc.o"
+  "CMakeFiles/exploredb_synopsis.dir/synopsis/histogram.cc.o.d"
+  "CMakeFiles/exploredb_synopsis.dir/synopsis/hyperloglog.cc.o"
+  "CMakeFiles/exploredb_synopsis.dir/synopsis/hyperloglog.cc.o.d"
+  "CMakeFiles/exploredb_synopsis.dir/synopsis/wavelet.cc.o"
+  "CMakeFiles/exploredb_synopsis.dir/synopsis/wavelet.cc.o.d"
+  "libexploredb_synopsis.a"
+  "libexploredb_synopsis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exploredb_synopsis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exploredb_tsindex.dir/tsindex/adaptive_series_index.cc.o"
+  "CMakeFiles/exploredb_tsindex.dir/tsindex/adaptive_series_index.cc.o.d"
+  "CMakeFiles/exploredb_tsindex.dir/tsindex/paa.cc.o"
+  "CMakeFiles/exploredb_tsindex.dir/tsindex/paa.cc.o.d"
+  "libexploredb_tsindex.a"
+  "libexploredb_tsindex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exploredb_tsindex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

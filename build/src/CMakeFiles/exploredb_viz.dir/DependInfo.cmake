@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/viz/binned.cc" "src/CMakeFiles/exploredb_viz.dir/viz/binned.cc.o" "gcc" "src/CMakeFiles/exploredb_viz.dir/viz/binned.cc.o.d"
+  "/root/repo/src/viz/m4.cc" "src/CMakeFiles/exploredb_viz.dir/viz/m4.cc.o" "gcc" "src/CMakeFiles/exploredb_viz.dir/viz/m4.cc.o.d"
+  "/root/repo/src/viz/tile_pyramid.cc" "src/CMakeFiles/exploredb_viz.dir/viz/tile_pyramid.cc.o" "gcc" "src/CMakeFiles/exploredb_viz.dir/viz/tile_pyramid.cc.o.d"
+  "/root/repo/src/viz/viz_sampling.cc" "src/CMakeFiles/exploredb_viz.dir/viz/viz_sampling.cc.o" "gcc" "src/CMakeFiles/exploredb_viz.dir/viz/viz_sampling.cc.o.d"
+  "/root/repo/src/viz/vizdeck.cc" "src/CMakeFiles/exploredb_viz.dir/viz/vizdeck.cc.o" "gcc" "src/CMakeFiles/exploredb_viz.dir/viz/vizdeck.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/exploredb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exploredb_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exploredb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exploredb_viz.dir/viz/binned.cc.o"
+  "CMakeFiles/exploredb_viz.dir/viz/binned.cc.o.d"
+  "CMakeFiles/exploredb_viz.dir/viz/m4.cc.o"
+  "CMakeFiles/exploredb_viz.dir/viz/m4.cc.o.d"
+  "CMakeFiles/exploredb_viz.dir/viz/tile_pyramid.cc.o"
+  "CMakeFiles/exploredb_viz.dir/viz/tile_pyramid.cc.o.d"
+  "CMakeFiles/exploredb_viz.dir/viz/viz_sampling.cc.o"
+  "CMakeFiles/exploredb_viz.dir/viz/viz_sampling.cc.o.d"
+  "CMakeFiles/exploredb_viz.dir/viz/vizdeck.cc.o"
+  "CMakeFiles/exploredb_viz.dir/viz/vizdeck.cc.o.d"
+  "libexploredb_viz.a"
+  "libexploredb_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exploredb_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

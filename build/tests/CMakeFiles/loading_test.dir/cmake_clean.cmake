@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loading_test.dir/loading_test.cc.o"
+  "CMakeFiles/loading_test.dir/loading_test.cc.o.d"
+  "loading_test"
+  "loading_test.pdb"
+  "loading_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loading_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stress_test.cc" "tests/CMakeFiles/stress_test.dir/stress_test.cc.o" "gcc" "tests/CMakeFiles/stress_test.dir/stress_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/exploredb_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exploredb_cracking.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exploredb_loading.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exploredb_explore.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exploredb_synopsis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exploredb_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exploredb_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exploredb_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exploredb_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exploredb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exploredb_tsindex.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exploredb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tile_pyramid_test.dir/tile_pyramid_test.cc.o"
+  "CMakeFiles/tile_pyramid_test.dir/tile_pyramid_test.cc.o.d"
+  "tile_pyramid_test"
+  "tile_pyramid_test.pdb"
+  "tile_pyramid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tile_pyramid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

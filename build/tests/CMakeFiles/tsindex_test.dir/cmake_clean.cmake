@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsindex_test.dir/tsindex_test.cc.o"
+  "CMakeFiles/tsindex_test.dir/tsindex_test.cc.o.d"
+  "tsindex_test"
+  "tsindex_test.pdb"
+  "tsindex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsindex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

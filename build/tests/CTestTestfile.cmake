@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/cracking_test[1]_include.cmake")
+include("/root/repo/build/tests/loading_test[1]_include.cmake")
+include("/root/repo/build/tests/sampling_test[1]_include.cmake")
+include("/root/repo/build/tests/synopsis_test[1]_include.cmake")
+include("/root/repo/build/tests/prefetch_test[1]_include.cmake")
+include("/root/repo/build/tests/explore_test[1]_include.cmake")
+include("/root/repo/build/tests/viz_test[1]_include.cmake")
+include("/root/repo/build/tests/layout_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/tsindex_test[1]_include.cmake")
+include("/root/repo/build/tests/wavelet_test[1]_include.cmake")
+include("/root/repo/build/tests/keyword_search_test[1]_include.cmake")
+include("/root/repo/build/tests/steering_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/interaction_test[1]_include.cmake")
+include("/root/repo/build/tests/refinement_test[1]_include.cmake")
+include("/root/repo/build/tests/tile_pyramid_test[1]_include.cmake")
+include("/root/repo/build/tests/outlier_index_test[1]_include.cmake")
+include("/root/repo/build/tests/zorder_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
