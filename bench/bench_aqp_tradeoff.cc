@@ -47,9 +47,9 @@ void Run() {
   Row("sample_fraction", "latency_ms", "abs_error", "ci_half_width",
       "rows_touched");
   for (double fraction : {0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5}) {
-    QueryOptions options;
-    options.mode = ExecutionMode::kSampled;
-    options.sample_fraction = fraction;
+    ExecContext options;
+    options.options().mode = ExecutionMode::kSampled;
+    options.options().sample_fraction = fraction;
     timer.Restart();
     auto r = exec.Execute(q, options);
     double ms = timer.ElapsedSeconds() * 1e3;

@@ -6,12 +6,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <memory>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "cracking/baselines.h"
 #include "cracking/cracker_column.h"
+#include "engine/database.h"
+#include "engine/executor.h"
+#include "engine/query.h"
 #include "sampling/online_agg.h"
 #include "sampling/sampler.h"
 #include "synopsis/count_min.h"
@@ -87,6 +93,41 @@ void BM_HllAdd(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_HllAdd)->Arg(10)->Arg(14);
+
+/// Morsel-parallel full-column predicate scan through the executor, 10M-row
+/// int64 column, selectivity ~10%. Arg = worker-thread count (0 = forced
+/// serial path, no pool). Measures end-to-end Execute, so it includes the
+/// position-merge and projection-free aggregate epilogue.
+void BM_ParallelFullScan(benchmark::State& state) {
+  static Database* db = [] {
+    auto data = bench::RandomInts(10'000'000, 1'000'000, 11);
+    Table t(Schema({{"v", DataType::kInt64}}));
+    *t.mutable_column(0)->mutable_int64_data() = std::move(data);
+    auto* d = new Database();
+    if (!d->CreateTable("big", std::move(t)).ok()) std::abort();
+    return d;
+  }();
+  Executor exec(db);
+  const int threads = static_cast<int>(state.range(0));
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 0) pool = std::make_unique<ThreadPool>(threads);
+  ExecContext ctx;
+  ctx.SetThreadPool(pool.get());
+  Query q = Query::On("big")
+                .Where(Predicate({{0, CompareOp::kGe, Value(int64_t{100'000})},
+                                  {0, CompareOp::kLt, Value(int64_t{200'000})}}))
+                .Aggregate(AggKind::kCount);
+  uint64_t rows = 0;
+  for (auto _ : state) {
+    auto r = exec.Execute(q, ctx);
+    if (!r.ok()) std::abort();
+    benchmark::DoNotOptimize(r.ValueOrDie().scalar->value);
+    rows += r.ValueOrDie().stats().rows_scanned;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_ParallelFullScan)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_OnlineAggBatch(benchmark::State& state) {
   Random rng(9);

@@ -1,8 +1,10 @@
 // Quickstart: the ExploreDB API in five minutes.
 //
-// Creates a table, registers a raw CSV for adaptive (NoDB-style) loading,
-// and runs the same exploratory query under the engine's execution modes:
-// scan, cracking, full index, sampled, and online aggregation.
+// Creates a table and runs the same exploratory query under the engine's
+// execution modes — scan, cracking, full index, sampled, online aggregation —
+// using the name-based QueryBuilder and the ExecContext execution API. Every
+// result carries an ExecStats breakdown (access path, rows, morsels, threads,
+// per-phase wall times).
 //
 // Build & run:  cmake -B build -G Ninja && cmake --build build
 //               ./build/examples/quickstart
@@ -43,45 +45,59 @@ int main() {
 
   // ---- 2. A declarative exploration query ---------------------------------
   // "Requests from users 10000..19999: how slow are they on average?"
-  Query q = Query::On("requests")
-                .Where(Predicate({{0, CompareOp::kGe, Value(int64_t{10'000})},
-                                  {0, CompareOp::kLt, Value(int64_t{20'000})}}))
-                .Aggregate(AggKind::kAvg, "latency_ms");
+  // QueryBuilder references columns by name; the executor resolves them
+  // against the table schema.
+  QueryBuilder q = Query::From("requests")
+                       .WhereBetween("user_id", int64_t{10'000}, int64_t{20'000})
+                       .Aggregate(AggKind::kAvg, "latency_ms");
 
   Executor exec(&db);
 
   // ---- 3. Execute under every mode ----------------------------------------
-  std::printf("%-12s %-14s %-14s %-14s\n", "mode", "AVG(latency)", "±95% CI",
-              "rows touched");
+  std::printf("%-12s %-14s %-14s %s\n", "mode", "AVG(latency)", "±95% CI",
+              "stats");
   for (ExecutionMode mode :
        {ExecutionMode::kScan, ExecutionMode::kCracking,
         ExecutionMode::kFullIndex, ExecutionMode::kSampled,
         ExecutionMode::kOnline}) {
-    QueryOptions options;
-    options.mode = mode;
-    options.sample_fraction = 0.02;  // for kSampled
-    options.error_budget = 0.5;      // for kOnline: stop at ±0.5ms
-    auto result = exec.Execute(q, options);
+    ExecContext ctx;
+    ctx.options().mode = mode;
+    ctx.options().sample_fraction = 0.02;  // for kSampled
+    ctx.options().error_budget = 0.5;      // for kOnline: stop at ±0.5ms
+    auto result = exec.Execute(q, ctx);
     if (!result.ok()) {
       std::printf("%s failed: %s\n", ExecutionModeName(mode),
                   result.status().ToString().c_str());
       return 1;
     }
     const QueryResult& r = result.ValueOrDie();
-    std::printf("%-12s %-14.3f %-14.3f %-14llu\n", ExecutionModeName(mode),
+    std::printf("%-12s %-14.3f %-14.3f %s\n", ExecutionModeName(mode),
                 r.scalar->value, r.scalar->ci_half_width,
-                static_cast<unsigned long long>(r.rows_scanned));
+                r.stats().Summary().c_str());
   }
 
   // ---- 4. Selections return positions + projected rows --------------------
-  Query sel = Query::On("requests")
-                  .Where(Predicate({{1, CompareOp::kGt, Value(99.0)}}))
-                  .Select({"endpoint", "latency_ms"});
-  auto rows = exec.Execute(sel);
+  auto rows = exec.Execute(Query::From("requests")
+                               .Where("latency_ms", CompareOp::kGt, 99.0)
+                               .Select({"endpoint", "latency_ms"}));
   if (rows.ok()) {
     std::printf("\nSlowest requests (latency > 99ms): %zu rows\n%s",
                 rows.ValueOrDie().positions.size(),
                 rows.ValueOrDie().rows->ToString(5).c_str());
+  }
+
+  // ---- 5. Deadlines and cancellation --------------------------------------
+  // An ExecContext carries a deadline; in online-aggregation mode the engine
+  // returns its best estimate when time runs out instead of failing.
+  ExecContext bounded;
+  bounded.options().mode = ExecutionMode::kOnline;
+  bounded.SetTimeout(std::chrono::milliseconds(1));
+  auto quick = exec.Execute(q, bounded);
+  if (quick.ok()) {
+    std::printf("\n1ms budget: AVG=%.3f ±%.3f (approximate=%s)\n",
+                quick.ValueOrDie().scalar->value,
+                quick.ValueOrDie().scalar->ci_half_width,
+                quick.ValueOrDie().approximate ? "yes" : "no");
   }
   return 0;
 }

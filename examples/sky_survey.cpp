@@ -63,8 +63,8 @@ int main() {
 
   // -- Sweep right-ascension windows under cracking -------------------------
   std::printf("sweeping ra windows (cracking + speculation)...\n");
-  QueryOptions crack;
-  crack.mode = ExecutionMode::kCracking;
+  ExecContext crack;
+  crack.options().mode = ExecutionMode::kCracking;
   for (int step = 0; step < 10; ++step) {
     int64_t lo = step * 1'000;
     Query window = Query::On("sky").Where(
@@ -84,9 +84,9 @@ int main() {
                   session.stats().speculative_queries));
 
   // -- Quick approximate brightness profile ----------------------------------
-  QueryOptions online;
-  online.mode = ExecutionMode::kOnline;
-  online.error_budget = 0.3;
+  ExecContext online;
+  online.options().mode = ExecutionMode::kOnline;
+  online.options().error_budget = 0.3;
   auto avg = session.Execute(
       Query::On("sky").Aggregate(AggKind::kAvg, "brightness"), online);
   if (avg.ok()) {

@@ -18,6 +18,7 @@ class Stopwatch {
   /// Elapsed time since construction or the last Restart().
   double ElapsedSeconds() const;
   int64_t ElapsedMicros() const;
+  int64_t ElapsedNanos() const;
 
  private:
   std::chrono::steady_clock::time_point start_;

@@ -1,0 +1,122 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+
+namespace exploredb {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (threads_.empty()) {
+    task();  // no workers: degenerate to synchronous execution
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+
+/// State shared between the caller and the helper tasks of one ParallelFor.
+/// Heap-allocated and reference-counted: helper tasks may still be sitting
+/// in the queue after the dispatch logically finished (they wake up, find no
+/// chunks left, and drop their reference).
+struct ForState {
+  explicit ForState(size_t n, const std::function<void(size_t)>& b)
+      : count(n), body(b) {}
+
+  const size_t count;
+  const std::function<void(size_t)>& body;  // outlives state: caller blocks
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> completed{0};
+  std::atomic<uint32_t> participants{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+
+  /// Claims and runs chunks until none remain; returns chunks run here.
+  size_t Drain() {
+    size_t ran = 0;
+    for (;;) {
+      size_t chunk = next.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= count) break;
+      body(chunk);
+      ++ran;
+      if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
+        std::lock_guard<std::mutex> lock(mu);
+        done_cv.notify_all();
+      }
+    }
+    if (ran > 0) participants.fetch_add(1, std::memory_order_relaxed);
+    return ran;
+  }
+};
+
+}  // namespace
+
+ThreadPool::ForStats ThreadPool::ParallelFor(
+    size_t count, const std::function<void(size_t)>& body) {
+  ForStats stats;
+  stats.chunks = count;
+  if (count == 0) return stats;
+
+  auto state = std::make_shared<ForState>(count, body);
+  // One helper per worker, capped at the chunk count (extra helpers would
+  // wake up to an empty claim counter).
+  size_t helpers = std::min(threads_.size(), count);
+  for (size_t i = 0; i < helpers; ++i) {
+    Submit([state] { state->Drain(); });
+  }
+  state->Drain();  // caller participates: guarantees progress
+
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->done_cv.wait(lock, [&] {
+      return state->completed.load(std::memory_order_acquire) == count;
+    });
+  }
+  stats.threads_used =
+      std::max<uint32_t>(1, state->participants.load(std::memory_order_relaxed));
+  return stats;
+}
+
+ThreadPool* ThreadPool::Global() {
+  static ThreadPool* pool = [] {
+    unsigned hw = std::thread::hardware_concurrency();
+    return new ThreadPool(hw == 0 ? 4 : hw);
+  }();
+  return pool;
+}
+
+}  // namespace exploredb

@@ -1,0 +1,64 @@
+#ifndef EXPLOREDB_COMMON_THREAD_POOL_H_
+#define EXPLOREDB_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace exploredb {
+
+/// A fixed-size worker pool for morsel-driven parallelism. One process-wide
+/// instance (Global()) is shared by default; executors may also own private
+/// pools (tests pin thread counts this way).
+///
+/// The design constraint is determinism: ParallelFor callers assign output
+/// slots by chunk index, never by thread, so results are identical for any
+/// worker count — including zero workers, where the caller runs everything
+/// inline.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 is valid: all work runs on the caller).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Fire-and-forget task (used by async/speculative machinery).
+  void Submit(std::function<void()> task);
+
+  /// What a ParallelFor dispatch actually used, for ExecStats.
+  struct ForStats {
+    uint64_t chunks = 0;        ///< chunk indexes dispatched
+    uint32_t threads_used = 1;  ///< distinct threads that ran >= 1 chunk
+  };
+
+  /// Runs body(chunk) for chunk in [0, count), distributing chunks over the
+  /// workers via an atomic claim counter. The calling thread participates,
+  /// so this makes progress (and cannot deadlock) even when every worker is
+  /// busy — including when called from inside a pool task. Blocks until all
+  /// chunks have finished.
+  ForStats ParallelFor(size_t count, const std::function<void(size_t)>& body);
+
+  /// Process-wide shared pool, sized to the hardware; created on first use.
+  static ThreadPool* Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool stop_ = false;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_COMMON_THREAD_POOL_H_

@@ -1,6 +1,7 @@
 #include "engine/executor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <unordered_map>
 
@@ -33,6 +34,14 @@ Result<std::vector<const ColumnVector*>> FetchConditionColumns(
   }
   return cols;
 }
+
+/// The error a query stopped by its ExecContext reports.
+Status InterruptedStatus(const ExecContext& ctx) {
+  return ctx.cancelled() ? Status::Cancelled("query cancelled")
+                         : Status::DeadlineExceeded("query deadline exceeded");
+}
+
+size_t MorselCount(size_t n, size_t morsel) { return (n + morsel - 1) / morsel; }
 
 }  // namespace
 
@@ -89,7 +98,8 @@ std::optional<Executor::RangePlan> Executor::ExtractRange(
 
 Result<std::vector<uint32_t>> Executor::SelectPositions(
     TableEntry* entry, const Predicate& pred, ExecutionMode mode,
-    uint64_t* rows_scanned) {
+    const ExecContext& ctx, ExecStats* stats) {
+  Stopwatch phase;
   EXPLOREDB_ASSIGN_OR_RETURN(size_t n, entry->NumRows());
 
   if (mode == ExecutionMode::kCracking || mode == ExecutionMode::kFullIndex) {
@@ -98,65 +108,180 @@ Result<std::vector<uint32_t>> Executor::SelectPositions(
     if (plan.has_value()) {
       std::vector<uint32_t> candidates;
       if (mode == ExecutionMode::kCracking) {
+        stats->path = AccessPath::kCracker;
         EXPLOREDB_ASSIGN_OR_RETURN(CrackerColumn * cracker,
                                    entry->GetCracker(plan->column));
         uint64_t touched_before = cracker->stats().elements_touched;
         CrackRange range = cracker->RangeSelect(plan->lo, plan->hi);
-        *rows_scanned +=
+        stats->rows_scanned +=
             cracker->stats().elements_touched - touched_before + range.count();
         candidates.assign(cracker->row_ids().begin() + range.begin,
                           cracker->row_ids().begin() + range.end);
       } else {
+        stats->path = AccessPath::kSorted;
         EXPLOREDB_ASSIGN_OR_RETURN(const SortedIndex* index,
                                    entry->GetSortedIndex(plan->column));
         candidates = index->RangeSelect(plan->lo, plan->hi);
-        *rows_scanned += candidates.size();
+        stats->rows_scanned += candidates.size();
       }
       std::sort(candidates.begin(), candidates.end());
-      if (plan->residual.empty()) return candidates;
+      if (plan->residual.empty()) {
+        stats->select_nanos += phase.ElapsedNanos();
+        return candidates;
+      }
       EXPLOREDB_ASSIGN_OR_RETURN(
           std::vector<const ColumnVector*> cols,
           FetchConditionColumns(entry, plan->residual));
       std::vector<uint32_t> out;
       for (uint32_t row : candidates) {
-        ++*rows_scanned;
+        ++stats->rows_scanned;
         if (MatchesAll(plan->residual, cols, row)) out.push_back(row);
       }
+      stats->select_nanos += phase.ElapsedNanos();
       return out;
     }
     // No indexable range: fall through to a scan.
   }
 
+  stats->path = AccessPath::kScan;
   const std::vector<Condition>& conds = pred.conjuncts();
   EXPLOREDB_ASSIGN_OR_RETURN(std::vector<const ColumnVector*> cols,
                              FetchConditionColumns(entry, conds));
-  std::vector<uint32_t> out;
-  for (size_t row = 0; row < n; ++row) {
-    ++*rows_scanned;
-    if (MatchesAll(conds, cols, row)) {
-      out.push_back(static_cast<uint32_t>(row));
-    }
+  const size_t morsel = std::max<size_t>(1, ctx.morsel_size());
+  ThreadPool* pool = ctx.thread_pool();
+  stats->rows_scanned += n;
+
+  // Serial kernel: one morsel covering the whole column.
+  if (pool == nullptr || n <= morsel) {
+    std::vector<uint32_t> out;
+    Predicate::FilterRange(conds, cols, 0, static_cast<uint32_t>(n), &out);
+    stats->morsels_dispatched += 1;
+    stats->select_nanos += phase.ElapsedNanos();
+    return out;
   }
+
+  // Morsel-parallel kernel: per-morsel position buffers, merged in morsel
+  // order — byte-identical to the serial scan for any worker count.
+  const size_t num_morsels = MorselCount(n, morsel);
+  std::vector<std::vector<uint32_t>> parts(num_morsels);
+  ThreadPool::ForStats fs = pool->ParallelFor(num_morsels, [&](size_t m) {
+    if (ctx.Interrupted()) return;
+    uint32_t begin = static_cast<uint32_t>(m * morsel);
+    uint32_t end = static_cast<uint32_t>(std::min(n, m * morsel + morsel));
+    Predicate::FilterRange(conds, cols, begin, end, &parts[m]);
+  });
+  stats->morsels_dispatched += fs.chunks;
+  stats->threads_used = std::max(stats->threads_used, fs.threads_used);
+  if (ctx.Interrupted()) return InterruptedStatus(ctx);
+
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  std::vector<uint32_t> out;
+  out.reserve(total);
+  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+  stats->select_nanos += phase.ElapsedNanos();
   return out;
 }
 
+Result<Estimate> Executor::AggregatePositions(
+    const std::vector<uint32_t>& positions, const ColumnVector* measure,
+    AggKind kind, const ExecContext& ctx, ExecStats* stats) {
+  Estimate e;
+  e.confidence = ctx.options().confidence;
+  e.sample_size = positions.size();
+  if (kind == AggKind::kCount) {
+    e.value = static_cast<double>(positions.size());
+    return e;
+  }
+
+  // SUM/AVG: per-morsel partial sums merged in morsel order. The serial path
+  // is the same computation with one worker, so every thread count produces
+  // bit-identical doubles.
+  const double* dbl = measure->type() == DataType::kDouble
+                          ? measure->double_data().data()
+                          : nullptr;
+  const int64_t* i64 = measure->type() == DataType::kInt64
+                           ? measure->int64_data().data()
+                           : nullptr;
+  auto sum_slice = [&](size_t begin, size_t end) {
+    double s = 0;
+    if (dbl != nullptr) {
+      for (size_t i = begin; i < end; ++i) s += dbl[positions[i]];
+    } else {
+      for (size_t i = begin; i < end; ++i) {
+        s += static_cast<double>(i64[positions[i]]);
+      }
+    }
+    return s;
+  };
+
+  const size_t morsel = std::max<size_t>(1, ctx.morsel_size());
+  const size_t num_morsels = MorselCount(positions.size(), morsel);
+  ThreadPool* pool = ctx.thread_pool();
+  std::vector<double> partials(num_morsels, 0.0);
+  auto body = [&](size_t m) {
+    if (ctx.Interrupted()) return;
+    partials[m] = sum_slice(m * morsel,
+                            std::min(positions.size(), m * morsel + morsel));
+  };
+  if (pool != nullptr && num_morsels > 1) {
+    ThreadPool::ForStats fs = pool->ParallelFor(num_morsels, body);
+    stats->morsels_dispatched += fs.chunks;
+    stats->threads_used = std::max(stats->threads_used, fs.threads_used);
+  } else {
+    for (size_t m = 0; m < num_morsels; ++m) body(m);
+    stats->morsels_dispatched += num_morsels;
+  }
+  if (ctx.Interrupted()) return InterruptedStatus(ctx);
+
+  double sum = 0;
+  for (double p : partials) sum += p;
+  switch (kind) {
+    case AggKind::kSum:
+      e.value = sum;
+      break;
+    case AggKind::kAvg:
+      e.value = positions.empty()
+                    ? 0.0
+                    : sum / static_cast<double>(positions.size());
+      break;
+    case AggKind::kCount:
+      break;  // handled above
+  }
+  return e;
+}
+
 Result<QueryResult> Executor::Execute(const Query& query,
-                                      const QueryOptions& options_in) {
-  Stopwatch timer;
+                                      const ExecContext& ctx) {
+  Stopwatch total;
+  Stopwatch phase;
+  ExecStats stats;
   EXPLOREDB_ASSIGN_OR_RETURN(TableEntry * entry, db_->GetTable(query.table()));
-  QueryOptions options = options_in;
-  if (options.mode == ExecutionMode::kAuto) {
+  ExecutionMode mode = ctx.options().mode;
+  if (mode == ExecutionMode::kAuto) {
     // Self-organizing default: let adaptive indexing grow under predicates
     // it can serve; everything else scans. (Cracking silently falls back to
     // a scan for non-indexable predicates, so kCracking is the safe pick
     // whenever a predicate exists.)
-    options.mode = query.where().empty() ? ExecutionMode::kScan
-                                         : ExecutionMode::kCracking;
+    mode = query.where().empty() ? ExecutionMode::kScan
+                                 : ExecutionMode::kCracking;
   }
+  stats.plan_nanos = phase.ElapsedNanos();
+  // Cancellation aborts every path, but an expired deadline still admits
+  // online aggregation: its contract is to answer with the current estimate
+  // (approximate) rather than fail.
+  if (ctx.cancelled() ||
+      (ctx.DeadlineExceeded() && mode != ExecutionMode::kOnline)) {
+    return InterruptedStatus(ctx);
+  }
+
   if (query.aggregate().has_value() || query.group_by().has_value()) {
-    EXPLOREDB_ASSIGN_OR_RETURN(QueryResult result,
-                               ExecuteAggregate(entry, query, options));
-    result.exec_micros = timer.ElapsedMicros();
+    EXPLOREDB_ASSIGN_OR_RETURN(
+        QueryResult result, ExecuteAggregate(entry, query, mode, ctx, &stats));
+    stats.total_nanos = total.ElapsedNanos();
+    result.exec_stats = stats;
+    result.rows_scanned = stats.rows_scanned;
+    result.exec_micros = stats.total_nanos / 1000;
     return result;
   }
 
@@ -164,10 +289,10 @@ Result<QueryResult> Executor::Execute(const Query& query,
   QueryResult result;
   EXPLOREDB_ASSIGN_OR_RETURN(
       result.positions,
-      SelectPositions(entry, query.where(), options.mode,
-                      &result.rows_scanned));
+      SelectPositions(entry, query.where(), mode, ctx, &stats));
 
   // Project requested columns (all columns if unspecified).
+  phase.Restart();
   std::vector<size_t> col_indexes;
   if (query.select().empty()) {
     for (size_t c = 0; c < entry->schema().num_fields(); ++c) {
@@ -187,17 +312,37 @@ Result<QueryResult> Executor::Execute(const Query& query,
     *projected.mutable_column(i) = col->Gather(result.positions);
   }
   result.rows = std::move(projected);
-  result.exec_micros = timer.ElapsedMicros();
+  stats.project_nanos = phase.ElapsedNanos();
+  stats.total_nanos = total.ElapsedNanos();
+  result.exec_stats = stats;
+  result.rows_scanned = stats.rows_scanned;
+  result.exec_micros = stats.total_nanos / 1000;
   return result;
+}
+
+Result<QueryResult> Executor::Execute(const QueryBuilder& builder,
+                                      const ExecContext& ctx) {
+  EXPLOREDB_ASSIGN_OR_RETURN(TableEntry * entry,
+                             db_->GetTable(builder.table()));
+  EXPLOREDB_ASSIGN_OR_RETURN(Query query, builder.Build(entry->schema()));
+  return Execute(query, ctx);
+}
+
+Result<QueryResult> Executor::Execute(const Query& query,
+                                      const QueryOptions& options) {
+  return Execute(query, ExecContext(options));
 }
 
 Result<QueryResult> Executor::ExecuteAggregate(TableEntry* entry,
                                                const Query& query,
-                                               const QueryOptions& options) {
+                                               ExecutionMode mode,
+                                               const ExecContext& ctx,
+                                               ExecStats* stats) {
   if (!query.aggregate().has_value()) {
     return Status::InvalidArgument("GROUP BY requires an aggregate");
   }
   const AggregateExpr& agg = *query.aggregate();
+  const QueryOptions& options = ctx.options();
   EXPLOREDB_ASSIGN_OR_RETURN(size_t n, entry->NumRows());
 
   // Resolve the measure column (COUNT may omit it).
@@ -215,6 +360,7 @@ Result<QueryResult> Executor::ExecuteAggregate(TableEntry* entry,
   }
 
   QueryResult result;
+  Stopwatch phase;
 
   // ---- Grouped aggregates -------------------------------------------------
   if (query.group_by().has_value()) {
@@ -224,7 +370,8 @@ Result<QueryResult> Executor::ExecuteAggregate(TableEntry* entry,
                                entry->GetColumn(gidx));
     // Which rows participate?
     std::vector<uint32_t> positions;
-    if (options.mode == ExecutionMode::kSampled) {
+    if (mode == ExecutionMode::kSampled) {
+      stats->path = AccessPath::kSample;
       Random rng(42);
       std::vector<uint32_t> sample = BernoulliSample(
           n, options.sample_fraction, &rng);
@@ -232,17 +379,19 @@ Result<QueryResult> Executor::ExecuteAggregate(TableEntry* entry,
           std::vector<const ColumnVector*> cols,
           FetchConditionColumns(entry, query.where().conjuncts()));
       for (uint32_t row : sample) {
-        ++result.rows_scanned;
+        ++stats->rows_scanned;
         if (MatchesAll(query.where().conjuncts(), cols, row)) {
           positions.push_back(row);
         }
       }
       result.approximate = true;
+      stats->select_nanos += phase.ElapsedNanos();
     } else {
       EXPLOREDB_ASSIGN_OR_RETURN(
-          positions, SelectPositions(entry, query.where(), options.mode,
-                                     &result.rows_scanned));
+          positions,
+          SelectPositions(entry, query.where(), mode, ctx, stats));
     }
+    phase.Restart();
     struct Acc {
       std::vector<double> values;
       uint64_t count = 0;
@@ -280,12 +429,14 @@ Result<QueryResult> Executor::ExecuteAggregate(TableEntry* entry,
       }
       result.groups.push_back({key, e});
     }
+    stats->aggregate_nanos += phase.ElapsedNanos();
     return result;
   }
 
   // ---- Scalar aggregates --------------------------------------------------
-  switch (options.mode) {
+  switch (mode) {
     case ExecutionMode::kSampled: {
+      stats->path = AccessPath::kSample;
       Random rng(42);
       std::vector<uint32_t> sample =
           BernoulliSample(n, options.sample_fraction, &rng);
@@ -296,7 +447,7 @@ Result<QueryResult> Executor::ExecuteAggregate(TableEntry* entry,
       std::vector<double> contributions;  // 0 for non-matching rows
       size_t matches = 0;
       for (uint32_t row : sample) {
-        ++result.rows_scanned;
+        ++stats->rows_scanned;
         bool hit = MatchesAll(query.where().conjuncts(), cols, row);
         matches += hit;
         double v = (measure != nullptr && hit) ? measure->GetDouble(row) : 0.0;
@@ -304,6 +455,8 @@ Result<QueryResult> Executor::ExecuteAggregate(TableEntry* entry,
         if (hit && measure != nullptr) matched.push_back(v);
       }
       result.approximate = true;
+      stats->select_nanos += phase.ElapsedNanos();
+      phase.Restart();
       switch (agg.kind) {
         case AggKind::kCount:
           result.scalar = EstimateCount(matches, sample.size(), n,
@@ -317,27 +470,41 @@ Result<QueryResult> Executor::ExecuteAggregate(TableEntry* entry,
           result.scalar = EstimateMean(matched, options.confidence);
           break;
       }
+      stats->aggregate_nanos += phase.ElapsedNanos();
       return result;
     }
     case ExecutionMode::kOnline: {
-      // Materialize predicate mask + values, then consume in random order
-      // until the error budget is met.
+      // Materialize predicate mask + values (one worker per partition), then
+      // consume in random order until the error budget is met. A deadline
+      // here bounds refinement: the running estimate is returned approximate
+      // rather than failing the query.
+      stats->path = AccessPath::kOnline;
       EXPLOREDB_ASSIGN_OR_RETURN(
           std::vector<const ColumnVector*> cols,
           FetchConditionColumns(entry, query.where().conjuncts()));
-      std::vector<double> values(n, 0.0);
-      std::vector<bool> mask(n, false);
-      for (size_t row = 0; row < n; ++row) {
-        mask[row] = MatchesAll(query.where().conjuncts(), cols, row);
-        if (measure != nullptr) values[row] = measure->GetDouble(row);
-      }
-      OnlineAggregator agg_runner(std::move(values), std::move(mask),
-                                  agg.kind);
+      OnlineInput input = BuildOnlineInput(
+          query.where().conjuncts(), cols, measure, n, ctx.thread_pool(),
+          std::max<size_t>(1, ctx.morsel_size()), &stats->morsels_dispatched,
+          &stats->threads_used);
+      stats->select_nanos += phase.ElapsedNanos();
+      phase.Restart();
+      OnlineAggregator agg_runner(std::move(input.values),
+                                  std::move(input.mask), agg.kind);
       const size_t batch = std::max<size_t>(n / 100, 64);
       Estimate current = agg_runner.Current(options.confidence);
+      bool deadline_stop = false;
+      bool first = true;
       while (!agg_runner.done()) {
+        if (ctx.cancelled()) return Status::Cancelled("query cancelled");
+        // Always consume at least one batch: an answer under deadline must
+        // be a real (if coarse) estimate, never the zero-sample degenerate.
+        if (!first && ctx.DeadlineExceeded()) {
+          deadline_stop = true;
+          break;
+        }
+        first = false;
         agg_runner.ProcessNext(batch);
-        result.rows_scanned += batch;
+        stats->rows_scanned += batch;
         current = agg_runner.Current(options.confidence);
         if (options.error_budget > 0 &&
             current.ci_half_width <= options.error_budget) {
@@ -345,37 +512,21 @@ Result<QueryResult> Executor::ExecuteAggregate(TableEntry* entry,
         }
       }
       result.scalar = current;
-      result.approximate = !agg_runner.done();
+      result.approximate = !agg_runner.done() || deadline_stop;
+      stats->aggregate_nanos += phase.ElapsedNanos();
       return result;
     }
     default: {
       std::vector<uint32_t> positions;
       EXPLOREDB_ASSIGN_OR_RETURN(
-          positions, SelectPositions(entry, query.where(), options.mode,
-                                     &result.rows_scanned));
-      Estimate e;
-      e.confidence = options.confidence;
-      e.sample_size = positions.size();
-      switch (agg.kind) {
-        case AggKind::kCount:
-          e.value = static_cast<double>(positions.size());
-          break;
-        case AggKind::kSum: {
-          double s = 0;
-          for (uint32_t row : positions) s += measure->GetDouble(row);
-          e.value = s;
-          break;
-        }
-        case AggKind::kAvg: {
-          double s = 0;
-          for (uint32_t row : positions) s += measure->GetDouble(row);
-          e.value = positions.empty()
-                        ? 0.0
-                        : s / static_cast<double>(positions.size());
-          break;
-        }
-      }
+          positions,
+          SelectPositions(entry, query.where(), mode, ctx, stats));
+      phase.Restart();
+      EXPLOREDB_ASSIGN_OR_RETURN(
+          Estimate e,
+          AggregatePositions(positions, measure, agg.kind, ctx, stats));
       result.scalar = e;
+      stats->aggregate_nanos += phase.ElapsedNanos();
       return result;
     }
   }

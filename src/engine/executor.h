@@ -16,14 +16,32 @@ namespace exploredb {
 /// route through adaptive indexes (cracking), columns stream in through
 /// adaptive loading, and approximate modes answer from samples or online
 /// aggregation.
+///
+/// Full-column predicate scans and exact aggregation run morsel-parallel
+/// over the ExecContext's thread pool: columns split into fixed-size morsels
+/// evaluated into per-morsel buffers that are merged in morsel order, so the
+/// result is identical to the serial path for any thread count. Every query
+/// returns an ExecStats breakdown inside its QueryResult.
 class Executor {
  public:
   explicit Executor(Database* db) : db_(db) {}
 
-  /// Runs `query` under `options`. Selections yield positions + projected
-  /// rows; aggregates yield an Estimate (exact modes have zero CI width).
-  Result<QueryResult> Execute(const Query& query,
-                              const QueryOptions& options = {});
+  /// Runs `query` under `ctx` (options, deadline, cancellation, pool).
+  /// Selections yield positions + projected rows; aggregates yield an
+  /// Estimate (exact modes have zero CI width). A cancelled query fails with
+  /// kCancelled; an expired deadline fails with kDeadlineExceeded, except in
+  /// online-aggregation mode, where the running estimate is returned as an
+  /// approximate answer (the AQP contract: a deadline bounds refinement, not
+  /// correctness).
+  Result<QueryResult> Execute(const Query& query, const ExecContext& ctx = {});
+
+  /// Resolves a name-based QueryBuilder against the catalog, then executes.
+  Result<QueryResult> Execute(const QueryBuilder& builder,
+                              const ExecContext& ctx = {});
+
+  /// Deprecated pre-ExecContext signature; kept for one release.
+  [[deprecated("wrap the options in an ExecContext")]] Result<QueryResult>
+  Execute(const Query& query, const QueryOptions& options);
 
  private:
   /// An int64 range [lo, hi) extracted from a predicate, plus the conjuncts
@@ -41,13 +59,27 @@ class Executor {
                                                const Schema& schema,
                                                TableEntry* entry);
 
+  /// Positions matching `pred` under `mode` (kAuto already resolved).
+  /// Full scans are morsel-parallel; index paths record which index served
+  /// the query in stats->path.
   Result<std::vector<uint32_t>> SelectPositions(TableEntry* entry,
                                                 const Predicate& pred,
                                                 ExecutionMode mode,
-                                                uint64_t* rows_scanned);
+                                                const ExecContext& ctx,
+                                                ExecStats* stats);
+
+  /// Exact scalar aggregate over `positions`, morsel-parallel with
+  /// deterministic per-morsel partials (identical result for any thread
+  /// count, including serial).
+  Result<Estimate> AggregatePositions(const std::vector<uint32_t>& positions,
+                                      const ColumnVector* measure,
+                                      AggKind kind, const ExecContext& ctx,
+                                      ExecStats* stats);
 
   Result<QueryResult> ExecuteAggregate(TableEntry* entry, const Query& query,
-                                       const QueryOptions& options);
+                                       ExecutionMode mode,
+                                       const ExecContext& ctx,
+                                       ExecStats* stats);
 
   Database* db_;
 };

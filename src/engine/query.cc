@@ -1,5 +1,7 @@
 #include "engine/query.h"
 
+#include <cstdio>
+
 namespace exploredb {
 
 const char* ExecutionModeName(ExecutionMode mode) {
@@ -18,6 +20,98 @@ const char* ExecutionModeName(ExecutionMode mode) {
       return "auto";
   }
   return "?";
+}
+
+const char* AccessPathName(AccessPath path) {
+  switch (path) {
+    case AccessPath::kNone:
+      return "none";
+    case AccessPath::kScan:
+      return "scan";
+    case AccessPath::kCracker:
+      return "cracker";
+    case AccessPath::kSorted:
+      return "sorted";
+    case AccessPath::kSample:
+      return "sample";
+    case AccessPath::kOnline:
+      return "online";
+    case AccessPath::kCache:
+      return "cache";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Human-scale duration: "873ns", "42us", "1.7ms", "2.3s".
+std::string FormatNanos(int64_t nanos) {
+  char buf[32];
+  if (nanos < 1'000) {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(nanos));
+  } else if (nanos < 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%lldus",
+                  static_cast<long long>(nanos / 1'000));
+  } else if (nanos < 1'000'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fms",
+                  static_cast<double>(nanos) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", static_cast<double>(nanos) / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string ExecStats::Summary() const {
+  std::string out = "path=";
+  out += AccessPathName(path);
+  out += " rows=" + std::to_string(rows_scanned);
+  out += " morsels=" + std::to_string(morsels_dispatched);
+  out += " threads=" + std::to_string(threads_used);
+  out += " | plan=" + FormatNanos(plan_nanos);
+  out += " select=" + FormatNanos(select_nanos);
+  out += " agg=" + FormatNanos(aggregate_nanos);
+  out += " project=" + FormatNanos(project_nanos);
+  out += " total=" + FormatNanos(total_nanos);
+  return out;
+}
+
+Result<Query> QueryBuilder::Build(const Schema& schema) const {
+  Predicate where;
+  for (const NamedCondition& c : conditions_) {
+    EXPLOREDB_ASSIGN_OR_RETURN(size_t idx, schema.FieldIndex(c.column));
+    Value constant = c.constant;
+    switch (schema.field(idx).type) {
+      case DataType::kInt64:
+        // Comparisons against a double constant are evaluated in double
+        // precision by the scan kernels; nothing to coerce.
+        if (constant.is_string()) {
+          return Status::InvalidArgument("string constant for int64 column '" +
+                                         c.column + "'");
+        }
+        break;
+      case DataType::kDouble:
+        if (constant.is_int64()) constant = Value(constant.AsDouble());
+        if (constant.is_string()) {
+          return Status::InvalidArgument(
+              "string constant for double column '" + c.column + "'");
+        }
+        break;
+      case DataType::kString:
+        if (!constant.is_string()) {
+          return Status::InvalidArgument(
+              "non-string constant for string column '" + c.column + "'");
+        }
+        break;
+    }
+    where.And({idx, c.op, std::move(constant)});
+  }
+  Query q = Query::On(table_).Where(std::move(where));
+  if (!select_.empty()) q.Select(select_);
+  if (aggregate_.has_value()) q.Aggregate(aggregate_->kind, aggregate_->column);
+  if (group_by_.has_value()) q.GroupBy(*group_by_);
+  return q;
 }
 
 std::string Query::CacheKey() const {

@@ -1,11 +1,15 @@
 #ifndef EXPLOREDB_ENGINE_QUERY_H_
 #define EXPLOREDB_ENGINE_QUERY_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "sampling/estimators.h"
 #include "sampling/online_agg.h"
 #include "storage/predicate.h"
@@ -38,11 +42,123 @@ struct QueryOptions {
   double confidence = 0.95;
 };
 
+/// Which access path actually answered the query — the first thing to look
+/// at when a query was slower (or faster) than expected.
+enum class AccessPath {
+  kNone,     ///< not executed yet
+  kScan,     ///< full column scan (serial or morsel-parallel)
+  kCracker,  ///< adaptive cracker index
+  kSorted,   ///< fully sorted index
+  kSample,   ///< uniform-sample estimate
+  kOnline,   ///< online aggregation
+  kCache,    ///< served from the session result cache
+};
+
+const char* AccessPathName(AccessPath path);
+
+/// Structured per-query execution statistics, returned inside QueryResult.
+/// Every phase the executor runs is timed with a Stopwatch; morsel dispatch
+/// is counted so regressions in parallelism (e.g. a predicate silently
+/// falling off the parallel path) show up in numbers, not vibes.
+struct ExecStats {
+  uint64_t rows_scanned = 0;       ///< row visits across all phases
+  uint64_t morsels_dispatched = 0; ///< parallel work units issued
+  uint32_t threads_used = 1;       ///< distinct threads that did work
+  AccessPath path = AccessPath::kNone;
+
+  // Per-phase wall times (nanoseconds; zero when the phase did not run).
+  int64_t plan_nanos = 0;       ///< mode resolution + range extraction
+  int64_t select_nanos = 0;     ///< predicate evaluation / index probe
+  int64_t aggregate_nanos = 0;  ///< accumulator evaluation + merge
+  int64_t project_nanos = 0;    ///< gathering output columns
+  int64_t total_nanos = 0;
+
+  /// One human-readable summary line, e.g.
+  /// "path=scan rows=1000000 morsels=16 threads=4 | plan=3us select=1.2ms
+  ///  agg=0.4ms project=0us total=1.7ms".
+  std::string Summary() const;
+};
+
+/// Everything the executor needs to know about *how* to run one query:
+/// options, an optional deadline, a cooperative cancellation flag, and the
+/// thread pool to spread morsels over. Copies are cheap and share the
+/// cancellation flag, so a controller thread can hold a copy and cancel a
+/// query running elsewhere.
+///
+///   ExecContext ctx;
+///   ctx.options().mode = ExecutionMode::kCracking;
+///   ctx.SetTimeout(std::chrono::milliseconds(50));
+///   auto result = executor.Execute(query, ctx);
+class ExecContext {
+ public:
+  ExecContext() : cancel_(std::make_shared<std::atomic<bool>>(false)) {}
+  explicit ExecContext(QueryOptions options) : ExecContext() {
+    options_ = options;
+  }
+
+  QueryOptions& options() { return options_; }
+  const QueryOptions& options() const { return options_; }
+  ExecContext& SetMode(ExecutionMode mode) {
+    options_.mode = mode;
+    return *this;
+  }
+
+  // -- Deadline ------------------------------------------------------------
+  ExecContext& SetDeadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+    return *this;
+  }
+  ExecContext& SetTimeout(std::chrono::nanoseconds budget) {
+    deadline_ = std::chrono::steady_clock::now() + budget;
+    return *this;
+  }
+  bool has_deadline() const { return deadline_.has_value(); }
+  bool DeadlineExceeded() const {
+    return deadline_.has_value() &&
+           std::chrono::steady_clock::now() >= *deadline_;
+  }
+
+  // -- Cancellation (shared across copies) ---------------------------------
+  void RequestCancel() const { cancel_->store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return cancel_->load(std::memory_order_relaxed); }
+
+  /// True when execution should stop between morsels/batches.
+  bool Interrupted() const { return cancelled() || DeadlineExceeded(); }
+
+  // -- Parallelism ---------------------------------------------------------
+  /// Pool for morsel-parallel kernels; nullptr forces serial execution.
+  /// Defaults to the process-wide pool.
+  ExecContext& SetThreadPool(ThreadPool* pool) {
+    pool_ = pool;
+    return *this;
+  }
+  ThreadPool* thread_pool() const { return pool_; }
+
+  ExecContext& SetMorselSize(size_t rows) {
+    morsel_size_ = rows;
+    return *this;
+  }
+  size_t morsel_size() const { return morsel_size_; }
+
+  /// Default morsel: ~64K rows — small enough to balance, large enough to
+  /// amortize dispatch (a few hundred KB of column data per unit).
+  static constexpr size_t kDefaultMorselSize = 64 * 1024;
+
+ private:
+  QueryOptions options_;
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
+  std::shared_ptr<std::atomic<bool>> cancel_;
+  ThreadPool* pool_ = ThreadPool::Global();
+  size_t morsel_size_ = kDefaultMorselSize;
+};
+
 /// An aggregate expression `agg(column)`.
 struct AggregateExpr {
   AggKind kind = AggKind::kCount;
   std::string column;  ///< ignored for COUNT(*) — leave empty
 };
+
+class QueryBuilder;
 
 /// A declarative exploration query over one table: selection + either a
 /// projection or an (optionally grouped) aggregate. Built fluently:
@@ -51,6 +167,9 @@ struct AggregateExpr {
 ///                 .Where(Predicate::Range(0, 10.0, 20.0))
 ///                 .Aggregate(AggKind::kAvg, "brightness")
 ///                 .GroupBy("region");
+///
+/// Conditions reference columns by index; prefer Query::From (a name-based
+/// QueryBuilder) when hand-writing queries.
 class Query {
  public:
   static Query On(std::string table) {
@@ -58,6 +177,13 @@ class Query {
     q.table_ = std::move(table);
     return q;
   }
+
+  /// Name-based fluent builder (resolved against the schema at Build or
+  /// Execute time):
+  ///
+  ///   Query::From("requests").WhereBetween("user_id", 10'000, 20'000)
+  ///                          .Aggregate(AggKind::kAvg, "latency_ms")
+  static QueryBuilder From(std::string table);
 
   Query& Where(Predicate pred) {
     where_ = std::move(pred);
@@ -93,6 +219,62 @@ class Query {
   std::optional<std::string> group_by_;
 };
 
+/// Fluent, name-based query construction: conditions are written against
+/// column *names* and resolved (with numeric coercion and type checking)
+/// against the table schema by Build(). Executor/Session accept a builder
+/// directly and resolve it against the catalog.
+class QueryBuilder {
+ public:
+  explicit QueryBuilder(std::string table) : table_(std::move(table)) {}
+
+  QueryBuilder& Where(std::string column, CompareOp op, Value constant) {
+    conditions_.push_back({std::move(column), op, std::move(constant)});
+    return *this;
+  }
+  /// The exploration window idiom: lo <= column < hi.
+  QueryBuilder& WhereBetween(std::string column, Value lo, Value hi) {
+    conditions_.push_back({column, CompareOp::kGe, std::move(lo)});
+    conditions_.push_back({std::move(column), CompareOp::kLt, std::move(hi)});
+    return *this;
+  }
+  QueryBuilder& Select(std::vector<std::string> columns) {
+    select_ = std::move(columns);
+    return *this;
+  }
+  QueryBuilder& Aggregate(AggKind kind, std::string column = "") {
+    aggregate_ = AggregateExpr{kind, std::move(column)};
+    return *this;
+  }
+  QueryBuilder& GroupBy(std::string column) {
+    group_by_ = std::move(column);
+    return *this;
+  }
+
+  const std::string& table() const { return table_; }
+
+  /// Resolves column names to indexes and coerces numeric constants to the
+  /// column type. Fails on unknown columns and on constants whose type the
+  /// column cannot compare against (e.g. a string against an int64 column).
+  Result<Query> Build(const Schema& schema) const;
+
+ private:
+  struct NamedCondition {
+    std::string column;
+    CompareOp op;
+    Value constant;
+  };
+
+  std::string table_;
+  std::vector<NamedCondition> conditions_;
+  std::vector<std::string> select_;
+  std::optional<AggregateExpr> aggregate_;
+  std::optional<std::string> group_by_;
+};
+
+inline QueryBuilder Query::From(std::string table) {
+  return QueryBuilder(std::move(table));
+}
+
 /// One group of a grouped-aggregate result.
 struct GroupValue {
   std::string key;
@@ -108,10 +290,16 @@ struct QueryResult {
   std::vector<GroupValue> groups;        ///< grouped aggregate result
 
   // Provenance / cost accounting.
-  uint64_t rows_scanned = 0;
+  ExecStats exec_stats;                  ///< structured per-query statistics
   bool from_cache = false;
   bool approximate = false;
+
+  // Legacy mirrors of exec_stats fields, kept one release for callers that
+  // predate ExecStats.
+  uint64_t rows_scanned = 0;
   int64_t exec_micros = 0;
+
+  const ExecStats& stats() const { return exec_stats; }
 };
 
 }  // namespace exploredb

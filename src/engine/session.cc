@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/stopwatch.h"
+
 namespace exploredb {
 
 Session::Session(Database* db, SessionOptions options)
@@ -11,8 +13,9 @@ Session::Session(Database* db, SessionOptions options)
       cache_(options.cache_capacity) {}
 
 Result<QueryResult> Session::Execute(const Query& query,
-                                     const QueryOptions& options) {
+                                     const ExecContext& ctx) {
   ++stats_.queries;
+  Stopwatch total;
   const std::string key = query.CacheKey();
 
   // Trajectory model learns every issued query (cached or not).
@@ -22,8 +25,8 @@ Result<QueryResult> Session::Execute(const Query& query,
   // Only position results of exact selections are cacheable.
   const bool cacheable =
       !query.aggregate().has_value() && !query.group_by().has_value() &&
-      options.mode != ExecutionMode::kSampled &&
-      options.mode != ExecutionMode::kOnline;
+      ctx.options().mode != ExecutionMode::kSampled &&
+      ctx.options().mode != ExecutionMode::kOnline;
 
   if (cacheable) {
     if (auto cached = cache_.Get(key)) {
@@ -31,6 +34,7 @@ Result<QueryResult> Session::Execute(const Query& query,
       QueryResult result;
       result.positions = std::move(*cached);
       result.from_cache = true;
+      result.exec_stats.path = AccessPath::kCache;
       // Re-project rows from the cached positions (cheap gather).
       EXPLOREDB_ASSIGN_OR_RETURN(TableEntry * entry,
                                  db_->GetTable(query.table()));
@@ -53,31 +57,46 @@ Result<QueryResult> Session::Execute(const Query& query,
         *projected.mutable_column(i) = col->Gather(result.positions);
       }
       result.rows = std::move(projected);
+      result.exec_stats.project_nanos = total.ElapsedNanos();
       if (options_.speculate) {
-        SpeculateAround(query, options);
+        SpeculateAround(query, ctx);
         stats_.speculative_queries += speculator_.RunIdle(options_.idle_budget);
       }
       last_table_ = query.table();
       last_predicate_ = query.where();
+      result.exec_stats.total_nanos = total.ElapsedNanos();
+      result.exec_micros = result.exec_stats.total_nanos / 1000;
       return result;
     }
   }
 
   EXPLOREDB_ASSIGN_OR_RETURN(QueryResult result,
-                             executor_.Execute(query, options));
+                             executor_.Execute(query, ctx));
   if (cacheable) cache_.Put(key, result.positions);
   last_table_ = query.table();
   last_predicate_ = query.where();
 
   if (options_.speculate) {
-    SpeculateAround(query, options);
+    SpeculateAround(query, ctx);
     stats_.speculative_queries += speculator_.RunIdle(options_.idle_budget);
   }
   return result;
 }
 
-void Session::SpeculateAround(const Query& query,
-                              const QueryOptions& options) {
+Result<QueryResult> Session::Execute(const QueryBuilder& builder,
+                                     const ExecContext& ctx) {
+  EXPLOREDB_ASSIGN_OR_RETURN(TableEntry * entry,
+                             db_->GetTable(builder.table()));
+  EXPLOREDB_ASSIGN_OR_RETURN(Query query, builder.Build(entry->schema()));
+  return Execute(query, ctx);
+}
+
+Result<QueryResult> Session::Execute(const Query& query,
+                                     const QueryOptions& options) {
+  return Execute(query, ExecContext(options));
+}
+
+void Session::SpeculateAround(const Query& query, const ExecContext& ctx) {
   // Momentum speculation on single-column int64 windows: the exploratory
   // idiom "slide the window" makes the adjacent windows the best candidates.
   const auto& conjuncts = query.where().conjuncts();
@@ -107,9 +126,9 @@ void Session::SpeculateAround(const Query& query,
     if (!history_.empty()) {
       utility = trajectory_.TransitionProbability(history_.back(), key);
     }
-    QueryOptions spec_options = options;
-    speculator_.Enqueue(key, utility, [this, shifted, spec_options, key]() {
-      auto result = executor_.Execute(shifted, spec_options);
+    ExecContext spec_ctx = ctx;
+    speculator_.Enqueue(key, utility, [this, shifted, spec_ctx, key]() {
+      auto result = executor_.Execute(shifted, spec_ctx);
       if (result.ok()) {
         cache_.Put(key, std::move(result).ValueOrDie().positions);
       }

@@ -43,8 +43,15 @@ class Session {
   Session(Database* db, SessionOptions options = {});
 
   /// Executes a query with caching + speculation around it.
-  Result<QueryResult> Execute(const Query& query,
-                              const QueryOptions& options = {});
+  Result<QueryResult> Execute(const Query& query, const ExecContext& ctx = {});
+
+  /// Resolves a name-based QueryBuilder against the catalog, then executes.
+  Result<QueryResult> Execute(const QueryBuilder& builder,
+                              const ExecContext& ctx = {});
+
+  /// Deprecated pre-ExecContext signature; kept for one release.
+  [[deprecated("wrap the options in an ExecContext")]] Result<QueryResult>
+  Execute(const Query& query, const QueryOptions& options);
 
   /// SeeDB view recommendations where the target subset is the latest
   /// query's predicate.
@@ -63,7 +70,7 @@ class Session {
  private:
   /// Enqueues shifted copies of a single-column range query (pan left/right)
   /// into the speculator.
-  void SpeculateAround(const Query& query, const QueryOptions& options);
+  void SpeculateAround(const Query& query, const ExecContext& ctx);
 
   Database* db_;
   SessionOptions options_;

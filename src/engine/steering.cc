@@ -226,7 +226,7 @@ Result<SteeringTrace> SteeringInterpreter::Run(const std::string& program) {
           "FROM " + state.table + " WHERE " + q.where().ToString(schema) +
           " [" + ExecutionModeName(state.options.mode) + "]");
       EXPLOREDB_ASSIGN_OR_RETURN(QueryResult result,
-                                 session_->Execute(q, state.options));
+                                 session_->Execute(q, ExecContext(state.options)));
       trace.results.push_back(std::move(result));
     } else {
       return fail("unknown statement '" + words[0] + "'");

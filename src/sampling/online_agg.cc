@@ -1,5 +1,6 @@
 #include "sampling/online_agg.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 
@@ -18,7 +19,7 @@ const char* AggKindName(AggKind kind) {
 }
 
 OnlineAggregator::OnlineAggregator(std::vector<double> values,
-                                   std::vector<bool> mask, AggKind kind,
+                                   std::vector<uint8_t> mask, AggKind kind,
                                    uint64_t seed)
     : values_(std::move(values)), mask_(std::move(mask)), kind_(kind) {
   if (mask_.empty()) mask_.assign(values_.size(), true);
@@ -33,7 +34,7 @@ size_t OnlineAggregator::ProcessNext(size_t batch) {
   while (consumed < batch && cursor_ < order_.size()) {
     uint32_t row = order_[cursor_++];
     ++consumed;
-    bool hit = mask_[row];
+    bool hit = mask_[row] != 0;
     matches_ += hit;
     double x;
     size_t n;
@@ -99,6 +100,48 @@ Estimate OnlineAggregator::Current(double confidence) const {
     }
   }
   return e;
+}
+
+OnlineInput BuildOnlineInput(const std::vector<Condition>& conditions,
+                             const std::vector<const ColumnVector*>& cols,
+                             const ColumnVector* measure, size_t num_rows,
+                             ThreadPool* pool, size_t partition_rows,
+                             uint64_t* partitions_dispatched,
+                             uint32_t* threads_used) {
+  OnlineInput input;
+  input.values.assign(num_rows, 0.0);
+  input.mask.assign(num_rows, 0);
+  if (num_rows == 0) return input;
+  if (partition_rows == 0) partition_rows = num_rows;
+
+  auto fill = [&](size_t begin, size_t end) {
+    // Workers touch disjoint [begin, end) slices: plain writes, no sync.
+    std::vector<uint32_t> hits;
+    Predicate::FilterRange(conditions, cols, static_cast<uint32_t>(begin),
+                           static_cast<uint32_t>(end), &hits);
+    for (uint32_t row : hits) input.mask[row] = 1;
+    if (measure != nullptr) {
+      for (size_t row = begin; row < end; ++row) {
+        input.values[row] = measure->GetDouble(row);
+      }
+    }
+  };
+
+  const size_t partitions = (num_rows + partition_rows - 1) / partition_rows;
+  if (pool == nullptr || partitions < 2) {
+    fill(0, num_rows);
+    if (partitions_dispatched != nullptr) *partitions_dispatched += 1;
+    return input;
+  }
+  ThreadPool::ForStats stats = pool->ParallelFor(partitions, [&](size_t p) {
+    size_t begin = p * partition_rows;
+    fill(begin, std::min(num_rows, begin + partition_rows));
+  });
+  if (partitions_dispatched != nullptr) *partitions_dispatched += stats.chunks;
+  if (threads_used != nullptr) {
+    *threads_used = std::max(*threads_used, stats.threads_used);
+  }
+  return input;
 }
 
 }  // namespace exploredb

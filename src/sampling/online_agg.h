@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "sampling/estimators.h"
+#include "storage/predicate.h"
 
 namespace exploredb {
 
@@ -22,9 +24,11 @@ class OnlineAggregator {
  public:
   /// `values` is the aggregated column; `mask` (optional, same length) marks
   /// which rows satisfy the query predicate (COUNT counts mask hits; AVG/SUM
-  /// aggregate masked-in values only). Rows are visited in a random
-  /// permutation drawn from `seed`.
-  OnlineAggregator(std::vector<double> values, std::vector<bool> mask,
+  /// aggregate masked-in values only). A byte per row rather than
+  /// vector<bool> so partitioned producers can fill disjoint ranges
+  /// concurrently. Rows are visited in a random permutation drawn from
+  /// `seed`.
+  OnlineAggregator(std::vector<double> values, std::vector<uint8_t> mask,
                    AggKind kind, uint64_t seed = 42);
 
   /// Processes up to `batch` more rows; returns rows actually consumed
@@ -40,7 +44,7 @@ class OnlineAggregator {
 
  private:
   std::vector<double> values_;
-  std::vector<bool> mask_;
+  std::vector<uint8_t> mask_;
   AggKind kind_;
   std::vector<uint32_t> order_;
   size_t cursor_ = 0;
@@ -50,6 +54,25 @@ class OnlineAggregator {
   double m2_ = 0.0;
   size_t matches_ = 0;
 };
+
+/// Materialized inputs for an OnlineAggregator: the measure column widened
+/// to double plus the predicate mask.
+struct OnlineInput {
+  std::vector<double> values;
+  std::vector<uint8_t> mask;
+};
+
+/// Builds OnlineAggregator inputs with one worker per partition: the row
+/// range is split into `partition_rows`-sized slices and each worker fills
+/// its disjoint slice of both output vectors in place. `measure` may be null
+/// (COUNT); `pool` may be null for serial execution. `partitions_dispatched`
+/// and `threads_used` (both optional) receive dispatch statistics.
+OnlineInput BuildOnlineInput(const std::vector<Condition>& conditions,
+                             const std::vector<const ColumnVector*>& cols,
+                             const ColumnVector* measure, size_t num_rows,
+                             ThreadPool* pool, size_t partition_rows,
+                             uint64_t* partitions_dispatched = nullptr,
+                             uint32_t* threads_used = nullptr);
 
 }  // namespace exploredb
 

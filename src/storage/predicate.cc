@@ -97,6 +97,91 @@ std::vector<uint32_t> Predicate::SelectPositions(const Table& table) const {
   return out;
 }
 
+namespace {
+
+/// Tight per-op loop over a typed array; the compiler vectorizes these.
+template <typename T, typename Pred>
+void FilterTyped(const T* data, uint32_t begin, uint32_t end, Pred pred,
+                 std::vector<uint32_t>* out) {
+  for (uint32_t r = begin; r < end; ++r) {
+    if (pred(data[r])) out->push_back(r);
+  }
+}
+
+template <typename T>
+bool FilterOneComparison(const T* data, CompareOp op, T k, uint32_t begin,
+                         uint32_t end, std::vector<uint32_t>* out) {
+  switch (op) {
+    case CompareOp::kLt:
+      FilterTyped(data, begin, end, [k](T v) { return v < k; }, out);
+      return true;
+    case CompareOp::kLe:
+      FilterTyped(data, begin, end, [k](T v) { return v <= k; }, out);
+      return true;
+    case CompareOp::kGt:
+      FilterTyped(data, begin, end, [k](T v) { return v > k; }, out);
+      return true;
+    case CompareOp::kGe:
+      FilterTyped(data, begin, end, [k](T v) { return v >= k; }, out);
+      return true;
+    case CompareOp::kEq:
+      FilterTyped(data, begin, end, [k](T v) { return v == k; }, out);
+      return true;
+    case CompareOp::kNe:
+      FilterTyped(data, begin, end, [k](T v) { return v != k; }, out);
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void Predicate::FilterRange(const std::vector<Condition>& conditions,
+                            const std::vector<const ColumnVector*>& cols,
+                            uint32_t begin, uint32_t end,
+                            std::vector<uint32_t>* out) {
+  // Fast path: one typed comparison over a numeric column.
+  if (conditions.size() == 1) {
+    const Condition& c = conditions[0];
+    const ColumnVector& col = *cols[0];
+    if (col.type() == DataType::kInt64 && c.constant.is_int64()) {
+      if (FilterOneComparison(col.int64_data().data(), c.op,
+                              c.constant.int64(), begin, end, out)) {
+        return;
+      }
+    } else if (col.type() == DataType::kDouble && !c.constant.is_string()) {
+      if (FilterOneComparison(col.double_data().data(), c.op,
+                              c.constant.AsDouble(), begin, end, out)) {
+        return;
+      }
+    }
+  }
+  // Fast path: the sliding-window idiom `lo <= col < hi` on one int64 column.
+  if (conditions.size() == 2 && cols[0] == cols[1] &&
+      cols[0]->type() == DataType::kInt64 &&
+      conditions[0].op == CompareOp::kGe && conditions[1].op == CompareOp::kLt &&
+      conditions[0].constant.is_int64() && conditions[1].constant.is_int64()) {
+    const int64_t* data = cols[0]->int64_data().data();
+    const int64_t lo = conditions[0].constant.int64();
+    const int64_t hi = conditions[1].constant.int64();
+    FilterTyped(
+        data, begin, end, [lo, hi](int64_t v) { return v >= lo && v < hi; },
+        out);
+    return;
+  }
+  // General path: row-at-a-time conjunction.
+  for (uint32_t r = begin; r < end; ++r) {
+    bool hit = true;
+    for (size_t i = 0; i < conditions.size(); ++i) {
+      if (!conditions[i].MatchesColumn(*cols[i], r)) {
+        hit = false;
+        break;
+      }
+    }
+    if (hit) out->push_back(r);
+  }
+}
+
 std::string Predicate::CacheKey() const {
   std::ostringstream os;
   for (const Condition& c : conjuncts_) {

@@ -56,6 +56,17 @@ class Predicate {
   /// Positions of all matching rows, in row order.
   std::vector<uint32_t> SelectPositions(const Table& table) const;
 
+  /// Appends to *out the positions in [begin, end) satisfying every condition
+  /// in `conditions` (`cols` holds each condition's column, in parallel
+  /// order). This is the morsel kernel of the parallel executor: every morsel
+  /// appends into its own buffer, and the buffers concatenated in morsel
+  /// order are exactly the serial scan's output. Typed fast paths cover the
+  /// dominant exploration shapes (single comparison, int64 range window).
+  static void FilterRange(const std::vector<Condition>& conditions,
+                          const std::vector<const ColumnVector*>& cols,
+                          uint32_t begin, uint32_t end,
+                          std::vector<uint32_t>* out);
+
   /// Canonical key for caching (column/op/constant triples).
   std::string CacheKey() const;
 

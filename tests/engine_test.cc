@@ -99,9 +99,9 @@ TEST_P(ModeEquivalence, AgreesWithScan) {
     Query q = Query::On("events").Where(
         Predicate({{0, CompareOp::kGe, Value(lo)},
                    {0, CompareOp::kLt, Value(hi)}}));
-    QueryOptions scan_opts;
-    QueryOptions mode_opts;
-    mode_opts.mode = GetParam();
+    ExecContext scan_opts;
+    ExecContext mode_opts;
+    mode_opts.options().mode = GetParam();
     auto want = exec.Execute(q, scan_opts);
     auto got = exec.Execute(q, mode_opts);
     ASSERT_TRUE(want.ok());
@@ -124,8 +124,8 @@ TEST_F(EngineTest, CrackingWithResidualPredicate) {
       Predicate({{0, CompareOp::kGe, Value(int64_t{0})},
                  {0, CompareOp::kLt, Value(int64_t{50000})},
                  {2, CompareOp::kEq, Value("alpha")}}));
-  QueryOptions crack;
-  crack.mode = ExecutionMode::kCracking;
+  ExecContext crack;
+  crack.options().mode = ExecutionMode::kCracking;
   auto got = exec.Execute(q, crack);
   auto want = exec.Execute(q);
   ASSERT_TRUE(got.ok());
@@ -142,8 +142,8 @@ TEST_F(EngineTest, CrackingScansLessOnRepeats) {
   Query q = Query::On("events").Where(
       Predicate({{0, CompareOp::kGe, Value(int64_t{3000})},
                  {0, CompareOp::kLt, Value(int64_t{4000})}}));
-  QueryOptions crack;
-  crack.mode = ExecutionMode::kCracking;
+  ExecContext crack;
+  crack.options().mode = ExecutionMode::kCracking;
   auto first = exec.Execute(q, crack);
   auto second = exec.Execute(q, crack);
   ASSERT_TRUE(first.ok());
@@ -198,9 +198,9 @@ TEST_F(EngineTest, AggregateValidation) {
 TEST_F(EngineTest, SampledAggregateCloseToExact) {
   Executor exec(&db_);
   Query q = Query::On("events").Aggregate(AggKind::kAvg, "value");
-  QueryOptions sampled;
-  sampled.mode = ExecutionMode::kSampled;
-  sampled.sample_fraction = 0.1;
+  ExecContext sampled;
+  sampled.options().mode = ExecutionMode::kSampled;
+  sampled.options().sample_fraction = 0.1;
   auto approx = exec.Execute(q, sampled);
   auto exact = exec.Execute(q);
   ASSERT_TRUE(approx.ok());
@@ -219,9 +219,9 @@ TEST_F(EngineTest, SampledCountScalesUp) {
   Query q = Query::On("events")
                 .Where(Predicate({{2, CompareOp::kEq, Value("alpha")}}))
                 .Aggregate(AggKind::kCount);
-  QueryOptions sampled;
-  sampled.mode = ExecutionMode::kSampled;
-  sampled.sample_fraction = 0.2;
+  ExecContext sampled;
+  sampled.options().mode = ExecutionMode::kSampled;
+  sampled.options().sample_fraction = 0.2;
   auto approx = exec.Execute(q, sampled);
   auto exact = exec.Execute(q);
   ASSERT_TRUE(approx.ok());
@@ -234,18 +234,18 @@ TEST_F(EngineTest, SampledCountScalesUp) {
 TEST_F(EngineTest, OnlineAggregateStopsAtBudget) {
   Executor exec(&db_);
   Query q = Query::On("events").Aggregate(AggKind::kAvg, "value");
-  QueryOptions online;
-  online.mode = ExecutionMode::kOnline;
-  online.error_budget = 1.0;
+  ExecContext online;
+  online.options().mode = ExecutionMode::kOnline;
+  online.options().error_budget = 1.0;
   auto r = exec.Execute(q, online);
   ASSERT_TRUE(r.ok());
   EXPECT_LE(r.ValueOrDie().scalar->ci_half_width, 1.0);
   EXPECT_LT(r.ValueOrDie().rows_scanned, 20000u);
   EXPECT_TRUE(r.ValueOrDie().approximate);
 
-  QueryOptions exhaustive;
-  exhaustive.mode = ExecutionMode::kOnline;
-  exhaustive.error_budget = 0.0;  // run to completion
+  ExecContext exhaustive;
+  exhaustive.options().mode = ExecutionMode::kOnline;
+  exhaustive.options().error_budget = 0.0;  // run to completion
   auto full = exec.Execute(q, exhaustive);
   ASSERT_TRUE(full.ok());
   EXPECT_FALSE(full.ValueOrDie().approximate);
@@ -268,9 +268,9 @@ TEST_F(EngineTest, SampledGroupByScalesCounts) {
   Executor exec(&db_);
   Query q =
       Query::On("events").Aggregate(AggKind::kCount).GroupBy("kind");
-  QueryOptions sampled;
-  sampled.mode = ExecutionMode::kSampled;
-  sampled.sample_fraction = 0.25;
+  ExecContext sampled;
+  sampled.options().mode = ExecutionMode::kSampled;
+  sampled.options().sample_fraction = 0.25;
   auto approx = exec.Execute(q, sampled);
   ASSERT_TRUE(approx.ok());
   double total = 0;
@@ -285,7 +285,11 @@ TEST_F(EngineTest, SampledGroupByScalesCounts) {
 class RawBackedTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "/exploredb_engine_raw.csv";
+    // Unique per test: ctest -j runs each case as its own process, and a
+    // shared path lets one case's TearDown unlink the file mid-read.
+    path_ = ::testing::TempDir() + "/exploredb_engine_raw_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".csv";
     Table t = EventsTable(5000, 99);
     ASSERT_TRUE(WriteCsv(t, path_).ok());
     ASSERT_TRUE(db_.RegisterCsv("raw_events", path_, EventsSchema()).ok());
@@ -319,8 +323,8 @@ TEST_F(RawBackedTest, OnlyTouchedColumnsLoad) {
 
 TEST_F(RawBackedTest, CrackingWorksOverRawColumns) {
   Executor exec(&db_);
-  QueryOptions crack;
-  crack.mode = ExecutionMode::kCracking;
+  ExecContext crack;
+  crack.options().mode = ExecutionMode::kCracking;
   Query q = Query::On("raw_events")
                 .Where(Predicate({{0, CompareOp::kGe, Value(int64_t{10000})},
                                   {0, CompareOp::kLt, Value(int64_t{30000})}}));

@@ -53,8 +53,8 @@ TEST(IntegrationTest, RawCsvToCrackedQueriesToRecommendation) {
 
   // 2. Exploratory window queries under cracking: each query adaptively
   //    indexes the ra column.
-  QueryOptions crack;
-  crack.mode = ExecutionMode::kCracking;
+  ExecContext crack;
+  crack.options().mode = ExecutionMode::kCracking;
   uint64_t scanned_first = 0, scanned_last = 0;
   for (int step = 0; step < 10; ++step) {
     int64_t lo = step * 1000;
@@ -144,18 +144,18 @@ TEST(IntegrationTest, AqpPipelineOverSessionData) {
   auto exact = exec.Execute(q);
   ASSERT_TRUE(exact.ok());
 
-  QueryOptions sampled;
-  sampled.mode = ExecutionMode::kSampled;
-  sampled.sample_fraction = 0.05;
+  ExecContext sampled;
+  sampled.options().mode = ExecutionMode::kSampled;
+  sampled.options().sample_fraction = 0.05;
   auto approx = exec.Execute(q, sampled);
   ASSERT_TRUE(approx.ok());
   EXPECT_NEAR(approx.ValueOrDie().scalar->value,
               exact.ValueOrDie().scalar->value,
               4 * approx.ValueOrDie().scalar->ci_half_width + 1e-9);
 
-  QueryOptions online;
-  online.mode = ExecutionMode::kOnline;
-  online.error_budget = 0.5;
+  ExecContext online;
+  online.options().mode = ExecutionMode::kOnline;
+  online.options().error_budget = 0.5;
   auto streamed = exec.Execute(q, online);
   ASSERT_TRUE(streamed.ok());
   EXPECT_NEAR(streamed.ValueOrDie().scalar->value,

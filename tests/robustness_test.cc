@@ -145,8 +145,8 @@ TEST(DegenerateDataTest, EngineOnEmptyTable) {
   auto agg = exec.Execute(Query::On("empty").Aggregate(AggKind::kCount));
   ASSERT_TRUE(agg.ok());
   EXPECT_DOUBLE_EQ(agg.ValueOrDie().scalar->value, 0.0);
-  QueryOptions online;
-  online.mode = ExecutionMode::kOnline;
+  ExecContext online;
+  online.options().mode = ExecutionMode::kOnline;
   auto online_result =
       exec.Execute(Query::On("empty").Aggregate(AggKind::kCount), online);
   ASSERT_TRUE(online_result.ok());

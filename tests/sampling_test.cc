@@ -266,8 +266,8 @@ TEST(OnlineAggTest, EstimateNearTruthEarly) {
 
 TEST(OnlineAggTest, MaskedCountAndSum) {
   std::vector<double> values{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
-  std::vector<bool> mask{true, false, true, false, true,
-                         false, true, false, true, false};
+  std::vector<uint8_t> mask{true, false, true, false, true,
+                            false, true, false, true, false};
   OnlineAggregator count(values, mask, AggKind::kCount);
   while (!count.done()) count.ProcessNext(3);
   EXPECT_NEAR(count.Current().value, 5.0, 1e-9);

@@ -169,8 +169,8 @@ TEST(SessionStress, LongSteeredSessionConsistent) {
       where.And({2, CompareOp::kEq, Value(kinds[rng.Uniform(3)])});
     }
     Query q = Query::On("events").Where(where);
-    QueryOptions options;
-    options.mode = (rng.Uniform(2) == 0) ? ExecutionMode::kAuto
+    ExecContext options;
+    options.options().mode = (rng.Uniform(2) == 0) ? ExecutionMode::kAuto
                                          : ExecutionMode::kCracking;
     auto a = session.Execute(q, options);
     auto b = plain.Execute(q);  // plain scan

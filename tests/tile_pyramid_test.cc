@@ -141,8 +141,8 @@ TEST(AutoModeTest, MatchesScanAndUsesCracking) {
   Query q = Query::On("data").Where(
       Predicate({{0, CompareOp::kGe, Value(int64_t{5'000})},
                  {0, CompareOp::kLt, Value(int64_t{6'000})}}));
-  QueryOptions autop;
-  autop.mode = ExecutionMode::kAuto;
+  ExecContext autop;
+  autop.options().mode = ExecutionMode::kAuto;
   auto first = exec.Execute(q, autop);
   auto scan = exec.Execute(q);  // default scan
   ASSERT_TRUE(first.ok());
@@ -168,8 +168,8 @@ TEST(AutoModeTest, NoPredicateFallsBackToScan) {
   Database db;
   ASSERT_TRUE(db.CreateTable("data", std::move(t)).ok());
   Executor exec(&db);
-  QueryOptions autop;
-  autop.mode = ExecutionMode::kAuto;
+  ExecContext autop;
+  autop.options().mode = ExecutionMode::kAuto;
   auto r = exec.Execute(Query::On("data"), autop);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r.ValueOrDie().positions.size(), 100u);
