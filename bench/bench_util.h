@@ -5,8 +5,10 @@
 // every experiment binary. Each binary regenerates one experiment from
 // DESIGN.md's per-experiment index and prints the series a figure would plot.
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -15,6 +17,14 @@
 #include "storage/table.h"
 
 namespace exploredb::bench {
+
+/// Scales a benchmark row count down to a smoke-test size when
+/// EXPLOREDB_BENCH_SMOKE is set, so CI can execute every benchmark body
+/// without paying for full workload generation.
+inline size_t ScaledRows(size_t full) {
+  static const bool smoke = std::getenv("EXPLOREDB_BENCH_SMOKE") != nullptr;
+  return smoke ? std::max<size_t>(full / 1000, 1000) : full;
+}
 
 /// Uniform random int64 column in [0, domain).
 inline std::vector<int64_t> RandomInts(size_t n, int64_t domain,

@@ -45,6 +45,36 @@ Result<const SortedIndex*> TableEntry::GetSortedIndex(size_t idx) {
   return ptr;
 }
 
+Result<const ZoneMap*> TableEntry::GetZoneMap(size_t idx) {
+  auto it = zone_maps_.find(idx);
+  if (it != zone_maps_.end()) return it->second.get();
+  EXPLOREDB_ASSIGN_OR_RETURN(const ColumnVector* col, GetColumn(idx));
+  if (col->type() == DataType::kString) {
+    return Status::InvalidArgument(
+        "zone map requires a numeric column, '" + schema().field(idx).name +
+        "' is string");
+  }
+  auto zm = std::make_unique<ZoneMap>(ZoneMap::Build(*col));
+  const ZoneMap* ptr = zm.get();
+  zone_maps_.emplace(idx, std::move(zm));
+  return ptr;
+}
+
+Result<const DictEncoded*> TableEntry::GetDict(size_t idx) {
+  auto it = dicts_.find(idx);
+  if (it != dicts_.end()) return it->second.get();
+  EXPLOREDB_ASSIGN_OR_RETURN(const ColumnVector* col, GetColumn(idx));
+  if (col->type() != DataType::kString) {
+    return Status::InvalidArgument(
+        "dictionary requires a string column, '" + schema().field(idx).name +
+        "' is " + DataTypeName(col->type()));
+  }
+  auto dict = std::make_unique<DictEncoded>(DictEncode(col->string_data()));
+  const DictEncoded* ptr = dict.get();
+  dicts_.emplace(idx, std::move(dict));
+  return ptr;
+}
+
 Result<const Table*> TableEntry::Materialized() {
   if (!raw_.has_value()) return &table_;
   // Pull every column through the adaptive loader, then assemble a Table.

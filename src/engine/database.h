@@ -11,6 +11,7 @@
 #include "cracking/cracker_column.h"
 #include "loading/raw_table.h"
 #include "storage/table.h"
+#include "storage/zone_map.h"
 
 namespace exploredb {
 
@@ -37,6 +38,14 @@ class TableEntry {
   /// Lazily created fully sorted index over an int64 column.
   Result<const SortedIndex*> GetSortedIndex(size_t idx);
 
+  /// Lazily built per-zone min/max synopsis over a numeric column; scans
+  /// consult it to skip morsels a predicate cannot match.
+  Result<const ZoneMap*> GetZoneMap(size_t idx);
+
+  /// Lazily built dictionary encoding of a string column (hash group-by keys
+  /// by dense code instead of by string).
+  Result<const DictEncoded*> GetDict(size_t idx);
+
   /// Fully materialized Table view (loads every raw column).
   Result<const Table*> Materialized();
 
@@ -47,6 +56,8 @@ class TableEntry {
   std::optional<RawTable> raw_;
   std::map<size_t, std::unique_ptr<CrackerColumn>> crackers_;
   std::map<size_t, std::unique_ptr<SortedIndex>> indexes_;
+  std::map<size_t, std::unique_ptr<ZoneMap>> zone_maps_;
+  std::map<size_t, std::unique_ptr<DictEncoded>> dicts_;
 };
 
 /// The engine's catalog: named tables, eager or adaptively loaded.

@@ -7,7 +7,9 @@
 
 #include "common/random.h"
 #include "common/stopwatch.h"
+#include "engine/group_by.h"
 #include "sampling/sampler.h"
+#include "storage/zone_map.h"
 
 namespace exploredb {
 
@@ -79,14 +81,21 @@ std::optional<Executor::RangePlan> Executor::ExtractRange(
         break;  // not index-serviceable
     }
   }
+  // Pick the lowest-index fully bounded column: `bounds` is an
+  // unordered_map, and "first qualifying entry" would make plan choice (and
+  // ExecStats) vary run-to-run when several columns qualify.
+  std::optional<size_t> best;
   for (const auto& [col, range] : bounds) {
     if (!range.first.has_value() || !range.second.has_value()) continue;
+    if (!best.has_value() || col < *best) best = col;
+  }
+  if (best.has_value()) {
     RangePlan plan;
-    plan.column = col;
-    plan.lo = *range.first;
-    plan.hi = *range.second;
+    plan.column = *best;
+    plan.lo = *bounds[*best].first;
+    plan.hi = *bounds[*best].second;
     for (const Condition& c : pred.conjuncts()) {
-      bool consumed = c.column == col && c.constant.is_int64() &&
+      bool consumed = c.column == *best && c.constant.is_int64() &&
                       c.op != CompareOp::kNe;
       if (!consumed) plan.residual.push_back(c);
     }
@@ -149,26 +158,74 @@ Result<std::vector<uint32_t>> Executor::SelectPositions(
                              FetchConditionColumns(entry, conds));
   const size_t morsel = std::max<size_t>(1, ctx.morsel_size());
   ThreadPool* pool = ctx.thread_pool();
-  stats->rows_scanned += n;
+  const size_t num_morsels = MorselCount(n, morsel);
 
-  // Serial kernel: one morsel covering the whole column.
-  if (pool == nullptr || n <= morsel) {
+  // Zone-map pruning: every numeric conjunct gets the column's min/max
+  // synopsis (built lazily, cached on the entry), and a morsel is skipped
+  // outright when some conjunct cannot match any zone it overlaps.
+  std::vector<std::pair<const ZoneMap*, const Condition*>> pruners;
+  if (ctx.options().use_zone_maps) {
+    for (size_t i = 0; i < conds.size(); ++i) {
+      if (cols[i]->type() == DataType::kString) continue;
+      if (conds[i].constant.is_string()) continue;
+      EXPLOREDB_ASSIGN_OR_RETURN(const ZoneMap* zm,
+                                 entry->GetZoneMap(conds[i].column));
+      pruners.emplace_back(zm, &conds[i]);
+    }
+  }
+  std::vector<uint8_t> skip(num_morsels, 0);
+  size_t pruned = 0;
+  size_t rows_pruned = 0;
+  if (!pruners.empty()) {
+    for (size_t m = 0; m < num_morsels; ++m) {
+      const uint32_t begin = static_cast<uint32_t>(m * morsel);
+      const uint32_t end =
+          static_cast<uint32_t>(std::min(n, m * morsel + morsel));
+      for (const auto& [zm, c] : pruners) {
+        if (!zm->MayMatch(*c, begin, end)) {
+          skip[m] = 1;
+          ++pruned;
+          rows_pruned += end - begin;
+          break;
+        }
+      }
+    }
+  }
+  stats->morsels_pruned += pruned;
+  stats->rows_scanned += n - rows_pruned;
+
+  // Surviving morsels, in morsel order: the merge below concatenates their
+  // buffers in this order, so parallel output is byte-identical to serial.
+  std::vector<size_t> live;
+  live.reserve(num_morsels - pruned);
+  for (size_t m = 0; m < num_morsels; ++m) {
+    if (!skip[m]) live.push_back(m);
+  }
+  auto filter_morsel = [&](size_t m, std::vector<uint32_t>* buf) {
+    const uint32_t begin = static_cast<uint32_t>(m * morsel);
+    const uint32_t end =
+        static_cast<uint32_t>(std::min(n, m * morsel + morsel));
+    Predicate::FilterRange(conds, cols, begin, end, buf);
+  };
+
+  // Serial kernel: one pass appending straight into the output.
+  if (pool == nullptr || live.size() <= 1) {
     std::vector<uint32_t> out;
-    Predicate::FilterRange(conds, cols, 0, static_cast<uint32_t>(n), &out);
-    stats->morsels_dispatched += 1;
+    for (size_t m : live) {
+      if (ctx.Interrupted()) return InterruptedStatus(ctx);
+      filter_morsel(m, &out);
+    }
+    stats->morsels_dispatched += live.size();
     stats->select_nanos += phase.ElapsedNanos();
     return out;
   }
 
   // Morsel-parallel kernel: per-morsel position buffers, merged in morsel
   // order — byte-identical to the serial scan for any worker count.
-  const size_t num_morsels = MorselCount(n, morsel);
-  std::vector<std::vector<uint32_t>> parts(num_morsels);
-  ThreadPool::ForStats fs = pool->ParallelFor(num_morsels, [&](size_t m) {
+  std::vector<std::vector<uint32_t>> parts(live.size());
+  ThreadPool::ForStats fs = pool->ParallelFor(live.size(), [&](size_t i) {
     if (ctx.Interrupted()) return;
-    uint32_t begin = static_cast<uint32_t>(m * morsel);
-    uint32_t end = static_cast<uint32_t>(std::min(n, m * morsel + morsel));
-    Predicate::FilterRange(conds, cols, begin, end, &parts[m]);
+    filter_morsel(live[i], &parts[i]);
   });
   stats->morsels_dispatched += fs.chunks;
   stats->threads_used = std::max(stats->threads_used, fs.threads_used);
@@ -392,42 +449,58 @@ Result<QueryResult> Executor::ExecuteAggregate(TableEntry* entry,
           SelectPositions(entry, query.where(), mode, ctx, stats));
     }
     phase.Restart();
-    struct Acc {
-      std::vector<double> values;
-      uint64_t count = 0;
-    };
-    std::map<std::string, Acc> groups;
-    for (uint32_t row : positions) {
-      Acc& acc = groups[gcol->GetValue(row).ToString()];
-      ++acc.count;
-      if (measure != nullptr) acc.values.push_back(measure->GetDouble(row));
-    }
-    for (auto& [key, acc] : groups) {
-      Estimate e;
-      e.confidence = options.confidence;
-      e.sample_size = acc.count;
-      switch (agg.kind) {
-        case AggKind::kCount:
-          e.value = static_cast<double>(acc.count);
-          if (result.approximate && options.sample_fraction > 0) {
-            e.value /= options.sample_fraction;
-          }
-          break;
-        case AggKind::kSum: {
-          double s = 0;
-          for (double v : acc.values) s += v;
-          e.value = s;
-          if (result.approximate && options.sample_fraction > 0) {
-            e.value /= options.sample_fraction;
-          }
-          break;
-        }
-        case AggKind::kAvg:
-          e = EstimateMean(acc.values, options.confidence);
-          if (!result.approximate) e.ci_half_width = 0.0;
-          break;
+    if (result.approximate) {
+      // Sampled mode keeps the value-list accumulator: the sample is small,
+      // and per-group CIs (EstimateMean) need the raw values.
+      struct Acc {
+        std::vector<double> values;
+        uint64_t count = 0;
+      };
+      std::map<std::string, Acc> groups;
+      for (uint32_t row : positions) {
+        Acc& acc = groups[gcol->GetValue(row).ToString()];
+        ++acc.count;
+        if (measure != nullptr) acc.values.push_back(measure->GetDouble(row));
       }
-      result.groups.push_back({key, e});
+      for (auto& [key, acc] : groups) {
+        Estimate e;
+        e.confidence = options.confidence;
+        e.sample_size = acc.count;
+        switch (agg.kind) {
+          case AggKind::kCount:
+            e.value = static_cast<double>(acc.count);
+            if (options.sample_fraction > 0) e.value /= options.sample_fraction;
+            break;
+          case AggKind::kSum: {
+            double s = 0;
+            for (double v : acc.values) s += v;
+            e.value = s;
+            if (options.sample_fraction > 0) e.value /= options.sample_fraction;
+            break;
+          }
+          case AggKind::kAvg:
+            e = EstimateMean(acc.values, options.confidence);
+            break;
+        }
+        result.groups.push_back({key, e});
+      }
+    } else {
+      // Exact modes: typed, morsel-parallel hash aggregation. The group
+      // column's zone map supplies the key range that unlocks the dense
+      // int64 fast path; string keys aggregate over dictionary codes.
+      const DictEncoded* dict = nullptr;
+      if (gcol->type() == DataType::kString) {
+        EXPLOREDB_ASSIGN_OR_RETURN(dict, entry->GetDict(gidx));
+      }
+      std::optional<std::pair<int64_t, int64_t>> key_range;
+      if (gcol->type() == DataType::kInt64) {
+        EXPLOREDB_ASSIGN_OR_RETURN(const ZoneMap* zm, entry->GetZoneMap(gidx));
+        key_range = zm->Int64Range();
+      }
+      EXPLOREDB_ASSIGN_OR_RETURN(
+          result.groups,
+          HashGroupBy(*gcol, dict, measure, agg.kind, options.confidence,
+                      positions, key_range, ctx, stats));
     }
     stats->aggregate_nanos += phase.ElapsedNanos();
     return result;
@@ -503,8 +576,9 @@ Result<QueryResult> Executor::ExecuteAggregate(TableEntry* entry,
           break;
         }
         first = false;
-        agg_runner.ProcessNext(batch);
-        stats->rows_scanned += batch;
+        // ProcessNext returns the rows actually consumed — the final batch
+        // is usually short, and += batch would overcount it.
+        stats->rows_scanned += agg_runner.ProcessNext(batch);
         current = agg_runner.Current(options.confidence);
         if (options.error_budget > 0 &&
             current.ci_half_width <= options.error_budget) {

@@ -1,0 +1,246 @@
+#include "engine/group_by.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <unordered_map>
+
+#include "common/thread_pool.h"
+
+namespace exploredb {
+
+namespace {
+
+/// Per-group running aggregate: enough state for COUNT/SUM/AVG exactly.
+struct Acc {
+  double sum = 0.0;
+  uint64_t count = 0;
+};
+
+/// Widest int64 key domain served by the dense-array fast path.
+constexpr uint64_t kDenseDomainLimit = uint64_t{1} << 16;
+/// Total dense accumulator budget across all morsel partials (entries);
+/// beyond it the sparse hash path is cheaper than zero-filling.
+constexpr size_t kDenseBudget = size_t{4} << 20;
+
+Estimate FinishGroup(const Acc& acc, AggKind kind, double confidence) {
+  Estimate e;
+  e.confidence = confidence;
+  e.sample_size = acc.count;
+  switch (kind) {
+    case AggKind::kCount:
+      e.value = static_cast<double>(acc.count);
+      break;
+    case AggKind::kSum:
+      e.value = acc.sum;
+      break;
+    case AggKind::kAvg:
+      e.value = acc.count == 0 ? 0.0
+                               : acc.sum / static_cast<double>(acc.count);
+      break;
+  }
+  return e;
+}
+
+Status InterruptedStatus(const ExecContext& ctx) {
+  return ctx.cancelled() ? Status::Cancelled("query cancelled")
+                         : Status::DeadlineExceeded("query deadline exceeded");
+}
+
+/// Runs body(begin, end, &partials[m]) over morsels of `count` items — on
+/// the pool when available, inline otherwise — and returns the per-morsel
+/// partial tables. `proto` seeds each partial (dense paths pre-size here).
+template <typename Partial, typename Body>
+std::vector<Partial> MorselPartials(size_t count, const ExecContext& ctx,
+                                    ExecStats* stats, const Partial& proto,
+                                    const Body& body) {
+  const size_t morsel = std::max<size_t>(1, ctx.morsel_size());
+  const size_t num_morsels = count == 0 ? 0 : (count + morsel - 1) / morsel;
+  std::vector<Partial> parts(num_morsels, proto);
+  auto run = [&](size_t m) {
+    if (ctx.Interrupted()) return;
+    body(m * morsel, std::min(count, m * morsel + morsel), &parts[m]);
+  };
+  ThreadPool* pool = ctx.thread_pool();
+  if (pool != nullptr && num_morsels > 1) {
+    ThreadPool::ForStats fs = pool->ParallelFor(num_morsels, run);
+    stats->morsels_dispatched += fs.chunks;
+    stats->threads_used = std::max(stats->threads_used, fs.threads_used);
+  } else {
+    for (size_t m = 0; m < num_morsels; ++m) run(m);
+    stats->morsels_dispatched += num_morsels;
+  }
+  return parts;
+}
+
+/// Double group keys hash by bit pattern; collapse every NaN payload onto
+/// one canonical pattern so all NaNs land in a single group (as the old
+/// string-keyed accumulator did via "nan").
+uint64_t DoubleKeyBits(double v) {
+  if (std::isnan(v)) v = std::numeric_limits<double>::quiet_NaN();
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double DoubleFromBits(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+Result<std::vector<GroupValue>> HashGroupBy(
+    const ColumnVector& keys, const DictEncoded* dict,
+    const ColumnVector* measure, AggKind kind, double confidence,
+    const std::vector<uint32_t>& positions,
+    std::optional<std::pair<int64_t, int64_t>> key_range,
+    const ExecContext& ctx, ExecStats* stats) {
+  std::vector<GroupValue> out;
+  if (positions.empty()) return out;
+
+  const double* mdbl =
+      measure != nullptr && measure->type() == DataType::kDouble
+          ? measure->double_data().data()
+          : nullptr;
+  const int64_t* mi64 =
+      measure != nullptr && measure->type() == DataType::kInt64
+          ? measure->int64_data().data()
+          : nullptr;
+  const bool has_measure = measure != nullptr;
+  auto measure_at = [&](uint32_t row) {
+    return mdbl != nullptr ? mdbl[row] : static_cast<double>(mi64[row]);
+  };
+
+  const size_t morsel = std::max<size_t>(1, ctx.morsel_size());
+  const size_t num_morsels = (positions.size() + morsel - 1) / morsel;
+  const uint32_t* pos = positions.data();
+
+  // Accumulated (display key, aggregate) pairs, order fixed up at the end.
+  std::vector<std::pair<std::string, Acc>> flat;
+
+  // Dense path shared by dictionary codes and narrow int64 domains:
+  // per-morsel Acc arrays indexed by `code(row)`, folded in morsel order.
+  auto run_dense = [&](size_t span, auto code, auto display) -> Status {
+    std::vector<std::vector<Acc>> parts = MorselPartials(
+        positions.size(), ctx, stats, std::vector<Acc>(span),
+        [&](size_t begin, size_t end, std::vector<Acc>* t) {
+          Acc* accs = t->data();
+          for (size_t i = begin; i < end; ++i) {
+            const uint32_t row = pos[i];
+            Acc& a = accs[code(row)];
+            ++a.count;
+            if (has_measure) a.sum += measure_at(row);
+          }
+        });
+    if (ctx.Interrupted()) return InterruptedStatus(ctx);
+    std::vector<Acc> merged(span);
+    for (const std::vector<Acc>& p : parts) {
+      for (size_t k = 0; k < span; ++k) {
+        merged[k].sum += p[k].sum;
+        merged[k].count += p[k].count;
+      }
+    }
+    for (size_t k = 0; k < span; ++k) {
+      if (merged[k].count != 0) flat.emplace_back(display(k), merged[k]);
+    }
+    return Status::OK();
+  };
+
+  // Sparse path: per-morsel hash tables over an integral key image.
+  auto run_sparse = [&](auto code, auto display) -> Status {
+    using Key = decltype(code(uint32_t{0}));
+    using Table = std::unordered_map<Key, Acc>;
+    std::vector<Table> parts = MorselPartials(
+        positions.size(), ctx, stats, Table{},
+        [&](size_t begin, size_t end, Table* t) {
+          for (size_t i = begin; i < end; ++i) {
+            const uint32_t row = pos[i];
+            Acc& a = (*t)[code(row)];
+            ++a.count;
+            if (has_measure) a.sum += measure_at(row);
+          }
+        });
+    if (ctx.Interrupted()) return InterruptedStatus(ctx);
+    // Distinct keys are independent, so per-key fold order across morsels
+    // (morsel order) is all that determinism needs.
+    Table merged;
+    for (const Table& p : parts) {
+      for (const auto& [k, a] : p) {
+        Acc& m = merged[k];
+        m.sum += a.sum;
+        m.count += a.count;
+      }
+    }
+    flat.reserve(merged.size());
+    for (const auto& [k, a] : merged) flat.emplace_back(display(k), a);
+    return Status::OK();
+  };
+
+  Status st = Status::OK();
+  switch (keys.type()) {
+    case DataType::kString: {
+      if (dict == nullptr) {
+        return Status::InvalidArgument(
+            "string group-by requires a dictionary-encoded key column");
+      }
+      const uint32_t* codes = dict->codes.data();
+      const size_t span = dict->values.size();
+      if (span > 0 && span * num_morsels <= kDenseBudget) {
+        st = run_dense(
+            span, [&](uint32_t row) { return codes[row]; },
+            [&](size_t k) { return dict->values[k]; });
+      } else {
+        st = run_sparse([&](uint32_t row) { return codes[row]; },
+                        [&](uint32_t k) { return dict->values[k]; });
+      }
+      break;
+    }
+    case DataType::kInt64: {
+      const int64_t* kd = keys.int64_data().data();
+      bool dense = false;
+      int64_t lo = 0;
+      uint64_t span = 0;
+      if (key_range.has_value() && key_range->first <= key_range->second) {
+        lo = key_range->first;
+        span = static_cast<uint64_t>(key_range->second) -
+               static_cast<uint64_t>(lo) + 1;
+        dense = span <= kDenseDomainLimit && span * num_morsels <= kDenseBudget;
+      }
+      if (dense) {
+        st = run_dense(
+            static_cast<size_t>(span),
+            [&](uint32_t row) { return static_cast<size_t>(kd[row] - lo); },
+            [&](size_t k) { return std::to_string(lo + static_cast<int64_t>(k)); });
+      } else {
+        st = run_sparse([&](uint32_t row) { return kd[row]; },
+                        [](int64_t k) { return std::to_string(k); });
+      }
+      break;
+    }
+    case DataType::kDouble: {
+      const double* kd = keys.double_data().data();
+      st = run_sparse([&](uint32_t row) { return DoubleKeyBits(kd[row]); },
+                      [](uint64_t k) {
+                        return Value(DoubleFromBits(k)).ToString();
+                      });
+      break;
+    }
+  }
+  if (!st.ok()) return st;
+
+  // Match the historical std::map<std::string, Acc> accumulator: groups
+  // come out sorted by display key.
+  std::sort(flat.begin(), flat.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  out.reserve(flat.size());
+  for (const auto& [key, acc] : flat) {
+    out.push_back({key, FinishGroup(acc, kind, confidence)});
+  }
+  return out;
+}
+
+}  // namespace exploredb

@@ -68,6 +68,7 @@ std::string ExecStats::Summary() const {
   out += AccessPathName(path);
   out += " rows=" + std::to_string(rows_scanned);
   out += " morsels=" + std::to_string(morsels_dispatched);
+  out += " pruned=" + std::to_string(morsels_pruned);
   out += " threads=" + std::to_string(threads_used);
   out += " | plan=" + FormatNanos(plan_nanos);
   out += " select=" + FormatNanos(select_nanos);

@@ -40,6 +40,9 @@ struct QueryOptions {
   /// kOnline: stop when the CI half-width drops below this (absolute).
   double error_budget = 0.0;
   double confidence = 0.95;
+  /// Scans consult per-column zone maps and skip morsels the predicate
+  /// cannot match. Off is only useful for pruning A/B tests and benches.
+  bool use_zone_maps = true;
 };
 
 /// Which access path actually answered the query — the first thing to look
@@ -63,6 +66,7 @@ const char* AccessPathName(AccessPath path);
 struct ExecStats {
   uint64_t rows_scanned = 0;       ///< row visits across all phases
   uint64_t morsels_dispatched = 0; ///< parallel work units issued
+  uint64_t morsels_pruned = 0;     ///< morsels skipped via zone-map bounds
   uint32_t threads_used = 1;       ///< distinct threads that did work
   AccessPath path = AccessPath::kNone;
 

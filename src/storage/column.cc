@@ -1,6 +1,21 @@
 #include "storage/column.h"
 
+#include <unordered_map>
+
 namespace exploredb {
+
+DictEncoded DictEncode(const std::vector<std::string>& data) {
+  DictEncoded dict;
+  dict.codes.reserve(data.size());
+  std::unordered_map<std::string, uint32_t> ids;
+  for (const std::string& s : data) {
+    auto [it, inserted] =
+        ids.emplace(s, static_cast<uint32_t>(dict.values.size()));
+    if (inserted) dict.values.push_back(s);
+    dict.codes.push_back(it->second);
+  }
+  return dict;
+}
 
 size_t ColumnVector::size() const {
   switch (type_) {

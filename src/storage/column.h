@@ -53,6 +53,18 @@ class ColumnVector {
   std::vector<std::string> string_data_;
 };
 
+/// Dictionary-encoded view of a string column: codes[row] indexes values
+/// (first-appearance order). Grouped aggregation runs over the dense integer
+/// codes instead of hashing a string per row, converting back to display
+/// strings only at result build.
+struct DictEncoded {
+  std::vector<uint32_t> codes;
+  std::vector<std::string> values;
+};
+
+/// One-pass dictionary encoding of a string array.
+DictEncoded DictEncode(const std::vector<std::string>& data);
+
 }  // namespace exploredb
 
 #endif  // EXPLOREDB_STORAGE_COLUMN_H_

@@ -1,0 +1,132 @@
+#include "storage/zone_map.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace exploredb {
+
+namespace {
+
+/// Can any value v with mn <= v <= mx satisfy `v op k`?
+template <typename T>
+bool BoundsMayMatch(T mn, T mx, CompareOp op, T k) {
+  switch (op) {
+    case CompareOp::kLt:
+      return mn < k;
+    case CompareOp::kLe:
+      return mn <= k;
+    case CompareOp::kGt:
+      return mx > k;
+    case CompareOp::kGe:
+      return mx >= k;
+    case CompareOp::kEq:
+      return mn <= k && k <= mx;
+    case CompareOp::kNe:
+      return !(mn == k && mx == k);
+  }
+  return true;
+}
+
+template <typename T>
+void BuildZones(const std::vector<T>& data, size_t zone_rows,
+                std::vector<T>* mins, std::vector<T>* maxes) {
+  const size_t n = data.size();
+  const size_t zones = (n + zone_rows - 1) / zone_rows;
+  mins->reserve(zones);
+  maxes->reserve(zones);
+  for (size_t z = 0; z < zones; ++z) {
+    const size_t begin = z * zone_rows;
+    const size_t end = std::min(n, begin + zone_rows);
+    T mn = data[begin];
+    T mx = data[begin];
+    for (size_t i = begin + 1; i < end; ++i) {
+      mn = std::min(mn, data[i]);
+      mx = std::max(mx, data[i]);
+    }
+    mins->push_back(mn);
+    maxes->push_back(mx);
+  }
+}
+
+}  // namespace
+
+ZoneMap ZoneMap::Build(const ColumnVector& col, size_t zone_rows) {
+  ZoneMap zm;
+  zm.type_ = col.type();
+  zm.zone_rows_ = std::max<size_t>(1, zone_rows);
+  zm.num_rows_ = col.size();
+  switch (col.type()) {
+    case DataType::kInt64:
+      BuildZones(col.int64_data(), zm.zone_rows_, &zm.min_i64_, &zm.max_i64_);
+      break;
+    case DataType::kDouble:
+      BuildZones(col.double_data(), zm.zone_rows_, &zm.min_dbl_, &zm.max_dbl_);
+      break;
+    case DataType::kString:
+      break;  // no synopsis: MayMatch stays conservative (always true)
+  }
+  return zm;
+}
+
+size_t ZoneMap::num_zones() const {
+  return type_ == DataType::kInt64 ? min_i64_.size() : min_dbl_.size();
+}
+
+bool ZoneMap::MayMatch(const Condition& c, uint32_t begin, uint32_t end) const {
+  if (begin >= end) return true;
+  if (c.constant.is_string()) return true;
+  const size_t zones = num_zones();
+  if (zones == 0) return true;
+  size_t z0 = begin / zone_rows_;
+  size_t z1 = std::min(zones - 1, static_cast<size_t>(end - 1) / zone_rows_);
+  for (size_t z = z0; z <= z1; ++z) {
+    switch (type_) {
+      case DataType::kInt64:
+        if (c.constant.is_int64()) {
+          // Exact integer bounds test — matches the int64 comparison the
+          // scan kernel performs.
+          if (BoundsMayMatch(min_i64_[z], max_i64_[z], c.op,
+                             c.constant.int64())) {
+            return true;
+          }
+        } else {
+          // The kernel widens int64 cells to double for double constants;
+          // the cast is monotone, so casting the bounds is sound.
+          if (BoundsMayMatch(static_cast<double>(min_i64_[z]),
+                             static_cast<double>(max_i64_[z]), c.op,
+                             c.constant.AsDouble())) {
+            return true;
+          }
+        }
+        break;
+      case DataType::kDouble:
+        // NaN cells defeat min/max bounds (and always satisfy !=), so stay
+        // conservative whenever the bounds are contaminated or the op is kNe.
+        if (c.op == CompareOp::kNe || std::isnan(min_dbl_[z]) ||
+            std::isnan(max_dbl_[z])) {
+          return true;
+        }
+        if (BoundsMayMatch(min_dbl_[z], max_dbl_[z], c.op,
+                           c.constant.AsDouble())) {
+          return true;
+        }
+        break;
+      case DataType::kString:
+        return true;
+    }
+  }
+  return false;
+}
+
+std::optional<std::pair<int64_t, int64_t>> ZoneMap::Int64Range() const {
+  if (type_ != DataType::kInt64 || min_i64_.empty()) return std::nullopt;
+  int64_t mn = min_i64_[0];
+  int64_t mx = max_i64_[0];
+  for (size_t z = 1; z < min_i64_.size(); ++z) {
+    mn = std::min(mn, min_i64_[z]);
+    mx = std::max(mx, max_i64_[z]);
+  }
+  return std::make_pair(mn, mx);
+}
+
+}  // namespace exploredb

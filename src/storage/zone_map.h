@@ -1,0 +1,58 @@
+#ifndef EXPLOREDB_STORAGE_ZONE_MAP_H_
+#define EXPLOREDB_STORAGE_ZONE_MAP_H_
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "storage/column.h"
+#include "storage/predicate.h"
+
+namespace exploredb {
+
+/// Per-zone min/max synopsis over one numeric column — the classic "zone
+/// map" (a.k.a. small materialized aggregate). Zones are fixed-width row
+/// ranges, so any morsel [begin, end) maps onto the zones it overlaps and a
+/// scan can skip the whole morsel when some conjunct provably matches no row
+/// of any overlapping zone. Built in one O(n) pass, lazily, and cached on
+/// TableEntry: the synopsis costs a single scan and then prunes every later
+/// scan of the column.
+class ZoneMap {
+ public:
+  /// Default zone width. Finer than the default morsel (64K rows) so pruning
+  /// keeps resolution when callers shrink the morsel size.
+  static constexpr size_t kDefaultZoneRows = 8192;
+
+  /// Builds the synopsis; `col` must be int64 or double.
+  static ZoneMap Build(const ColumnVector& col,
+                       size_t zone_rows = kDefaultZoneRows);
+
+  size_t zone_rows() const { return zone_rows_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_zones() const;
+  DataType type() const { return type_; }
+
+  /// True unless provably *no* row in [begin, end) satisfies `c` (whose
+  /// column must be the mapped one). Conservative: a string constant — or an
+  /// empty row range — always "may match".
+  bool MayMatch(const Condition& c, uint32_t begin, uint32_t end) const;
+
+  /// Column-wide [min, max] of an int64 column (nullopt when the column is
+  /// empty or not int64). O(zones); feeds the dense group-by fast path.
+  std::optional<std::pair<int64_t, int64_t>> Int64Range() const;
+
+ private:
+  DataType type_ = DataType::kInt64;
+  size_t zone_rows_ = kDefaultZoneRows;
+  size_t num_rows_ = 0;
+  // Parallel per-zone bounds; only the pair matching `type_` is populated.
+  std::vector<int64_t> min_i64_;
+  std::vector<int64_t> max_i64_;
+  std::vector<double> min_dbl_;
+  std::vector<double> max_dbl_;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_STORAGE_ZONE_MAP_H_

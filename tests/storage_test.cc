@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "common/random.h"
 #include "storage/csv.h"
 #include "storage/predicate.h"
 #include "storage/table.h"
@@ -292,6 +293,112 @@ TEST_F(CsvTest, NoHeaderMode) {
   auto r = ReadCsv(path_, TestSchema(), options);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r.ValueOrDie().num_rows(), 1u);
+}
+
+// FilterRange has typed fast paths (single comparison, int64 window) that
+// must agree with the general row-at-a-time evaluation on every operator,
+// type, and morsel split. Randomized data keeps the fast paths honest.
+class FilterRangeEquivalenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Random rng(4242);
+    table_ = Table(Schema({{"a", DataType::kInt64},
+                           {"b", DataType::kDouble},
+                           {"c", DataType::kInt64}}));
+    for (size_t i = 0; i < 7777; ++i) {  // ragged vs any morsel size
+      ASSERT_TRUE(table_
+                      .AppendRow({Value(rng.UniformInt(-500, 500)),
+                                  Value(rng.NextDouble() * 200.0 - 100.0),
+                                  Value(rng.UniformInt(0, 9))})
+                      .ok());
+    }
+  }
+
+  std::vector<const ColumnVector*> Cols(const std::vector<Condition>& conds) {
+    std::vector<const ColumnVector*> cols;
+    for (const Condition& c : conds) cols.push_back(&table_.column(c.column));
+    return cols;
+  }
+
+  /// Reference: evaluate every condition per row via Condition::Matches.
+  std::vector<uint32_t> Slow(const std::vector<Condition>& conds,
+                             uint32_t begin, uint32_t end) {
+    std::vector<uint32_t> out;
+    for (uint32_t r = begin; r < end; ++r) {
+      bool ok = true;
+      for (const Condition& c : conds) {
+        if (!c.Matches(table_, r)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) out.push_back(r);
+    }
+    return out;
+  }
+
+  void ExpectEquivalent(const std::vector<Condition>& conds) {
+    auto cols = Cols(conds);
+    const uint32_t n = static_cast<uint32_t>(table_.num_rows());
+    std::vector<uint32_t> fast;
+    Predicate::FilterRange(conds, cols, 0, n, &fast);
+    EXPECT_EQ(fast, Slow(conds, 0, n));
+    // Morsel-split concatenation must equal the whole-range call.
+    std::vector<uint32_t> split;
+    for (uint32_t begin = 0; begin < n; begin += 1000) {
+      Predicate::FilterRange(conds, cols, begin, std::min(n, begin + 1000),
+                             &split);
+    }
+    EXPECT_EQ(split, fast);
+  }
+
+  Table table_;
+};
+
+TEST_F(FilterRangeEquivalenceTest, SingleInt64ComparisonEveryOp) {
+  for (CompareOp op : {CompareOp::kLt, CompareOp::kLe, CompareOp::kGt,
+                       CompareOp::kGe, CompareOp::kEq, CompareOp::kNe}) {
+    ExpectEquivalent({{0, op, Value(int64_t{37})}});
+  }
+}
+
+TEST_F(FilterRangeEquivalenceTest, SingleDoubleComparisonEveryOp) {
+  for (CompareOp op : {CompareOp::kLt, CompareOp::kLe, CompareOp::kGt,
+                       CompareOp::kGe, CompareOp::kEq, CompareOp::kNe}) {
+    ExpectEquivalent({{1, op, Value(12.5)}});
+  }
+}
+
+TEST_F(FilterRangeEquivalenceTest, Int64WindowFastPath) {
+  ExpectEquivalent({{0, CompareOp::kGe, Value(int64_t{-100})},
+                    {0, CompareOp::kLt, Value(int64_t{100})}});
+}
+
+TEST_F(FilterRangeEquivalenceTest, RandomizedMixedConjuncts) {
+  Random rng(99);
+  std::vector<CompareOp> ops = {CompareOp::kLt, CompareOp::kLe, CompareOp::kGt,
+                                CompareOp::kGe, CompareOp::kEq, CompareOp::kNe};
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<Condition> conds;
+    const int64_t arity = rng.UniformInt(1, 3);
+    for (int64_t i = 0; i < arity; ++i) {
+      size_t col = static_cast<size_t>(rng.UniformInt(0, 2));
+      CompareOp op = ops[static_cast<size_t>(rng.UniformInt(0, 5))];
+      Value constant = col == 1 ? Value(rng.NextDouble() * 200.0 - 100.0)
+                                : Value(rng.UniformInt(-500, 500));
+      conds.push_back({col, op, constant});
+    }
+    ExpectEquivalent(conds);
+  }
+}
+
+TEST_F(FilterRangeEquivalenceTest, EmptyConjunctsSelectEverything) {
+  std::vector<Condition> none;
+  auto cols = Cols(none);
+  std::vector<uint32_t> out;
+  Predicate::FilterRange(none, cols, 10, 20, &out);
+  std::vector<uint32_t> want = {10, 11, 12, 13, 14, 15, 16, 17, 18, 19};
+  EXPECT_EQ(out, want);
 }
 
 }  // namespace
