@@ -1,0 +1,67 @@
+#ifndef EXPLOREDB_COMMON_ANNOTATIONS_H_
+#define EXPLOREDB_COMMON_ANNOTATIONS_H_
+
+/// Clang thread-safety analysis attributes (no-ops on other compilers).
+///
+/// Classes that own a mutex mark the protected state GUARDED_BY(mu_) and the
+/// internal helpers that assume the lock REQUIRES(mu_); the analysis then
+/// proves, at compile time, that no code path touches the state without the
+/// lock. CI builds with `-Wthread-safety -Werror` so a violation is a build
+/// break, not a TSan lottery ticket.
+///
+/// The standard library's mutexes are not annotated, so the wrappers in
+/// common/mutex.h (Mutex, SharedMutex, MutexLock, ...) are what annotated
+/// code must use; see that header.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define EXPLOREDB_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define EXPLOREDB_THREAD_ANNOTATION__(x)  // no-op outside Clang
+#endif
+
+/// Declares a type to be a lockable capability (mutex-like).
+#define CAPABILITY(x) EXPLOREDB_THREAD_ANNOTATION__(capability(x))
+
+/// Declares an RAII type whose lifetime equals a critical section.
+#define SCOPED_CAPABILITY EXPLOREDB_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define GUARDED_BY(x) EXPLOREDB_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x`.
+#define PT_GUARDED_BY(x) EXPLOREDB_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Function that may only be called with the given capabilities held.
+#define REQUIRES(...) \
+  EXPLOREDB_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  EXPLOREDB_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// Function that acquires/releases the given capabilities.
+#define ACQUIRE(...) \
+  EXPLOREDB_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  EXPLOREDB_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  EXPLOREDB_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  EXPLOREDB_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+/// Function that must NOT be called with the given capabilities held
+/// (deadlock prevention for non-reentrant locks).
+#define EXCLUDES(...) \
+  EXPLOREDB_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Returns a reference to the capability protecting the returned data.
+#define RETURN_CAPABILITY(x) EXPLOREDB_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch: function deliberately exempt from the analysis.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  EXPLOREDB_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+/// Assertion that the calling thread already holds `x` (runtime-checked by
+/// the caller, trusted by the analysis).
+#define ASSERT_CAPABILITY(x) \
+  EXPLOREDB_THREAD_ANNOTATION__(assert_capability(x))
+
+#endif  // EXPLOREDB_COMMON_ANNOTATIONS_H_

@@ -1,0 +1,115 @@
+#ifndef EXPLOREDB_COMMON_CHECK_H_
+#define EXPLOREDB_COMMON_CHECK_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "common/status.h"
+
+/// CHECK/CHECK_OK/DCHECK: invariant assertions that, unlike assert(), survive
+/// NDEBUG. A production engine serving live traffic must fail loudly at the
+/// corruption site, not return garbage — Release builds keep every CHECK.
+///
+/// Policy (see DESIGN.md "Correctness tooling"):
+///  - CHECK      for invariants whose violation means memory-unsafe or
+///               silently-wrong answers (index misuse, broken adaptive
+///               structures). Always on.
+///  - CHECK_OK   for Status/Result expressions that must succeed.
+///  - DCHECK     for expensive validation (O(n) walks) worth paying for only
+///               in debug/sanitizer builds. Compiles to nothing in NDEBUG but
+///               the condition stays syntax- and type-checked.
+
+namespace exploredb {
+namespace internal {
+
+/// Prints the failure and aborts. Out-of-line cold path so a CHECK costs one
+/// branch at the use site.
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* expr,
+                                   const std::string& detail = {}) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               detail.empty() ? "" : " — ", detail.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+/// Stringifies both operands of a binary CHECK for the failure message.
+template <typename A, typename B>
+std::string BinaryOpDetail(const A& a, const B& b) {
+  std::ostringstream os;
+  os << "(" << a << " vs " << b << ")";
+  return os.str();
+}
+
+/// Failure detail for CHECK_OK: works for Result<T> (has .status()) and for
+/// plain Status via overload resolution, without this header depending on
+/// result.h (result.h includes us).
+template <typename R>
+auto StatusDetail(const R& r) -> decltype(r.status().ToString()) {
+  return r.status().ToString();
+}
+inline std::string StatusDetail(const Status& s) { return s.ToString(); }
+
+}  // namespace internal
+}  // namespace exploredb
+
+#define CHECK(cond)                                              \
+  do {                                                           \
+    if (!(cond)) {                                               \
+      ::exploredb::internal::CheckFail(__FILE__, __LINE__, #cond); \
+    }                                                            \
+  } while (0)
+
+/// Aborts with the Status message when `expr` (a Status or Result<T>) is not
+/// OK.
+#define CHECK_OK(expr)                                                \
+  do {                                                                \
+    const auto& _chk = (expr);                                        \
+    if (!_chk.ok()) {                                                 \
+      ::exploredb::internal::CheckFail(                               \
+          __FILE__, __LINE__, #expr,                                  \
+          ::exploredb::internal::StatusDetail(_chk));                 \
+    }                                                                 \
+  } while (0)
+
+#define EXPLOREDB_CHECK_OP(op, a, b)                                        \
+  do {                                                                      \
+    const auto& _lhs = (a);                                                 \
+    const auto& _rhs = (b);                                                 \
+    if (!(_lhs op _rhs)) {                                                  \
+      ::exploredb::internal::CheckFail(                                     \
+          __FILE__, __LINE__, #a " " #op " " #b,                            \
+          ::exploredb::internal::BinaryOpDetail(_lhs, _rhs));               \
+    }                                                                       \
+  } while (0)
+
+#define CHECK_EQ(a, b) EXPLOREDB_CHECK_OP(==, a, b)
+#define CHECK_NE(a, b) EXPLOREDB_CHECK_OP(!=, a, b)
+#define CHECK_LT(a, b) EXPLOREDB_CHECK_OP(<, a, b)
+#define CHECK_LE(a, b) EXPLOREDB_CHECK_OP(<=, a, b)
+#define CHECK_GT(a, b) EXPLOREDB_CHECK_OP(>, a, b)
+#define CHECK_GE(a, b) EXPLOREDB_CHECK_OP(>=, a, b)
+
+#ifdef NDEBUG
+/// Debug-only: condition is not evaluated, but stays compiled.
+#define DCHECK(cond) \
+  do {               \
+    if (false) {     \
+      (void)(cond);  \
+    }                \
+  } while (0)
+#define DCHECK_OK(expr) \
+  do {                  \
+    if (false) {        \
+      (void)(expr);     \
+    }                   \
+  } while (0)
+#else
+#define DCHECK(cond) CHECK(cond)
+#define DCHECK_OK(expr) CHECK_OK(expr)
+#endif
+
+#endif  // EXPLOREDB_COMMON_CHECK_H_

@@ -1,0 +1,116 @@
+#ifndef EXPLOREDB_COMMON_MUTEX_H_
+#define EXPLOREDB_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/annotations.h"
+
+namespace exploredb {
+
+/// std::mutex annotated as a thread-safety capability. libstdc++'s mutex has
+/// no annotations, so Clang's analysis cannot see through it; every class in
+/// ExploreDB that owns a lock uses this wrapper (or SharedMutex below) and
+/// marks the protected members GUARDED_BY the wrapper.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+
+  /// The wrapped mutex, for interop with std APIs that need one (e.g.
+  /// std::condition_variable). Callers taking this path are responsible for
+  /// keeping the analysis informed (see CondVar::Wait).
+  std::mutex& native_handle() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII exclusive lock over a Mutex (the annotated std::lock_guard).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable usable with Mutex while keeping the annotations sound:
+/// Wait() requires the lock, releases it while blocked, and reacquires it
+/// before returning — exactly the std::condition_variable contract.
+class CondVar {
+ public:
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    // Adopt the already-held native mutex, block, then release ownership so
+    // the unique_lock destructor leaves the (reacquired) lock held.
+    std::unique_lock<std::mutex> lock(mu.native_handle(), std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// std::shared_mutex annotated as a capability: exclusive lock for writers
+/// (cracking mutates), shared lock for read-only queries.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock over a SharedMutex.
+class SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() RELEASE() { mu_.Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared lock over a SharedMutex.
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderMutexLock() RELEASE() { mu_.UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_COMMON_MUTEX_H_

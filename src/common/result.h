@@ -1,10 +1,10 @@
 #ifndef EXPLOREDB_COMMON_RESULT_H_
 #define EXPLOREDB_COMMON_RESULT_H_
 
-#include <cassert>
 #include <utility>
 #include <variant>
 
+#include "common/check.h"
 #include "common/status.h"
 
 namespace exploredb {
@@ -25,7 +25,9 @@ class Result {
   /// Constructs a failed result from a non-OK status. It is a programming
   /// error to construct a Result from an OK status.
   Result(Status status) : repr_(std::move(status)) {  // NOLINT
-    assert(!std::get<Status>(repr_).ok());
+    // Misuse aborts with a message even in Release builds: an OK status in
+    // the error slot would otherwise surface later as a value-less Result.
+    CHECK(!std::get<Status>(repr_).ok());
   }
 
   bool ok() const { return std::holds_alternative<T>(repr_); }
@@ -35,17 +37,18 @@ class Result {
     return ok() ? Status::OK() : std::get<Status>(repr_);
   }
 
-  /// Returns the held value; must only be called when ok().
+  /// Returns the held value; aborts (in every build type) when !ok(), with
+  /// the stored error in the message.
   const T& ValueOrDie() const& {
-    assert(ok());
+    CHECK_OK(*this);
     return std::get<T>(repr_);
   }
   T& ValueOrDie() & {
-    assert(ok());
+    CHECK_OK(*this);
     return std::get<T>(repr_);
   }
   T&& ValueOrDie() && {
-    assert(ok());
+    CHECK_OK(*this);
     return std::move(std::get<T>(repr_));
   }
 

@@ -14,10 +14,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
@@ -27,18 +27,18 @@ void ThreadPool::Submit(std::function<void()> task) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     tasks_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && tasks_.empty()) cv_.Wait(mu_);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop_front();
@@ -62,8 +62,8 @@ struct ForState {
   std::atomic<size_t> next{0};
   std::atomic<size_t> completed{0};
   std::atomic<uint32_t> participants{0};
-  std::mutex mu;
-  std::condition_variable done_cv;
+  Mutex mu;  // guards only the done_cv sleep; progress counters are atomic
+  CondVar done_cv;
 
   /// Claims and runs chunks until none remain; returns chunks run here.
   size_t Drain() {
@@ -74,8 +74,8 @@ struct ForState {
       body(chunk);
       ++ran;
       if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
-        std::lock_guard<std::mutex> lock(mu);
-        done_cv.notify_all();
+        MutexLock lock(mu);
+        done_cv.NotifyAll();
       }
     }
     if (ran > 0) participants.fetch_add(1, std::memory_order_relaxed);
@@ -101,10 +101,10 @@ ThreadPool::ForStats ThreadPool::ParallelFor(
   state->Drain();  // caller participates: guarantees progress
 
   {
-    std::unique_lock<std::mutex> lock(state->mu);
-    state->done_cv.wait(lock, [&] {
-      return state->completed.load(std::memory_order_acquire) == count;
-    });
+    MutexLock lock(state->mu);
+    while (state->completed.load(std::memory_order_acquire) != count) {
+      state->done_cv.Wait(state->mu);
+    }
   }
   stats.threads_used =
       std::max<uint32_t>(1, state->participants.load(std::memory_order_relaxed));

@@ -1,13 +1,14 @@
 #ifndef EXPLOREDB_COMMON_THREAD_POOL_H_
 #define EXPLOREDB_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
 
 namespace exploredb {
 
@@ -31,7 +32,7 @@ class ThreadPool {
   size_t num_threads() const { return threads_.size(); }
 
   /// Fire-and-forget task (used by async/speculative machinery).
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// What a ParallelFor dispatch actually used, for ExecStats.
   struct ForStats {
@@ -50,13 +51,13 @@ class ThreadPool {
   static ThreadPool* Global();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
   std::vector<std::thread> threads_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> tasks_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> tasks_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace exploredb

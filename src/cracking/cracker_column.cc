@@ -45,4 +45,76 @@ CrackRange CrackerColumn::RangeSelect(int64_t lo, int64_t hi) {
   return {begin, end};
 }
 
+Status CrackerColumn::Validate(const std::vector<int64_t>* original) const {
+  const size_t n = values_.size();
+  if (row_ids_.size() != n) {
+    return Status::Internal("cracker column: " + std::to_string(n) +
+                            " values but " + std::to_string(row_ids_.size()) +
+                            " row ids");
+  }
+  if (index_.size() != n) {
+    return Status::Internal("cracker column: index covers " +
+                            std::to_string(index_.size()) + " of " +
+                            std::to_string(n) + " values");
+  }
+  EXPLOREDB_RETURN_NOT_OK(index_.Validate());
+
+  // Every piece's values must lie in the half-open interval of its bounding
+  // pivots: [prev_pivot, pivot) before each pivot position, [last_pivot, inf)
+  // after the last. One pass over values, pieces walked in pivot order.
+  size_t begin = 0;
+  std::optional<int64_t> lower;  // pivot bounding the current piece below
+  auto check_piece = [&](size_t end, std::optional<int64_t> upper) -> Status {
+    for (size_t i = begin; i < end; ++i) {
+      if (lower && values_[i] < *lower) {
+        return Status::Internal(
+            "cracker column: values[" + std::to_string(i) + "] = " +
+            std::to_string(values_[i]) + " below its piece's pivot " +
+            std::to_string(*lower));
+      }
+      if (upper && values_[i] >= *upper) {
+        return Status::Internal(
+            "cracker column: values[" + std::to_string(i) + "] = " +
+            std::to_string(values_[i]) + " not below the next pivot " +
+            std::to_string(*upper));
+      }
+    }
+    return Status::OK();
+  };
+  for (const auto& [pivot, pos] : index_.pivots()) {
+    EXPLOREDB_RETURN_NOT_OK(check_piece(pos, pivot));
+    begin = pos;
+    lower = pivot;
+  }
+  EXPLOREDB_RETURN_NOT_OK(check_piece(n, std::nullopt));
+
+  // row_ids_ must be a permutation of [0, n).
+  std::vector<bool> seen(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t id = row_ids_[i];
+    if (id >= n || seen[id]) {
+      return Status::Internal("cracker column: row id " + std::to_string(id) +
+                              " at position " + std::to_string(i) +
+                              (id >= n ? " out of range" : " duplicated"));
+    }
+    seen[id] = true;
+  }
+
+  if (original != nullptr) {
+    if (original->size() != n) {
+      return Status::Internal("cracker column: base column has " +
+                              std::to_string(original->size()) +
+                              " rows, cracked copy " + std::to_string(n));
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (values_[i] != (*original)[row_ids_[i]]) {
+        return Status::Internal(
+            "cracker column: values[" + std::to_string(i) +
+            "] disagrees with base row " + std::to_string(row_ids_[i]));
+      }
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace exploredb

@@ -62,6 +62,14 @@ class CrackerColumn {
     return index_.HasPivot(lo) && index_.HasPivot(hi);
   }
 
+  /// Deep well-formedness check, O(n + #pivots): the index validates, every
+  /// piece's values lie inside its pivot interval, and row_ids() is a
+  /// permutation of [0, n). When `original` is given (the base column in row
+  /// id order), additionally checks values()[i] == (*original)[row_ids()[i]],
+  /// i.e. cracking permuted but never corrupted the data. Run after every
+  /// query under EXPLOREDB_VALIDATE=1.
+  Status Validate(const std::vector<int64_t>* original = nullptr) const;
+
  protected:
   friend class UpdatableCrackerColumn;
 

@@ -23,6 +23,26 @@ std::optional<size_t> CrackerIndex::LowerBoundPosition(int64_t value) const {
   return it->second;
 }
 
+Status CrackerIndex::Validate() const {
+  size_t prev_pos = 0;
+  for (const auto& [pivot, pos] : pivots_) {
+    if (pos > size_) {
+      return Status::Internal("cracker index: pivot " + std::to_string(pivot) +
+                              " at position " + std::to_string(pos) +
+                              " past the column end " + std::to_string(size_));
+    }
+    // std::map iterates pivots in value order, so positions must follow.
+    if (pos < prev_pos) {
+      return Status::Internal("cracker index: pivot " + std::to_string(pivot) +
+                              " at position " + std::to_string(pos) +
+                              " inverts the preceding piece boundary " +
+                              std::to_string(prev_pos));
+    }
+    prev_pos = pos;
+  }
+  return Status::OK();
+}
+
 void CrackerIndex::ShiftAfter(int64_t pivot) {
   for (auto it = pivots_.upper_bound(pivot); it != pivots_.end(); ++it) {
     ++it->second;

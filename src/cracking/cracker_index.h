@@ -6,6 +6,8 @@
 #include <map>
 #include <optional>
 
+#include "common/status.h"
+
 namespace exploredb {
 
 /// The cracker index: an ordered map from pivot value to the first array
@@ -50,6 +52,11 @@ class CrackerIndex {
   void ShiftAfter(int64_t pivot);
 
   const std::map<int64_t, size_t>& pivots() const { return pivots_; }
+
+  /// Structural well-formedness: pivot positions are within the column and
+  /// monotonically non-decreasing in pivot order (pieces never overlap or
+  /// invert). O(#pivots).
+  Status Validate() const;
 
  private:
   size_t size_;

@@ -72,14 +72,16 @@ size_t UpdatableCrackerColumn::RangeCount(int64_t lo, int64_t hi) {
 
 size_t ConcurrentCrackerColumn::RangeCount(int64_t lo, int64_t hi) {
   {
-    std::shared_lock lock(mutex_);
+    ReaderMutexLock lock(mutex_);
     if (column_.CanAnswerWithoutCracking(lo, hi)) {
       read_only_queries_.fetch_add(1, std::memory_order_relaxed);
-      CrackRange r = column_.RangeSelect(lo, hi);  // no cracking: pure lookup
+      // Sound under a shared lock: both bounds are pivots, so RangeSelect
+      // degenerates to two index lookups and mutates nothing.
+      CrackRange r = column_.RangeSelect(lo, hi);
       return r.count();
     }
   }
-  std::unique_lock lock(mutex_);
+  WriterMutexLock lock(mutex_);
   CrackRange r = column_.RangeSelect(lo, hi);
   return r.count();
 }

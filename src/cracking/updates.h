@@ -3,9 +3,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <shared_mutex>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "cracking/cracker_column.h"
 
 namespace exploredb {
@@ -61,14 +62,16 @@ class ConcurrentCrackerColumn {
       : column_(std::move(values)) {}
 
   /// Thread-safe range count of values in [lo, hi).
-  size_t RangeCount(int64_t lo, int64_t hi);
+  size_t RangeCount(int64_t lo, int64_t hi) EXCLUDES(mutex_);
 
   /// Number of queries that were answered read-only (shared lock).
   uint64_t read_only_queries() const { return read_only_queries_; }
 
  private:
-  std::shared_mutex mutex_;
-  CrackerColumn column_;
+  SharedMutex mutex_;
+  // Read-only answers take mutex_ shared; cracking takes it exclusive. The
+  // RangeSelect on the shared path mutates nothing (both bounds are pivots).
+  CrackerColumn column_ GUARDED_BY(mutex_);
   std::atomic<uint64_t> read_only_queries_{0};
 };
 

@@ -1,13 +1,18 @@
 #include "engine/database.h"
 
+#include <algorithm>
+#include <string_view>
+#include <unordered_set>
+
 namespace exploredb {
 
 Result<size_t> TableEntry::NumRows() {
+  MutexLock lock(mu_);
   if (raw_.has_value()) return raw_->NumRows();
   return table_.num_rows();
 }
 
-Result<const ColumnVector*> TableEntry::GetColumn(size_t idx) {
+Result<const ColumnVector*> TableEntry::GetColumnLocked(size_t idx) {
   if (idx >= schema().num_fields()) {
     return Status::OutOfRange("column " + std::to_string(idx));
   }
@@ -15,10 +20,16 @@ Result<const ColumnVector*> TableEntry::GetColumn(size_t idx) {
   return &table_.column(idx);
 }
 
+Result<const ColumnVector*> TableEntry::GetColumn(size_t idx) {
+  MutexLock lock(mu_);
+  return GetColumnLocked(idx);
+}
+
 Result<CrackerColumn*> TableEntry::GetCracker(size_t idx) {
+  MutexLock lock(mu_);
   auto it = crackers_.find(idx);
   if (it != crackers_.end()) return it->second.get();
-  EXPLOREDB_ASSIGN_OR_RETURN(const ColumnVector* col, GetColumn(idx));
+  EXPLOREDB_ASSIGN_OR_RETURN(const ColumnVector* col, GetColumnLocked(idx));
   if (col->type() != DataType::kInt64) {
     return Status::InvalidArgument(
         "cracking requires an int64 column, '" + schema().field(idx).name +
@@ -31,9 +42,10 @@ Result<CrackerColumn*> TableEntry::GetCracker(size_t idx) {
 }
 
 Result<const SortedIndex*> TableEntry::GetSortedIndex(size_t idx) {
+  MutexLock lock(mu_);
   auto it = indexes_.find(idx);
   if (it != indexes_.end()) return it->second.get();
-  EXPLOREDB_ASSIGN_OR_RETURN(const ColumnVector* col, GetColumn(idx));
+  EXPLOREDB_ASSIGN_OR_RETURN(const ColumnVector* col, GetColumnLocked(idx));
   if (col->type() != DataType::kInt64) {
     return Status::InvalidArgument(
         "sorted index requires an int64 column, '" +
@@ -46,9 +58,10 @@ Result<const SortedIndex*> TableEntry::GetSortedIndex(size_t idx) {
 }
 
 Result<const ZoneMap*> TableEntry::GetZoneMap(size_t idx) {
+  MutexLock lock(mu_);
   auto it = zone_maps_.find(idx);
   if (it != zone_maps_.end()) return it->second.get();
-  EXPLOREDB_ASSIGN_OR_RETURN(const ColumnVector* col, GetColumn(idx));
+  EXPLOREDB_ASSIGN_OR_RETURN(const ColumnVector* col, GetColumnLocked(idx));
   if (col->type() == DataType::kString) {
     return Status::InvalidArgument(
         "zone map requires a numeric column, '" + schema().field(idx).name +
@@ -61,9 +74,10 @@ Result<const ZoneMap*> TableEntry::GetZoneMap(size_t idx) {
 }
 
 Result<const DictEncoded*> TableEntry::GetDict(size_t idx) {
+  MutexLock lock(mu_);
   auto it = dicts_.find(idx);
   if (it != dicts_.end()) return it->second.get();
-  EXPLOREDB_ASSIGN_OR_RETURN(const ColumnVector* col, GetColumn(idx));
+  EXPLOREDB_ASSIGN_OR_RETURN(const ColumnVector* col, GetColumnLocked(idx));
   if (col->type() != DataType::kString) {
     return Status::InvalidArgument(
         "dictionary requires a string column, '" + schema().field(idx).name +
@@ -76,6 +90,7 @@ Result<const DictEncoded*> TableEntry::GetDict(size_t idx) {
 }
 
 Result<const Table*> TableEntry::Materialized() {
+  MutexLock lock(mu_);
   if (!raw_.has_value()) return &table_;
   // Pull every column through the adaptive loader, then assemble a Table.
   Table full(schema());
@@ -88,32 +103,85 @@ Result<const Table*> TableEntry::Materialized() {
   return &table_;
 }
 
+Status TableEntry::ValidateAdaptiveState() {
+  MutexLock lock(mu_);
+  for (const auto& [idx, cracker] : crackers_) {
+    EXPLOREDB_ASSIGN_OR_RETURN(const ColumnVector* col, GetColumnLocked(idx));
+    EXPLOREDB_RETURN_NOT_OK(cracker->Validate(&col->int64_data()));
+  }
+  for (const auto& [idx, index] : indexes_) {
+    const std::vector<int64_t>& sorted = index->sorted_values();
+    if (!std::is_sorted(sorted.begin(), sorted.end())) {
+      return Status::Internal("sorted index over column " +
+                              std::to_string(idx) + " is not sorted");
+    }
+    EXPLOREDB_ASSIGN_OR_RETURN(const ColumnVector* col, GetColumnLocked(idx));
+    if (sorted.size() != col->int64_data().size()) {
+      return Status::Internal("sorted index over column " +
+                              std::to_string(idx) + " has wrong cardinality");
+    }
+  }
+  for (const auto& [idx, zm] : zone_maps_) {
+    EXPLOREDB_ASSIGN_OR_RETURN(const ColumnVector* col, GetColumnLocked(idx));
+    EXPLOREDB_RETURN_NOT_OK(zm->Validate(col));
+  }
+  for (const auto& [idx, dict] : dicts_) {
+    EXPLOREDB_ASSIGN_OR_RETURN(const ColumnVector* col, GetColumnLocked(idx));
+    const std::vector<std::string>& data = col->string_data();
+    const std::string where = " in dictionary over column " +
+                              std::to_string(idx);
+    if (dict->codes.size() != data.size()) {
+      return Status::Internal("code count != row count" + where);
+    }
+    std::unordered_set<std::string_view> distinct(dict->values.begin(),
+                                                  dict->values.end());
+    if (distinct.size() != dict->values.size()) {
+      return Status::Internal("duplicate dictionary value" + where);
+    }
+    for (size_t i = 0; i < data.size(); ++i) {
+      if (dict->codes[i] >= dict->values.size()) {
+        return Status::Internal("code out of range" + where);
+      }
+      if (dict->values[dict->codes[i]] != data[i]) {
+        return Status::Internal("row " + std::to_string(i) +
+                                " decodes to the wrong value" + where);
+      }
+    }
+  }
+  return Status::OK();
+}
+
 Status Database::CreateTable(const std::string& name, Table table) {
+  MutexLock lock(mu_);
   if (tables_.count(name)) {
     return Status::AlreadyExists("table '" + name + "'");
   }
-  tables_.emplace(name, TableEntry(std::move(table)));
+  tables_.emplace(name, std::make_unique<TableEntry>(std::move(table)));
   return Status::OK();
 }
 
 Status Database::RegisterCsv(const std::string& name, const std::string& path,
                              Schema schema, CsvOptions options) {
+  MutexLock lock(mu_);
   if (tables_.count(name)) {
     return Status::AlreadyExists("table '" + name + "'");
   }
   EXPLOREDB_ASSIGN_OR_RETURN(RawTable raw,
                              RawTable::Open(path, schema, options));
-  tables_.emplace(name, TableEntry(std::move(schema), std::move(raw)));
+  tables_.emplace(name, std::make_unique<TableEntry>(std::move(schema),
+                                                     std::move(raw)));
   return Status::OK();
 }
 
 Result<TableEntry*> Database::GetTable(const std::string& name) {
+  MutexLock lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("table '" + name + "'");
-  return &it->second;
+  return it->second.get();
 }
 
 std::vector<std::string> Database::TableNames() const {
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   for (const auto& [name, entry] : tables_) out.push_back(name);
   return out;

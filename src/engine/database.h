@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "cracking/baselines.h"
 #include "cracking/cracker_column.h"
@@ -18,71 +20,94 @@ namespace exploredb {
 /// A named table plus the adaptive infrastructure the engine grows around it
 /// while queries run: per-column crackers and sorted indexes, created lazily
 /// on first use (the "index as a side effect of querying" principle).
+///
+/// Thread safety: the lazy caches are built under mu_, so concurrent queries
+/// racing to create the same zone map / dictionary / index get one instance
+/// (and no map corruption). The returned pointers are stable for the entry's
+/// lifetime; mutating accesses through them (cracking reorganizes the cracked
+/// copy) are the caller's to serialize — the executor runs index paths one
+/// query at a time per cracker.
 class TableEntry {
  public:
-  explicit TableEntry(Table table) : table_(std::move(table)) {}
+  explicit TableEntry(Table table)
+      : schema_(table.schema()), table_(std::move(table)) {}
   TableEntry(Schema schema, RawTable raw)
-      : table_(Table(std::move(schema))), raw_(std::move(raw)) {}
+      : schema_(schema), table_(Table(std::move(schema))), raw_(std::move(raw)) {}
 
-  const Schema& schema() const { return table_.schema(); }
+  /// Immutable after construction, so readable without the lock.
+  const Schema& schema() const { return schema_; }
 
   /// Row count (tokenizes a raw-backed table on first call).
-  Result<size_t> NumRows();
+  Result<size_t> NumRows() EXCLUDES(mu_);
 
   /// The column, adaptively loading it from the raw file when raw-backed.
-  Result<const ColumnVector*> GetColumn(size_t idx);
+  Result<const ColumnVector*> GetColumn(size_t idx) EXCLUDES(mu_);
 
   /// Lazily created cracker over an int64 column.
-  Result<CrackerColumn*> GetCracker(size_t idx);
+  Result<CrackerColumn*> GetCracker(size_t idx) EXCLUDES(mu_);
 
   /// Lazily created fully sorted index over an int64 column.
-  Result<const SortedIndex*> GetSortedIndex(size_t idx);
+  Result<const SortedIndex*> GetSortedIndex(size_t idx) EXCLUDES(mu_);
 
   /// Lazily built per-zone min/max synopsis over a numeric column; scans
   /// consult it to skip morsels a predicate cannot match.
-  Result<const ZoneMap*> GetZoneMap(size_t idx);
+  Result<const ZoneMap*> GetZoneMap(size_t idx) EXCLUDES(mu_);
 
   /// Lazily built dictionary encoding of a string column (hash group-by keys
   /// by dense code instead of by string).
-  Result<const DictEncoded*> GetDict(size_t idx);
+  Result<const DictEncoded*> GetDict(size_t idx) EXCLUDES(mu_);
 
   /// Fully materialized Table view (loads every raw column).
-  Result<const Table*> Materialized();
+  Result<const Table*> Materialized() EXCLUDES(mu_);
 
-  bool raw_backed() const { return raw_.has_value(); }
+  bool raw_backed() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return raw_.has_value();
+  }
+
+  /// Deep-validates every adaptive structure this entry has built so far
+  /// (crackers, zone maps, dictionaries) against the base column data.
+  /// O(rows x structures); run from tests and, behind EXPLOREDB_VALIDATE=1,
+  /// after every query (see Executor::Execute).
+  Status ValidateAdaptiveState() EXCLUDES(mu_);
 
  private:
-  Table table_;
-  std::optional<RawTable> raw_;
-  std::map<size_t, std::unique_ptr<CrackerColumn>> crackers_;
-  std::map<size_t, std::unique_ptr<SortedIndex>> indexes_;
-  std::map<size_t, std::unique_ptr<ZoneMap>> zone_maps_;
-  std::map<size_t, std::unique_ptr<DictEncoded>> dicts_;
+  Result<const ColumnVector*> GetColumnLocked(size_t idx) REQUIRES(mu_);
+
+  const Schema schema_;
+  mutable Mutex mu_;
+  Table table_ GUARDED_BY(mu_);
+  std::optional<RawTable> raw_ GUARDED_BY(mu_);
+  std::map<size_t, std::unique_ptr<CrackerColumn>> crackers_ GUARDED_BY(mu_);
+  std::map<size_t, std::unique_ptr<SortedIndex>> indexes_ GUARDED_BY(mu_);
+  std::map<size_t, std::unique_ptr<ZoneMap>> zone_maps_ GUARDED_BY(mu_);
+  std::map<size_t, std::unique_ptr<DictEncoded>> dicts_ GUARDED_BY(mu_);
 };
 
-/// The engine's catalog: named tables, eager or adaptively loaded.
+/// The engine's catalog: named tables, eager or adaptively loaded. Creation
+/// and lookup are guarded; TableEntry pointers stay valid until the Database
+/// is destroyed (entries are never removed).
 class Database {
  public:
   Database() = default;
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
-  Database(Database&&) = default;
-  Database& operator=(Database&&) = default;
 
   /// Registers an in-memory table.
-  Status CreateTable(const std::string& name, Table table);
+  Status CreateTable(const std::string& name, Table table) EXCLUDES(mu_);
 
   /// Registers a CSV file for NoDB-style adaptive loading: the file is not
   /// parsed until queries touch its columns.
   Status RegisterCsv(const std::string& name, const std::string& path,
-                     Schema schema, CsvOptions options = {});
+                     Schema schema, CsvOptions options = {}) EXCLUDES(mu_);
 
-  Result<TableEntry*> GetTable(const std::string& name);
+  Result<TableEntry*> GetTable(const std::string& name) EXCLUDES(mu_);
 
-  std::vector<std::string> TableNames() const;
+  std::vector<std::string> TableNames() const EXCLUDES(mu_);
 
  private:
-  std::map<std::string, TableEntry> tables_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<TableEntry>> tables_ GUARDED_BY(mu_);
 };
 
 }  // namespace exploredb

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <map>
 #include <unordered_map>
 
+#include "common/check.h"
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "engine/group_by.h"
@@ -44,6 +46,17 @@ Status InterruptedStatus(const ExecContext& ctx) {
 }
 
 size_t MorselCount(size_t n, size_t morsel) { return (n + morsel - 1) / morsel; }
+
+/// EXPLOREDB_VALIDATE=1 deep-validates every adaptive structure of the
+/// queried table after each query (integration/stress suites run under it in
+/// CI). Read once: the flag is a process-level mode, not per query.
+bool PerQueryValidationEnabled() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("EXPLOREDB_VALIDATE");
+    return v != nullptr && v[0] == '1' && v[1] == '\0';
+  }();
+  return enabled;
+}
 
 }  // namespace
 
@@ -339,6 +352,7 @@ Result<QueryResult> Executor::Execute(const Query& query,
     result.exec_stats = stats;
     result.rows_scanned = stats.rows_scanned;
     result.exec_micros = stats.total_nanos / 1000;
+    if (PerQueryValidationEnabled()) CHECK_OK(entry->ValidateAdaptiveState());
     return result;
   }
 
@@ -374,6 +388,9 @@ Result<QueryResult> Executor::Execute(const Query& query,
   result.exec_stats = stats;
   result.rows_scanned = stats.rows_scanned;
   result.exec_micros = stats.total_nanos / 1000;
+  // Abort at the corruption site, with the violated invariant in the
+  // message, rather than let a malformed index serve the next query.
+  if (PerQueryValidationEnabled()) CHECK_OK(entry->ValidateAdaptiveState());
   return result;
 }
 

@@ -14,6 +14,7 @@ Session::Session(Database* db, SessionOptions options)
 
 Result<QueryResult> Session::Execute(const Query& query,
                                      const ExecContext& ctx) {
+  MutexLock lock(mu_);
   ++stats_.queries;
   Stopwatch total;
   const std::string key = query.CacheKey();
@@ -138,6 +139,7 @@ void Session::SpeculateAround(const Query& query, const ExecContext& ctx) {
 
 Result<SeeDbReport> Session::RecommendViews(const std::vector<ViewSpec>& views,
                                             size_t k, SeeDbMode mode) {
+  MutexLock lock(mu_);
   if (last_table_.empty()) {
     return Status::FailedPrecondition("no query executed yet");
   }
@@ -148,6 +150,7 @@ Result<SeeDbReport> Session::RecommendViews(const std::vector<ViewSpec>& views,
 }
 
 std::vector<std::string> Session::PredictNextQueries(size_t k) const {
+  MutexLock lock(mu_);
   if (history_.empty()) return {};
   return trajectory_.PredictNext(history_.back(), k);
 }

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "engine/database.h"
 #include "engine/executor.h"
@@ -38,16 +40,23 @@ struct SessionStats {
 /// and feeds the trajectory model that drives speculative prefetching of the
 /// user's likely next window. Recommendation entry points (SeeDB views)
 /// consume the session's current focus.
+///
+/// Thread safety: the session's mutable state (history, trajectory model,
+/// focus, counters) is guarded by mu_; Execute holds it for the query's
+/// duration, so a session processes one query at a time — matching the
+/// one-user-one-session model — while the Database and cache stay shareable
+/// across sessions.
 class Session {
  public:
   Session(Database* db, SessionOptions options = {});
 
   /// Executes a query with caching + speculation around it.
-  Result<QueryResult> Execute(const Query& query, const ExecContext& ctx = {});
+  Result<QueryResult> Execute(const Query& query, const ExecContext& ctx = {})
+      EXCLUDES(mu_);
 
   /// Resolves a name-based QueryBuilder against the catalog, then executes.
   Result<QueryResult> Execute(const QueryBuilder& builder,
-                              const ExecContext& ctx = {});
+                              const ExecContext& ctx = {}) EXCLUDES(mu_);
 
   /// Deprecated pre-ExecContext signature; kept for one release.
   [[deprecated("wrap the options in an ExecContext")]] Result<QueryResult>
@@ -57,31 +66,41 @@ class Session {
   /// query's predicate.
   Result<SeeDbReport> RecommendViews(const std::vector<ViewSpec>& views,
                                      size_t k,
-                                     SeeDbMode mode = SeeDbMode::kSharedScan);
+                                     SeeDbMode mode = SeeDbMode::kSharedScan)
+      EXCLUDES(mu_);
 
   /// Most likely next query keys given the trajectory so far.
-  std::vector<std::string> PredictNextQueries(size_t k) const;
+  std::vector<std::string> PredictNextQueries(size_t k) const EXCLUDES(mu_);
 
-  const SessionStats& stats() const { return stats_; }
-  const CacheStats& cache_stats() const { return cache_.stats(); }
-  const std::vector<std::string>& history() const { return history_; }
+  /// Counter snapshots / history copy (the session keeps mutating them).
+  SessionStats stats() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return stats_;
+  }
+  CacheStats cache_stats() const { return cache_.stats(); }
+  std::vector<std::string> history() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return history_;
+  }
   Database* db() const { return db_; }
 
  private:
   /// Enqueues shifted copies of a single-column range query (pan left/right)
   /// into the speculator.
-  void SpeculateAround(const Query& query, const ExecContext& ctx);
+  void SpeculateAround(const Query& query, const ExecContext& ctx)
+      REQUIRES(mu_);
 
-  Database* db_;
-  SessionOptions options_;
+  Database* const db_;
+  const SessionOptions options_;
   Executor executor_;
   QueryResultCache cache_;
-  Speculator speculator_;
-  MarkovPredictor trajectory_;
-  std::vector<std::string> history_;
-  std::string last_table_;
-  Predicate last_predicate_;
-  SessionStats stats_;
+  mutable Mutex mu_;
+  Speculator speculator_ GUARDED_BY(mu_);
+  MarkovPredictor trajectory_ GUARDED_BY(mu_);
+  std::vector<std::string> history_ GUARDED_BY(mu_);
+  std::string last_table_ GUARDED_BY(mu_);
+  Predicate last_predicate_ GUARDED_BY(mu_);
+  SessionStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace exploredb

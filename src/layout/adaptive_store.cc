@@ -1,6 +1,8 @@
 #include "layout/adaptive_store.h"
 
 #include <algorithm>
+#include <cmath>
+#include <string>
 
 namespace exploredb {
 
@@ -110,6 +112,62 @@ void AdaptiveStore::MaybeAdapt() {
   }
   history_.push_back({active_->kind(), best_cost, should_switch});
   profile_.Clear();
+}
+
+Status AdaptiveStore::Validate() const {
+  const size_t cols = master_.size();
+  const size_t rows = cols == 0 ? 0 : master_[0].size();
+  for (size_t c = 1; c < cols; ++c) {
+    if (master_[c].size() != rows) {
+      return Status::Internal("adaptive store: master column " +
+                              std::to_string(c) + " has " +
+                              std::to_string(master_[c].size()) + " rows, " +
+                              "column 0 has " + std::to_string(rows));
+    }
+  }
+  if (active_ == nullptr) {
+    return Status::Internal("adaptive store: no active layout");
+  }
+  if (active_->num_rows() != rows || active_->num_cols() != cols) {
+    return Status::Internal("adaptive store: active layout is " +
+                            std::to_string(active_->num_rows()) + "x" +
+                            std::to_string(active_->num_cols()) +
+                            ", master is " + std::to_string(rows) + "x" +
+                            std::to_string(cols));
+  }
+  if (active_scan_columns_.size() != cols ||
+      profile_.column_scans.size() != cols) {
+    return Status::Internal(
+        "adaptive store: per-column bookkeeping out of sync");
+  }
+  if (ops_in_window_ >= window_) {
+    return Status::Internal("adaptive store: window overran adaptation point");
+  }
+  if (reorganizations_ > history_.size()) {
+    return Status::Internal(
+        "adaptive store: more reorganizations than adaptation windows");
+  }
+  // Content check: every column scanned through the active layout must agree
+  // with the columnar source of truth. Layouts sum in different orders, so
+  // allow relative FP slack.
+  for (size_t c = 0; c < cols; ++c) {
+    double want = 0.0;
+    double scale = 1.0;  // condition number guard: |a+b| can be << |a|+|b|
+    for (double v : master_[c]) {
+      want += v;
+      scale += std::abs(v);
+    }
+    double got = active_->ScanColumn(c);
+    double tolerance = 1e-9 * scale;
+    if (!(std::abs(got - want) <= tolerance)) {
+      return Status::Internal("adaptive store: column " + std::to_string(c) +
+                              " checksum " + std::to_string(got) +
+                              " disagrees with master " +
+                              std::to_string(want) +
+                              " after reorganization");
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace exploredb

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/status.h"
 #include "layout/cost_model.h"
 #include "layout/layouts.h"
 
@@ -42,6 +43,13 @@ class AdaptiveStore {
   /// The store's cost model (exposed so experiments can compare predictions
   /// with static layouts).
   const LayoutCostModel& cost_model() const { return model_; }
+
+  /// Well-formedness after any number of reorganizations: the active layout
+  /// has the master matrix's shape and contents (every column scan agrees
+  /// with a sum over the columnar source of truth), the workload profile
+  /// matches the column count, and the adaptation bookkeeping is consistent.
+  /// O(rows x cols); read-only (does not touch the profile).
+  Status Validate() const;
 
  private:
   void MaybeAdapt();

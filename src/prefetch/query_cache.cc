@@ -4,6 +4,7 @@ namespace exploredb {
 
 std::optional<std::vector<uint32_t>> QueryResultCache::Get(
     const std::string& key) {
+  MutexLock lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++stats_.misses;
@@ -18,6 +19,7 @@ std::optional<std::vector<uint32_t>> QueryResultCache::Get(
 
 void QueryResultCache::Put(const std::string& key,
                            std::vector<uint32_t> result) {
+  MutexLock lock(mu_);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     it->second.result = std::move(result);

@@ -8,6 +8,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
+
 namespace exploredb {
 
 /// Hit/miss counters for the prefetching experiments.
@@ -26,27 +29,40 @@ struct CacheStats {
 /// LRU cache from query key (Predicate::CacheKey or a tile id) to the
 /// materialized result positions. The middleware substrate shared by the
 /// prefetching and speculative-execution components: prefetchers Put()
-/// results ahead of the user, the session Get()s on query arrival.
+/// results ahead of the user, the session Get()s on query arrival. All
+/// operations are guarded by one mutex — prefetchers may Put from worker
+/// threads while the session thread reads.
 class QueryResultCache {
  public:
   /// `capacity` is the maximum number of cached entries (>= 1).
   explicit QueryResultCache(size_t capacity) : capacity_(capacity) {}
 
   /// The cached result for `key`, refreshing its recency; nullopt on miss.
-  std::optional<std::vector<uint32_t>> Get(const std::string& key);
+  std::optional<std::vector<uint32_t>> Get(const std::string& key)
+      EXCLUDES(mu_);
 
   /// True without affecting recency or stats (used by prefetch planners to
   /// avoid re-computing what is already resident).
-  bool Contains(const std::string& key) const {
+  bool Contains(const std::string& key) const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return entries_.count(key) > 0;
   }
 
   /// Inserts or refreshes `key`, evicting the least recently used entry if
   /// at capacity.
-  void Put(const std::string& key, std::vector<uint32_t> result);
+  void Put(const std::string& key, std::vector<uint32_t> result)
+      EXCLUDES(mu_);
 
-  size_t size() const { return entries_.size(); }
-  const CacheStats& stats() const { return stats_; }
+  size_t size() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return entries_.size();
+  }
+
+  /// Snapshot of the counters (by value: the cache keeps mutating).
+  CacheStats stats() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return stats_;
+  }
 
  private:
   struct Entry {
@@ -54,10 +70,11 @@ class QueryResultCache {
     std::list<std::string>::iterator lru_it;
   };
 
+  mutable Mutex mu_;
   size_t capacity_;
-  std::list<std::string> lru_;  // front = most recent
-  std::unordered_map<std::string, Entry> entries_;
-  CacheStats stats_;
+  std::list<std::string> lru_ GUARDED_BY(mu_);  // front = most recent
+  std::unordered_map<std::string, Entry> entries_ GUARDED_BY(mu_);
+  CacheStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace exploredb

@@ -61,6 +61,69 @@ std::unordered_map<std::string, Estimate> StratifiedSample::GroupMeans(
   return out;
 }
 
+Status StratifiedSample::Validate(const std::vector<std::string>& group_keys,
+                                  size_t cap) const {
+  if (weights_.size() != positions_.size()) {
+    return Status::Internal("stratified sample: " +
+                            std::to_string(positions_.size()) +
+                            " positions but " +
+                            std::to_string(weights_.size()) + " weights");
+  }
+  // True per-group row counts of the underlying column.
+  std::unordered_map<std::string, size_t> true_sizes;
+  for (const std::string& key : group_keys) ++true_sizes[key];
+  if (true_sizes.size() != group_sizes_.size()) {
+    return Status::Internal("stratified sample: saw " +
+                            std::to_string(group_sizes_.size()) +
+                            " groups, column has " +
+                            std::to_string(true_sizes.size()));
+  }
+  for (const auto& [key, size] : group_sizes_) {
+    auto it = true_sizes.find(key);
+    if (it == true_sizes.end() || it->second != size) {
+      return Status::Internal("stratified sample: recorded size of group '" +
+                              key + "' disagrees with the column");
+    }
+  }
+  std::unordered_map<std::string, size_t> sampled_counts;
+  for (size_t i = 0; i < positions_.size(); ++i) {
+    if (i > 0 && positions_[i] <= positions_[i - 1]) {
+      return Status::Internal(
+          "stratified sample: positions not strictly ascending at index " +
+          std::to_string(i));
+    }
+    if (positions_[i] >= group_keys.size()) {
+      return Status::Internal("stratified sample: position " +
+                              std::to_string(positions_[i]) +
+                              " out of range");
+    }
+    const std::string& key = group_keys[positions_[i]];
+    ++sampled_counts[key];
+    // Exact Horvitz-Thompson weight: group_size / sample_size.
+    size_t group_size = true_sizes[key];
+    double want = static_cast<double>(group_size) /
+                  static_cast<double>(std::min(cap, group_size));
+    if (weights_[i] != want) {
+      return Status::Internal("stratified sample: row " +
+                              std::to_string(positions_[i]) + " in group '" +
+                              key + "' has weight " +
+                              std::to_string(weights_[i]) + ", expected " +
+                              std::to_string(want));
+    }
+  }
+  for (const auto& [key, size] : true_sizes) {
+    size_t want = std::min(cap, size);
+    auto it = sampled_counts.find(key);
+    size_t got = it == sampled_counts.end() ? 0 : it->second;
+    if (got != want) {
+      return Status::Internal("stratified sample: group '" + key + "' holds " +
+                              std::to_string(got) + " sampled rows, cap " +
+                              "implies " + std::to_string(want));
+    }
+  }
+  return Status::OK();
+}
+
 double StratifiedSample::WeightedSum(const std::vector<double>& values) const {
   double total = 0.0;
   for (size_t i = 0; i < positions_.size(); ++i) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/status.h"
 #include "sampling/estimators.h"
 
 namespace exploredb {
@@ -41,6 +42,15 @@ class StratifiedSample {
 
   /// Weighted (Horvitz-Thompson) total of `values` over the population.
   double WeightedSum(const std::vector<double>& values) const;
+
+  /// Well-formedness against the column the sample was built over: positions
+  /// are strictly ascending and in range, every group holds exactly
+  /// min(cap, group_size) sampled rows, the recorded group sizes match the
+  /// data, and each weight is the group's exact inverse inclusion
+  /// probability. A violated invariant silently biases every estimate this
+  /// sample serves. O(rows).
+  Status Validate(const std::vector<std::string>& group_keys,
+                  size_t cap) const;
 
  private:
   std::vector<uint32_t> positions_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+#include <type_traits>
 
 namespace exploredb {
 
@@ -116,6 +118,82 @@ bool ZoneMap::MayMatch(const Condition& c, uint32_t begin, uint32_t end) const {
     }
   }
   return false;
+}
+
+namespace {
+
+/// Equality that treats two NaNs as equal (double zones keep NaN bounds).
+template <typename T>
+bool BoundsEqual(T a, T b) {
+  if constexpr (std::is_floating_point_v<T>) {
+    if (std::isnan(a) && std::isnan(b)) return true;
+  }
+  return a == b;
+}
+
+template <typename T>
+Status ValidateZones(const std::vector<T>& data, size_t zone_rows,
+                     const std::vector<T>& mins, const std::vector<T>& maxes) {
+  std::vector<T> want_min;
+  std::vector<T> want_max;
+  BuildZones(data, zone_rows, &want_min, &want_max);
+  for (size_t z = 0; z < mins.size(); ++z) {
+    if (!BoundsEqual(mins[z], want_min[z]) ||
+        !BoundsEqual(maxes[z], want_max[z])) {
+      return Status::Internal("zone map: zone " + std::to_string(z) +
+                              " bounds disagree with the column");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ZoneMap::Validate(const ColumnVector* col) const {
+  if (zone_rows_ == 0) return Status::Internal("zone map: zero zone width");
+  if (type_ == DataType::kString) {
+    return Status::Internal("zone map: built over a string column");
+  }
+  const size_t zones = num_zones();
+  const size_t want_zones = (num_rows_ + zone_rows_ - 1) / zone_rows_;
+  if (zones != want_zones) {
+    return Status::Internal("zone map: " + std::to_string(zones) +
+                            " zones do not cover " +
+                            std::to_string(num_rows_) + " rows (expected " +
+                            std::to_string(want_zones) + ")");
+  }
+  // Min/max arrays of the active type are parallel; the other type's empty.
+  const bool is_int = type_ == DataType::kInt64;
+  const size_t active_min = is_int ? min_i64_.size() : min_dbl_.size();
+  const size_t active_max = is_int ? max_i64_.size() : max_dbl_.size();
+  const size_t inactive =
+      is_int ? min_dbl_.size() + max_dbl_.size()
+             : min_i64_.size() + max_i64_.size();
+  if (active_min != zones || active_max != zones || inactive != 0) {
+    return Status::Internal("zone map: bound arrays inconsistent with type");
+  }
+  for (size_t z = 0; z < zones; ++z) {
+    if (is_int) {
+      if (min_i64_[z] > max_i64_[z]) {
+        return Status::Internal("zone map: zone " + std::to_string(z) +
+                                " has min > max");
+      }
+    } else if (!(std::isnan(min_dbl_[z]) || std::isnan(max_dbl_[z])) &&
+               min_dbl_[z] > max_dbl_[z]) {
+      return Status::Internal("zone map: zone " + std::to_string(z) +
+                              " has min > max");
+    }
+  }
+  if (col != nullptr) {
+    if (col->type() != type_ || col->size() != num_rows_) {
+      return Status::Internal("zone map: column type/size changed since build");
+    }
+    if (is_int) {
+      return ValidateZones(col->int64_data(), zone_rows_, min_i64_, max_i64_);
+    }
+    return ValidateZones(col->double_data(), zone_rows_, min_dbl_, max_dbl_);
+  }
+  return Status::OK();
 }
 
 std::optional<std::pair<int64_t, int64_t>> ZoneMap::Int64Range() const {

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "storage/column.h"
 #include "storage/predicate.h"
 
@@ -41,6 +42,13 @@ class ZoneMap {
   /// Column-wide [min, max] of an int64 column (nullopt when the column is
   /// empty or not int64). O(zones); feeds the dense group-by fast path.
   std::optional<std::pair<int64_t, int64_t>> Int64Range() const;
+
+  /// Well-formedness: the zones exactly cover [0, num_rows) (zone count is
+  /// ceil(num_rows / zone_rows)) and min <= max in every zone. When `col` is
+  /// given, additionally recomputes each zone's bounds from the column and
+  /// requires an exact match — a stale or corrupt synopsis would silently
+  /// prune live rows. O(zones), O(rows) with `col`.
+  Status Validate(const ColumnVector* col = nullptr) const;
 
  private:
   DataType type_ = DataType::kInt64;

@@ -3,6 +3,7 @@
 #include <set>
 #include <vector>
 
+#include "common/check.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -222,6 +223,64 @@ TEST(StringsTest, JoinAndTrim) {
   EXPECT_EQ(Trim("  x y  "), "x y");
   EXPECT_EQ(Trim("   "), "");
 }
+
+// ---------------------------------------------------------------- CHECK
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  CHECK(1 + 1 == 2);
+  CHECK_OK(Status::OK());
+  CHECK_EQ(3, 3);
+  CHECK_LT(2, 3);
+  Result<int> r(7);
+  CHECK_OK(r);
+}
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, CheckAbortsWithExpressionEvenInRelease) {
+  // Unlike assert(), CHECK must fire in NDEBUG builds too — the test suite
+  // is built in Release, so surviving this test proves it.
+  EXPECT_DEATH(CHECK(2 + 2 == 5), "CHECK failed.*2 \\+ 2 == 5");
+}
+
+TEST(CheckDeathTest, CheckOkReportsTheStatusMessage) {
+  EXPECT_DEATH(CHECK_OK(Status::Internal("zone map corrupt")),
+               "zone map corrupt");
+}
+
+TEST(CheckDeathTest, CheckOpPrintsBothOperands) {
+  int lhs = 3;
+  int rhs = 4;
+  EXPECT_DEATH(CHECK_EQ(lhs, rhs), "3 vs 4");
+}
+
+TEST(CheckDeathTest, ResultMisuseAborts) {
+  // Result from an OK status has no value to hold: programming error.
+  EXPECT_DEATH(
+      {
+        Result<int> r(Status::OK());
+        (void)r;
+      },
+      "CHECK failed");
+  // ValueOrDie on an error aborts with the stored error, Release included.
+  Result<int> err(Status::NotFound("no such column"));
+  EXPECT_DEATH(err.ValueOrDie(), "no such column");
+}
+
+#ifndef NDEBUG
+TEST(CheckDeathTest, DcheckFiresInDebugBuilds) {
+  EXPECT_DEATH(DCHECK(false), "CHECK failed");
+}
+#else
+TEST(CheckTest, DcheckDoesNotEvaluateInRelease) {
+  int evaluations = 0;
+  DCHECK([&] {
+    ++evaluations;
+    return false;
+  }());
+  EXPECT_EQ(evaluations, 0);
+}
+#endif
 
 TEST(StopwatchTest, MeasuresNonNegativeElapsed) {
   Stopwatch t;

@@ -313,5 +313,93 @@ TEST(ConcurrentCrackerTest, RepeatedQueriesGoReadOnly) {
   EXPECT_EQ(col.read_only_queries(), before + 2);
 }
 
+// ---------------------------------------------------------------- validate
+
+TEST(CrackerValidateTest, FreshAndCrackedColumnsValidate) {
+  std::vector<int64_t> values = RandomValues(5000, 1000, 7);
+  CrackerColumn col(values);
+  EXPECT_TRUE(col.Validate(&values).ok());
+  col.RangeSelect(100, 500);
+  col.RangeSelect(250, 750);
+  EXPECT_TRUE(col.index().Validate().ok());
+  EXPECT_TRUE(col.Validate(&values).ok());
+}
+
+TEST(CrackerValidateTest, IndexValidateCatchesInvertedBoundaries) {
+  CrackerIndex index(100);
+  index.AddPivot(10, 40);
+  EXPECT_TRUE(index.Validate().ok());
+  index.AddPivot(20, 30);  // larger pivot, earlier position: pieces invert
+  Status s = index.Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("inverts"), std::string::npos);
+}
+
+TEST(CrackerValidateTest, IndexValidateCatchesPositionPastEnd) {
+  CrackerIndex index(100);
+  index.AddPivot(10, 101);
+  EXPECT_FALSE(index.Validate().ok());
+}
+
+TEST(CrackerValidateTest, ValidateCatchesCorruptedBaseColumn) {
+  std::vector<int64_t> values = RandomValues(1000, 100, 11);
+  CrackerColumn col(values);
+  col.RangeSelect(20, 60);
+  // Claim a different base column: the value/row-id alignment check fires.
+  std::vector<int64_t> wrong = values;
+  wrong[123] += 1;
+  EXPECT_TRUE(col.Validate(&values).ok());
+  EXPECT_FALSE(col.Validate(&wrong).ok());
+}
+
+// The satellite stress check: 1k random range queries interleaved with
+// inserts. After every batch the index must validate against the full base
+// data, every query must agree with a scan oracle, and at the end the
+// cracked copy must be exactly a permutation of the accumulated inserts
+// (checked via sorted-copy comparison).
+TEST(CrackerValidateTest, RandomizedQueriesWithUpdatesStayWellFormed) {
+  constexpr int64_t kDomain = 1'000'000;
+  std::vector<int64_t> master = RandomValues(10'000, kDomain, 42);
+  UpdatableCrackerColumn col(master, /*merge_threshold=*/64);
+  Random rng(43);
+
+  for (int q = 0; q < 1000; ++q) {
+    if (q % 3 == 0) {
+      int64_t v = rng.UniformInt(0, kDomain - 1);
+      col.Insert(v);
+      master.push_back(v);  // row ids are assigned in insertion order
+    }
+    int64_t lo = rng.UniformInt(0, kDomain - 1);
+    int64_t hi = lo + 1 + rng.UniformInt(0, kDomain / 10);
+    size_t count = col.RangeCount(lo, hi);
+    size_t oracle = static_cast<size_t>(std::count_if(
+        master.begin(), master.end(),
+        [&](int64_t v) { return v >= lo && v < hi; }));
+    ASSERT_EQ(count, oracle) << "query " << q << " [" << lo << "," << hi
+                             << ") disagrees with the scan oracle";
+    if (q % 100 == 0) {
+      // Merged prefix of the master data: pending inserts are not yet part
+      // of the cracked array, so validate against what has been folded in.
+      std::vector<int64_t> merged(master.begin(),
+                                  master.begin() + col.column().size());
+      ASSERT_TRUE(col.column().Validate(&merged).ok()) << "after query " << q;
+    }
+  }
+
+  col.MergePending();
+  Status final_state = col.column().Validate(&master);
+  EXPECT_TRUE(final_state.ok()) << final_state.ToString();
+
+  // Sorted-copy oracle: cracking permutes, never loses or invents values.
+  std::vector<int64_t> cracked = col.column().values();
+  std::sort(cracked.begin(), cracked.end());
+  std::vector<int64_t> sorted_master = master;
+  std::sort(sorted_master.begin(), sorted_master.end());
+  EXPECT_EQ(cracked, sorted_master);
+
+  // Full-range scan through the index agrees with everything inserted.
+  EXPECT_EQ(col.RangeCount(0, kDomain), master.size());
+}
+
 }  // namespace
 }  // namespace exploredb

@@ -183,5 +183,32 @@ TEST(AdaptiveStoreTest, HistoryRecordsDecisions) {
   EXPECT_EQ(store.history().size(), 2u);  // two full windows
 }
 
+// ------------------------------------------------------ invariant validation
+
+TEST(AdaptiveStoreValidateTest, FreshStoreValidates) {
+  AdaptiveStore store(MakeColumns(2000, 8, 23), /*window=*/100);
+  EXPECT_TRUE(store.Validate().ok());
+}
+
+TEST(AdaptiveStoreValidateTest, ValidatesAcrossReorganizations) {
+  // Drive the store through column -> row -> column so Validate runs against
+  // a layout that was rebuilt twice from the master matrix.
+  AdaptiveStore store(MakeColumns(20000, 16, 27), /*window=*/500);
+  Random rng(29);
+  for (int i = 0; i < 2000; ++i) {
+    store.Execute({AccessOp::Kind::kRowFetch, rng.Uniform(20000)});
+    if (i % 250 == 0) {
+      ASSERT_TRUE(store.Validate().ok());
+    }
+  }
+  EXPECT_EQ(store.active_layout(), LayoutKind::kRow);
+  ASSERT_TRUE(store.Validate().ok());
+  for (int i = 0; i < 3000; ++i) {
+    store.Execute({AccessOp::Kind::kColumnScan, rng.Uniform(16)});
+  }
+  EXPECT_GE(store.reorganizations(), 2u);
+  EXPECT_TRUE(store.Validate().ok());
+}
+
 }  // namespace
 }  // namespace exploredb

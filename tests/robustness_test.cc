@@ -156,8 +156,7 @@ TEST(DegenerateDataTest, EngineOnEmptyTable) {
 
 TEST(CacheConsistencyTest, CachedSessionsMatchUncachedResults) {
   Schema schema({{"k", DataType::kInt64}, {"v", DataType::kDouble}});
-  auto make_db = [&]() {
-    Database db;
+  auto fill_db = [&](Database& db) {
     Table t(schema);
     Random rng(31);
     t.Reserve(30'000);
@@ -166,10 +165,11 @@ TEST(CacheConsistencyTest, CachedSessionsMatchUncachedResults) {
       t.mutable_column(1)->AppendDouble(rng.NextDouble());
     }
     EXPECT_TRUE(db.CreateTable("data", std::move(t)).ok());
-    return db;
   };
-  Database db_cached = make_db();
-  Database db_plain = make_db();
+  Database db_cached;
+  Database db_plain;
+  fill_db(db_cached);
+  fill_db(db_plain);
   SessionOptions cached_opts;
   cached_opts.idle_budget = 4;
   Session cached(&db_cached, cached_opts);

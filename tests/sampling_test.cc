@@ -355,5 +355,31 @@ TEST_F(CatalogTest, PredicateRestrictsEstimate) {
   EXPECT_NEAR(r.ValueOrDie().estimate.value, 100.0, 3.0);
 }
 
+// ------------------------------------------------------ invariant validation
+
+TEST(StratifiedValidateTest, FreshSamplesValidate) {
+  Random rng(43);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 20'000; ++i) {
+    keys.push_back("g" + std::to_string(rng.Zipf(50, 1.1)));
+  }
+  StratifiedSample s(keys, /*cap=*/64);
+  EXPECT_TRUE(s.Validate(keys, 64).ok());
+}
+
+TEST(StratifiedValidateTest, CatchesMismatchedPopulation) {
+  std::vector<std::string> keys;
+  for (int i = 0; i < 1000; ++i) keys.push_back(i < 900 ? "big" : "small");
+  StratifiedSample s(keys, /*cap=*/50);
+  ASSERT_TRUE(s.Validate(keys, 50).ok());
+  // Validating against a different population: the recorded group sizes (and
+  // hence every Horvitz-Thompson weight) no longer describe the data.
+  std::vector<std::string> relabeled = keys;
+  for (int i = 0; i < 500; ++i) relabeled[i] = "small";
+  EXPECT_FALSE(s.Validate(relabeled, 50).ok());
+  // Validating with the wrong cap: per-group sampled counts disagree.
+  EXPECT_FALSE(s.Validate(keys, 10).ok());
+}
+
 }  // namespace
 }  // namespace exploredb

@@ -258,5 +258,41 @@ TEST(ZoneMapStringPredicateTest, StringConditionsSkipPruningSafely) {
   EXPECT_GT(r.ValueOrDie().stats().morsels_pruned, 0u);
 }
 
+// ---- invariant validation --------------------------------------------------
+
+TEST(ZoneMapValidateTest, BuiltMapsValidateShallowAndDeep) {
+  Random rng(41);
+  std::vector<int64_t> data(10'000);
+  for (int64_t& v : data) v = rng.UniformInt(-1'000'000, 1'000'000);
+  ColumnVector col = Int64Column(data);
+  ZoneMap zm = ZoneMap::Build(col, /*zone_rows=*/256);
+  EXPECT_TRUE(zm.Validate().ok());
+  EXPECT_TRUE(zm.Validate(&col).ok());
+
+  ColumnVector dcol(DataType::kDouble);
+  for (int i = 0; i < 5000; ++i) {
+    dcol.mutable_double_data()->push_back(rng.NextGaussian());
+  }
+  ZoneMap dzm = ZoneMap::Build(dcol, 128);
+  EXPECT_TRUE(dzm.Validate(&dcol).ok());
+}
+
+TEST(ZoneMapValidateTest, DeepValidateCatchesStaleSynopsis) {
+  ColumnVector col = Int64Column({1, 2, 3, 4, 5, 6, 7, 8});
+  ZoneMap zm = ZoneMap::Build(col, /*zone_rows=*/4);
+  ASSERT_TRUE(zm.Validate(&col).ok());
+  // An in-place update the synopsis never saw: the recorded max of zone 0
+  // (4) now undercovers the data, so the map would prune a live row.
+  (*col.mutable_int64_data())[0] = 999;
+  EXPECT_FALSE(zm.Validate(&col).ok());
+}
+
+TEST(ZoneMapValidateTest, DeepValidateCatchesRowCountDrift) {
+  ColumnVector col = Int64Column({1, 2, 3, 4, 5, 6, 7, 8});
+  ZoneMap zm = ZoneMap::Build(col, 4);
+  col.mutable_int64_data()->push_back(9);  // appended after the build
+  EXPECT_FALSE(zm.Validate(&col).ok());
+}
+
 }  // namespace
 }  // namespace exploredb
