@@ -43,11 +43,13 @@ void Run() {
   Row("query#", "scan_ms", "crack_ms", "fullindex_ms");
   size_t next_report = 0;
   volatile uint64_t sink = 0;
+  double crack_total_ns = 0;
   for (int q = 0; q < kQueries; ++q) {
     auto [lo, hi] = queries[q];
     timer.Restart();
     CrackRange r = cracker.RangeSelect(lo, hi);
     double crack_ms = timer.ElapsedSeconds() * 1e3;
+    crack_total_ns += crack_ms * 1e6;
     sink += r.count();
 
     if (next_report < report.size() && q + 1 == report[next_report]) {
@@ -65,6 +67,12 @@ void Run() {
   std::printf("cracker pieces after %d queries: %zu, cracks: %llu\n",
               kQueries, cracker.index().num_pieces(),
               static_cast<unsigned long long>(cracker.stats().cracks));
+  bench::ReportJson(
+      "cracking_convergence", kQueries, crack_total_ns / kQueries,
+      {{"rows", static_cast<double>(kRows)},
+       {"pieces", static_cast<double>(cracker.index().num_pieces())},
+       {"cracks", static_cast<double>(cracker.stats().cracks)},
+       {"fullindex_build_ms", index_build_ms}});
 }
 
 }  // namespace

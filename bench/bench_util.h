@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <string>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
@@ -101,6 +102,90 @@ template <typename T, typename... Rest>
 void Row(const T& first, const Rest&... rest) {
   PrintCell(first);
   Row(rest...);
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable results: every benchmark can report (name, iters, ns/op,
+// counters) records; when $EXPLOREDB_BENCH_JSON names a file, the accumulated
+// records are written there as JSON at process exit (and on Flush). With the
+// variable unset, reporting costs one getenv-backed branch — benches always
+// report, and CI decides whether a trajectory file gets produced.
+// ---------------------------------------------------------------------------
+
+class JsonReporter {
+ public:
+  /// Process-wide reporter; flushed by its destructor at exit.
+  static JsonReporter& Get() {
+    static JsonReporter reporter;
+    return reporter;
+  }
+
+  /// Records one benchmark result. `counters` are free-form named values
+  /// (rows/s, splits, hit-rate, ...) that ride along with the timing.
+  void Report(std::string name, uint64_t iters, double ns_per_op,
+              std::vector<std::pair<std::string, double>> counters = {}) {
+    records_.push_back(Record{std::move(name), iters, ns_per_op,
+                              std::move(counters)});
+  }
+
+  /// Writes all records to $EXPLOREDB_BENCH_JSON (overwrite). No-op when the
+  /// variable is unset or no records were reported.
+  void Flush() {
+    const char* path = std::getenv("EXPLOREDB_BENCH_JSON");
+    if (path == nullptr || records_.empty()) return;
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) return;
+    std::fputs("{\n  \"benchmarks\": [", f);
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      std::fprintf(f, "%s\n    {\"name\": \"%s\", \"iters\": %llu, "
+                   "\"ns_per_op\": %.3f",
+                   i ? "," : "", Escaped(r.name).c_str(),
+                   static_cast<unsigned long long>(r.iters), r.ns_per_op);
+      if (!r.counters.empty()) {
+        std::fputs(", \"counters\": {", f);
+        for (size_t c = 0; c < r.counters.size(); ++c) {
+          std::fprintf(f, "%s\"%s\": %.6g", c ? ", " : "",
+                       Escaped(r.counters[c].first).c_str(),
+                       r.counters[c].second);
+        }
+        std::fputc('}', f);
+      }
+      std::fputc('}', f);
+    }
+    std::fputs("\n  ]\n}\n", f);
+    std::fclose(f);
+  }
+
+  ~JsonReporter() { Flush(); }
+
+ private:
+  struct Record {
+    std::string name;
+    uint64_t iters;
+    double ns_per_op;
+    std::vector<std::pair<std::string, double>> counters;
+  };
+
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  std::vector<Record> records_;
+};
+
+/// Convenience wrapper: bench::ReportJson("crack_select", iters, ns_per_op,
+/// {{"splits", 12}, {"rows", 1e6}});
+inline void ReportJson(std::string name, uint64_t iters, double ns_per_op,
+                       std::vector<std::pair<std::string, double>> counters =
+                           {}) {
+  JsonReporter::Get().Report(std::move(name), iters, ns_per_op,
+                             std::move(counters));
 }
 
 }  // namespace exploredb::bench

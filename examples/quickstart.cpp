@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "common/random.h"
+#include "common/trace.h"
 #include "engine/database.h"
 #include "engine/executor.h"
 #include "engine/query.h"
@@ -98,6 +99,15 @@ int main() {
                 quick.ValueOrDie().scalar->value,
                 quick.ValueOrDie().scalar->ci_half_width,
                 quick.ValueOrDie().approximate ? "yes" : "no");
+  }
+
+  // ---- 6. Tracing ---------------------------------------------------------
+  // With EXPLOREDB_TRACE=1 every query above recorded phase/morsel spans;
+  // export them as Chrome trace_event JSON (about://tracing, Perfetto).
+  if (Tracer::enabled()) {
+    if (auto st = Tracer::WriteChromeTrace("trace.json"); st.ok()) {
+      std::printf("\nwrote trace.json — open in about://tracing\n");
+    }
   }
   return 0;
 }

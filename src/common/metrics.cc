@@ -1,0 +1,189 @@
+#include "common/metrics.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace exploredb {
+
+size_t Counter::ShardIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return index;
+}
+
+Histogram::Histogram(std::vector<int64_t> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    CHECK_LT(bounds_[i - 1], bounds_[i]);
+  }
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const Cell& c : buckets_) {
+    total += c.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> counts;
+  counts.reserve(buckets_.size());
+  for (const Cell& c : buckets_) {
+    counts.push_back(c.value.load(std::memory_order_relaxed));
+  }
+  return counts;
+}
+
+double Histogram::Quantile(double q) const {
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const std::vector<uint64_t> counts = BucketCounts();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+
+  // Rank of the target observation (1-based), then the bucket containing it.
+  const double rank = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    const uint64_t before = cumulative;
+    cumulative += counts[b];
+    if (static_cast<double>(cumulative) < rank) continue;
+
+    // Interpolate within [lower, upper] of this bucket. The overflow bucket
+    // has no upper bound; report its lower bound (a conservative estimate).
+    const double lower =
+        b == 0 ? 0.0 : static_cast<double>(bounds_[b - 1]);
+    if (b == bounds_.size()) return lower;
+    const double upper = static_cast<double>(bounds_[b]);
+    const double into =
+        (rank - static_cast<double>(before)) / static_cast<double>(counts[b]);
+    return lower + (upper - lower) * into;
+  }
+  // q == 1 with rounding: the last non-empty bucket's bound.
+  for (size_t b = counts.size(); b-- > 0;) {
+    if (counts[b] == 0) continue;
+    return b == bounds_.size() ? static_cast<double>(bounds_.back())
+                               : static_cast<double>(bounds_[b]);
+  }
+  return 0.0;
+}
+
+void Histogram::ResetForTest() {
+  for (Cell& c : buckets_) c.value.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<int64_t> Histogram::LatencyBoundsNanos() {
+  // 1us, 4us, 16us, ... x4 up to ~17s: 13 buckets covering everything from a
+  // cache-hit lookup to a pathological full scan.
+  std::vector<int64_t> bounds;
+  for (int64_t b = 1'000; b <= 17'179'869'184; b *= 4) bounds.push_back(b);
+  return bounds;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  MutexLock lock(mu_);
+  Entry& e = metrics_[name];
+  if (e.counter == nullptr) {
+    CHECK(e.gauge == nullptr && e.histogram == nullptr);
+    e.counter = std::make_unique<Counter>();
+    e.help = help;
+  }
+  return e.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  MutexLock lock(mu_);
+  Entry& e = metrics_[name];
+  if (e.gauge == nullptr) {
+    CHECK(e.counter == nullptr && e.histogram == nullptr);
+    e.gauge = std::make_unique<Gauge>();
+    e.help = help;
+  }
+  return e.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<int64_t> bounds,
+                                         const std::string& help) {
+  MutexLock lock(mu_);
+  Entry& e = metrics_[name];
+  if (e.histogram == nullptr) {
+    CHECK(e.counter == nullptr && e.gauge == nullptr);
+    if (bounds.empty()) bounds = Histogram::LatencyBoundsNanos();
+    e.histogram = std::make_unique<Histogram>(std::move(bounds));
+    e.help = help;
+  }
+  return e.histogram.get();
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  MutexLock lock(mu_);
+  std::string out;
+  char buf[128];
+  for (const auto& [name, e] : metrics_) {
+    if (!e.help.empty()) {
+      out += "# HELP " + name + " " + e.help + "\n";
+    }
+    if (e.counter != nullptr) {
+      out += "# TYPE " + name + " counter\n";
+      std::snprintf(buf, sizeof(buf), "%s %llu\n", name.c_str(),
+                    static_cast<unsigned long long>(e.counter->Value()));
+      out += buf;
+    } else if (e.gauge != nullptr) {
+      out += "# TYPE " + name + " gauge\n";
+      std::snprintf(buf, sizeof(buf), "%s %lld\n", name.c_str(),
+                    static_cast<long long>(e.gauge->Value()));
+      out += buf;
+    } else if (e.histogram != nullptr) {
+      out += "# TYPE " + name + " histogram\n";
+      const std::vector<uint64_t> counts = e.histogram->BucketCounts();
+      const std::vector<int64_t>& bounds = e.histogram->bounds();
+      uint64_t cumulative = 0;
+      for (size_t b = 0; b < counts.size(); ++b) {
+        cumulative += counts[b];
+        if (b < bounds.size()) {
+          std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"%lld\"} %llu\n",
+                        name.c_str(), static_cast<long long>(bounds[b]),
+                        static_cast<unsigned long long>(cumulative));
+        } else {
+          std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"+Inf\"} %llu\n",
+                        name.c_str(),
+                        static_cast<unsigned long long>(cumulative));
+        }
+        out += buf;
+      }
+      std::snprintf(buf, sizeof(buf), "%s_sum %lld\n", name.c_str(),
+                    static_cast<long long>(e.histogram->Sum()));
+      out += buf;
+      std::snprintf(buf, sizeof(buf), "%s_count %llu\n", name.c_str(),
+                    static_cast<unsigned long long>(cumulative));
+      out += buf;
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetAllForTest() {
+  MutexLock lock(mu_);
+  for (auto& [name, e] : metrics_) {
+    if (e.counter != nullptr) e.counter->ResetForTest();
+    if (e.gauge != nullptr) e.gauge->ResetForTest();
+    if (e.histogram != nullptr) e.histogram->ResetForTest();
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked singleton: instrumented code may run during static destruction.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace exploredb

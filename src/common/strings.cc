@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <charconv>
+#include <cstdio>
 #include <cstdlib>
 
 namespace exploredb {
@@ -62,6 +63,22 @@ std::string_view Trim(std::string_view s) {
   while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
   while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
   return s.substr(b, e - b);
+}
+
+std::string FormatDurationNanos(int64_t nanos) {
+  char buf[32];
+  if (nanos < 1'000) {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(nanos));
+  } else if (nanos < 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%lldus",
+                  static_cast<long long>(nanos / 1'000));
+  } else if (nanos < 1'000'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fms",
+                  static_cast<double>(nanos) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", static_cast<double>(nanos) / 1e9);
+  }
+  return buf;
 }
 
 }  // namespace exploredb

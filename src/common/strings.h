@@ -21,6 +21,10 @@ Result<double> ParseDouble(std::string_view field);
 std::string Join(const std::vector<std::string>& parts,
                  std::string_view sep);
 
+/// Human-scale duration: "873ns", "42us", "1.7ms", "2.3s". Used by
+/// ExecStats::Summary and the ExplainAnalyze report.
+std::string FormatDurationNanos(int64_t nanos);
+
 /// Trims ASCII whitespace from both ends.
 std::string_view Trim(std::string_view s);
 

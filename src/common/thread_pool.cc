@@ -3,7 +3,39 @@
 #include <atomic>
 #include <memory>
 
+#include "common/metrics.h"
+#include "common/trace.h"
+
 namespace exploredb {
+
+namespace {
+
+/// Pool-wide metrics, shared by every ThreadPool instance: the interesting
+/// signal (is the process's task backlog growing? how long do tasks run?) is
+/// process-level, and per-instance registration would leak one gauge per
+/// short-lived test pool.
+Gauge* QueueDepthGauge() {
+  static Gauge* g = Metrics().GetGauge(
+      "exploredb_threadpool_queue_depth",
+      "Tasks waiting in thread-pool queues (all pools)");
+  return g;
+}
+
+Counter* TasksCounter() {
+  static Counter* c = Metrics().GetCounter(
+      "exploredb_threadpool_tasks_total",
+      "Tasks executed by thread-pool workers");
+  return c;
+}
+
+Histogram* TaskRunHistogram() {
+  static Histogram* h = Metrics().GetHistogram(
+      "exploredb_threadpool_task_run_ns", {},
+      "Thread-pool task execution time (ns)");
+  return h;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   threads_.reserve(num_threads);
@@ -30,6 +62,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     MutexLock lock(mu_);
     tasks_.push_back(std::move(task));
   }
+  QueueDepthGauge()->Add(1);
   cv_.NotifyOne();
 }
 
@@ -43,7 +76,14 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop_front();
     }
-    task();
+    QueueDepthGauge()->Sub(1);
+    TasksCounter()->Add();
+    int64_t run_ns = 0;
+    {
+      TraceSpan span("task", Tracer::enabled(), &run_ns);
+      task();
+    }
+    TaskRunHistogram()->Record(run_ns);
   }
 }
 

@@ -1,0 +1,126 @@
+#ifndef EXPLOREDB_COMMON_TRACE_H_
+#define EXPLOREDB_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace exploredb {
+
+/// Lightweight tracing: RAII TraceSpan objects record [start, duration)
+/// intervals into per-thread ring buffers, exported as Chrome trace_event
+/// JSON (load in about://tracing or https://ui.perfetto.dev).
+///
+/// Cost model:
+///  - Tracing OFF (the default): a span is one relaxed bool test. No clock
+///    reads, no allocations, no thread-local buffer creation. Spans that also
+///    accumulate into an ExecStats field (`accum`) pay the two clock reads
+///    the Stopwatch they replaced already paid — nothing more.
+///  - Tracing ON: two clock reads plus a fixed-size struct copy into the
+///    calling thread's ring buffer (no allocation after the ring exists).
+///    Rings hold kRingCapacity events and overwrite the oldest on wrap.
+///
+/// Enablement is process-wide: the EXPLOREDB_TRACE=1 environment variable at
+/// startup or Tracer::SetEnabled(true) at runtime. A single query can also
+/// opt in via QueryOptions::trace (see ExecContext::tracing()), which is how
+/// Session::ExplainAnalyze captures a per-phase/per-morsel breakdown without
+/// turning tracing on globally.
+
+/// One completed span. `name` is a truncated copy so events never point into
+/// freed memory; spans are named with short static strings ("select",
+/// "morsel"), so truncation is theoretical.
+struct TraceEvent {
+  static constexpr size_t kMaxName = 23;
+
+  char name[kMaxName + 1] = {0};
+  int64_t start_ns = 0;  ///< since Tracer's process epoch (steady clock)
+  int64_t dur_ns = 0;
+  uint32_t tid = 0;    ///< dense trace thread id (registration order)
+  uint16_t depth = 0;  ///< span nesting depth on this thread at open
+};
+
+class Tracer {
+ public:
+  /// Per-thread ring capacity: at ~48 bytes/event this is ~400KB per
+  /// traced thread, holding several thousand queries' worth of phase spans.
+  static constexpr size_t kRingCapacity = 8192;
+
+  /// True when process-wide tracing is on (EXPLOREDB_TRACE=1 at startup or
+  /// SetEnabled). One relaxed load — safe on any hot path.
+  static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  static void SetEnabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Nanoseconds since the process trace epoch (first use of the tracer).
+  /// Callers use this to scope a Snapshot to "events since t0".
+  static int64_t NowNs();
+
+  /// All buffered events across threads, sorted by start time. Each ring is
+  /// copied under its lock, so concurrent spans on other threads are safe;
+  /// events recorded while the snapshot runs may or may not appear.
+  static std::vector<TraceEvent> Snapshot();
+
+  /// Events with start_ns >= t0 (see NowNs), sorted by start time.
+  static std::vector<TraceEvent> SnapshotSince(int64_t t0);
+
+  /// Drops all buffered events (rings stay allocated).
+  static void Clear();
+
+  /// Chrome trace_event JSON for `events` ("X" complete events, microsecond
+  /// timestamps). The overload without arguments exports a full Snapshot().
+  static std::string ChromeTraceJson(const std::vector<TraceEvent>& events);
+  static std::string ChromeTraceJson();
+
+  /// Writes ChromeTraceJson() to `path`.
+  static Status WriteChromeTrace(const std::string& path);
+
+ private:
+  friend class TraceSpan;
+
+  static void Record(const TraceEvent& event);
+
+  static std::atomic<bool> enabled_;
+};
+
+/// RAII span. Construction samples the clock, destruction (or Stop())
+/// computes the duration, optionally accumulates it into `*accum` (the
+/// ExecStats phase-nanos fields — a span is a Stopwatch that can also
+/// publish), and records a TraceEvent when `enabled` was true at open.
+///
+///   TraceSpan span("select", ctx.tracing(), &stats->select_nanos);
+///
+/// A span constructed with enabled=false and accum=nullptr does nothing at
+/// all — no clock reads — so per-morsel spans can be left in hot loops.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, bool enabled = Tracer::enabled(),
+                     int64_t* accum = nullptr);
+  ~TraceSpan() { Stop(); }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Ends the span now (idempotent): records the event / publishes the
+  /// duration early, for code that must read the accumulated stats before
+  /// scope exit.
+  void Stop();
+
+ private:
+  const char* name_;
+  int64_t* accum_;
+  int64_t start_ns_ = 0;
+  uint16_t depth_ = 0;
+  bool armed_;    ///< still needs Stop() work
+  bool record_;   ///< tracing was enabled at open: emit a TraceEvent
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_COMMON_TRACE_H_

@@ -3,7 +3,37 @@
 #include <numeric>
 #include <utility>
 
+#include "common/metrics.h"
+
 namespace exploredb {
+
+namespace {
+
+// Cracking progress across every cracker in the process: splits performed,
+// elements moved while splitting, and queries answered read-only because
+// both bounds were already pivots (the convergence signal — its share of
+// total range queries rises toward 1 as a column converges).
+Counter* SplitsCounter() {
+  static Counter* c = Metrics().GetCounter(
+      "exploredb_cracker_splits_total", "Crack-in-two piece splits");
+  return c;
+}
+
+Counter* ElementsTouchedCounter() {
+  static Counter* c = Metrics().GetCounter(
+      "exploredb_cracker_elements_touched_total",
+      "Elements compared/moved while cracking");
+  return c;
+}
+
+Counter* ConvergedQueriesCounter() {
+  static Counter* c = Metrics().GetCounter(
+      "exploredb_cracker_converged_queries_total",
+      "Range queries answered without cracking (both bounds were pivots)");
+  return c;
+}
+
+}  // namespace
 
 CrackerColumn::CrackerColumn(std::vector<int64_t> values)
     : values_(std::move(values)),
@@ -28,6 +58,8 @@ size_t CrackerColumn::CrackPiece(const CrackerIndex::Piece& piece,
     ++stats_.elements_touched;
   }
   ++stats_.cracks;
+  SplitsCounter()->Add();
+  ElementsTouchedCounter()->Add(piece.end - piece.begin);
   index_.AddPivot(pivot, lo);
   return lo;
 }
@@ -40,6 +72,7 @@ size_t CrackerColumn::CrackAt(int64_t pivot) {
 
 CrackRange CrackerColumn::RangeSelect(int64_t lo, int64_t hi) {
   if (lo >= hi) return {0, 0};
+  if (CanAnswerWithoutCracking(lo, hi)) ConvergedQueriesCounter()->Add();
   size_t begin = CrackAt(lo);
   size_t end = CrackAt(hi);
   return {begin, end};

@@ -7,8 +7,9 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/random.h"
-#include "common/stopwatch.h"
+#include "common/trace.h"
 #include "engine/group_by.h"
 #include "sampling/sampler.h"
 #include "storage/zone_map.h"
@@ -16,6 +17,56 @@
 namespace exploredb {
 
 namespace {
+
+// Engine-level metrics, resolved once. Counters are thread-sharded relaxed
+// adds; the histogram powers the p50/p95/p99 query-latency panels.
+Counter* QueriesCounter() {
+  static Counter* c = Metrics().GetCounter(
+      "exploredb_queries_total", "Queries executed by the engine");
+  return c;
+}
+
+Histogram* QueryLatencyHistogram() {
+  static Histogram* h = Metrics().GetHistogram(
+      "exploredb_query_latency_ns", {}, "End-to-end query latency (ns)");
+  return h;
+}
+
+Counter* RowsScannedCounter() {
+  static Counter* c = Metrics().GetCounter(
+      "exploredb_rows_scanned_total", "Row visits across all query phases");
+  return c;
+}
+
+Counter* MorselsDispatchedCounter() {
+  static Counter* c = Metrics().GetCounter(
+      "exploredb_morsels_dispatched_total",
+      "Parallel work units issued by the executor");
+  return c;
+}
+
+Counter* ZoneMapCheckedCounter() {
+  static Counter* c = Metrics().GetCounter(
+      "exploredb_zonemap_morsels_checked_total",
+      "Morsels tested against zone-map bounds");
+  return c;
+}
+
+Counter* ZoneMapPrunedCounter() {
+  static Counter* c = Metrics().GetCounter(
+      "exploredb_zonemap_morsels_pruned_total",
+      "Morsels skipped because no zone overlapping them can match");
+  return c;
+}
+
+/// Folds one query's ExecStats into the process-wide registry; called once
+/// per successful Execute.
+void RecordQueryMetrics(const ExecStats& stats) {
+  QueriesCounter()->Add();
+  QueryLatencyHistogram()->Record(stats.total_nanos);
+  RowsScannedCounter()->Add(stats.rows_scanned);
+  MorselsDispatchedCounter()->Add(stats.morsels_dispatched);
+}
 
 /// Evaluates `conditions` on one row, columns supplied in parallel order.
 bool MatchesAll(const std::vector<Condition>& conditions,
@@ -121,7 +172,8 @@ std::optional<Executor::RangePlan> Executor::ExtractRange(
 Result<std::vector<uint32_t>> Executor::SelectPositions(
     TableEntry* entry, const Predicate& pred, ExecutionMode mode,
     const ExecContext& ctx, ExecStats* stats) {
-  Stopwatch phase;
+  const bool tracing = ctx.tracing();
+  TraceSpan select_span("select", tracing, &stats->select_nanos);
   EXPLOREDB_ASSIGN_OR_RETURN(size_t n, entry->NumRows());
 
   if (mode == ExecutionMode::kCracking || mode == ExecutionMode::kFullIndex) {
@@ -147,10 +199,7 @@ Result<std::vector<uint32_t>> Executor::SelectPositions(
         stats->rows_scanned += candidates.size();
       }
       std::sort(candidates.begin(), candidates.end());
-      if (plan->residual.empty()) {
-        stats->select_nanos += phase.ElapsedNanos();
-        return candidates;
-      }
+      if (plan->residual.empty()) return candidates;
       EXPLOREDB_ASSIGN_OR_RETURN(
           std::vector<const ColumnVector*> cols,
           FetchConditionColumns(entry, plan->residual));
@@ -159,7 +208,6 @@ Result<std::vector<uint32_t>> Executor::SelectPositions(
         ++stats->rows_scanned;
         if (MatchesAll(plan->residual, cols, row)) out.push_back(row);
       }
-      stats->select_nanos += phase.ElapsedNanos();
       return out;
     }
     // No indexable range: fall through to a scan.
@@ -206,6 +254,10 @@ Result<std::vector<uint32_t>> Executor::SelectPositions(
   }
   stats->morsels_pruned += pruned;
   stats->rows_scanned += n - rows_pruned;
+  if (!pruners.empty()) {
+    ZoneMapCheckedCounter()->Add(num_morsels);
+    ZoneMapPrunedCounter()->Add(pruned);
+  }
 
   // Surviving morsels, in morsel order: the merge below concatenates their
   // buffers in this order, so parallel output is byte-identical to serial.
@@ -215,6 +267,7 @@ Result<std::vector<uint32_t>> Executor::SelectPositions(
     if (!skip[m]) live.push_back(m);
   }
   auto filter_morsel = [&](size_t m, std::vector<uint32_t>* buf) {
+    TraceSpan span("morsel", tracing);
     const uint32_t begin = static_cast<uint32_t>(m * morsel);
     const uint32_t end =
         static_cast<uint32_t>(std::min(n, m * morsel + morsel));
@@ -229,7 +282,6 @@ Result<std::vector<uint32_t>> Executor::SelectPositions(
       filter_morsel(m, &out);
     }
     stats->morsels_dispatched += live.size();
-    stats->select_nanos += phase.ElapsedNanos();
     return out;
   }
 
@@ -249,7 +301,6 @@ Result<std::vector<uint32_t>> Executor::SelectPositions(
   std::vector<uint32_t> out;
   out.reserve(total);
   for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
-  stats->select_nanos += phase.ElapsedNanos();
   return out;
 }
 
@@ -289,8 +340,10 @@ Result<Estimate> Executor::AggregatePositions(
   const size_t num_morsels = MorselCount(positions.size(), morsel);
   ThreadPool* pool = ctx.thread_pool();
   std::vector<double> partials(num_morsels, 0.0);
+  const bool tracing = ctx.tracing();
   auto body = [&](size_t m) {
     if (ctx.Interrupted()) return;
+    TraceSpan span("agg_morsel", tracing);
     partials[m] = sum_slice(m * morsel,
                             std::min(positions.size(), m * morsel + morsel));
   };
@@ -323,20 +376,23 @@ Result<Estimate> Executor::AggregatePositions(
 
 Result<QueryResult> Executor::Execute(const Query& query,
                                       const ExecContext& ctx) {
-  Stopwatch total;
-  Stopwatch phase;
+  const bool tracing = ctx.tracing();
   ExecStats stats;
-  EXPLOREDB_ASSIGN_OR_RETURN(TableEntry * entry, db_->GetTable(query.table()));
+  TraceSpan query_span("query", tracing, &stats.total_nanos);
+  TableEntry* entry = nullptr;
   ExecutionMode mode = ctx.options().mode;
-  if (mode == ExecutionMode::kAuto) {
-    // Self-organizing default: let adaptive indexing grow under predicates
-    // it can serve; everything else scans. (Cracking silently falls back to
-    // a scan for non-indexable predicates, so kCracking is the safe pick
-    // whenever a predicate exists.)
-    mode = query.where().empty() ? ExecutionMode::kScan
-                                 : ExecutionMode::kCracking;
+  {
+    TraceSpan plan_span("plan", tracing, &stats.plan_nanos);
+    EXPLOREDB_ASSIGN_OR_RETURN(entry, db_->GetTable(query.table()));
+    if (mode == ExecutionMode::kAuto) {
+      // Self-organizing default: let adaptive indexing grow under predicates
+      // it can serve; everything else scans. (Cracking silently falls back to
+      // a scan for non-indexable predicates, so kCracking is the safe pick
+      // whenever a predicate exists.)
+      mode = query.where().empty() ? ExecutionMode::kScan
+                                   : ExecutionMode::kCracking;
+    }
   }
-  stats.plan_nanos = phase.ElapsedNanos();
   // Cancellation aborts every path, but an expired deadline still admits
   // online aggregation: its contract is to answer with the current estimate
   // (approximate) rather than fail.
@@ -348,10 +404,11 @@ Result<QueryResult> Executor::Execute(const Query& query,
   if (query.aggregate().has_value() || query.group_by().has_value()) {
     EXPLOREDB_ASSIGN_OR_RETURN(
         QueryResult result, ExecuteAggregate(entry, query, mode, ctx, &stats));
-    stats.total_nanos = total.ElapsedNanos();
+    query_span.Stop();  // finalize total_nanos before publishing stats
     result.exec_stats = stats;
     result.rows_scanned = stats.rows_scanned;
     result.exec_micros = stats.total_nanos / 1000;
+    RecordQueryMetrics(stats);
     if (PerQueryValidationEnabled()) CHECK_OK(entry->ValidateAdaptiveState());
     return result;
   }
@@ -363,31 +420,33 @@ Result<QueryResult> Executor::Execute(const Query& query,
       SelectPositions(entry, query.where(), mode, ctx, &stats));
 
   // Project requested columns (all columns if unspecified).
-  phase.Restart();
-  std::vector<size_t> col_indexes;
-  if (query.select().empty()) {
-    for (size_t c = 0; c < entry->schema().num_fields(); ++c) {
-      col_indexes.push_back(c);
+  {
+    TraceSpan project_span("project", tracing, &stats.project_nanos);
+    std::vector<size_t> col_indexes;
+    if (query.select().empty()) {
+      for (size_t c = 0; c < entry->schema().num_fields(); ++c) {
+        col_indexes.push_back(c);
+      }
+    } else {
+      for (const std::string& name : query.select()) {
+        EXPLOREDB_ASSIGN_OR_RETURN(size_t idx,
+                                   entry->schema().FieldIndex(name));
+        col_indexes.push_back(idx);
+      }
     }
-  } else {
-    for (const std::string& name : query.select()) {
-      EXPLOREDB_ASSIGN_OR_RETURN(size_t idx,
-                                 entry->schema().FieldIndex(name));
-      col_indexes.push_back(idx);
+    Table projected(entry->schema().Select(col_indexes));
+    for (size_t i = 0; i < col_indexes.size(); ++i) {
+      EXPLOREDB_ASSIGN_OR_RETURN(const ColumnVector* col,
+                                 entry->GetColumn(col_indexes[i]));
+      *projected.mutable_column(i) = col->Gather(result.positions);
     }
+    result.rows = std::move(projected);
   }
-  Table projected(entry->schema().Select(col_indexes));
-  for (size_t i = 0; i < col_indexes.size(); ++i) {
-    EXPLOREDB_ASSIGN_OR_RETURN(const ColumnVector* col,
-                               entry->GetColumn(col_indexes[i]));
-    *projected.mutable_column(i) = col->Gather(result.positions);
-  }
-  result.rows = std::move(projected);
-  stats.project_nanos = phase.ElapsedNanos();
-  stats.total_nanos = total.ElapsedNanos();
+  query_span.Stop();
   result.exec_stats = stats;
   result.rows_scanned = stats.rows_scanned;
   result.exec_micros = stats.total_nanos / 1000;
+  RecordQueryMetrics(stats);
   // Abort at the corruption site, with the violated invariant in the
   // message, rather than let a malformed index serve the next query.
   if (PerQueryValidationEnabled()) CHECK_OK(entry->ValidateAdaptiveState());
@@ -400,11 +459,6 @@ Result<QueryResult> Executor::Execute(const QueryBuilder& builder,
                              db_->GetTable(builder.table()));
   EXPLOREDB_ASSIGN_OR_RETURN(Query query, builder.Build(entry->schema()));
   return Execute(query, ctx);
-}
-
-Result<QueryResult> Executor::Execute(const Query& query,
-                                      const QueryOptions& options) {
-  return Execute(query, ExecContext(options));
 }
 
 Result<QueryResult> Executor::ExecuteAggregate(TableEntry* entry,
@@ -434,7 +488,7 @@ Result<QueryResult> Executor::ExecuteAggregate(TableEntry* entry,
   }
 
   QueryResult result;
-  Stopwatch phase;
+  const bool tracing = ctx.tracing();
 
   // ---- Grouped aggregates -------------------------------------------------
   if (query.group_by().has_value()) {
@@ -445,6 +499,7 @@ Result<QueryResult> Executor::ExecuteAggregate(TableEntry* entry,
     // Which rows participate?
     std::vector<uint32_t> positions;
     if (mode == ExecutionMode::kSampled) {
+      TraceSpan select_span("select", tracing, &stats->select_nanos);
       stats->path = AccessPath::kSample;
       Random rng(42);
       std::vector<uint32_t> sample = BernoulliSample(
@@ -459,13 +514,12 @@ Result<QueryResult> Executor::ExecuteAggregate(TableEntry* entry,
         }
       }
       result.approximate = true;
-      stats->select_nanos += phase.ElapsedNanos();
     } else {
       EXPLOREDB_ASSIGN_OR_RETURN(
           positions,
           SelectPositions(entry, query.where(), mode, ctx, stats));
     }
-    phase.Restart();
+    TraceSpan agg_span("aggregate", tracing, &stats->aggregate_nanos);
     if (result.approximate) {
       // Sampled mode keeps the value-list accumulator: the sample is small,
       // and per-group CIs (EstimateMean) need the raw values.
@@ -519,7 +573,6 @@ Result<QueryResult> Executor::ExecuteAggregate(TableEntry* entry,
           HashGroupBy(*gcol, dict, measure, agg.kind, options.confidence,
                       positions, key_range, ctx, stats));
     }
-    stats->aggregate_nanos += phase.ElapsedNanos();
     return result;
   }
 
@@ -528,28 +581,33 @@ Result<QueryResult> Executor::ExecuteAggregate(TableEntry* entry,
     case ExecutionMode::kSampled: {
       stats->path = AccessPath::kSample;
       Random rng(42);
-      std::vector<uint32_t> sample =
-          BernoulliSample(n, options.sample_fraction, &rng);
-      EXPLOREDB_ASSIGN_OR_RETURN(
-          std::vector<const ColumnVector*> cols,
-          FetchConditionColumns(entry, query.where().conjuncts()));
       std::vector<double> matched;
       std::vector<double> contributions;  // 0 for non-matching rows
       size_t matches = 0;
-      for (uint32_t row : sample) {
-        ++stats->rows_scanned;
-        bool hit = MatchesAll(query.where().conjuncts(), cols, row);
-        matches += hit;
-        double v = (measure != nullptr && hit) ? measure->GetDouble(row) : 0.0;
-        contributions.push_back(hit ? v : 0.0);
-        if (hit && measure != nullptr) matched.push_back(v);
+      size_t sample_size = 0;
+      {
+        TraceSpan select_span("select", tracing, &stats->select_nanos);
+        std::vector<uint32_t> sample =
+            BernoulliSample(n, options.sample_fraction, &rng);
+        sample_size = sample.size();
+        EXPLOREDB_ASSIGN_OR_RETURN(
+            std::vector<const ColumnVector*> cols,
+            FetchConditionColumns(entry, query.where().conjuncts()));
+        for (uint32_t row : sample) {
+          ++stats->rows_scanned;
+          bool hit = MatchesAll(query.where().conjuncts(), cols, row);
+          matches += hit;
+          double v =
+              (measure != nullptr && hit) ? measure->GetDouble(row) : 0.0;
+          contributions.push_back(hit ? v : 0.0);
+          if (hit && measure != nullptr) matched.push_back(v);
+        }
+        result.approximate = true;
       }
-      result.approximate = true;
-      stats->select_nanos += phase.ElapsedNanos();
-      phase.Restart();
+      TraceSpan agg_span("aggregate", tracing, &stats->aggregate_nanos);
       switch (agg.kind) {
         case AggKind::kCount:
-          result.scalar = EstimateCount(matches, sample.size(), n,
+          result.scalar = EstimateCount(matches, sample_size, n,
                                         options.confidence);
           break;
         case AggKind::kSum:
@@ -560,7 +618,6 @@ Result<QueryResult> Executor::ExecuteAggregate(TableEntry* entry,
           result.scalar = EstimateMean(matched, options.confidence);
           break;
       }
-      stats->aggregate_nanos += phase.ElapsedNanos();
       return result;
     }
     case ExecutionMode::kOnline: {
@@ -569,6 +626,7 @@ Result<QueryResult> Executor::ExecuteAggregate(TableEntry* entry,
       // here bounds refinement: the running estimate is returned approximate
       // rather than failing the query.
       stats->path = AccessPath::kOnline;
+      TraceSpan select_span("select", tracing, &stats->select_nanos);
       EXPLOREDB_ASSIGN_OR_RETURN(
           std::vector<const ColumnVector*> cols,
           FetchConditionColumns(entry, query.where().conjuncts()));
@@ -576,8 +634,8 @@ Result<QueryResult> Executor::ExecuteAggregate(TableEntry* entry,
           query.where().conjuncts(), cols, measure, n, ctx.thread_pool(),
           std::max<size_t>(1, ctx.morsel_size()), &stats->morsels_dispatched,
           &stats->threads_used);
-      stats->select_nanos += phase.ElapsedNanos();
-      phase.Restart();
+      select_span.Stop();
+      TraceSpan agg_span("aggregate", tracing, &stats->aggregate_nanos);
       OnlineAggregator agg_runner(std::move(input.values),
                                   std::move(input.mask), agg.kind);
       const size_t batch = std::max<size_t>(n / 100, 64);
@@ -593,6 +651,7 @@ Result<QueryResult> Executor::ExecuteAggregate(TableEntry* entry,
           break;
         }
         first = false;
+        TraceSpan round_span("online_round", tracing);
         // ProcessNext returns the rows actually consumed — the final batch
         // is usually short, and += batch would overcount it.
         stats->rows_scanned += agg_runner.ProcessNext(batch);
@@ -604,7 +663,6 @@ Result<QueryResult> Executor::ExecuteAggregate(TableEntry* entry,
       }
       result.scalar = current;
       result.approximate = !agg_runner.done() || deadline_stop;
-      stats->aggregate_nanos += phase.ElapsedNanos();
       return result;
     }
     default: {
@@ -612,12 +670,11 @@ Result<QueryResult> Executor::ExecuteAggregate(TableEntry* entry,
       EXPLOREDB_ASSIGN_OR_RETURN(
           positions,
           SelectPositions(entry, query.where(), mode, ctx, stats));
-      phase.Restart();
+      TraceSpan agg_span("aggregate", tracing, &stats->aggregate_nanos);
       EXPLOREDB_ASSIGN_OR_RETURN(
           Estimate e,
           AggregatePositions(positions, measure, agg.kind, ctx, stats));
       result.scalar = e;
-      stats->aggregate_nanos += phase.ElapsedNanos();
       return result;
     }
   }

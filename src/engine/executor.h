@@ -39,10 +39,6 @@ class Executor {
   Result<QueryResult> Execute(const QueryBuilder& builder,
                               const ExecContext& ctx = {});
 
-  /// Deprecated pre-ExecContext signature; kept for one release.
-  [[deprecated("wrap the options in an ExecContext")]] Result<QueryResult>
-  Execute(const Query& query, const QueryOptions& options);
-
  private:
   /// An int64 range [lo, hi) extracted from a predicate, plus the conjuncts
   /// the index cannot serve.

@@ -59,8 +59,10 @@ std::vector<Partial> MorselPartials(size_t count, const ExecContext& ctx,
   const size_t morsel = std::max<size_t>(1, ctx.morsel_size());
   const size_t num_morsels = count == 0 ? 0 : (count + morsel - 1) / morsel;
   std::vector<Partial> parts(num_morsels, proto);
+  const bool tracing = ctx.tracing();
   auto run = [&](size_t m) {
     if (ctx.Interrupted()) return;
+    TraceSpan span("groupby_morsel", tracing);
     body(m * morsel, std::min(count, m * morsel + morsel), &parts[m]);
   };
   ThreadPool* pool = ctx.thread_pool();

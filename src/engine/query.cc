@@ -1,6 +1,6 @@
 #include "engine/query.h"
 
-#include <cstdio>
+#include "common/strings.h"
 
 namespace exploredb {
 
@@ -42,27 +42,6 @@ const char* AccessPathName(AccessPath path) {
   return "?";
 }
 
-namespace {
-
-/// Human-scale duration: "873ns", "42us", "1.7ms", "2.3s".
-std::string FormatNanos(int64_t nanos) {
-  char buf[32];
-  if (nanos < 1'000) {
-    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(nanos));
-  } else if (nanos < 1'000'000) {
-    std::snprintf(buf, sizeof(buf), "%lldus",
-                  static_cast<long long>(nanos / 1'000));
-  } else if (nanos < 1'000'000'000) {
-    std::snprintf(buf, sizeof(buf), "%.1fms",
-                  static_cast<double>(nanos) / 1e6);
-  } else {
-    std::snprintf(buf, sizeof(buf), "%.2fs", static_cast<double>(nanos) / 1e9);
-  }
-  return buf;
-}
-
-}  // namespace
-
 std::string ExecStats::Summary() const {
   std::string out = "path=";
   out += AccessPathName(path);
@@ -70,11 +49,11 @@ std::string ExecStats::Summary() const {
   out += " morsels=" + std::to_string(morsels_dispatched);
   out += " pruned=" + std::to_string(morsels_pruned);
   out += " threads=" + std::to_string(threads_used);
-  out += " | plan=" + FormatNanos(plan_nanos);
-  out += " select=" + FormatNanos(select_nanos);
-  out += " agg=" + FormatNanos(aggregate_nanos);
-  out += " project=" + FormatNanos(project_nanos);
-  out += " total=" + FormatNanos(total_nanos);
+  out += " | plan=" + FormatDurationNanos(plan_nanos);
+  out += " select=" + FormatDurationNanos(select_nanos);
+  out += " agg=" + FormatDurationNanos(aggregate_nanos);
+  out += " project=" + FormatDurationNanos(project_nanos);
+  out += " total=" + FormatDurationNanos(total_nanos);
   return out;
 }
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "sampling/estimators.h"
 #include "sampling/online_agg.h"
 #include "storage/predicate.h"
@@ -43,6 +44,11 @@ struct QueryOptions {
   /// Scans consult per-column zone maps and skip morsels the predicate
   /// cannot match. Off is only useful for pruning A/B tests and benches.
   bool use_zone_maps = true;
+  /// Force trace-span recording for this query even when process-wide
+  /// tracing (EXPLOREDB_TRACE=1 / Tracer::SetEnabled) is off. This is how
+  /// Session::ExplainAnalyze captures one query's per-phase/per-morsel
+  /// breakdown without tracing everything.
+  bool trace = false;
 };
 
 /// Which access path actually answered the query — the first thing to look
@@ -143,6 +149,15 @@ class ExecContext {
     return *this;
   }
   size_t morsel_size() const { return morsel_size_; }
+
+  // -- Tracing -------------------------------------------------------------
+  ExecContext& SetTrace(bool on) {
+    options_.trace = on;
+    return *this;
+  }
+  /// Should this query's executor spans be recorded? True when the query
+  /// opted in (options().trace) or process-wide tracing is on.
+  bool tracing() const { return options_.trace || Tracer::enabled(); }
 
   /// Default morsel: ~64K rows — small enough to balance, large enough to
   /// amortize dispatch (a few hundred KB of column data per unit).

@@ -1,10 +1,44 @@
 #include "engine/session.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <utility>
 
-#include "common/stopwatch.h"
+#include "common/metrics.h"
+#include "common/strings.h"
+#include "common/trace.h"
 
 namespace exploredb {
+
+namespace {
+
+// Session-level counters, aggregated across every Session in the process:
+// queries issued, middleware cache hits, and speculative executions drained
+// during think time. Per-session counts stay available via stats().
+Counter* QueriesCounter() {
+  static Counter* c = Metrics().GetCounter(
+      "exploredb_session_queries_total", "Queries issued through sessions");
+  return c;
+}
+
+Counter* CacheHitsCounter() {
+  static Counter* c = Metrics().GetCounter(
+      "exploredb_session_cache_hits_total",
+      "Session queries answered from the result cache");
+  return c;
+}
+
+Counter* SpeculativeCounter() {
+  static Counter* c = Metrics().GetCounter(
+      "exploredb_session_speculative_total",
+      "Speculative prefetch queries executed during idle time");
+  return c;
+}
+
+}  // namespace
 
 Session::Session(Database* db, SessionOptions options)
     : db_(db),
@@ -16,7 +50,8 @@ Result<QueryResult> Session::Execute(const Query& query,
                                      const ExecContext& ctx) {
   MutexLock lock(mu_);
   ++stats_.queries;
-  Stopwatch total;
+  QueriesCounter()->Add();
+  const bool tracing = ctx.tracing();
   const std::string key = query.CacheKey();
 
   // Trajectory model learns every issued query (cached or not).
@@ -32,41 +67,52 @@ Result<QueryResult> Session::Execute(const Query& query,
   if (cacheable) {
     if (auto cached = cache_.Get(key)) {
       ++stats_.cache_hits;
+      CacheHitsCounter()->Add();
       QueryResult result;
       result.positions = std::move(*cached);
       result.from_cache = true;
       result.exec_stats.path = AccessPath::kCache;
-      // Re-project rows from the cached positions (cheap gather).
-      EXPLOREDB_ASSIGN_OR_RETURN(TableEntry * entry,
-                                 db_->GetTable(query.table()));
-      std::vector<size_t> cols;
-      if (query.select().empty()) {
-        for (size_t c = 0; c < entry->schema().num_fields(); ++c) {
-          cols.push_back(c);
+      // The cache hit is still a (cheap) execution: the span doubles as the
+      // total-time stopwatch and shows up in traces next to real queries.
+      TraceSpan hit_span("cache_hit", tracing,
+                         &result.exec_stats.total_nanos);
+      {
+        // Re-project rows from the cached positions (cheap gather).
+        TraceSpan project_span("project", tracing,
+                               &result.exec_stats.project_nanos);
+        EXPLOREDB_ASSIGN_OR_RETURN(TableEntry * entry,
+                                   db_->GetTable(query.table()));
+        std::vector<size_t> cols;
+        if (query.select().empty()) {
+          for (size_t c = 0; c < entry->schema().num_fields(); ++c) {
+            cols.push_back(c);
+          }
+        } else {
+          for (const std::string& name : query.select()) {
+            EXPLOREDB_ASSIGN_OR_RETURN(size_t idx,
+                                       entry->schema().FieldIndex(name));
+            cols.push_back(idx);
+          }
         }
-      } else {
-        for (const std::string& name : query.select()) {
-          EXPLOREDB_ASSIGN_OR_RETURN(size_t idx,
-                                     entry->schema().FieldIndex(name));
-          cols.push_back(idx);
+        Table projected(entry->schema().Select(cols));
+        for (size_t i = 0; i < cols.size(); ++i) {
+          EXPLOREDB_ASSIGN_OR_RETURN(const ColumnVector* col,
+                                     entry->GetColumn(cols[i]));
+          *projected.mutable_column(i) = col->Gather(result.positions);
         }
+        result.rows = std::move(projected);
       }
-      Table projected(entry->schema().Select(cols));
-      for (size_t i = 0; i < cols.size(); ++i) {
-        EXPLOREDB_ASSIGN_OR_RETURN(const ColumnVector* col,
-                                   entry->GetColumn(cols[i]));
-        *projected.mutable_column(i) = col->Gather(result.positions);
-      }
-      result.rows = std::move(projected);
-      result.exec_stats.project_nanos = total.ElapsedNanos();
       if (options_.speculate) {
         SpeculateAround(query, ctx);
-        stats_.speculative_queries += speculator_.RunIdle(options_.idle_budget);
+        size_t ran = speculator_.RunIdle(options_.idle_budget);
+        stats_.speculative_queries += ran;
+        SpeculativeCounter()->Add(ran);
       }
       last_table_ = query.table();
       last_predicate_ = query.where();
-      result.exec_stats.total_nanos = total.ElapsedNanos();
+      hit_span.Stop();
       result.exec_micros = result.exec_stats.total_nanos / 1000;
+      LogQuery(query, ctx, result);
       return result;
     }
   }
@@ -79,8 +125,11 @@ Result<QueryResult> Session::Execute(const Query& query,
 
   if (options_.speculate) {
     SpeculateAround(query, ctx);
-    stats_.speculative_queries += speculator_.RunIdle(options_.idle_budget);
+    size_t ran = speculator_.RunIdle(options_.idle_budget);
+    stats_.speculative_queries += ran;
+    SpeculativeCounter()->Add(ran);
   }
+  LogQuery(query, ctx, result);
   return result;
 }
 
@@ -92,9 +141,130 @@ Result<QueryResult> Session::Execute(const QueryBuilder& builder,
   return Execute(query, ctx);
 }
 
-Result<QueryResult> Session::Execute(const Query& query,
-                                     const QueryOptions& options) {
-  return Execute(query, ExecContext(options));
+void Session::LogQuery(const Query& query, const ExecContext& ctx,
+                       const QueryResult& result) {
+  if (options_.query_log_capacity == 0) return;
+  QueryLogEntry entry;
+  entry.query = query.CacheKey();
+  entry.mode = ctx.options().mode;
+  entry.from_cache = result.from_cache;
+  entry.approximate = result.approximate;
+  entry.stats = result.exec_stats;
+  entry.wall_time = std::chrono::system_clock::now();
+  query_log_.push_back(std::move(entry));
+  while (query_log_.size() > options_.query_log_capacity) {
+    query_log_.pop_front();
+  }
+}
+
+Result<std::string> Session::ExplainAnalyze(const Query& query,
+                                            const ExecContext& ctx) {
+  MutexLock lock(mu_);
+  ExecContext traced = ctx;
+  traced.SetTrace(true);
+
+  // Scope the snapshot to this execution: everything recorded at or after t0
+  // belongs to the traced query (the session lock serializes our own
+  // queries; other sessions' spans land on other rings but could interleave,
+  // which is why the report groups by the executing thread).
+  const int64_t t0 = Tracer::NowNs();
+  EXPLOREDB_ASSIGN_OR_RETURN(QueryResult result,
+                             executor_.Execute(query, traced));
+  std::vector<TraceEvent> events = Tracer::SnapshotSince(t0);
+
+  ++stats_.queries;
+  QueriesCounter()->Add();
+  LogQuery(query, traced, result);
+
+  std::string out;
+  out += "ExplainAnalyze: " + query.CacheKey() + "\n";
+  out += "  " + result.exec_stats.Summary() + "\n";
+
+  if (events.empty()) {
+    out += "  (no trace spans recorded)\n";
+    return out;
+  }
+
+  // The coordinating thread is the one that recorded the "query" span; its
+  // spans form the phase tree. Worker-thread spans (per-morsel work) are
+  // summarized as count/avg/max per name.
+  uint32_t query_tid = events.front().tid;
+  for (const TraceEvent& e : events) {
+    if (std::strncmp(e.name, "query", sizeof(e.name)) == 0) {
+      query_tid = e.tid;
+      break;
+    }
+  }
+
+  struct NameAgg {
+    uint64_t count = 0;
+    int64_t total_ns = 0;
+    int64_t max_ns = 0;
+  };
+  // Phase lines keyed by (depth, name) in first-seen order, so repeated
+  // same-level spans (online_round per refinement round) collapse into one
+  // "xN" line instead of flooding the report.
+  std::vector<std::pair<std::pair<uint16_t, std::string>, NameAgg>> phases;
+  std::map<std::string, NameAgg> workers;
+  for (const TraceEvent& e : events) {
+    if (e.tid == query_tid) {
+      std::pair<uint16_t, std::string> key{e.depth, e.name};
+      NameAgg* agg = nullptr;
+      for (auto& p : phases) {
+        if (p.first == key) {
+          agg = &p.second;
+          break;
+        }
+      }
+      if (agg == nullptr) {
+        phases.emplace_back(key, NameAgg{});
+        agg = &phases.back().second;
+      }
+      ++agg->count;
+      agg->total_ns += e.dur_ns;
+      agg->max_ns = std::max(agg->max_ns, e.dur_ns);
+    } else {
+      NameAgg& agg = workers[e.name];
+      ++agg.count;
+      agg.total_ns += e.dur_ns;
+      agg.max_ns = std::max(agg.max_ns, e.dur_ns);
+    }
+  }
+
+  out += "  phases:\n";
+  for (const auto& [key, agg] : phases) {
+    out += "    ";
+    out.append(static_cast<size_t>(key.first) * 2, ' ');
+    out += key.second;
+    if (agg.count > 1) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), " x%llu",
+                    static_cast<unsigned long long>(agg.count));
+      out += buf;
+    }
+    out += " " + FormatDurationNanos(agg.total_ns);
+    if (agg.count > 1) {
+      out += " (avg=" +
+             FormatDurationNanos(agg.total_ns /
+                                 static_cast<int64_t>(agg.count)) +
+             " max=" + FormatDurationNanos(agg.max_ns) + ")";
+    }
+    out += "\n";
+  }
+  if (!workers.empty()) {
+    out += "  worker spans:\n";
+    for (const auto& [name, agg] : workers) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), " x%llu",
+                    static_cast<unsigned long long>(agg.count));
+      out += "    " + name + buf + " total=" +
+             FormatDurationNanos(agg.total_ns) + " avg=" +
+             FormatDurationNanos(agg.total_ns /
+                                 static_cast<int64_t>(agg.count)) +
+             " max=" + FormatDurationNanos(agg.max_ns) + "\n";
+    }
+  }
+  return out;
 }
 
 void Session::SpeculateAround(const Query& query, const ExecContext& ctx) {

@@ -1,7 +1,9 @@
 #ifndef EXPLOREDB_ENGINE_SESSION_H_
 #define EXPLOREDB_ENGINE_SESSION_H_
 
+#include <chrono>
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -25,6 +27,8 @@ struct SessionOptions {
   size_t idle_budget = 2;
   /// Enable momentum-based speculation of shifted range windows.
   bool speculate = true;
+  /// Ring-buffer capacity of the per-session query log (0 disables logging).
+  size_t query_log_capacity = 256;
 };
 
 /// Aggregated statistics of a session.
@@ -32,6 +36,18 @@ struct SessionStats {
   uint64_t queries = 0;
   uint64_t cache_hits = 0;
   uint64_t speculative_queries = 0;
+};
+
+/// One entry of the session query log: everything needed to replay or audit
+/// an exploration trajectory (the per-interaction latency record IDEBench
+/// asks for, and the raw material of session-level workload analysis).
+struct QueryLogEntry {
+  std::string query;  ///< Query::CacheKey — the canonical query text
+  ExecutionMode mode = ExecutionMode::kScan;  ///< requested mode
+  bool from_cache = false;
+  bool approximate = false;
+  ExecStats stats;  ///< path, rows, morsels, per-phase nanos
+  std::chrono::system_clock::time_point wall_time;  ///< arrival time
 };
 
 /// An interactive exploration session: the integration point of the
@@ -58,9 +74,14 @@ class Session {
   Result<QueryResult> Execute(const QueryBuilder& builder,
                               const ExecContext& ctx = {}) EXCLUDES(mu_);
 
-  /// Deprecated pre-ExecContext signature; kept for one release.
-  [[deprecated("wrap the options in an ExecContext")]] Result<QueryResult>
-  Execute(const Query& query, const QueryOptions& options);
+  /// Executes `query` with trace-span recording forced on and returns an
+  /// annotated per-phase / per-morsel breakdown (plus the result's ExecStats
+  /// summary). Runs on the executor directly — no cache, no speculation — so
+  /// the report reflects one clean execution. Works whether or not
+  /// process-wide tracing (EXPLOREDB_TRACE) is enabled.
+  Result<std::string> ExplainAnalyze(const Query& query,
+                                     const ExecContext& ctx = {})
+      EXCLUDES(mu_);
 
   /// SeeDB view recommendations where the target subset is the latest
   /// query's predicate.
@@ -82,6 +103,12 @@ class Session {
     MutexLock lock(mu_);
     return history_;
   }
+  /// Chronological copy of the query log ring (oldest first; at most
+  /// SessionOptions::query_log_capacity entries).
+  std::vector<QueryLogEntry> QueryLog() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return {query_log_.begin(), query_log_.end()};
+  }
   Database* db() const { return db_; }
 
  private:
@@ -89,6 +116,10 @@ class Session {
   /// into the speculator.
   void SpeculateAround(const Query& query, const ExecContext& ctx)
       REQUIRES(mu_);
+
+  /// Appends one executed query to the ring-buffered query log.
+  void LogQuery(const Query& query, const ExecContext& ctx,
+                const QueryResult& result) REQUIRES(mu_);
 
   Database* const db_;
   const SessionOptions options_;
@@ -98,6 +129,7 @@ class Session {
   Speculator speculator_ GUARDED_BY(mu_);
   MarkovPredictor trajectory_ GUARDED_BY(mu_);
   std::vector<std::string> history_ GUARDED_BY(mu_);
+  std::deque<QueryLogEntry> query_log_ GUARDED_BY(mu_);
   std::string last_table_ GUARDED_BY(mu_);
   Predicate last_predicate_ GUARDED_BY(mu_);
   SessionStats stats_ GUARDED_BY(mu_);

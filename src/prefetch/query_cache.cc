@@ -1,6 +1,33 @@
 #include "prefetch/query_cache.h"
 
+#include "common/metrics.h"
+
 namespace exploredb {
+
+namespace {
+
+// Process-wide middleware-cache counters, aggregated over every
+// QueryResultCache instance (sessions share them the way they share the
+// thread pool). Per-instance counts stay available via stats().
+Counter* HitsCounter() {
+  static Counter* c = Metrics().GetCounter(
+      "exploredb_cache_hits_total", "Query-result cache hits");
+  return c;
+}
+
+Counter* MissesCounter() {
+  static Counter* c = Metrics().GetCounter(
+      "exploredb_cache_misses_total", "Query-result cache misses");
+  return c;
+}
+
+Counter* EvictionsCounter() {
+  static Counter* c = Metrics().GetCounter(
+      "exploredb_cache_evictions_total", "Query-result cache LRU evictions");
+  return c;
+}
+
+}  // namespace
 
 std::optional<std::vector<uint32_t>> QueryResultCache::Get(
     const std::string& key) {
@@ -8,9 +35,11 @@ std::optional<std::vector<uint32_t>> QueryResultCache::Get(
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++stats_.misses;
+    MissesCounter()->Add();
     return std::nullopt;
   }
   ++stats_.hits;
+  HitsCounter()->Add();
   lru_.erase(it->second.lru_it);
   lru_.push_front(key);
   it->second.lru_it = lru_.begin();
@@ -33,6 +62,7 @@ void QueryResultCache::Put(const std::string& key,
     entries_.erase(victim);
     lru_.pop_back();
     ++stats_.evictions;
+    EvictionsCounter()->Add();
   }
   lru_.push_front(key);
   entries_[key] = Entry{std::move(result), lru_.begin()};

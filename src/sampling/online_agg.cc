@@ -4,7 +4,30 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/metrics.h"
+
 namespace exploredb {
+
+namespace {
+
+// Online-aggregation refinement progress, across every aggregator in the
+// process: rounds (ProcessNext calls that consumed rows) and rows folded
+// into the running estimate.
+Counter* RoundsCounter() {
+  static Counter* c = Metrics().GetCounter(
+      "exploredb_onlineagg_rounds_total",
+      "Online-aggregation refinement rounds");
+  return c;
+}
+
+Counter* RowsCounter() {
+  static Counter* c = Metrics().GetCounter(
+      "exploredb_onlineagg_rows_total",
+      "Rows folded into online-aggregation estimates");
+  return c;
+}
+
+}  // namespace
 
 const char* AggKindName(AggKind kind) {
   switch (kind) {
@@ -59,6 +82,10 @@ size_t OnlineAggregator::ProcessNext(size_t batch) {
     double delta = x - mean_;
     mean_ += delta / static_cast<double>(n);
     m2_ += delta * (x - mean_);
+  }
+  if (consumed > 0) {
+    RoundsCounter()->Add();
+    RowsCounter()->Add(consumed);
   }
   return consumed;
 }

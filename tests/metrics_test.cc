@@ -1,0 +1,181 @@
+// Metrics registry unit tests: sharded counters sum exactly under concurrent
+// increments (run under TSan in CI), histogram quantile estimates stay within
+// the containing bucket's bounds, and the Prometheus text exposition is
+// well-formed.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace exploredb {
+namespace {
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("test_concurrent_total");
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 100'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c] {
+      for (int i = 0; i < kIncrements; ++i) c->Add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->Value(), static_cast<uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(CounterTest, DeltaAddsAccumulate) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("test_delta_total");
+  c->Add(5);
+  c->Add(7);
+  c->Add();  // default delta 1
+  EXPECT_EQ(c->Value(), 13u);
+  c->ResetForTest();
+  EXPECT_EQ(c->Value(), 0u);
+}
+
+TEST(GaugeTest, SetAddSub) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("test_depth");
+  g->Set(10);
+  g->Add(5);
+  g->Sub(12);
+  EXPECT_EQ(g->Value(), 3);
+}
+
+TEST(RegistryTest, SameNameReturnsSamePointer) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("dup_total");
+  Counter* b = registry.GetCounter("dup_total");
+  EXPECT_EQ(a, b);
+  Histogram* h1 = registry.GetHistogram("dup_ns");
+  Histogram* h2 = registry.GetHistogram("dup_ns", {1, 2, 3});
+  EXPECT_EQ(h1, h2);  // bounds fixed by first registration
+  EXPECT_EQ(h1->bounds(), Histogram::LatencyBoundsNanos());
+}
+
+TEST(RegistryTest, ResetAllZeroesWithoutInvalidatingPointers) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("reset_total");
+  Histogram* h = registry.GetHistogram("reset_ns", {10, 100});
+  c->Add(42);
+  h->Record(50);
+  registry.ResetAllForTest();
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_EQ(h->Count(), 0u);
+  c->Add();  // old pointer still valid
+  EXPECT_EQ(c->Value(), 1u);
+}
+
+TEST(HistogramTest, CountAndSum) {
+  Histogram h({10, 100, 1000});
+  h.Record(5);
+  h.Record(50);
+  h.Record(500);
+  h.Record(5000);  // +Inf bucket
+  EXPECT_EQ(h.Count(), 4u);
+  EXPECT_EQ(h.Sum(), 5555);
+  std::vector<uint64_t> buckets = h.BucketCounts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 1u);
+}
+
+TEST(HistogramTest, QuantileWithinContainingBucket) {
+  Histogram h({10, 100, 1000});
+  // 90 observations in (10, 100], 10 in (100, 1000].
+  for (int i = 0; i < 90; ++i) h.Record(50);
+  for (int i = 0; i < 10; ++i) h.Record(500);
+  // p50 falls in the (10, 100] bucket.
+  double p50 = h.Quantile(0.5);
+  EXPECT_GE(p50, 10.0);
+  EXPECT_LE(p50, 100.0);
+  // p95 falls in the (100, 1000] bucket.
+  double p95 = h.Quantile(0.95);
+  EXPECT_GE(p95, 100.0);
+  EXPECT_LE(p95, 1000.0);
+  // Quantiles are monotone in q.
+  EXPECT_LE(h.Quantile(0.5), h.Quantile(0.9));
+  EXPECT_LE(h.Quantile(0.9), h.Quantile(0.99));
+}
+
+TEST(HistogramTest, EmptyAndOverflowQuantiles) {
+  Histogram h({10, 100});
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  // All mass in the +Inf bucket: the estimate reports the bucket's lower
+  // bound rather than inventing an upper one.
+  h.Record(1'000'000);
+  EXPECT_EQ(h.Quantile(0.5), 100.0);
+}
+
+TEST(HistogramTest, ConcurrentRecordsSumExactly) {
+  Histogram h({100, 10'000});
+  constexpr int kThreads = 4;
+  constexpr int kRecords = 50'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kRecords; ++i) h.Record(i % 200);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.Count(), static_cast<uint64_t>(kThreads) * kRecords);
+}
+
+TEST(PrometheusTest, TextExpositionShape) {
+  MetricsRegistry registry;
+  registry.GetCounter("app_requests_total", "Requests served")->Add(3);
+  registry.GetGauge("app_queue_depth", "Queue depth")->Set(7);
+  Histogram* h =
+      registry.GetHistogram("app_latency_ns", {10, 100}, "Latency");
+  h->Record(5);
+  h->Record(50);
+  h->Record(500);
+
+  std::string text = registry.PrometheusText();
+  // Counter block.
+  EXPECT_NE(text.find("# HELP app_requests_total Requests served"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE app_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("app_requests_total 3"), std::string::npos);
+  // Gauge block.
+  EXPECT_NE(text.find("# TYPE app_queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("app_queue_depth 7"), std::string::npos);
+  // Histogram block: cumulative buckets, +Inf, _sum, _count.
+  EXPECT_NE(text.find("# TYPE app_latency_ns histogram"), std::string::npos);
+  EXPECT_NE(text.find("app_latency_ns_bucket{le=\"10\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("app_latency_ns_bucket{le=\"100\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("app_latency_ns_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("app_latency_ns_sum 555"), std::string::npos);
+  EXPECT_NE(text.find("app_latency_ns_count 3"), std::string::npos);
+  // Every non-comment line is "name[{labels}] value".
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_NE(line.find(' '), std::string::npos) << line;
+  }
+}
+
+TEST(PrometheusTest, GlobalRegistryIsASingleton) {
+  EXPECT_EQ(&Metrics(), &MetricsRegistry::Global());
+}
+
+}  // namespace
+}  // namespace exploredb

@@ -1,0 +1,282 @@
+// End-to-end observability: real queries populate the metrics registry
+// (cracker splits, zone-map pruning, cache hits, latency histogram), the
+// session query log behaves as a ring buffer, ExplainAnalyze has the
+// documented shape, ExecStats::Summary stays consistent across access paths,
+// and a traced query's Chrome-trace spans nest phases over morsel tasks.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/random.h"
+#include "common/trace.h"
+#include "engine/database.h"
+#include "engine/executor.h"
+#include "engine/query.h"
+#include "engine/session.h"
+
+namespace exploredb {
+namespace {
+
+/// 256K-row table: "ts" clustered (zone-map friendly), "user_id" scattered
+/// (cracking target), "latency_ms" a double measure.
+Database* TestDb() {
+  static Database* db = [] {
+    Schema schema({{"ts", DataType::kInt64},
+                   {"user_id", DataType::kInt64},
+                   {"latency_ms", DataType::kDouble}});
+    Table t(schema);
+    Random rng(99);
+    constexpr int64_t kRows = 256 * 1024;
+    t.Reserve(kRows);
+    for (int64_t i = 0; i < kRows; ++i) {
+      t.mutable_column(0)->AppendInt64(i);
+      t.mutable_column(1)->AppendInt64(rng.UniformInt(0, 49'999));
+      t.mutable_column(2)->AppendDouble(rng.NextDouble() * 100);
+    }
+    auto* db = new Database();
+    if (!db->CreateTable("events", std::move(t)).ok()) std::abort();
+    return db;
+  }();
+  return db;
+}
+
+Query Window(int64_t col_lo, int64_t col_hi, size_t col = 1) {
+  return Query::On("events").Where(
+      Predicate({{col, CompareOp::kGe, Value(col_lo)},
+                 {col, CompareOp::kLt, Value(col_hi)}}));
+}
+
+TEST(ObservabilityTest, RealQueriesPopulatePrometheusSeries) {
+  Metrics().ResetAllForTest();
+  Database* db = TestDb();
+  Session session(db);
+
+  // Cracking queries: splits.
+  ExecContext cracking;
+  cracking.options().mode = ExecutionMode::kCracking;
+  for (int64_t lo = 0; lo < 20'000; lo += 5'000) {
+    ASSERT_TRUE(session.Execute(Window(lo, lo + 5'000), cracking).ok());
+  }
+  // Repeat one: a cache hit.
+  ASSERT_TRUE(session.Execute(Window(0, 5'000), cracking).ok());
+  // Clustered narrow window: zone-map pruning (4 morsels, ~1 overlaps).
+  auto pruned = session.Execute(
+      Window(100'000, 110'000, /*col=*/0).Aggregate(AggKind::kCount));
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_GT(pruned.ValueOrDie().stats().morsels_pruned, 0u);
+
+  EXPECT_GT(
+      Metrics().GetCounter("exploredb_cracker_splits_total")->Value(), 0u);
+  EXPECT_GT(
+      Metrics().GetCounter("exploredb_zonemap_morsels_pruned_total")->Value(),
+      0u);
+  EXPECT_GT(Metrics().GetCounter("exploredb_cache_hits_total")->Value(), 0u);
+  EXPECT_GT(Metrics().GetHistogram("exploredb_query_latency_ns")->Count(),
+            0u);
+
+  // The exposition carries all four acceptance series.
+  std::string text = Metrics().PrometheusText();
+  EXPECT_NE(text.find("exploredb_cracker_splits_total"), std::string::npos);
+  EXPECT_NE(text.find("exploredb_zonemap_morsels_pruned_total"),
+            std::string::npos);
+  EXPECT_NE(text.find("exploredb_cache_hits_total"), std::string::npos);
+  EXPECT_NE(text.find("exploredb_query_latency_ns_bucket{le=\""),
+            std::string::npos);
+  EXPECT_NE(text.find("exploredb_query_latency_ns_count"),
+            std::string::npos);
+}
+
+TEST(ObservabilityTest, QueryLogIsARingBuffer) {
+  SessionOptions options;
+  options.query_log_capacity = 3;
+  options.speculate = false;
+  Session session(TestDb(), options);
+
+  for (int64_t lo = 0; lo < 5'000; lo += 1'000) {
+    ASSERT_TRUE(session.Execute(Window(lo, lo + 1'000)).ok());
+  }
+  std::vector<QueryLogEntry> log = session.QueryLog();
+  ASSERT_EQ(log.size(), 3u);  // capacity enforced, oldest dropped
+  // Newest-last: the final entry is the lo=4000 window.
+  EXPECT_NE(log.back().query.find("4000"), std::string::npos);
+  EXPECT_EQ(log.back().mode, ExecutionMode::kScan);
+  EXPECT_FALSE(log.back().from_cache);
+  EXPECT_GT(log.back().stats.total_nanos, 0);
+}
+
+TEST(ObservabilityTest, QueryLogRecordsCacheHitsAndModes) {
+  SessionOptions options;
+  options.speculate = false;
+  Session session(TestDb(), options);
+  ExecContext cracking;
+  cracking.options().mode = ExecutionMode::kCracking;
+
+  ASSERT_TRUE(session.Execute(Window(7'000, 8'000), cracking).ok());
+  auto hit = session.Execute(Window(7'000, 8'000), cracking);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit.ValueOrDie().from_cache);
+
+  std::vector<QueryLogEntry> log = session.QueryLog();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_FALSE(log[0].from_cache);
+  EXPECT_TRUE(log[1].from_cache);
+  EXPECT_EQ(log[1].mode, ExecutionMode::kCracking);
+  EXPECT_EQ(log[1].stats.path, AccessPath::kCache);
+}
+
+TEST(ObservabilityTest, ZeroCapacityDisablesQueryLog) {
+  SessionOptions options;
+  options.query_log_capacity = 0;
+  options.speculate = false;
+  Session session(TestDb(), options);
+  ASSERT_TRUE(session.Execute(Window(0, 1'000)).ok());
+  EXPECT_TRUE(session.QueryLog().empty());
+}
+
+TEST(ObservabilityTest, SummaryConsistentAcrossAccessPaths) {
+  SessionOptions options;
+  options.speculate = false;
+  Session session(TestDb(), options);
+
+  // Scan path.
+  auto scan = session.Execute(Window(1'000, 2'000));
+  ASSERT_TRUE(scan.ok());
+  std::string scan_summary = scan.ValueOrDie().stats().Summary();
+  EXPECT_NE(scan_summary.find("path=scan"), std::string::npos);
+  EXPECT_NE(scan_summary.find("pruned="), std::string::npos);
+
+  // Cache path: threads=1 (no worker did any work), pruned/morsels present.
+  ASSERT_TRUE(session.Execute(Window(1'000, 2'000)).ok());
+  auto hit = session.Execute(Window(1'000, 2'000));
+  ASSERT_TRUE(hit.ok());
+  ASSERT_TRUE(hit.ValueOrDie().from_cache);
+  const ExecStats& stats = hit.ValueOrDie().stats();
+  EXPECT_EQ(stats.threads_used, 1u);
+  std::string hit_summary = stats.Summary();
+  EXPECT_NE(hit_summary.find("path=cache"), std::string::npos);
+  EXPECT_NE(hit_summary.find("pruned=0"), std::string::npos);
+  EXPECT_NE(hit_summary.find("threads=1"), std::string::npos);
+
+  // Sampled path.
+  ExecContext sampled;
+  sampled.options().mode = ExecutionMode::kSampled;
+  auto approx = session.Execute(
+      Query::On("events")
+          .Where(Predicate({{1, CompareOp::kLt, Value(int64_t{25'000})}}))
+          .Aggregate(AggKind::kAvg, "latency_ms"),
+      sampled);
+  ASSERT_TRUE(approx.ok());
+  std::string sample_summary = approx.ValueOrDie().stats().Summary();
+  EXPECT_NE(sample_summary.find("path=sample"), std::string::npos);
+  EXPECT_NE(sample_summary.find("pruned="), std::string::npos);
+
+  // Online path.
+  ExecContext online;
+  online.options().mode = ExecutionMode::kOnline;
+  online.options().error_budget = 5.0;
+  auto refined = session.Execute(
+      Query::On("events")
+          .Where(Predicate({{1, CompareOp::kLt, Value(int64_t{25'000})}}))
+          .Aggregate(AggKind::kAvg, "latency_ms"),
+      online);
+  ASSERT_TRUE(refined.ok());
+  std::string online_summary = refined.ValueOrDie().stats().Summary();
+  EXPECT_NE(online_summary.find("path=online"), std::string::npos);
+  EXPECT_NE(online_summary.find("path="), std::string::npos);
+}
+
+TEST(ObservabilityTest, ExplainAnalyzeGoldenShape) {
+  const bool was_enabled = Tracer::enabled();
+  Tracer::SetEnabled(false);  // the per-query switch must suffice
+  SessionOptions options;
+  options.speculate = false;
+  Session session(TestDb(), options);
+
+  auto report = session.ExplainAnalyze(
+      Window(3'000, 4'000).Select({"latency_ms"}));
+  Tracer::SetEnabled(was_enabled);
+  ASSERT_TRUE(report.ok());
+  const std::string& text = report.ValueOrDie();
+
+  // Header: query key + ExecStats summary.
+  EXPECT_EQ(text.find("ExplainAnalyze:"), 0u);
+  EXPECT_NE(text.find("path="), std::string::npos);
+  EXPECT_NE(text.find("total="), std::string::npos);
+  // Phase tree with the executor's phase spans.
+  EXPECT_NE(text.find("phases:"), std::string::npos);
+  EXPECT_NE(text.find("query"), std::string::npos);
+  EXPECT_NE(text.find("select"), std::string::npos);
+  EXPECT_NE(text.find("project"), std::string::npos);
+
+  // ExplainAnalyze runs land in the query log too.
+  std::vector<QueryLogEntry> log = session.QueryLog();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_GT(log[0].stats.total_nanos, 0);
+}
+
+TEST(ObservabilityTest, TracedQueryNestsPhaseSpansOverMorsels) {
+  const bool was_enabled = Tracer::enabled();
+  Tracer::SetEnabled(true);
+  Tracer::Clear();
+
+  Executor exec(TestDb());
+  ExecContext ctx;  // default thread pool: morsel spans on worker threads
+  const int64_t t0 = Tracer::NowNs();
+  auto result =
+      exec.Execute(Window(0, 25'000).Aggregate(AggKind::kCount), ctx);
+  std::vector<TraceEvent> events = Tracer::SnapshotSince(t0);
+  Tracer::Clear();
+  Tracer::SetEnabled(was_enabled);
+  ASSERT_TRUE(result.ok());
+
+  const TraceEvent* query = nullptr;
+  const TraceEvent* select = nullptr;
+  size_t morsels = 0;
+  for (const TraceEvent& e : events) {
+    if (std::strcmp(e.name, "query") == 0) query = &e;
+    if (std::strcmp(e.name, "select") == 0) select = &e;
+    if (std::strcmp(e.name, "morsel") == 0) ++morsels;
+  }
+  ASSERT_NE(query, nullptr);
+  ASSERT_NE(select, nullptr);
+  EXPECT_GT(morsels, 0u);  // 256K rows / 64K morsels = 4 work units
+
+  // The select phase nests inside the query span: same thread, deeper,
+  // contained in time.
+  EXPECT_EQ(select->tid, query->tid);
+  EXPECT_GT(select->depth, query->depth);
+  EXPECT_GE(select->start_ns, query->start_ns);
+  EXPECT_LE(select->start_ns + select->dur_ns,
+            query->start_ns + query->dur_ns);
+
+  // Morsel spans fall within the query's wall-time window.
+  for (const TraceEvent& e : events) {
+    if (std::strcmp(e.name, "morsel") != 0) continue;
+    EXPECT_GE(e.start_ns, query->start_ns);
+    EXPECT_LE(e.start_ns + e.dur_ns, query->start_ns + query->dur_ns);
+  }
+}
+
+TEST(ObservabilityTest, SessionCountersTrackActivity) {
+  Metrics().ResetAllForTest();
+  SessionOptions options;
+  options.speculate = false;
+  Session session(TestDb(), options);
+  ASSERT_TRUE(session.Execute(Window(11'000, 12'000)).ok());
+  ASSERT_TRUE(session.Execute(Window(11'000, 12'000)).ok());
+  EXPECT_EQ(
+      Metrics().GetCounter("exploredb_session_queries_total")->Value(), 2u);
+  EXPECT_EQ(
+      Metrics().GetCounter("exploredb_session_cache_hits_total")->Value(),
+      1u);
+  EXPECT_EQ(session.stats().queries, 2u);
+  EXPECT_EQ(session.stats().cache_hits, 1u);
+}
+
+}  // namespace
+}  // namespace exploredb

@@ -1,0 +1,388 @@
+// Trace-span tests: nesting depth and containment, ring-buffer wraparound,
+// zero allocations on the disabled path, the per-query trace switch, and
+// Chrome trace_event JSON validated by parsing it back.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/trace.h"
+
+// ---- allocation counting ---------------------------------------------------
+// Replaces the global allocator for this test binary so the disabled-trace
+// path can be asserted allocation-free. Counting is a relaxed atomic add —
+// cheap enough to leave on for every test here.
+
+namespace {
+std::atomic<uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
+
+namespace exploredb {
+namespace {
+
+// ---- minimal JSON parser ---------------------------------------------------
+// Just enough of a recursive-descent parser to *validate* the exporter's
+// output: balanced structure, legal literals, no trailing garbage. We don't
+// build a DOM; structural well-formedness is the contract Chrome's trace
+// viewer needs.
+
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : s_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;  // skip escaped char
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool Number() {
+    size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* lit) {
+    size_t n = std::strlen(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+/// Restores the process-wide enabled flag and clears the rings around each
+/// test, so tests compose regardless of EXPLOREDB_TRACE in the environment.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = Tracer::enabled();
+    Tracer::SetEnabled(false);
+    Tracer::Clear();
+  }
+  void TearDown() override {
+    Tracer::Clear();
+    Tracer::SetEnabled(was_enabled_);
+  }
+
+  bool was_enabled_ = false;
+};
+
+const TraceEvent* FindEvent(const std::vector<TraceEvent>& events,
+                            const char* name) {
+  for (const TraceEvent& e : events) {
+    if (std::strcmp(e.name, name) == 0) return &e;
+  }
+  return nullptr;
+}
+
+TEST_F(TraceTest, SpansRecordDurationAndName) {
+  Tracer::SetEnabled(true);
+  { TraceSpan span("unit"); }
+  std::vector<TraceEvent> events = Tracer::Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "unit");
+  EXPECT_GE(events[0].dur_ns, 0);
+  EXPECT_EQ(events[0].depth, 0);
+}
+
+TEST_F(TraceTest, NestedSpansTrackDepthAndContainment) {
+  Tracer::SetEnabled(true);
+  {
+    TraceSpan outer("outer");
+    {
+      TraceSpan mid("mid");
+      { TraceSpan inner("inner"); }
+    }
+    { TraceSpan sibling("sibling"); }
+  }
+  std::vector<TraceEvent> events = Tracer::Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  const TraceEvent* outer = FindEvent(events, "outer");
+  const TraceEvent* mid = FindEvent(events, "mid");
+  const TraceEvent* inner = FindEvent(events, "inner");
+  const TraceEvent* sibling = FindEvent(events, "sibling");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(mid, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(sibling, nullptr);
+  // Depth reflects nesting at open; siblings reuse the freed depth.
+  EXPECT_EQ(outer->depth, 0);
+  EXPECT_EQ(mid->depth, 1);
+  EXPECT_EQ(inner->depth, 2);
+  EXPECT_EQ(sibling->depth, 1);
+  // Children are contained within their parents' [start, start+dur].
+  EXPECT_GE(mid->start_ns, outer->start_ns);
+  EXPECT_LE(mid->start_ns + mid->dur_ns, outer->start_ns + outer->dur_ns);
+  EXPECT_GE(inner->start_ns, mid->start_ns);
+  EXPECT_LE(inner->start_ns + inner->dur_ns, mid->start_ns + mid->dur_ns);
+  // All on the same thread id.
+  EXPECT_EQ(mid->tid, outer->tid);
+  EXPECT_EQ(inner->tid, outer->tid);
+}
+
+TEST_F(TraceTest, SpanAccumulatesIntoCounterEvenWhenDisabled) {
+  int64_t accum = 0;
+  {
+    TraceSpan span("timed", /*enabled=*/false, &accum);
+  }
+  EXPECT_GE(accum, 0);
+  // Nothing recorded.
+  EXPECT_TRUE(Tracer::Snapshot().empty());
+  // Accumulation adds across spans, and Stop() is idempotent.
+  int64_t twice = 0;
+  TraceSpan a("a", false, &twice);
+  a.Stop();
+  a.Stop();
+  int64_t after_first = twice;
+  TraceSpan b("b", false, &twice);
+  b.Stop();
+  EXPECT_GE(twice, after_first);
+}
+
+TEST_F(TraceTest, DisabledSpansDoNotAllocate) {
+  int64_t accum = 0;
+  uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    TraceSpan plain("plain");                    // disabled, no accum
+    TraceSpan timed("timed", false, &accum);     // disabled, accum only
+  }
+  uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before);
+}
+
+TEST_F(TraceTest, EnabledSpansDoNotAllocateAfterRingExists) {
+  Tracer::SetEnabled(true);
+  { TraceSpan warmup("warmup"); }  // creates this thread's ring
+  uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    TraceSpan span("steady");
+  }
+  uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before);
+}
+
+TEST_F(TraceTest, RingWrapsKeepingNewestEvents) {
+  Tracer::SetEnabled(true);
+  const size_t total = Tracer::kRingCapacity + 100;
+  for (size_t i = 0; i < total; ++i) {
+    TraceSpan span(i % 2 == 0 ? "even" : "odd");
+  }
+  std::vector<TraceEvent> events = Tracer::Snapshot();
+  EXPECT_EQ(events.size(), Tracer::kRingCapacity);
+  // Oldest-first within capacity, monotone start times.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].start_ns, events[i].start_ns);
+  }
+}
+
+TEST_F(TraceTest, SnapshotSinceScopesToRecentEvents) {
+  Tracer::SetEnabled(true);
+  { TraceSpan old_span("old_one"); }
+  int64_t t0 = Tracer::NowNs();
+  { TraceSpan new_span("new_one"); }
+  std::vector<TraceEvent> since = Tracer::SnapshotSince(t0);
+  ASSERT_EQ(since.size(), 1u);
+  EXPECT_STREQ(since[0].name, "new_one");
+  EXPECT_EQ(Tracer::Snapshot().size(), 2u);
+}
+
+TEST_F(TraceTest, PerSpanEnableWorksWithoutGlobalFlag) {
+  // This is the ExplainAnalyze path: Tracer stays off, one span opts in.
+  ASSERT_FALSE(Tracer::enabled());
+  { TraceSpan span("opted_in", /*enabled=*/true); }
+  std::vector<TraceEvent> events = Tracer::Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "opted_in");
+}
+
+TEST_F(TraceTest, EventsFromMultipleThreadsCarryDistinctTids) {
+  Tracer::SetEnabled(true);
+  std::thread t1([] { TraceSpan span("thread_a"); });
+  std::thread t2([] { TraceSpan span("thread_b"); });
+  t1.join();
+  t2.join();
+  std::vector<TraceEvent> events = Tracer::Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].tid, events[1].tid);
+}
+
+TEST_F(TraceTest, LongNamesTruncateSafely) {
+  Tracer::SetEnabled(true);
+  {
+    TraceSpan span("a_span_name_far_longer_than_the_fixed_event_field");
+  }
+  std::vector<TraceEvent> events = Tracer::Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(std::strlen(events[0].name), TraceEvent::kMaxName);
+}
+
+TEST_F(TraceTest, ChromeTraceJsonParsesBack) {
+  Tracer::SetEnabled(true);
+  {
+    TraceSpan outer("query \"quoted\\name\"");  // exercises escaping
+    TraceSpan inner("select");
+  }
+  std::string json = Tracer::ChromeTraceJson();
+  EXPECT_TRUE(JsonValidator(json).Valid()) << json;
+  // trace_event shape: a traceEvents array of "X" (complete) events with
+  // microsecond timestamps.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(json.find("select"), std::string::npos);
+}
+
+TEST_F(TraceTest, EmptySnapshotStillExportsValidJson) {
+  std::string json = Tracer::ChromeTraceJson();
+  EXPECT_TRUE(JsonValidator(json).Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST_F(TraceTest, WriteChromeTraceCreatesParseableFile) {
+  Tracer::SetEnabled(true);
+  { TraceSpan span("to_disk"); }
+  const char* path = "trace_test_out.json";
+  ASSERT_TRUE(Tracer::WriteChromeTrace(path).ok());
+  std::FILE* f = std::fopen(path, "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents.append(buf, n);
+  }
+  std::fclose(f);
+  std::remove(path);
+  EXPECT_TRUE(JsonValidator(contents).Valid());
+  EXPECT_NE(contents.find("to_disk"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace exploredb
