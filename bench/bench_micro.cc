@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdint>
 #include <cstdlib>
 #include <map>
 #include <memory>
@@ -22,6 +24,7 @@
 #include "engine/query.h"
 #include "sampling/online_agg.h"
 #include "sampling/sampler.h"
+#include "simd/simd.h"
 #include "synopsis/count_min.h"
 #include "synopsis/hyperloglog.h"
 
@@ -238,6 +241,146 @@ void BM_GroupByLegacyMap(benchmark::State& state) {
                           static_cast<int64_t>(table->num_rows()));
 }
 BENCHMARK(BM_GroupByLegacyMap)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// SIMD kernel sweeps. Each benchmark drives one dispatched kernel table
+// directly (simd::KernelsFor, bypassing the runtime CPU probe) over the same
+// 4M-element column, with Arg = predicate selectivity in percent. The
+// Scalar/SSE42/AVX2 triples expose the speedup of each ISA tier at 1/10/50/
+// 90% selectivity; results also land in $EXPLOREDB_BENCH_JSON (BENCH_simd
+// .json in CI) through the shared JsonReporter.
+// ---------------------------------------------------------------------------
+
+constexpr size_t kKernelRows = size_t{1} << 22;
+constexpr int64_t kKernelDomain = 1'000'000;
+
+/// Uniform int64 column in [0, kKernelDomain): a `< pct * domain/100`
+/// threshold selects pct% of rows.
+const std::vector<int64_t>& KernelInts() {
+  static const std::vector<int64_t> data =
+      bench::RandomInts(kKernelRows, kKernelDomain, 17);
+  return data;
+}
+
+const std::vector<double>& KernelDoubles() {
+  static const std::vector<double> data = [] {
+    std::vector<double> v(kKernelRows);
+    Random rng(19);
+    for (double& x : v) x = rng.NextDouble() * 100.0;
+    return v;
+  }();
+  return data;
+}
+
+/// Selection vector holding ~pct% of row ids, spread uniformly.
+std::vector<uint32_t> SelectionAtDensity(int pct) {
+  static const std::vector<int64_t> coins =
+      bench::RandomInts(kKernelRows, 100, 23);
+  std::vector<uint32_t> sel;
+  sel.reserve(kKernelRows * static_cast<size_t>(pct) / 100 + 1);
+  for (size_t i = 0; i < kKernelRows; ++i) {
+    if (coins[i] < pct) sel.push_back(static_cast<uint32_t>(i));
+  }
+  return sel;
+}
+
+void FilterKernelBench(benchmark::State& state, simd::SimdPath path,
+                       const char* label) {
+  if (!simd::PathSupported(path)) {
+    state.SkipWithError("SIMD path unsupported on this CPU");
+    return;
+  }
+  const simd::KernelTable& kt = simd::KernelsFor(path);
+  const std::vector<int64_t>& data = KernelInts();
+  const auto n = static_cast<uint32_t>(data.size());
+  const int64_t threshold =
+      state.range(0) * (kKernelDomain / 100);  // Arg = selectivity %.
+  std::vector<uint32_t> out(data.size());
+  uint32_t matches = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    matches = kt.filter_i64_cmp(data.data(), 0, n, simd::Cmp::kLt, threshold,
+                                out.data());
+    benchmark::DoNotOptimize(matches);
+    benchmark::ClobberMemory();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["matches"] = static_cast<double>(matches);
+  const double ns_per_op =
+      state.iterations() == 0
+          ? 0.0
+          : static_cast<double>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                    .count()) /
+                static_cast<double>(state.iterations());
+  bench::ReportJson(
+      std::string("simd_filter_") + label + "_sel" +
+          std::to_string(state.range(0)),
+      state.iterations(), ns_per_op,
+      {{"rows_per_op", static_cast<double>(n)},
+       {"rows_per_s", ns_per_op > 0 ? n * 1e9 / ns_per_op : 0.0}});
+}
+
+void BM_FilterKernel_Scalar(benchmark::State& state) {
+  FilterKernelBench(state, simd::SimdPath::kScalar, "scalar");
+}
+void BM_FilterKernel_SSE42(benchmark::State& state) {
+  FilterKernelBench(state, simd::SimdPath::kSse42, "sse42");
+}
+void BM_FilterKernel_AVX2(benchmark::State& state) {
+  FilterKernelBench(state, simd::SimdPath::kAvx2, "avx2");
+}
+BENCHMARK(BM_FilterKernel_Scalar)->Arg(1)->Arg(10)->Arg(50)->Arg(90);
+BENCHMARK(BM_FilterKernel_SSE42)->Arg(1)->Arg(10)->Arg(50)->Arg(90);
+BENCHMARK(BM_FilterKernel_AVX2)->Arg(1)->Arg(10)->Arg(50)->Arg(90);
+
+void MaskedSumBench(benchmark::State& state, simd::SimdPath path,
+                    const char* label) {
+  if (!simd::PathSupported(path)) {
+    state.SkipWithError("SIMD path unsupported on this CPU");
+    return;
+  }
+  const simd::KernelTable& kt = simd::KernelsFor(path);
+  const std::vector<double>& values = KernelDoubles();
+  const std::vector<uint32_t> sel =
+      SelectionAtDensity(static_cast<int>(state.range(0)));
+  const auto count = static_cast<uint32_t>(sel.size());
+  double sum = 0.0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    sum = kt.sum_f64_sel(values.data(), sel.data(), count);
+    benchmark::DoNotOptimize(sum);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  state.SetItemsProcessed(state.iterations() * count);
+  const double ns_per_op =
+      state.iterations() == 0
+          ? 0.0
+          : static_cast<double>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                    .count()) /
+                static_cast<double>(state.iterations());
+  bench::ReportJson(
+      std::string("simd_masked_sum_") + label + "_sel" +
+          std::to_string(state.range(0)),
+      state.iterations(), ns_per_op,
+      {{"selected_rows", static_cast<double>(count)},
+       {"rows_per_s", ns_per_op > 0 ? count * 1e9 / ns_per_op : 0.0}});
+}
+
+void BM_MaskedSum_Scalar(benchmark::State& state) {
+  MaskedSumBench(state, simd::SimdPath::kScalar, "scalar");
+}
+void BM_MaskedSum_SSE42(benchmark::State& state) {
+  MaskedSumBench(state, simd::SimdPath::kSse42, "sse42");
+}
+void BM_MaskedSum_AVX2(benchmark::State& state) {
+  MaskedSumBench(state, simd::SimdPath::kAvx2, "avx2");
+}
+BENCHMARK(BM_MaskedSum_Scalar)->Arg(1)->Arg(10)->Arg(50)->Arg(90);
+BENCHMARK(BM_MaskedSum_SSE42)->Arg(1)->Arg(10)->Arg(50)->Arg(90);
+BENCHMARK(BM_MaskedSum_AVX2)->Arg(1)->Arg(10)->Arg(50)->Arg(90);
 
 void BM_OnlineAggBatch(benchmark::State& state) {
   Random rng(9);

@@ -12,6 +12,7 @@
 #include "common/trace.h"
 #include "engine/group_by.h"
 #include "sampling/sampler.h"
+#include "simd/simd.h"
 #include "storage/zone_map.h"
 
 namespace exploredb {
@@ -59,6 +60,31 @@ Counter* ZoneMapPrunedCounter() {
   return c;
 }
 
+/// Per-path query counters: which kernel table (scalar/SSE4.2/AVX2) actually
+/// served production queries. A deploy that silently loses its AVX2 path —
+/// wrong container base image, EXPLOREDB_SIMD left over from a debug session
+/// — shows up here as the scalar counter climbing.
+Counter* SimdPathCounter(simd::SimdPath path) {
+  static Counter* scalar = Metrics().GetCounter(
+      "exploredb_simd_path_scalar_queries_total",
+      "Queries served by the scalar kernel table");
+  static Counter* sse42 = Metrics().GetCounter(
+      "exploredb_simd_path_sse42_queries_total",
+      "Queries served by the SSE4.2 kernel table");
+  static Counter* avx2 = Metrics().GetCounter(
+      "exploredb_simd_path_avx2_queries_total",
+      "Queries served by the AVX2 kernel table");
+  switch (path) {
+    case simd::SimdPath::kSse42:
+      return sse42;
+    case simd::SimdPath::kAvx2:
+      return avx2;
+    case simd::SimdPath::kScalar:
+      break;
+  }
+  return scalar;
+}
+
 /// Folds one query's ExecStats into the process-wide registry; called once
 /// per successful Execute.
 void RecordQueryMetrics(const ExecStats& stats) {
@@ -66,6 +92,7 @@ void RecordQueryMetrics(const ExecStats& stats) {
   QueryLatencyHistogram()->Record(stats.total_nanos);
   RowsScannedCounter()->Add(stats.rows_scanned);
   MorselsDispatchedCounter()->Add(stats.morsels_dispatched);
+  SimdPathCounter(stats.simd_path)->Add();
 }
 
 /// Evaluates `conditions` on one row, columns supplied in parallel order.
@@ -97,6 +124,77 @@ Status InterruptedStatus(const ExecContext& ctx) {
 }
 
 size_t MorselCount(size_t n, size_t morsel) { return (n + morsel - 1) / morsel; }
+
+/// Reusable per-thread selection-vector buffer for morsel kernels. Cleared
+/// (never shrunk) between morsels, so a steady-state scan allocates only on
+/// its first morsel per worker.
+std::vector<uint32_t>& MorselScratch() {
+  thread_local std::vector<uint32_t> scratch;
+  return scratch;
+}
+
+/// Zone-map plan for one scan: the morsels that survive pruning (in morsel
+/// order — the merge contract depends on it), prune accounting, and the
+/// predicate's estimated selectivity under the zone maps' uniform-within-zone
+/// model. The estimate pre-sizes selection vectors; it is never a
+/// correctness input.
+struct MorselPlan {
+  std::vector<size_t> live;
+  size_t num_morsels = 0;
+  size_t pruned = 0;
+  size_t rows_pruned = 0;
+  double selectivity = 1.0;
+};
+
+Result<MorselPlan> PlanMorsels(TableEntry* entry,
+                               const std::vector<Condition>& conds,
+                               const std::vector<const ColumnVector*>& cols,
+                               size_t n, size_t morsel, const ExecContext& ctx) {
+  MorselPlan plan;
+  plan.num_morsels = MorselCount(n, morsel);
+
+  // Zone-map pruning: every numeric conjunct gets the column's min/max
+  // synopsis (built lazily, cached on the entry), and a morsel is skipped
+  // outright when some conjunct cannot match any zone it overlaps.
+  std::vector<std::pair<const ZoneMap*, const Condition*>> pruners;
+  if (ctx.options().use_zone_maps) {
+    for (size_t i = 0; i < conds.size(); ++i) {
+      if (cols[i]->type() == DataType::kString) continue;
+      if (conds[i].constant.is_string()) continue;
+      EXPLOREDB_ASSIGN_OR_RETURN(const ZoneMap* zm,
+                                 entry->GetZoneMap(conds[i].column));
+      pruners.emplace_back(zm, &conds[i]);
+    }
+  }
+  std::vector<uint8_t> skip(plan.num_morsels, 0);
+  if (!pruners.empty()) {
+    for (size_t m = 0; m < plan.num_morsels; ++m) {
+      const uint32_t begin = static_cast<uint32_t>(m * morsel);
+      const uint32_t end =
+          static_cast<uint32_t>(std::min(n, m * morsel + morsel));
+      for (const auto& [zm, c] : pruners) {
+        if (!zm->MayMatch(*c, begin, end)) {
+          skip[m] = 1;
+          ++plan.pruned;
+          plan.rows_pruned += end - begin;
+          break;
+        }
+      }
+    }
+    ZoneMapCheckedCounter()->Add(plan.num_morsels);
+    ZoneMapPrunedCounter()->Add(plan.pruned);
+  }
+  // Independence across conjuncts is the standard (wrong but serviceable)
+  // assumption for a capacity hint.
+  for (const auto& [zm, c] : pruners) {
+    plan.selectivity *= zm->EstimateSelectivity(*c);
+  }
+  plan.live.reserve(plan.num_morsels - plan.pruned);
+  for (size_t m = 0; m < plan.num_morsels; ++m) {
+    if (!skip[m]) plan.live.push_back(m);
+  }
+  return plan;
+}
 
 /// EXPLOREDB_VALIDATE=1 deep-validates every adaptive structure of the
 /// queried table after each query (integration/stress suites run under it in
@@ -219,53 +317,12 @@ Result<std::vector<uint32_t>> Executor::SelectPositions(
                              FetchConditionColumns(entry, conds));
   const size_t morsel = std::max<size_t>(1, ctx.morsel_size());
   ThreadPool* pool = ctx.thread_pool();
-  const size_t num_morsels = MorselCount(n, morsel);
+  EXPLOREDB_ASSIGN_OR_RETURN(MorselPlan plan,
+                             PlanMorsels(entry, conds, cols, n, morsel, ctx));
+  stats->morsels_pruned += plan.pruned;
+  stats->rows_scanned += n - plan.rows_pruned;
+  const size_t live_rows = n - plan.rows_pruned;
 
-  // Zone-map pruning: every numeric conjunct gets the column's min/max
-  // synopsis (built lazily, cached on the entry), and a morsel is skipped
-  // outright when some conjunct cannot match any zone it overlaps.
-  std::vector<std::pair<const ZoneMap*, const Condition*>> pruners;
-  if (ctx.options().use_zone_maps) {
-    for (size_t i = 0; i < conds.size(); ++i) {
-      if (cols[i]->type() == DataType::kString) continue;
-      if (conds[i].constant.is_string()) continue;
-      EXPLOREDB_ASSIGN_OR_RETURN(const ZoneMap* zm,
-                                 entry->GetZoneMap(conds[i].column));
-      pruners.emplace_back(zm, &conds[i]);
-    }
-  }
-  std::vector<uint8_t> skip(num_morsels, 0);
-  size_t pruned = 0;
-  size_t rows_pruned = 0;
-  if (!pruners.empty()) {
-    for (size_t m = 0; m < num_morsels; ++m) {
-      const uint32_t begin = static_cast<uint32_t>(m * morsel);
-      const uint32_t end =
-          static_cast<uint32_t>(std::min(n, m * morsel + morsel));
-      for (const auto& [zm, c] : pruners) {
-        if (!zm->MayMatch(*c, begin, end)) {
-          skip[m] = 1;
-          ++pruned;
-          rows_pruned += end - begin;
-          break;
-        }
-      }
-    }
-  }
-  stats->morsels_pruned += pruned;
-  stats->rows_scanned += n - rows_pruned;
-  if (!pruners.empty()) {
-    ZoneMapCheckedCounter()->Add(num_morsels);
-    ZoneMapPrunedCounter()->Add(pruned);
-  }
-
-  // Surviving morsels, in morsel order: the merge below concatenates their
-  // buffers in this order, so parallel output is byte-identical to serial.
-  std::vector<size_t> live;
-  live.reserve(num_morsels - pruned);
-  for (size_t m = 0; m < num_morsels; ++m) {
-    if (!skip[m]) live.push_back(m);
-  }
   auto filter_morsel = [&](size_t m, std::vector<uint32_t>* buf) {
     TraceSpan span("morsel", tracing);
     const uint32_t begin = static_cast<uint32_t>(m * morsel);
@@ -274,23 +331,35 @@ Result<std::vector<uint32_t>> Executor::SelectPositions(
     Predicate::FilterRange(conds, cols, begin, end, buf);
   };
 
-  // Serial kernel: one pass appending straight into the output.
-  if (pool == nullptr || live.size() <= 1) {
+  // Serial kernel: one pass appending straight into the output, pre-sized
+  // from the zone maps' selectivity estimate (+1 morsel of slack because
+  // FilterRange transiently resizes to the worst case for the morsel in
+  // flight).
+  if (pool == nullptr || plan.live.size() <= 1) {
     std::vector<uint32_t> out;
-    for (size_t m : live) {
+    const auto estimated = static_cast<size_t>(
+        plan.selectivity * static_cast<double>(live_rows));
+    out.reserve(std::min(live_rows, estimated + morsel));
+    for (size_t m : plan.live) {
       if (ctx.Interrupted()) return InterruptedStatus(ctx);
       filter_morsel(m, &out);
     }
-    stats->morsels_dispatched += live.size();
+    stats->morsels_dispatched += plan.live.size();
     return out;
   }
 
   // Morsel-parallel kernel: per-morsel position buffers, merged in morsel
-  // order — byte-identical to the serial scan for any worker count.
-  std::vector<std::vector<uint32_t>> parts(live.size());
-  ThreadPool::ForStats fs = pool->ParallelFor(live.size(), [&](size_t i) {
+  // order — byte-identical to the serial scan for any worker count. Each
+  // worker filters into its reusable thread-local scratch and copies out
+  // exactly the surviving positions, so per-morsel buffers are allocated at
+  // their final size instead of growing geometrically.
+  std::vector<std::vector<uint32_t>> parts(plan.live.size());
+  ThreadPool::ForStats fs = pool->ParallelFor(plan.live.size(), [&](size_t i) {
     if (ctx.Interrupted()) return;
-    filter_morsel(live[i], &parts[i]);
+    std::vector<uint32_t>& scratch = MorselScratch();
+    scratch.clear();
+    filter_morsel(plan.live[i], &scratch);
+    parts[i].assign(scratch.begin(), scratch.end());
   });
   stats->morsels_dispatched += fs.chunks;
   stats->threads_used = std::max(stats->threads_used, fs.threads_used);
@@ -316,24 +385,21 @@ Result<Estimate> Executor::AggregatePositions(
   }
 
   // SUM/AVG: per-morsel partial sums merged in morsel order. The serial path
-  // is the same computation with one worker, so every thread count produces
-  // bit-identical doubles.
+  // is the same computation with one worker, and every kernel table follows
+  // the same striped accumulation order, so every thread count and SIMD path
+  // produces bit-identical doubles.
   const double* dbl = measure->type() == DataType::kDouble
                           ? measure->double_data().data()
                           : nullptr;
   const int64_t* i64 = measure->type() == DataType::kInt64
                            ? measure->int64_data().data()
                            : nullptr;
+  const simd::KernelTable& kt = simd::ActiveKernels();
   auto sum_slice = [&](size_t begin, size_t end) {
-    double s = 0;
-    if (dbl != nullptr) {
-      for (size_t i = begin; i < end; ++i) s += dbl[positions[i]];
-    } else {
-      for (size_t i = begin; i < end; ++i) {
-        s += static_cast<double>(i64[positions[i]]);
-      }
-    }
-    return s;
+    const uint32_t* sel = positions.data() + begin;
+    const auto cnt = static_cast<uint32_t>(end - begin);
+    return dbl != nullptr ? kt.sum_f64_sel(dbl, sel, cnt)
+                          : kt.sum_i64_sel(i64, sel, cnt);
   };
 
   const size_t morsel = std::max<size_t>(1, ctx.morsel_size());
@@ -374,6 +440,106 @@ Result<Estimate> Executor::AggregatePositions(
   return e;
 }
 
+Result<Estimate> Executor::ScanAggregate(TableEntry* entry,
+                                         const Predicate& pred,
+                                         const ColumnVector* measure,
+                                         AggKind kind, const ExecContext& ctx,
+                                         ExecStats* stats) {
+  const bool tracing = ctx.tracing();
+  stats->path = AccessPath::kScan;
+
+  // Select span: column fetch + zone-map pruning (the per-morsel filter runs
+  // fused inside the aggregate loop below, so planning is what "select"
+  // means here).
+  TraceSpan select_span("select", tracing, &stats->select_nanos);
+  EXPLOREDB_ASSIGN_OR_RETURN(size_t n, entry->NumRows());
+  const std::vector<Condition>& conds = pred.conjuncts();
+  EXPLOREDB_ASSIGN_OR_RETURN(std::vector<const ColumnVector*> cols,
+                             FetchConditionColumns(entry, conds));
+  const size_t morsel = std::max<size_t>(1, ctx.morsel_size());
+  EXPLOREDB_ASSIGN_OR_RETURN(MorselPlan plan,
+                             PlanMorsels(entry, conds, cols, n, morsel, ctx));
+  stats->morsels_pruned += plan.pruned;
+  stats->rows_scanned += n - plan.rows_pruned;
+  select_span.Stop();
+
+  TraceSpan agg_span("aggregate", tracing, &stats->aggregate_nanos);
+  const simd::KernelTable& kt = simd::ActiveKernels();
+  const double* dbl =
+      measure != nullptr && measure->type() == DataType::kDouble
+          ? measure->double_data().data()
+          : nullptr;
+  const int64_t* i64 =
+      measure != nullptr && measure->type() == DataType::kInt64
+          ? measure->int64_data().data()
+          : nullptr;
+
+  // One fused pass per morsel: filter into the worker's reusable selection
+  // vector, reduce it with the dispatched masked-sum kernel, keep only the
+  // (sum, count) partial. Partials merge in morsel order below, so the
+  // result is bit-identical for any thread count (serial is the same
+  // computation with one worker).
+  struct Partial {
+    double sum = 0;
+    uint64_t count = 0;
+  };
+  std::vector<Partial> partials(plan.live.size());
+  auto agg_morsel = [&](size_t i) {
+    TraceSpan span("morsel", tracing);
+    const size_t m = plan.live[i];
+    const uint32_t begin = static_cast<uint32_t>(m * morsel);
+    const uint32_t end =
+        static_cast<uint32_t>(std::min(n, m * morsel + morsel));
+    std::vector<uint32_t>& sel = MorselScratch();
+    sel.clear();
+    Predicate::FilterRange(conds, cols, begin, end, &sel);
+    partials[i].count = sel.size();
+    if (kind != AggKind::kCount && !sel.empty()) {
+      const auto cnt = static_cast<uint32_t>(sel.size());
+      partials[i].sum = dbl != nullptr ? kt.sum_f64_sel(dbl, sel.data(), cnt)
+                                       : kt.sum_i64_sel(i64, sel.data(), cnt);
+    }
+  };
+  ThreadPool* pool = ctx.thread_pool();
+  if (pool != nullptr && plan.live.size() > 1) {
+    ThreadPool::ForStats fs = pool->ParallelFor(plan.live.size(), [&](size_t i) {
+      if (ctx.Interrupted()) return;
+      agg_morsel(i);
+    });
+    stats->morsels_dispatched += fs.chunks;
+    stats->threads_used = std::max(stats->threads_used, fs.threads_used);
+  } else {
+    for (size_t i = 0; i < plan.live.size(); ++i) {
+      if (ctx.Interrupted()) return InterruptedStatus(ctx);
+      agg_morsel(i);
+    }
+    stats->morsels_dispatched += plan.live.size();
+  }
+  if (ctx.Interrupted()) return InterruptedStatus(ctx);
+
+  double sum = 0;
+  uint64_t matches = 0;
+  for (const Partial& p : partials) {
+    sum += p.sum;
+    matches += p.count;
+  }
+  Estimate e;
+  e.confidence = ctx.options().confidence;
+  e.sample_size = matches;
+  switch (kind) {
+    case AggKind::kCount:
+      e.value = static_cast<double>(matches);
+      break;
+    case AggKind::kSum:
+      e.value = sum;
+      break;
+    case AggKind::kAvg:
+      e.value = matches == 0 ? 0.0 : sum / static_cast<double>(matches);
+      break;
+  }
+  return e;
+}
+
 Result<QueryResult> Executor::Execute(const Query& query,
                                       const ExecContext& ctx) {
   const bool tracing = ctx.tracing();
@@ -381,6 +547,7 @@ Result<QueryResult> Executor::Execute(const Query& query,
   TraceSpan query_span("query", tracing, &stats.total_nanos);
   TableEntry* entry = nullptr;
   ExecutionMode mode = ctx.options().mode;
+  stats.simd_path = simd::ActivePath();
   {
     TraceSpan plan_span("plan", tracing, &stats.plan_nanos);
     EXPLOREDB_ASSIGN_OR_RETURN(entry, db_->GetTable(query.table()));
@@ -666,6 +833,22 @@ Result<QueryResult> Executor::ExecuteAggregate(TableEntry* entry,
       return result;
     }
     default: {
+      // Index-serviceable predicates keep the two-phase shape (index probe,
+      // then masked aggregation over the probe's positions). Everything
+      // else runs the fused scan-aggregate, which filters and reduces each
+      // morsel in one pass without materializing the full position list.
+      const bool indexed =
+          (mode == ExecutionMode::kCracking ||
+           mode == ExecutionMode::kFullIndex) &&
+          ExtractRange(query.where(), entry->schema(), entry).has_value();
+      if (!indexed) {
+        EXPLOREDB_ASSIGN_OR_RETURN(
+            Estimate e,
+            ScanAggregate(entry, query.where(), measure, agg.kind, ctx,
+                          stats));
+        result.scalar = e;
+        return result;
+      }
       std::vector<uint32_t> positions;
       EXPLOREDB_ASSIGN_OR_RETURN(
           positions,

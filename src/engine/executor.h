@@ -72,6 +72,15 @@ class Executor {
                                       AggKind kind, const ExecContext& ctx,
                                       ExecStats* stats);
 
+  /// Fused scan + scalar aggregate for predicates no index serves: each
+  /// morsel filters into a reusable selection vector and reduces it with the
+  /// dispatched masked-sum kernels in one pass, never materializing the
+  /// full position list. Per-morsel partials merge in morsel order, so the
+  /// answer is bit-identical for any thread count and kernel path.
+  Result<Estimate> ScanAggregate(TableEntry* entry, const Predicate& pred,
+                                 const ColumnVector* measure, AggKind kind,
+                                 const ExecContext& ctx, ExecStats* stats);
+
   Result<QueryResult> ExecuteAggregate(TableEntry* entry, const Query& query,
                                        ExecutionMode mode,
                                        const ExecContext& ctx,

@@ -49,6 +49,8 @@ std::string ExecStats::Summary() const {
   out += " morsels=" + std::to_string(morsels_dispatched);
   out += " pruned=" + std::to_string(morsels_pruned);
   out += " threads=" + std::to_string(threads_used);
+  out += " simd=";
+  out += simd::SimdPathName(simd_path);
   out += " | plan=" + FormatDurationNanos(plan_nanos);
   out += " select=" + FormatDurationNanos(select_nanos);
   out += " agg=" + FormatDurationNanos(aggregate_nanos);

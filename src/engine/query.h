@@ -75,6 +75,11 @@ struct ExecStats {
   uint64_t morsels_pruned = 0;     ///< morsels skipped via zone-map bounds
   uint32_t threads_used = 1;       ///< distinct threads that did work
   AccessPath path = AccessPath::kNone;
+  /// Which kernel table served the query's scan/aggregate inner loops —
+  /// the dispatched CPU path (scalar / sse42 / avx2), after any
+  /// EXPLOREDB_SIMD override. Results are bit-identical across paths; this
+  /// field exists so perf triage can tell which code actually ran.
+  simd::SimdPath simd_path = simd::SimdPath::kScalar;
 
   // Per-phase wall times (nanoseconds; zero when the phase did not run).
   int64_t plan_nanos = 0;       ///< mode resolution + range extraction

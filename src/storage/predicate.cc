@@ -4,6 +4,24 @@
 
 namespace exploredb {
 
+simd::Cmp ToSimdCmp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return simd::Cmp::kLt;
+    case CompareOp::kLe:
+      return simd::Cmp::kLe;
+    case CompareOp::kGt:
+      return simd::Cmp::kGt;
+    case CompareOp::kGe:
+      return simd::Cmp::kGe;
+    case CompareOp::kEq:
+      return simd::Cmp::kEq;
+    case CompareOp::kNe:
+      return simd::Cmp::kNe;
+  }
+  return simd::Cmp::kEq;
+}
+
 const char* CompareOpName(CompareOp op) {
   switch (op) {
     case CompareOp::kLt:
@@ -91,47 +109,30 @@ bool Predicate::Matches(const Table& table, size_t row) const {
 std::vector<uint32_t> Predicate::SelectPositions(const Table& table) const {
   std::vector<uint32_t> out;
   const size_t n = table.num_rows();
-  for (size_t r = 0; r < n; ++r) {
-    if (Matches(table, r)) out.push_back(static_cast<uint32_t>(r));
-  }
+  if (n == 0) return out;
+  std::vector<const ColumnVector*> cols;
+  cols.reserve(conjuncts_.size());
+  for (const Condition& c : conjuncts_) cols.push_back(&table.column(c.column));
+  FilterRange(conjuncts_, cols, 0, static_cast<uint32_t>(n), &out);
   return out;
 }
 
 namespace {
 
-/// Tight per-op loop over a typed array; the compiler vectorizes these.
-template <typename T, typename Pred>
-void FilterTyped(const T* data, uint32_t begin, uint32_t end, Pred pred,
-                 std::vector<uint32_t>* out) {
-  for (uint32_t r = begin; r < end; ++r) {
-    if (pred(data[r])) out->push_back(r);
-  }
-}
+/// Which dispatched kernel family evaluates a condition, if any. Mirrors
+/// the typed branches of Condition::MatchesColumn: int64 columns compared
+/// against a double constant are evaluated in double precision, which no
+/// int64 kernel reproduces, so they stay on the row-at-a-time path.
+enum class KernelKind { kNone, kI64, kF64 };
 
-template <typename T>
-bool FilterOneComparison(const T* data, CompareOp op, T k, uint32_t begin,
-                         uint32_t end, std::vector<uint32_t>* out) {
-  switch (op) {
-    case CompareOp::kLt:
-      FilterTyped(data, begin, end, [k](T v) { return v < k; }, out);
-      return true;
-    case CompareOp::kLe:
-      FilterTyped(data, begin, end, [k](T v) { return v <= k; }, out);
-      return true;
-    case CompareOp::kGt:
-      FilterTyped(data, begin, end, [k](T v) { return v > k; }, out);
-      return true;
-    case CompareOp::kGe:
-      FilterTyped(data, begin, end, [k](T v) { return v >= k; }, out);
-      return true;
-    case CompareOp::kEq:
-      FilterTyped(data, begin, end, [k](T v) { return v == k; }, out);
-      return true;
-    case CompareOp::kNe:
-      FilterTyped(data, begin, end, [k](T v) { return v != k; }, out);
-      return true;
+KernelKind KernelKindFor(const Condition& c, const ColumnVector& col) {
+  if (col.type() == DataType::kInt64 && c.constant.is_int64()) {
+    return KernelKind::kI64;
   }
-  return false;
+  if (col.type() == DataType::kDouble && !c.constant.is_string()) {
+    return KernelKind::kF64;
+  }
+  return KernelKind::kNone;
 }
 
 }  // namespace
@@ -140,36 +141,78 @@ void Predicate::FilterRange(const std::vector<Condition>& conditions,
                             const std::vector<const ColumnVector*>& cols,
                             uint32_t begin, uint32_t end,
                             std::vector<uint32_t>* out) {
-  // Fast path: one typed comparison over a numeric column.
-  if (conditions.size() == 1) {
-    const Condition& c = conditions[0];
-    const ColumnVector& col = *cols[0];
-    if (col.type() == DataType::kInt64 && c.constant.is_int64()) {
-      if (FilterOneComparison(col.int64_data().data(), c.op,
-                              c.constant.int64(), begin, end, out)) {
-        return;
-      }
-    } else if (col.type() == DataType::kDouble && !c.constant.is_string()) {
-      if (FilterOneComparison(col.double_data().data(), c.op,
-                              c.constant.AsDouble(), begin, end, out)) {
-        return;
-      }
-    }
-  }
-  // Fast path: the sliding-window idiom `lo <= col < hi` on one int64 column.
+  if (begin >= end) return;
+  const size_t old = out->size();
+  const uint32_t range = end - begin;
+  const simd::KernelTable& kt = simd::ActiveKernels();
+
+  // Fused kernel for the sliding-window idiom `lo <= col < hi` on int64.
   if (conditions.size() == 2 && cols[0] == cols[1] &&
       cols[0]->type() == DataType::kInt64 &&
       conditions[0].op == CompareOp::kGe && conditions[1].op == CompareOp::kLt &&
       conditions[0].constant.is_int64() && conditions[1].constant.is_int64()) {
-    const int64_t* data = cols[0]->int64_data().data();
-    const int64_t lo = conditions[0].constant.int64();
-    const int64_t hi = conditions[1].constant.int64();
-    FilterTyped(
-        data, begin, end, [lo, hi](int64_t v) { return v >= lo && v < hi; },
-        out);
+    out->resize(old + range);
+    const uint32_t n = kt.filter_i64_range(
+        cols[0]->int64_data().data(), begin, end,
+        conditions[0].constant.int64(), conditions[1].constant.int64(),
+        out->data() + old);
+    out->resize(old + n);
     return;
   }
-  // General path: row-at-a-time conjunction.
+
+  // Kernel pipeline: seed the selection vector with the first typed
+  // condition's filter kernel, then narrow it in place — typed conditions
+  // through refine kernels, anything else row-at-a-time over the survivors.
+  size_t seed = conditions.size();
+  for (size_t i = 0; i < conditions.size(); ++i) {
+    if (KernelKindFor(conditions[i], *cols[i]) != KernelKind::kNone) {
+      seed = i;
+      break;
+    }
+  }
+  if (seed != conditions.size()) {
+    out->resize(old + range);
+    uint32_t* base = out->data() + old;
+    uint32_t n = 0;
+    {
+      const Condition& c = conditions[seed];
+      const ColumnVector& col = *cols[seed];
+      n = KernelKindFor(c, col) == KernelKind::kI64
+              ? kt.filter_i64_cmp(col.int64_data().data(), begin, end,
+                                  ToSimdCmp(c.op), c.constant.int64(), base)
+              : kt.filter_f64_cmp(col.double_data().data(), begin, end,
+                                  ToSimdCmp(c.op), c.constant.AsDouble(),
+                                  base);
+    }
+    for (size_t i = 0; i < conditions.size() && n > 0; ++i) {
+      if (i == seed) continue;
+      const Condition& c = conditions[i];
+      const ColumnVector& col = *cols[i];
+      switch (KernelKindFor(c, col)) {
+        case KernelKind::kI64:
+          n = kt.refine_i64_cmp(col.int64_data().data(), base, n,
+                                ToSimdCmp(c.op), c.constant.int64(), base);
+          break;
+        case KernelKind::kF64:
+          n = kt.refine_f64_cmp(col.double_data().data(), base, n,
+                                ToSimdCmp(c.op), c.constant.AsDouble(), base);
+          break;
+        case KernelKind::kNone: {
+          uint32_t kept = 0;
+          for (uint32_t j = 0; j < n; ++j) {
+            if (c.MatchesColumn(col, base[j])) base[kept++] = base[j];
+          }
+          n = kept;
+          break;
+        }
+      }
+    }
+    out->resize(old + n);
+    return;
+  }
+
+  // No typed condition (string predicates, int64-vs-double comparisons,
+  // empty predicates): row-at-a-time conjunction.
   for (uint32_t r = begin; r < end; ++r) {
     bool hit = true;
     for (size_t i = 0; i < conditions.size(); ++i) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "simd/simd.h"
 #include "storage/table.h"
 
 namespace exploredb {
@@ -14,6 +15,9 @@ namespace exploredb {
 enum class CompareOp { kLt, kLe, kGt, kGe, kEq, kNe };
 
 const char* CompareOpName(CompareOp op);
+
+/// Maps a predicate operator onto the SIMD kernel vocabulary.
+simd::Cmp ToSimdCmp(CompareOp op);
 
 /// `column <op> constant` — one conjunct of a selection predicate.
 struct Condition {

@@ -50,6 +50,29 @@ void BuildZones(const std::vector<T>& data, size_t zone_rows,
   }
 }
 
+/// Kernel-dispatched variant of BuildZones. Validate() deliberately keeps
+/// the std::min/std::max loop above as an independent oracle; the two agree
+/// under BoundsEqual because the kernels preserve NaN-skip/NaN-seed
+/// semantics and == ignores the sign of zero.
+template <typename T, typename MinMaxFn>
+void BuildZonesDispatched(const std::vector<T>& data, size_t zone_rows,
+                          MinMaxFn minmax, std::vector<T>* mins,
+                          std::vector<T>* maxes) {
+  const size_t n = data.size();
+  const size_t zones = (n + zone_rows - 1) / zone_rows;
+  mins->reserve(zones);
+  maxes->reserve(zones);
+  for (size_t z = 0; z < zones; ++z) {
+    const size_t begin = z * zone_rows;
+    const size_t end = std::min(n, begin + zone_rows);
+    T mn;
+    T mx;
+    minmax(data.data() + begin, end - begin, &mn, &mx);
+    mins->push_back(mn);
+    maxes->push_back(mx);
+  }
+}
+
 }  // namespace
 
 ZoneMap ZoneMap::Build(const ColumnVector& col, size_t zone_rows) {
@@ -57,12 +80,15 @@ ZoneMap ZoneMap::Build(const ColumnVector& col, size_t zone_rows) {
   zm.type_ = col.type();
   zm.zone_rows_ = std::max<size_t>(1, zone_rows);
   zm.num_rows_ = col.size();
+  const simd::KernelTable& kt = simd::ActiveKernels();
   switch (col.type()) {
     case DataType::kInt64:
-      BuildZones(col.int64_data(), zm.zone_rows_, &zm.min_i64_, &zm.max_i64_);
+      BuildZonesDispatched(col.int64_data(), zm.zone_rows_, kt.minmax_i64,
+                           &zm.min_i64_, &zm.max_i64_);
       break;
     case DataType::kDouble:
-      BuildZones(col.double_data(), zm.zone_rows_, &zm.min_dbl_, &zm.max_dbl_);
+      BuildZonesDispatched(col.double_data(), zm.zone_rows_, kt.minmax_f64,
+                           &zm.min_dbl_, &zm.max_dbl_);
       break;
     case DataType::kString:
       break;  // no synopsis: MayMatch stays conservative (always true)
@@ -194,6 +220,64 @@ Status ZoneMap::Validate(const ColumnVector* col) const {
     return ValidateZones(col->double_data(), zone_rows_, min_dbl_, max_dbl_);
   }
   return Status::OK();
+}
+
+namespace {
+
+/// Fraction of a uniform [mn, mx] population satisfying `v op k`.
+double UniformFraction(double mn, double mx, CompareOp op, double k) {
+  if (std::isnan(mn) || std::isnan(mx) || std::isnan(k)) return 1.0;
+  const double width = mx - mn;
+  // P(v < k) and P(v <= k); the two differ only by the point mass at k,
+  // which a capacity hint can ignore except in the degenerate zone.
+  const auto frac_lt = [&](bool inclusive) {
+    if (k < mn || (k == mn && !inclusive)) return 0.0;
+    if (k > mx || (k == mx && inclusive)) return 1.0;
+    return width > 0 ? (k - mn) / width : 0.5;
+  };
+  const auto frac_eq = [&] {
+    if (k < mn || k > mx) return 0.0;
+    return width > 0 ? 1.0 / (width + 1) : 1.0;
+  };
+  switch (op) {
+    case CompareOp::kLt:
+      return frac_lt(false);
+    case CompareOp::kLe:
+      return frac_lt(true);
+    case CompareOp::kGt:
+      return 1.0 - frac_lt(true);
+    case CompareOp::kGe:
+      return 1.0 - frac_lt(false);
+    case CompareOp::kEq:
+      return frac_eq();
+    case CompareOp::kNe:
+      return 1.0 - frac_eq();
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+double ZoneMap::EstimateSelectivity(const Condition& c) const {
+  if (type_ == DataType::kString || c.constant.is_string() || num_rows_ == 0) {
+    return 1.0;
+  }
+  const size_t zones = num_zones();
+  if (zones == 0) return 1.0;
+  const double k = c.constant.AsDouble();
+  double expected = 0;  // expected matching rows across all zones
+  for (size_t z = 0; z < zones; ++z) {
+    const size_t begin = z * zone_rows_;
+    const size_t rows = std::min(num_rows_, begin + zone_rows_) - begin;
+    const double mn = type_ == DataType::kInt64
+                          ? static_cast<double>(min_i64_[z])
+                          : min_dbl_[z];
+    const double mx = type_ == DataType::kInt64
+                          ? static_cast<double>(max_i64_[z])
+                          : max_dbl_[z];
+    expected += UniformFraction(mn, mx, c.op, k) * static_cast<double>(rows);
+  }
+  return std::clamp(expected / static_cast<double>(num_rows_), 0.0, 1.0);
 }
 
 std::optional<std::pair<int64_t, int64_t>> ZoneMap::Int64Range() const {

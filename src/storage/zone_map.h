@@ -43,6 +43,13 @@ class ZoneMap {
   /// empty or not int64). O(zones); feeds the dense group-by fast path.
   std::optional<std::pair<int64_t, int64_t>> Int64Range() const;
 
+  /// Estimated fraction of rows satisfying `c`, from the per-zone bounds
+  /// under a uniform-within-zone model. A capacity hint only (the executor
+  /// pre-sizes selection vectors with it), never a correctness input:
+  /// clamped to [0, 1] and 1.0 whenever the map cannot say (string columns
+  /// or constants, NaN-contaminated zones). O(zones).
+  double EstimateSelectivity(const Condition& c) const;
+
   /// Well-formedness: the zones exactly cover [0, num_rows) (zone count is
   /// ceil(num_rows / zone_rows)) and min <= max in every zone. When `col` is
   /// given, additionally recomputes each zone's bounds from the column and
