@@ -56,14 +56,14 @@ void Run() {
     if (!r.ok()) return;
     double abs_error = std::abs(r.ValueOrDie().scalar->value - truth);
     Row(fraction, ms, abs_error, r.ValueOrDie().scalar->ci_half_width,
-        r.ValueOrDie().rows_scanned);
+        r.ValueOrDie().stats().rows_scanned);
     bench::ReportJson(
         "aqp_sampled_avg", 1, ms * 1e6,
         {{"sample_fraction", fraction},
          {"abs_error", abs_error},
          {"ci_half_width", r.ValueOrDie().scalar->ci_half_width},
          {"rows_touched",
-          static_cast<double>(r.ValueOrDie().rows_scanned)}});
+          static_cast<double>(r.ValueOrDie().stats().rows_scanned)}});
   }
   Row(1.0, exact_ms, 0.0, 0.0, static_cast<uint64_t>(kRows));
   bench::ReportJson("aqp_exact_avg", 1, exact_ms * 1e6,

@@ -1,0 +1,144 @@
+// E23 — latency contracts under the budgeted planner [tutorial refs 6, 7].
+// AVG with a predicate over 10M rows at budgets from 10 ms to 500 ms: for
+// each budget, which plan the planner picks, what fraction of queries land
+// inside the contract, and the mean achieved relative error. The planner's
+// cost model self-calibrates, so each budget runs a few warm-up queries
+// before the measured sweep.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "engine/database.h"
+#include "engine/executor.h"
+#include "engine/planner.h"
+
+namespace exploredb {
+namespace {
+
+void Run() {
+  using bench::Row;
+  const size_t rows = bench::ScaledRows(10'000'000);
+  bench::Banner("E23", "budgeted planner: latency contracts (AVG over 10M)");
+
+  Schema schema({{"key", DataType::kInt64}, {"value", DataType::kDouble}});
+  Table t(schema);
+  t.Reserve(rows);
+  Random rng(41);
+  for (size_t i = 0; i < rows; ++i) {
+    t.mutable_column(0)->AppendInt64(rng.UniformInt(0, 999));
+    t.mutable_column(1)->AppendDouble(100 + rng.NextGaussian() * 25);
+  }
+  Database db;
+  if (!db.CreateTable("data", std::move(t)).ok()) return;
+  Executor exec(&db);
+
+  Query q = Query::On("data")
+                .Where(Predicate({{0, CompareOp::kLt, Value(int64_t{500})}}))
+                .Aggregate(AggKind::kAvg, "value");
+
+  // Exact reference (also warms the zone maps, so planning is O(zones)).
+  auto exact = exec.Execute(q);
+  if (!exact.ok()) return;
+  const double truth = exact.ValueOrDie().scalar->value;
+
+  Row("budget_ms", "met_fraction", "mean_latency_ms", "mean_rel_err",
+      "mean_achieved", "choice");
+  for (int budget_ms : {10, 50, 100, 500}) {
+    ExecContext ctx;
+    ctx.SetBudget({.latency = std::chrono::milliseconds(budget_ms),
+                   .target_error = 0.01});
+    // Warm-up: let the cost model calibrate to this machine before measuring.
+    for (int i = 0; i < 3; ++i) {
+      if (!exec.Execute(q, ctx).ok()) return;
+    }
+
+    const int reps = 10;
+    int met = 0;
+    double latency_ms_sum = 0, rel_err_sum = 0, achieved_sum = 0;
+    PlannerChoice last_choice = PlannerChoice::kNone;
+    Stopwatch timer;
+    for (int rep = 0; rep < reps; ++rep) {
+      timer.Restart();
+      auto r = exec.Execute(q, ctx);
+      const double ms = timer.ElapsedSeconds() * 1e3;
+      if (!r.ok()) return;
+      if (ms <= budget_ms) ++met;
+      latency_ms_sum += ms;
+      rel_err_sum +=
+          std::abs(r.ValueOrDie().scalar->value - truth) / std::abs(truth);
+      achieved_sum += r.ValueOrDie().stats().achieved_error;
+      last_choice = r.ValueOrDie().stats().planner_choice;
+    }
+    const double met_fraction = static_cast<double>(met) / reps;
+    Row(budget_ms, met_fraction, latency_ms_sum / reps, rel_err_sum / reps,
+        achieved_sum / reps, PlannerChoiceName(last_choice));
+    bench::ReportJson("deadline_budgeted_avg", reps,
+                      latency_ms_sum / reps * 1e6,
+                      {{"budget_ms", static_cast<double>(budget_ms)},
+                       {"met_fraction", met_fraction},
+                       {"mean_rel_err", rel_err_sum / reps},
+                       {"mean_achieved_error", achieved_sum / reps},
+                       {"rows", static_cast<double>(rows)}});
+  }
+}
+
+void RunProgressiveRefinement() {
+  using bench::Row;
+  const size_t rows = bench::ScaledRows(10'000'000);
+  bench::Banner("E23b", "progressive refinement: CI trajectory under budget");
+
+  Schema schema({{"key", DataType::kInt64}, {"value", DataType::kDouble}});
+  Table t(schema);
+  t.Reserve(rows);
+  Random rng(43);
+  for (size_t i = 0; i < rows; ++i) {
+    t.mutable_column(0)->AppendInt64(rng.UniformInt(0, 999));
+    t.mutable_column(1)->AppendDouble(100 + rng.NextGaussian() * 25);
+  }
+  Database db;
+  if (!db.CreateTable("stream", std::move(t)).ok()) return;
+  Executor exec(&db);
+  // Pin the exact plan out of reach so the sweep always measures the
+  // progressive path, independent of machine speed.
+  exec.planner().cost_model().SetExactNsPerRowForTest(1e9);
+
+  Query q = Query::On("stream")
+                .Where(Predicate({{0, CompareOp::kLt, Value(int64_t{500})}}))
+                .Aggregate(AggKind::kAvg, "value");
+
+  Row("budget_ms", "deliveries", "first_ci", "final_ci", "latency_ms");
+  for (int budget_ms : {10, 50, 100, 500}) {
+    ExecContext ctx;
+    ctx.SetBudget({.latency = std::chrono::milliseconds(budget_ms),
+                   .target_error = 0.0});
+    size_t deliveries = 0;
+    double first_ci = 0, final_ci = 0;
+    Stopwatch timer;
+    auto r = exec.ExecuteProgressive(
+        q, ctx, [&](const ProgressiveUpdate& u) {
+          if (deliveries == 0) first_ci = u.estimate.ci_half_width;
+          final_ci = u.estimate.ci_half_width;
+          ++deliveries;
+        });
+    const double ms = timer.ElapsedSeconds() * 1e3;
+    if (!r.ok()) return;
+    Row(budget_ms, deliveries, first_ci, final_ci, ms);
+    bench::ReportJson("deadline_progressive_avg", 1, ms * 1e6,
+                      {{"budget_ms", static_cast<double>(budget_ms)},
+                       {"deliveries", static_cast<double>(deliveries)},
+                       {"first_ci", first_ci},
+                       {"final_ci", final_ci}});
+  }
+}
+
+}  // namespace
+}  // namespace exploredb
+
+int main() {
+  exploredb::Run();
+  exploredb::RunProgressiveRefinement();
+  return 0;
+}

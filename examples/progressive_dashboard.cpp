@@ -1,0 +1,117 @@
+// Progressive dashboard: a tile refines from sample to exact under a budget.
+//
+// Every dashboard tile gets a latency contract — "show me *something* useful
+// within the budget, then keep refining". Session::ExecuteProgressive routes
+// the tile's query through the budgeted planner: a fresh cache hit answers
+// instantly, an exact plan that fits the budget answers exactly, and when
+// nothing exact fits, the planner degrades to an approximate plan (or streams
+// refining partials through the callback). The final delivery always equals
+// the returned result bit-identically, so the tile never flickers to a
+// different number at the end.
+//
+// The render loop below is the interactive-dashboard idiom: paint the tile
+// approximately inside the interactive budget, then backfill it exactly
+// under a relaxed contract once the user's attention is elsewhere.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/progressive_dashboard
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "common/random.h"
+#include "engine/database.h"
+#include "engine/query.h"
+#include "engine/session.h"
+
+using namespace exploredb;
+
+namespace {
+
+// One repaint of the tile: value ± CI, tightening delivery to delivery.
+void Render(const ProgressiveUpdate& u) {
+  std::printf("  #%-8llu %-14.4f %-12.4f %-10llu %s\n",
+              static_cast<unsigned long long>(u.sequence), u.estimate.value,
+              u.estimate.ci_half_width,
+              static_cast<unsigned long long>(u.stats.rows_scanned),
+              u.final ? "final" : "refining...");
+}
+
+void Describe(const QueryResult& r) {
+  std::printf("  planner: %s (considered %u plans, promised err %.4f, "
+              "achieved %.4f)%s\n\n",
+              PlannerChoiceName(r.stats().planner_choice),
+              r.stats().plans_considered, r.stats().promised_error,
+              r.stats().achieved_error,
+              r.approximate ? "  [approximate]" : "  [exact]");
+}
+
+}  // namespace
+
+int main() {
+  // ---- 1. A metrics table big enough that exactness has a price -----------
+  Schema schema({{"region", DataType::kInt64},
+                 {"revenue", DataType::kDouble}});
+  Table sales(schema);
+  Random rng(17);
+  constexpr int64_t kRows = 8'000'000;
+  sales.Reserve(kRows);
+  for (int64_t i = 0; i < kRows; ++i) {
+    sales.mutable_column(0)->AppendInt64(rng.UniformInt(0, 49));
+    sales.mutable_column(1)->AppendDouble(100 + rng.NextGaussian() * 30);
+  }
+  Database db;
+  if (auto st = db.CreateTable("sales", std::move(sales)); !st.ok()) {
+    std::printf("%s\n", st.ToString().c_str());
+    return 1;
+  }
+  Session session(&db);
+
+  // ---- 2. The dashboard tile: AVG(revenue) in regions 0..24 ---------------
+  QueryBuilder tile = Query::From("sales")
+                          .Where("region", CompareOp::kLt, Value(int64_t{25}))
+                          .Aggregate(AggKind::kAvg, "revenue");
+  std::printf("tile: AVG(revenue) WHERE region < 25  (%lld rows)\n\n",
+              static_cast<long long>(kRows));
+
+  // ---- 3. Interactive paint: 8 ms contract --------------------------------
+  // An exact scan of 8M rows cannot meet 8 ms, so the planner degrades to a
+  // budget-sized sample: the tile shows a value ± CI almost immediately.
+  std::printf("paint pass   [budget 8 ms, target error 0.5%%]\n");
+  std::printf("  %-9s %-14s %-12s %-10s %s\n", "delivery", "value", "±CI",
+              "rows", "state");
+  auto paint = session.ExecuteProgressive(
+      tile,
+      {.latency = std::chrono::milliseconds(8), .target_error = 0.005},
+      Render);
+  if (!paint.ok()) {
+    std::printf("%s\n", paint.status().ToString().c_str());
+    return 1;
+  }
+  Describe(paint.ValueOrDie());
+
+  // ---- 4. Refine pass: the contract relaxes, the tile turns exact ---------
+  // With the user's attention elsewhere the dashboard affords 2 s; the exact
+  // plan now fits, and the tile's final state is the true answer.
+  std::printf("refine pass  [budget 2 s]\n");
+  std::printf("  %-9s %-14s %-12s %-10s %s\n", "delivery", "value", "±CI",
+              "rows", "state");
+  auto refine = session.ExecuteProgressive(
+      tile, {.latency = std::chrono::seconds(2)}, Render);
+  if (!refine.ok()) {
+    std::printf("%s\n", refine.status().ToString().c_str());
+    return 1;
+  }
+  Describe(refine.ValueOrDie());
+
+  const Estimate& approx = *paint.ValueOrDie().scalar;
+  const Estimate& exact = *refine.ValueOrDie().scalar;
+  std::printf("sample said %.4f ± %.4f; the exact answer %.4f %s inside "
+              "the interval\n",
+              approx.value, approx.ci_half_width, exact.value,
+              std::abs(exact.value - approx.value) <= approx.ci_half_width
+                  ? "landed"
+                  : "fell outside");
+  return 0;
+}

@@ -75,7 +75,7 @@ int main() {
     std::printf("  ra [%5lld, %5lld): %6zu objects, %8llu rows touched%s\n",
                 static_cast<long long>(lo), static_cast<long long>(lo + 1000),
                 r.ValueOrDie().positions.size(),
-                static_cast<unsigned long long>(r.ValueOrDie().rows_scanned),
+                static_cast<unsigned long long>(r.ValueOrDie().stats().rows_scanned),
                 r.ValueOrDie().from_cache ? "  [cache hit]" : "");
   }
   std::printf("cache hit rate: %.2f, speculative queries run: %llu\n\n",
@@ -94,7 +94,7 @@ int main() {
                 avg.ValueOrDie().scalar->value,
                 avg.ValueOrDie().scalar->ci_half_width,
                 static_cast<unsigned long long>(
-                    avg.ValueOrDie().rows_scanned));
+                    avg.ValueOrDie().stats().rows_scanned));
   }
 
   // -- Explore-by-example: find the transient cluster ------------------------

@@ -104,7 +104,7 @@ int main() {
   for (size_t i = 0; i < t.results.size(); ++i) {
     std::printf("  %-70s -> %.1f h (rows touched: %llu%s)\n",
                 t.executed_sql[i].c_str(), t.results[i].scalar->value,
-                static_cast<unsigned long long>(t.results[i].rows_scanned),
+                static_cast<unsigned long long>(t.results[i].stats().rows_scanned),
                 t.results[i].from_cache ? ", cached" : "");
   }
   std::printf(

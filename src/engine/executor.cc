@@ -11,6 +11,7 @@
 #include "common/random.h"
 #include "common/trace.h"
 #include "engine/group_by.h"
+#include "engine/planner.h"
 #include "sampling/sampler.h"
 #include "simd/simd.h"
 #include "storage/zone_map.h"
@@ -208,6 +209,11 @@ bool PerQueryValidationEnabled() {
 }
 
 }  // namespace
+
+Executor::Executor(Database* db)
+    : db_(db), planner_(std::make_unique<Planner>(db, this)) {}
+
+Executor::~Executor() = default;
 
 std::optional<Executor::RangePlan> Executor::ExtractRange(
     const Predicate& pred, const Schema& schema, TableEntry* entry) {
@@ -542,6 +548,11 @@ Result<Estimate> Executor::ScanAggregate(TableEntry* entry,
 
 Result<QueryResult> Executor::Execute(const Query& query,
                                       const ExecContext& ctx) {
+  // Budgeted queries route through the planner, which resolves to a concrete
+  // mode and re-enters this function (or runs its own progressive loop).
+  if (ctx.options().mode == ExecutionMode::kBudgeted) {
+    return planner_->Execute(query, ctx, nullptr);
+  }
   const bool tracing = ctx.tracing();
   ExecStats stats;
   TraceSpan query_span("query", tracing, &stats.total_nanos);
@@ -559,6 +570,7 @@ Result<QueryResult> Executor::Execute(const Query& query,
       mode = query.where().empty() ? ExecutionMode::kScan
                                    : ExecutionMode::kCracking;
     }
+    stats.resolved_mode = mode;
   }
   // Cancellation aborts every path, but an expired deadline still admits
   // online aggregation: its contract is to answer with the current estimate
@@ -573,8 +585,6 @@ Result<QueryResult> Executor::Execute(const Query& query,
         QueryResult result, ExecuteAggregate(entry, query, mode, ctx, &stats));
     query_span.Stop();  // finalize total_nanos before publishing stats
     result.exec_stats = stats;
-    result.rows_scanned = stats.rows_scanned;
-    result.exec_micros = stats.total_nanos / 1000;
     RecordQueryMetrics(stats);
     if (PerQueryValidationEnabled()) CHECK_OK(entry->ValidateAdaptiveState());
     return result;
@@ -611,8 +621,6 @@ Result<QueryResult> Executor::Execute(const Query& query,
   }
   query_span.Stop();
   result.exec_stats = stats;
-  result.rows_scanned = stats.rows_scanned;
-  result.exec_micros = stats.total_nanos / 1000;
   RecordQueryMetrics(stats);
   // Abort at the corruption site, with the violated invariant in the
   // message, rather than let a malformed index serve the next query.
@@ -626,6 +634,14 @@ Result<QueryResult> Executor::Execute(const QueryBuilder& builder,
                              db_->GetTable(builder.table()));
   EXPLOREDB_ASSIGN_OR_RETURN(Query query, builder.Build(entry->schema()));
   return Execute(query, ctx);
+}
+
+Result<QueryResult> Executor::ExecuteProgressive(
+    const Query& query, const ExecContext& ctx,
+    const ProgressiveCallback& callback) {
+  ExecContext budgeted = ctx;
+  budgeted.options().mode = ExecutionMode::kBudgeted;
+  return planner_->Execute(query, budgeted, &callback);
 }
 
 Result<QueryResult> Executor::ExecuteAggregate(TableEntry* entry,

@@ -2,6 +2,7 @@
 #define EXPLOREDB_ENGINE_EXECUTOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -10,6 +11,8 @@
 #include "engine/query.h"
 
 namespace exploredb {
+
+class Planner;
 
 /// Executes declarative queries against a Database under a chosen execution
 /// mode. The executor is where the tutorial's layers meet: selection paths
@@ -24,7 +27,8 @@ namespace exploredb {
 /// returns an ExecStats breakdown inside its QueryResult.
 class Executor {
  public:
-  explicit Executor(Database* db) : db_(db) {}
+  explicit Executor(Database* db);
+  ~Executor();
 
   /// Runs `query` under `ctx` (options, deadline, cancellation, pool).
   /// Selections yield positions + projected rows; aggregates yield an
@@ -32,12 +36,25 @@ class Executor {
   /// kCancelled; an expired deadline fails with kDeadlineExceeded, except in
   /// online-aggregation mode, where the running estimate is returned as an
   /// approximate answer (the AQP contract: a deadline bounds refinement, not
-  /// correctness).
+  /// correctness). ExecutionMode::kBudgeted routes through the planner,
+  /// which picks the cheapest plan expected to meet ctx.options().budget.
   Result<QueryResult> Execute(const Query& query, const ExecContext& ctx = {});
 
   /// Resolves a name-based QueryBuilder against the catalog, then executes.
   Result<QueryResult> Execute(const QueryBuilder& builder,
                               const ExecContext& ctx = {});
+
+  /// Budgeted execution with progressive refinement: the planner streams
+  /// refining partial answers (monotonically shrinking CIs) through
+  /// `callback` until the budget's deadline, then returns the best answer —
+  /// whose final delivery it equals bit-identically. `ctx.options().budget`
+  /// carries the contract (mode is forced to kBudgeted).
+  Result<QueryResult> ExecuteProgressive(const Query& query,
+                                         const ExecContext& ctx,
+                                         const ProgressiveCallback& callback);
+
+  /// The budgeted planner (exposed for calibration inspection and tests).
+  Planner& planner() { return *planner_; }
 
  private:
   /// An int64 range [lo, hi) extracted from a predicate, plus the conjuncts
@@ -87,6 +104,7 @@ class Executor {
                                        ExecStats* stats);
 
   Database* db_;
+  std::unique_ptr<Planner> planner_;  // owned; defined in planner.h
 };
 
 }  // namespace exploredb

@@ -1,0 +1,615 @@
+#include "engine/planner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "engine/database.h"
+#include "engine/executor.h"
+#include "sampling/estimators.h"
+#include "sampling/online_agg.h"
+#include "simd/simd.h"
+#include "storage/zone_map.h"
+
+namespace exploredb {
+
+namespace {
+
+// Planner observability: one counter per lattice rung plus contract
+// accounting, so a dashboard can answer "what fraction of budgeted queries
+// met their contract, and which plans carried the load".
+Counter* PlannerQueriesCounter() {
+  static Counter* c = Metrics().GetCounter(
+      "exploredb_planner_queries_total", "Queries routed through the planner");
+  return c;
+}
+
+Counter* PlansConsideredCounter() {
+  static Counter* c = Metrics().GetCounter(
+      "exploredb_planner_plans_considered_total",
+      "Candidate plans costed by the planner");
+  return c;
+}
+
+Counter* PlannerChoiceCounter(PlannerChoice choice) {
+  static Counter* cache = Metrics().GetCounter(
+      "exploredb_planner_choice_cache_total",
+      "Budgeted queries served from the result cache");
+  static Counter* exact = Metrics().GetCounter(
+      "exploredb_planner_choice_exact_total",
+      "Budgeted queries answered by an exact plan");
+  static Counter* sample = Metrics().GetCounter(
+      "exploredb_planner_choice_sample_total",
+      "Budgeted queries answered by a uniform-sample estimate");
+  static Counter* online = Metrics().GetCounter(
+      "exploredb_planner_choice_online_total",
+      "Budgeted queries answered by progressive online aggregation");
+  switch (choice) {
+    case PlannerChoice::kCache:
+      return cache;
+    case PlannerChoice::kSample:
+      return sample;
+    case PlannerChoice::kOnline:
+      return online;
+    case PlannerChoice::kExact:
+    case PlannerChoice::kNone:
+      break;
+  }
+  return exact;
+}
+
+Counter* BudgetMetCounter() {
+  static Counter* c = Metrics().GetCounter(
+      "exploredb_planner_budget_met_total",
+      "Budgeted queries whose wall time stayed within their latency budget");
+  return c;
+}
+
+Counter* BudgetMissedCounter() {
+  static Counter* c = Metrics().GetCounter(
+      "exploredb_planner_budget_missed_total",
+      "Budgeted queries whose wall time exceeded their latency budget");
+  return c;
+}
+
+Counter* ExactRescueCounter() {
+  static Counter* c = Metrics().GetCounter(
+      "exploredb_planner_exact_rescues_total",
+      "Exact plans that blew their deadline and were rescued by a sample");
+  return c;
+}
+
+Counter* DeliveriesCounter() {
+  static Counter* c = Metrics().GetCounter(
+      "exploredb_planner_progressive_deliveries_total",
+      "Progressive refinement deliveries streamed to callbacks");
+  return c;
+}
+
+// Engine-level series shared with the executor (the registry dedups by
+// name): the planner's own progressive path bypasses Executor::Execute, so
+// it folds its queries into the same totals here.
+void RecordEngineQueryMetrics(const ExecStats& stats) {
+  static Counter* queries = Metrics().GetCounter(
+      "exploredb_queries_total", "Queries executed by the engine");
+  static Histogram* latency = Metrics().GetHistogram(
+      "exploredb_query_latency_ns", {}, "End-to-end query latency (ns)");
+  static Counter* rows = Metrics().GetCounter(
+      "exploredb_rows_scanned_total", "Row visits across all query phases");
+  static Counter* morsels = Metrics().GetCounter(
+      "exploredb_morsels_dispatched_total",
+      "Parallel work units issued by the executor");
+  queries->Add();
+  latency->Record(stats.total_nanos);
+  rows->Add(stats.rows_scanned);
+  morsels->Add(stats.morsels_dispatched);
+}
+
+/// Relative error of an estimate: CI half-width over |value|, with a floor
+/// on the denominator so zero-valued answers don't divide by zero.
+double RelativeError(const Estimate& e) {
+  if (e.ci_half_width == 0.0) return 0.0;
+  return e.ci_half_width / std::max(std::abs(e.value), 1e-12);
+}
+
+/// Smallest sample the approximate rescue paths will run: below this the CLT
+/// machinery has nothing to work with.
+constexpr uint64_t kMinSampleRows = 256;
+
+/// Fraction of the remaining budget a plan's cost estimate may fill. The
+/// slack absorbs cost-model error in the direction that matters: a plan that
+/// "just fits" on paper should still land inside the contract.
+constexpr double kBudgetHeadroom = 0.8;
+
+double EwmaUpdate(double current, double observed, double alpha) {
+  return current + alpha * (observed - current);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CostModel
+// ---------------------------------------------------------------------------
+
+double CostModel::ExactCostNs(uint64_t rows) const {
+  MutexLock lock(mu_);
+  return static_cast<double>(rows) * exact_ns_per_row_;
+}
+
+double CostModel::SampleCostNs(uint64_t rows) const {
+  MutexLock lock(mu_);
+  return static_cast<double>(rows) * sample_ns_per_row_;
+}
+
+double CostModel::OnlineCostNs(uint64_t rows, uint64_t consumed) const {
+  MutexLock lock(mu_);
+  return static_cast<double>(rows) * online_build_ns_per_row_ +
+         static_cast<double>(consumed) * online_ns_per_row_;
+}
+
+double CostModel::PredictRelativeError(uint64_t sample_rows,
+                                       double confidence) const {
+  MutexLock lock(mu_);
+  if (sample_rows == 0) return 1.0;
+  return ZScore(confidence) * cv_ /
+         std::sqrt(static_cast<double>(sample_rows));
+}
+
+uint64_t CostModel::OnlineRowsWithin(double ns, uint64_t rows) const {
+  MutexLock lock(mu_);
+  double build = static_cast<double>(rows) * online_build_ns_per_row_;
+  if (ns <= build || online_ns_per_row_ <= 0) return 0;
+  double consumable = (ns - build) / online_ns_per_row_;
+  return static_cast<uint64_t>(
+      std::min(consumable, static_cast<double>(rows)));
+}
+
+void CostModel::ObserveExact(uint64_t rows, int64_t nanos) {
+  if (rows == 0 || nanos <= 0) return;
+  MutexLock lock(mu_);
+  exact_ns_per_row_ = EwmaUpdate(
+      exact_ns_per_row_,
+      static_cast<double>(nanos) / static_cast<double>(rows), kAlpha);
+}
+
+void CostModel::ObserveSample(uint64_t rows, int64_t nanos) {
+  if (rows == 0 || nanos <= 0) return;
+  MutexLock lock(mu_);
+  sample_ns_per_row_ = EwmaUpdate(
+      sample_ns_per_row_,
+      static_cast<double>(nanos) / static_cast<double>(rows), kAlpha);
+}
+
+void CostModel::ObserveOnline(uint64_t rows, uint64_t consumed,
+                              int64_t nanos) {
+  if (rows == 0 || nanos <= 0) return;
+  MutexLock lock(mu_);
+  // Attribute the wall time across build and consumption with the current
+  // split, then nudge both rates toward the observation. Crude, but it only
+  // has to keep the estimates within a small factor of reality.
+  double build_share = static_cast<double>(rows) * online_build_ns_per_row_;
+  double consume_share = static_cast<double>(consumed) * online_ns_per_row_;
+  double total_share = build_share + consume_share;
+  if (total_share <= 0) return;
+  double scale = static_cast<double>(nanos) / total_share;
+  online_build_ns_per_row_ =
+      EwmaUpdate(online_build_ns_per_row_,
+                 online_build_ns_per_row_ * scale, kAlpha);
+  online_ns_per_row_ =
+      EwmaUpdate(online_ns_per_row_, online_ns_per_row_ * scale, kAlpha);
+}
+
+void CostModel::ObserveRelativeError(double relative_error,
+                                     uint64_t sample_rows, double confidence) {
+  if (sample_rows == 0 || relative_error <= 0) return;
+  double z = ZScore(confidence);
+  if (z <= 0) return;
+  MutexLock lock(mu_);
+  double observed_cv =
+      relative_error * std::sqrt(static_cast<double>(sample_rows)) / z;
+  cv_ = EwmaUpdate(cv_, observed_cv, kAlpha);
+}
+
+void CostModel::SetExactNsPerRowForTest(double ns_per_row) {
+  MutexLock lock(mu_);
+  exact_ns_per_row_ = ns_per_row;
+}
+
+double CostModel::exact_ns_per_row() const {
+  MutexLock lock(mu_);
+  return exact_ns_per_row_;
+}
+
+// ---------------------------------------------------------------------------
+// Planner
+// ---------------------------------------------------------------------------
+
+Result<Planner::ScanEstimate> Planner::EstimateScan(TableEntry* entry,
+                                                    const Query& query,
+                                                    uint64_t n) {
+  ScanEstimate est;
+  est.live_rows = n;
+  if (n == 0 || query.where().empty()) return est;
+  const Schema& schema = entry->schema();
+  std::vector<std::pair<const ZoneMap*, const Condition*>> pruners;
+  for (const Condition& c : query.where().conjuncts()) {
+    if (c.column >= schema.num_fields()) continue;
+    if (schema.field(c.column).type == DataType::kString) continue;
+    if (c.constant.is_string()) continue;
+    EXPLOREDB_ASSIGN_OR_RETURN(const ZoneMap* zm, entry->GetZoneMap(c.column));
+    pruners.emplace_back(zm, &c);
+    est.selectivity *= zm->EstimateSelectivity(c);
+  }
+  if (pruners.empty()) return est;
+  // Count the rows of zones every conjunct may match — what a pruned scan
+  // will actually touch (building the zone map is a one-time O(n) cost the
+  // first budgeted query pays; afterwards planning is O(zones)).
+  const size_t zone = pruners.front().first->zone_rows();
+  uint64_t live = 0;
+  for (uint64_t begin = 0; begin < n; begin += zone) {
+    const auto end = static_cast<uint32_t>(std::min<uint64_t>(n, begin + zone));
+    bool may = true;
+    for (const auto& [zm, c] : pruners) {
+      if (!zm->MayMatch(*c, static_cast<uint32_t>(begin), end)) {
+        may = false;
+        break;
+      }
+    }
+    if (may) live += end - begin;
+  }
+  est.live_rows = live;
+  return est;
+}
+
+Result<QueryResult> Planner::Execute(const Query& query, const ExecContext& ctx,
+                                     const ProgressiveCallback* callback) {
+  if (ctx.cancelled()) return Status::Cancelled("query cancelled");
+  const bool tracing = ctx.tracing();
+  const LatencyBudget& budget = ctx.options().budget;
+  const auto start = std::chrono::steady_clock::now();
+  // The budget anchors at plan time; an explicit earlier deadline still wins.
+  auto deadline = start + budget.latency;
+  if (ctx.has_deadline() && *ctx.deadline() < deadline) {
+    deadline = *ctx.deadline();
+  }
+  const double budget_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(deadline - start)
+          .count());
+
+  PlannerQueriesCounter()->Add();
+
+  // ---- Plan: cost the lattice with what the engine already knows ----------
+  int64_t planner_nanos = 0;
+  ExecStats planned;  // planner fields filled here, execution fills the rest
+  {
+    TraceSpan plan_span("planner", tracing, &planner_nanos);
+    EXPLOREDB_ASSIGN_OR_RETURN(TableEntry * entry, db_->GetTable(query.table()));
+    EXPLOREDB_ASSIGN_OR_RETURN(size_t num_rows, entry->NumRows());
+    const auto n = static_cast<uint64_t>(num_rows);
+    const bool scalar_agg =
+        query.aggregate().has_value() && !query.group_by().has_value();
+    const bool grouped = query.group_by().has_value();
+
+    EXPLOREDB_ASSIGN_OR_RETURN(ScanEstimate scan, EstimateScan(entry, query, n));
+
+    // Rung 2: pruned exact scan. Always costed; cache (rung 1) is consulted
+    // by the Session before the planner runs.
+    uint32_t plans = 1;
+    const double exact_cost = cost_model_.ExactCostNs(scan.live_rows);
+    const bool exact_fits = exact_cost <= budget_ns * kBudgetHeadroom;
+
+    // Rung 3: uniform-sample estimate sized to the budget (the row-at-a-time
+    // sampled path is priced separately from the vectorized scan).
+    uint64_t sample_rows = 0;
+    double sample_fraction = 0.0;
+    double sample_promise = 1.0;
+    if ((scalar_agg || grouped) && n > 0) {
+      ++plans;
+      const double affordable =
+          budget_ns * kBudgetHeadroom / cost_model_.SampleCostNs(1);
+      sample_rows = static_cast<uint64_t>(
+          std::min(affordable, static_cast<double>(n) / 2.0));
+      sample_fraction =
+          static_cast<double>(sample_rows) / static_cast<double>(n);
+      const auto matching = static_cast<uint64_t>(
+          std::max(1.0, static_cast<double>(sample_rows) * scan.selectivity));
+      sample_promise =
+          cost_model_.PredictRelativeError(matching, budget.confidence);
+    }
+    const bool sample_feasible = sample_rows >= kMinSampleRows;
+
+    // Rung 4: online aggregation — pay an O(n) input build, then refine until
+    // the deadline. Only scalar aggregates have an anytime estimator.
+    uint64_t online_rows = 0;
+    double online_promise = 1.0;
+    if (scalar_agg && n > 0) {
+      ++plans;
+      online_rows = cost_model_.OnlineRowsWithin(budget_ns * kBudgetHeadroom, n);
+      if (online_rows > 0) {
+        const auto matching = static_cast<uint64_t>(std::max(
+            1.0, static_cast<double>(online_rows) * scan.selectivity));
+        online_promise =
+            cost_model_.PredictRelativeError(matching, budget.confidence);
+      }
+    }
+    const bool online_feasible = scalar_agg && online_rows > 0;
+
+    // ---- Choose ------------------------------------------------------------
+    PlannerChoice choice = PlannerChoice::kExact;
+    double promised = 0.0;
+    if (!exact_fits && scalar_agg) {
+      const bool sample_meets_target =
+          sample_feasible && sample_promise <= budget.target_error;
+      if (callback != nullptr && online_feasible) {
+        // Progressive refinement was requested: stream online-agg partials.
+        choice = PlannerChoice::kOnline;
+        promised = online_promise;
+      } else if (sample_meets_target) {
+        choice = PlannerChoice::kSample;
+        promised = sample_promise;
+      } else if (online_feasible && online_promise < sample_promise) {
+        choice = PlannerChoice::kOnline;
+        promised = online_promise;
+      } else if (sample_feasible) {
+        choice = PlannerChoice::kSample;
+        promised = sample_promise;
+      } else if (online_feasible) {
+        choice = PlannerChoice::kOnline;
+        promised = online_promise;
+      } else {
+        // Nothing fits (hopeless budget): answer anyway from the smallest
+        // meaningful sample — an approximate answer beats a failure.
+        choice = PlannerChoice::kSample;
+        sample_rows = std::min<uint64_t>(std::max(n / 2, uint64_t{1}),
+                                         kMinSampleRows);
+        sample_fraction =
+            static_cast<double>(sample_rows) / static_cast<double>(n);
+        promised = cost_model_.PredictRelativeError(
+            static_cast<uint64_t>(std::max(
+                1.0, static_cast<double>(sample_rows) * scan.selectivity)),
+            budget.confidence);
+      }
+    } else if (!exact_fits && grouped && sample_feasible) {
+      choice = PlannerChoice::kSample;
+      promised = sample_promise;
+    }
+    // Selections (and everything else without an approximate rung) run exact:
+    // a position list has no anytime estimator, so the budget only informs
+    // the deadline.
+
+    planned.planner_choice = choice;
+    planned.plans_considered = plans;
+    planned.promised_error = promised;
+    PlansConsideredCounter()->Add(plans);
+    plan_span.Stop();
+
+    // ---- Run the chosen plan ----------------------------------------------
+    Result<QueryResult> run = Status::Internal("planner: no plan executed");
+    bool rescued = false;
+    switch (choice) {
+      case PlannerChoice::kExact: {
+        ExecContext sub = ctx;
+        sub.SetMode(ExecutionMode::kAuto);
+        sub.SetDeadline(deadline);
+        run = executor_->Execute(query, sub);
+        if (!run.ok() && run.status().code() == StatusCode::kDeadlineExceeded &&
+            (scalar_agg || grouped)) {
+          // The cost model was wrong and the exact plan blew its deadline:
+          // degrade to a small sample rather than fail the contract. Feed
+          // the blown attempt back into the exact rate (elapsed wall over
+          // estimated live rows underestimates the true rate, but each
+          // rescue pushes the estimate up until exact stops being chosen).
+          rescued = true;
+          ExactRescueCounter()->Add();
+          cost_model_.ObserveExact(
+              scan.live_rows,
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - start)
+                  .count());
+          ExecContext rescue = ctx;
+          rescue.SetMode(ExecutionMode::kSampled);
+          rescue.options().sample_fraction =
+              n == 0 ? 1.0
+                     : std::min(1.0, static_cast<double>(kMinSampleRows) /
+                                         static_cast<double>(n));
+          rescue.options().confidence = budget.confidence;
+          rescue.ClearDeadline();
+          run = executor_->Execute(query, rescue);
+        }
+        break;
+      }
+      case PlannerChoice::kSample: {
+        ExecContext sub = ctx;
+        sub.SetMode(ExecutionMode::kSampled);
+        sub.options().sample_fraction = sample_fraction;
+        sub.options().confidence = budget.confidence;
+        // The planner owns the deadline for approximate plans: the sampled
+        // path was sized to the budget, and failing it at the line would
+        // discard a usable answer.
+        sub.ClearDeadline();
+        run = executor_->Execute(query, sub);
+        break;
+      }
+      case PlannerChoice::kOnline: {
+        EXPLOREDB_ASSIGN_OR_RETURN(
+            QueryResult progressive,
+            RunProgressive(entry, query, ctx, deadline, callback, planned));
+        progressive.exec_stats.plan_nanos += planner_nanos;
+        progressive.exec_stats.total_nanos += planner_nanos;
+        const auto wall = std::chrono::steady_clock::now() - start;
+        (wall <= budget.latency ? BudgetMetCounter() : BudgetMissedCounter())
+            ->Add();
+        PlannerChoiceCounter(PlannerChoice::kOnline)->Add();
+        cost_model_.ObserveOnline(
+            n, progressive.exec_stats.rows_scanned,
+            progressive.exec_stats.total_nanos - planner_nanos);
+        if (progressive.scalar.has_value()) {
+          cost_model_.ObserveRelativeError(
+              progressive.exec_stats.achieved_error,
+              progressive.scalar->sample_size, budget.confidence);
+        }
+        return progressive;
+      }
+      case PlannerChoice::kCache:
+      case PlannerChoice::kNone:
+        return Status::Internal("planner: unreachable choice");
+    }
+    if (!run.ok()) return run.status();
+    QueryResult result = std::move(run).ValueOrDie();
+
+    // Overlay planner provenance on the sub-execution's stats.
+    ExecStats& stats = result.exec_stats;
+    stats.planner_choice = rescued ? PlannerChoice::kSample : choice;
+    stats.plans_considered = planned.plans_considered;
+    stats.promised_error = planned.promised_error;
+    stats.plan_nanos += planner_nanos;
+    stats.total_nanos += planner_nanos;
+    if (result.scalar.has_value()) {
+      stats.achieved_error = RelativeError(*result.scalar);
+      if (result.approximate) {
+        cost_model_.ObserveRelativeError(stats.achieved_error,
+                                         result.scalar->sample_size,
+                                         budget.confidence);
+      }
+    } else if (!result.groups.empty()) {
+      // Grouped answers promise their worst group.
+      double worst = 0.0;
+      for (const GroupValue& g : result.groups) {
+        worst = std::max(worst, RelativeError(g.value));
+      }
+      stats.achieved_error = worst;
+    }
+    if (stats.planner_choice == PlannerChoice::kExact) {
+      cost_model_.ObserveExact(stats.rows_scanned,
+                               stats.total_nanos - planner_nanos);
+    } else if (stats.planner_choice == PlannerChoice::kSample) {
+      cost_model_.ObserveSample(stats.rows_scanned,
+                                stats.total_nanos - planner_nanos);
+    }
+    PlannerChoiceCounter(stats.planner_choice)->Add();
+    const auto wall = std::chrono::steady_clock::now() - start;
+    (wall <= budget.latency ? BudgetMetCounter() : BudgetMissedCounter())
+        ->Add();
+
+    // A single-shot delivery keeps the progressive contract for plans that
+    // produce their answer all at once: the final update always equals the
+    // returned result.
+    if (callback != nullptr) {
+      ProgressiveUpdate update;
+      if (result.scalar.has_value()) update.estimate = *result.scalar;
+      update.stats = stats;
+      update.sequence = 0;
+      update.final = true;
+      (*callback)(update);
+      DeliveriesCounter()->Add();
+    }
+    return result;
+  }
+}
+
+Result<QueryResult> Planner::RunProgressive(
+    TableEntry* entry, const Query& query, const ExecContext& ctx,
+    std::chrono::steady_clock::time_point deadline,
+    const ProgressiveCallback* callback, ExecStats stats) {
+  const bool tracing = ctx.tracing();
+  const LatencyBudget& budget = ctx.options().budget;
+  TraceSpan query_span("query", tracing, &stats.total_nanos);
+  stats.path = AccessPath::kOnline;
+  stats.resolved_mode = ExecutionMode::kOnline;
+  stats.simd_path = simd::ActivePath();
+
+  const AggregateExpr& agg = *query.aggregate();
+  const ColumnVector* measure = nullptr;
+  if (!agg.column.empty()) {
+    EXPLOREDB_ASSIGN_OR_RETURN(size_t idx,
+                               entry->schema().FieldIndex(agg.column));
+    EXPLOREDB_ASSIGN_OR_RETURN(measure, entry->GetColumn(idx));
+    if (measure->type() == DataType::kString) {
+      return Status::InvalidArgument("aggregate over string column '" +
+                                     agg.column + "'");
+    }
+  } else if (agg.kind != AggKind::kCount) {
+    return Status::InvalidArgument("only COUNT may omit the column");
+  }
+  EXPLOREDB_ASSIGN_OR_RETURN(size_t n, entry->NumRows());
+
+  // Materialize the predicate mask + widened measure (one worker per
+  // partition), then consume batches in random order, delivering the running
+  // estimate whenever its CI improved on the best delivered so far — that
+  // filter is what makes the delivery stream monotone by construction.
+  TraceSpan select_span("select", tracing, &stats.select_nanos);
+  const std::vector<Condition>& conds = query.where().conjuncts();
+  std::vector<const ColumnVector*> cols;
+  cols.reserve(conds.size());
+  for (const Condition& c : conds) {
+    EXPLOREDB_ASSIGN_OR_RETURN(const ColumnVector* col,
+                               entry->GetColumn(c.column));
+    cols.push_back(col);
+  }
+  OnlineInput input = BuildOnlineInput(
+      conds, cols, measure, n, ctx.thread_pool(),
+      std::max<size_t>(1, ctx.morsel_size()), &stats.morsels_dispatched,
+      &stats.threads_used);
+  select_span.Stop();
+
+  TraceSpan agg_span("aggregate", tracing, &stats.aggregate_nanos);
+  OnlineAggregator runner(std::move(input.values), std::move(input.mask),
+                          agg.kind);
+  const size_t batch = std::max<size_t>(n / 100, 64);
+  Estimate best;
+  bool have_best = false;
+  uint64_t sequence = 0;
+  while (!runner.done()) {
+    if (ctx.cancelled()) return Status::Cancelled("query cancelled");
+    // Always consume at least one batch: the answer under any deadline must
+    // be a real (if coarse) estimate, never the zero-sample degenerate.
+    if (have_best && std::chrono::steady_clock::now() >= deadline) break;
+    TraceSpan round_span("online_round", tracing);
+    stats.rows_scanned += runner.ProcessNext(batch);
+    Estimate current = runner.Current(budget.confidence);
+    if (!have_best || current.ci_half_width < best.ci_half_width) {
+      best = current;
+      have_best = true;
+      if (callback != nullptr) {
+        ProgressiveUpdate update;
+        update.estimate = best;
+        update.stats = stats;  // snapshot mid-flight (phase nanos still open)
+        update.sequence = sequence++;
+        (*callback)(update);
+        DeliveriesCounter()->Add();
+      }
+    }
+    if (budget.target_error > 0 && have_best &&
+        RelativeError(best) <= budget.target_error) {
+      break;
+    }
+  }
+  if (!have_best) best = runner.Current(budget.confidence);
+  agg_span.Stop();
+  query_span.Stop();
+
+  QueryResult result;
+  result.scalar = best;
+  result.approximate = !runner.done();
+  stats.achieved_error = RelativeError(best);
+  result.exec_stats = stats;
+  RecordEngineQueryMetrics(stats);
+
+  // The final delivery repeats the returned answer bit-identically, with the
+  // completed stats attached.
+  if (callback != nullptr) {
+    ProgressiveUpdate update;
+    update.estimate = best;
+    update.stats = result.exec_stats;
+    update.sequence = sequence;
+    update.final = true;
+    (*callback)(update);
+    DeliveriesCounter()->Add();
+  }
+  return result;
+}
+
+}  // namespace exploredb

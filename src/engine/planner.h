@@ -1,0 +1,128 @@
+#ifndef EXPLOREDB_ENGINE_PLANNER_H_
+#define EXPLOREDB_ENGINE_PLANNER_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+#include "common/result.h"
+#include "engine/query.h"
+
+namespace exploredb {
+
+class Database;
+class Executor;
+class TableEntry;
+
+/// Self-calibrating per-row cost model. Seeded with conservative constants,
+/// then updated (EWMA) from every budgeted execution's observed ExecStats, so
+/// the planner's estimates converge on this machine's — and this table's —
+/// real throughput after a handful of queries. All rates are nanoseconds per
+/// row; `cv` is the running coefficient-of-variation estimate that turns a
+/// sample size into a predicted relative CI half-width.
+class CostModel {
+ public:
+  /// Predicted wall cost of an exact (zone-map pruned, possibly indexed)
+  /// scan-aggregate over `rows` live rows.
+  double ExactCostNs(uint64_t rows) const EXCLUDES(mu_);
+  /// Predicted wall cost of the row-at-a-time uniform-sample path over
+  /// `rows` sampled rows.
+  double SampleCostNs(uint64_t rows) const EXCLUDES(mu_);
+  /// Predicted wall cost of materializing online-aggregation input (mask +
+  /// widened measure) over `rows` rows, plus consuming `consumed` of them.
+  double OnlineCostNs(uint64_t rows, uint64_t consumed) const EXCLUDES(mu_);
+  /// Predicted relative CI half-width from `sample_rows` matching rows at
+  /// `confidence` (z * cv / sqrt(m), the CLT promise under the current cv).
+  double PredictRelativeError(uint64_t sample_rows, double confidence) const
+      EXCLUDES(mu_);
+
+  /// How many rows the online aggregator can consume in `ns` after paying
+  /// its input-build cost over `rows` rows (0 when even the build does not
+  /// fit).
+  uint64_t OnlineRowsWithin(double ns, uint64_t rows) const EXCLUDES(mu_);
+
+  // -- Calibration (called by the planner after each budgeted execution) ----
+  void ObserveExact(uint64_t rows, int64_t nanos) EXCLUDES(mu_);
+  void ObserveSample(uint64_t rows, int64_t nanos) EXCLUDES(mu_);
+  void ObserveOnline(uint64_t rows, uint64_t consumed, int64_t nanos)
+      EXCLUDES(mu_);
+  /// Feeds a realized (relative CI, sample size) pair back into the cv
+  /// estimate.
+  void ObserveRelativeError(double relative_error, uint64_t sample_rows,
+                            double confidence) EXCLUDES(mu_);
+
+  // -- Test hooks ----------------------------------------------------------
+  /// Pins the exact-scan rate (ns/row), e.g. absurdly high to force the
+  /// planner off the exact plan deterministically.
+  void SetExactNsPerRowForTest(double ns_per_row) EXCLUDES(mu_);
+  double exact_ns_per_row() const EXCLUDES(mu_);
+
+ private:
+  static constexpr double kAlpha = 0.3;  ///< EWMA weight of new observations
+
+  mutable Mutex mu_;
+  // Seeds are deliberately pessimistic for the approximate paths and
+  // realistic for the vectorized exact path; calibration replaces them after
+  // the first few queries either way.
+  double exact_ns_per_row_ GUARDED_BY(mu_) = 1.0;
+  double sample_ns_per_row_ GUARDED_BY(mu_) = 25.0;
+  double online_build_ns_per_row_ GUARDED_BY(mu_) = 6.0;
+  double online_ns_per_row_ GUARDED_BY(mu_) = 12.0;
+  double cv_ GUARDED_BY(mu_) = 1.0;
+};
+
+/// The budgeted planner: given a Query and a LatencyBudget, estimates
+/// candidate-plan costs from what the engine already knows — zone-map
+/// selectivity and prunable zones, the calibrated per-row rates above, sample
+/// sizes, online-aggregation round cost — and picks the cheapest plan
+/// expected to meet the budget, walking the lattice
+///
+///   cache hit -> pruned exact scan -> uniform-sample estimate -> online agg
+///
+/// (the cache rung lives in Session, which consults its result cache before
+/// the planner runs). When no exact plan fits and a ProgressiveCallback is
+/// given, refining partials stream through it until the deadline; the best
+/// answer so far is returned with achieved vs promised error recorded in
+/// ExecStats. Budgeted aggregate queries never fail with kDeadlineExceeded:
+/// an exact plan that blows its deadline is rescued by a small-sample rerun.
+///
+/// Thread safety: stateless apart from the CostModel (internally locked); one
+/// Planner instance serves all of an Executor's queries concurrently.
+class Planner {
+ public:
+  Planner(Database* db, Executor* executor) : db_(db), executor_(executor) {}
+
+  /// Plans and executes `query` under `ctx` (whose options().budget carries
+  /// the contract). `callback`, when non-null, receives progressive
+  /// deliveries; pass nullptr for a single-shot budgeted answer.
+  Result<QueryResult> Execute(const Query& query, const ExecContext& ctx,
+                              const ProgressiveCallback* callback);
+
+  CostModel& cost_model() { return cost_model_; }
+
+ private:
+  /// Estimated rows surviving zone-map pruning and the predicate's estimated
+  /// selectivity (both under the zone maps' uniform-within-zone model).
+  struct ScanEstimate {
+    uint64_t live_rows = 0;     ///< rows in zones the predicate may match
+    double selectivity = 1.0;   ///< estimated matching fraction
+  };
+  Result<ScanEstimate> EstimateScan(TableEntry* entry, const Query& query,
+                                    uint64_t n);
+
+  /// Runs the online-aggregation loop, streaming monotone deliveries through
+  /// `callback` (if any) until the deadline / target error / exhaustion.
+  Result<QueryResult> RunProgressive(
+      TableEntry* entry, const Query& query, const ExecContext& ctx,
+      std::chrono::steady_clock::time_point deadline,
+      const ProgressiveCallback* callback, ExecStats stats);
+
+  Database* db_;
+  Executor* executor_;
+  CostModel cost_model_;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_ENGINE_PLANNER_H_

@@ -1,5 +1,7 @@
 #include "engine/query.h"
 
+#include <cstdio>
+
 #include "common/strings.h"
 
 namespace exploredb {
@@ -18,6 +20,24 @@ const char* ExecutionModeName(ExecutionMode mode) {
       return "online";
     case ExecutionMode::kAuto:
       return "auto";
+    case ExecutionMode::kBudgeted:
+      return "budgeted";
+  }
+  return "?";
+}
+
+const char* PlannerChoiceName(PlannerChoice choice) {
+  switch (choice) {
+    case PlannerChoice::kNone:
+      return "none";
+    case PlannerChoice::kCache:
+      return "cache";
+    case PlannerChoice::kExact:
+      return "exact";
+    case PlannerChoice::kSample:
+      return "sample";
+    case PlannerChoice::kOnline:
+      return "online";
   }
   return "?";
 }
@@ -51,6 +71,15 @@ std::string ExecStats::Summary() const {
   out += " threads=" + std::to_string(threads_used);
   out += " simd=";
   out += simd::SimdPathName(simd_path);
+  if (planner_choice != PlannerChoice::kNone) {
+    out += " planner=";
+    out += PlannerChoiceName(planner_choice);
+    out += " plans=" + std::to_string(plans_considered);
+    char err[64];
+    std::snprintf(err, sizeof(err), " promised=%.3g achieved=%.3g",
+                  promised_error, achieved_error);
+    out += err;
+  }
   out += " | plan=" + FormatDurationNanos(plan_nanos);
   out += " select=" + FormatDurationNanos(select_nanos);
   out += " agg=" + FormatDurationNanos(aggregate_nanos);

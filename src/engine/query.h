@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -29,13 +30,45 @@ enum class ExecutionMode {
   kOnline,     ///< online aggregation until the error budget is met
   kAuto,       ///< engine picks: cracking for index-serviceable predicates,
                ///< scan otherwise ("organic" self-organizing default)
+  kBudgeted,   ///< planner picks the cheapest plan expected to meet the
+               ///< query's LatencyBudget (cache -> pruned exact scan ->
+               ///< sample estimate -> online aggregation)
 };
 
 const char* ExecutionModeName(ExecutionMode mode);
 
+/// A per-query latency contract: answer within `latency`, aiming for a
+/// relative error no worse than `target_error`. The planner picks the
+/// cheapest plan expected to satisfy both; when no exact plan fits, it
+/// degrades to an approximate one (and, under ExecuteProgressive, streams
+/// refining partials until the deadline). This is the per-interaction time
+/// budget IDEBench makes the core requirement of exploration benchmarking.
+struct LatencyBudget {
+  /// Wall-clock budget, measured from the moment the planner sees the query.
+  std::chrono::nanoseconds latency = std::chrono::milliseconds(100);
+  /// Target relative error: CI half-width / |value| the answer should reach
+  /// (0 means "exact or as good as the budget allows").
+  double target_error = 0.01;
+  double confidence = 0.95;
+};
+
+/// Which plan the budgeted planner chose — the lattice position, recorded in
+/// ExecStats so triage can see why a query ran the way it did.
+enum class PlannerChoice {
+  kNone,    ///< query did not go through the planner
+  kCache,   ///< served from the session result cache
+  kExact,   ///< exact (zone-map pruned, possibly indexed) plan fit the budget
+  kSample,  ///< uniform-sample estimate sized to the budget
+  kOnline,  ///< online aggregation, progressively refined until the deadline
+};
+
+const char* PlannerChoiceName(PlannerChoice choice);
+
 /// Per-query execution options.
 struct QueryOptions {
   ExecutionMode mode = ExecutionMode::kScan;
+  /// kBudgeted: the latency contract the planner must honor.
+  LatencyBudget budget;
   /// kSampled: fraction of rows to sample.
   double sample_fraction = 0.01;
   /// kOnline: stop when the CI half-width drops below this (absolute).
@@ -75,6 +108,22 @@ struct ExecStats {
   uint64_t morsels_pruned = 0;     ///< morsels skipped via zone-map bounds
   uint32_t threads_used = 1;       ///< distinct threads that did work
   AccessPath path = AccessPath::kNone;
+  /// What actually ran after mode resolution: kAuto and kBudgeted resolve to
+  /// a concrete mode, everything else passes through. Session query logs
+  /// record this next to the requested mode so planner decisions can be
+  /// audited.
+  ExecutionMode resolved_mode = ExecutionMode::kScan;
+
+  // -- Budgeted-planner provenance (kNone/zeros unless the query ran under
+  // ExecutionMode::kBudgeted). `promised_error` is the relative CI half-width
+  // the chosen plan was predicted to reach; `achieved_error` the relative CI
+  // half-width it actually delivered (0 for exact answers). Together with
+  // `plans_considered` they answer "why was this plan picked, and did it keep
+  // its promise" without a debugger.
+  PlannerChoice planner_choice = PlannerChoice::kNone;
+  uint32_t plans_considered = 0;  ///< candidate plans the planner costed
+  double promised_error = 0.0;    ///< predicted relative error of the plan
+  double achieved_error = 0.0;    ///< realized relative error of the answer
   /// Which kernel table served the query's scan/aggregate inner loops —
   /// the dispatched CPU path (scalar / sse42 / avx2), after any
   /// EXPLOREDB_SIMD override. Results are bit-identical across paths; this
@@ -127,7 +176,25 @@ class ExecContext {
     deadline_ = std::chrono::steady_clock::now() + budget;
     return *this;
   }
+  ExecContext& ClearDeadline() {
+    deadline_.reset();
+    return *this;
+  }
+  /// The budgeted-execution entry point: one call sets the latency contract
+  /// (deadline + target error) and routes the query through the planner.
+  /// Supersedes ad-hoc SetTimeout for this path — the planner anchors the
+  /// deadline at plan time, so a context with a budget can be reused across
+  /// queries and each one gets the full budget. An explicit earlier deadline
+  /// (SetDeadline/SetTimeout) still wins if it expires first.
+  ExecContext& SetBudget(LatencyBudget budget) {
+    options_.mode = ExecutionMode::kBudgeted;
+    options_.budget = budget;
+    return *this;
+  }
   bool has_deadline() const { return deadline_.has_value(); }
+  std::optional<std::chrono::steady_clock::time_point> deadline() const {
+    return deadline_;
+  }
   bool DeadlineExceeded() const {
     return deadline_.has_value() &&
            std::chrono::steady_clock::now() >= *deadline_;
@@ -318,13 +385,25 @@ struct QueryResult {
   bool from_cache = false;
   bool approximate = false;
 
-  // Legacy mirrors of exec_stats fields, kept one release for callers that
-  // predate ExecStats.
-  uint64_t rows_scanned = 0;
-  int64_t exec_micros = 0;
-
   const ExecStats& stats() const { return exec_stats; }
 };
+
+/// One progressively refined partial answer streamed by the budgeted planner:
+/// the running estimate (CI shrinking delivery to delivery — the planner only
+/// delivers when the CI improved, so consecutive updates are monotone) plus a
+/// snapshot of the execution statistics at delivery time. The delivery
+/// flagged `final` repeats the returned answer bit-identically, so a consumer
+/// that only renders updates never disagrees with the returned result.
+struct ProgressiveUpdate {
+  Estimate estimate;
+  ExecStats stats;      ///< statistics snapshot at delivery time
+  uint64_t sequence = 0;  ///< 0-based delivery index
+  bool final = false;     ///< last delivery; equals the returned result
+};
+
+/// Invoked on the executing thread for each refinement delivery; must not
+/// re-enter the session that issued the query.
+using ProgressiveCallback = std::function<void(const ProgressiveUpdate&)>;
 
 }  // namespace exploredb
 

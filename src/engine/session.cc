@@ -38,6 +38,29 @@ Counter* SpeculativeCounter() {
   return c;
 }
 
+// Budgeted-planner series shared with planner.cc (the registry dedups by
+// name): the cache rung of the plan lattice lives here in the session, so
+// cache-served budgeted queries are accounted at the hit site.
+Counter* PlannerQueriesCounter() {
+  static Counter* c = Metrics().GetCounter(
+      "exploredb_planner_queries_total", "Queries routed through the planner");
+  return c;
+}
+
+Counter* PlannerCacheChoiceCounter() {
+  static Counter* c = Metrics().GetCounter(
+      "exploredb_planner_choice_cache_total",
+      "Budgeted queries served from the result cache");
+  return c;
+}
+
+Counter* PlannerBudgetMetCounter() {
+  static Counter* c = Metrics().GetCounter(
+      "exploredb_planner_budget_met_total",
+      "Budgeted queries whose wall time stayed within their latency budget");
+  return c;
+}
+
 }  // namespace
 
 Session::Session(Database* db, SessionOptions options)
@@ -51,7 +74,6 @@ Result<QueryResult> Session::Execute(const Query& query,
   MutexLock lock(mu_);
   ++stats_.queries;
   QueriesCounter()->Add();
-  const bool tracing = ctx.tracing();
   const std::string key = query.CacheKey();
 
   // Trajectory model learns every issued query (cached or not).
@@ -66,54 +88,7 @@ Result<QueryResult> Session::Execute(const Query& query,
 
   if (cacheable) {
     if (auto cached = cache_.Get(key)) {
-      ++stats_.cache_hits;
-      CacheHitsCounter()->Add();
-      QueryResult result;
-      result.positions = std::move(*cached);
-      result.from_cache = true;
-      result.exec_stats.path = AccessPath::kCache;
-      // The cache hit is still a (cheap) execution: the span doubles as the
-      // total-time stopwatch and shows up in traces next to real queries.
-      TraceSpan hit_span("cache_hit", tracing,
-                         &result.exec_stats.total_nanos);
-      {
-        // Re-project rows from the cached positions (cheap gather).
-        TraceSpan project_span("project", tracing,
-                               &result.exec_stats.project_nanos);
-        EXPLOREDB_ASSIGN_OR_RETURN(TableEntry * entry,
-                                   db_->GetTable(query.table()));
-        std::vector<size_t> cols;
-        if (query.select().empty()) {
-          for (size_t c = 0; c < entry->schema().num_fields(); ++c) {
-            cols.push_back(c);
-          }
-        } else {
-          for (const std::string& name : query.select()) {
-            EXPLOREDB_ASSIGN_OR_RETURN(size_t idx,
-                                       entry->schema().FieldIndex(name));
-            cols.push_back(idx);
-          }
-        }
-        Table projected(entry->schema().Select(cols));
-        for (size_t i = 0; i < cols.size(); ++i) {
-          EXPLOREDB_ASSIGN_OR_RETURN(const ColumnVector* col,
-                                     entry->GetColumn(cols[i]));
-          *projected.mutable_column(i) = col->Gather(result.positions);
-        }
-        result.rows = std::move(projected);
-      }
-      if (options_.speculate) {
-        SpeculateAround(query, ctx);
-        size_t ran = speculator_.RunIdle(options_.idle_budget);
-        stats_.speculative_queries += ran;
-        SpeculativeCounter()->Add(ran);
-      }
-      last_table_ = query.table();
-      last_predicate_ = query.where();
-      hit_span.Stop();
-      result.exec_micros = result.exec_stats.total_nanos / 1000;
-      LogQuery(query, ctx, result);
-      return result;
+      return ServeFromCache(query, ctx, std::move(*cached));
     }
   }
 
@@ -141,12 +116,134 @@ Result<QueryResult> Session::Execute(const QueryBuilder& builder,
   return Execute(query, ctx);
 }
 
+Result<QueryResult> Session::ServeFromCache(const Query& query,
+                                            const ExecContext& ctx,
+                                            std::vector<uint32_t> positions) {
+  ++stats_.cache_hits;
+  CacheHitsCounter()->Add();
+  const bool tracing = ctx.tracing();
+  QueryResult result;
+  result.positions = std::move(positions);
+  result.from_cache = true;
+  result.exec_stats.path = AccessPath::kCache;
+  result.exec_stats.resolved_mode = ctx.options().mode;
+  if (ctx.options().mode == ExecutionMode::kBudgeted) {
+    // The cache is the cheapest rung of the plan lattice: a fresh hit always
+    // wins, always meets the budget, and answers exactly.
+    result.exec_stats.planner_choice = PlannerChoice::kCache;
+    result.exec_stats.plans_considered = 1;
+    PlannerQueriesCounter()->Add();
+    PlannerCacheChoiceCounter()->Add();
+    PlannerBudgetMetCounter()->Add();
+  }
+  // The cache hit is still a (cheap) execution: the span doubles as the
+  // total-time stopwatch and shows up in traces next to real queries.
+  TraceSpan hit_span("cache_hit", tracing, &result.exec_stats.total_nanos);
+  {
+    // Re-project rows from the cached positions (cheap gather).
+    TraceSpan project_span("project", tracing,
+                           &result.exec_stats.project_nanos);
+    EXPLOREDB_ASSIGN_OR_RETURN(TableEntry * entry,
+                               db_->GetTable(query.table()));
+    std::vector<size_t> cols;
+    if (query.select().empty()) {
+      for (size_t c = 0; c < entry->schema().num_fields(); ++c) {
+        cols.push_back(c);
+      }
+    } else {
+      for (const std::string& name : query.select()) {
+        EXPLOREDB_ASSIGN_OR_RETURN(size_t idx,
+                                   entry->schema().FieldIndex(name));
+        cols.push_back(idx);
+      }
+    }
+    Table projected(entry->schema().Select(cols));
+    for (size_t i = 0; i < cols.size(); ++i) {
+      EXPLOREDB_ASSIGN_OR_RETURN(const ColumnVector* col,
+                                 entry->GetColumn(cols[i]));
+      *projected.mutable_column(i) = col->Gather(result.positions);
+    }
+    result.rows = std::move(projected);
+  }
+  if (options_.speculate) {
+    SpeculateAround(query, ctx);
+    size_t ran = speculator_.RunIdle(options_.idle_budget);
+    stats_.speculative_queries += ran;
+    SpeculativeCounter()->Add(ran);
+  }
+  last_table_ = query.table();
+  last_predicate_ = query.where();
+  hit_span.Stop();
+  LogQuery(query, ctx, result);
+  return result;
+}
+
+Result<QueryResult> Session::ExecuteProgressive(
+    const Query& query, const LatencyBudget& budget,
+    const ProgressiveCallback& callback, const ExecContext& base) {
+  MutexLock lock(mu_);
+  ++stats_.queries;
+  QueriesCounter()->Add();
+  ExecContext ctx = base;
+  ctx.SetBudget(budget);
+  const std::string key = query.CacheKey();
+
+  if (!history_.empty()) trajectory_.Observe(history_.back(), key);
+  history_.push_back(key);
+
+  // Only position results of exact selections are cacheable (kBudgeted may
+  // degrade aggregates to approximate answers, but selections stay exact).
+  const bool cacheable =
+      !query.aggregate().has_value() && !query.group_by().has_value();
+
+  if (cacheable) {
+    if (auto cached = cache_.Get(key)) {
+      EXPLOREDB_ASSIGN_OR_RETURN(QueryResult result,
+                                 ServeFromCache(query, ctx, std::move(*cached)));
+      if (callback) {
+        ProgressiveUpdate update;
+        if (result.scalar.has_value()) update.estimate = *result.scalar;
+        update.stats = result.exec_stats;
+        update.sequence = 0;
+        update.final = true;
+        callback(update);
+      }
+      return result;
+    }
+  }
+
+  EXPLOREDB_ASSIGN_OR_RETURN(QueryResult result,
+                             executor_.ExecuteProgressive(query, ctx, callback));
+  if (cacheable) cache_.Put(key, result.positions);
+  last_table_ = query.table();
+  last_predicate_ = query.where();
+
+  if (options_.speculate) {
+    SpeculateAround(query, ctx);
+    size_t ran = speculator_.RunIdle(options_.idle_budget);
+    stats_.speculative_queries += ran;
+    SpeculativeCounter()->Add(ran);
+  }
+  LogQuery(query, ctx, result);
+  return result;
+}
+
+Result<QueryResult> Session::ExecuteProgressive(
+    const QueryBuilder& builder, const LatencyBudget& budget,
+    const ProgressiveCallback& callback, const ExecContext& base) {
+  EXPLOREDB_ASSIGN_OR_RETURN(TableEntry * entry,
+                             db_->GetTable(builder.table()));
+  EXPLOREDB_ASSIGN_OR_RETURN(Query query, builder.Build(entry->schema()));
+  return ExecuteProgressive(query, budget, callback, base);
+}
+
 void Session::LogQuery(const Query& query, const ExecContext& ctx,
                        const QueryResult& result) {
   if (options_.query_log_capacity == 0) return;
   QueryLogEntry entry;
   entry.query = query.CacheKey();
-  entry.mode = ctx.options().mode;
+  entry.mode = result.exec_stats.resolved_mode;
+  entry.requested_mode = ctx.options().mode;
   entry.from_cache = result.from_cache;
   entry.approximate = result.approximate;
   entry.stats = result.exec_stats;

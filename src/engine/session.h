@@ -43,10 +43,15 @@ struct SessionStats {
 /// asks for, and the raw material of session-level workload analysis).
 struct QueryLogEntry {
   std::string query;  ///< Query::CacheKey — the canonical query text
-  ExecutionMode mode = ExecutionMode::kScan;  ///< requested mode
+  /// The *resolved* execution mode — what the planner / kAuto actually chose
+  /// to run (cache hits keep the requested mode; stats.path says kCache).
+  /// Auditing planner decisions means comparing this against
+  /// `requested_mode`.
+  ExecutionMode mode = ExecutionMode::kScan;
+  ExecutionMode requested_mode = ExecutionMode::kScan;  ///< what was asked for
   bool from_cache = false;
   bool approximate = false;
-  ExecStats stats;  ///< path, rows, morsels, per-phase nanos
+  ExecStats stats;  ///< path, rows, morsels, planner provenance, phase nanos
   std::chrono::system_clock::time_point wall_time;  ///< arrival time
 };
 
@@ -73,6 +78,27 @@ class Session {
   /// Resolves a name-based QueryBuilder against the catalog, then executes.
   Result<QueryResult> Execute(const QueryBuilder& builder,
                               const ExecContext& ctx = {}) EXCLUDES(mu_);
+
+  /// Budgeted execution with progressive refinement: every query gets a
+  /// latency contract. The planner picks the cheapest plan expected to meet
+  /// `budget` (cache hit -> pruned exact scan -> sample -> online agg); when
+  /// nothing exact fits, refining partials stream through `callback`
+  /// (monotonically shrinking CIs; the final delivery equals the returned
+  /// result bit-identically) until the deadline. The callback runs on the
+  /// session's thread under its lock — it must not re-enter the session.
+  /// `base` supplies pool/morsel/trace settings; its mode is overridden.
+  Result<QueryResult> ExecuteProgressive(const Query& query,
+                                         const LatencyBudget& budget,
+                                         const ProgressiveCallback& callback,
+                                         const ExecContext& base = {})
+      EXCLUDES(mu_);
+
+  /// QueryBuilder convenience overload of ExecuteProgressive.
+  Result<QueryResult> ExecuteProgressive(const QueryBuilder& builder,
+                                         const LatencyBudget& budget,
+                                         const ProgressiveCallback& callback,
+                                         const ExecContext& base = {})
+      EXCLUDES(mu_);
 
   /// Executes `query` with trace-span recording forced on and returns an
   /// annotated per-phase / per-morsel breakdown (plus the result's ExecStats
@@ -112,6 +138,13 @@ class Session {
   Database* db() const { return db_; }
 
  private:
+  /// Serves a cached position list: re-projects rows, stamps cache
+  /// provenance (and planner provenance when the query ran budgeted), runs
+  /// speculation, and logs the query.
+  Result<QueryResult> ServeFromCache(const Query& query, const ExecContext& ctx,
+                                     std::vector<uint32_t> positions)
+      REQUIRES(mu_);
+
   /// Enqueues shifted copies of a single-column range query (pan left/right)
   /// into the speculator.
   void SpeculateAround(const Query& query, const ExecContext& ctx)

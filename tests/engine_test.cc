@@ -148,8 +148,8 @@ TEST_F(EngineTest, CrackingScansLessOnRepeats) {
   auto second = exec.Execute(q, crack);
   ASSERT_TRUE(first.ok());
   ASSERT_TRUE(second.ok());
-  EXPECT_LT(second.ValueOrDie().rows_scanned,
-            first.ValueOrDie().rows_scanned);
+  EXPECT_LT(second.ValueOrDie().stats().rows_scanned,
+            first.ValueOrDie().stats().rows_scanned);
 }
 
 TEST_F(EngineTest, ProjectionSelectsColumns) {
@@ -210,8 +210,8 @@ TEST_F(EngineTest, SampledAggregateCloseToExact) {
   EXPECT_NEAR(approx.ValueOrDie().scalar->value,
               exact.ValueOrDie().scalar->value,
               3 * approx.ValueOrDie().scalar->ci_half_width);
-  EXPECT_LT(approx.ValueOrDie().rows_scanned,
-            exact.ValueOrDie().rows_scanned / 2);
+  EXPECT_LT(approx.ValueOrDie().stats().rows_scanned,
+            exact.ValueOrDie().stats().rows_scanned / 2);
 }
 
 TEST_F(EngineTest, SampledCountScalesUp) {
@@ -240,7 +240,7 @@ TEST_F(EngineTest, OnlineAggregateStopsAtBudget) {
   auto r = exec.Execute(q, online);
   ASSERT_TRUE(r.ok());
   EXPECT_LE(r.ValueOrDie().scalar->ci_half_width, 1.0);
-  EXPECT_LT(r.ValueOrDie().rows_scanned, 20000u);
+  EXPECT_LT(r.ValueOrDie().stats().rows_scanned, 20000u);
   EXPECT_TRUE(r.ValueOrDie().approximate);
 
   ExecContext exhaustive;

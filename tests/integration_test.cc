@@ -63,8 +63,8 @@ TEST(IntegrationTest, RawCsvToCrackedQueriesToRecommendation) {
                    {0, CompareOp::kLt, Value(lo + 1000)}}));
     auto r = session.Execute(q, crack);
     ASSERT_TRUE(r.ok());
-    if (step == 0) scanned_first = r.ValueOrDie().rows_scanned;
-    if (step == 9) scanned_last = r.ValueOrDie().rows_scanned;
+    if (step == 0) scanned_first = r.ValueOrDie().stats().rows_scanned;
+    if (step == 9) scanned_last = r.ValueOrDie().stats().rows_scanned;
   }
   // Later windows benefit from earlier cracks (or the session cache).
   EXPECT_LT(scanned_last, scanned_first);

@@ -129,6 +129,22 @@ TEST(ObservabilityTest, QueryLogRecordsCacheHitsAndModes) {
   EXPECT_EQ(log[1].stats.path, AccessPath::kCache);
 }
 
+TEST(ObservabilityTest, QueryLogRecordsResolvedVsRequestedMode) {
+  SessionOptions options;
+  options.speculate = false;
+  Session session(TestDb(), options);
+  ExecContext aut;
+  aut.options().mode = ExecutionMode::kAuto;
+
+  // kAuto resolves to cracking for predicated queries; the log keeps both
+  // what was asked for and what actually ran.
+  ASSERT_TRUE(session.Execute(Window(9'000, 10'000), aut).ok());
+  std::vector<QueryLogEntry> log = session.QueryLog();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].requested_mode, ExecutionMode::kAuto);
+  EXPECT_EQ(log[0].mode, ExecutionMode::kCracking);
+}
+
 TEST(ObservabilityTest, ZeroCapacityDisablesQueryLog) {
   SessionOptions options;
   options.query_log_capacity = 0;

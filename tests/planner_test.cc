@@ -1,0 +1,308 @@
+// The budgeted-planner contract, pinned end to end:
+//   (a) a fresh cache hit is always the chosen plan,
+//   (b) a query whose exact plan fits its budget runs exact,
+//   (c) an over-budget exact query degrades to an approximate plan whose
+//       achieved error stays within 2x the promise on seeded data,
+//   (d) progressive callbacks deliver monotonically shrinking CIs and the
+//       final delivery equals the returned result bit-identically — at
+//       1, 2 and 8 threads.
+// Plus the planner's no-fail guarantee: a hopeless budget still gets an
+// approximate answer, never an error.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "engine/database.h"
+#include "engine/executor.h"
+#include "engine/planner.h"
+#include "engine/query.h"
+#include "engine/session.h"
+
+namespace exploredb {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::seconds;
+
+/// 256K rows: "ts" clustered (zone-map prunable), "user_id" scattered,
+/// "latency_ms" a uniform double measure (cv ~= 0.58, well under the cost
+/// model's seed cv of 1.0, so promises are conservative on this data).
+Database* TestDb() {
+  static Database* db = [] {
+    Schema schema({{"ts", DataType::kInt64},
+                   {"user_id", DataType::kInt64},
+                   {"latency_ms", DataType::kDouble}});
+    Table t(schema);
+    Random rng(7);
+    constexpr int64_t kRows = 256 * 1024;
+    t.Reserve(kRows);
+    for (int64_t i = 0; i < kRows; ++i) {
+      t.mutable_column(0)->AppendInt64(i);
+      t.mutable_column(1)->AppendInt64(rng.UniformInt(0, 49'999));
+      t.mutable_column(2)->AppendDouble(rng.NextDouble() * 100);
+    }
+    auto* db = new Database();
+    if (!db->CreateTable("events", std::move(t)).ok()) std::abort();
+    return db;
+  }();
+  return db;
+}
+
+Query HalfAvg() {
+  // ~50% selectivity on the scattered column; avg of the double measure.
+  return Query::On("events")
+      .Where(Predicate({{1, CompareOp::kLt, Value(int64_t{25'000})}}))
+      .Aggregate(AggKind::kAvg, "latency_ms");
+}
+
+Query HalfCount() {
+  return Query::On("events")
+      .Where(Predicate({{1, CompareOp::kLt, Value(int64_t{25'000})}}))
+      .Aggregate(AggKind::kCount);
+}
+
+Query Window(int64_t lo, int64_t hi) {
+  return Query::On("events").Where(
+      Predicate({{1, CompareOp::kGe, Value(lo)},
+                 {1, CompareOp::kLt, Value(hi)}}));
+}
+
+// ---- (a) cache hit always wins when fresh ---------------------------------
+
+TEST(PlannerTest, FreshCacheHitAlwaysChosen) {
+  Session session(TestDb(), {.speculate = false});
+  ExecContext budgeted;
+  budgeted.SetBudget({.latency = seconds(1)});
+
+  auto first = session.Execute(Window(1'000, 2'000), budgeted);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first.ValueOrDie().from_cache);
+
+  auto second = session.Execute(Window(1'000, 2'000), budgeted);
+  ASSERT_TRUE(second.ok());
+  const QueryResult& hit = second.ValueOrDie();
+  EXPECT_TRUE(hit.from_cache);
+  EXPECT_EQ(hit.stats().planner_choice, PlannerChoice::kCache);
+  EXPECT_EQ(hit.stats().plans_considered, 1u);
+  EXPECT_EQ(hit.stats().path, AccessPath::kCache);
+  EXPECT_EQ(hit.positions, first.ValueOrDie().positions);
+
+  // The query log records both what was asked for and what ran.
+  std::vector<QueryLogEntry> log = session.QueryLog();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[1].requested_mode, ExecutionMode::kBudgeted);
+  EXPECT_TRUE(log[1].from_cache);
+}
+
+// ---- (b) fits-in-budget runs exact ----------------------------------------
+
+TEST(PlannerTest, FitsInBudgetRunsExact) {
+  Database* db = TestDb();
+  Executor budgeted_exec(db);
+  ExecContext budgeted;
+  budgeted.SetBudget({.latency = seconds(5)});
+
+  auto r = budgeted_exec.Execute(HalfCount(), budgeted);
+  ASSERT_TRUE(r.ok());
+  const QueryResult& result = r.ValueOrDie();
+  EXPECT_EQ(result.stats().planner_choice, PlannerChoice::kExact);
+  // Scalar aggregate: exact + sample + online were all costed.
+  EXPECT_EQ(result.stats().plans_considered, 3u);
+  EXPECT_FALSE(result.approximate);
+  ASSERT_TRUE(result.scalar.has_value());
+  EXPECT_EQ(result.scalar->ci_half_width, 0.0);
+  EXPECT_EQ(result.stats().achieved_error, 0.0);
+
+  // Bit-identical to an unbudgeted exact run (COUNT is order-insensitive).
+  Executor plain_exec(db);
+  auto exact = plain_exec.Execute(HalfCount());
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(result.scalar->value, exact.ValueOrDie().scalar->value);
+}
+
+TEST(PlannerTest, SelectionsRunExactUnderBudget) {
+  Database* db = TestDb();
+  Executor executor(db);
+  ExecContext budgeted;
+  budgeted.SetBudget({.latency = seconds(5)});
+
+  auto r = executor.Execute(Window(3'000, 4'000), budgeted);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().stats().planner_choice, PlannerChoice::kExact);
+  EXPECT_FALSE(r.ValueOrDie().approximate);
+
+  Executor plain(db);
+  auto exact = plain.Execute(Window(3'000, 4'000));
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(r.ValueOrDie().positions, exact.ValueOrDie().positions);
+}
+
+// ---- (c) over-budget exact degrades, promise kept -------------------------
+
+TEST(PlannerTest, OverBudgetDegradesToApproximateWithinPromise) {
+  Database* db = TestDb();
+  Executor executor(db);
+  // Pin the calibrated exact rate absurdly high: every exact plan is now
+  // predicted to blow any budget, deterministically.
+  executor.planner().cost_model().SetExactNsPerRowForTest(1e9);
+
+  ExecContext budgeted;
+  budgeted.SetBudget(
+      {.latency = milliseconds(50), .target_error = 0.01, .confidence = 0.95});
+  auto r = executor.Execute(HalfAvg(), budgeted);
+  ASSERT_TRUE(r.ok());
+  const QueryResult& result = r.ValueOrDie();
+  EXPECT_NE(result.stats().planner_choice, PlannerChoice::kExact);
+  EXPECT_TRUE(result.approximate);
+  ASSERT_TRUE(result.scalar.has_value());
+  EXPECT_GT(result.stats().promised_error, 0.0);
+  EXPECT_LE(result.stats().achieved_error,
+            2.0 * result.stats().promised_error);
+
+  // The estimate lands near the truth (exact avg of uniform [0,100) ~ 50).
+  Executor plain(db);
+  auto exact = plain.Execute(HalfAvg());
+  ASSERT_TRUE(exact.ok());
+  double truth = exact.ValueOrDie().scalar->value;
+  EXPECT_NEAR(result.scalar->value, truth, 0.1 * truth);
+}
+
+TEST(PlannerTest, HopelessBudgetStillAnswersApproximately) {
+  Executor executor(TestDb());
+  executor.planner().cost_model().SetExactNsPerRowForTest(1e9);
+  ExecContext budgeted;
+  // 1us: nothing fits — the planner must degrade to the minimum sample, not
+  // fail with kDeadlineExceeded and not hang.
+  budgeted.SetBudget({.latency = std::chrono::microseconds(1)});
+  auto r = executor.Execute(HalfAvg(), budgeted);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.ValueOrDie().approximate);
+  ASSERT_TRUE(r.ValueOrDie().scalar.has_value());
+  EXPECT_GT(r.ValueOrDie().scalar->sample_size, 0u);
+  EXPECT_EQ(r.ValueOrDie().stats().planner_choice, PlannerChoice::kSample);
+}
+
+// ---- (d) progressive deliveries: monotone CIs, bit-identical final --------
+
+struct Delivered {
+  std::vector<ProgressiveUpdate> updates;
+};
+
+TEST(PlannerTest, ProgressiveDeliveriesMonotoneAndFinalBitIdentical) {
+  Database* db = TestDb();
+  double reference_value = 0.0;
+  bool have_reference = false;
+
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    SCOPED_TRACE(threads);
+    ThreadPool pool(threads);
+    Executor executor(db);  // fresh cost model per thread count
+    executor.planner().cost_model().SetExactNsPerRowForTest(1e9);
+
+    ExecContext ctx;
+    ctx.SetThreadPool(&pool);
+    // target_error = 0: refine until the input is exhausted, so every thread
+    // count consumes the same seeded permutation end to end.
+    ctx.SetBudget({.latency = seconds(30), .target_error = 0.0});
+
+    Delivered seen;
+    auto r = executor.ExecuteProgressive(
+        HalfAvg(), ctx,
+        [&seen](const ProgressiveUpdate& u) { seen.updates.push_back(u); });
+    ASSERT_TRUE(r.ok());
+    const QueryResult& result = r.ValueOrDie();
+    EXPECT_EQ(result.stats().planner_choice, PlannerChoice::kOnline);
+    ASSERT_TRUE(result.scalar.has_value());
+
+    ASSERT_GE(seen.updates.size(), 2u);
+    // Non-final deliveries: strictly shrinking CI, increasing sequence.
+    for (size_t i = 0; i + 1 < seen.updates.size(); ++i) {
+      const ProgressiveUpdate& u = seen.updates[i];
+      EXPECT_FALSE(u.final);
+      EXPECT_EQ(u.sequence, i);
+      if (i > 0) {
+        EXPECT_LT(u.estimate.ci_half_width,
+                  seen.updates[i - 1].estimate.ci_half_width);
+      }
+    }
+    // Final delivery repeats the returned answer bit-identically.
+    const ProgressiveUpdate& final_update = seen.updates.back();
+    EXPECT_TRUE(final_update.final);
+    EXPECT_EQ(final_update.estimate.value, result.scalar->value);
+    EXPECT_EQ(final_update.estimate.ci_half_width,
+              result.scalar->ci_half_width);
+    EXPECT_EQ(final_update.estimate.sample_size, result.scalar->sample_size);
+    EXPECT_EQ(final_update.stats.achieved_error,
+              result.stats().achieved_error);
+
+    // The refinement order is a seeded permutation consumed serially, so the
+    // answer is bit-identical across thread counts.
+    if (!have_reference) {
+      reference_value = result.scalar->value;
+      have_reference = true;
+    } else {
+      EXPECT_EQ(result.scalar->value, reference_value);
+    }
+  }
+}
+
+// ---- Session-level progressive contract -----------------------------------
+
+TEST(PlannerTest, SessionProgressiveCacheHitDeliversOnce) {
+  Session session(TestDb(), {.speculate = false});
+  LatencyBudget budget{.latency = seconds(1)};
+  size_t deliveries = 0;
+
+  auto cb = [&deliveries](const ProgressiveUpdate& u) {
+    ++deliveries;
+    EXPECT_TRUE(u.final);
+  };
+  auto first = session.ExecuteProgressive(Window(5'000, 6'000), budget, cb);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(deliveries, 1u);  // exact plan: one single-shot final delivery
+
+  auto second = session.ExecuteProgressive(Window(5'000, 6'000), budget, cb);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.ValueOrDie().from_cache);
+  EXPECT_EQ(second.ValueOrDie().stats().planner_choice, PlannerChoice::kCache);
+  EXPECT_EQ(deliveries, 2u);  // cache hit: exactly one final delivery too
+}
+
+TEST(PlannerTest, SessionProgressiveBuilderOverload) {
+  Session session(TestDb(), {.speculate = false});
+  bool got_final = false;
+  auto r = session.ExecuteProgressive(
+      Query::From("events")
+          .Where("user_id", CompareOp::kLt, Value(int64_t{25'000}))
+          .Aggregate(AggKind::kAvg, "latency_ms"),
+      {.latency = seconds(5)},
+      [&got_final](const ProgressiveUpdate& u) { got_final |= u.final; });
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(got_final);
+  ASSERT_TRUE(r.ValueOrDie().scalar.has_value());
+}
+
+// ---- Calibration ----------------------------------------------------------
+
+TEST(PlannerTest, CostModelCalibratesFromExecutions) {
+  Executor executor(TestDb());
+  CostModel& model = executor.planner().cost_model();
+  const double seeded = model.exact_ns_per_row();
+
+  ExecContext budgeted;
+  budgeted.SetBudget({.latency = seconds(5)});
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(executor.Execute(HalfCount(), budgeted).ok());
+  }
+  // Three observed exact runs move the EWMA off its seed.
+  EXPECT_NE(model.exact_ns_per_row(), seeded);
+  EXPECT_GT(model.exact_ns_per_row(), 0.0);
+}
+
+}  // namespace
+}  // namespace exploredb

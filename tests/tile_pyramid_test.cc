@@ -155,8 +155,8 @@ TEST(AutoModeTest, MatchesScanAndUsesCracking) {
   // Auto routed through cracking: the repeat is much cheaper.
   auto second = exec.Execute(q, autop);
   ASSERT_TRUE(second.ok());
-  EXPECT_LT(second.ValueOrDie().rows_scanned,
-            first.ValueOrDie().rows_scanned / 2);
+  EXPECT_LT(second.ValueOrDie().stats().rows_scanned,
+            first.ValueOrDie().stats().rows_scanned / 2);
 }
 
 TEST(AutoModeTest, NoPredicateFallsBackToScan) {
