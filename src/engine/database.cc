@@ -1,8 +1,6 @@
 #include "engine/database.h"
 
 #include <algorithm>
-#include <string_view>
-#include <unordered_set>
 
 namespace exploredb {
 
@@ -75,18 +73,36 @@ Result<const ZoneMap*> TableEntry::GetZoneMap(size_t idx) {
 
 Result<const DictEncoded*> TableEntry::GetDict(size_t idx) {
   MutexLock lock(mu_);
-  auto it = dicts_.find(idx);
-  if (it != dicts_.end()) return it->second.get();
   EXPLOREDB_ASSIGN_OR_RETURN(const ColumnVector* col, GetColumnLocked(idx));
   if (col->type() != DataType::kString) {
     return Status::InvalidArgument(
         "dictionary requires a string column, '" + schema().field(idx).name +
         "' is " + DataTypeName(col->type()));
   }
-  auto dict = std::make_unique<DictEncoded>(DictEncode(col->string_data()));
-  const DictEncoded* ptr = dict.get();
-  dicts_.emplace(idx, std::move(dict));
+  EXPLOREDB_ASSIGN_OR_RETURN(const CompressedColumn* comp,
+                             GetCompressedLocked(idx));
+  // String columns always carry a dict representation, even with
+  // EXPLOREDB_COMPRESS=0 (the policy only gates scanning on codes).
+  if (comp == nullptr || comp->str() == nullptr) {
+    return Status::Internal("string column " + std::to_string(idx) +
+                            " has no dictionary representation");
+  }
+  return &comp->str()->dict();
+}
+
+Result<const CompressedColumn*> TableEntry::GetCompressedLocked(size_t idx) {
+  auto it = compressed_.find(idx);
+  if (it != compressed_.end()) return it->second.get();
+  EXPLOREDB_ASSIGN_OR_RETURN(const ColumnVector* col, GetColumnLocked(idx));
+  std::unique_ptr<CompressedColumn> built = CompressedColumn::Build(*col);
+  const CompressedColumn* ptr = built.get();  // may be nullptr: cached miss
+  compressed_.emplace(idx, std::move(built));
   return ptr;
+}
+
+Result<const CompressedColumn*> TableEntry::GetCompressed(size_t idx) {
+  MutexLock lock(mu_);
+  return GetCompressedLocked(idx);
 }
 
 Result<const Table*> TableEntry::Materialized() {
@@ -125,28 +141,10 @@ Status TableEntry::ValidateAdaptiveState() {
     EXPLOREDB_ASSIGN_OR_RETURN(const ColumnVector* col, GetColumnLocked(idx));
     EXPLOREDB_RETURN_NOT_OK(zm->Validate(col));
   }
-  for (const auto& [idx, dict] : dicts_) {
+  for (const auto& [idx, comp] : compressed_) {
+    if (comp == nullptr) continue;  // cached "incompressible" verdict
     EXPLOREDB_ASSIGN_OR_RETURN(const ColumnVector* col, GetColumnLocked(idx));
-    const std::vector<std::string>& data = col->string_data();
-    const std::string where = " in dictionary over column " +
-                              std::to_string(idx);
-    if (dict->codes.size() != data.size()) {
-      return Status::Internal("code count != row count" + where);
-    }
-    std::unordered_set<std::string_view> distinct(dict->values.begin(),
-                                                  dict->values.end());
-    if (distinct.size() != dict->values.size()) {
-      return Status::Internal("duplicate dictionary value" + where);
-    }
-    for (size_t i = 0; i < data.size(); ++i) {
-      if (dict->codes[i] >= dict->values.size()) {
-        return Status::Internal("code out of range" + where);
-      }
-      if (dict->values[dict->codes[i]] != data[i]) {
-        return Status::Internal("row " + std::to_string(i) +
-                                " decodes to the wrong value" + where);
-      }
-    }
+    EXPLOREDB_RETURN_NOT_OK(comp->Validate(*col));
   }
   return Status::OK();
 }

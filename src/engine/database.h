@@ -12,6 +12,7 @@
 #include "cracking/baselines.h"
 #include "cracking/cracker_column.h"
 #include "loading/raw_table.h"
+#include "storage/compression/compressed_column.h"
 #include "storage/table.h"
 #include "storage/zone_map.h"
 
@@ -53,9 +54,16 @@ class TableEntry {
   /// consult it to skip morsels a predicate cannot match.
   Result<const ZoneMap*> GetZoneMap(size_t idx) EXCLUDES(mu_);
 
-  /// Lazily built dictionary encoding of a string column (hash group-by keys
-  /// by dense code instead of by string).
+  /// Dictionary encoding of a string column, served from the first-class
+  /// compressed representation (hash group-by keys by dense code instead of
+  /// by string).
   Result<const DictEncoded*> GetDict(size_t idx) EXCLUDES(mu_);
+
+  /// Lazily built compressed representation of a column. Returns nullptr
+  /// (not an error) when the column has none — doubles, or int64 columns the
+  /// adaptive policy judged incompressible; the verdict is cached so the
+  /// encode cost is paid at most once per column.
+  Result<const CompressedColumn*> GetCompressed(size_t idx) EXCLUDES(mu_);
 
   /// Fully materialized Table view (loads every raw column).
   Result<const Table*> Materialized() EXCLUDES(mu_);
@@ -73,6 +81,8 @@ class TableEntry {
 
  private:
   Result<const ColumnVector*> GetColumnLocked(size_t idx) REQUIRES(mu_);
+  Result<const CompressedColumn*> GetCompressedLocked(size_t idx)
+      REQUIRES(mu_);
 
   const Schema schema_;
   mutable Mutex mu_;
@@ -81,7 +91,9 @@ class TableEntry {
   std::map<size_t, std::unique_ptr<CrackerColumn>> crackers_ GUARDED_BY(mu_);
   std::map<size_t, std::unique_ptr<SortedIndex>> indexes_ GUARDED_BY(mu_);
   std::map<size_t, std::unique_ptr<ZoneMap>> zone_maps_ GUARDED_BY(mu_);
-  std::map<size_t, std::unique_ptr<DictEncoded>> dicts_ GUARDED_BY(mu_);
+  // A nullptr value is a cached "no compressed representation" verdict.
+  std::map<size_t, std::unique_ptr<CompressedColumn>> compressed_
+      GUARDED_BY(mu_);
 };
 
 /// The engine's catalog: named tables, eager or adaptively loaded. Creation

@@ -118,6 +118,189 @@ Result<std::vector<const ColumnVector*>> FetchConditionColumns(
   return cols;
 }
 
+/// Per-condition scan inputs: the raw column (always) and, when compression
+/// is enabled and the condition is one the compressed representation can
+/// serve, the column's CompressedColumn. `comp` is parallel to `cols`;
+/// nullptr entries fall back to the raw kernels.
+struct CondInputs {
+  std::vector<const ColumnVector*> cols;
+  std::vector<const CompressedColumn*> comp;
+  bool any_compressed = false;
+};
+
+/// Fetches raw columns plus compressed representations. A condition is
+/// compressed-servable when it is an int64 comparison against an int64
+/// constant (FOR/RLE filters) or a string (in)equality (dictionary codes);
+/// anything else — double columns, widened double constants, string ordering
+/// — keeps comp null and runs raw.
+Result<CondInputs> FetchCondInputs(TableEntry* entry,
+                                   const std::vector<Condition>& conds,
+                                   const ExecContext& ctx) {
+  CondInputs in;
+  EXPLOREDB_ASSIGN_OR_RETURN(in.cols, FetchConditionColumns(entry, conds));
+  in.comp.assign(conds.size(), nullptr);
+  if (!ctx.options().use_compression) return in;
+  for (size_t i = 0; i < conds.size(); ++i) {
+    const Condition& c = conds[i];
+    const bool int64_cmp =
+        in.cols[i]->type() == DataType::kInt64 && c.constant.is_int64();
+    const bool string_eq =
+        in.cols[i]->type() == DataType::kString && c.constant.is_string() &&
+        (c.op == CompareOp::kEq || c.op == CompareOp::kNe);
+    if (!int64_cmp && !string_eq) continue;
+    EXPLOREDB_ASSIGN_OR_RETURN(const CompressedColumn* cc,
+                               entry->GetCompressed(c.column));
+    if (cc == nullptr || !cc->scan_enabled()) continue;
+    if (int64_cmp && cc->i64() == nullptr) continue;
+    if (string_eq && cc->str() == nullptr) continue;
+    in.comp[i] = cc;
+    in.any_compressed = true;
+  }
+  return in;
+}
+
+/// `v op k` on a decoded int64 — the same comparison the raw scan kernels
+/// perform, applied to values gathered out of compressed blocks.
+bool MatchesI64(int64_t v, CompareOp op, int64_t k) {
+  switch (op) {
+    case CompareOp::kLt:
+      return v < k;
+    case CompareOp::kLe:
+      return v <= k;
+    case CompareOp::kGt:
+      return v > k;
+    case CompareOp::kGe:
+      return v >= k;
+    case CompareOp::kEq:
+      return v == k;
+    case CompareOp::kNe:
+      return v != k;
+  }
+  return false;
+}
+
+/// Reusable per-thread decode buffer for values gathered out of compressed
+/// blocks (refinement and measure aggregation).
+std::vector<int64_t>& MorselValueScratch() {
+  thread_local std::vector<int64_t> scratch;
+  return scratch;
+}
+
+/// Thread-local identity selection vector 0..n-1, grown on demand. Reducing
+/// gathered (densely packed) values through sum_*_sel with an iota selection
+/// walks them in the same striped accumulation order as a raw-column
+/// selection of equal length, which is what keeps compressed aggregates
+/// bit-identical to raw ones.
+const std::vector<uint32_t>& IotaScratch(uint32_t n) {
+  thread_local std::vector<uint32_t> iota;
+  while (iota.size() < n) {
+    iota.push_back(static_cast<uint32_t>(iota.size()));
+  }
+  return iota;
+}
+
+/// Morsel filter over mixed raw/compressed condition inputs. Seeds the
+/// selection vector from a compressed conjunct — predicates run on packed
+/// FOR words, RLE run headers, or dictionary codes, so rows of
+/// non-qualifying blocks are never decoded — then refines survivors with the
+/// remaining conjuncts: compressed int64 conjuncts gather just the surviving
+/// rows (128-row sub-block decode, timed as "decompress"), string conjuncts
+/// compare dictionary codes, everything else tests the raw column row by
+/// row. Appends exactly the rows Predicate::FilterRange would, in the same
+/// ascending order.
+void FilterRangeMixed(const std::vector<Condition>& conds,
+                      const CondInputs& in, uint32_t begin, uint32_t end,
+                      bool tracing, int64_t* decompress_nanos,
+                      std::vector<uint32_t>* out) {
+  const size_t base = out->size();
+  size_t seed = conds.size();
+
+  // The exploration-window idiom lo <= col < hi collapses into one
+  // compressed range filter (both conjuncts consumed by the seed).
+  bool fused = false;
+  if (conds.size() == 2 && in.comp[0] != nullptr && in.comp[0] == in.comp[1] &&
+      in.comp[0]->i64() != nullptr) {
+    const Condition* ge = nullptr;
+    const Condition* lt = nullptr;
+    for (const Condition& c : conds) {
+      if (c.op == CompareOp::kGe) ge = &c;
+      if (c.op == CompareOp::kLt) lt = &c;
+    }
+    if (ge != nullptr && lt != nullptr) {
+      in.comp[0]->i64()->FilterRange(begin, end, ge->constant.int64(),
+                                     lt->constant.int64(), out);
+      fused = true;
+    }
+  }
+
+  if (!fused) {
+    for (size_t i = 0; i < conds.size(); ++i) {
+      if (in.comp[i] != nullptr) {
+        seed = i;
+        break;
+      }
+    }
+    const CompressedColumn* cc = in.comp[seed];
+    if (cc->i64() != nullptr) {
+      cc->i64()->FilterCmp(begin, end, conds[seed].op,
+                           conds[seed].constant.int64(), out);
+    } else {
+      const CompressedStringColumn* sc = cc->str();
+      const bool negate = conds[seed].op == CompareOp::kNe;
+      std::optional<uint32_t> code = sc->CodeOf(conds[seed].constant.str());
+      if (!code.has_value()) {
+        // A constant absent from the dictionary: == matches nothing,
+        // != matches every row.
+        if (negate) {
+          for (uint32_t r = begin; r < end; ++r) out->push_back(r);
+        }
+      } else {
+        sc->FilterEqCode(begin, end, *code, negate, out);
+      }
+    }
+  }
+
+  // Refine survivors with every conjunct the seed did not consume.
+  for (size_t j = 0; j < conds.size(); ++j) {
+    if (fused || j == seed) {
+      continue;
+    }
+    uint32_t* sel = out->data() + base;
+    const auto cnt = static_cast<uint32_t>(out->size() - base);
+    if (cnt == 0) return;
+    size_t kept = 0;
+    const CompressedColumn* cc = in.comp[j];
+    if (cc != nullptr && cc->i64() != nullptr) {
+      std::vector<int64_t>& vals = MorselValueScratch();
+      vals.resize(cnt);
+      {
+        TraceSpan dspan("decompress", tracing, decompress_nanos);
+        cc->i64()->Gather(sel, cnt, vals.data());
+      }
+      const int64_t k = conds[j].constant.int64();
+      for (uint32_t i = 0; i < cnt; ++i) {
+        if (MatchesI64(vals[i], conds[j].op, k)) sel[kept++] = sel[i];
+      }
+    } else if (cc != nullptr && cc->str() != nullptr) {
+      const std::vector<uint32_t>& codes = cc->str()->dict().codes;
+      const bool negate = conds[j].op == CompareOp::kNe;
+      std::optional<uint32_t> code = cc->str()->CodeOf(conds[j].constant.str());
+      if (!code.has_value()) {
+        kept = negate ? cnt : 0;
+      } else {
+        for (uint32_t i = 0; i < cnt; ++i) {
+          if ((codes[sel[i]] == *code) != negate) sel[kept++] = sel[i];
+        }
+      }
+    } else {
+      for (uint32_t i = 0; i < cnt; ++i) {
+        if (conds[j].MatchesColumn(*in.cols[j], sel[i])) sel[kept++] = sel[i];
+      }
+    }
+    out->resize(base + kept);
+  }
+}
+
 /// The error a query stopped by its ExecContext reports.
 Status InterruptedStatus(const ExecContext& ctx) {
   return ctx.cancelled() ? Status::Cancelled("query cancelled")
@@ -149,22 +332,29 @@ struct MorselPlan {
 
 Result<MorselPlan> PlanMorsels(TableEntry* entry,
                                const std::vector<Condition>& conds,
-                               const std::vector<const ColumnVector*>& cols,
-                               size_t n, size_t morsel, const ExecContext& ctx) {
+                               const CondInputs& in, size_t n, size_t morsel,
+                               const ExecContext& ctx) {
   MorselPlan plan;
   plan.num_morsels = MorselCount(n, morsel);
 
   // Zone-map pruning: every numeric conjunct gets the column's min/max
   // synopsis (built lazily, cached on the entry), and a morsel is skipped
   // outright when some conjunct cannot match any zone it overlaps.
-  std::vector<std::pair<const ZoneMap*, const Condition*>> pruners;
+  struct Pruner {
+    const ZoneMap* zm;
+    const Condition* c;
+    const CompressedInt64Column* comp;  // sharper selectivity when non-null
+  };
+  std::vector<Pruner> pruners;
   if (ctx.options().use_zone_maps) {
     for (size_t i = 0; i < conds.size(); ++i) {
-      if (cols[i]->type() == DataType::kString) continue;
+      if (in.cols[i]->type() == DataType::kString) continue;
       if (conds[i].constant.is_string()) continue;
       EXPLOREDB_ASSIGN_OR_RETURN(const ZoneMap* zm,
                                  entry->GetZoneMap(conds[i].column));
-      pruners.emplace_back(zm, &conds[i]);
+      pruners.push_back(
+          {zm, &conds[i],
+           in.comp[i] != nullptr ? in.comp[i]->i64() : nullptr});
     }
   }
   std::vector<uint8_t> skip(plan.num_morsels, 0);
@@ -173,8 +363,8 @@ Result<MorselPlan> PlanMorsels(TableEntry* entry,
       const uint32_t begin = static_cast<uint32_t>(m * morsel);
       const uint32_t end =
           static_cast<uint32_t>(std::min(n, m * morsel + morsel));
-      for (const auto& [zm, c] : pruners) {
-        if (!zm->MayMatch(*c, begin, end)) {
+      for (const Pruner& p : pruners) {
+        if (!p.zm->MayMatch(*p.c, begin, end)) {
           skip[m] = 1;
           ++plan.pruned;
           plan.rows_pruned += end - begin;
@@ -186,9 +376,10 @@ Result<MorselPlan> PlanMorsels(TableEntry* entry,
     ZoneMapPrunedCounter()->Add(plan.pruned);
   }
   // Independence across conjuncts is the standard (wrong but serviceable)
-  // assumption for a capacity hint.
-  for (const auto& [zm, c] : pruners) {
-    plan.selectivity *= zm->EstimateSelectivity(*c);
+  // assumption for a capacity hint. Compressed columns sharpen the estimate:
+  // exact match counts for RLE blocks, per-block uniform for FOR blocks.
+  for (const Pruner& p : pruners) {
+    plan.selectivity *= p.zm->EstimateSelectivity(*p.c, p.comp);
   }
   plan.live.reserve(plan.num_morsels - plan.pruned);
   for (size_t m = 0; m < plan.num_morsels; ++m) {
@@ -319,22 +510,28 @@ Result<std::vector<uint32_t>> Executor::SelectPositions(
 
   stats->path = AccessPath::kScan;
   const std::vector<Condition>& conds = pred.conjuncts();
-  EXPLOREDB_ASSIGN_OR_RETURN(std::vector<const ColumnVector*> cols,
-                             FetchConditionColumns(entry, conds));
+  EXPLOREDB_ASSIGN_OR_RETURN(CondInputs in,
+                             FetchCondInputs(entry, conds, ctx));
   const size_t morsel = std::max<size_t>(1, ctx.morsel_size());
   ThreadPool* pool = ctx.thread_pool();
   EXPLOREDB_ASSIGN_OR_RETURN(MorselPlan plan,
-                             PlanMorsels(entry, conds, cols, n, morsel, ctx));
+                             PlanMorsels(entry, conds, in, n, morsel, ctx));
   stats->morsels_pruned += plan.pruned;
   stats->rows_scanned += n - plan.rows_pruned;
   const size_t live_rows = n - plan.rows_pruned;
+  if (in.any_compressed) stats->compressed_morsels += plan.live.size();
 
-  auto filter_morsel = [&](size_t m, std::vector<uint32_t>* buf) {
+  auto filter_morsel = [&](size_t m, std::vector<uint32_t>* buf,
+                           int64_t* decompress) {
     TraceSpan span("morsel", tracing);
     const uint32_t begin = static_cast<uint32_t>(m * morsel);
     const uint32_t end =
         static_cast<uint32_t>(std::min(n, m * morsel + morsel));
-    Predicate::FilterRange(conds, cols, begin, end, buf);
+    if (in.any_compressed) {
+      FilterRangeMixed(conds, in, begin, end, tracing, decompress, buf);
+    } else {
+      Predicate::FilterRange(conds, in.cols, begin, end, buf);
+    }
   };
 
   // Serial kernel: one pass appending straight into the output, pre-sized
@@ -348,7 +545,7 @@ Result<std::vector<uint32_t>> Executor::SelectPositions(
     out.reserve(std::min(live_rows, estimated + morsel));
     for (size_t m : plan.live) {
       if (ctx.Interrupted()) return InterruptedStatus(ctx);
-      filter_morsel(m, &out);
+      filter_morsel(m, &out, &stats->decompress_nanos);
     }
     stats->morsels_dispatched += plan.live.size();
     return out;
@@ -358,13 +555,15 @@ Result<std::vector<uint32_t>> Executor::SelectPositions(
   // order — byte-identical to the serial scan for any worker count. Each
   // worker filters into its reusable thread-local scratch and copies out
   // exactly the surviving positions, so per-morsel buffers are allocated at
-  // their final size instead of growing geometrically.
+  // their final size instead of growing geometrically. Decompress time is
+  // accumulated per morsel and folded in morsel order below.
   std::vector<std::vector<uint32_t>> parts(plan.live.size());
+  std::vector<int64_t> decompress(plan.live.size(), 0);
   ThreadPool::ForStats fs = pool->ParallelFor(plan.live.size(), [&](size_t i) {
     if (ctx.Interrupted()) return;
     std::vector<uint32_t>& scratch = MorselScratch();
     scratch.clear();
-    filter_morsel(plan.live[i], &scratch);
+    filter_morsel(plan.live[i], &scratch, &decompress[i]);
     parts[i].assign(scratch.begin(), scratch.end());
   });
   stats->morsels_dispatched += fs.chunks;
@@ -373,6 +572,7 @@ Result<std::vector<uint32_t>> Executor::SelectPositions(
 
   size_t total = 0;
   for (const auto& p : parts) total += p.size();
+  for (int64_t d : decompress) stats->decompress_nanos += d;
   std::vector<uint32_t> out;
   out.reserve(total);
   for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
@@ -449,6 +649,7 @@ Result<Estimate> Executor::AggregatePositions(
 Result<Estimate> Executor::ScanAggregate(TableEntry* entry,
                                          const Predicate& pred,
                                          const ColumnVector* measure,
+                                         const CompressedInt64Column* measure_comp,
                                          AggKind kind, const ExecContext& ctx,
                                          ExecStats* stats) {
   const bool tracing = ctx.tracing();
@@ -460,13 +661,16 @@ Result<Estimate> Executor::ScanAggregate(TableEntry* entry,
   TraceSpan select_span("select", tracing, &stats->select_nanos);
   EXPLOREDB_ASSIGN_OR_RETURN(size_t n, entry->NumRows());
   const std::vector<Condition>& conds = pred.conjuncts();
-  EXPLOREDB_ASSIGN_OR_RETURN(std::vector<const ColumnVector*> cols,
-                             FetchConditionColumns(entry, conds));
+  EXPLOREDB_ASSIGN_OR_RETURN(CondInputs in,
+                             FetchCondInputs(entry, conds, ctx));
   const size_t morsel = std::max<size_t>(1, ctx.morsel_size());
   EXPLOREDB_ASSIGN_OR_RETURN(MorselPlan plan,
-                             PlanMorsels(entry, conds, cols, n, morsel, ctx));
+                             PlanMorsels(entry, conds, in, n, morsel, ctx));
   stats->morsels_pruned += plan.pruned;
   stats->rows_scanned += n - plan.rows_pruned;
+  if (in.any_compressed || measure_comp != nullptr) {
+    stats->compressed_morsels += plan.live.size();
+  }
   select_span.Stop();
 
   TraceSpan agg_span("aggregate", tracing, &stats->aggregate_nanos);
@@ -482,12 +686,13 @@ Result<Estimate> Executor::ScanAggregate(TableEntry* entry,
 
   // One fused pass per morsel: filter into the worker's reusable selection
   // vector, reduce it with the dispatched masked-sum kernel, keep only the
-  // (sum, count) partial. Partials merge in morsel order below, so the
-  // result is bit-identical for any thread count (serial is the same
+  // (sum, count, decompress) partial. Partials merge in morsel order below,
+  // so the result is bit-identical for any thread count (serial is the same
   // computation with one worker).
   struct Partial {
     double sum = 0;
     uint64_t count = 0;
+    int64_t decompress_nanos = 0;
   };
   std::vector<Partial> partials(plan.live.size());
   auto agg_morsel = [&](size_t i) {
@@ -498,12 +703,34 @@ Result<Estimate> Executor::ScanAggregate(TableEntry* entry,
         static_cast<uint32_t>(std::min(n, m * morsel + morsel));
     std::vector<uint32_t>& sel = MorselScratch();
     sel.clear();
-    Predicate::FilterRange(conds, cols, begin, end, &sel);
+    if (in.any_compressed) {
+      FilterRangeMixed(conds, in, begin, end, tracing,
+                       &partials[i].decompress_nanos, &sel);
+    } else {
+      Predicate::FilterRange(conds, in.cols, begin, end, &sel);
+    }
     partials[i].count = sel.size();
     if (kind != AggKind::kCount && !sel.empty()) {
       const auto cnt = static_cast<uint32_t>(sel.size());
-      partials[i].sum = dbl != nullptr ? kt.sum_f64_sel(dbl, sel.data(), cnt)
-                                       : kt.sum_i64_sel(i64, sel.data(), cnt);
+      if (measure_comp != nullptr) {
+        // Decode only the surviving rows of the compressed measure, then
+        // reduce the dense decode with an identity selection: the masked-sum
+        // kernel sees the same value sequence (and stripe order) as the raw
+        // path, so the double is bit-identical.
+        std::vector<int64_t>& vals = MorselValueScratch();
+        vals.resize(cnt);
+        {
+          TraceSpan dspan("decompress", tracing,
+                          &partials[i].decompress_nanos);
+          measure_comp->Gather(sel.data(), cnt, vals.data());
+        }
+        partials[i].sum =
+            kt.sum_i64_sel(vals.data(), IotaScratch(cnt).data(), cnt);
+      } else {
+        partials[i].sum = dbl != nullptr
+                              ? kt.sum_f64_sel(dbl, sel.data(), cnt)
+                              : kt.sum_i64_sel(i64, sel.data(), cnt);
+      }
     }
   };
   ThreadPool* pool = ctx.thread_pool();
@@ -528,6 +755,7 @@ Result<Estimate> Executor::ScanAggregate(TableEntry* entry,
   for (const Partial& p : partials) {
     sum += p.sum;
     matches += p.count;
+    stats->decompress_nanos += p.decompress_nanos;
   }
   Estimate e;
   e.confidence = ctx.options().confidence;
@@ -656,8 +884,11 @@ Result<QueryResult> Executor::ExecuteAggregate(TableEntry* entry,
   const QueryOptions& options = ctx.options();
   EXPLOREDB_ASSIGN_OR_RETURN(size_t n, entry->NumRows());
 
-  // Resolve the measure column (COUNT may omit it).
+  // Resolve the measure column (COUNT may omit it), plus its compressed
+  // representation when scans may use one (feeds the fused scan-aggregate's
+  // gather-from-compressed path).
   const ColumnVector* measure = nullptr;
+  const CompressedInt64Column* measure_comp = nullptr;
   if (!agg.column.empty()) {
     EXPLOREDB_ASSIGN_OR_RETURN(size_t idx,
                                entry->schema().FieldIndex(agg.column));
@@ -665,6 +896,11 @@ Result<QueryResult> Executor::ExecuteAggregate(TableEntry* entry,
     if (measure->type() == DataType::kString) {
       return Status::InvalidArgument("aggregate over string column '" +
                                      agg.column + "'");
+    }
+    if (measure->type() == DataType::kInt64 && options.use_compression) {
+      EXPLOREDB_ASSIGN_OR_RETURN(const CompressedColumn* cc,
+                                 entry->GetCompressed(idx));
+      if (cc != nullptr && cc->scan_enabled()) measure_comp = cc->i64();
     }
   } else if (agg.kind != AggKind::kCount) {
     return Status::InvalidArgument("only COUNT may omit the column");
@@ -860,8 +1096,8 @@ Result<QueryResult> Executor::ExecuteAggregate(TableEntry* entry,
       if (!indexed) {
         EXPLOREDB_ASSIGN_OR_RETURN(
             Estimate e,
-            ScanAggregate(entry, query.where(), measure, agg.kind, ctx,
-                          stats));
+            ScanAggregate(entry, query.where(), measure, measure_comp,
+                          agg.kind, ctx, stats));
         result.scalar = e;
         return result;
       }

@@ -93,10 +93,15 @@ class Executor {
   /// morsel filters into a reusable selection vector and reduces it with the
   /// dispatched masked-sum kernels in one pass, never materializing the
   /// full position list. Per-morsel partials merge in morsel order, so the
-  /// answer is bit-identical for any thread count and kernel path.
+  /// answer is bit-identical for any thread count and kernel path. When
+  /// `measure_comp` is non-null the measure values are gathered out of the
+  /// compressed representation (only surviving sub-blocks are decoded)
+  /// instead of the raw array — same values, same accumulation order.
   Result<Estimate> ScanAggregate(TableEntry* entry, const Predicate& pred,
-                                 const ColumnVector* measure, AggKind kind,
-                                 const ExecContext& ctx, ExecStats* stats);
+                                 const ColumnVector* measure,
+                                 const CompressedInt64Column* measure_comp,
+                                 AggKind kind, const ExecContext& ctx,
+                                 ExecStats* stats);
 
   Result<QueryResult> ExecuteAggregate(TableEntry* entry, const Query& query,
                                        ExecutionMode mode,

@@ -134,9 +134,10 @@ double EwmaUpdate(double current, double observed, double alpha) {
 // CostModel
 // ---------------------------------------------------------------------------
 
-double CostModel::ExactCostNs(uint64_t rows) const {
+double CostModel::ExactCostNs(uint64_t rows, bool compressed) const {
   MutexLock lock(mu_);
-  return static_cast<double>(rows) * exact_ns_per_row_;
+  return static_cast<double>(rows) *
+         (compressed ? exact_compressed_ns_per_row_ : exact_ns_per_row_);
 }
 
 double CostModel::SampleCostNs(uint64_t rows) const {
@@ -167,12 +168,12 @@ uint64_t CostModel::OnlineRowsWithin(double ns, uint64_t rows) const {
       std::min(consumable, static_cast<double>(rows)));
 }
 
-void CostModel::ObserveExact(uint64_t rows, int64_t nanos) {
+void CostModel::ObserveExact(uint64_t rows, int64_t nanos, bool compressed) {
   if (rows == 0 || nanos <= 0) return;
   MutexLock lock(mu_);
-  exact_ns_per_row_ = EwmaUpdate(
-      exact_ns_per_row_,
-      static_cast<double>(nanos) / static_cast<double>(rows), kAlpha);
+  double& rate = compressed ? exact_compressed_ns_per_row_ : exact_ns_per_row_;
+  rate = EwmaUpdate(
+      rate, static_cast<double>(nanos) / static_cast<double>(rows), kAlpha);
 }
 
 void CostModel::ObserveSample(uint64_t rows, int64_t nanos) {
@@ -216,11 +217,17 @@ void CostModel::ObserveRelativeError(double relative_error,
 void CostModel::SetExactNsPerRowForTest(double ns_per_row) {
   MutexLock lock(mu_);
   exact_ns_per_row_ = ns_per_row;
+  exact_compressed_ns_per_row_ = ns_per_row;
 }
 
 double CostModel::exact_ns_per_row() const {
   MutexLock lock(mu_);
   return exact_ns_per_row_;
+}
+
+double CostModel::exact_compressed_ns_per_row() const {
+  MutexLock lock(mu_);
+  return exact_compressed_ns_per_row_;
 }
 
 // ---------------------------------------------------------------------------
@@ -229,7 +236,8 @@ double CostModel::exact_ns_per_row() const {
 
 Result<Planner::ScanEstimate> Planner::EstimateScan(TableEntry* entry,
                                                     const Query& query,
-                                                    uint64_t n) {
+                                                    uint64_t n,
+                                                    bool use_compression) {
   ScanEstimate est;
   est.live_rows = n;
   if (n == 0 || query.where().empty()) return est;
@@ -241,7 +249,17 @@ Result<Planner::ScanEstimate> Planner::EstimateScan(TableEntry* entry,
     if (c.constant.is_string()) continue;
     EXPLOREDB_ASSIGN_OR_RETURN(const ZoneMap* zm, entry->GetZoneMap(c.column));
     pruners.emplace_back(zm, &c);
-    est.selectivity *= zm->EstimateSelectivity(c);
+    // The compressed representation sharpens the estimate — exact counts for
+    // RLE blocks — and flags the scan for the compressed cost rate.
+    const CompressedInt64Column* ci = nullptr;
+    if (use_compression && schema.field(c.column).type == DataType::kInt64 &&
+        c.constant.is_int64()) {
+      EXPLOREDB_ASSIGN_OR_RETURN(const CompressedColumn* cc,
+                                 entry->GetCompressed(c.column));
+      if (cc != nullptr && cc->scan_enabled()) ci = cc->i64();
+    }
+    if (ci != nullptr) est.compressed = true;
+    est.selectivity *= zm->EstimateSelectivity(c, ci);
   }
   if (pruners.empty()) return est;
   // Count the rows of zones every conjunct may match — what a pruned scan
@@ -293,12 +311,15 @@ Result<QueryResult> Planner::Execute(const Query& query, const ExecContext& ctx,
         query.aggregate().has_value() && !query.group_by().has_value();
     const bool grouped = query.group_by().has_value();
 
-    EXPLOREDB_ASSIGN_OR_RETURN(ScanEstimate scan, EstimateScan(entry, query, n));
+    EXPLOREDB_ASSIGN_OR_RETURN(
+        ScanEstimate scan,
+        EstimateScan(entry, query, n, ctx.options().use_compression));
 
     // Rung 2: pruned exact scan. Always costed; cache (rung 1) is consulted
     // by the Session before the planner runs.
     uint32_t plans = 1;
-    const double exact_cost = cost_model_.ExactCostNs(scan.live_rows);
+    const double exact_cost =
+        cost_model_.ExactCostNs(scan.live_rows, scan.compressed);
     const bool exact_fits = exact_cost <= budget_ns * kBudgetHeadroom;
 
     // Rung 3: uniform-sample estimate sized to the budget (the row-at-a-time
@@ -408,7 +429,8 @@ Result<QueryResult> Planner::Execute(const Query& query, const ExecContext& ctx,
               scan.live_rows,
               std::chrono::duration_cast<std::chrono::nanoseconds>(
                   std::chrono::steady_clock::now() - start)
-                  .count());
+                  .count(),
+              scan.compressed);
           ExecContext rescue = ctx;
           rescue.SetMode(ExecutionMode::kSampled);
           rescue.options().sample_fraction =
@@ -484,7 +506,8 @@ Result<QueryResult> Planner::Execute(const Query& query, const ExecContext& ctx,
     }
     if (stats.planner_choice == PlannerChoice::kExact) {
       cost_model_.ObserveExact(stats.rows_scanned,
-                               stats.total_nanos - planner_nanos);
+                               stats.total_nanos - planner_nanos,
+                               stats.compressed_morsels > 0);
     } else if (stats.planner_choice == PlannerChoice::kSample) {
       cost_model_.ObserveSample(stats.rows_scanned,
                                 stats.total_nanos - planner_nanos);

@@ -24,8 +24,12 @@ class TableEntry;
 class CostModel {
  public:
   /// Predicted wall cost of an exact (zone-map pruned, possibly indexed)
-  /// scan-aggregate over `rows` live rows.
-  double ExactCostNs(uint64_t rows) const EXCLUDES(mu_);
+  /// scan-aggregate over `rows` live rows. `compressed` selects the
+  /// per-representation rate: compressed scans filter on packed words / run
+  /// headers and decode only survivors, so their ns/row calibrates
+  /// separately from the raw-column rate.
+  double ExactCostNs(uint64_t rows, bool compressed = false) const
+      EXCLUDES(mu_);
   /// Predicted wall cost of the row-at-a-time uniform-sample path over
   /// `rows` sampled rows.
   double SampleCostNs(uint64_t rows) const EXCLUDES(mu_);
@@ -43,7 +47,10 @@ class CostModel {
   uint64_t OnlineRowsWithin(double ns, uint64_t rows) const EXCLUDES(mu_);
 
   // -- Calibration (called by the planner after each budgeted execution) ----
-  void ObserveExact(uint64_t rows, int64_t nanos) EXCLUDES(mu_);
+  /// `compressed` routes the observation to the representation that actually
+  /// served the scan (ExecStats::compressed_morsels > 0).
+  void ObserveExact(uint64_t rows, int64_t nanos, bool compressed = false)
+      EXCLUDES(mu_);
   void ObserveSample(uint64_t rows, int64_t nanos) EXCLUDES(mu_);
   void ObserveOnline(uint64_t rows, uint64_t consumed, int64_t nanos)
       EXCLUDES(mu_);
@@ -53,10 +60,11 @@ class CostModel {
                             double confidence) EXCLUDES(mu_);
 
   // -- Test hooks ----------------------------------------------------------
-  /// Pins the exact-scan rate (ns/row), e.g. absurdly high to force the
-  /// planner off the exact plan deterministically.
+  /// Pins the exact-scan rates (raw and compressed), e.g. absurdly high to
+  /// force the planner off the exact plan deterministically.
   void SetExactNsPerRowForTest(double ns_per_row) EXCLUDES(mu_);
   double exact_ns_per_row() const EXCLUDES(mu_);
+  double exact_compressed_ns_per_row() const EXCLUDES(mu_);
 
  private:
   static constexpr double kAlpha = 0.3;  ///< EWMA weight of new observations
@@ -66,6 +74,9 @@ class CostModel {
   // realistic for the vectorized exact path; calibration replaces them after
   // the first few queries either way.
   double exact_ns_per_row_ GUARDED_BY(mu_) = 1.0;
+  // Compressed scans skip whole blocks/runs before touching row data; seeded
+  // slightly under the raw rate, calibrated independently.
+  double exact_compressed_ns_per_row_ GUARDED_BY(mu_) = 0.8;
   double sample_ns_per_row_ GUARDED_BY(mu_) = 25.0;
   double online_build_ns_per_row_ GUARDED_BY(mu_) = 6.0;
   double online_ns_per_row_ GUARDED_BY(mu_) = 12.0;
@@ -107,9 +118,13 @@ class Planner {
   struct ScanEstimate {
     uint64_t live_rows = 0;     ///< rows in zones the predicate may match
     double selectivity = 1.0;   ///< estimated matching fraction
+    /// True when some conjunct will be served by a compressed representation
+    /// (selects the compressed exact-scan rate; the selectivity above then
+    /// also uses the sharper per-block/RLE-exact model).
+    bool compressed = false;
   };
   Result<ScanEstimate> EstimateScan(TableEntry* entry, const Query& query,
-                                    uint64_t n);
+                                    uint64_t n, bool use_compression);
 
   /// Runs the online-aggregation loop, streaming monotone deliveries through
   /// `callback` (if any) until the deadline / target error / exhaustion.

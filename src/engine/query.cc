@@ -68,6 +68,9 @@ std::string ExecStats::Summary() const {
   out += " rows=" + std::to_string(rows_scanned);
   out += " morsels=" + std::to_string(morsels_dispatched);
   out += " pruned=" + std::to_string(morsels_pruned);
+  if (compressed_morsels > 0) {
+    out += " compressed=" + std::to_string(compressed_morsels);
+  }
   out += " threads=" + std::to_string(threads_used);
   out += " simd=";
   out += simd::SimdPathName(simd_path);
@@ -83,6 +86,9 @@ std::string ExecStats::Summary() const {
   out += " | plan=" + FormatDurationNanos(plan_nanos);
   out += " select=" + FormatDurationNanos(select_nanos);
   out += " agg=" + FormatDurationNanos(aggregate_nanos);
+  if (decompress_nanos > 0) {
+    out += " decompress=" + FormatDurationNanos(decompress_nanos);
+  }
   out += " project=" + FormatDurationNanos(project_nanos);
   out += " total=" + FormatDurationNanos(total_nanos);
   return out;

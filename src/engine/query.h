@@ -77,6 +77,11 @@ struct QueryOptions {
   /// Scans consult per-column zone maps and skip morsels the predicate
   /// cannot match. Off is only useful for pruning A/B tests and benches.
   bool use_zone_maps = true;
+  /// Scans run on a column's compressed representation when it has one
+  /// (packed frame-of-reference filters, RLE run skipping, dictionary-code
+  /// equality for strings). Results are bit-identical either way; off forces
+  /// the raw-column kernels, for A/B tests and benches.
+  bool use_compression = true;
   /// Force trace-span recording for this query even when process-wide
   /// tracing (EXPLOREDB_TRACE=1 / Tracer::SetEnabled) is off. This is how
   /// Session::ExplainAnalyze captures one query's per-phase/per-morsel
@@ -106,6 +111,9 @@ struct ExecStats {
   uint64_t rows_scanned = 0;       ///< row visits across all phases
   uint64_t morsels_dispatched = 0; ///< parallel work units issued
   uint64_t morsels_pruned = 0;     ///< morsels skipped via zone-map bounds
+  /// Morsels whose predicate ran on compressed data (packed FOR words, RLE
+  /// run headers, dictionary codes) instead of the raw column.
+  uint64_t compressed_morsels = 0;
   uint32_t threads_used = 1;       ///< distinct threads that did work
   AccessPath path = AccessPath::kNone;
   /// What actually ran after mode resolution: kAuto and kBudgeted resolve to
@@ -135,6 +143,11 @@ struct ExecStats {
   int64_t select_nanos = 0;     ///< predicate evaluation / index probe
   int64_t aggregate_nanos = 0;  ///< accumulator evaluation + merge
   int64_t project_nanos = 0;    ///< gathering output columns
+  /// Time spent unpacking compressed blocks (gathering survivors out of FOR
+  /// sub-blocks / RLE runs). A subset of select/aggregate time, not an extra
+  /// phase; ExplainAnalyze surfaces it so "how much did decompression cost"
+  /// has a number.
+  int64_t decompress_nanos = 0;
   int64_t total_nanos = 0;
 
   /// One human-readable summary line, e.g.

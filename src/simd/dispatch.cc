@@ -36,12 +36,16 @@ constexpr KernelTable kScalarTable = {
     scalar::GatherU32,
     scalar::GatherF64,
     scalar::WidenI64F64,
+    scalar::UnpackForI64,
+    scalar::FilterPackedI64,
 };
 
 #if defined(EXPLOREDB_SIMD_HAVE_SSE42)
 // SSE4.2 vectorizes the compare/compress and contiguous min/max loops;
 // gather-dependent kernels and the shared striped sums stay scalar (there is
 // no vector gather below AVX2, and sharing one sum keeps bits identical).
+// The packed FOR kernels also stay scalar on this tier: they need per-lane
+// variable shifts (vpsrlvq/vpsllvq), which first appear with AVX2.
 constexpr KernelTable kSse42Table = {
     SimdPath::kSse42,
     sse42::FilterI64Cmp,
@@ -64,6 +68,8 @@ constexpr KernelTable kSse42Table = {
     scalar::GatherU32,
     scalar::GatherF64,
     scalar::WidenI64F64,
+    scalar::UnpackForI64,
+    scalar::FilterPackedI64,
 };
 #endif
 
@@ -92,6 +98,8 @@ constexpr KernelTable kAvx2Table = {
     avx2::GatherU32,
     avx2::GatherF64,
     scalar::WidenI64F64,
+    avx2::UnpackForI64,
+    avx2::FilterPackedI64,
 };
 #endif
 

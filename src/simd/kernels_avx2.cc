@@ -637,6 +637,117 @@ void GatherF64(const double* src, const uint32_t* sel, uint32_t n,
   for (; i < n; ++i) out[i] = src[sel[i]];
 }
 
+namespace {
+
+// Scalar tail extraction, identical to the scalar kernel's.
+inline uint64_t ExtractDelta(const uint64_t* words, uint64_t j,
+                             uint32_t width) {
+  const uint64_t bit = j * width;
+  const uint64_t w = bit >> 6;
+  const uint32_t o = static_cast<uint32_t>(bit & 63);
+  uint64_t v = words[w] >> o;
+  if (o + width > 64) v |= words[w + 1] << (64 - o);
+  const uint64_t mask =
+      width == 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1;
+  return v & mask;
+}
+
+// Loads the 4 packed deltas at indices j..j+3. Each lane combines its word
+// pair (lo >> o) | (hi << (64 - o)) with per-lane variable shifts; a 64-count
+// vpsllvq yields 0, which is exactly what the o == 0 case needs. The hi-word
+// gather at idx + 1 is unconditional — the stream's guard word keeps it in
+// bounds.
+inline __m256i LoadDeltas4(const uint64_t* words, uint64_t j, uint32_t width,
+                           __m256i width_mask) {
+  const uint64_t b0 = j * width;
+  const uint64_t b1 = b0 + width;
+  const uint64_t b2 = b1 + width;
+  const uint64_t b3 = b2 + width;
+  const __m128i idx = _mm_setr_epi32(
+      static_cast<int>(b0 >> 6), static_cast<int>(b1 >> 6),
+      static_cast<int>(b2 >> 6), static_cast<int>(b3 >> 6));
+  const __m256i off = _mm256_setr_epi64x(
+      static_cast<long long>(b0 & 63), static_cast<long long>(b1 & 63),
+      static_cast<long long>(b2 & 63), static_cast<long long>(b3 & 63));
+  const int64_t* base = reinterpret_cast<const int64_t*>(words);
+  const __m256i lo_w = GatherEpi64(base, idx);
+  const __m256i hi_w =
+      GatherEpi64(base, _mm_add_epi32(idx, _mm_set1_epi32(1)));
+  const __m256i v = _mm256_or_si256(
+      _mm256_srlv_epi64(lo_w, off),
+      _mm256_sllv_epi64(hi_w,
+                        _mm256_sub_epi64(_mm256_set1_epi64x(64), off)));
+  return _mm256_and_si256(v, width_mask);
+}
+
+inline __m256i WidthMask(uint32_t width) {
+  return _mm256_set1_epi64x(
+      width == 64 ? -1LL
+                  : static_cast<long long>((uint64_t{1} << width) - 1));
+}
+
+}  // namespace
+
+void UnpackForI64(const uint64_t* words, uint32_t start, uint32_t n,
+                  uint32_t width, int64_t frame, int64_t* out) {
+  if (width == 0) {
+    scalar::UnpackForI64(words, start, n, width, frame, out);
+    return;
+  }
+  const __m256i width_mask = WidthMask(width);
+  const __m256i fv = _mm256_set1_epi64x(frame);
+  uint32_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i d =
+        LoadDeltas4(words, uint64_t{start} + i, width, width_mask);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_add_epi64(fv, d));
+  }
+  const uint64_t base = static_cast<uint64_t>(frame);
+  for (; i < n; ++i) {
+    out[i] = static_cast<int64_t>(
+        base + ExtractDelta(words, uint64_t{start} + i, width));
+  }
+}
+
+uint32_t FilterPackedI64(const uint64_t* words, uint32_t start, uint32_t n,
+                         uint32_t width, uint64_t lo, uint64_t hi,
+                         uint32_t row_base, uint32_t* out) {
+  if (width == 0) {
+    return scalar::FilterPackedI64(words, start, n, width, lo, hi, row_base,
+                                   out);
+  }
+  // vpcmpgtq is signed; XOR-ing the sign bit into both sides turns it into
+  // the unsigned compare the delta domain needs.
+  const __m256i bias = _mm256_set1_epi64x(std::numeric_limits<int64_t>::min());
+  const __m256i lo_b = _mm256_set1_epi64x(
+      static_cast<long long>(lo ^ (uint64_t{1} << 63)));
+  const __m256i hi_b = _mm256_set1_epi64x(
+      static_cast<long long>(hi ^ (uint64_t{1} << 63)));
+  const __m256i width_mask = WidthMask(width);
+  const __m128i iota = _mm_setr_epi32(0, 1, 2, 3);
+  uint32_t cnt = 0;
+  uint32_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i d =
+        LoadDeltas4(words, uint64_t{start} + i, width, width_mask);
+    const __m256i vs = _mm256_xor_si256(d, bias);
+    int bits = _mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_cmpgt_epi64(lo_b, vs)));
+    bits |= _mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_cmpgt_epi64(vs, hi_b)));
+    bits ^= 0xF;  // inside [lo, hi]  ==  !(v < lo) && !(v > hi)
+    const __m128i pos =
+        _mm_add_epi32(_mm_set1_epi32(static_cast<int>(row_base + i)), iota);
+    cnt = Emit4(out, cnt, pos, bits);
+  }
+  for (; i < n; ++i) {
+    const uint64_t v = ExtractDelta(words, uint64_t{start} + i, width);
+    if (v >= lo && v <= hi) out[cnt++] = row_base + i;
+  }
+  return cnt;
+}
+
 }  // namespace exploredb::simd::avx2
 
 #endif  // EXPLOREDB_SIMD_HAVE_AVX2

@@ -48,6 +48,11 @@ void GatherU32(const uint32_t* src, const uint32_t* sel, uint32_t n,
 void GatherF64(const double* src, const uint32_t* sel, uint32_t n,
                double* out);
 void WidenI64F64(const int64_t* src, size_t n, double* dst);
+void UnpackForI64(const uint64_t* words, uint32_t start, uint32_t n,
+                  uint32_t width, int64_t frame, int64_t* out);
+uint32_t FilterPackedI64(const uint64_t* words, uint32_t start, uint32_t n,
+                         uint32_t width, uint64_t lo, uint64_t hi,
+                         uint32_t row_base, uint32_t* out);
 
 }  // namespace scalar
 
@@ -105,6 +110,11 @@ void GatherU32(const uint32_t* src, const uint32_t* sel, uint32_t n,
                uint32_t* out);
 void GatherF64(const double* src, const uint32_t* sel, uint32_t n,
                double* out);
+void UnpackForI64(const uint64_t* words, uint32_t start, uint32_t n,
+                  uint32_t width, int64_t frame, int64_t* out);
+uint32_t FilterPackedI64(const uint64_t* words, uint32_t start, uint32_t n,
+                         uint32_t width, uint64_t lo, uint64_t hi,
+                         uint32_t row_base, uint32_t* out);
 
 }  // namespace avx2
 #endif  // EXPLOREDB_SIMD_HAVE_AVX2

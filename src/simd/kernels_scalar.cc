@@ -265,4 +265,51 @@ void WidenI64F64(const int64_t* src, size_t n, double* dst) {
   for (size_t i = 0; i < n; ++i) dst[i] = static_cast<double>(src[i]);
 }
 
+namespace {
+
+// Extracts the `width`-bit delta at index j from the little-endian packed
+// stream. A delta straddles at most two words because width <= 64.
+inline uint64_t ExtractDelta(const uint64_t* words, uint64_t j,
+                             uint32_t width) {
+  const uint64_t bit = j * width;
+  const uint64_t w = bit >> 6;
+  const uint32_t o = static_cast<uint32_t>(bit & 63);
+  uint64_t v = words[w] >> o;
+  if (o + width > 64) v |= words[w + 1] << (64 - o);
+  const uint64_t mask =
+      width == 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1;
+  return v & mask;
+}
+
+}  // namespace
+
+void UnpackForI64(const uint64_t* words, uint32_t start, uint32_t n,
+                  uint32_t width, int64_t frame, int64_t* out) {
+  if (width == 0) {
+    for (uint32_t i = 0; i < n; ++i) out[i] = frame;
+    return;
+  }
+  const uint64_t base = static_cast<uint64_t>(frame);
+  for (uint32_t i = 0; i < n; ++i) {
+    out[i] = static_cast<int64_t>(base + ExtractDelta(words, start + i, width));
+  }
+}
+
+uint32_t FilterPackedI64(const uint64_t* words, uint32_t start, uint32_t n,
+                         uint32_t width, uint64_t lo, uint64_t hi,
+                         uint32_t row_base, uint32_t* out) {
+  uint32_t cnt = 0;
+  if (width == 0) {
+    // Every delta is zero: all rows match iff 0 is inside [lo, hi].
+    if (lo != 0) return 0;
+    for (uint32_t i = 0; i < n; ++i) out[cnt++] = row_base + i;
+    return cnt;
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint64_t v = ExtractDelta(words, start + i, width);
+    if (v >= lo && v <= hi) out[cnt++] = row_base + i;
+  }
+  return cnt;
+}
+
 }  // namespace exploredb::simd::scalar

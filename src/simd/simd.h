@@ -91,6 +91,24 @@ struct KernelTable {
 
   // --- Widening copy dst[i] = double(src[i]) (online-agg input build).
   void (*widen_i64_f64)(const int64_t* src, size_t n, double* dst);
+
+  // --- Packed frame-of-reference kernels (compressed columnar scans).
+  // `words` is a little-endian bitstream of `width`-bit unsigned deltas
+  // (width in [0, 64]); delta j occupies bits [j*width, (j+1)*width). The
+  // stream must carry one guard word past the last touched word (AVX2 loads
+  // word idx+1 unconditionally). width == 0 means every delta is zero and no
+  // bits are consumed.
+  /// out[i] = int64(uint64(frame) + delta(start + i)) for i in [0, n)
+  /// (two's-complement wrap addition, so INT64_MIN..INT64_MAX frames work).
+  void (*unpack_for_i64)(const uint64_t* words, uint32_t start, uint32_t n,
+                         uint32_t width, int64_t frame, int64_t* out);
+  /// Packed-domain range filter: writes row_base + j for each delta index j
+  /// in [start, start + n) whose delta lies in the INCLUSIVE unsigned
+  /// [lo, hi] (inclusive bounds cover the full uint64 domain without
+  /// overflow), in row order. `out` must have room for n entries.
+  uint32_t (*filter_packed_i64)(const uint64_t* words, uint32_t start,
+                                uint32_t n, uint32_t width, uint64_t lo,
+                                uint64_t hi, uint32_t row_base, uint32_t* out);
 };
 
 /// The table all engine call sites dispatch through. Resolved once, on first

@@ -5,6 +5,8 @@
 #include <string>
 #include <type_traits>
 
+#include "storage/compression/compressed_column.h"
+
 namespace exploredb {
 
 namespace {
@@ -222,10 +224,8 @@ Status ZoneMap::Validate(const ColumnVector* col) const {
   return Status::OK();
 }
 
-namespace {
-
-/// Fraction of a uniform [mn, mx] population satisfying `v op k`.
-double UniformFraction(double mn, double mx, CompareOp op, double k) {
+double UniformSelectivityFraction(double mn, double mx, CompareOp op,
+                                  double k) {
   if (std::isnan(mn) || std::isnan(mx) || std::isnan(k)) return 1.0;
   const double width = mx - mn;
   // P(v < k) and P(v <= k); the two differ only by the point mass at k,
@@ -256,8 +256,6 @@ double UniformFraction(double mn, double mx, CompareOp op, double k) {
   return 1.0;
 }
 
-}  // namespace
-
 double ZoneMap::EstimateSelectivity(const Condition& c) const {
   if (type_ == DataType::kString || c.constant.is_string() || num_rows_ == 0) {
     return 1.0;
@@ -275,9 +273,18 @@ double ZoneMap::EstimateSelectivity(const Condition& c) const {
     const double mx = type_ == DataType::kInt64
                           ? static_cast<double>(max_i64_[z])
                           : max_dbl_[z];
-    expected += UniformFraction(mn, mx, c.op, k) * static_cast<double>(rows);
+    expected +=
+        UniformSelectivityFraction(mn, mx, c.op, k) * static_cast<double>(rows);
   }
   return std::clamp(expected / static_cast<double>(num_rows_), 0.0, 1.0);
+}
+
+double ZoneMap::EstimateSelectivity(const Condition& c,
+                                    const CompressedInt64Column* comp) const {
+  if (comp != nullptr && type_ == DataType::kInt64 && c.constant.is_int64()) {
+    return comp->EstimateSelectivity(c.op, c.constant.int64());
+  }
+  return EstimateSelectivity(c);
 }
 
 std::optional<std::pair<int64_t, int64_t>> ZoneMap::Int64Range() const {

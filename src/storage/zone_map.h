@@ -12,6 +12,14 @@
 
 namespace exploredb {
 
+class CompressedInt64Column;
+
+/// Fraction of a uniform [mn, mx] population satisfying `v op k` — the
+/// selectivity model shared by the zone map and the compressed-block
+/// synopses (storage/compression).
+double UniformSelectivityFraction(double mn, double mx, CompareOp op,
+                                  double k);
+
 /// Per-zone min/max synopsis over one numeric column — the classic "zone
 /// map" (a.k.a. small materialized aggregate). Zones are fixed-width row
 /// ranges, so any morsel [begin, end) maps onto the zones it overlaps and a
@@ -49,6 +57,15 @@ class ZoneMap {
   /// clamped to [0, 1] and 1.0 whenever the map cannot say (string columns
   /// or constants, NaN-contaminated zones). O(zones).
   double EstimateSelectivity(const Condition& c) const;
+
+  /// Selectivity estimate that consults the column's compressed
+  /// representation when one exists: EXACT for RLE blocks (run headers give
+  /// true match counts) and per-block uniform otherwise — strictly at least
+  /// as good as the zone-only estimate on clustered data. Falls back to
+  /// EstimateSelectivity(c) when `comp` is null or the condition is not an
+  /// int64 comparison.
+  double EstimateSelectivity(const Condition& c,
+                             const CompressedInt64Column* comp) const;
 
   /// Well-formedness: the zones exactly cover [0, num_rows) (zone count is
   /// ceil(num_rows / zone_rows)) and min <= max in every zone. When `col` is
