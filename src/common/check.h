@@ -21,6 +21,21 @@
 ///  - DCHECK     for expensive validation (O(n) walks) worth paying for only
 ///               in debug/sanitizer builds. Compiles to nothing in NDEBUG but
 ///               the condition stays syntax- and type-checked.
+///
+/// Consuming a "cannot fail" Status: Status and Result<T> are [[nodiscard]],
+/// so a call site that has already established the preconditions of a
+/// fallible callee must still consume the returned status. The idiom is
+///
+///   Status st = column.Append(v);
+///   DCHECK_OK(st);  // arity and types validated above
+///
+/// — NOT `(void)st`. A void-cast asserts nothing and rots silently when the
+/// callee later grows a new failure mode; DCHECK_OK is free in Release yet
+/// aborts in debug/sanitizer builds the day the "cannot fail" claim breaks.
+/// Use CHECK_OK when the violated precondition would corrupt data downstream
+/// even in production. exploredb-lint rule R1 enforces the discipline
+/// tree-wide (tools/lint/). The only sanctioned silent drop is an explicit
+/// `st.IgnoreError()` with a comment saying why failure is tolerable.
 
 namespace exploredb {
 namespace internal {

@@ -17,8 +17,12 @@ namespace exploredb {
 ///   Result<Table> r = LoadCsv(path);
 ///   if (!r.ok()) return r.status();
 ///   Table t = std::move(r).ValueOrDie();
+///
+/// Like Status, Result is [[nodiscard]]: discarding one silently drops both
+/// an error AND a computed value. Propagate (EXPLOREDB_ASSIGN_OR_RETURN),
+/// assert success (CHECK_OK), or document the drop with IgnoreError().
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a successful result holding `value`.
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
@@ -56,6 +60,10 @@ class Result {
   T ValueOr(T fallback) const {
     return ok() ? std::get<T>(repr_) : std::move(fallback);
   }
+
+  /// Explicitly consumes the result (value and error alike) without acting
+  /// on it; see Status::IgnoreError for when this is appropriate.
+  void IgnoreError() const {}
 
  private:
   std::variant<Status, T> repr_;

@@ -32,7 +32,14 @@ const char* StatusCodeName(StatusCode code);
 ///
 /// Statuses are cheap to copy in the success case (no allocation) and carry a
 /// code plus a free-form message otherwise.
-class Status {
+///
+/// The class is [[nodiscard]]: every function returning a Status by value is
+/// a function whose failure the caller must handle. Callers either propagate
+/// (EXPLOREDB_RETURN_NOT_OK), assert success (CHECK_OK / DCHECK_OK, see
+/// common/check.h), or — rarely — document that the error is intentionally
+/// dropped by calling IgnoreError(). Bare discards do not compile
+/// (-Werror=unused-result), and exploredb-lint rule R1 flags them too.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK (success) status.
   Status() : code_(StatusCode::kOk) {}
@@ -85,6 +92,13 @@ class Status {
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;
+
+  /// Explicitly consumes the status without acting on it. The sanctioned way
+  /// to drop an error on the floor — grep-able, and it documents intent where
+  /// a CHECK_OK would be wrong because failure is genuinely tolerable (e.g.
+  /// best-effort speculative work). Prefer CHECK_OK/DCHECK_OK when the call
+  /// "cannot fail": those fail loudly if the impossible happens.
+  void IgnoreError() const {}
 
  private:
   StatusCode code_;

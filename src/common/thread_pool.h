@@ -53,6 +53,8 @@ class ThreadPool {
  private:
   void WorkerLoop() EXCLUDES(mu_);
 
+  // NOLINT-exploredb(guarded-by): filled in the constructor before any
+  // worker can observe the pool, never resized afterwards.
   std::vector<std::thread> threads_;
   Mutex mu_;
   CondVar cv_;

@@ -24,6 +24,8 @@ struct ThreadRing {
   std::array<TraceEvent, Tracer::kRingCapacity> events GUARDED_BY(mu);
   size_t size GUARDED_BY(mu) = 0;
   size_t next GUARDED_BY(mu) = 0;
+  // NOLINT-exploredb(guarded-by): assigned once under the registry lock
+  // before the ring is published to its owning thread; read-only after.
   uint32_t tid = 0;
 };
 

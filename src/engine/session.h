@@ -156,7 +156,9 @@ class Session {
 
   Database* const db_;
   const SessionOptions options_;
+  // NOLINT-exploredb(guarded-by): internally synchronized (owns its pool).
   Executor executor_;
+  // NOLINT-exploredb(guarded-by): internally synchronized (own Mutex).
   QueryResultCache cache_;
   mutable Mutex mu_;
   Speculator speculator_ GUARDED_BY(mu_);

@@ -148,7 +148,9 @@ void CubeNavigator::SpeculateNeighbors() {
     // Closer-to-current groupings first (prefer drill-downs of depth+1).
     double utility = 1.0 / (1.0 + static_cast<double>(dims.size()));
     speculator_.Enqueue(key, utility, [cube, dims]() {
-      (void)cube->Cuboid(dims);  // materialize; result discarded
+      // Speculative warm-up: only the side effect (a materialized cuboid in
+      // the cube's cache) matters, and a failed build is retried on demand.
+      cube->Cuboid(dims).IgnoreError();
     });
   }
   speculated_ += speculator_.RunIdle(budget_);

@@ -71,7 +71,7 @@ class QueryResultCache {
   };
 
   mutable Mutex mu_;
-  size_t capacity_;
+  const size_t capacity_;
   std::list<std::string> lru_ GUARDED_BY(mu_);  // front = most recent
   std::unordered_map<std::string, Entry> entries_ GUARDED_BY(mu_);
   CacheStats stats_ GUARDED_BY(mu_);

@@ -34,7 +34,7 @@ Status Table::AppendRow(const std::vector<Value>& row) {
   }
   for (size_t i = 0; i < row.size(); ++i) {
     Status st = columns_[i].Append(row[i]);
-    (void)st;  // Cannot fail: types validated above.
+    DCHECK_OK(st);  // Cannot fail: arity and types validated above.
   }
   return Status::OK();
 }

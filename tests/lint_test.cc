@@ -1,0 +1,158 @@
+// Golden tests for exploredb-lint (tools/lint). Each rule is pinned three
+// ways: a fixture that must fire, a fixture that must pass clean, and a
+// fixture where a suppression directive silences the finding. The
+// fixtures live in tools/lint/testdata/ and are linted as standalone files —
+// they never compile, only lex.
+//
+// EXPLOREDB_LINT_BINARY and EXPLOREDB_LINT_TESTDATA are injected by
+// tests/CMakeLists.txt.
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct LintRun {
+  int exit_code;
+  std::string output;
+};
+
+LintRun RunLint(const std::string& args) {
+  const std::string cmd =
+      std::string(EXPLOREDB_LINT_BINARY) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << "popen failed for: " << cmd;
+  std::string out;
+  char buf[4096];
+  while (pipe != nullptr && fgets(buf, sizeof(buf), pipe) != nullptr) {
+    out += buf;
+  }
+  const int raw = pipe != nullptr ? pclose(pipe) : -1;
+  const int code = WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+  return {code, out};
+}
+
+std::string Fixture(const std::string& rel) {
+  return std::string(EXPLOREDB_LINT_TESTDATA) + "/" + rel;
+}
+
+/// A "hit" fixture must fail with exactly the expected rule tag and a
+/// clickable file:line diagnostic.
+void ExpectHit(const std::string& fixture, const std::string& rule) {
+  LintRun run = RunLint(Fixture(fixture));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("[" + rule + "]"), std::string::npos) << run.output;
+  // file:line: error: — the format editors and CI annotations parse.
+  EXPECT_NE(run.output.find(fixture + ":"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find(": error: "), std::string::npos) << run.output;
+}
+
+void ExpectClean(const std::string& fixture) {
+  LintRun run = RunLint(Fixture(fixture));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(run.output, "");
+}
+
+TEST(LintCli, ListRulesNamesAllFive) {
+  LintRun run = RunLint("--list-rules");
+  EXPECT_EQ(run.exit_code, 0);
+  for (const char* rule : {"unchecked-status", "raw-sync-primitive",
+                           "guarded-by", "kernel-hygiene", "determinism"}) {
+    EXPECT_NE(run.output.find(rule), std::string::npos) << run.output;
+  }
+}
+
+TEST(LintCli, MissingPathIsUsageError) {
+  EXPECT_EQ(RunLint("").exit_code, 2);
+  EXPECT_EQ(RunLint(Fixture("does_not_exist.cc")).exit_code, 2);
+}
+
+// --- R1 unchecked-status ---------------------------------------------------
+
+TEST(LintR1, BareCallFires) { ExpectHit("r1_hit.cc", "unchecked-status"); }
+
+TEST(LintR1, VoidCastStillFires) {
+  ExpectHit("r1_void_cast_hit.cc", "unchecked-status");
+}
+
+TEST(LintR1, PropagatedStatusIsClean) { ExpectClean("r1_clean.cc"); }
+
+TEST(LintR1, NolintSuppresses) { ExpectClean("r1_suppressed.cc"); }
+
+// --- R2 raw-sync-primitive -------------------------------------------------
+
+TEST(LintR2, RawStdMutexFires) { ExpectHit("r2_hit.cc", "raw-sync-primitive"); }
+
+TEST(LintR2, AnnotatedWrapperIsClean) { ExpectClean("r2_clean.cc"); }
+
+TEST(LintR2, NolintSuppresses) { ExpectClean("r2_suppressed.cc"); }
+
+// --- R3 guarded-by ---------------------------------------------------------
+
+TEST(LintR3, UnguardedFieldOfMutexOwnerFires) {
+  ExpectHit("r3_hit.cc", "guarded-by");
+}
+
+TEST(LintR3, GuardedAndExemptFieldsAreClean) { ExpectClean("r3_clean.cc"); }
+
+TEST(LintR3, PrecedingLineNolintSuppresses) {
+  ExpectClean("r3_suppressed.cc");
+}
+
+// --- R4 kernel-hygiene -----------------------------------------------------
+
+TEST(LintR4, AllocationInKernelTuFires) {
+  ExpectHit("simd/kernels_hit.cc", "kernel-hygiene");
+}
+
+TEST(LintR4, AllocationFreeKernelIsClean) {
+  ExpectClean("simd/kernels_clean.cc");
+}
+
+TEST(LintR4, NolintSuppresses) { ExpectClean("simd/kernels_suppressed.cc"); }
+
+TEST(LintR4, IncompleteKernelTableTierFires) {
+  LintRun run = RunLint(Fixture("ktable_bad/simd/simd.h") + " " +
+                        Fixture("ktable_bad/simd/dispatch.cc"));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("[kernel-hygiene]"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("kAvx2Table binds 2 of 3"), std::string::npos)
+      << run.output;
+}
+
+TEST(LintR4, CompleteKernelTableIsClean) {
+  LintRun run = RunLint(Fixture("ktable_ok/simd/simd.h") + " " +
+                        Fixture("ktable_ok/simd/dispatch.cc"));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+// --- R5 determinism --------------------------------------------------------
+
+TEST(LintR5, RandCallFires) { ExpectHit("r5_hit.cc", "determinism"); }
+
+TEST(LintR5, StdRandomEngineFires) {
+  ExpectHit("r5_engine_hit.cc", "determinism");
+}
+
+TEST(LintR5, SeededProjectRandomIsClean) { ExpectClean("r5_clean.cc"); }
+
+TEST(LintR5, FileLevelNolintSuppressesEveryLine) {
+  ExpectClean("r5_suppressed.cc");
+}
+
+// --- Suppression grammar ---------------------------------------------------
+
+TEST(LintNolint, ReasonlessOrUnknownRuleDirectivesAreFindings) {
+  LintRun run = RunLint(Fixture("nolint_bad.cc"));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("requires a reason"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("unknown rule 'no-such-rule'"), std::string::npos)
+      << run.output;
+}
+
+}  // namespace

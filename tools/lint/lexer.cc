@@ -1,0 +1,159 @@
+// Tokenizer for exploredb-lint. Produces the minimum C++ lexical structure
+// the rules need: identifiers, literals (opaque), punctuation with "::" and
+// "->" kept whole, comments on the side, preprocessor lines dropped.
+
+#include <cctype>
+
+#include "lint.h"
+
+namespace exploredb::lint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+SourceFile Lex(const std::string& path, const std::string& content) {
+  SourceFile out;
+  out.path = path;
+  const size_t n = content.size();
+  size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since the last newline
+
+  auto advance = [&](size_t k) {
+    for (size_t j = 0; j < k && i < n; ++j, ++i) {
+      if (content[i] == '\n') {
+        ++line;
+        at_line_start = true;
+      }
+    }
+  };
+
+  while (i < n) {
+    const char c = content[i];
+
+    if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+
+    // Preprocessor directive: swallow to end of line, honoring continuations.
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        if (content[i] == '\\' && i + 1 < n && content[i + 1] == '\n') {
+          advance(2);
+          continue;
+        }
+        if (content[i] == '\n') break;
+        advance(1);
+      }
+      continue;
+    }
+    at_line_start = false;
+
+    // Line comment.
+    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      const int start_line = line;
+      advance(2);
+      std::string text;
+      while (i < n && content[i] != '\n') {
+        text += content[i];
+        advance(1);
+      }
+      out.comments.push_back({text, start_line});
+      continue;
+    }
+
+    // Block comment.
+    if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+      const int start_line = line;
+      advance(2);
+      std::string text;
+      while (i + 1 < n && !(content[i] == '*' && content[i + 1] == '/')) {
+        text += content[i];
+        advance(1);
+      }
+      advance(2);  // closing */
+      out.comments.push_back({text, start_line});
+      continue;
+    }
+
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && content[i + 1] == '"') {
+      size_t j = i + 2;
+      std::string delim;
+      while (j < n && content[j] != '(') delim += content[j++];
+      const std::string closer = ")" + delim + "\"";
+      size_t end = content.find(closer, j);
+      out.tokens.push_back({TokKind::kString, "R\"...\"", line});
+      advance((end == std::string::npos ? n : end + closer.size()) - i);
+      continue;
+    }
+
+    // String / char literal (content dropped; escapes honored).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int start_line = line;
+      advance(1);
+      while (i < n && content[i] != quote) {
+        if (content[i] == '\\' && i + 1 < n) advance(1);
+        advance(1);
+      }
+      advance(1);  // closing quote
+      out.tokens.push_back({quote == '"' ? TokKind::kString : TokKind::kChar,
+                            quote == '"' ? "\"...\"" : "'...'", start_line});
+      continue;
+    }
+
+    if (IsIdentStart(c)) {
+      std::string text;
+      while (i < n && IsIdentChar(content[i])) {
+        text += content[i];
+        advance(1);
+      }
+      out.tokens.push_back({TokKind::kIdent, text, line});
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string text;
+      // Good enough for lint purposes: digits plus the usual literal salad
+      // (hex, exponents, separators, suffixes).
+      while (i < n && (IsIdentChar(content[i]) || content[i] == '.' ||
+                       content[i] == '\'' ||
+                       ((content[i] == '+' || content[i] == '-') && i > 0 &&
+                        (content[i - 1] == 'e' || content[i - 1] == 'E' ||
+                         content[i - 1] == 'p' || content[i - 1] == 'P')))) {
+        text += content[i];
+        advance(1);
+      }
+      out.tokens.push_back({TokKind::kNumber, text, line});
+      continue;
+    }
+
+    // Punctuation. Keep the two sequences rules care about whole.
+    if (c == ':' && i + 1 < n && content[i + 1] == ':') {
+      out.tokens.push_back({TokKind::kPunct, "::", line});
+      advance(2);
+      continue;
+    }
+    if (c == '-' && i + 1 < n && content[i + 1] == '>') {
+      out.tokens.push_back({TokKind::kPunct, "->", line});
+      advance(2);
+      continue;
+    }
+    out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+    advance(1);
+  }
+
+  return out;
+}
+
+}  // namespace exploredb::lint

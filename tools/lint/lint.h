@@ -1,0 +1,122 @@
+#ifndef EXPLOREDB_TOOLS_LINT_LINT_H_
+#define EXPLOREDB_TOOLS_LINT_LINT_H_
+
+// exploredb-lint: project-specific static analysis for ExploreDB.
+//
+// A deliberately small, dependency-free checker (own lexer, no libclang) that
+// enforces the project invariants generic tooling cannot express:
+//
+//   R1 unchecked-status    a call to a Status/Result-returning function used
+//                          as a bare expression statement (or silenced with a
+//                          void cast) drops an error on the floor
+//   R2 raw-sync-primitive  std::mutex & friends outside common/mutex.h and
+//                          common/thread_pool.* escape -Wthread-safety
+//   R3 guarded-by          mutable fields of classes that own a
+//                          Mutex/SharedMutex must carry GUARDED_BY
+//   R4 kernel-hygiene      SIMD kernel TUs must stay allocation-free, and
+//                          every kernel slot in KernelTable must be bound in
+//                          the scalar, SSE4.2, and AVX2 tables
+//   R5 determinism         rand()/std::random_device/std engines outside
+//                          common/random.* break bit-for-bit reproducibility
+//
+// Suppression: `// NOLINT-exploredb(rule): reason` on the offending line, or
+// `// NOLINT-exploredb-file(rule): reason` anywhere in the file. The reason
+// is mandatory; a reasonless or unknown-rule directive is itself an error.
+//
+// The tool is heuristic by design — it tokenizes real C++ but does not parse
+// it. Rules are tuned so that everything they flag in this codebase is a
+// genuine violation or deserves the documentation a NOLINT reason provides.
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace exploredb::lint {
+
+// ---------------------------------------------------------------------------
+// Lexer
+
+enum class TokKind : uint8_t {
+  kIdent,    // identifiers and keywords
+  kNumber,   // numeric literals
+  kString,   // string literals (content dropped, one token)
+  kChar,     // character literals
+  kPunct,    // operators/punctuation; multi-char "::" "->" kept whole
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;
+
+  bool Is(const char* s) const { return text == s; }
+};
+
+struct Comment {
+  std::string text;  // without the // or /* */ markers
+  int line;          // line the comment starts on
+};
+
+/// One tokenized source file. Preprocessor directives are skipped entirely
+/// (macro bodies are not statements); comments are kept separately for the
+/// NOLINT scanner.
+struct SourceFile {
+  std::string path;          // as given on the command line
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Tokenizes `content`. Never fails: unrecognized bytes become single-char
+/// punct tokens.
+SourceFile Lex(const std::string& path, const std::string& content);
+
+// ---------------------------------------------------------------------------
+// Diagnostics & suppression
+
+struct Diagnostic {
+  std::string file;
+  int line;
+  std::string rule;     // "unchecked-status", ... or "nolint" for bad directives
+  std::string message;
+};
+
+/// Parsed NOLINT-exploredb directives of one file.
+class Suppressions {
+ public:
+  /// Scans `file`'s comments; malformed directives are reported into `diags`.
+  Suppressions(const SourceFile& file, std::vector<Diagnostic>* diags);
+
+  /// True when `rule` is suppressed on `line` (line- or file-level).
+  bool Suppressed(const std::string& rule, int line) const;
+
+ private:
+  std::set<std::string> file_rules_;
+  std::map<std::string, std::set<int>> line_rules_;  // rule -> lines
+};
+
+// ---------------------------------------------------------------------------
+// Rule engine
+
+/// All rule identifiers, as used in diagnostics and NOLINT directives.
+const std::vector<std::string>& RuleNames();
+
+/// Cross-file state for R1: the names of functions declared anywhere in the
+/// scanned set with a Status or Result<T> return type.
+std::set<std::string> CollectStatusReturningFunctions(
+    const std::vector<SourceFile>& files);
+
+/// Runs every per-file rule over `file`, honoring its suppressions.
+void LintFile(const SourceFile& file,
+              const std::set<std::string>& status_fns,
+              std::vector<Diagnostic>* diags);
+
+/// R4 cross-file half: KernelTable tier-completeness. Looks for simd.h and
+/// dispatch.cc in `files`; no-op when either is absent from the scan set.
+void CheckKernelTableCompleteness(const std::vector<SourceFile>& files,
+                                  std::vector<Diagnostic>* diags);
+
+}  // namespace exploredb::lint
+
+#endif  // EXPLOREDB_TOOLS_LINT_LINT_H_

@@ -1,0 +1,123 @@
+// exploredb-lint driver: walks the given files/directories, lexes every C++
+// source, and runs the project rules. Diagnostics are clickable `file:line:`
+// lines on stdout; the exit code is the CI contract (0 clean, 1 findings,
+// 2 usage/IO error).
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace fs = std::filesystem;
+using exploredb::lint::Diagnostic;
+using exploredb::lint::SourceFile;
+
+namespace {
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".hh" || ext == ".cc" ||
+         ext == ".cpp" || ext == ".cxx";
+}
+
+/// Lint fixtures are deliberate violations; never pick them up from a
+/// directory walk (the test harness lints them file by file).
+bool InTestdata(const fs::path& p) {
+  for (const auto& part : p) {
+    if (part == "testdata") return true;
+  }
+  return false;
+}
+
+int Usage() {
+  std::cerr
+      << "usage: exploredb-lint [--list-rules] <file-or-dir>...\n"
+         "\n"
+         "ExploreDB project lint: R1 unchecked-status, R2 raw-sync-"
+         "primitive,\nR3 guarded-by, R4 kernel-hygiene, R5 determinism.\n"
+         "Suppress with // NOLINT-exploredb(rule): reason  (line) or\n"
+         "// NOLINT-exploredb-file(rule): reason  (whole file).\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const std::string& r : exploredb::lint::RuleNames()) {
+        std::cout << r << "\n";
+      }
+      return 0;
+    }
+    if (arg.rfind("--", 0) == 0) return Usage();
+    paths.push_back(arg);
+  }
+  if (paths.empty()) return Usage();
+
+  // Expand directories, dedupe, keep a stable order for reproducible output.
+  std::vector<std::string> files;
+  for (const std::string& p : paths) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (auto it = fs::recursive_directory_iterator(p, ec);
+           it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_regular_file() && IsSourceFile(it->path()) &&
+            !InTestdata(it->path())) {
+          files.push_back(it->path().lexically_normal().string());
+        }
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(fs::path(p).lexically_normal().string());
+    } else {
+      std::cerr << "exploredb-lint: cannot read '" << p << "'\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<SourceFile> sources;
+  sources.reserve(files.size());
+  for (const std::string& f : files) {
+    std::ifstream in(f, std::ios::binary);
+    if (!in) {
+      std::cerr << "exploredb-lint: cannot open '" << f << "'\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    sources.push_back(exploredb::lint::Lex(f, buf.str()));
+  }
+
+  std::vector<Diagnostic> diags;
+  const std::set<std::string> status_fns =
+      exploredb::lint::CollectStatusReturningFunctions(sources);
+  for (const SourceFile& src : sources) {
+    exploredb::lint::LintFile(src, status_fns, &diags);
+  }
+  exploredb::lint::CheckKernelTableCompleteness(sources, &diags);
+
+  std::stable_sort(diags.begin(), diags.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     return a.line < b.line;
+                   });
+  for (const Diagnostic& d : diags) {
+    std::cout << d.file << ":" << d.line << ": error: [" << d.rule << "] "
+              << d.message << "\n";
+  }
+  if (!diags.empty()) {
+    std::cerr << "exploredb-lint: " << diags.size() << " error(s) in "
+              << sources.size() << " file(s)\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,792 @@
+// Rule implementations for exploredb-lint. See lint.h for the catalog.
+//
+// Everything here works on the token stream from lexer.cc. The rules are
+// heuristics tuned to this codebase's idiom (see DESIGN.md §3c): they parse
+// enough C++ to be right about the code ExploreDB actually writes, and every
+// residual false positive is a place where a NOLINT reason documents
+// something worth documenting.
+
+#include <algorithm>
+#include <cstddef>
+
+#include "lint.h"
+
+namespace exploredb::lint {
+
+namespace {
+
+const char kRuleUncheckedStatus[] = "unchecked-status";
+const char kRuleRawSync[] = "raw-sync-primitive";
+const char kRuleGuardedBy[] = "guarded-by";
+const char kRuleKernelHygiene[] = "kernel-hygiene";
+const char kRuleDeterminism[] = "determinism";
+const char kRuleNolint[] = "nolint";  // malformed suppression directives
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool Contains(const std::string& s, const std::string& needle) {
+  return s.find(needle) != std::string::npos;
+}
+
+/// Thread-safety annotation macros (common/annotations.h). A `(` following
+/// one of these does not make a declaration a function.
+bool IsAnnotationMacro(const std::string& t) {
+  return t == "GUARDED_BY" || t == "PT_GUARDED_BY" || t == "EXCLUDES" ||
+         t == "REQUIRES" || t == "REQUIRES_SHARED" || t == "ACQUIRE" ||
+         t == "ACQUIRE_SHARED" || t == "RELEASE" || t == "RELEASE_SHARED" ||
+         t == "CAPABILITY" || t == "SCOPED_CAPABILITY" ||
+         t == "RETURN_CAPABILITY" || t == "TRY_ACQUIRE" ||
+         t == "ASSERT_CAPABILITY" || t == "NO_THREAD_SAFETY_ANALYSIS" ||
+         t == "alignas";
+}
+
+/// Advances `i` past a balanced pair assuming tokens[i] is the opener.
+/// Returns false (leaving i at end) on unbalanced input.
+bool SkipBalanced(const std::vector<Token>& toks, size_t* i, const char* open,
+                  const char* close) {
+  int depth = 0;
+  for (; *i < toks.size(); ++*i) {
+    if (toks[*i].Is(open)) ++depth;
+    if (toks[*i].Is(close) && --depth == 0) {
+      ++*i;
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+
+const std::vector<std::string> kRules = {
+    kRuleUncheckedStatus, kRuleRawSync, kRuleGuardedBy, kRuleKernelHygiene,
+    kRuleDeterminism,
+};
+
+}  // namespace
+
+const std::vector<std::string>& RuleNames() { return kRules; }
+
+Suppressions::Suppressions(const SourceFile& file,
+                           std::vector<Diagnostic>* diags) {
+  // A line directive covers its own line (trailing form) and the first code
+  // line after its comment block (preceding form) — so a suppression with a
+  // reason too long for one line still lands on the declaration below it.
+  std::set<int> comment_lines;
+  for (const Comment& c : file.comments) comment_lines.insert(c.line);
+  for (const Comment& c : file.comments) {
+    size_t pos = c.text.find("NOLINT-exploredb");
+    if (pos == std::string::npos) continue;
+    size_t i = pos + std::string("NOLINT-exploredb").size();
+    const bool file_level = c.text.compare(i, 5, "-file") == 0;
+    if (file_level) i += 5;
+
+    if (i >= c.text.size() || c.text[i] != '(') {
+      diags->push_back({file.path, c.line, kRuleNolint,
+                        "NOLINT-exploredb requires a rule list: "
+                        "// NOLINT-exploredb(rule): reason"});
+      continue;
+    }
+    const size_t close = c.text.find(')', i);
+    if (close == std::string::npos) {
+      diags->push_back({file.path, c.line, kRuleNolint,
+                        "unterminated NOLINT-exploredb rule list"});
+      continue;
+    }
+
+    // The reason after "):" is mandatory — a suppression that does not say
+    // WHY is a suppression nobody can ever audit or remove.
+    size_t after = close + 1;
+    while (after < c.text.size() && c.text[after] == ' ') ++after;
+    bool has_reason = after < c.text.size() && c.text[after] == ':';
+    if (has_reason) {
+      size_t r = after + 1;
+      while (r < c.text.size() && std::isspace(static_cast<unsigned char>(
+                                      c.text[r]))) {
+        ++r;
+      }
+      has_reason = r < c.text.size();
+    }
+    if (!has_reason) {
+      diags->push_back({file.path, c.line, kRuleNolint,
+                        "NOLINT-exploredb requires a reason: "
+                        "// NOLINT-exploredb(rule): why this is safe"});
+      continue;
+    }
+
+    // Parse the comma-separated rule list.
+    std::string list = c.text.substr(i + 1, close - i - 1);
+    size_t start = 0;
+    while (start <= list.size()) {
+      size_t comma = list.find(',', start);
+      std::string rule = list.substr(
+          start, comma == std::string::npos ? std::string::npos
+                                            : comma - start);
+      // Trim spaces.
+      while (!rule.empty() && rule.front() == ' ') rule.erase(rule.begin());
+      while (!rule.empty() && rule.back() == ' ') rule.pop_back();
+      if (std::find(kRules.begin(), kRules.end(), rule) == kRules.end()) {
+        diags->push_back({file.path, c.line, kRuleNolint,
+                          "unknown rule '" + rule +
+                              "' in NOLINT-exploredb directive"});
+      } else if (file_level) {
+        file_rules_.insert(rule);
+      } else {
+        line_rules_[rule].insert(c.line);
+        int effective = c.line + 1;
+        while (comment_lines.count(effective)) ++effective;
+        line_rules_[rule].insert(effective);
+      }
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
+}
+
+bool Suppressions::Suppressed(const std::string& rule, int line) const {
+  if (file_rules_.count(rule)) return true;
+  auto it = line_rules_.find(rule);
+  return it != line_rules_.end() && it->second.count(line) > 0;
+}
+
+// ---------------------------------------------------------------------------
+// R1 unchecked-status
+
+namespace {
+
+/// After a return-type token run ending at `*j`, parses a possibly-qualified
+/// declarator name followed by '('. Returns the name, or "" when the shape
+/// does not match.
+std::string ParseDeclaratorName(const std::vector<Token>& t, size_t j) {
+  if (j >= t.size() || t[j].kind != TokKind::kIdent) return "";
+  std::string last = t[j].text;
+  ++j;
+  while (j + 1 < t.size() && t[j].Is("::") &&
+         t[j + 1].kind == TokKind::kIdent) {
+    last = t[j + 1].text;
+    j += 2;
+  }
+  return (j < t.size() && t[j].Is("(")) ? last : "";
+}
+
+/// Keywords that can precede an identifier without being a return type.
+bool IsNonTypeKeyword(const std::string& s) {
+  static const std::set<std::string> kKw = {
+      "return",   "new",    "delete",   "throw",   "case",     "goto",
+      "co_return", "co_await", "if",    "while",   "for",      "switch",
+      "do",       "else",   "sizeof",   "alignof", "decltype", "using",
+      "typedef",  "template", "class",  "struct",  "enum",     "union",
+      "public",   "private", "protected", "friend", "operator", "not",
+      "and",      "or",     "typename",
+  };
+  return kKw.count(s) > 0;
+}
+
+}  // namespace
+
+std::set<std::string> CollectStatusReturningFunctions(
+    const std::vector<SourceFile>& files) {
+  std::set<std::string> fns;
+  // Names also declared with some OTHER return type anywhere in the scan
+  // set. A lexical tool cannot resolve which overload a call binds to, so an
+  // ambiguous name (e.g. a void bench helper shadowing a Result-returning
+  // engine API) is dropped from the rule — the compiler's [[nodiscard]]
+  // still covers those call sites.
+  std::set<std::string> other;
+  for (const SourceFile& f : files) {
+    const auto& t = f.tokens;
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != TokKind::kIdent) continue;
+      if (t[i].text == "Status" || t[i].text == "Result") {
+        size_t j = i + 1;
+        if (t[i].text == "Result") {
+          // Require and skip the template argument list.
+          if (j >= t.size() || !t[j].Is("<")) continue;
+          int depth = 0;
+          for (; j < t.size(); ++j) {
+            if (t[j].Is("<")) ++depth;
+            if (t[j].Is(">") && --depth == 0) {
+              ++j;
+              break;
+            }
+          }
+        }
+        // Status&/Status* returns hand out a reference, not an owned error —
+        // and anything that is not `name(` is a variable or a cast.
+        std::string name = ParseDeclaratorName(t, j);
+        if (!name.empty()) fns.insert(name);
+        continue;
+      }
+      // Any other `type [<...>] [*&] name(` declaration shape marks `name`
+      // as declared with a non-Status return somewhere.
+      if (IsNonTypeKeyword(t[i].text)) continue;
+      if (i > 0 && (t[i - 1].Is("::") || t[i - 1].Is(".") ||
+                    t[i - 1].Is("->") || t[i - 1].kind == TokKind::kIdent)) {
+        continue;  // qualified use / not the start of a type
+      }
+      size_t j = i + 1;
+      if (j < t.size() && t[j].Is("<")) {  // template args on the type
+        int depth = 0;
+        for (; j < t.size(); ++j) {
+          if (t[j].Is("<")) ++depth;
+          if (t[j].Is(">") && --depth == 0) {
+            ++j;
+            break;
+          }
+        }
+      }
+      while (j < t.size() && (t[j].Is("*") || t[j].Is("&"))) ++j;
+      std::string name = ParseDeclaratorName(t, j);
+      if (!name.empty()) other.insert(name);
+    }
+  }
+  for (const std::string& name : other) fns.erase(name);
+  return fns;
+}
+
+namespace {
+
+/// Tries to parse a bare call-expression statement starting at `i`:
+///   [ (void) ] name{::|.|->name}* ( ... ) { .name(...) | ->name(...) }* ;
+/// On success returns true and sets *callee to the last function called,
+/// *end to the index of the terminating ';', *cast to whether a (void) cast
+/// prefixed it.
+bool MatchCallStatement(const std::vector<Token>& t, size_t i, size_t* end,
+                        std::string* callee, bool* cast) {
+  *cast = false;
+  if (i + 2 < t.size() && t[i].Is("(") && t[i + 1].Is("void") &&
+      t[i + 2].Is(")")) {
+    *cast = true;
+    i += 3;
+  }
+  if (i < t.size() && t[i].Is("::")) ++i;  // fully qualified
+  if (i >= t.size() || t[i].kind != TokKind::kIdent) return false;
+  std::string last = t[i].text;
+  ++i;
+  while (i + 1 < t.size() &&
+         (t[i].Is("::") || t[i].Is(".") || t[i].Is("->")) &&
+         t[i + 1].kind == TokKind::kIdent) {
+    last = t[i + 1].text;
+    i += 2;
+  }
+  if (i >= t.size() || !t[i].Is("(")) return false;
+  if (!SkipBalanced(t, &i, "(", ")")) return false;
+  // Trailing chained calls: the discarded value is the LAST call's result.
+  while (i + 1 < t.size() && (t[i].Is(".") || t[i].Is("->")) &&
+         t[i + 1].kind == TokKind::kIdent) {
+    std::string name = t[i + 1].text;
+    size_t j = i + 2;
+    if (j >= t.size() || !t[j].Is("(")) return false;
+    if (!SkipBalanced(t, &j, "(", ")")) return false;
+    last = name;
+    i = j;
+  }
+  if (i >= t.size() || !t[i].Is(";")) return false;
+  *end = i;
+  *callee = last;
+  return true;
+}
+
+void CheckUncheckedStatus(const SourceFile& file,
+                          const std::set<std::string>& status_fns,
+                          const Suppressions& sup,
+                          std::vector<Diagnostic>* diags) {
+  const auto& t = file.tokens;
+  bool stmt_start = true;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (stmt_start && t[i].kind == TokKind::kIdent &&
+        (t[i].text == "if" || t[i].text == "while" || t[i].text == "for" ||
+         t[i].text == "switch")) {
+      // Control header: the token after its ( ... ) starts a statement, so
+      // `if (ready) Flush();` still sees the call at statement position.
+      size_t j = i + 1;
+      if (j < t.size() && t[j].Is("(") && SkipBalanced(t, &j, "(", ")")) {
+        i = j - 1;
+        stmt_start = true;
+        continue;
+      }
+    }
+    if (stmt_start && t[i].kind == TokKind::kIdent && t[i].text == "case") {
+      // `case expr:` — the label expression is not a statement; scan to the
+      // ':' and treat what follows as statement-initial.
+      while (i < t.size() && !t[i].Is(":")) ++i;
+      stmt_start = true;
+      continue;
+    }
+    if (stmt_start && t[i].kind == TokKind::kIdent &&
+        (t[i].text == "default" || t[i].text == "public" ||
+         t[i].text == "private" || t[i].text == "protected") &&
+        i + 1 < t.size() && t[i + 1].Is(":")) {
+      ++i;  // label; the next token is statement-initial
+      stmt_start = true;
+      continue;
+    }
+    if (stmt_start && (t[i].kind == TokKind::kIdent || t[i].Is("("))) {
+      size_t end = 0;
+      std::string callee;
+      bool cast = false;
+      if (MatchCallStatement(t, i, &end, &callee, &cast) &&
+          status_fns.count(callee)) {
+        if (!sup.Suppressed(kRuleUncheckedStatus, t[i].line)) {
+          diags->push_back(
+              {file.path, t[i].line, kRuleUncheckedStatus,
+               std::string(cast ? "(void)-cast" : "bare call") +
+                   " discards the Status/Result of '" + callee +
+                   "'; consume it (EXPLOREDB_RETURN_NOT_OK, CHECK_OK/"
+                   "DCHECK_OK, or .IgnoreError() with a comment)"});
+        }
+        i = end;  // continue after the ';'
+        stmt_start = true;
+        continue;
+      }
+    }
+    // ':' is deliberately NOT a boundary: a bare ':' mid-statement is a
+    // ternary branch (labels are handled explicitly above).
+    stmt_start = t[i].Is(";") || t[i].Is("{") || t[i].Is("}") ||
+                 t[i].Is("else") || t[i].Is("do");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R2 raw-sync-primitive
+
+void CheckRawSyncPrimitive(const SourceFile& file, const Suppressions& sup,
+                           std::vector<Diagnostic>* diags) {
+  // The annotated wrappers themselves, and the pool that predates them by
+  // design (its CondVar interop needs the native handle).
+  if (EndsWith(file.path, "common/mutex.h") ||
+      EndsWith(file.path, "common/thread_pool.h") ||
+      EndsWith(file.path, "common/thread_pool.cc")) {
+    return;
+  }
+  static const std::set<std::string> kBanned = {
+      "mutex",          "timed_mutex",        "recursive_mutex",
+      "shared_mutex",   "shared_timed_mutex", "lock_guard",
+      "unique_lock",    "shared_lock",        "scoped_lock",
+      "condition_variable", "condition_variable_any",
+  };
+  const auto& t = file.tokens;
+  for (size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].Is("std") && t[i + 1].Is("::") &&
+        t[i + 2].kind == TokKind::kIdent && kBanned.count(t[i + 2].text)) {
+      if (!sup.Suppressed(kRuleRawSync, t[i].line)) {
+        diags->push_back(
+            {file.path, t[i].line, kRuleRawSync,
+             "raw std::" + t[i + 2].text +
+                 "; use the annotated wrappers in common/mutex.h "
+                 "(Mutex/SharedMutex/MutexLock/...) so -Wthread-safety "
+                 "sees the locking"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R3 guarded-by
+
+struct Member {
+  std::string name;
+  int line;
+};
+
+/// Parses one member-declaration statement. Returns true (and fills *m /
+/// *flags) only for data members that R3 should consider.
+struct MemberVerdict {
+  bool is_member = false;
+  bool owns_mutex = false;  // the member's type is Mutex/SharedMutex
+  bool guarded = false;     // carries GUARDED_BY / PT_GUARDED_BY
+  bool exempt = false;      // const / atomic / sync-primitive / reference
+};
+
+MemberVerdict ClassifyMemberStmt(const std::vector<Token>& stmt, Member* m) {
+  MemberVerdict v;
+  if (stmt.empty()) return v;
+  static const std::set<std::string> kSkipLead = {
+      "using",  "typedef",   "friend",  "static",    "template",
+      "enum",   "public",    "private", "protected", "operator",
+      "class",  "struct",    "union",
+  };
+  if (kSkipLead.count(stmt[0].text)) return v;
+
+  // Find the first '(' at top level (outside template args). A non-annotation
+  // callee there makes this a function declaration, not a data member.
+  int angle = 0;
+  for (size_t i = 0; i < stmt.size(); ++i) {
+    const Token& tk = stmt[i];
+    if (tk.Is("<") && i > 0 &&
+        (stmt[i - 1].kind == TokKind::kIdent || stmt[i - 1].Is(">"))) {
+      ++angle;
+      continue;
+    }
+    if (tk.Is(">") && angle > 0) {
+      --angle;
+      continue;
+    }
+    if (angle > 0) continue;
+    if (tk.Is("(")) {
+      const bool annotated =
+          i > 0 && stmt[i - 1].kind == TokKind::kIdent &&
+          IsAnnotationMacro(stmt[i - 1].text);
+      if (!annotated) return v;  // function
+    }
+  }
+
+  // It is a data member. Walk again to classify.
+  v.is_member = true;
+  angle = 0;
+  bool stop_names = false;
+  for (size_t i = 0; i < stmt.size(); ++i) {
+    const Token& tk = stmt[i];
+    if (tk.Is("<") && i > 0 &&
+        (stmt[i - 1].kind == TokKind::kIdent || stmt[i - 1].Is(">"))) {
+      ++angle;
+      continue;
+    }
+    if (tk.Is(">") && angle > 0) {
+      --angle;
+      continue;
+    }
+    if (tk.text == "GUARDED_BY" || tk.text == "PT_GUARDED_BY") {
+      v.guarded = true;
+      stop_names = true;
+    }
+    if (angle > 0) continue;
+    if (tk.Is("=") || tk.Is(":") || tk.Is("[")) stop_names = true;
+    if (tk.Is("const")) v.exempt = true;  // immutable (incl. `T* const`)
+    if (tk.Is("&")) v.exempt = true;      // reference member: never reseated
+    if (tk.text == "Mutex" || tk.text == "SharedMutex") {
+      v.owns_mutex = true;
+      v.exempt = true;  // the lock itself needs no guard
+    }
+    if (tk.text == "CondVar" || tk.text == "atomic" ||
+        tk.text == "atomic_flag") {
+      v.exempt = true;  // internally synchronized by construction
+    }
+    if (!stop_names && tk.kind == TokKind::kIdent &&
+        !IsAnnotationMacro(tk.text)) {
+      m->name = tk.text;
+      m->line = tk.line;
+    }
+  }
+  // `std::atomic<...>`: the atomic token sits before '<', caught above even
+  // though the payload tokens were at angle > 0.
+  return v;
+}
+
+/// Recursive scan of one class body; `*i` starts just past the '{'.
+void ParseClassBody(const SourceFile& file, const std::string& class_name,
+                    const Suppressions& sup, std::vector<Token>::size_type* i,
+                    std::vector<Diagnostic>* diags);
+
+/// At tokens[*i] == "class"/"struct": if this begins a class *definition*,
+/// parses it (recursively) and returns true with *i past its closing '}'.
+bool TryParseClass(const SourceFile& file, const Suppressions& sup,
+                   size_t* i, std::vector<Diagnostic>* diags) {
+  const auto& t = file.tokens;
+  size_t j = *i + 1;
+  std::string name;
+  // Skip attribute macros ([[...]], CAPABILITY("..."), SCOPED_CAPABILITY)
+  // between the keyword and the name; the last plain identifier wins.
+  while (j < t.size()) {
+    if (t[j].Is("[") && j + 1 < t.size() && t[j + 1].Is("[")) {
+      if (!SkipBalanced(t, &j, "[", "]")) return false;
+      continue;
+    }
+    if (t[j].kind == TokKind::kIdent) {
+      name = t[j].text;
+      ++j;
+      if (j < t.size() && t[j].Is("(")) {  // attribute macro with arguments
+        if (!SkipBalanced(t, &j, "(", ")")) return false;
+        name.clear();
+        continue;
+      }
+      if (j < t.size() && t[j].kind == TokKind::kIdent) continue;
+      break;
+    }
+    break;
+  }
+  if (name.empty()) return false;
+  if (j < t.size() && t[j].Is("final")) ++j;
+  // Definition iff a base-clause or body follows (template parameters,
+  // forward declarations, and `class T` in template heads all fail here).
+  if (j >= t.size() || (!t[j].Is("{") && !t[j].Is(":"))) return false;
+  while (j < t.size() && !t[j].Is("{")) ++j;  // skip base list
+  if (j >= t.size()) return false;
+  *i = j + 1;
+  ParseClassBody(file, name, sup, i, diags);
+  return true;
+}
+
+void ParseClassBody(const SourceFile& file, const std::string& class_name,
+                    const Suppressions& sup, size_t* i,
+                    std::vector<Diagnostic>* diags) {
+  const auto& t = file.tokens;
+  bool owns_mutex = false;
+  std::vector<Member> unguarded;
+  std::vector<Token> stmt;
+
+  while (*i < t.size()) {
+    const Token& tk = t[*i];
+    if (tk.Is("}")) {
+      ++*i;
+      break;
+    }
+    if ((tk.Is("class") || tk.Is("struct")) &&
+        (stmt.empty() || !stmt.back().Is("enum"))) {
+      size_t save = *i;
+      if (TryParseClass(file, sup, i, diags)) {
+        stmt.clear();
+        continue;
+      }
+      *i = save;
+    }
+    if (tk.Is("{")) {
+      // Brace-init keeps the statement open; anything else opens a function
+      // body / nested scope we skip wholesale. A '{' directly after '=' is
+      // ALWAYS an initializer — member default (`int x_ = {0};`) or default
+      // argument inside a method declaration (`void F(Opts o = {});`) —
+      // never a function body.
+      Member probe;
+      const bool brace_init =
+          !stmt.empty() &&
+          (stmt.back().Is("=") ||
+           (stmt.back().kind == TokKind::kIdent &&
+            ClassifyMemberStmt(stmt, &probe).is_member));
+      if (!SkipBalanced(t, i, "{", "}")) break;
+      if (!brace_init) stmt.clear();
+      continue;
+    }
+    if (tk.Is(";")) {
+      Member m;
+      MemberVerdict v = ClassifyMemberStmt(stmt, &m);
+      if (v.is_member && !m.name.empty()) {
+        if (v.owns_mutex) owns_mutex = true;
+        if (!v.guarded && !v.exempt) unguarded.push_back(m);
+      }
+      stmt.clear();
+      ++*i;
+      continue;
+    }
+    if (tk.Is(":") && stmt.size() == 1 &&
+        (stmt[0].Is("public") || stmt[0].Is("private") ||
+         stmt[0].Is("protected"))) {
+      stmt.clear();
+      ++*i;
+      continue;
+    }
+    stmt.push_back(tk);
+    ++*i;
+  }
+
+  if (!owns_mutex) return;
+  for (const Member& m : unguarded) {
+    if (sup.Suppressed(kRuleGuardedBy, m.line)) continue;
+    diags->push_back(
+        {file.path, m.line, kRuleGuardedBy,
+         "field '" + m.name + "' of '" + class_name +
+             "' (which owns a Mutex/SharedMutex) has no GUARDED_BY; "
+             "annotate it, or suppress with a reason if it is immutable "
+             "after construction or internally synchronized"});
+  }
+}
+
+void CheckGuardedBy(const SourceFile& file, const Suppressions& sup,
+                    std::vector<Diagnostic>* diags) {
+  const auto& t = file.tokens;
+  for (size_t i = 0; i < t.size();) {
+    if ((t[i].Is("class") || t[i].Is("struct")) &&
+        (i == 0 || !t[i - 1].Is("enum"))) {
+      if (TryParseClass(file, sup, &i, diags)) continue;
+    }
+    ++i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R4 kernel-hygiene (per-file half)
+
+bool IsKernelTu(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string base = slash == std::string::npos ? path : path.substr(slash + 1);
+  return Contains(path, "simd/") && base.rfind("kernels_", 0) == 0 &&
+         EndsWith(base, ".cc");
+}
+
+void CheckKernelHygiene(const SourceFile& file, const Suppressions& sup,
+                        std::vector<Diagnostic>* diags) {
+  if (!IsKernelTu(file.path)) return;
+  static const std::set<std::string> kBannedStd = {
+      "vector", "string",        "basic_string", "deque", "list",
+      "map",    "unordered_map", "set",          "unordered_set",
+      "function",
+  };
+  const auto& t = file.tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    std::string what;
+    if (t[i].Is("new") || t[i].Is("delete")) {
+      what = t[i].text;
+    } else if (t[i].Is("malloc") || t[i].Is("calloc") || t[i].Is("realloc")) {
+      what = t[i].text + "()";
+    } else if (t[i].Is("std") && i + 2 < t.size() && t[i + 1].Is("::") &&
+               kBannedStd.count(t[i + 2].text)) {
+      what = "std::" + t[i + 2].text;
+    }
+    if (what.empty() || sup.Suppressed(kRuleKernelHygiene, t[i].line)) {
+      continue;
+    }
+    diags->push_back(
+        {file.path, t[i].line, kRuleKernelHygiene,
+         "'" + what + "' in a SIMD kernel TU; kernels must stay "
+         "allocation-free (callers own every buffer — see simd/simd.h "
+         "contracts)"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R5 determinism
+
+void CheckDeterminism(const SourceFile& file, const Suppressions& sup,
+                      std::vector<Diagnostic>* diags) {
+  if (EndsWith(file.path, "common/random.h") ||
+      EndsWith(file.path, "common/random.cc")) {
+    return;
+  }
+  // Engine/seed types are banned on sight; C functions only when called
+  // (a field named `rand` should not trip the rule).
+  static const std::set<std::string> kBannedTypes = {
+      "random_device", "mt19937",      "mt19937_64",
+      "minstd_rand",   "minstd_rand0", "default_random_engine",
+      "knuth_b",       "ranlux24",     "ranlux48",
+  };
+  static const std::set<std::string> kBannedCalls = {
+      "rand", "srand", "rand_r", "drand48", "lrand48", "mrand48",
+  };
+  const auto& t = file.tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    std::string what;
+    if (kBannedTypes.count(t[i].text)) {
+      what = t[i].text;
+    } else if (kBannedCalls.count(t[i].text) && i + 1 < t.size() &&
+               t[i + 1].Is("(") && (i == 0 || !t[i - 1].Is("."))) {
+      what = t[i].text + "()";
+    }
+    if (what.empty() || sup.Suppressed(kRuleDeterminism, t[i].line)) continue;
+    diags->push_back(
+        {file.path, t[i].line, kRuleDeterminism,
+         "'" + what + "' is a nondeterministic/unseeded randomness source; "
+         "draw from an explicitly seeded exploredb::Random "
+         "(common/random.h) so runs reproduce bit-for-bit"});
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// R4 cross-file half: KernelTable tier-completeness.
+
+void CheckKernelTableCompleteness(const std::vector<SourceFile>& files,
+                                  std::vector<Diagnostic>* diags) {
+  const SourceFile* simd_h = nullptr;
+  const SourceFile* dispatch = nullptr;
+  for (const SourceFile& f : files) {
+    if (EndsWith(f.path, "simd/simd.h")) simd_h = &f;
+    if (EndsWith(f.path, "simd/dispatch.cc")) dispatch = &f;
+  }
+  if (simd_h == nullptr || dispatch == nullptr) return;
+
+  // Count function-pointer fields `type (*name)(...)` in struct KernelTable.
+  size_t fields = 0;
+  {
+    const auto& t = simd_h->tokens;
+    size_t i = 0;
+    for (; i + 2 < t.size(); ++i) {
+      if (t[i].Is("struct") && t[i + 1].Is("KernelTable") &&
+          t[i + 2].Is("{")) {
+        break;
+      }
+    }
+    if (i + 2 >= t.size()) {
+      diags->push_back({simd_h->path, 1, kRuleKernelHygiene,
+                        "struct KernelTable not found in simd.h"});
+      return;
+    }
+    int depth = 0;
+    for (i += 2; i < t.size(); ++i) {
+      if (t[i].Is("{")) ++depth;
+      if (t[i].Is("}") && --depth == 0) break;
+      if (depth == 1 && i + 2 < t.size() && t[i].Is("(") &&
+          t[i + 1].Is("*") && t[i + 2].kind == TokKind::kIdent) {
+        ++fields;
+      }
+    }
+  }
+
+  // Each k*Table initializer must bind path + every field: aggregate
+  // initialization with fewer entries compiles fine and leaves the tail
+  // nullptr — a crash the first time that kernel dispatches.
+  const size_t expected = fields + 1;  // + the SimdPath tag
+  std::set<std::string> seen;
+  const auto& t = dispatch->tokens;
+  for (size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent || t[i].text.rfind("k", 0) != 0 ||
+        !EndsWith(t[i].text, "Table") || !t[i + 1].Is("=") ||
+        !t[i + 2].Is("{")) {
+      continue;
+    }
+    const std::string table = t[i].text;
+    const int line = t[i].line;
+    seen.insert(table);
+    size_t entries = 0;
+    bool entry_open = false;
+    int depth = 0;
+    for (size_t j = i + 2; j < t.size(); ++j) {
+      if (t[j].Is("{") || t[j].Is("(")) ++depth;
+      if (t[j].Is(")")) --depth;
+      if (t[j].Is("}") && --depth == 0) break;
+      if (depth == 1) {
+        if (t[j].Is(",")) {
+          entry_open = false;
+        } else if (!t[j].Is("{") && !entry_open) {
+          entry_open = true;
+          ++entries;
+        }
+      }
+    }
+    if (entries != expected) {
+      diags->push_back(
+          {dispatch->path, line, kRuleKernelHygiene,
+           table + " binds " + std::to_string(entries) + " of " +
+               std::to_string(expected) +
+               " KernelTable slots (path + " + std::to_string(fields) +
+               " kernels); a missing slot aggregate-initializes to nullptr "
+               "and crashes at dispatch"});
+    }
+  }
+  for (const char* required : {"kScalarTable", "kSse42Table", "kAvx2Table"}) {
+    if (!seen.count(required)) {
+      diags->push_back(
+          {dispatch->path, 1, kRuleKernelHygiene,
+           std::string(required) +
+               " not found in dispatch.cc: every tier must bind the full "
+               "KernelTable (scalar, SSE4.2, AVX2)"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+void LintFile(const SourceFile& file, const std::set<std::string>& status_fns,
+              std::vector<Diagnostic>* diags) {
+  Suppressions sup(file, diags);
+  CheckUncheckedStatus(file, status_fns, sup, diags);
+  CheckRawSyncPrimitive(file, sup, diags);
+  CheckGuardedBy(file, sup, diags);
+  CheckKernelHygiene(file, sup, diags);
+  CheckDeterminism(file, sup, diags);
+}
+
+}  // namespace exploredb::lint

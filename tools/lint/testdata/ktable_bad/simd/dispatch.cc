@@ -1,0 +1,8 @@
+// KernelTable fixture (incomplete tier): kAvx2Table leaves count_i32 out, so
+// aggregate initialization zero-fills it to nullptr.
+long SumScalar(const long* in, int n);
+int CountScalar(const int* in, int n);
+
+const KernelTable kScalarTable = {SimdPath::kScalar, SumScalar, CountScalar};
+const KernelTable kSse42Table = {SimdPath::kSse42, SumScalar, CountScalar};
+const KernelTable kAvx2Table = {SimdPath::kAvx2, SumScalar};

@@ -1,0 +1,8 @@
+// KernelTable fixture (incomplete tier): two kernels plus the path tag.
+enum class SimdPath { kScalar, kSse42, kAvx2 };
+
+struct KernelTable {
+  SimdPath path;
+  long (*sum_i64)(const long* in, int n);
+  int (*count_i32)(const int* in, int n);
+};

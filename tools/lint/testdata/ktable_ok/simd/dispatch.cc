@@ -1,0 +1,7 @@
+// KernelTable fixture (complete): every tier binds path + both kernels.
+long SumScalar(const long* in, int n);
+int CountScalar(const int* in, int n);
+
+const KernelTable kScalarTable = {SimdPath::kScalar, SumScalar, CountScalar};
+const KernelTable kSse42Table = {SimdPath::kSse42, SumScalar, CountScalar};
+const KernelTable kAvx2Table = {SimdPath::kAvx2, SumScalar, CountScalar};

@@ -1,0 +1,3 @@
+// Fixture: malformed suppression directives are themselves findings.
+int x = 0;  // NOLINT-exploredb(determinism)
+int y = 0;  // NOLINT-exploredb(no-such-rule): the rule name is unknown

@@ -1,0 +1,8 @@
+// R1 fixture: the Status is propagated — no finding.
+struct Status {};
+
+Status Flush();
+
+Status Caller() {
+  return Flush();
+}

@@ -1,0 +1,8 @@
+// R1 fixture: Status-returning call as a bare expression statement.
+struct Status {};
+
+Status Flush();
+
+void Caller() {
+  Flush();
+}

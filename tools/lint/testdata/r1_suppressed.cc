@@ -1,0 +1,8 @@
+// R1 fixture: line-level suppression with a reason silences the finding.
+struct Status {};
+
+Status Flush();
+
+void Caller() {
+  Flush();  // NOLINT-exploredb(unchecked-status): fixture exercises suppression
+}

@@ -1,0 +1,8 @@
+// R1 fixture: a (void)-cast does NOT count as consuming a Status.
+struct Status {};
+
+Status Flush();
+
+void Caller() {
+  (void)Flush();
+}

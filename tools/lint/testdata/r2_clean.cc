@@ -1,0 +1,5 @@
+// R2 fixture: the annotated wrapper types are the sanctioned spelling.
+namespace demo {
+Mutex m;
+MutexLock Lock();
+}  // namespace demo

@@ -1,0 +1,4 @@
+// R2 fixture: raw std::mutex outside common/mutex.h.
+namespace demo {
+std::mutex m;
+}  // namespace demo

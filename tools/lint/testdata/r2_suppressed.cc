@@ -1,0 +1,4 @@
+// R2 fixture: suppression with a reason silences the finding.
+namespace demo {
+std::mutex m;  // NOLINT-exploredb(raw-sync-primitive): fixture exercises suppression
+}  // namespace demo

@@ -1,0 +1,10 @@
+// R3 fixture: every mutable field carries GUARDED_BY; const and atomic
+// members are exempt by rule.
+struct Widget {
+  void Tick();
+
+  Mutex mu_;
+  int count_ GUARDED_BY(mu_) = 0;
+  const int limit_ = 8;
+  std::atomic<int> epoch_{0};
+};

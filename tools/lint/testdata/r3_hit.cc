@@ -1,0 +1,7 @@
+// R3 fixture: a mutable field of a Mutex-owning class without GUARDED_BY.
+struct Widget {
+  void Tick();
+
+  Mutex mu_;
+  int count_ = 0;
+};

@@ -1,0 +1,9 @@
+// R3 fixture: a preceding-line suppression with a reason covers the
+// declaration below it.
+struct Widget {
+  void Tick();
+
+  Mutex mu_;
+  // NOLINT-exploredb(guarded-by): fixture; immutable after construction
+  int count_ = 0;
+};

@@ -1,0 +1,6 @@
+// R5 fixture: explicitly seeded exploredb::Random is the sanctioned source.
+namespace demo {
+unsigned Noise(Random* rng) {
+  return rng->Uniform(16);
+}
+}  // namespace demo

@@ -1,0 +1,4 @@
+// R5 fixture: a std random engine type is banned on sight, called or not.
+namespace demo {
+std::mt19937 gen;
+}  // namespace demo

@@ -1,0 +1,4 @@
+// R5 fixture: unseeded libc randomness.
+int Noise() {
+  return rand();
+}

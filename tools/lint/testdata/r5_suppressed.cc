@@ -1,0 +1,9 @@
+// R5 fixture: file-level suppression with a reason covers every line.
+// NOLINT-exploredb-file(determinism): fixture exercises file-level suppression
+int Noise() {
+  return rand();
+}
+
+int MoreNoise() {
+  return rand();
+}

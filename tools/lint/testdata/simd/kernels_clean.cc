@@ -1,0 +1,6 @@
+// R4 fixture: allocation-free kernel — caller owns every buffer.
+void SumKernel(const long* in, int n, long* out) {
+  long acc = 0;
+  for (int i = 0; i < n; ++i) acc += in[i];
+  *out = acc;
+}

@@ -1,0 +1,8 @@
+// R4 fixture: heap allocation inside a SIMD kernel TU.
+void SumKernel(const long* in, int n, long* out) {
+  long* tmp = new long[n];
+  long acc = 0;
+  for (int i = 0; i < n; ++i) acc += in[i];
+  *out = acc;
+  delete[] tmp;
+}

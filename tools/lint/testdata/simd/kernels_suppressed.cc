@@ -1,0 +1,8 @@
+// R4 fixture: suppression with a reason silences the finding.
+void SumKernel(const long* in, int n, long* out) {
+  long* tmp = new long[n];  // NOLINT-exploredb(kernel-hygiene): fixture exercises suppression
+  long acc = 0;
+  for (int i = 0; i < n; ++i) acc += in[i];
+  *out = acc;
+  delete[] tmp;  // NOLINT-exploredb(kernel-hygiene): fixture exercises suppression
+}
