@@ -4,6 +4,7 @@
 // index baseline.
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -14,14 +15,14 @@
 namespace exploredb {
 namespace {
 
-constexpr size_t kRows = 1'000'000;
 constexpr int64_t kDomain = 10'000'000;
 constexpr int kOps = 2000;
 
 void Run() {
   using bench::Row;
+  const size_t rows = bench::ScaledRows(1'000'000);
   bench::Banner("E4", "cracking under updates (1M rows, 2k mixed ops)");
-  std::vector<int64_t> base = bench::RandomInts(kRows, kDomain, 13);
+  std::vector<int64_t> base = bench::RandomInts(rows, kDomain, 13);
 
   Row("queries_per_insert", "crk_query_us", "crk_insert_us",
       "sortrebuild_insert_ms");
@@ -55,6 +56,11 @@ void Run() {
 
     Row(ratio, queries ? query_us / queries : 0.0,
         inserts ? insert_us / inserts : 0.0, rebuild_ms);
+    bench::ReportJson(
+        "cracking_updates_ratio" + std::to_string(ratio), kOps,
+        queries ? query_us * 1e3 / queries : 0.0,
+        {{"crk_insert_us", inserts ? insert_us / inserts : 0.0},
+         {"sortrebuild_insert_ms", rebuild_ms}});
   }
   std::printf(
       "(sortrebuild_insert_ms = full re-sort cost a static index pays to "

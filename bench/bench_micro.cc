@@ -8,6 +8,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <memory>
@@ -22,6 +23,8 @@
 #include "engine/database.h"
 #include "engine/executor.h"
 #include "engine/query.h"
+#include "engine/session.h"
+#include "obs/journal.h"
 #include "sampling/online_agg.h"
 #include "sampling/sampler.h"
 #include "simd/simd.h"
@@ -138,9 +141,11 @@ BENCHMARK(BM_ParallelFullScan)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
 /// the predicate window selects ~1% of rows, so nearly every morsel's
 /// [min,max] misses the window. Arg = 1 with pruning, 0 without; the ratio
 /// is the zone-map speedup on exploration-shaped (clustered) data.
-void BM_ZoneMapSelectiveScan(benchmark::State& state) {
-  static const size_t n = bench::ScaledRows(10'000'000);
+size_t ClusteredRows() { return bench::ScaledRows(10'000'000); }
+
+Database* ClusteredDb() {
   static Database* db = [] {
+    const size_t n = ClusteredRows();
     Table t(Schema({{"v", DataType::kInt64}}));
     std::vector<int64_t> data(n);
     for (size_t i = 0; i < n; ++i) data[i] = static_cast<int64_t>(i);
@@ -149,6 +154,12 @@ void BM_ZoneMapSelectiveScan(benchmark::State& state) {
     if (!d->CreateTable("clustered", std::move(t)).ok()) std::abort();
     return d;
   }();
+  return db;
+}
+
+void BM_ZoneMapSelectiveScan(benchmark::State& state) {
+  const size_t n = ClusteredRows();
+  Database* db = ClusteredDb();
   Executor exec(db);
   ExecContext ctx;
   ctx.SetThreadPool(nullptr);
@@ -160,17 +171,111 @@ void BM_ZoneMapSelectiveScan(benchmark::State& state) {
                                   {0, CompareOp::kLt, Value(hi)}}))
                 .Aggregate(AggKind::kCount);
   uint64_t rows = 0;
+  const auto t0 = std::chrono::steady_clock::now();
   for (auto _ : state) {
     auto r = exec.Execute(q, ctx);
     if (!r.ok()) std::abort();
     benchmark::DoNotOptimize(r.ValueOrDie().scalar->value);
     rows += r.ValueOrDie().stats().rows_scanned;
   }
+  const auto t1 = std::chrono::steady_clock::now();
   state.SetItemsProcessed(static_cast<int64_t>(rows));
   state.counters["rows_scanned"] =
       benchmark::Counter(static_cast<double>(rows) / state.iterations());
+  const double ns_per_op =
+      state.iterations() == 0
+          ? 0.0
+          : static_cast<double>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                    .count()) /
+                static_cast<double>(state.iterations());
+  bench::ReportJson(
+      std::string("zone_map_scan_") +
+          (state.range(0) != 0 ? "pruned" : "unpruned"),
+      state.iterations(), ns_per_op,
+      {{"rows_scanned_per_op",
+        state.iterations() == 0
+            ? 0.0
+            : static_cast<double>(rows) /
+                  static_cast<double>(state.iterations())}});
 }
 BENCHMARK(BM_ZoneMapSelectiveScan)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+/// E25 — always-on journal overhead: a 10M-row window count through a
+/// Session (the journal's emission point), with the journal disabled (Arg 0)
+/// vs journaling every query to a file (Arg 1). The column is unsorted
+/// uniform data, so neither zone maps nor the sorted fast path can shortcut
+/// the scan: every count pays the full 10M-row pass the experiment is named
+/// for. The window slides each iteration so the result cache never serves
+/// it; the on/off ns_per_op delta is the absolute per-query journal cost,
+/// and the ratio is the headline overhead.
+void BM_JournalOverheadWindowCount(benchmark::State& state) {
+  const size_t n = ClusteredRows();
+  static Database* db = [] {
+    const size_t rows = ClusteredRows();
+    Table t(Schema({{"v", DataType::kInt64}}));
+    *t.mutable_column(0)->mutable_int64_data() =
+        bench::RandomInts(rows, static_cast<int64_t>(rows), 23);
+    auto* d = new Database();
+    if (!d->CreateTable("uniform", std::move(t)).ok()) std::abort();
+    return d;
+  }();
+  const bool journal_on = state.range(0) != 0;
+  const std::string path = "/tmp/exploredb_bench_journal.jsonl";
+  if (journal_on) {
+    if (!WorkloadJournal::Global().EnableFile(path).ok()) {
+      state.SkipWithError("journal EnableFile failed");
+      return;
+    }
+  } else {
+    WorkloadJournal::Global().Disable();
+  }
+  SessionOptions options;
+  options.speculate = false;
+  Session session(db, options);
+  ExecContext ctx;
+  ctx.SetThreadPool(nullptr);
+  const int64_t width = static_cast<int64_t>(n / 100);
+  uint64_t iter = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    // 64 distinct sliding windows: every execution misses the result cache.
+    const int64_t lo =
+        static_cast<int64_t>(n / 4) +
+        static_cast<int64_t>(iter++ % 64) * static_cast<int64_t>(n / 512);
+    Query q = Query::On("uniform")
+                  .Where(Predicate({{0, CompareOp::kGe, Value(lo)},
+                                    {0, CompareOp::kLt, Value(lo + width)}}))
+                  .Aggregate(AggKind::kCount);
+    auto r = session.Execute(q, ctx);
+    if (!r.ok()) std::abort();
+    benchmark::DoNotOptimize(r.ValueOrDie().scalar->value);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double ns_per_op =
+      state.iterations() == 0
+          ? 0.0
+          : static_cast<double>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                    .count()) /
+                static_cast<double>(state.iterations());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(n));
+  if (journal_on) {
+    state.counters["journal_appended"] = static_cast<double>(
+        WorkloadJournal::Global().appended());
+    state.counters["journal_dropped"] = static_cast<double>(
+        WorkloadJournal::Global().dropped());
+    WorkloadJournal::Global().Disable();
+    std::remove(path.c_str());
+  }
+  bench::ReportJson(
+      std::string("journal_overhead_") + (journal_on ? "on" : "off"),
+      state.iterations(), ns_per_op,
+      {{"rows_per_op", static_cast<double>(n)}});
+}
+BENCHMARK(BM_JournalOverheadWindowCount)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
 Database* GroupByDb() {

@@ -14,33 +14,40 @@
 namespace exploredb {
 namespace {
 
-constexpr size_t kRows = 5'000'000;
-
 void Run() {
   using bench::Row;
+  const size_t rows = bench::ScaledRows(5'000'000);
   bench::Banner("E7", "online aggregation convergence (AVG, 5M rows)");
 
   Random rng(29);
-  std::vector<double> values(kRows);
+  std::vector<double> values(rows);
   double total = 0;
   for (double& v : values) {
     v = 50 + rng.NextGaussian() * 20;
     total += v;
   }
-  double truth = total / static_cast<double>(kRows);
+  double truth = total / static_cast<double>(rows);
 
   OnlineAggregator agg(values, {}, AggKind::kAvg);
   Stopwatch timer;
   Row("pct_processed", "elapsed_ms", "estimate", "abs_error",
       "ci_half_width_95");
   for (double stop_pct : {0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0}) {
-    size_t target = static_cast<size_t>(kRows * stop_pct / 100.0);
+    size_t target = static_cast<size_t>(rows * stop_pct / 100.0);
     while (agg.rows_processed() < target) {
       agg.ProcessNext(target - agg.rows_processed());
     }
     Estimate e = agg.Current(0.95);
-    Row(stop_pct, timer.ElapsedSeconds() * 1e3, e.value,
-        std::abs(e.value - truth), e.ci_half_width);
+    const double elapsed_ms = timer.ElapsedSeconds() * 1e3;
+    Row(stop_pct, elapsed_ms, e.value, std::abs(e.value - truth),
+        e.ci_half_width);
+    char name[48];
+    std::snprintf(name, sizeof(name), "online_agg_pct%g", stop_pct);
+    bench::ReportJson(name, target,
+                      target ? elapsed_ms * 1e6 / static_cast<double>(target)
+                             : 0.0,
+                      {{"abs_error", std::abs(e.value - truth)},
+                       {"ci_half_width_95", e.ci_half_width}});
   }
 }
 

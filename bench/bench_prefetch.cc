@@ -20,7 +20,6 @@
 namespace exploredb {
 namespace {
 
-constexpr size_t kPoints = 2'000'000;
 constexpr int kGrid = 64;
 constexpr int kSteps = 300;
 
@@ -66,6 +65,7 @@ void Run() {
   bench::Banner("E9", "semantic-window prefetching (64x64 grid, 300 steps)");
 
   Random rng(37);
+  const size_t kPoints = bench::ScaledRows(2'000'000);
   TiledData data;
   data.x.resize(kPoints);
   data.y.resize(kPoints);
@@ -107,6 +107,12 @@ void Run() {
     }
     Row(prefetch ? "prefetch" : "no-prefetch", requests,
         cache.stats().HitRate(), total_ms / kSteps, speculator.executed());
+    bench::ReportJson(
+        prefetch ? "prefetch_on" : "prefetch_off", requests,
+        total_ms * 1e6 / kSteps,
+        {{"cache_hit_rate", cache.stats().HitRate()},
+         {"speculative_tiles",
+          static_cast<double>(speculator.executed())}});
   }
 
   // Trajectory prediction accuracy: train a Markov model on one session,
@@ -133,6 +139,12 @@ void Run() {
   std::printf("markov top-1 accuracy: %.3f, top-3: %.3f (on %zu steps)\n",
               total ? static_cast<double>(correct1) / total : 0.0,
               total ? static_cast<double>(correct3) / total : 0.0, total);
+  bench::ReportJson(
+      "markov_prediction", total, 0.0,
+      {{"top1_accuracy",
+        total ? static_cast<double>(correct1) / total : 0.0},
+       {"top3_accuracy",
+        total ? static_cast<double>(correct3) / total : 0.0}});
 }
 
 void RunZOrder() {
@@ -140,7 +152,8 @@ void RunZOrder() {
   bench::Banner("E9b",
                 "2-D window queries: Z-order cracking vs scan (2M points)");
   Random rng(53);
-  std::vector<uint32_t> x(2'000'000), y(2'000'000);
+  const size_t kZPoints = bench::ScaledRows(2'000'000);
+  std::vector<uint32_t> x(kZPoints), y(kZPoints);
   for (size_t i = 0; i < x.size(); ++i) {
     x[i] = static_cast<uint32_t>(rng.Uniform(1 << 20));
     y[i] = static_cast<uint32_t>(rng.Uniform(1 << 20));
@@ -154,12 +167,14 @@ void RunZOrder() {
   Stopwatch timer;
   uint32_t wx = 1000, wy = 1000;
   const uint32_t kSide = 1 << 14;
+  double zorder_total_ms = 0;
   for (int q = 0; q < 200; ++q) {
     wx = (wx + kSide / 2) % ((1 << 20) - kSide);
     wy = (wy + kSide / 3) % ((1 << 20) - kSide);
     timer.Restart();
     auto fast = index.WindowQuery(wx, wy, wx + kSide, wy + kSide);
     double fast_ms = timer.ElapsedSeconds() * 1e3;
+    zorder_total_ms += fast_ms;
     if (q == 0 || q == 9 || q == 49 || q == 199) {
       timer.Restart();
       auto slow = index.WindowQueryScan(wx, wy, wx + kSide, wy + kSide);
@@ -177,6 +192,9 @@ void RunZOrder() {
   }
   std::printf("cracks performed across the session: %llu\n",
               static_cast<unsigned long long>(index.stats().cracks));
+  bench::ReportJson(
+      "zorder_window_session", 200, zorder_total_ms * 1e6 / 200,
+      {{"cracks", static_cast<double>(index.stats().cracks)}});
 }
 
 }  // namespace

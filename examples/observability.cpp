@@ -13,8 +13,11 @@
 // Load trace.json in about://tracing or https://ui.perfetto.dev to see
 // executor phases nesting over per-morsel worker spans.
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <thread>
 
 #include "common/metrics.h"
 #include "common/random.h"
@@ -22,10 +25,20 @@
 #include "engine/database.h"
 #include "engine/query.h"
 #include "engine/session.h"
+#include "obs/http_exporter.h"
 
 using namespace exploredb;
 
 int main() {
+  // ---- 0. Live endpoint (opt-in) ------------------------------------------
+  // EXPLOREDB_HTTP_PORT=<port> serves /metrics, /slo, /querylog, /trace.json
+  // on 127.0.0.1 while this process runs (port 0 picks a free one; the bound
+  // port is echoed and written to http_port.txt for scripts).
+  const uint16_t http_port = HttpExporter::Global().StartFromEnv();
+  if (http_port != 0) {
+    std::printf("live endpoint: http://127.0.0.1:%u/\n", http_port);
+    std::ofstream("http_port.txt") << http_port << "\n";
+  }
   // ---- A table with exploration-friendly structure ------------------------
   // "ts" is clustered (sorted), so zone maps prune window queries on it;
   // "user_id" is scattered, so cracking pays off across repeated windows.
@@ -123,6 +136,18 @@ int main() {
                 Tracer::Snapshot().size());
   } else {
     std::printf("tracing off — rerun with EXPLOREDB_TRACE=1 for trace.json\n");
+  }
+
+  // ---- 8. Keep the endpoint up for scrapers -------------------------------
+  if (http_port != 0) {
+    const char* serve = std::getenv("EXPLOREDB_HTTP_SERVE_SECONDS");
+    const int secs = serve != nullptr ? std::atoi(serve) : 0;
+    if (secs > 0) {
+      std::printf("serving http://127.0.0.1:%u/ for %ds...\n", http_port,
+                  secs);
+      std::this_thread::sleep_for(std::chrono::seconds(secs));
+    }
+    HttpExporter::Global().Stop();
   }
   return 0;
 }

@@ -6,6 +6,43 @@
 
 namespace exploredb {
 
+namespace {
+
+// One-release deprecation aliases from the Prometheus naming audit: the left
+// column is the historical name, the right column the canonical one (base-
+// unit suffixes, unit before _total). Lookups through either name return the
+// same metric object, and PrometheusText() re-emits the canonical series
+// under the old name so existing scrape configs keep working for one
+// release. Delete the row (and the old name's consumers) next release.
+struct MetricAlias {
+  const char* deprecated;
+  const char* canonical;
+};
+
+constexpr MetricAlias kDeprecatedAliases[] = {
+    {"exploredb_query_latency_ns", "exploredb_query_latency_seconds"},
+    {"exploredb_threadpool_task_run_ns",
+     "exploredb_threadpool_task_run_seconds"},
+    {"exploredb_storage_bytes_raw_total",
+     "exploredb_storage_raw_bytes_total"},
+    {"exploredb_storage_bytes_compressed_total",
+     "exploredb_storage_compressed_bytes_total"},
+};
+
+// Canonical name for `name` (identity for non-deprecated names).
+const std::string& ResolveAlias(const std::string& name,
+                                std::string* storage) {
+  for (const MetricAlias& a : kDeprecatedAliases) {
+    if (name == a.deprecated) {
+      *storage = a.canonical;
+      return *storage;
+    }
+  }
+  return name;
+}
+
+}  // namespace
+
 size_t Counter::ShardIndex() {
   static std::atomic<size_t> next{0};
   thread_local const size_t index =
@@ -88,8 +125,9 @@ std::vector<int64_t> Histogram::LatencyBoundsNanos() {
 
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      const std::string& help) {
+  std::string alias_storage;
   MutexLock lock(mu_);
-  Entry& e = metrics_[name];
+  Entry& e = metrics_[ResolveAlias(name, &alias_storage)];
   if (e.counter == nullptr) {
     CHECK(e.gauge == nullptr && e.histogram == nullptr);
     e.counter = std::make_unique<Counter>();
@@ -100,8 +138,9 @@ Counter* MetricsRegistry::GetCounter(const std::string& name,
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name,
                                  const std::string& help) {
+  std::string alias_storage;
   MutexLock lock(mu_);
-  Entry& e = metrics_[name];
+  Entry& e = metrics_[ResolveAlias(name, &alias_storage)];
   if (e.gauge == nullptr) {
     CHECK(e.counter == nullptr && e.histogram == nullptr);
     e.gauge = std::make_unique<Gauge>();
@@ -113,8 +152,9 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name,
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<int64_t> bounds,
                                          const std::string& help) {
+  std::string alias_storage;
   MutexLock lock(mu_);
-  Entry& e = metrics_[name];
+  Entry& e = metrics_[ResolveAlias(name, &alias_storage)];
   if (e.histogram == nullptr) {
     CHECK(e.counter == nullptr && e.gauge == nullptr);
     if (bounds.empty()) bounds = Histogram::LatencyBoundsNanos();
@@ -124,49 +164,101 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   return e.histogram.get();
 }
 
+void MetricsRegistry::SetScale(const std::string& name, double scale) {
+  std::string alias_storage;
+  MutexLock lock(mu_);
+  auto it = metrics_.find(ResolveAlias(name, &alias_storage));
+  if (it != metrics_.end()) it->second.scale = scale;
+}
+
+namespace {
+
+// Emits one metric's # TYPE line and samples under `name`, multiplying
+// values by `scale`. scale == 1.0 keeps the historical integer formatting
+// (dashboards grep exact `le="1000"` bounds); scaled series print %g.
+void EmitEntry(const std::string& name, const Counter* counter,
+               const Gauge* gauge, const Histogram* histogram, double scale,
+               std::string* out) {
+  char buf[128];
+  if (counter != nullptr) {
+    *out += "# TYPE " + name + " counter\n";
+    if (scale == 1.0) {
+      std::snprintf(buf, sizeof(buf), "%s %llu\n", name.c_str(),
+                    static_cast<unsigned long long>(counter->Value()));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%s %g\n", name.c_str(),
+                    static_cast<double>(counter->Value()) * scale);
+    }
+    *out += buf;
+  } else if (gauge != nullptr) {
+    *out += "# TYPE " + name + " gauge\n";
+    if (scale == 1.0) {
+      std::snprintf(buf, sizeof(buf), "%s %lld\n", name.c_str(),
+                    static_cast<long long>(gauge->Value()));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%s %g\n", name.c_str(),
+                    static_cast<double>(gauge->Value()) * scale);
+    }
+    *out += buf;
+  } else if (histogram != nullptr) {
+    *out += "# TYPE " + name + " histogram\n";
+    const std::vector<uint64_t> counts = histogram->BucketCounts();
+    const std::vector<int64_t>& bounds = histogram->bounds();
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < counts.size(); ++b) {
+      cumulative += counts[b];
+      if (b == bounds.size()) {
+        std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"+Inf\"} %llu\n",
+                      name.c_str(),
+                      static_cast<unsigned long long>(cumulative));
+      } else if (scale == 1.0) {
+        std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"%lld\"} %llu\n",
+                      name.c_str(), static_cast<long long>(bounds[b]),
+                      static_cast<unsigned long long>(cumulative));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"%g\"} %llu\n",
+                      name.c_str(), static_cast<double>(bounds[b]) * scale,
+                      static_cast<unsigned long long>(cumulative));
+      }
+      *out += buf;
+    }
+    if (scale == 1.0) {
+      std::snprintf(buf, sizeof(buf), "%s_sum %lld\n", name.c_str(),
+                    static_cast<long long>(histogram->Sum()));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%s_sum %g\n", name.c_str(),
+                    static_cast<double>(histogram->Sum()) * scale);
+    }
+    *out += buf;
+    std::snprintf(buf, sizeof(buf), "%s_count %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(cumulative));
+    *out += buf;
+  }
+}
+
+}  // namespace
+
 std::string MetricsRegistry::PrometheusText() const {
   MutexLock lock(mu_);
   std::string out;
-  char buf[128];
   for (const auto& [name, e] : metrics_) {
     if (!e.help.empty()) {
       out += "# HELP " + name + " " + e.help + "\n";
     }
-    if (e.counter != nullptr) {
-      out += "# TYPE " + name + " counter\n";
-      std::snprintf(buf, sizeof(buf), "%s %llu\n", name.c_str(),
-                    static_cast<unsigned long long>(e.counter->Value()));
-      out += buf;
-    } else if (e.gauge != nullptr) {
-      out += "# TYPE " + name + " gauge\n";
-      std::snprintf(buf, sizeof(buf), "%s %lld\n", name.c_str(),
-                    static_cast<long long>(e.gauge->Value()));
-      out += buf;
-    } else if (e.histogram != nullptr) {
-      out += "# TYPE " + name + " histogram\n";
-      const std::vector<uint64_t> counts = e.histogram->BucketCounts();
-      const std::vector<int64_t>& bounds = e.histogram->bounds();
-      uint64_t cumulative = 0;
-      for (size_t b = 0; b < counts.size(); ++b) {
-        cumulative += counts[b];
-        if (b < bounds.size()) {
-          std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"%lld\"} %llu\n",
-                        name.c_str(), static_cast<long long>(bounds[b]),
-                        static_cast<unsigned long long>(cumulative));
-        } else {
-          std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"+Inf\"} %llu\n",
-                        name.c_str(),
-                        static_cast<unsigned long long>(cumulative));
-        }
-        out += buf;
-      }
-      std::snprintf(buf, sizeof(buf), "%s_sum %lld\n", name.c_str(),
-                    static_cast<long long>(e.histogram->Sum()));
-      out += buf;
-      std::snprintf(buf, sizeof(buf), "%s_count %llu\n", name.c_str(),
-                    static_cast<unsigned long long>(cumulative));
-      out += buf;
-    }
+    EmitEntry(name, e.counter.get(), e.gauge.get(), e.histogram.get(),
+              e.scale, &out);
+  }
+  // Deprecated aliases: re-emit the canonical series under the old name with
+  // scale 1.0, so the old exposition (raw nanoseconds etc.) is reproduced
+  // byte-compatibly until the alias is deleted.
+  for (const MetricAlias& a : kDeprecatedAliases) {
+    auto it = metrics_.find(a.canonical);
+    if (it == metrics_.end()) continue;
+    const Entry& e = it->second;
+    out += std::string("# HELP ") + a.deprecated + " Deprecated alias of " +
+           a.canonical + " (removed next release)\n";
+    EmitEntry(a.deprecated, e.counter.get(), e.gauge.get(),
+              e.histogram.get(), 1.0, &out);
   }
   return out;
 }

@@ -34,6 +34,16 @@ namespace exploredb {
 ///
 /// Registered metrics are never removed (pointers stay valid for the process
 /// lifetime); ResetAllForTest() zeroes values without invalidating pointers.
+///
+/// Naming follows the Prometheus conventions: base-unit suffixes (_seconds,
+/// _bytes) and _total only on counters. Metrics whose natural recording unit
+/// differs from the exposition unit (latencies recorded in nanoseconds,
+/// exposed in seconds) register an exposition scale (SetScale): Record()
+/// call sites keep passing raw integers and PrometheusText() multiplies on
+/// the way out. Renamed metrics stay reachable for one release through a
+/// deprecation alias table (metrics.cc): lookups by the old name resolve to
+/// the canonical metric, and the exposition re-emits the old series
+/// (unscaled, exactly as it historically appeared) next to the new one.
 
 /// Monotonic counter, sharded by thread to keep increments contention-free.
 class Counter {
@@ -149,9 +159,17 @@ class MetricsRegistry {
                           std::vector<int64_t> bounds = {},
                           const std::string& help = "") EXCLUDES(mu_);
 
+  /// Sets the exposition scale of `name` (default 1.0): recorded values are
+  /// multiplied by `scale` in PrometheusText() so hot paths can record raw
+  /// nanoseconds into a `_seconds` series (scale 1e-9) or millionths into a
+  /// ratio gauge (scale 1e-6). Readers through Value()/Quantile() always see
+  /// the raw recorded unit. No-op when `name` is unregistered.
+  void SetScale(const std::string& name, double scale) EXCLUDES(mu_);
+
   /// Prometheus text exposition (# HELP / # TYPE + samples), metrics in
   /// name order. Histograms emit cumulative `_bucket{le=...}`, `_sum`,
-  /// `_count` series.
+  /// `_count` series. Deprecated alias names are re-emitted after the
+  /// canonical series (see the naming note above).
   std::string PrometheusText() const EXCLUDES(mu_);
 
   /// Zeroes every registered metric without invalidating pointers.
@@ -162,6 +180,7 @@ class MetricsRegistry {
  private:
   struct Entry {
     std::string help;
+    double scale = 1.0;  ///< exposition multiplier (SetScale)
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;

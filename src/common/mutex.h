@@ -1,6 +1,7 @@
 #ifndef EXPLOREDB_COMMON_MUTEX_H_
 #define EXPLOREDB_COMMON_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -54,6 +55,16 @@ class CondVar {
     // the unique_lock destructor leaves the (reacquired) lock held.
     std::unique_lock<std::mutex> lock(mu.native_handle(), std::adopt_lock);
     cv_.wait(lock);
+    lock.release();
+  }
+
+  /// Wait() with a timeout: returns after a notification or once `timeout`
+  /// elapses, whichever comes first (the lock is reacquired either way).
+  /// Spurious wakeups are possible, as with Wait — callers loop on their
+  /// predicate.
+  void WaitFor(Mutex& mu, std::chrono::nanoseconds timeout) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.native_handle(), std::adopt_lock);
+    cv_.wait_for(lock, timeout);
     lock.release();
   }
 

@@ -29,9 +29,14 @@ Counter* TasksCounter() {
 }
 
 Histogram* TaskRunHistogram() {
-  static Histogram* h = Metrics().GetHistogram(
-      "exploredb_threadpool_task_run_ns", {},
-      "Thread-pool task execution time (ns)");
+  static Histogram* h = [] {
+    Histogram* hist = Metrics().GetHistogram(
+        "exploredb_threadpool_task_run_seconds", {},
+        "Thread-pool task execution time (recorded in ns, exposed in "
+        "seconds)");
+    Metrics().SetScale("exploredb_threadpool_task_run_seconds", 1e-9);
+    return hist;
+  }();
   return h;
 }
 

@@ -29,8 +29,13 @@ Counter* QueriesCounter() {
 }
 
 Histogram* QueryLatencyHistogram() {
-  static Histogram* h = Metrics().GetHistogram(
-      "exploredb_query_latency_ns", {}, "End-to-end query latency (ns)");
+  static Histogram* h = [] {
+    Histogram* hist = Metrics().GetHistogram(
+        "exploredb_query_latency_seconds", {},
+        "End-to-end query latency (recorded in ns, exposed in seconds)");
+    Metrics().SetScale("exploredb_query_latency_seconds", 1e-9);
+    return hist;
+  }();
   return h;
 }
 

@@ -95,8 +95,13 @@ Counter* DeliveriesCounter() {
 void RecordEngineQueryMetrics(const ExecStats& stats) {
   static Counter* queries = Metrics().GetCounter(
       "exploredb_queries_total", "Queries executed by the engine");
-  static Histogram* latency = Metrics().GetHistogram(
-      "exploredb_query_latency_ns", {}, "End-to-end query latency (ns)");
+  static Histogram* latency = [] {
+    Histogram* hist = Metrics().GetHistogram(
+        "exploredb_query_latency_seconds", {},
+        "End-to-end query latency (recorded in ns, exposed in seconds)");
+    Metrics().SetScale("exploredb_query_latency_seconds", 1e-9);
+    return hist;
+  }();
   static Counter* rows = Metrics().GetCounter(
       "exploredb_rows_scanned_total", "Row visits across all query phases");
   static Counter* morsels = Metrics().GetCounter(

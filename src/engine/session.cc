@@ -10,10 +10,17 @@
 #include "common/metrics.h"
 #include "common/strings.h"
 #include "common/trace.h"
+#include "obs/journal.h"
+#include "obs/slo.h"
 
 namespace exploredb {
 
 namespace {
+
+uint64_t NextSessionId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
 
 // Session-level counters, aggregated across every Session in the process:
 // queries issued, middleware cache hits, and speculative executions drained
@@ -65,12 +72,14 @@ Counter* PlannerBudgetMetCounter() {
 
 Session::Session(Database* db, SessionOptions options)
     : db_(db),
+      id_(NextSessionId()),
       options_(options),
       executor_(db),
       cache_(options.cache_capacity) {}
 
 Result<QueryResult> Session::Execute(const Query& query,
                                      const ExecContext& ctx) {
+  const int64_t arrival_ns = Tracer::NowNs();
   MutexLock lock(mu_);
   ++stats_.queries;
   QueriesCounter()->Add();
@@ -88,7 +97,7 @@ Result<QueryResult> Session::Execute(const Query& query,
 
   if (cacheable) {
     if (auto cached = cache_.Get(key)) {
-      return ServeFromCache(query, ctx, std::move(*cached));
+      return ServeFromCache(query, ctx, std::move(*cached), arrival_ns);
     }
   }
 
@@ -104,7 +113,7 @@ Result<QueryResult> Session::Execute(const Query& query,
     stats_.speculative_queries += ran;
     SpeculativeCounter()->Add(ran);
   }
-  LogQuery(query, ctx, result);
+  LogQuery(query, ctx, result, arrival_ns);
   return result;
 }
 
@@ -118,7 +127,8 @@ Result<QueryResult> Session::Execute(const QueryBuilder& builder,
 
 Result<QueryResult> Session::ServeFromCache(const Query& query,
                                             const ExecContext& ctx,
-                                            std::vector<uint32_t> positions) {
+                                            std::vector<uint32_t> positions,
+                                            int64_t arrival_ns) {
   ++stats_.cache_hits;
   CacheHitsCounter()->Add();
   const bool tracing = ctx.tracing();
@@ -174,13 +184,14 @@ Result<QueryResult> Session::ServeFromCache(const Query& query,
   last_table_ = query.table();
   last_predicate_ = query.where();
   hit_span.Stop();
-  LogQuery(query, ctx, result);
+  LogQuery(query, ctx, result, arrival_ns);
   return result;
 }
 
 Result<QueryResult> Session::ExecuteProgressive(
     const Query& query, const LatencyBudget& budget,
     const ProgressiveCallback& callback, const ExecContext& base) {
+  const int64_t arrival_ns = Tracer::NowNs();
   MutexLock lock(mu_);
   ++stats_.queries;
   QueriesCounter()->Add();
@@ -198,8 +209,9 @@ Result<QueryResult> Session::ExecuteProgressive(
 
   if (cacheable) {
     if (auto cached = cache_.Get(key)) {
-      EXPLOREDB_ASSIGN_OR_RETURN(QueryResult result,
-                                 ServeFromCache(query, ctx, std::move(*cached)));
+      EXPLOREDB_ASSIGN_OR_RETURN(
+          QueryResult result,
+          ServeFromCache(query, ctx, std::move(*cached), arrival_ns));
       if (callback) {
         ProgressiveUpdate update;
         if (result.scalar.has_value()) update.estimate = *result.scalar;
@@ -224,7 +236,7 @@ Result<QueryResult> Session::ExecuteProgressive(
     stats_.speculative_queries += ran;
     SpeculativeCounter()->Add(ran);
   }
-  LogQuery(query, ctx, result);
+  LogQuery(query, ctx, result, arrival_ns);
   return result;
 }
 
@@ -238,7 +250,42 @@ Result<QueryResult> Session::ExecuteProgressive(
 }
 
 void Session::LogQuery(const Query& query, const ExecContext& ctx,
-                       const QueryResult& result) {
+                       const QueryResult& result, int64_t arrival_ns) {
+  const ExecutionMode requested = ctx.options().mode;
+  const bool analytic =
+      query.aggregate().has_value() || query.group_by().has_value();
+  const int64_t budget_ns = requested == ExecutionMode::kBudgeted
+                                ? ctx.options().budget.latency.count()
+                                : 0;
+  // The SLO monitor sees every query (alloc-free, independent of logging
+  // capacity or journal state).
+  SloMonitor::Global().Observe(SloMonitor::Classify(requested, analytic),
+                               result.exec_stats.total_nanos, budget_ns,
+                               result.approximate,
+                               result.exec_stats.achieved_error);
+
+  const int64_t think_ns =
+      last_finish_ns_ < 0 ? -1 : arrival_ns - last_finish_ns_;
+  if (WorkloadJournal::enabled()) {
+    const std::string text = query.CacheKey();
+    JournalQueryInfo info;
+    info.session_id = id_;
+    info.session_seq = journal_seq_;
+    info.think_ns = think_ns;
+    info.query = &query;
+    info.query_text = &text;
+    info.requested_mode = requested;
+    info.budget_ns = budget_ns;
+    info.target_error = ctx.options().budget.target_error;
+    info.sample_fraction = ctx.options().sample_fraction;
+    info.error_budget = ctx.options().error_budget;
+    info.confidence = ctx.options().confidence;
+    info.result = &result;
+    JournalQueryExecution(info);
+  }
+  ++journal_seq_;
+  last_finish_ns_ = Tracer::NowNs();
+
   if (options_.query_log_capacity == 0) return;
   QueryLogEntry entry;
   entry.query = query.CacheKey();
@@ -256,6 +303,7 @@ void Session::LogQuery(const Query& query, const ExecContext& ctx,
 
 Result<std::string> Session::ExplainAnalyze(const Query& query,
                                             const ExecContext& ctx) {
+  const int64_t arrival_ns = Tracer::NowNs();
   MutexLock lock(mu_);
   ExecContext traced = ctx;
   traced.SetTrace(true);
@@ -271,11 +319,25 @@ Result<std::string> Session::ExplainAnalyze(const Query& query,
 
   ++stats_.queries;
   QueriesCounter()->Add();
-  LogQuery(query, traced, result);
+  LogQuery(query, traced, result, arrival_ns);
 
   std::string out;
   out += "ExplainAnalyze: " + query.CacheKey() + "\n";
   out += "  " + result.exec_stats.Summary() + "\n";
+  if (result.exec_stats.compressed_morsels > 0) {
+    // The compression story in one line: how much of the scan ran on
+    // compressed data and what unpacking the survivors cost (the decompress
+    // worker spans below break the same time down per morsel).
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "  compression: compressed=%llu/%llu morsels decompress=",
+                  static_cast<unsigned long long>(
+                      result.exec_stats.compressed_morsels),
+                  static_cast<unsigned long long>(
+                      result.exec_stats.morsels_dispatched));
+    out += buf;
+    out += FormatDurationNanos(result.exec_stats.decompress_nanos) + "\n";
+  }
 
   if (events.empty()) {
     out += "  (no trace spans recorded)\n";

@@ -137,24 +137,34 @@ class Session {
   }
   Database* db() const { return db_; }
 
+  /// Process-unique session number — the `sid` of this session's workload
+  /// journal records.
+  uint64_t id() const { return id_; }
+
  private:
   /// Serves a cached position list: re-projects rows, stamps cache
   /// provenance (and planner provenance when the query ran budgeted), runs
-  /// speculation, and logs the query.
+  /// speculation, and logs the query. `arrival_ns` is the Tracer::NowNs()
+  /// timestamp captured when the user's call entered the session (think-time
+  /// accounting).
   Result<QueryResult> ServeFromCache(const Query& query, const ExecContext& ctx,
-                                     std::vector<uint32_t> positions)
-      REQUIRES(mu_);
+                                     std::vector<uint32_t> positions,
+                                     int64_t arrival_ns) REQUIRES(mu_);
 
   /// Enqueues shifted copies of a single-column range query (pan left/right)
   /// into the speculator.
   void SpeculateAround(const Query& query, const ExecContext& ctx)
       REQUIRES(mu_);
 
-  /// Appends one executed query to the ring-buffered query log.
+  /// The single emission point for everything that observes finished
+  /// queries: the SLO monitor and workload journal (always), then the
+  /// ring-buffered query log (when enabled). `arrival_ns` — see
+  /// ServeFromCache.
   void LogQuery(const Query& query, const ExecContext& ctx,
-                const QueryResult& result) REQUIRES(mu_);
+                const QueryResult& result, int64_t arrival_ns) REQUIRES(mu_);
 
   Database* const db_;
+  const uint64_t id_;  ///< process-unique session number
   const SessionOptions options_;
   // NOLINT-exploredb(guarded-by): internally synchronized (owns its pool).
   Executor executor_;
@@ -168,6 +178,10 @@ class Session {
   std::string last_table_ GUARDED_BY(mu_);
   Predicate last_predicate_ GUARDED_BY(mu_);
   SessionStats stats_ GUARDED_BY(mu_);
+  /// Tracer::NowNs() when the previous query finished: the gap to the next
+  /// arrival is the journaled think time. -1 before the first query.
+  int64_t last_finish_ns_ GUARDED_BY(mu_) = -1;
+  uint64_t journal_seq_ GUARDED_BY(mu_) = 0;  ///< next session_seq to emit
 };
 
 }  // namespace exploredb

@@ -1,0 +1,258 @@
+#include "obs/http_exporter.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "obs/journal.h"
+#include "obs/slo.h"
+
+namespace exploredb {
+
+namespace {
+
+constexpr size_t kMaxRequestBytes = 8 * 1024;
+
+const char kIndexPage[] =
+    "<html><head><title>ExploreDB</title></head><body>"
+    "<h1>ExploreDB observability</h1><ul>"
+    "<li><a href=\"/metrics\">/metrics</a> — Prometheus exposition</li>"
+    "<li><a href=\"/slo\">/slo</a> — rolling-window SLO report</li>"
+    "<li><a href=\"/querylog\">/querylog</a> — recent journal lines</li>"
+    "<li><a href=\"/trace.json\">/trace.json</a> — Chrome trace</li>"
+    "</ul></body></html>\n";
+
+void WriteAll(int fd, const char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, data + off, n - off);
+    if (w <= 0) {
+      if (w < 0 && errno == EINTR) continue;
+      return;  // client went away; nothing useful to do
+    }
+    off += static_cast<size_t>(w);
+  }
+}
+
+}  // namespace
+
+HttpExporter& HttpExporter::Global() {
+  static HttpExporter* exporter = new HttpExporter();  // leaked singleton
+  return *exporter;
+}
+
+int HttpExporter::Respond(const std::string& path, std::string* body,
+                          std::string* content_type) {
+  if (path == "/metrics") {
+    SloMonitor::Global().UpdateGauges();
+    *body = Metrics().PrometheusText();
+    *content_type = "text/plain; version=0.0.4";
+    return 200;
+  }
+  if (path == "/slo") {
+    *body = SloMonitor::Global().JsonReport();
+    body->push_back('\n');
+    *content_type = "application/json";
+    return 200;
+  }
+  if (path == "/querylog") {
+    body->clear();
+    for (const std::string& line : WorkloadJournal::Global().Tail()) {
+      *body += line;
+      body->push_back('\n');
+    }
+    *content_type = "application/x-ndjson";
+    return 200;
+  }
+  if (path == "/trace.json") {
+    *body = Tracer::ChromeTraceJson();
+    *content_type = "application/json";
+    return 200;
+  }
+  if (path == "/" || path == "/index.html") {
+    *body = kIndexPage;
+    *content_type = "text/html";
+    return 200;
+  }
+  *body = "not found\n";
+  *content_type = "text/plain";
+  return 404;
+}
+
+void HttpExporter::HandleConnection(int fd) {
+  // Bounded, timeout-protected read of one request's header block.
+  struct timeval tv;
+  tv.tv_sec = 2;
+  tv.tv_usec = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+  std::string request;
+  char buf[1024];
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n\r\n") == std::string::npos &&
+         request.find("\n\n") == std::string::npos) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    request.append(buf, static_cast<size_t>(n));
+  }
+
+  std::string path = "/";
+  if (request.rfind("GET ", 0) == 0) {
+    const size_t end = request.find(' ', 4);
+    if (end != std::string::npos) path = request.substr(4, end - 4);
+    const size_t query = path.find('?');
+    if (query != std::string::npos) path.resize(query);
+  }
+
+  std::string body;
+  std::string content_type;
+  const int code = Respond(path, &body, &content_type);
+
+  char header[256];
+  const int header_len = std::snprintf(
+      header, sizeof(header),
+      "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+      "Connection: close\r\n\r\n",
+      code, code == 200 ? "OK" : "Not Found", content_type.c_str(),
+      body.size());
+  WriteAll(fd, header, static_cast<size_t>(header_len));
+  WriteAll(fd, body.data(), body.size());
+}
+
+void HttpExporter::ServeLoop(int listen_fd, int wake_fd) {
+  for (;;) {
+    struct pollfd fds[2];
+    fds[0].fd = listen_fd;
+    fds[0].events = POLLIN;
+    fds[1].fd = wake_fd;
+    fds[1].events = POLLIN;
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      ::close(wake_fd);
+      return;
+    }
+    if (fds[1].revents != 0) {  // Stop() wrote the wake byte
+      ::close(wake_fd);
+      return;
+    }
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int client = ::accept(listen_fd, nullptr, nullptr);
+    if (client < 0) continue;
+    HandleConnection(client);
+    ::close(client);
+  }
+}
+
+Status HttpExporter::Start(uint16_t port) {
+  MutexLock lock(mu_);
+  if (running_) {
+    return Status::FailedPrecondition("HTTP exporter already running");
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError("socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // local diagnostics only
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    return Status::IOError("bind(127.0.0.1:" + std::to_string(port) +
+                           ") failed: " + std::strerror(errno));
+  }
+  if (::listen(fd, 16) < 0) {
+    ::close(fd);
+    return Status::IOError("listen() failed");
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                    &addr_len) < 0) {
+    ::close(fd);
+    return Status::IOError("getsockname() failed");
+  }
+
+  int wake[2];
+  if (::pipe(wake) < 0) {
+    ::close(fd);
+    return Status::IOError("pipe() failed");
+  }
+
+  // /querylog needs journal lines; keep an in-memory tail even when no file
+  // journal was requested.
+  if (!WorkloadJournal::enabled()) {
+    WorkloadJournal::Global().EnableMemory();
+  }
+
+  running_ = true;
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  wake_write_fd_ = wake[1];
+  const int wake_read_fd = wake[0];
+  server_ = std::thread(
+      [this, fd, wake_read_fd] { ServeLoop(fd, wake_read_fd); });
+  return Status::OK();
+}
+
+uint16_t HttpExporter::StartFromEnv() {
+  const char* env = std::getenv("EXPLOREDB_HTTP_PORT");
+  if (env == nullptr || env[0] == '\0') return 0;
+  const long port = std::strtol(env, nullptr, 10);
+  if (port < 0 || port > 65535) {
+    std::fprintf(stderr, "EXPLOREDB_HTTP_PORT: invalid port '%s'\n", env);
+    return 0;
+  }
+  Status s = Start(static_cast<uint16_t>(port));
+  if (!s.ok()) {
+    std::fprintf(stderr, "EXPLOREDB_HTTP_PORT: %s\n", s.ToString().c_str());
+    return 0;
+  }
+  return this->port();
+}
+
+void HttpExporter::Stop() {
+  int listen_fd = -1;
+  int wake_fd = -1;
+  {
+    MutexLock lock(mu_);
+    if (!running_) return;
+    running_ = false;
+    listen_fd = listen_fd_;
+    wake_fd = wake_write_fd_;
+    listen_fd_ = -1;
+    wake_write_fd_ = -1;
+    port_ = 0;
+  }
+  const char byte = 'x';
+  WriteAll(wake_fd, &byte, 1);
+  if (server_.joinable()) server_.join();
+  ::close(wake_fd);
+  ::close(listen_fd);
+}
+
+bool HttpExporter::running() const {
+  MutexLock lock(mu_);
+  return running_;
+}
+
+uint16_t HttpExporter::port() const {
+  MutexLock lock(mu_);
+  return port_;
+}
+
+}  // namespace exploredb

@@ -1,0 +1,73 @@
+#ifndef EXPLOREDB_OBS_HTTP_EXPORTER_H_
+#define EXPLOREDB_OBS_HTTP_EXPORTER_H_
+
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+#include "common/status.h"
+
+namespace exploredb {
+
+/// Live observability endpoint: a dependency-free, loopback-only HTTP/1.0
+/// server (plain POSIX sockets, one serving thread) that answers:
+///
+///   /metrics     Prometheus text exposition (SLO gauges refreshed at scrape)
+///   /slo         rolling-window SLO report, JSON
+///   /querylog    most recent journal lines, NDJSON (the journal's in-memory
+///                tail; Start() turns on EnableMemory when no journal is up)
+///   /trace.json  Chrome trace_event JSON of the current trace buffer
+///   /            tiny index page linking the above
+///
+/// Opt-in: nothing listens unless EXPLOREDB_HTTP_PORT is set (StartFromEnv)
+/// or Start() is called. The server binds 127.0.0.1 only — this is a local
+/// diagnostics port, not a service endpoint. One request per connection
+/// (Connection: close), bounded request size, receive timeout; a slow or
+/// hostile client cannot wedge the serving thread for long.
+class HttpExporter {
+ public:
+  static HttpExporter& Global();
+
+  /// Binds 127.0.0.1:`port` (0 picks a free port — see port()) and starts
+  /// the serving thread. Fails if already running or the bind fails.
+  Status Start(uint16_t port) EXCLUDES(mu_);
+
+  /// Starts from EXPLOREDB_HTTP_PORT when set. Returns the bound port, or 0
+  /// when the variable is unset/invalid or the server failed to start
+  /// (failure is reported on stderr — observability must not take down the
+  /// process it observes).
+  uint16_t StartFromEnv() EXCLUDES(mu_);
+
+  /// Stops the serving thread and closes the socket. Idempotent.
+  void Stop() EXCLUDES(mu_);
+
+  bool running() const EXCLUDES(mu_);
+  /// The bound port (resolved after Start(0)); 0 when not running.
+  uint16_t port() const EXCLUDES(mu_);
+
+  /// Route table, exposed for tests: fills `body` and `content_type` for
+  /// `path` and returns the HTTP status code (200 or 404).
+  static int Respond(const std::string& path, std::string* body,
+                     std::string* content_type);
+
+ private:
+  HttpExporter() = default;
+
+  void ServeLoop(int listen_fd, int wake_fd);
+  static void HandleConnection(int fd);
+
+  mutable Mutex mu_;
+  bool running_ GUARDED_BY(mu_) = false;
+  uint16_t port_ GUARDED_BY(mu_) = 0;
+  int listen_fd_ GUARDED_BY(mu_) = -1;
+  int wake_write_fd_ GUARDED_BY(mu_) = -1;
+  // NOLINT-exploredb(guarded-by): spawned/joined only inside the
+  // Start/Stop transitions, which serialize through mu_.
+  std::thread server_;
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_OBS_HTTP_EXPORTER_H_

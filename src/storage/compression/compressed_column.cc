@@ -633,10 +633,10 @@ std::unique_ptr<CompressedColumn> CompressedColumn::Build(
       "exploredb_storage_compressed_blocks_total",
       "8192-row blocks encoded into a compressed representation");
   static Counter* bytes_raw = Metrics().GetCounter(
-      "exploredb_storage_bytes_raw_total",
+      "exploredb_storage_raw_bytes_total",
       "uncompressed bytes of columns given a compressed representation");
   static Counter* bytes_comp = Metrics().GetCounter(
-      "exploredb_storage_bytes_compressed_total",
+      "exploredb_storage_compressed_bytes_total",
       "bytes of the compressed representations");
   if (out->i64_ != nullptr) blocks->Add(out->i64_->num_blocks());
   if (out->str_ != nullptr) {

@@ -6,6 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -18,6 +23,8 @@
 #include "engine/executor.h"
 #include "engine/query.h"
 #include "engine/session.h"
+#include "obs/http_exporter.h"
+#include "obs/journal.h"
 
 namespace exploredb {
 namespace {
@@ -292,6 +299,153 @@ TEST(ObservabilityTest, SessionCountersTrackActivity) {
       1u);
   EXPECT_EQ(session.stats().queries, 2u);
   EXPECT_EQ(session.stats().cache_hits, 1u);
+}
+
+TEST(ObservabilityTest, DeprecatedMetricNamesAliasTheCanonicalSeries) {
+  // One-release deprecation: old names resolve to the same object as the
+  // canonical name, and the exposition re-emits the old series (raw units)
+  // next to the new scaled one so existing dashboards keep working.
+  EXPECT_EQ(Metrics().GetHistogram("exploredb_query_latency_ns"),
+            Metrics().GetHistogram("exploredb_query_latency_seconds"));
+  EXPECT_EQ(Metrics().GetHistogram("exploredb_threadpool_task_run_ns"),
+            Metrics().GetHistogram("exploredb_threadpool_task_run_seconds"));
+  EXPECT_EQ(Metrics().GetCounter("exploredb_storage_bytes_raw_total"),
+            Metrics().GetCounter("exploredb_storage_raw_bytes_total"));
+  EXPECT_EQ(Metrics().GetCounter("exploredb_storage_bytes_compressed_total"),
+            Metrics().GetCounter("exploredb_storage_compressed_bytes_total"));
+
+  Session session(TestDb());
+  ASSERT_TRUE(session.Execute(Window(13'000, 14'000)).ok());
+  const std::string text = Metrics().PrometheusText();
+  EXPECT_NE(text.find("exploredb_query_latency_seconds_bucket{le=\""),
+            std::string::npos);
+  EXPECT_NE(text.find("exploredb_query_latency_ns_bucket{le=\""),
+            std::string::npos);
+  EXPECT_NE(text.find("Deprecated alias of exploredb_query_latency_seconds"),
+            std::string::npos);
+}
+
+TEST(ObservabilityTest, ExplainAnalyzeReportsCompressionBreakdown) {
+  // Clustered low-cardinality int64: RLE/FOR-compressible, so the default
+  // scan path serves morsels from the compressed rep and ExplainAnalyze must
+  // say so.
+  Table t(Schema({{"ts", DataType::kInt64}, {"val", DataType::kInt64}}));
+  Random rng(31);
+  for (size_t i = 0; i < 60'000; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value(static_cast<int64_t>(i / 300)),
+                             Value(rng.UniformInt(-1000, 1000))})
+                    .ok());
+  }
+  Database db;
+  ASSERT_TRUE(db.CreateTable("events", std::move(t)).ok());
+
+  Query query = Query::On("events")
+                    .Where(Predicate({{0, CompareOp::kGe, Value(int64_t{40})},
+                                      {0, CompareOp::kLt, Value(int64_t{160})}}))
+                    .Aggregate(AggKind::kSum, "val");
+  Executor exec(&db);
+  auto direct = exec.Execute(query, ExecContext{});
+  ASSERT_TRUE(direct.ok());
+  ASSERT_GT(direct.ValueOrDie().stats().compressed_morsels, 0u);
+
+  Session session(&db);
+  auto report = session.ExplainAnalyze(query);
+  ASSERT_TRUE(report.ok());
+  const std::string& text = report.ValueOrDie();
+  EXPECT_NE(text.find("compression: compressed="), std::string::npos);
+  EXPECT_NE(text.find("decompress="), std::string::npos);
+
+  // And a query that never touches compressed data omits the line.
+  SessionOptions no_spec;
+  no_spec.speculate = false;
+  Session raw_session(TestDb(), no_spec);
+  ExecContext cracking;
+  cracking.options().mode = ExecutionMode::kCracking;
+  auto uncompressed =
+      raw_session.ExplainAnalyze(Window(21'000, 22'000), cracking);
+  ASSERT_TRUE(uncompressed.ok());
+  EXPECT_EQ(uncompressed.ValueOrDie().find("compression:"),
+            std::string::npos);
+}
+
+// ---- live HTTP endpoint ----------------------------------------------------
+
+/// One blocking HTTP/1.0 GET against 127.0.0.1:`port`; returns the full
+/// response (status line + headers + body).
+std::string HttpGet(uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::write(fd, request.data() + sent, request.size() - sent);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) response.append(buf, n);
+  ::close(fd);
+  return response;
+}
+
+TEST(ObservabilityHttpTest, EndpointServesMetricsSloAndQuerylog) {
+  ASSERT_TRUE(HttpExporter::Global().Start(0).ok());
+  const uint16_t port = HttpExporter::Global().port();
+  ASSERT_NE(port, 0);
+
+  // Journal some traffic so /querylog has content (Start enabled the
+  // in-memory tail if nothing else had).
+  Session session(TestDb());
+  ASSERT_TRUE(session.Execute(Window(15'000, 16'000)).ok());
+  WorkloadJournal::Global().Flush();
+
+  const std::string metrics = HttpGet(port, "/metrics");
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain"), std::string::npos);
+  EXPECT_NE(metrics.find("exploredb_"), std::string::npos);
+  EXPECT_NE(metrics.find("exploredb_slo_interactive_queries_total"),
+            std::string::npos);
+
+  const std::string slo = HttpGet(port, "/slo");
+  EXPECT_NE(slo.find("200 OK"), std::string::npos);
+  EXPECT_NE(slo.find("application/json"), std::string::npos);
+  EXPECT_NE(slo.find("\"classes\""), std::string::npos);
+  EXPECT_NE(slo.find("\"interactive\""), std::string::npos);
+
+  const std::string querylog = HttpGet(port, "/querylog");
+  EXPECT_NE(querylog.find("200 OK"), std::string::npos);
+  EXPECT_NE(querylog.find("\"type\":\"q\""), std::string::npos);
+
+  const std::string index = HttpGet(port, "/");
+  EXPECT_NE(index.find("200 OK"), std::string::npos);
+
+  const std::string missing = HttpGet(port, "/no-such-route");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+
+  HttpExporter::Global().Stop();
+  EXPECT_FALSE(HttpExporter::Global().running());
+}
+
+TEST(ObservabilityHttpTest, RespondRoutesWithoutSockets) {
+  std::string body;
+  std::string content_type;
+  EXPECT_EQ(HttpExporter::Respond("/metrics", &body, &content_type), 200);
+  EXPECT_NE(body.find("exploredb_"), std::string::npos);
+  EXPECT_EQ(HttpExporter::Respond("/slo", &body, &content_type), 200);
+  EXPECT_NE(body.find("\"slo_target\":0.99"), std::string::npos);
+  EXPECT_EQ(HttpExporter::Respond("/trace.json", &body, &content_type), 200);
+  EXPECT_NE(body.find("traceEvents"), std::string::npos);
+  EXPECT_EQ(HttpExporter::Respond("/nope", &body, &content_type), 404);
 }
 
 }  // namespace
