@@ -264,8 +264,12 @@ void Session::LogQuery(const Query& query, const ExecContext& ctx,
                                result.approximate,
                                result.exec_stats.achieved_error);
 
+  // arrival_ns is captured before mu_ is acquired, so under concurrent use
+  // of one Session it can predate the previous query's finish; clamp to 0 so
+  // -1 stays an unambiguous "first query" sentinel.
   const int64_t think_ns =
-      last_finish_ns_ < 0 ? -1 : arrival_ns - last_finish_ns_;
+      last_finish_ns_ < 0 ? -1
+                          : std::max<int64_t>(0, arrival_ns - last_finish_ns_);
   if (WorkloadJournal::enabled()) {
     const std::string text = query.CacheKey();
     JournalQueryInfo info;

@@ -32,13 +32,17 @@ const char kIndexPage[] =
     "<li><a href=\"/trace.json\">/trace.json</a> — Chrome trace</li>"
     "</ul></body></html>\n";
 
+// Socket writes only. MSG_NOSIGNAL turns a disconnected peer into an EPIPE
+// error instead of a SIGPIPE whose default action would kill the whole
+// process; an error (including EAGAIN from the SO_SNDTIMEO send timeout)
+// aborts the response — the connection is closed by the caller.
 void WriteAll(int fd, const char* data, size_t n) {
   size_t off = 0;
   while (off < n) {
-    const ssize_t w = ::write(fd, data + off, n - off);
+    const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
     if (w <= 0) {
       if (w < 0 && errno == EINTR) continue;
-      return;  // client went away; nothing useful to do
+      return;  // client went away or stopped reading; drop the response
     }
     off += static_cast<size_t>(w);
   }
@@ -90,11 +94,15 @@ int HttpExporter::Respond(const std::string& path, std::string* body,
 }
 
 void HttpExporter::HandleConnection(int fd) {
-  // Bounded, timeout-protected read of one request's header block.
+  // Bounded, timeout-protected read of one request's header block, and a
+  // matching send timeout: /querylog can exceed the socket send buffer, so
+  // without SO_SNDTIMEO a client that never reads would block WriteAll
+  // forever and wedge the single serving thread (and Stop()'s join).
   struct timeval tv;
   tv.tv_sec = 2;
   tv.tv_usec = 0;
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 
   std::string request;
   char buf[1024];
@@ -139,11 +147,9 @@ void HttpExporter::ServeLoop(int listen_fd, int wake_fd) {
     const int rc = ::poll(fds, 2, -1);
     if (rc < 0) {
       if (errno == EINTR) continue;
-      ::close(wake_fd);
-      return;
+      return;  // wake_fd stays open; Stop() closes it after the join
     }
     if (fds[1].revents != 0) {  // Stop() wrote the wake byte
-      ::close(wake_fd);
       return;
     }
     if ((fds[0].revents & POLLIN) == 0) continue;
@@ -203,6 +209,7 @@ Status HttpExporter::Start(uint16_t port) {
   port_ = ntohs(addr.sin_port);
   listen_fd_ = fd;
   wake_write_fd_ = wake[1];
+  wake_read_fd_ = wake[0];
   const int wake_read_fd = wake[0];
   server_ = std::thread(
       [this, fd, wake_read_fd] { ServeLoop(fd, wake_read_fd); });
@@ -228,20 +235,28 @@ uint16_t HttpExporter::StartFromEnv() {
 void HttpExporter::Stop() {
   int listen_fd = -1;
   int wake_fd = -1;
+  int wake_read_fd = -1;
   {
     MutexLock lock(mu_);
     if (!running_) return;
     running_ = false;
     listen_fd = listen_fd_;
     wake_fd = wake_write_fd_;
+    wake_read_fd = wake_read_fd_;
     listen_fd_ = -1;
     wake_write_fd_ = -1;
+    wake_read_fd_ = -1;
     port_ = 0;
   }
+  // The read end is still open here (closed below, after the join), so this
+  // pipe write cannot raise SIGPIPE; if the serving thread already exited on
+  // a poll error the byte just sits in the pipe buffer.
   const char byte = 'x';
-  WriteAll(wake_fd, &byte, 1);
+  while (::write(wake_fd, &byte, 1) < 0 && errno == EINTR) {
+  }
   if (server_.joinable()) server_.join();
   ::close(wake_fd);
+  ::close(wake_read_fd);
   ::close(listen_fd);
 }
 

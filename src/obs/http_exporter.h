@@ -24,8 +24,10 @@ namespace exploredb {
 /// Opt-in: nothing listens unless EXPLOREDB_HTTP_PORT is set (StartFromEnv)
 /// or Start() is called. The server binds 127.0.0.1 only — this is a local
 /// diagnostics port, not a service endpoint. One request per connection
-/// (Connection: close), bounded request size, receive timeout; a slow or
-/// hostile client cannot wedge the serving thread for long.
+/// (Connection: close), bounded request size, receive and send timeouts; a
+/// slow or hostile client cannot wedge the serving thread for long. Socket
+/// writes use MSG_NOSIGNAL, so a client disconnecting mid-response yields
+/// EPIPE (the connection is dropped), never a process-killing SIGPIPE.
 class HttpExporter {
  public:
   static HttpExporter& Global();
@@ -63,6 +65,10 @@ class HttpExporter {
   uint16_t port_ GUARDED_BY(mu_) = 0;
   int listen_fd_ GUARDED_BY(mu_) = -1;
   int wake_write_fd_ GUARDED_BY(mu_) = -1;
+  /// Owned here (not by ServeLoop) and closed only after the serving thread
+  /// joins, so the wake pipe's read end is always open when Stop() writes
+  /// the wake byte — a pipe write with a live reader can never raise SIGPIPE.
+  int wake_read_fd_ GUARDED_BY(mu_) = -1;
   // NOLINT-exploredb(guarded-by): spawned/joined only inside the
   // Start/Stop transitions, which serialize through mu_.
   std::thread server_;

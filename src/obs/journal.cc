@@ -402,6 +402,14 @@ int64_t FieldInt(const Json& obj, const char* key, int64_t fallback = 0) {
   return f != nullptr && f->kind == Json::kNumber ? f->Int64() : fallback;
 }
 
+// Unsigned fields (seed, ids, sequence numbers, counts) must round-trip the
+// full uint64 range: FieldInt's strtoll saturates at INT64_MAX, which would
+// silently change e.g. a --seed above 2^63 on read-back and break replay.
+uint64_t FieldUint(const Json& obj, const char* key, uint64_t fallback = 0) {
+  const Json* f = obj.Find(key);
+  return f != nullptr && f->kind == Json::kNumber ? f->Uint64() : fallback;
+}
+
 double FieldDouble(const Json& obj, const char* key, double fallback = 0.0) {
   const Json* f = obj.Find(key);
   return f != nullptr && f->kind == Json::kNumber ? f->Double() : fallback;
@@ -598,9 +606,9 @@ Result<JournalRecord> WorkloadJournal::FromJsonLine(const std::string& line) {
     return Status::InvalidArgument("not a journal query record");
   }
   JournalRecord r;
-  r.session_id = static_cast<uint64_t>(FieldInt(doc, "sid"));
-  r.session_seq = static_cast<uint64_t>(FieldInt(doc, "seq"));
-  r.global_seq = static_cast<uint64_t>(FieldInt(doc, "gseq"));
+  r.session_id = FieldUint(doc, "sid");
+  r.session_seq = FieldUint(doc, "seq");
+  r.global_seq = FieldUint(doc, "gseq");
   r.wall_time_us = FieldInt(doc, "wall_us");
   r.think_ns = FieldInt(doc, "think_ns", -1);
 
@@ -661,7 +669,7 @@ Result<JournalRecord> WorkloadJournal::FromJsonLine(const std::string& line) {
 
   const std::string fp = FieldString(doc, "fp");
   r.result_fingerprint = std::strtoull(fp.c_str(), nullptr, 16);
-  r.result_rows = static_cast<uint64_t>(FieldInt(doc, "rows"));
+  r.result_rows = FieldUint(doc, "rows");
   if (const Json* scalar = doc.Find("scalar");
       scalar != nullptr && scalar->kind == Json::kNumber) {
     r.scalar = scalar->Double();
@@ -674,11 +682,10 @@ Result<JournalRecord> WorkloadJournal::FromJsonLine(const std::string& line) {
     if (ValueFor(kPathTokens, FieldString(*stats, "path"), &path)) {
       s.path = static_cast<AccessPath>(path);
     }
-    s.rows_scanned = static_cast<uint64_t>(FieldInt(*stats, "rows_scanned"));
-    s.morsels_dispatched = static_cast<uint64_t>(FieldInt(*stats, "morsels"));
-    s.morsels_pruned = static_cast<uint64_t>(FieldInt(*stats, "pruned"));
-    s.compressed_morsels =
-        static_cast<uint64_t>(FieldInt(*stats, "compressed"));
+    s.rows_scanned = FieldUint(*stats, "rows_scanned");
+    s.morsels_dispatched = FieldUint(*stats, "morsels");
+    s.morsels_pruned = FieldUint(*stats, "pruned");
+    s.compressed_morsels = FieldUint(*stats, "compressed");
     s.threads_used = static_cast<uint32_t>(FieldInt(*stats, "threads", 1));
     s.resolved_mode = r.resolved_mode;
     int planner = 0;
@@ -730,7 +737,7 @@ Result<JournalFile> WorkloadJournal::ReadFile(const std::string& path) {
       JournalHeader h;
       h.dataset = FieldString(doc, "dataset");
       h.rows = FieldInt(doc, "rows");
-      h.seed = static_cast<uint64_t>(FieldInt(doc, "seed"));
+      h.seed = FieldUint(doc, "seed");
       file.header = std::move(h);
     } else if (type == "q") {
       auto record = FromJsonLine(line);
@@ -885,6 +892,16 @@ void WorkloadJournal::WriterLoop() {
   }
 }
 
+void WorkloadJournal::DiscardPendingLocked() {
+  // Records appended in the brief Append/Disable race window stay in their
+  // rings after Disable's final drain; without this they would leak into the
+  // next enablement's journal with stale seq/session context.
+  for (const auto& ring : rings_) {
+    MutexLock lock(ring->mu);
+    ring->items.clear();
+  }
+}
+
 void WorkloadJournal::StartWriterLocked() {
   running_ = true;
   paused_ = false;
@@ -904,6 +921,7 @@ Status WorkloadJournal::EnableFile(
     std::fputc('\n', f);
   }
   MutexLock lock(mu_);
+  DiscardPendingLocked();
   file_ = f;
   tail_.clear();
   StartWriterLocked();
@@ -915,6 +933,7 @@ void WorkloadJournal::EnableMemory() {
   {
     MutexLock lock(mu_);
     if (running_) return;  // already enabled (file or memory)
+    DiscardPendingLocked();
     tail_.clear();
     StartWriterLocked();
   }

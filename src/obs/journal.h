@@ -94,7 +94,10 @@ struct JournalHeader {
 };
 
 /// A parsed journal file: the optional header plus all query records, in
-/// file order. Event lines (slo_breach etc.) are skipped.
+/// file order — which is only approximately global_seq order (each drain
+/// batch is sorted, but a record can slip from one batch to the next);
+/// re-sort by global_seq/session_seq when strict order matters. Event lines
+/// (slo_breach etc.) are skipped.
 struct JournalFile {
   std::optional<JournalHeader> header;
   std::vector<JournalRecord> records;
@@ -172,11 +175,19 @@ class WorkloadJournal {
   struct ThreadRing;
 
   ThreadRing* LocalRing();
+  /// Drops any records still sitting in rings from a previous enablement
+  /// (appended in the Append/Disable race window after the final drain), so
+  /// they cannot leak stale seq/session context into the next journal.
+  void DiscardPendingLocked() REQUIRES(mu_);
   void StartWriterLocked() REQUIRES(mu_);
   void WriterLoop();
   /// One drain pass: moves every ring's pending items out, renders them in
-  /// global_seq order, appends to the file/tail. Runs on the writer thread
-  /// (or inline from Disable after the writer stopped).
+  /// global_seq order within the batch, appends to the file/tail. Runs on
+  /// the writer thread (or inline from Disable after the writer stopped).
+  /// Note the file is therefore only approximately seq-ordered overall: a
+  /// record can land in a ring after that ring was visited but before the
+  /// pass ends, so it is written in a later batch. Consumers needing strict
+  /// order (tools/replay) re-sort by sequence after ReadFile.
   void DrainOnce();
 
   static std::atomic<bool> enabled_;

@@ -194,6 +194,38 @@ TEST_F(JournalTest, JsonLineRoundTripsEveryField) {
   EXPECT_DOUBLE_EQ(*p.scalar, 3.25);
 }
 
+// Unsigned 64-bit fields above INT64_MAX (a perfectly valid --seed) must
+// survive the round trip: a strtoll-based parse would saturate and silently
+// change the seed, so replay would regenerate a different dataset.
+TEST_F(JournalTest, Uint64FieldsAboveInt64MaxRoundTrip) {
+  JournalHeader header;
+  header.dataset = "events";
+  header.rows = 100;
+  header.seed = 0x8000'0000'0000'002aULL;  // 2^63 + 42
+
+  const std::string path = TempPath("journal_uint64.jsonl");
+  ASSERT_TRUE(WorkloadJournal::Global().EnableFile(path, header).ok());
+  WorkloadJournal::Global().Disable();
+
+  auto journal = WorkloadJournal::ReadFile(path);
+  ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+  ASSERT_TRUE(journal.ValueOrDie().header.has_value());
+  EXPECT_EQ(journal.ValueOrDie().header->seed, header.seed);
+
+  JournalRecord r;
+  r.session_id = 0xffff'ffff'ffff'fff0ULL;
+  r.session_seq = 0x8000'0000'0000'0001ULL;
+  r.global_seq = 0x9000'0000'0000'0000ULL;
+  r.result_rows = 0xa000'0000'0000'0000ULL;
+  r.query = Query::On("events").Select({"ts"});
+  auto parsed = WorkloadJournal::FromJsonLine(WorkloadJournal::ToJsonLine(r));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.ValueOrDie().session_id, r.session_id);
+  EXPECT_EQ(parsed.ValueOrDie().session_seq, r.session_seq);
+  EXPECT_EQ(parsed.ValueOrDie().global_seq, r.global_seq);
+  EXPECT_EQ(parsed.ValueOrDie().result_rows, r.result_rows);
+}
+
 TEST_F(JournalTest, CapturesEveryQueryFromEightThreads) {
   constexpr int kThreads = 8;
   constexpr int kQueriesPerThread = 40;
