@@ -173,15 +173,47 @@ void MetricsRegistry::SetScale(const std::string& name, double scale) {
 
 namespace {
 
-// Emits one metric's # TYPE line and samples under `name`, multiplying
-// values by `scale`. scale == 1.0 keeps the historical integer formatting
-// (dashboards grep exact `le="1000"` bounds); scaled series print %g.
-void EmitEntry(const std::string& name, const Counter* counter,
-               const Gauge* gauge, const Histogram* histogram, double scale,
-               std::string* out) {
-  char buf[128];
+// `name` decomposed into its base metric name and (possibly empty) label
+// pairs — `exploredb_x_total{tenant="a"}` -> ("exploredb_x_total",
+// `tenant="a"`). Plain names pass through with empty labels.
+void SplitLabeledName(const std::string& name, std::string* base,
+                      std::string* labels) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos || name.back() != '}') {
+    *base = name;
+    labels->clear();
+    return;
+  }
+  *base = name.substr(0, brace);
+  *labels = name.substr(brace + 1, name.size() - brace - 2);
+}
+
+// Sample name for a plain series or one suffixed series of a histogram:
+// base [+ suffix] [+ {labels[, extra]}].
+std::string SampleName(const std::string& base, const std::string& labels,
+                       const char* suffix = "", const std::string& extra = "") {
+  std::string out = base;
+  out += suffix;
+  if (labels.empty() && extra.empty()) return out;
+  out += "{";
+  out += labels;
+  if (!labels.empty() && !extra.empty()) out += ",";
+  out += extra;
+  out += "}";
+  return out;
+}
+
+// Emits one metric's # TYPE line (once per base, caller-gated via
+// `emit_type`) and samples, multiplying values by `scale`. scale == 1.0
+// keeps the historical integer formatting (dashboards grep exact
+// `le="1000"` bounds); scaled series print %g.
+void EmitEntry(const std::string& base, const std::string& labels,
+               bool emit_type, const Counter* counter, const Gauge* gauge,
+               const Histogram* histogram, double scale, std::string* out) {
+  char buf[192];
   if (counter != nullptr) {
-    *out += "# TYPE " + name + " counter\n";
+    if (emit_type) *out += "# TYPE " + base + " counter\n";
+    const std::string name = SampleName(base, labels);
     if (scale == 1.0) {
       std::snprintf(buf, sizeof(buf), "%s %llu\n", name.c_str(),
                     static_cast<unsigned long long>(counter->Value()));
@@ -191,7 +223,8 @@ void EmitEntry(const std::string& name, const Counter* counter,
     }
     *out += buf;
   } else if (gauge != nullptr) {
-    *out += "# TYPE " + name + " gauge\n";
+    if (emit_type) *out += "# TYPE " + base + " gauge\n";
+    const std::string name = SampleName(base, labels);
     if (scale == 1.0) {
       std::snprintf(buf, sizeof(buf), "%s %lld\n", name.c_str(),
                     static_cast<long long>(gauge->Value()));
@@ -201,36 +234,41 @@ void EmitEntry(const std::string& name, const Counter* counter,
     }
     *out += buf;
   } else if (histogram != nullptr) {
-    *out += "# TYPE " + name + " histogram\n";
+    if (emit_type) *out += "# TYPE " + base + " histogram\n";
     const std::vector<uint64_t> counts = histogram->BucketCounts();
     const std::vector<int64_t>& bounds = histogram->bounds();
     uint64_t cumulative = 0;
     for (size_t b = 0; b < counts.size(); ++b) {
       cumulative += counts[b];
+      std::string le;
       if (b == bounds.size()) {
-        std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"+Inf\"} %llu\n",
-                      name.c_str(),
-                      static_cast<unsigned long long>(cumulative));
+        le = "le=\"+Inf\"";
       } else if (scale == 1.0) {
-        std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"%lld\"} %llu\n",
-                      name.c_str(), static_cast<long long>(bounds[b]),
-                      static_cast<unsigned long long>(cumulative));
+        std::snprintf(buf, sizeof(buf), "le=\"%lld\"",
+                      static_cast<long long>(bounds[b]));
+        le = buf;
       } else {
-        std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"%g\"} %llu\n",
-                      name.c_str(), static_cast<double>(bounds[b]) * scale,
-                      static_cast<unsigned long long>(cumulative));
+        std::snprintf(buf, sizeof(buf), "le=\"%g\"",
+                      static_cast<double>(bounds[b]) * scale);
+        le = buf;
       }
+      std::snprintf(buf, sizeof(buf), "%s %llu\n",
+                    SampleName(base, labels, "_bucket", le).c_str(),
+                    static_cast<unsigned long long>(cumulative));
       *out += buf;
     }
     if (scale == 1.0) {
-      std::snprintf(buf, sizeof(buf), "%s_sum %lld\n", name.c_str(),
+      std::snprintf(buf, sizeof(buf), "%s %lld\n",
+                    SampleName(base, labels, "_sum").c_str(),
                     static_cast<long long>(histogram->Sum()));
     } else {
-      std::snprintf(buf, sizeof(buf), "%s_sum %g\n", name.c_str(),
+      std::snprintf(buf, sizeof(buf), "%s %g\n",
+                    SampleName(base, labels, "_sum").c_str(),
                     static_cast<double>(histogram->Sum()) * scale);
     }
     *out += buf;
-    std::snprintf(buf, sizeof(buf), "%s_count %llu\n", name.c_str(),
+    std::snprintf(buf, sizeof(buf), "%s %llu\n",
+                  SampleName(base, labels, "_count").c_str(),
                   static_cast<unsigned long long>(cumulative));
     *out += buf;
   }
@@ -241,12 +279,33 @@ void EmitEntry(const std::string& name, const Counter* counter,
 std::string MetricsRegistry::PrometheusText() const {
   MutexLock lock(mu_);
   std::string out;
+  // Group series by base name so a labeled family (`base{tenant="a"}`,
+  // `base{tenant="b"}`, possibly a plain `base`) shares one # HELP/# TYPE
+  // block — required by the exposition format, which wants all samples of a
+  // metric contiguous. std::map iteration keeps bases and, within a base,
+  // label values in name order.
+  std::map<std::string, std::vector<std::pair<std::string, const Entry*>>>
+      families;
   for (const auto& [name, e] : metrics_) {
-    if (!e.help.empty()) {
-      out += "# HELP " + name + " " + e.help + "\n";
+    std::string base;
+    std::string labels;
+    SplitLabeledName(name, &base, &labels);
+    families[base].emplace_back(std::move(labels), &e);
+  }
+  for (const auto& [base, series] : families) {
+    // First non-empty help in the family names the whole block.
+    for (const auto& [labels, e] : series) {
+      if (!e->help.empty()) {
+        out += "# HELP " + base + " " + e->help + "\n";
+        break;
+      }
     }
-    EmitEntry(name, e.counter.get(), e.gauge.get(), e.histogram.get(),
-              e.scale, &out);
+    bool first = true;
+    for (const auto& [labels, e] : series) {
+      EmitEntry(base, labels, first, e->counter.get(), e->gauge.get(),
+                e->histogram.get(), e->scale, &out);
+      first = false;
+    }
   }
   // Deprecated aliases: re-emit the canonical series under the old name with
   // scale 1.0, so the old exposition (raw nanoseconds etc.) is reproduced
@@ -257,10 +316,33 @@ std::string MetricsRegistry::PrometheusText() const {
     const Entry& e = it->second;
     out += std::string("# HELP ") + a.deprecated + " Deprecated alias of " +
            a.canonical + " (removed next release)\n";
-    EmitEntry(a.deprecated, e.counter.get(), e.gauge.get(),
+    EmitEntry(a.deprecated, "", true, e.counter.get(), e.gauge.get(),
               e.histogram.get(), 1.0, &out);
   }
   return out;
+}
+
+std::string LabeledMetricName(const std::string& base,
+                              const std::string& label,
+                              const std::string& value) {
+  std::string escaped;
+  escaped.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        escaped += "\\\\";
+        break;
+      case '"':
+        escaped += "\\\"";
+        break;
+      case '\n':
+        escaped += "\\n";
+        break;
+      default:
+        escaped += c;
+    }
+  }
+  return base + "{" + label + "=\"" + escaped + "\"}";
 }
 
 void MetricsRegistry::ResetAllForTest() {

@@ -193,6 +193,17 @@ class MetricsRegistry {
 /// Shorthand for the process-wide registry.
 inline MetricsRegistry& Metrics() { return MetricsRegistry::Global(); }
 
+/// Builds a labeled series name — `base{label="value"}` — usable anywhere a
+/// metric name is (the registry keys by the full string, so each label value
+/// is its own counter/gauge). PrometheusText() groups all series of a base
+/// name under one # HELP/# TYPE block, which is how per-tenant series
+/// (`exploredb_session_queries_total{tenant="acme"}`) become legal
+/// exposition. The label value is sanitized: backslash, double quote, and
+/// newline are escaped per the Prometheus text format.
+std::string LabeledMetricName(const std::string& base,
+                              const std::string& label,
+                              const std::string& value);
+
 }  // namespace exploredb
 
 #endif  // EXPLOREDB_COMMON_METRICS_H_

@@ -3,7 +3,30 @@
 #include <atomic>
 #include <mutex>
 
+#include "common/metrics.h"
+
 namespace exploredb {
+
+namespace {
+
+// Serving-layer concurrency counters, aggregated over every epoch cracker in
+// the process: how often a query hit the converged shared-lock fast path vs
+// had to serialize behind an exclusive crack-and-publish.
+Counter* SharedReadsCounter() {
+  static Counter* c = Metrics().GetCounter(
+      "exploredb_cracker_shared_reads_total",
+      "Cracker range reads answered under the shared (epoch-pinned) lock");
+  return c;
+}
+
+Counter* EpochsPublishedCounter() {
+  static Counter* c = Metrics().GetCounter(
+      "exploredb_cracker_epochs_published_total",
+      "Cracking reorganizations that published a new piece-layout epoch");
+  return c;
+}
+
+}  // namespace
 
 UpdatableCrackerColumn::UpdatableCrackerColumn(std::vector<int64_t> values,
                                                size_t merge_threshold)
@@ -84,6 +107,62 @@ size_t ConcurrentCrackerColumn::RangeCount(int64_t lo, int64_t hi) {
   WriterMutexLock lock(mutex_);
   CrackRange r = column_.RangeSelect(lo, hi);
   return r.count();
+}
+
+EpochCrackerColumn::EpochCrackerColumn(std::vector<int64_t> values)
+    : column_(std::move(values)), size_(column_.size()) {}
+
+EpochCrackerColumn::ReadStats EpochCrackerColumn::RangeSelectInto(
+    int64_t lo, int64_t hi, std::vector<uint32_t>* out) {
+  ReadStats rs;
+  {
+    ReaderMutexLock lock(mutex_);
+    if (column_.CanAnswerWithoutCracking(lo, hi)) {
+      shared_reads_.fetch_add(1, std::memory_order_relaxed);
+      SharedReadsCounter()->Add();
+      // Sound under a shared lock: both bounds are pivots, so RangeSelect
+      // degenerates to two index lookups and mutates nothing.
+      CrackRange r = column_.RangeSelect(lo, hi);
+      out->insert(out->end(), column_.row_ids().begin() + r.begin,
+                  column_.row_ids().begin() + r.end);
+      rs.rows_touched = r.count();
+      rs.epoch = epoch_.load(std::memory_order_relaxed);
+      rs.shared_path = true;
+      return rs;
+    }
+  }
+  WriterMutexLock lock(mutex_);
+  // Re-check under the exclusive lock: another thread may have cracked the
+  // same bounds in the unlock->lock window, in which case this read is free.
+  const uint64_t cracks_before = column_.stats().cracks;
+  const uint64_t touched_before = column_.stats().elements_touched;
+  CrackRange r = column_.RangeSelect(lo, hi);
+  rs.rows_touched = static_cast<size_t>(column_.stats().elements_touched -
+                                        touched_before) +
+                    r.count();
+  if (column_.stats().cracks != cracks_before) {
+    exclusive_cracks_.fetch_add(1, std::memory_order_relaxed);
+    EpochsPublishedCounter()->Add();
+    // Publish: the new piece layout becomes the current epoch before any
+    // reader can take the lock shared again.
+    rs.epoch = epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+  } else {
+    rs.epoch = epoch_.load(std::memory_order_relaxed);
+  }
+  out->insert(out->end(), column_.row_ids().begin() + r.begin,
+              column_.row_ids().begin() + r.end);
+  return rs;
+}
+
+CrackingStats EpochCrackerColumn::stats() const {
+  ReaderMutexLock lock(mutex_);
+  return column_.stats();
+}
+
+Status EpochCrackerColumn::Validate(
+    const std::vector<int64_t>* original) const {
+  ReaderMutexLock lock(mutex_);
+  return column_.Validate(original);
 }
 
 }  // namespace exploredb

@@ -75,6 +75,70 @@ class ConcurrentCrackerColumn {
   std::atomic<uint64_t> read_only_queries_{0};
 };
 
+/// The serving-layer generalization of ConcurrentCrackerColumn: an epoch-
+/// published cracker that many sessions read concurrently while cracking
+/// reorganizations publish new piece layouts one at a time.
+///
+/// Epoch protocol (DESIGN.md §2i):
+///  - The piece layout has a monotonically increasing *epoch* number. Readers
+///    pin the current epoch by holding the shared lock: while any reader is
+///    inside, the layout cannot change underneath it.
+///  - A query whose bounds are already pivots is answered entirely under the
+///    shared lock (RangeSelect degenerates to two index lookups and mutates
+///    nothing — the ConcurrentCrackerColumn invariant), so converged point
+///    lookups never block each other and never block behind long readers.
+///  - A query that must crack takes the lock exclusive, re-checks (another
+///    thread may have cracked the same bounds in the unlock->lock window),
+///    reorganizes, and *publishes* epoch+1 before downgrading to copying its
+///    answer. Cracking serializes; reads of converged regions do not.
+class EpochCrackerColumn {
+ public:
+  /// Per-read provenance: what the caller's ExecStats accounting needs.
+  struct ReadStats {
+    /// Elements moved while cracking plus the answer range size — the same
+    /// accounting Executor historically derived from CrackingStats deltas
+    /// (which are racy to read across threads; this is the per-call copy).
+    size_t rows_touched = 0;
+    uint64_t epoch = 0;        ///< piece-layout epoch the answer came from
+    bool shared_path = false;  ///< answered read-only under the shared lock
+  };
+
+  explicit EpochCrackerColumn(std::vector<int64_t> values);
+
+  /// Appends the row ids of values in [lo, hi) to `out` (in cracked-array
+  /// order — callers needing determinism sort, as the executor always has).
+  ReadStats RangeSelectInto(int64_t lo, int64_t hi,
+                            std::vector<uint32_t>* out) EXCLUDES(mutex_);
+
+  /// Current published epoch (number of cracking reorganizations so far).
+  uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
+  /// Reads answered under the shared lock / cracks that published an epoch.
+  uint64_t shared_reads() const {
+    return shared_reads_.load(std::memory_order_relaxed);
+  }
+  uint64_t exclusive_cracks() const {
+    return exclusive_cracks_.load(std::memory_order_relaxed);
+  }
+
+  size_t size() const { return size_; }
+
+  /// Snapshot of the underlying cracker's counters (taken under the lock).
+  CrackingStats stats() const EXCLUDES(mutex_);
+
+  /// Deep validation of the cracked array (see CrackerColumn::Validate),
+  /// taken under the shared lock so it can run while readers are active.
+  Status Validate(const std::vector<int64_t>* original = nullptr) const
+      EXCLUDES(mutex_);
+
+ private:
+  mutable SharedMutex mutex_;
+  CrackerColumn column_ GUARDED_BY(mutex_);
+  const size_t size_;  ///< row count; immutable (no inserts through this API)
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<uint64_t> shared_reads_{0};
+  std::atomic<uint64_t> exclusive_cracks_{0};
+};
+
 }  // namespace exploredb
 
 #endif  // EXPLOREDB_CRACKING_UPDATES_H_

@@ -2,7 +2,31 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
+
 namespace exploredb {
+
+namespace {
+
+// Cross-session synopsis sharing: how often an adaptive-structure lookup was
+// served from an already published instance vs had to build one. A healthy
+// multi-session workload converges to hits >> builds (every structure is
+// built once, then shared).
+Counter* SynopsisHitsCounter() {
+  static Counter* c = Metrics().GetCounter(
+      "exploredb_synopsis_hits_total",
+      "Adaptive-structure lookups served from a published instance");
+  return c;
+}
+
+Counter* SynopsisBuildsCounter() {
+  static Counter* c = Metrics().GetCounter(
+      "exploredb_synopsis_builds_total",
+      "Adaptive structures built and published (once per structure)");
+  return c;
+}
+
+}  // namespace
 
 Result<size_t> TableEntry::NumRows() {
   MutexLock lock(mu_);
@@ -23,64 +47,145 @@ Result<const ColumnVector*> TableEntry::GetColumn(size_t idx) {
   return GetColumnLocked(idx);
 }
 
-Result<CrackerColumn*> TableEntry::GetCracker(size_t idx) {
-  MutexLock lock(mu_);
-  auto it = crackers_.find(idx);
-  if (it != crackers_.end()) return it->second.get();
-  EXPLOREDB_ASSIGN_OR_RETURN(const ColumnVector* col, GetColumnLocked(idx));
-  if (col->type() != DataType::kInt64) {
-    return Status::InvalidArgument(
-        "cracking requires an int64 column, '" + schema().field(idx).name +
-        "' is " + DataTypeName(col->type()));
+TableEntry::BuildSlot* TableEntry::GetBuildSlotLocked(SlotKind kind,
+                                                      size_t idx) {
+  auto key = std::make_pair(static_cast<int>(kind), idx);
+  auto it = build_slots_.find(key);
+  if (it == build_slots_.end()) {
+    it = build_slots_.emplace(key, std::make_unique<BuildSlot>()).first;
   }
-  auto cracker = std::make_unique<CrackerColumn>(col->int64_data());
-  CrackerColumn* ptr = cracker.get();
+  return it->second.get();
+}
+
+// The build-once/publish pattern all four accessors below follow:
+//   1. Under mu_: published? return it (hit). Else resolve the base column
+//      and the (kind, column) build slot, and release mu_.
+//   2. Take the slot mutex (serializes builders of this one structure),
+//      re-check under mu_ — a racer may have published while we waited.
+//   3. Build outside every table-wide lock (this is the expensive part:
+//      copying/sorting/encoding an O(n) column).
+//   4. Under mu_: publish. Waiters on the slot find it at their re-check.
+// The base-column pointer stays valid across step 3: columns are never
+// removed while the entry lives (Materialized() invalidation is the
+// documented pre-existing exception and is never raced with queries).
+
+Result<EpochCrackerColumn*> TableEntry::GetCracker(size_t idx) {
+  const ColumnVector* col = nullptr;
+  BuildSlot* slot = nullptr;
+  {
+    MutexLock lock(mu_);
+    auto it = crackers_.find(idx);
+    if (it != crackers_.end()) {
+      SynopsisHitsCounter()->Add();
+      return it->second.get();
+    }
+    EXPLOREDB_ASSIGN_OR_RETURN(col, GetColumnLocked(idx));
+    if (col->type() != DataType::kInt64) {
+      return Status::InvalidArgument(
+          "cracking requires an int64 column, '" + schema().field(idx).name +
+          "' is " + DataTypeName(col->type()));
+    }
+    slot = GetBuildSlotLocked(SlotKind::kCracker, idx);
+  }
+  MutexLock build(slot->mu);
+  {
+    MutexLock lock(mu_);
+    auto it = crackers_.find(idx);
+    if (it != crackers_.end()) {
+      SynopsisHitsCounter()->Add();
+      return it->second.get();
+    }
+  }
+  auto cracker = std::make_unique<EpochCrackerColumn>(col->int64_data());
+  EpochCrackerColumn* ptr = cracker.get();
+  MutexLock lock(mu_);
   crackers_.emplace(idx, std::move(cracker));
+  SynopsisBuildsCounter()->Add();
   return ptr;
 }
 
 Result<const SortedIndex*> TableEntry::GetSortedIndex(size_t idx) {
-  MutexLock lock(mu_);
-  auto it = indexes_.find(idx);
-  if (it != indexes_.end()) return it->second.get();
-  EXPLOREDB_ASSIGN_OR_RETURN(const ColumnVector* col, GetColumnLocked(idx));
-  if (col->type() != DataType::kInt64) {
-    return Status::InvalidArgument(
-        "sorted index requires an int64 column, '" +
-        schema().field(idx).name + "' is " + DataTypeName(col->type()));
+  const ColumnVector* col = nullptr;
+  BuildSlot* slot = nullptr;
+  {
+    MutexLock lock(mu_);
+    auto it = indexes_.find(idx);
+    if (it != indexes_.end()) {
+      SynopsisHitsCounter()->Add();
+      return it->second.get();
+    }
+    EXPLOREDB_ASSIGN_OR_RETURN(col, GetColumnLocked(idx));
+    if (col->type() != DataType::kInt64) {
+      return Status::InvalidArgument(
+          "sorted index requires an int64 column, '" +
+          schema().field(idx).name + "' is " + DataTypeName(col->type()));
+    }
+    slot = GetBuildSlotLocked(SlotKind::kSortedIndex, idx);
+  }
+  MutexLock build(slot->mu);
+  {
+    MutexLock lock(mu_);
+    auto it = indexes_.find(idx);
+    if (it != indexes_.end()) {
+      SynopsisHitsCounter()->Add();
+      return it->second.get();
+    }
   }
   auto index = std::make_unique<SortedIndex>(col->int64_data());
   const SortedIndex* ptr = index.get();
+  MutexLock lock(mu_);
   indexes_.emplace(idx, std::move(index));
+  SynopsisBuildsCounter()->Add();
   return ptr;
 }
 
 Result<const ZoneMap*> TableEntry::GetZoneMap(size_t idx) {
-  MutexLock lock(mu_);
-  auto it = zone_maps_.find(idx);
-  if (it != zone_maps_.end()) return it->second.get();
-  EXPLOREDB_ASSIGN_OR_RETURN(const ColumnVector* col, GetColumnLocked(idx));
-  if (col->type() == DataType::kString) {
-    return Status::InvalidArgument(
-        "zone map requires a numeric column, '" + schema().field(idx).name +
-        "' is string");
+  const ColumnVector* col = nullptr;
+  BuildSlot* slot = nullptr;
+  {
+    MutexLock lock(mu_);
+    auto it = zone_maps_.find(idx);
+    if (it != zone_maps_.end()) {
+      SynopsisHitsCounter()->Add();
+      return it->second.get();
+    }
+    EXPLOREDB_ASSIGN_OR_RETURN(col, GetColumnLocked(idx));
+    if (col->type() == DataType::kString) {
+      return Status::InvalidArgument(
+          "zone map requires a numeric column, '" + schema().field(idx).name +
+          "' is string");
+    }
+    slot = GetBuildSlotLocked(SlotKind::kZoneMap, idx);
+  }
+  MutexLock build(slot->mu);
+  {
+    MutexLock lock(mu_);
+    auto it = zone_maps_.find(idx);
+    if (it != zone_maps_.end()) {
+      SynopsisHitsCounter()->Add();
+      return it->second.get();
+    }
   }
   auto zm = std::make_unique<ZoneMap>(ZoneMap::Build(*col));
   const ZoneMap* ptr = zm.get();
+  MutexLock lock(mu_);
   zone_maps_.emplace(idx, std::move(zm));
+  SynopsisBuildsCounter()->Add();
   return ptr;
 }
 
 Result<const DictEncoded*> TableEntry::GetDict(size_t idx) {
-  MutexLock lock(mu_);
-  EXPLOREDB_ASSIGN_OR_RETURN(const ColumnVector* col, GetColumnLocked(idx));
-  if (col->type() != DataType::kString) {
-    return Status::InvalidArgument(
-        "dictionary requires a string column, '" + schema().field(idx).name +
-        "' is " + DataTypeName(col->type()));
+  {
+    MutexLock lock(mu_);
+    EXPLOREDB_ASSIGN_OR_RETURN(const ColumnVector* col, GetColumnLocked(idx));
+    if (col->type() != DataType::kString) {
+      return Status::InvalidArgument(
+          "dictionary requires a string column, '" + schema().field(idx).name +
+          "' is " + DataTypeName(col->type()));
+    }
   }
   EXPLOREDB_ASSIGN_OR_RETURN(const CompressedColumn* comp,
-                             GetCompressedLocked(idx));
+                             GetCompressed(idx));
   // String columns always carry a dict representation, even with
   // EXPLOREDB_COMPRESS=0 (the policy only gates scanning on codes).
   if (comp == nullptr || comp->str() == nullptr) {
@@ -90,19 +195,34 @@ Result<const DictEncoded*> TableEntry::GetDict(size_t idx) {
   return &comp->str()->dict();
 }
 
-Result<const CompressedColumn*> TableEntry::GetCompressedLocked(size_t idx) {
-  auto it = compressed_.find(idx);
-  if (it != compressed_.end()) return it->second.get();
-  EXPLOREDB_ASSIGN_OR_RETURN(const ColumnVector* col, GetColumnLocked(idx));
+Result<const CompressedColumn*> TableEntry::GetCompressed(size_t idx) {
+  const ColumnVector* col = nullptr;
+  BuildSlot* slot = nullptr;
+  {
+    MutexLock lock(mu_);
+    auto it = compressed_.find(idx);
+    if (it != compressed_.end()) {
+      SynopsisHitsCounter()->Add();
+      return it->second.get();  // may be nullptr: cached verdict
+    }
+    EXPLOREDB_ASSIGN_OR_RETURN(col, GetColumnLocked(idx));
+    slot = GetBuildSlotLocked(SlotKind::kCompressed, idx);
+  }
+  MutexLock build(slot->mu);
+  {
+    MutexLock lock(mu_);
+    auto it = compressed_.find(idx);
+    if (it != compressed_.end()) {
+      SynopsisHitsCounter()->Add();
+      return it->second.get();
+    }
+  }
   std::unique_ptr<CompressedColumn> built = CompressedColumn::Build(*col);
   const CompressedColumn* ptr = built.get();  // may be nullptr: cached miss
-  compressed_.emplace(idx, std::move(built));
-  return ptr;
-}
-
-Result<const CompressedColumn*> TableEntry::GetCompressed(size_t idx) {
   MutexLock lock(mu_);
-  return GetCompressedLocked(idx);
+  compressed_.emplace(idx, std::move(built));
+  SynopsisBuildsCounter()->Add();
+  return ptr;
 }
 
 Result<const Table*> TableEntry::Materialized() {

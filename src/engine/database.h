@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/annotations.h"
@@ -11,6 +12,7 @@
 #include "common/result.h"
 #include "cracking/baselines.h"
 #include "cracking/cracker_column.h"
+#include "cracking/updates.h"
 #include "loading/raw_table.h"
 #include "storage/compression/compressed_column.h"
 #include "storage/table.h"
@@ -22,12 +24,18 @@ namespace exploredb {
 /// while queries run: per-column crackers and sorted indexes, created lazily
 /// on first use (the "index as a side effect of querying" principle).
 ///
-/// Thread safety: the lazy caches are built under mu_, so concurrent queries
-/// racing to create the same zone map / dictionary / index get one instance
-/// (and no map corruption). The returned pointers are stable for the entry's
-/// lifetime; mutating accesses through them (cracking reorganizes the cracked
-/// copy) are the caller's to serialize — the executor runs index paths one
-/// query at a time per cracker.
+/// Thread safety (the serving-layer contract, DESIGN.md §2i): every adaptive
+/// structure is built once and *published* — the table mutex mu_ only guards
+/// the lookup maps, never an expensive build. A miss resolves a per-
+/// (structure, column) build slot, releases mu_, serializes builders on the
+/// slot's mutex (double-checked: late arrivals find the published instance
+/// and return it), builds outside any table-wide lock, then re-takes mu_ to
+/// publish. Concurrent sessions racing to create the same zone map /
+/// dictionary / index get one instance, with no thundering-herd rebuilds and
+/// no reader stalled behind another column's build. Published pointers are
+/// stable for the entry's lifetime. Crackers are EpochCrackerColumn — they
+/// serialize their own reorganizations internally, so no caller-side
+/// serialization is needed.
 class TableEntry {
  public:
   explicit TableEntry(Table table)
@@ -44,8 +52,11 @@ class TableEntry {
   /// The column, adaptively loading it from the raw file when raw-backed.
   Result<const ColumnVector*> GetColumn(size_t idx) EXCLUDES(mu_);
 
-  /// Lazily created cracker over an int64 column.
-  Result<CrackerColumn*> GetCracker(size_t idx) EXCLUDES(mu_);
+  /// Lazily created epoch-published cracker over an int64 column. The
+  /// returned cracker is internally synchronized: converged reads run
+  /// concurrently under its shared lock, cracking serializes and publishes a
+  /// new piece-layout epoch.
+  Result<EpochCrackerColumn*> GetCracker(size_t idx) EXCLUDES(mu_);
 
   /// Lazily created fully sorted index over an int64 column.
   Result<const SortedIndex*> GetSortedIndex(size_t idx) EXCLUDES(mu_);
@@ -80,19 +91,31 @@ class TableEntry {
   Status ValidateAdaptiveState() EXCLUDES(mu_);
 
  private:
+  /// Which adaptive structure a build slot serializes construction of.
+  enum class SlotKind { kCracker, kSortedIndex, kZoneMap, kCompressed };
+  /// One mutex per (structure kind, column): builders of the same structure
+  /// serialize here, *outside* mu_, so the table stays readable during an
+  /// expensive build and late racers wait for the publish instead of
+  /// rebuilding. Slots are never removed; pointers stay valid.
+  struct BuildSlot {
+    Mutex mu;
+  };
+
   Result<const ColumnVector*> GetColumnLocked(size_t idx) REQUIRES(mu_);
-  Result<const CompressedColumn*> GetCompressedLocked(size_t idx)
-      REQUIRES(mu_);
+  BuildSlot* GetBuildSlotLocked(SlotKind kind, size_t idx) REQUIRES(mu_);
 
   const Schema schema_;
   mutable Mutex mu_;
   Table table_ GUARDED_BY(mu_);
   std::optional<RawTable> raw_ GUARDED_BY(mu_);
-  std::map<size_t, std::unique_ptr<CrackerColumn>> crackers_ GUARDED_BY(mu_);
+  std::map<size_t, std::unique_ptr<EpochCrackerColumn>> crackers_
+      GUARDED_BY(mu_);
   std::map<size_t, std::unique_ptr<SortedIndex>> indexes_ GUARDED_BY(mu_);
   std::map<size_t, std::unique_ptr<ZoneMap>> zone_maps_ GUARDED_BY(mu_);
   // A nullptr value is a cached "no compressed representation" verdict.
   std::map<size_t, std::unique_ptr<CompressedColumn>> compressed_
+      GUARDED_BY(mu_);
+  std::map<std::pair<int, size_t>, std::unique_ptr<BuildSlot>> build_slots_
       GUARDED_BY(mu_);
 };
 

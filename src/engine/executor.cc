@@ -483,14 +483,16 @@ Result<std::vector<uint32_t>> Executor::SelectPositions(
       std::vector<uint32_t> candidates;
       if (mode == ExecutionMode::kCracking) {
         stats->path = AccessPath::kCracker;
-        EXPLOREDB_ASSIGN_OR_RETURN(CrackerColumn * cracker,
+        EXPLOREDB_ASSIGN_OR_RETURN(EpochCrackerColumn * cracker,
                                    entry->GetCracker(plan->column));
-        uint64_t touched_before = cracker->stats().elements_touched;
-        CrackRange range = cracker->RangeSelect(plan->lo, plan->hi);
-        stats->rows_scanned +=
-            cracker->stats().elements_touched - touched_before + range.count();
-        candidates.assign(cracker->row_ids().begin() + range.begin,
-                          cracker->row_ids().begin() + range.end);
+        // Converged bounds answer under the cracker's shared lock (readers
+        // don't block each other); cracking serializes inside the cracker
+        // and publishes a new epoch. Candidates are sorted below, so the
+        // answer is independent of the physical crack state — concurrent
+        // sessions over one database stay bit-identical to serial runs.
+        EpochCrackerColumn::ReadStats crs =
+            cracker->RangeSelectInto(plan->lo, plan->hi, &candidates);
+        stats->rows_scanned += crs.rows_touched;
       } else {
         stats->path = AccessPath::kSorted;
         EXPLOREDB_ASSIGN_OR_RETURN(const SortedIndex* index,

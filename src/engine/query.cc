@@ -91,6 +91,9 @@ std::string ExecStats::Summary() const {
   }
   out += " project=" + FormatDurationNanos(project_nanos);
   out += " total=" + FormatDurationNanos(total_nanos);
+  if (queue_nanos > 0) {
+    out += " queue=" + FormatDurationNanos(queue_nanos);
+  }
   return out;
 }
 

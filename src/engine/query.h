@@ -149,6 +149,11 @@ struct ExecStats {
   /// has a number.
   int64_t decompress_nanos = 0;
   int64_t total_nanos = 0;
+  /// Time the query waited in the SessionScheduler's fair queue before
+  /// execution started (0 when it ran without a scheduler). Not part of
+  /// total_nanos: queueing is the serving layer's cost, execution the
+  /// engine's; the SLO monitor observes their sum as user-visible latency.
+  int64_t queue_nanos = 0;
 
   /// One human-readable summary line, e.g.
   /// "path=scan rows=1000000 morsels=16 threads=4 | plan=3us select=1.2ms
@@ -235,6 +240,16 @@ class ExecContext {
   }
   size_t morsel_size() const { return morsel_size_; }
 
+  // -- Scheduling ----------------------------------------------------------
+  /// Stamped by the SessionScheduler with the time this query spent in its
+  /// fair queue; the Session copies it into the result's ExecStats and the
+  /// SLO monitor adds it to the observed latency.
+  ExecContext& SetQueueNanos(int64_t nanos) {
+    queue_nanos_ = nanos;
+    return *this;
+  }
+  int64_t queue_nanos() const { return queue_nanos_; }
+
   // -- Tracing -------------------------------------------------------------
   ExecContext& SetTrace(bool on) {
     options_.trace = on;
@@ -254,6 +269,7 @@ class ExecContext {
   std::shared_ptr<std::atomic<bool>> cancel_;
   ThreadPool* pool_ = ThreadPool::Global();
   size_t morsel_size_ = kDefaultMorselSize;
+  int64_t queue_nanos_ = 0;
 };
 
 /// An aggregate expression `agg(column)`.

@@ -68,14 +68,42 @@ Counter* PlannerBudgetMetCounter() {
   return c;
 }
 
+// Per-tenant session series: the unlabeled aggregate counters above stay the
+// headline; a tenant-labeled twin is resolved per session so multi-tenant
+// traffic can be broken down. nullptr for unlabeled sessions (no tenant) —
+// the hot path checks once.
+Counter* TenantCounter(const std::string& base, const std::string& tenant,
+                       const std::string& help) {
+  if (tenant.empty()) return nullptr;
+  return Metrics().GetCounter(LabeledMetricName(base, "tenant", tenant),
+                              help);
+}
+
 }  // namespace
 
 Session::Session(Database* db, SessionOptions options)
     : db_(db),
       id_(NextSessionId()),
-      options_(options),
+      options_(std::move(options)),
       executor_(db),
-      cache_(options.cache_capacity) {}
+      owned_cache_(options_.shared_cache == nullptr
+                       ? std::make_unique<QueryResultCache>(
+                             options_.cache_capacity)
+                       : nullptr),
+      cache_(options_.shared_cache != nullptr ? options_.shared_cache
+                                              : owned_cache_.get()),
+      tenant_queries_(TenantCounter(
+          "exploredb_session_queries_total", options_.tenant,
+          "Queries issued through sessions")),
+      tenant_cache_hits_(TenantCounter(
+          "exploredb_session_cache_hits_total", options_.tenant,
+          "Session queries answered from the result cache")),
+      tenant_slo_ok_(TenantCounter(
+          "exploredb_slo_tenant_within_budget_total", options_.tenant,
+          "Queries within their effective latency budget, by tenant")),
+      tenant_slo_breaches_(TenantCounter(
+          "exploredb_slo_tenant_breaches_total", options_.tenant,
+          "Queries over their effective latency budget, by tenant")) {}
 
 Result<QueryResult> Session::Execute(const Query& query,
                                      const ExecContext& ctx) {
@@ -83,6 +111,7 @@ Result<QueryResult> Session::Execute(const Query& query,
   MutexLock lock(mu_);
   ++stats_.queries;
   QueriesCounter()->Add();
+  if (tenant_queries_ != nullptr) tenant_queries_->Add();
   const std::string key = query.CacheKey();
 
   // Trajectory model learns every issued query (cached or not).
@@ -96,14 +125,15 @@ Result<QueryResult> Session::Execute(const Query& query,
       ctx.options().mode != ExecutionMode::kOnline;
 
   if (cacheable) {
-    if (auto cached = cache_.Get(key)) {
+    if (auto cached = cache_->Get(key)) {
       return ServeFromCache(query, ctx, std::move(*cached), arrival_ns);
     }
   }
 
   EXPLOREDB_ASSIGN_OR_RETURN(QueryResult result,
                              executor_.Execute(query, ctx));
-  if (cacheable) cache_.Put(key, result.positions);
+  result.exec_stats.queue_nanos = ctx.queue_nanos();
+  if (cacheable) cache_->Put(key, result.positions);
   last_table_ = query.table();
   last_predicate_ = query.where();
 
@@ -131,10 +161,12 @@ Result<QueryResult> Session::ServeFromCache(const Query& query,
                                             int64_t arrival_ns) {
   ++stats_.cache_hits;
   CacheHitsCounter()->Add();
+  if (tenant_cache_hits_ != nullptr) tenant_cache_hits_->Add();
   const bool tracing = ctx.tracing();
   QueryResult result;
   result.positions = std::move(positions);
   result.from_cache = true;
+  result.exec_stats.queue_nanos = ctx.queue_nanos();
   result.exec_stats.path = AccessPath::kCache;
   result.exec_stats.resolved_mode = ctx.options().mode;
   if (ctx.options().mode == ExecutionMode::kBudgeted) {
@@ -195,6 +227,7 @@ Result<QueryResult> Session::ExecuteProgressive(
   MutexLock lock(mu_);
   ++stats_.queries;
   QueriesCounter()->Add();
+  if (tenant_queries_ != nullptr) tenant_queries_->Add();
   ExecContext ctx = base;
   ctx.SetBudget(budget);
   const std::string key = query.CacheKey();
@@ -208,7 +241,7 @@ Result<QueryResult> Session::ExecuteProgressive(
       !query.aggregate().has_value() && !query.group_by().has_value();
 
   if (cacheable) {
-    if (auto cached = cache_.Get(key)) {
+    if (auto cached = cache_->Get(key)) {
       EXPLOREDB_ASSIGN_OR_RETURN(
           QueryResult result,
           ServeFromCache(query, ctx, std::move(*cached), arrival_ns));
@@ -226,7 +259,8 @@ Result<QueryResult> Session::ExecuteProgressive(
 
   EXPLOREDB_ASSIGN_OR_RETURN(QueryResult result,
                              executor_.ExecuteProgressive(query, ctx, callback));
-  if (cacheable) cache_.Put(key, result.positions);
+  result.exec_stats.queue_nanos = ctx.queue_nanos();
+  if (cacheable) cache_->Put(key, result.positions);
   last_table_ = query.table();
   last_predicate_ = query.where();
 
@@ -258,11 +292,26 @@ void Session::LogQuery(const Query& query, const ExecContext& ctx,
                                 ? ctx.options().budget.latency.count()
                                 : 0;
   // The SLO monitor sees every query (alloc-free, independent of logging
-  // capacity or journal state).
-  SloMonitor::Global().Observe(SloMonitor::Classify(requested, analytic),
-                               result.exec_stats.total_nanos, budget_ns,
+  // capacity or journal state). Queue wait is part of the user-visible
+  // latency: a query that executed fast but sat in the scheduler's fair
+  // queue still missed its interaction budget.
+  const QueryClass slo_class = SloMonitor::Classify(requested, analytic);
+  const int64_t user_latency_ns =
+      result.exec_stats.total_nanos + result.exec_stats.queue_nanos;
+  SloMonitor::Global().Observe(slo_class, user_latency_ns, budget_ns,
                                result.approximate,
                                result.exec_stats.achieved_error);
+  if (tenant_slo_ok_ != nullptr) {
+    // Tenant-labeled twin of the class series: same effective-budget rule
+    // the monitor applies (explicit per-query budget, else class default).
+    const int64_t effective_ns =
+        budget_ns > 0 ? budget_ns : SloMonitor::Global().ClassBudget(slo_class);
+    if (effective_ns > 0 && user_latency_ns > effective_ns) {
+      tenant_slo_breaches_->Add();
+    } else {
+      tenant_slo_ok_->Add();
+    }
+  }
 
   // arrival_ns is captured before mu_ is acquired, so under concurrent use
   // of one Session it can predate the previous query's finish; clamp to 0 so
@@ -285,6 +334,7 @@ void Session::LogQuery(const Query& query, const ExecContext& ctx,
     info.error_budget = ctx.options().error_budget;
     info.confidence = ctx.options().confidence;
     info.result = &result;
+    info.tenant = &options_.tenant;
     JournalQueryExecution(info);
   }
   ++journal_seq_;
@@ -323,6 +373,7 @@ Result<std::string> Session::ExplainAnalyze(const Query& query,
 
   ++stats_.queries;
   QueriesCounter()->Add();
+  if (tenant_queries_ != nullptr) tenant_queries_->Add();
   LogQuery(query, traced, result, arrival_ns);
 
   std::string out;
@@ -454,7 +505,7 @@ void Session::SpeculateAround(const Query& query, const ExecContext& ctx) {
                               Value(hi + dir * width)}}))
                         .Select(query.select());
     std::string key = shifted.CacheKey();
-    if (cache_.Contains(key)) continue;
+    if (cache_->Contains(key)) continue;
     // Prefer the direction the trajectory model has seen before.
     double utility = 0.5 + static_cast<double>(dir) * 0.01;
     if (!history_.empty()) {
@@ -464,7 +515,7 @@ void Session::SpeculateAround(const Query& query, const ExecContext& ctx) {
     speculator_.Enqueue(key, utility, [this, shifted, spec_ctx, key]() {
       auto result = executor_.Execute(shifted, spec_ctx);
       if (result.ok()) {
-        cache_.Put(key, std::move(result).ValueOrDie().positions);
+        cache_->Put(key, std::move(result).ValueOrDie().positions);
       }
     });
   }

@@ -4,10 +4,12 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/annotations.h"
+#include "common/metrics.h"
 #include "common/mutex.h"
 #include "common/result.h"
 #include "engine/database.h"
@@ -29,6 +31,15 @@ struct SessionOptions {
   bool speculate = true;
   /// Ring-buffer capacity of the per-session query log (0 disables logging).
   size_t query_log_capacity = 256;
+  /// Tenant this session belongs to: the label on its observability series
+  /// (`exploredb_session_*{tenant=...}`), journal records, and the fair-queue
+  /// key in the SessionScheduler. Empty means unlabeled (plain series).
+  std::string tenant;
+  /// Shared cross-session result cache (the serving layer's). When set, this
+  /// session reads and writes it instead of owning a private cache —
+  /// cache_capacity is ignored — so one session's window result serves every
+  /// tenant's identical query. Must outlive the session.
+  QueryResultCache* shared_cache = nullptr;
 };
 
 /// Aggregated statistics of a session.
@@ -124,7 +135,7 @@ class Session {
     MutexLock lock(mu_);
     return stats_;
   }
-  CacheStats cache_stats() const { return cache_.stats(); }
+  CacheStats cache_stats() const { return cache_->stats(); }
   std::vector<std::string> history() const EXCLUDES(mu_) {
     MutexLock lock(mu_);
     return history_;
@@ -140,6 +151,9 @@ class Session {
   /// Process-unique session number — the `sid` of this session's workload
   /// journal records.
   uint64_t id() const { return id_; }
+
+  /// The tenant label this session carries (SessionOptions::tenant).
+  const std::string& tenant() const { return options_.tenant; }
 
  private:
   /// Serves a cached position list: re-projects rows, stamps cache
@@ -168,8 +182,21 @@ class Session {
   const SessionOptions options_;
   // NOLINT-exploredb(guarded-by): internally synchronized (owns its pool).
   Executor executor_;
-  // NOLINT-exploredb(guarded-by): internally synchronized (own Mutex).
-  QueryResultCache cache_;
+  // NOLINT-exploredb(guarded-by): set in the constructor, never reassigned.
+  std::unique_ptr<QueryResultCache> owned_cache_;
+  /// The cache queries go through: options_.shared_cache when set (the
+  /// serving layer's cross-session cache), else owned_cache_. Internally
+  /// synchronized (sharded mutexes).
+  QueryResultCache* const cache_;
+  /// Per-tenant observability series, resolved once against the registry
+  /// (LabeledMetricName) so the hot path is a relaxed shard add. Const
+  /// pointers; the counters live for the process lifetime.
+  Counter* const tenant_queries_;
+  Counter* const tenant_cache_hits_;
+  /// Per-tenant SLO series: queries whose user-visible latency (execution +
+  /// queue wait) stayed within / breached the effective budget.
+  Counter* const tenant_slo_ok_;
+  Counter* const tenant_slo_breaches_;
   mutable Mutex mu_;
   Speculator speculator_ GUARDED_BY(mu_);
   MarkovPredictor trajectory_ GUARDED_BY(mu_);

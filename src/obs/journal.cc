@@ -484,6 +484,10 @@ std::string WorkloadJournal::ToJsonLine(const JournalRecord& r) {
   AppendInt(r.wall_time_us, &out);
   out += ",\"think_ns\":";
   AppendInt(r.think_ns, &out);
+  if (!r.tenant.empty()) {
+    out += ",\"tenant\":";
+    AppendJsonString(r.tenant, &out);
+  }
 
   out += ",\"table\":";
   AppendJsonString(r.query.table(), &out);
@@ -596,6 +600,10 @@ std::string WorkloadJournal::ToJsonLine(const JournalRecord& r) {
   AppendInt(s.decompress_nanos, &out);
   out += ",\"total_ns\":";
   AppendInt(s.total_nanos, &out);
+  if (s.queue_nanos != 0) {
+    out += ",\"queue_ns\":";
+    AppendInt(s.queue_nanos, &out);
+  }
   out += "}}";
   return out;
 }
@@ -611,6 +619,7 @@ Result<JournalRecord> WorkloadJournal::FromJsonLine(const std::string& line) {
   r.global_seq = FieldUint(doc, "gseq");
   r.wall_time_us = FieldInt(doc, "wall_us");
   r.think_ns = FieldInt(doc, "think_ns", -1);
+  r.tenant = FieldString(doc, "tenant");
 
   Query q = Query::On(FieldString(doc, "table"));
   if (const Json* where = doc.Find("where");
@@ -705,6 +714,7 @@ Result<JournalRecord> WorkloadJournal::FromJsonLine(const std::string& line) {
     s.project_nanos = FieldInt(*stats, "project_ns");
     s.decompress_nanos = FieldInt(*stats, "decompress_ns");
     s.total_nanos = FieldInt(*stats, "total_ns");
+    s.queue_nanos = FieldInt(*stats, "queue_ns");
   }
   return r;
 }
@@ -1020,6 +1030,7 @@ void JournalQueryExecution(const JournalQueryInfo& info) {
     rec.scalar = info.result->scalar->value;
   }
   if (info.query_text != nullptr) rec.query_text = *info.query_text;
+  if (info.tenant != nullptr) rec.tenant = *info.tenant;
   WorkloadJournal::Global().Append(std::move(rec));
 }
 

@@ -54,6 +54,10 @@ struct JournalRecord {
   /// Nanoseconds between the session's previous query finishing and this one
   /// arriving (IDEBench think time); -1 on a session's first query.
   int64_t think_ns = -1;
+  /// Tenant label of the issuing session (serving layer); empty for
+  /// unlabeled sessions. Serialized only when non-empty, and tolerated as
+  /// absent by FromJsonLine — pre-tenant journals stay readable.
+  std::string tenant;
 
   // -- The query ------------------------------------------------------------
   Query query;             ///< structured form (replay re-executes this)
@@ -227,6 +231,8 @@ struct JournalQueryInfo {
   double error_budget = 0.0;
   double confidence = 0.0;
   const QueryResult* result = nullptr;
+  /// Tenant label of the issuing session; nullptr/empty means unlabeled.
+  const std::string* tenant = nullptr;
 };
 
 /// The Session emission hook: checks WorkloadJournal::enabled() with one

@@ -29,43 +29,83 @@ Counter* EvictionsCounter() {
 
 }  // namespace
 
+QueryResultCache::QueryResultCache(size_t capacity)
+    : shard_capacity_(
+          capacity >= kShardingThreshold
+              ? (capacity + kNumShards - 1) / kNumShards
+              : (capacity == 0 ? 1 : capacity)) {
+  const size_t n = capacity >= kShardingThreshold ? kNumShards : 1;
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
 std::optional<std::vector<uint32_t>> QueryResultCache::Get(
     const std::string& key) {
-  MutexLock lock(mu_);
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
-    ++stats_.misses;
+  Shard& shard = ShardFor(key);
+  MutexLock lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    ++shard.stats.misses;
     MissesCounter()->Add();
     return std::nullopt;
   }
-  ++stats_.hits;
+  ++shard.stats.hits;
   HitsCounter()->Add();
-  lru_.erase(it->second.lru_it);
-  lru_.push_front(key);
-  it->second.lru_it = lru_.begin();
+  shard.lru.erase(it->second.lru_it);
+  shard.lru.push_front(key);
+  it->second.lru_it = shard.lru.begin();
   return it->second.result;
+}
+
+bool QueryResultCache::Contains(const std::string& key) const {
+  Shard& shard = ShardFor(key);
+  MutexLock lock(shard.mu);
+  return shard.entries.count(key) > 0;
 }
 
 void QueryResultCache::Put(const std::string& key,
                            std::vector<uint32_t> result) {
-  MutexLock lock(mu_);
-  auto it = entries_.find(key);
-  if (it != entries_.end()) {
+  Shard& shard = ShardFor(key);
+  MutexLock lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
     it->second.result = std::move(result);
-    lru_.erase(it->second.lru_it);
-    lru_.push_front(key);
-    it->second.lru_it = lru_.begin();
+    shard.lru.erase(it->second.lru_it);
+    shard.lru.push_front(key);
+    it->second.lru_it = shard.lru.begin();
     return;
   }
-  if (entries_.size() >= capacity_) {
-    const std::string& victim = lru_.back();
-    entries_.erase(victim);
-    lru_.pop_back();
-    ++stats_.evictions;
+  if (shard.entries.size() >= shard_capacity_) {
+    const std::string& victim = shard.lru.back();
+    shard.entries.erase(victim);
+    shard.lru.pop_back();
+    ++shard.stats.evictions;
     EvictionsCounter()->Add();
   }
-  lru_.push_front(key);
-  entries_[key] = Entry{std::move(result), lru_.begin()};
+  shard.lru.push_front(key);
+  shard.entries[key] = Entry{std::move(result), shard.lru.begin()};
+}
+
+size_t QueryResultCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    total += shard->entries.size();
+  }
+  return total;
+}
+
+CacheStats QueryResultCache::stats() const {
+  CacheStats total;
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    total.hits += shard->stats.hits;
+    total.misses += shard->stats.misses;
+    total.evictions += shard->stats.evictions;
+  }
+  return total;
 }
 
 }  // namespace exploredb

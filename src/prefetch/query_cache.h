@@ -2,7 +2,9 @@
 #define EXPLOREDB_PREFETCH_QUERY_CACHE_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -28,41 +30,46 @@ struct CacheStats {
 
 /// LRU cache from query key (Predicate::CacheKey or a tile id) to the
 /// materialized result positions. The middleware substrate shared by the
-/// prefetching and speculative-execution components: prefetchers Put()
-/// results ahead of the user, the session Get()s on query arrival. All
-/// operations are guarded by one mutex — prefetchers may Put from worker
-/// threads while the session thread reads.
+/// prefetching and speculative-execution components — and, through the
+/// serving layer, across sessions: prefetchers Put() results ahead of the
+/// user, every session Get()s on query arrival.
+///
+/// Concurrency: the key space is hash-partitioned into independent shards,
+/// each with its own mutex, LRU list, and counters, so concurrent sessions
+/// hitting different keys never contend on one lock. Small caches (capacity
+/// < kShardingThreshold) keep a single shard, preserving exact global LRU
+/// order — the behavior the prefetching experiments and tests pin down.
+/// stats() is exact: it sums the per-shard counters under their locks, so
+/// every completed operation is counted exactly once.
 class QueryResultCache {
  public:
-  /// `capacity` is the maximum number of cached entries (>= 1).
-  explicit QueryResultCache(size_t capacity) : capacity_(capacity) {}
+  /// Sharding kicks in at this capacity; below it one shard preserves exact
+  /// global LRU semantics.
+  static constexpr size_t kShardingThreshold = 64;
+  static constexpr size_t kNumShards = 16;
+
+  /// `capacity` is the maximum number of cached entries (>= 1), split evenly
+  /// across shards when sharded.
+  explicit QueryResultCache(size_t capacity);
 
   /// The cached result for `key`, refreshing its recency; nullopt on miss.
-  std::optional<std::vector<uint32_t>> Get(const std::string& key)
-      EXCLUDES(mu_);
+  std::optional<std::vector<uint32_t>> Get(const std::string& key);
 
   /// True without affecting recency or stats (used by prefetch planners to
   /// avoid re-computing what is already resident).
-  bool Contains(const std::string& key) const EXCLUDES(mu_) {
-    MutexLock lock(mu_);
-    return entries_.count(key) > 0;
-  }
+  bool Contains(const std::string& key) const;
 
-  /// Inserts or refreshes `key`, evicting the least recently used entry if
-  /// at capacity.
-  void Put(const std::string& key, std::vector<uint32_t> result)
-      EXCLUDES(mu_);
+  /// Inserts or refreshes `key`, evicting the shard's least recently used
+  /// entry if the shard is at capacity.
+  void Put(const std::string& key, std::vector<uint32_t> result);
 
-  size_t size() const EXCLUDES(mu_) {
-    MutexLock lock(mu_);
-    return entries_.size();
-  }
+  size_t size() const;
 
-  /// Snapshot of the counters (by value: the cache keeps mutating).
-  CacheStats stats() const EXCLUDES(mu_) {
-    MutexLock lock(mu_);
-    return stats_;
-  }
+  /// Exact snapshot of the counters summed over all shards (by value: the
+  /// cache keeps mutating).
+  CacheStats stats() const;
+
+  size_t num_shards() const { return shards_.size(); }
 
  private:
   struct Entry {
@@ -70,11 +77,21 @@ class QueryResultCache {
     std::list<std::string>::iterator lru_it;
   };
 
-  mutable Mutex mu_;
-  const size_t capacity_;
-  std::list<std::string> lru_ GUARDED_BY(mu_);  // front = most recent
-  std::unordered_map<std::string, Entry> entries_ GUARDED_BY(mu_);
-  CacheStats stats_ GUARDED_BY(mu_);
+  struct Shard {
+    mutable Mutex mu;
+    std::list<std::string> lru GUARDED_BY(mu);  // front = most recent
+    std::unordered_map<std::string, Entry> entries GUARDED_BY(mu);
+    CacheStats stats GUARDED_BY(mu);
+  };
+
+  Shard& ShardFor(const std::string& key) const {
+    return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+  }
+
+  const size_t shard_capacity_;
+  // Shard array is sized at construction and never resized; each shard is
+  // internally synchronized by its own mutex.
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace exploredb

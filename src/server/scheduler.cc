@@ -1,0 +1,143 @@
+#include "server/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace exploredb {
+
+namespace {
+
+Gauge* QueueDepthGauge() {
+  static Gauge* g = Metrics().GetGauge(
+      "exploredb_server_queue_depth",
+      "Queries waiting in the scheduler's fair queues");
+  return g;
+}
+
+Histogram* QueueWaitHistogram() {
+  static Histogram* h = [] {
+    Histogram* hist = Metrics().GetHistogram(
+        "exploredb_server_queue_wait_seconds", {},
+        "Time queries spent queued before dispatch");
+    Metrics().SetScale("exploredb_server_queue_wait_seconds", 1e-9);
+    return hist;
+  }();
+  return h;
+}
+
+// Per-tenant dispatch counter; plain series for unlabeled tenants.
+Counter* TenantTasksCounter(const std::string& tenant) {
+  const std::string help = "Tasks dispatched by the session scheduler";
+  if (tenant.empty()) {
+    return Metrics().GetCounter("exploredb_server_tasks_total", help);
+  }
+  return Metrics().GetCounter(
+      LabeledMetricName("exploredb_server_tasks_total", "tenant", tenant),
+      help);
+}
+
+}  // namespace
+
+SessionScheduler::SessionScheduler(SchedulerOptions options)
+    : pool_(options.pool != nullptr ? options.pool : ThreadPool::Global()),
+      max_concurrent_(options.max_concurrent > 0
+                          ? options.max_concurrent
+                          : std::max<size_t>(1, pool_->num_threads())) {}
+
+SessionScheduler::~SessionScheduler() { Drain(); }
+
+void SessionScheduler::SetTenantWeight(const std::string& tenant,
+                                       uint64_t weight) {
+  MutexLock lock(mu_);
+  tenants_[tenant].stats.weight = std::max<uint64_t>(1, weight);
+}
+
+void SessionScheduler::Submit(const std::string& tenant,
+                              std::function<void(int64_t)> task) {
+  MutexLock lock(mu_);
+  TenantQueue& tq = tenants_[tenant];
+  QueuedTask qt;
+  qt.fn = std::move(task);
+  qt.enqueue_ns = Tracer::NowNs();
+  // SFQ tags: clamping the start tag up to the virtual time means an idle
+  // tenant cannot bank credit while away; 1/weight service per task means a
+  // weight-w tenant's tags advance w times slower, earning w of every w+1
+  // dispatch slots against a weight-1 competitor.
+  qt.start_tag = std::max(vtime_, tq.last_finish_tag);
+  qt.finish_tag =
+      qt.start_tag + 1.0 / static_cast<double>(tq.stats.weight);
+  tq.last_finish_tag = qt.finish_tag;
+  tq.queue.push_back(std::move(qt));
+  ++queued_;
+  ++inflight_;
+  ++tq.stats.submitted;
+  QueueDepthGauge()->Set(static_cast<int64_t>(queued_));
+  DispatchLocked();
+}
+
+void SessionScheduler::DispatchLocked() {
+  while (running_ < max_concurrent_ && queued_ > 0) {
+    // The queue head with the minimum finish tag wins the free slot.
+    TenantQueue* best = nullptr;
+    const std::string* best_name = nullptr;
+    for (auto& [name, tq] : tenants_) {
+      if (tq.queue.empty()) continue;
+      if (best == nullptr ||
+          tq.queue.front().finish_tag < best->queue.front().finish_tag) {
+        best = &tq;
+        best_name = &name;
+      }
+    }
+    if (best == nullptr) return;
+    QueuedTask task = std::move(best->queue.front());
+    best->queue.pop_front();
+    --queued_;
+    ++running_;
+    vtime_ = std::max(vtime_, task.start_tag);
+    QueueDepthGauge()->Set(static_cast<int64_t>(queued_));
+    pool_->Submit([this, tenant = *best_name,
+                   task = std::move(task)]() mutable {
+      RunTask(tenant, std::move(task));
+    });
+  }
+}
+
+void SessionScheduler::RunTask(const std::string& tenant, QueuedTask task) {
+  const int64_t queue_ns =
+      std::max<int64_t>(0, Tracer::NowNs() - task.enqueue_ns);
+  QueueWaitHistogram()->Record(queue_ns);
+  TenantTasksCounter(tenant)->Add();
+  task.fn(queue_ns);
+  MutexLock lock(mu_);
+  --running_;
+  --inflight_;
+  TenantQueue& tq = tenants_[tenant];
+  ++tq.stats.completed;
+  tq.stats.queue_nanos_total += queue_ns;
+  tq.stats.queue_nanos_max = std::max(tq.stats.queue_nanos_max, queue_ns);
+  DispatchLocked();
+  cv_.NotifyAll();
+}
+
+void SessionScheduler::Drain() {
+  MutexLock lock(mu_);
+  while (inflight_ > 0) cv_.Wait(mu_);
+}
+
+TenantSchedStats SessionScheduler::tenant_stats(
+    const std::string& tenant) const {
+  MutexLock lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return {};
+  return it->second.stats;
+}
+
+size_t SessionScheduler::queue_depth() const {
+  MutexLock lock(mu_);
+  return queued_;
+}
+
+}  // namespace exploredb

@@ -1,0 +1,118 @@
+#ifndef EXPLOREDB_SERVER_SCHEDULER_H_
+#define EXPLOREDB_SERVER_SCHEDULER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+#include "common/thread_pool.h"
+
+namespace exploredb {
+
+/// SessionScheduler configuration.
+struct SchedulerOptions {
+  /// Queries executing at once; queued beyond this. 0 means "size to the
+  /// pool" (ThreadPool::Global()->num_threads(), at least 1) — admission
+  /// control: a hundred sessions over a 8-core box run 8 queries at a time
+  /// and queue the rest fairly, instead of thrashing one pool with a hundred
+  /// morsel storms.
+  size_t max_concurrent = 0;
+  /// Pool the dispatched tasks run on (defaults to the process-wide pool).
+  ThreadPool* pool = nullptr;
+};
+
+/// Per-tenant scheduling counters (tenant_stats()).
+struct TenantSchedStats {
+  uint64_t weight = 1;
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  int64_t queue_nanos_total = 0;  ///< summed queue wait of completed tasks
+  int64_t queue_nanos_max = 0;
+};
+
+/// Admission control + weighted fair queuing for multi-tenant serving: every
+/// query enters its tenant's FIFO queue, and a bounded number execute
+/// concurrently on the shared thread pool. Dispatch order is start-time fair
+/// queuing (SFQ [Goyal et al., SIGCOMM'96] — the same discipline the ISSUE's
+/// "one heavy tenant cannot starve interactive sessions" requirement names):
+///
+///   virtual time  V        = start tag of the most recently dispatched task
+///   start tag     S(t)     = max(V, F(tenant's previous task))
+///   finish tag    F(t)     = S(t) + cost / weight        (unit cost here)
+///   dispatch: the task with the minimum finish tag among queue heads.
+///
+/// A tenant with weight w receives a w-proportional share of dispatch slots
+/// under contention; an idle tenant's backlog cannot build up credit (its
+/// next start tag is clamped up to V), so a burst after idling competes
+/// fairly instead of monopolizing. Queue wait is handed to the task (the
+/// server stamps it into ExecContext -> ExecStats -> SLO monitor).
+class SessionScheduler {
+ public:
+  explicit SessionScheduler(SchedulerOptions options = {});
+  /// Drains outstanding work (every submitted task completes) then returns.
+  ~SessionScheduler();
+
+  SessionScheduler(const SessionScheduler&) = delete;
+  SessionScheduler& operator=(const SessionScheduler&) = delete;
+
+  /// Sets `tenant`'s weight (default 1; higher = larger share). Takes effect
+  /// for subsequently submitted tasks.
+  void SetTenantWeight(const std::string& tenant, uint64_t weight)
+      EXCLUDES(mu_);
+
+  /// Enqueues `task` under `tenant`'s fair queue. The task runs on the pool
+  /// and receives its queue wait in nanoseconds. Tasks of one tenant start
+  /// in submission order (per-tenant FIFO); tasks of different tenants
+  /// interleave by finish tag.
+  void Submit(const std::string& tenant,
+              std::function<void(int64_t queue_ns)> task) EXCLUDES(mu_);
+
+  /// Blocks until every task submitted before this call has completed.
+  void Drain() EXCLUDES(mu_);
+
+  /// Snapshot of `tenant`'s counters (zeros for an unknown tenant).
+  TenantSchedStats tenant_stats(const std::string& tenant) const
+      EXCLUDES(mu_);
+
+  /// Currently queued (not yet dispatched) tasks across all tenants.
+  size_t queue_depth() const EXCLUDES(mu_);
+
+  size_t max_concurrent() const { return max_concurrent_; }
+
+ private:
+  struct QueuedTask {
+    std::function<void(int64_t)> fn;
+    int64_t enqueue_ns = 0;
+    double start_tag = 0.0;
+    double finish_tag = 0.0;
+  };
+  struct TenantQueue {
+    std::deque<QueuedTask> queue;
+    double last_finish_tag = 0.0;
+    TenantSchedStats stats;
+  };
+
+  /// Dispatches queue heads (min finish tag first) while slots are free.
+  void DispatchLocked() REQUIRES(mu_);
+  /// Runs one dispatched task on the pool, then frees its slot.
+  void RunTask(const std::string& tenant, QueuedTask task) EXCLUDES(mu_);
+
+  ThreadPool* const pool_;
+  const size_t max_concurrent_;
+
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::map<std::string, TenantQueue> tenants_ GUARDED_BY(mu_);
+  size_t queued_ GUARDED_BY(mu_) = 0;    ///< tasks waiting in fair queues
+  size_t running_ GUARDED_BY(mu_) = 0;   ///< tasks occupying a slot
+  uint64_t inflight_ GUARDED_BY(mu_) = 0;  ///< queued + running (for Drain)
+  double vtime_ GUARDED_BY(mu_) = 0.0;   ///< SFQ virtual time
+};
+
+}  // namespace exploredb
+
+#endif  // EXPLOREDB_SERVER_SCHEDULER_H_

@@ -1,0 +1,96 @@
+#include "server/server.h"
+
+#include <utility>
+
+#include "common/metrics.h"
+
+namespace exploredb {
+
+namespace {
+
+Gauge* SessionsGauge() {
+  static Gauge* g = Metrics().GetGauge("exploredb_server_sessions",
+                                       "Sessions open on the serving layer");
+  return g;
+}
+
+}  // namespace
+
+ServerSession::ServerSession(ExplorationServer* server, Database* db,
+                             SessionOptions options)
+    : server_(server), session_(db, std::move(options)) {}
+
+std::future<Result<QueryResult>> ServerSession::Submit(Query query,
+                                                       ExecContext ctx) {
+  auto promise = std::make_shared<std::promise<Result<QueryResult>>>();
+  std::future<Result<QueryResult>> future = promise->get_future();
+  server_->scheduler_.Submit(
+      tenant(), [this, query = std::move(query), ctx = std::move(ctx),
+                 promise](int64_t queue_ns) mutable {
+        ctx.SetQueueNanos(queue_ns);
+        promise->set_value(session_.Execute(query, ctx));
+      });
+  return future;
+}
+
+std::future<Result<QueryResult>> ServerSession::Submit(
+    const QueryBuilder& builder, ExecContext ctx) {
+  // Resolve names against the catalog up front: a bad builder fails fast on
+  // the caller's thread instead of burning a scheduler slot.
+  Result<TableEntry*> entry = session_.db()->GetTable(builder.table());
+  if (!entry.ok()) {
+    auto promise = std::make_shared<std::promise<Result<QueryResult>>>();
+    promise->set_value(entry.status());
+    return promise->get_future();
+  }
+  Result<Query> query = builder.Build(entry.ValueOrDie()->schema());
+  if (!query.ok()) {
+    auto promise = std::make_shared<std::promise<Result<QueryResult>>>();
+    promise->set_value(query.status());
+    return promise->get_future();
+  }
+  return Submit(std::move(query).ValueOrDie(), std::move(ctx));
+}
+
+Result<QueryResult> ServerSession::Execute(const Query& query,
+                                           const ExecContext& ctx) {
+  return Submit(query, ctx).get();
+}
+
+Result<QueryResult> ServerSession::Execute(const QueryBuilder& builder,
+                                           const ExecContext& ctx) {
+  return Submit(builder, ctx).get();
+}
+
+ExplorationServer::ExplorationServer(Database* db, ServerOptions options)
+    : db_(db),
+      cache_(options.shared_cache_capacity),
+      scheduler_(
+          SchedulerOptions{options.max_concurrent, options.pool}) {}
+
+ExplorationServer::~ExplorationServer() {
+  Drain();
+  MutexLock lock(mu_);
+  SessionsGauge()->Add(-static_cast<int64_t>(sessions_.size()));
+  sessions_.clear();
+}
+
+ServerSession* ExplorationServer::OpenSession(const std::string& tenant,
+                                              SessionOptions options) {
+  options.tenant = tenant;
+  options.shared_cache = &cache_;
+  auto session = std::unique_ptr<ServerSession>(
+      new ServerSession(this, db_, std::move(options)));
+  ServerSession* raw = session.get();
+  MutexLock lock(mu_);
+  sessions_.push_back(std::move(session));
+  SessionsGauge()->Add(1);
+  return raw;
+}
+
+size_t ExplorationServer::session_count() const {
+  MutexLock lock(mu_);
+  return sessions_.size();
+}
+
+}  // namespace exploredb

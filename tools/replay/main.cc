@@ -6,6 +6,7 @@
 //       included), and reports what was captured.
 //
 //   exploredb-replay replay <journal> [--threads N] [--afap] [--json <out>]
+//       [--concurrent]
 //       Re-executes every journaled query. Each replay thread regenerates
 //       its own Database from the journal header (cracking mutates shared
 //       table state, so thread-private databases keep replays deterministic
@@ -15,6 +16,16 @@
 //       result must match the recorded fingerprint bit-identically; any
 //       mismatch fails the run. Prints an IDEBench-style report: per-class
 //       query counts, fraction within latency budget, and p50/p95 latency.
+//
+//       --concurrent replays through the serving layer instead: ONE shared
+//       Database behind an ExplorationServer (--threads = the scheduler's
+//       concurrency cap), one ServerSession per recorded session, one driver
+//       thread per session preserving issue order and think time. Sessions
+//       contend on the same epoch-published crackers and shared result cache
+//       — and the fingerprint contract is unchanged, because exact answers
+//       are independent of physical crack state (the executor sorts
+//       candidate positions) and cache hits return the bit-identical
+//       position list. This is the serving-layer determinism check.
 //
 // Exit status: 0 on success, 1 on usage/IO errors or fingerprint mismatch.
 
@@ -38,6 +49,7 @@
 #include "engine/session.h"
 #include "obs/journal.h"
 #include "obs/slo.h"
+#include "server/server.h"
 
 using namespace exploredb;
 
@@ -205,6 +217,52 @@ ExecContext ContextFor(const JournalRecord& r) {
   return ctx;
 }
 
+/// Tallies one replayed record: latency class bookkeeping plus the
+/// bit-identity fingerprint check. Shared by the per-thread-database and
+/// serving-layer (--concurrent) paths.
+void CheckRecord(const JournalRecord& r, const Result<QueryResult>& result,
+                 ReplayOutcome* out) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "replay sid=%llu seq=%llu failed: %s\n",
+                 static_cast<unsigned long long>(r.session_id),
+                 static_cast<unsigned long long>(r.session_seq),
+                 result.status().ToString().c_str());
+    ++out->mismatches;
+    return;
+  }
+  const QueryResult& replayed = result.ValueOrDie();
+  ++out->replayed;
+
+  const bool analytic = r.query.aggregate().has_value() ||
+                        r.query.group_by().has_value();
+  const QueryClass cls = SloMonitor::Classify(r.requested_mode, analytic);
+  ClassTally& tally = out->classes[static_cast<size_t>(cls)];
+  const int64_t latency_ns = replayed.exec_stats.total_nanos;
+  const int64_t budget_ns =
+      r.budget_ns > 0 ? r.budget_ns : SloMonitor::Global().ClassBudget(cls);
+  tally.latencies_ns.push_back(latency_ns);
+  if (latency_ns <= budget_ns) ++tally.within;
+
+  // Bit-identity contract: exact answers recorded exactly must replay
+  // exactly. Approximate answers (either side) are skipped — sampling
+  // draws differ run to run by design.
+  if (!r.approximate && !replayed.approximate) {
+    ++out->exact_checked;
+    const uint64_t fp = QueryResultFingerprint(replayed);
+    if (fp != r.result_fingerprint) {
+      ++out->mismatches;
+      std::fprintf(stderr,
+                   "MISMATCH sid=%llu seq=%llu query=%s recorded_fp=%016llx "
+                   "replayed_fp=%016llx\n",
+                   static_cast<unsigned long long>(r.session_id),
+                   static_cast<unsigned long long>(r.session_seq),
+                   r.query_text.c_str(),
+                   static_cast<unsigned long long>(r.result_fingerprint),
+                   static_cast<unsigned long long>(fp));
+    }
+  }
+}
+
 /// Replays the sessions assigned to one thread, sequentially, against this
 /// thread's private database.
 void ReplayThread(const JournalHeader& header,
@@ -220,49 +278,46 @@ void ReplayThread(const JournalHeader& header,
         ThinkFor(std::chrono::nanoseconds(r.think_ns));
       }
       ExecContext ctx = ContextFor(r);
-      auto result = session.Execute(r.query, ctx);
-      if (!result.ok()) {
-        std::fprintf(stderr, "replay sid=%llu seq=%llu failed: %s\n",
-                     static_cast<unsigned long long>(r.session_id),
-                     static_cast<unsigned long long>(r.session_seq),
-                     result.status().ToString().c_str());
-        ++out->mismatches;
-        continue;
-      }
-      const QueryResult& replayed = result.ValueOrDie();
-      ++out->replayed;
-
-      const bool analytic = r.query.aggregate().has_value() ||
-                            r.query.group_by().has_value();
-      const QueryClass cls = SloMonitor::Classify(r.requested_mode, analytic);
-      ClassTally& tally = out->classes[static_cast<size_t>(cls)];
-      const int64_t latency_ns = replayed.exec_stats.total_nanos;
-      const int64_t budget_ns =
-          r.budget_ns > 0 ? r.budget_ns
-                          : SloMonitor::Global().ClassBudget(cls);
-      tally.latencies_ns.push_back(latency_ns);
-      if (latency_ns <= budget_ns) ++tally.within;
-
-      // Bit-identity contract: exact answers recorded exactly must replay
-      // exactly. Approximate answers (either side) are skipped — sampling
-      // draws differ run to run by design.
-      if (!r.approximate && !replayed.approximate) {
-        ++out->exact_checked;
-        const uint64_t fp = QueryResultFingerprint(replayed);
-        if (fp != r.result_fingerprint) {
-          ++out->mismatches;
-          std::fprintf(stderr,
-                       "MISMATCH sid=%llu seq=%llu query=%s recorded_fp=%016llx "
-                       "replayed_fp=%016llx\n",
-                       static_cast<unsigned long long>(r.session_id),
-                       static_cast<unsigned long long>(r.session_seq),
-                       r.query_text.c_str(),
-                       static_cast<unsigned long long>(r.result_fingerprint),
-                       static_cast<unsigned long long>(fp));
-        }
-      }
+      CheckRecord(r, session.Execute(r.query, ctx), out);
     }
   }
+}
+
+/// --concurrent: every recorded session drives its own thread into ONE
+/// ExplorationServer over ONE shared database; `cap` is the scheduler's
+/// admission limit. Sessions crack the same epoch-published columns and
+/// share the server's result cache while each preserves its own issue order
+/// and think time.
+void ReplayConcurrent(const JournalHeader& header,
+                      const std::map<uint64_t, std::vector<JournalRecord>>&
+                          sessions,
+                      size_t cap, bool afap,
+                      std::vector<ReplayOutcome>* outcomes) {
+  Database db;
+  BuildEventsDatabase(header.rows, header.seed, &db);
+  ServerOptions options;
+  options.max_concurrent = cap;
+  ExplorationServer server(&db, options);
+
+  outcomes->assign(sessions.size(), ReplayOutcome{});
+  std::vector<std::thread> drivers;
+  size_t slot = 0;
+  for (const auto& [sid, records] : sessions) {
+    ServerSession* session =
+        server.OpenSession("sid-" + std::to_string(sid));
+    ReplayOutcome* out = &(*outcomes)[slot++];
+    drivers.emplace_back([session, &records = records, afap, out] {
+      for (const JournalRecord& r : records) {
+        if (!afap && r.think_ns > 0) {
+          ThinkFor(std::chrono::nanoseconds(r.think_ns));
+        }
+        ExecContext ctx = ContextFor(r);
+        CheckRecord(r, session->Execute(r.query, ctx), out);
+      }
+    });
+  }
+  for (std::thread& d : drivers) d.join();
+  server.Drain();
 }
 
 double PercentileMs(std::vector<int64_t>& ns, double q) {
@@ -274,7 +329,7 @@ double PercentileMs(std::vector<int64_t>& ns, double q) {
 }
 
 int RunReplay(const std::string& path, size_t threads, bool afap,
-              const std::string& json_out) {
+              bool concurrent, const std::string& json_out) {
   auto journal = WorkloadJournal::ReadFile(path);
   if (!journal.ok()) {
     std::fprintf(stderr, "%s\n", journal.status().ToString().c_str());
@@ -308,22 +363,28 @@ int RunReplay(const std::string& path, size_t threads, bool afap,
               });
   }
 
-  threads = std::max<size_t>(1, std::min(threads, sessions.size()));
-  std::vector<std::vector<const std::vector<JournalRecord>*>> assignment(
-      threads);
-  size_t i = 0;
-  for (const auto& [sid, records] : sessions) {
-    assignment[i++ % threads].push_back(&records);
-  }
+  std::vector<ReplayOutcome> outcomes;
+  if (concurrent) {
+    ReplayConcurrent(*file.header, sessions, std::max<size_t>(1, threads),
+                     afap, &outcomes);
+  } else {
+    threads = std::max<size_t>(1, std::min(threads, sessions.size()));
+    std::vector<std::vector<const std::vector<JournalRecord>*>> assignment(
+        threads);
+    size_t i = 0;
+    for (const auto& [sid, records] : sessions) {
+      assignment[i++ % threads].push_back(&records);
+    }
 
-  std::vector<ReplayOutcome> outcomes(threads);
-  std::vector<std::thread> workers;
-  for (size_t t = 0; t < threads; ++t) {
-    workers.emplace_back([&, t] {
-      ReplayThread(*file.header, assignment[t], afap, &outcomes[t]);
-    });
+    outcomes.resize(threads);
+    std::vector<std::thread> workers;
+    for (size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        ReplayThread(*file.header, assignment[t], afap, &outcomes[t]);
+      });
+    }
+    for (std::thread& w : workers) w.join();
   }
-  for (std::thread& w : workers) w.join();
 
   ReplayOutcome total;
   for (ReplayOutcome& o : outcomes) {
@@ -340,9 +401,18 @@ int RunReplay(const std::string& path, size_t threads, bool afap,
     }
   }
 
-  std::printf("replayed %llu queries across %zu sessions on %zu threads%s\n",
-              static_cast<unsigned long long>(total.replayed),
-              sessions.size(), threads, afap ? " (as fast as possible)" : "");
+  if (concurrent) {
+    std::printf("replayed %llu queries across %zu concurrent sessions "
+                "(shared database, scheduler cap %zu)%s\n",
+                static_cast<unsigned long long>(total.replayed),
+                sessions.size(), std::max<size_t>(1, threads),
+                afap ? " (as fast as possible)" : "");
+  } else {
+    std::printf("replayed %llu queries across %zu sessions on %zu threads%s\n",
+                static_cast<unsigned long long>(total.replayed),
+                sessions.size(), threads,
+                afap ? " (as fast as possible)" : "");
+  }
   std::printf("exact results checked: %llu, mismatches: %llu\n",
               static_cast<unsigned long long>(total.exact_checked),
               static_cast<unsigned long long>(total.mismatches));
@@ -393,7 +463,7 @@ int Usage() {
       "usage:\n"
       "  exploredb-replay record <journal> [--rows N] [--seed S]\n"
       "  exploredb-replay replay <journal> [--threads N] [--afap] "
-      "[--json <out>]\n");
+      "[--json <out>] [--concurrent]\n");
   return 1;
 }
 
@@ -408,6 +478,7 @@ int main(int argc, char** argv) {
   uint64_t seed = 17;
   size_t threads = 1;
   bool afap = false;
+  bool concurrent = false;
   std::string json_out;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -419,6 +490,8 @@ int main(int argc, char** argv) {
       threads = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--afap") {
       afap = true;
+    } else if (arg == "--concurrent") {
+      concurrent = true;
     } else if (arg == "--json" && i + 1 < argc) {
       json_out = argv[++i];
     } else {
@@ -431,6 +504,8 @@ int main(int argc, char** argv) {
   }
 
   if (command == "record") return RunRecord(path, rows, seed);
-  if (command == "replay") return RunReplay(path, threads, afap, json_out);
+  if (command == "replay") {
+    return RunReplay(path, threads, afap, concurrent, json_out);
+  }
   return Usage();
 }
